@@ -1,0 +1,140 @@
+//! Exact weighted girth oracles (centralized).
+
+use twgraph::alg::dijkstra;
+use twgraph::{dist_add, ArcId, Dist, MultiDigraph, INF};
+
+/// Exact directed weighted girth: min over arcs `(u,v)` of
+/// `w(u,v) + d(v → u)`. Self-loops count as cycles of their own weight.
+/// Returns [`INF`] for acyclic graphs.
+pub fn girth_directed_centralized(inst: &MultiDigraph) -> Dist {
+    let mut best = INF;
+    // One Dijkstra per distinct arc source suffices? No — we need d(v→u)
+    // for each arc (u,v): run Dijkstra from every vertex v that is the head
+    // of some arc and look up u.
+    let heads: std::collections::BTreeSet<u32> = inst.arcs().iter().map(|a| a.dst).collect();
+    let mut dist_from: std::collections::HashMap<u32, Vec<Dist>> = std::collections::HashMap::new();
+    for &v in &heads {
+        dist_from.insert(v, dijkstra(inst, v).dist);
+    }
+    for a in inst.arcs() {
+        if a.src == a.dst {
+            best = best.min(a.weight);
+            continue;
+        }
+        let d_back = dist_from[&a.dst][a.src as usize];
+        best = best.min(dist_add(a.weight, d_back));
+    }
+    best
+}
+
+/// Exact undirected weighted girth of a symmetrized instance (twin arcs
+/// share a `uedge` id): min over undirected edges `{u,v}` of
+/// `w + d_{G−e}(u, v)`. Quadratic in edges × Dijkstra — a test-scale
+/// oracle.
+pub fn girth_exact_centralized(inst: &MultiDigraph) -> Dist {
+    let n_ue = inst.n_uedges();
+    let mut best = INF;
+    for e in 0..n_ue as u32 {
+        // Locate the twin arcs of e.
+        let mut endpoints = None;
+        let mut w = 0;
+        for a in inst.arcs() {
+            if a.uedge.0 == e {
+                endpoints = Some((a.src, a.dst));
+                w = a.weight;
+                break;
+            }
+        }
+        let Some((u, v)) = endpoints else { continue };
+        // Dijkstra from u avoiding edge e entirely.
+        let d = dijkstra_avoiding(inst, u, e);
+        best = best.min(dist_add(w, d[v as usize]));
+    }
+    best
+}
+
+fn dijkstra_avoiding(inst: &MultiDigraph, src: u32, avoid_uedge: u32) -> Vec<Dist> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = inst.n();
+    let mut dist = vec![INF; n];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0;
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &ai in inst.out_arcs(u) {
+            let a = inst.arc(ArcId(ai));
+            if a.uedge.0 == avoid_uedge {
+                continue;
+            }
+            let nd = dist_add(d, a.weight);
+            if nd < dist[a.dst as usize] {
+                dist[a.dst as usize] = nd;
+                heap.push(Reverse((nd, a.dst)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twgraph::Arc;
+
+    #[test]
+    fn directed_triangle() {
+        let inst = MultiDigraph::from_arcs(
+            3,
+            vec![Arc::new(0, 1, 2), Arc::new(1, 2, 3), Arc::new(2, 0, 4)],
+        );
+        assert_eq!(girth_directed_centralized(&inst), 9);
+    }
+
+    #[test]
+    fn directed_acyclic_is_inf() {
+        let inst = MultiDigraph::from_arcs(3, vec![Arc::new(0, 1, 1), Arc::new(1, 2, 1)]);
+        assert_eq!(girth_directed_centralized(&inst), INF);
+    }
+
+    #[test]
+    fn undirected_two_cycles() {
+        // Two cycles sharing vertex 0: weights pick the cheaper (girth 6).
+        let edges = vec![
+            (0u32, 1u32, 2u64),
+            (1, 2, 2),
+            (2, 0, 2), // triangle of weight 6
+            (0, 3, 1),
+            (3, 4, 1),
+            (4, 5, 1),
+            (5, 0, 4), // square of weight 7
+        ];
+        let inst = MultiDigraph::from_undirected(6, edges);
+        assert_eq!(girth_exact_centralized(&inst), 6);
+    }
+
+    #[test]
+    fn undirected_tree_has_no_cycle() {
+        let inst = MultiDigraph::from_undirected(4, vec![(0, 1, 1), (1, 2, 1), (1, 3, 1)]);
+        assert_eq!(girth_exact_centralized(&inst), INF);
+    }
+
+    #[test]
+    fn undirected_girth_not_fooled_by_backtracking() {
+        // A path has no cycle even though u→v→u walks exist.
+        let inst = MultiDigraph::from_undirected(3, vec![(0, 1, 5), (1, 2, 5)]);
+        assert_eq!(girth_exact_centralized(&inst), INF);
+    }
+
+    #[test]
+    fn directed_uses_asymmetric_weights() {
+        let inst = MultiDigraph::from_arcs(
+            2,
+            vec![Arc::new(0, 1, 1), Arc::new(1, 0, 10)],
+        );
+        assert_eq!(girth_directed_centralized(&inst), 11);
+    }
+}

@@ -1,0 +1,26 @@
+//! # baselines — the algorithms the paper's results are measured against
+//!
+//! * [`hopcroft_karp`] — centralized maximum bipartite matching (the
+//!   correctness oracle for Theorem 4's algorithm).
+//! * [`bellman_ford_distributed`] — exact distributed SSSP by iterated
+//!   relaxation: Θ(n) rounds worst case, the "before" picture for the
+//!   fully polynomial SSSP of §1.2 (experiment E5).
+//! * [`apsp_pipelined_distributed`] — unweighted all-pairs BFS with
+//!   per-edge pipelining: Θ(n + D) rounds; the natural diameter (and
+//!   unweighted girth) routine that the girth/diameter separation of §1.2
+//!   is measured against (experiment E8).
+//! * [`matching_distributed_baseline`] — augmenting alternating-BFS
+//!   matching in the spirit of the Õ(s_max)-round algorithms [AKO18]
+//!   (experiment E7's comparison).
+//! * [`girth_exact_centralized`] / [`girth_directed_centralized`] — exact
+//!   weighted girth oracles.
+
+pub mod apsp;
+pub mod bford;
+pub mod girth_oracle;
+pub mod matching;
+
+pub use apsp::apsp_pipelined_distributed;
+pub use bford::bellman_ford_distributed;
+pub use girth_oracle::{girth_directed_centralized, girth_exact_centralized};
+pub use matching::{hopcroft_karp, matching_distributed_baseline, matching_size};

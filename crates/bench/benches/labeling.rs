@@ -1,0 +1,43 @@
+//! Criterion: distance-label construction and decoding (Theorem 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distlabel::{build_labels_centralized, decode};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treedec::SepConfig;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("labels_build");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let g = twgraph::gen::partial_ktree(n, 3, 0.7, 1);
+        let inst = twgraph::gen::with_random_weights(&g, 30, 1);
+        let cfg = SepConfig::practical(n);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let dec = treedec::decompose_centralized(&g, 4, &cfg, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| build_labels_centralized(inst, &dec.td, &dec.info).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let n = 256usize;
+    let g = twgraph::gen::partial_ktree(n, 3, 0.7, 1);
+    let inst = twgraph::gen::with_random_weights(&g, 30, 1);
+    let cfg = SepConfig::practical(n);
+    let mut rng = SmallRng::seed_from_u64(2);
+    let dec = treedec::decompose_centralized(&g, 4, &cfg, &mut rng);
+    let labels = build_labels_centralized(&inst, &dec.td, &dec.info);
+    c.bench_function("decode_pair", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 97) % n as u32;
+            decode(&labels[i as usize], &labels[(n as u32 - 1 - i) as usize])
+        })
+    });
+}
+
+criterion_group!(benches, bench_build, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: the CONGEST engine and the primitive layer throughput.
+
+use congest_sim::{Network, NetworkConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subgraph_ops::global::build_global_tree;
+use subgraph_ops::{pa, Parts};
+
+fn bench_superstep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_flood");
+    group.sample_size(10);
+    for n in [1024usize, 4096] {
+        let g = twgraph::gen::banded_path(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut net = Network::new(g.clone(), NetworkConfig::default());
+                build_global_tree(&mut net).height
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partwise_aggregate");
+    group.sample_size(10);
+    for n in [512usize, 2048] {
+        let g = twgraph::gen::banded_path(n, 2);
+        let labels: Vec<Option<u32>> = (0..n).map(|v| Some((v / 32) as u32)).collect();
+        let parts = Parts::from_labels(&labels);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut net = Network::new(g.clone(), NetworkConfig::default());
+                let tree = build_global_tree(&mut net);
+                let roles = pa::steiner_roles(&tree, &parts);
+                pa::aggregate(&mut net, &roles, |_v, _p| Some(1u64), |a, b| a + b)
+                    .roots
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_superstep, bench_pa);
+criterion_main!(benches);

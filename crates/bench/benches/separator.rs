@@ -1,0 +1,49 @@
+//! Criterion: the centralized `Sep` kernel (Lemma 1's workhorse) across
+//! graph families and treewidths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treedec::sep::sep_doubling;
+use treedec::SepConfig;
+
+fn bench_sep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sep_doubling");
+    group.sample_size(10);
+    for (name, g, t0) in [
+        ("banded_k2_n512", twgraph::gen::banded_path(512, 2), 3u64),
+        ("ktree_k3_n512", twgraph::gen::ktree(512, 3, 1), 4),
+        ("grid_8x64", twgraph::gen::grid(8, 64), 9),
+    ] {
+        let n = g.n();
+        let cfg = SepConfig::practical(n);
+        let members = vec![true; n];
+        let mu = vec![1u64; n];
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(5);
+                sep_doubling(g, &members, &mu, t0, &cfg, &mut rng).separator.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose_centralized");
+    group.sample_size(10);
+    for n in [256usize, 512] {
+        let g = twgraph::gen::banded_path(n, 2);
+        let cfg = SepConfig::practical(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(3);
+                treedec::decompose_centralized(g, 3, &cfg, &mut rng).td.width()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sep, bench_decompose);
+criterion_main!(benches);

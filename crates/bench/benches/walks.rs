@@ -1,0 +1,49 @@
+//! Criterion: product construction and constrained SSSP (Theorem 3's
+//! kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stateful_walks::{build_product, ConstrainedSssp, CountWalk};
+use twgraph::MultiDigraph;
+
+fn instance(n: usize, seed: u64) -> MultiDigraph {
+    let g = twgraph::gen::banded_path(n, 3);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    MultiDigraph::from_undirected_labeled(
+        n,
+        g.edges().map(|(u, v)| (u, v, rng.gen_range(1..9), rng.gen_range(0..2))),
+    )
+}
+
+fn bench_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("product_build");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let inst = instance(n, 1);
+        let constraint = CountWalk { c: 2 };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| build_product(inst, &constraint).graph.n_arcs())
+        });
+    }
+    group.finish();
+}
+
+fn bench_constrained_sssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constrained_sssp");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let inst = instance(n, 2);
+        let constraint = CountWalk { c: 1 };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                let s = ConstrainedSssp::run(inst, &constraint, 0);
+                s.dist(n as u32 - 1, constraint.count_state(1))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_product, bench_constrained_sssp);
+criterion_main!(benches);

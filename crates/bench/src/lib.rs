@@ -1,0 +1,70 @@
+//! Shared helpers for the experiment tables.
+
+use serde::Serialize;
+
+/// Print an aligned text table and emit each row as a JSON line (prefixed
+/// `#json `) so downstream tooling can scrape the numbers.
+pub fn table<R: Serialize>(title: &str, headers: &[&str], rows: &[(Vec<String>, R)]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|(r, _)| r.get(i).map_or(0, String::len))
+                .max()
+                .unwrap_or(0)
+                .max(h.len())
+        })
+        .collect();
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    for (cells, rec) in rows {
+        line(cells.clone());
+        println!("#json {}", serde_json::to_string(rec).unwrap());
+    }
+}
+
+/// Format a `u64` compactly.
+pub fn fmt(x: u64) -> String {
+    x.to_string()
+}
+
+/// Format a ratio with 2 decimals.
+pub fn ratio(a: u64, b: u64) -> String {
+    if b == 0 {
+        "-".into()
+    } else {
+        format!("{:.2}", a as f64 / b as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints() {
+        #[derive(Serialize)]
+        struct R {
+            n: usize,
+        }
+        table(
+            "demo",
+            &["n", "rounds"],
+            &[(vec!["10".into(), "20".into()], R { n: 10 })],
+        );
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(5, 0), "-");
+        assert_eq!(ratio(6, 3), "2.00");
+    }
+}

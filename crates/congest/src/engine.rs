@@ -1,0 +1,447 @@
+//! The superstep engine.
+
+use crate::metrics::Metrics;
+use crate::projection::EdgeProjection;
+use crate::wire::WireMsg;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use twgraph::UGraph;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// Words each edge carries per direction per round (`W`; default 1 —
+    /// the classical CONGEST normalization of one O(log n)-bit message).
+    pub bandwidth_words: u64,
+    /// Node count above which send/recv phases run on the rayon pool.
+    pub parallel_threshold: usize,
+    /// Seed for the unique O(log n)-bit node identifiers.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            bandwidth_words: 1,
+            parallel_threshold: 2048,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A simulated CONGEST network over a fixed communication graph.
+///
+/// The network owns the topology, the cost accounting and the node
+/// identifiers; *algorithm state* lives outside in a `Vec<S>` supplied to
+/// [`superstep`](Network::superstep), so one network can run many protocols
+/// back to back while accumulating a single round count.
+pub struct Network {
+    g: UGraph,
+    /// Undirected edges sorted ascending — edge id = position.
+    edges: Vec<(u32, u32)>,
+    projection: EdgeProjection,
+    cfg: NetworkConfig,
+    metrics: Metrics,
+    /// Unique random O(log n)-bit node ids (the model's identifiers).
+    uids: Vec<u64>,
+}
+
+impl Network {
+    /// A physical network on the communication graph `g`.
+    pub fn new(g: UGraph, cfg: NetworkConfig) -> Self {
+        let projection = EdgeProjection::identity(&g);
+        Self::with_projection(g, projection, cfg)
+    }
+
+    /// A (possibly virtual) network whose word traffic is charged through
+    /// `projection` onto physical edges.
+    pub fn with_projection(g: UGraph, projection: EdgeProjection, cfg: NetworkConfig) -> Self {
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut uids: Vec<u64> = (0..g.n() as u64).map(|v| (v << 32) | rng.gen::<u32>() as u64).collect();
+        // The high half guarantees uniqueness; shuffle the order relation by
+        // rotating so uid order is unrelated to index order.
+        for u in uids.iter_mut() {
+            *u = u.rotate_left(32);
+        }
+        Network {
+            g,
+            edges,
+            projection,
+            cfg,
+            metrics: Metrics::default(),
+            uids,
+        }
+    }
+
+    /// The communication graph.
+    #[inline]
+    pub fn graph(&self) -> &UGraph {
+        &self.g
+    }
+
+    /// Node count.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.g.n()
+    }
+
+    /// The unique identifier of node `v`.
+    #[inline]
+    pub fn uid(&self, v: u32) -> u64 {
+        self.uids[v as usize]
+    }
+
+    /// Accumulated metrics.
+    #[inline]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Engine configuration.
+    #[inline]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Charge rounds outside message traffic (global O(D)-round control
+    /// pulses by the orchestrator; see DESIGN.md §4.4).
+    pub fn charge_rounds(&mut self, rounds: u64) {
+        self.metrics.rounds += rounds;
+        self.metrics.charged_rounds += rounds;
+    }
+
+    /// Edge id of `{u, v}`, if present.
+    #[inline]
+    fn edge_id(&self, u: u32, v: u32) -> Option<u32> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.binary_search(&key).ok().map(|i| i as u32)
+    }
+
+    /// Execute one superstep.
+    ///
+    /// * `send(v, &state)` returns the messages node `v` emits as
+    ///   `(neighbor, payload)` pairs — sending to a non-neighbor is a model
+    ///   violation and panics.
+    /// * `recv(v, &mut state, inbox)` consumes the delivered messages as
+    ///   `(source, payload)` pairs, ordered by source id.
+    ///
+    /// Returns the number of rounds charged:
+    /// `max(1, max_slot ⌈words(slot)/W⌉)` over physical directed edges.
+    pub fn superstep<S, M>(
+        &mut self,
+        states: &mut [S],
+        send: impl Fn(u32, &S) -> Vec<(u32, M)> + Sync,
+        recv: impl Fn(u32, &mut S, Vec<(u32, M)>) + Sync,
+    ) -> u64
+    where
+        S: Send + Sync,
+        M: WireMsg,
+    {
+        let n = self.g.n();
+        assert_eq!(states.len(), n, "state vector must match node count");
+
+        // Phase 1: emit.
+        let outs: Vec<Vec<(u32, M)>> = if n >= self.cfg.parallel_threshold {
+            states
+                .par_iter()
+                .enumerate()
+                .map(|(u, s)| send(u as u32, s))
+                .collect()
+        } else {
+            states
+                .iter()
+                .enumerate()
+                .map(|(u, s)| send(u as u32, s))
+                .collect()
+        };
+
+        // Phase 2: validate, account, route.
+        let mut slot_words = vec![0u64; self.projection.n_physical_edges() * 2];
+        let mut inbox_len = vec![0usize; n];
+        let mut n_messages = 0u64;
+        for (u, msgs) in outs.iter().enumerate() {
+            for (v, m) in msgs {
+                let eid = self.edge_id(u as u32, *v).unwrap_or_else(|| {
+                    panic!("CONGEST violation: {u} sent to non-neighbor {v}")
+                });
+                let w = m.words();
+                debug_assert!(w >= 1, "zero-word message");
+                if let Some(slot) = self.projection.slot(eid, (u as u32) < *v) {
+                    slot_words[slot] += w;
+                }
+                inbox_len[*v as usize] += 1;
+                n_messages += 1;
+            }
+        }
+        let max_slot = slot_words.iter().copied().max().unwrap_or(0);
+        let rounds = slot_words
+            .iter()
+            .map(|&w| w.div_ceil(self.cfg.bandwidth_words))
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        self.metrics.rounds += rounds;
+        self.metrics.supersteps += 1;
+        self.metrics.messages += n_messages;
+        self.metrics.words += slot_words.iter().sum::<u64>();
+        self.metrics.max_edge_words_in_superstep =
+            self.metrics.max_edge_words_in_superstep.max(max_slot);
+
+        let mut inboxes: Vec<Vec<(u32, M)>> = inbox_len.into_iter().map(Vec::with_capacity).collect();
+        for (u, msgs) in outs.into_iter().enumerate() {
+            for (v, m) in msgs {
+                // Iterating sources ascending keeps inboxes sorted by source.
+                inboxes[v as usize].push((u as u32, m));
+            }
+        }
+
+        // Phase 3: deliver.
+        if n >= self.cfg.parallel_threshold {
+            states
+                .par_iter_mut()
+                .zip(inboxes.into_par_iter())
+                .enumerate()
+                .for_each(|(v, (s, inbox))| recv(v as u32, s, inbox));
+        } else {
+            for (v, (s, inbox)) in states.iter_mut().zip(inboxes).enumerate() {
+                recv(v as u32, s, inbox);
+            }
+        }
+        rounds
+    }
+
+    /// Run supersteps until `send` produces no messages anywhere (a
+    /// quiescence-driven loop, e.g. flooding). The final silent superstep is
+    /// *not* charged. Returns the number of productive supersteps.
+    pub fn run_until_quiet<S, M>(
+        &mut self,
+        states: &mut [S],
+        send: impl Fn(u32, &S) -> Vec<(u32, M)> + Sync,
+        recv: impl Fn(u32, &mut S, Vec<(u32, M)>) + Sync,
+        max_supersteps: u64,
+    ) -> u64
+    where
+        S: Send + Sync,
+        M: WireMsg,
+    {
+        let mut steps = 0;
+        loop {
+            assert!(
+                steps < max_supersteps,
+                "run_until_quiet exceeded {max_supersteps} supersteps"
+            );
+            // Peek: is anyone sending? (Evaluating send twice is fine — it
+            // must be a pure function of the state.)
+            let quiet = if states.len() >= self.cfg.parallel_threshold {
+                states
+                    .par_iter()
+                    .enumerate()
+                    .all(|(u, s)| send(u as u32, s).is_empty())
+            } else {
+                states
+                    .iter()
+                    .enumerate()
+                    .all(|(u, s)| send(u as u32, s).is_empty())
+            };
+            if quiet {
+                return steps;
+            }
+            self.superstep(states, &send, &recv);
+            steps += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twgraph::gen::path;
+
+    #[derive(Clone, Default)]
+    struct FloodState {
+        dist: Option<u32>,
+        fresh: bool,
+    }
+
+    /// Distributed BFS flood; returns (dists, supersteps).
+    fn flood(net: &mut Network, src: u32) -> Vec<Option<u32>> {
+        let n = net.n();
+        let mut states = vec![FloodState::default(); n];
+        states[src as usize] = FloodState {
+            dist: Some(0),
+            fresh: true,
+        };
+        let g = net.graph().clone();
+        net.run_until_quiet(
+            &mut states,
+            |u, s: &FloodState| {
+                if s.fresh {
+                    let d = s.dist.unwrap();
+                    g.neighbors(u).iter().map(|&v| (v, d + 1)).collect()
+                } else {
+                    Vec::new()
+                }
+            },
+            |_v, s, inbox| {
+                s.fresh = false;
+                for (_src, d) in inbox {
+                    if s.dist.map_or(true, |cur| d < cur) {
+                        s.dist = Some(d);
+                        s.fresh = true;
+                    }
+                }
+            },
+            10_000,
+        );
+        states.into_iter().map(|s| s.dist).collect()
+    }
+
+    #[test]
+    fn flood_on_path_costs_diameter_rounds() {
+        let g = path(10);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let dists = flood(&mut net, 0);
+        for (v, d) in dists.iter().enumerate() {
+            assert_eq!(*d, Some(v as u32));
+        }
+        // Nine propagation supersteps plus the last node's final echo.
+        assert_eq!(net.metrics().rounds, 10);
+        assert_eq!(net.metrics().max_edge_words_in_superstep, 1);
+    }
+
+    #[test]
+    fn big_messages_charge_extra_rounds() {
+        let g = path(2);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let mut states = vec![0u64; 2];
+        let rounds = net.superstep(
+            &mut states,
+            |u, _s| {
+                if u == 0 {
+                    vec![(1u32, vec![7u32; 5])] // one 5-word message
+                } else {
+                    Vec::new()
+                }
+            },
+            |_v, s, inbox| {
+                if let Some((_, payload)) = inbox.first() {
+                    *s = payload.len() as u64;
+                }
+            },
+        );
+        assert_eq!(rounds, 5);
+        assert_eq!(states[1], 5);
+        assert_eq!(net.metrics().words, 5);
+    }
+
+    #[test]
+    fn wider_bandwidth_reduces_rounds() {
+        let g = path(2);
+        let cfg = NetworkConfig {
+            bandwidth_words: 4,
+            ..Default::default()
+        };
+        let mut net = Network::new(g, cfg);
+        let mut states = vec![(); 2];
+        let rounds = net.superstep(
+            &mut states,
+            |u, _s| {
+                if u == 0 {
+                    vec![(1u32, vec![0u32; 8])]
+                } else {
+                    Vec::new()
+                }
+            },
+            |_v, _s, _inbox| {},
+        );
+        assert_eq!(rounds, 2); // ⌈8/4⌉
+    }
+
+    #[test]
+    fn both_directions_accounted_separately() {
+        let g = path(2);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let mut states = vec![(); 2];
+        // One word each way in the same superstep: full-duplex, 1 round.
+        let rounds = net.superstep(
+            &mut states,
+            |u, _s| vec![(1 - u, 1u32)],
+            |_v, _s, _inbox| {},
+        );
+        assert_eq!(rounds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn sending_to_non_neighbor_panics() {
+        let g = path(3); // 0-1-2: 0 and 2 not adjacent
+        let mut net = Network::new(g, NetworkConfig::default());
+        let mut states = vec![(); 3];
+        net.superstep(
+            &mut states,
+            |u, _s| if u == 0 { vec![(2u32, 1u32)] } else { Vec::new() },
+            |_v, _s, _inbox| {},
+        );
+    }
+
+    #[test]
+    fn inbox_sorted_by_source() {
+        let g = twgraph::UGraph::from_edges(4, [(3, 0), (3, 1), (3, 2)]);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let mut states: Vec<Vec<u32>> = vec![Vec::new(); 4];
+        net.superstep(
+            &mut states,
+            |u, _s| if u != 3 { vec![(3u32, u)] } else { Vec::new() },
+            |v, s, inbox| {
+                if v == 3 {
+                    *s = inbox.iter().map(|&(src, _)| src).collect();
+                }
+            },
+        );
+        assert_eq!(states[3], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn uids_unique() {
+        let g = path(100);
+        let net = Network::new(g, NetworkConfig::default());
+        let mut ids: Vec<u64> = (0..100).map(|v| net.uid(v)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+    }
+
+    #[test]
+    fn charged_rounds_tracked() {
+        let g = path(2);
+        let mut net = Network::new(g, NetworkConfig::default());
+        net.charge_rounds(7);
+        assert_eq!(net.metrics().rounds, 7);
+        assert_eq!(net.metrics().charged_rounds, 7);
+    }
+
+    #[test]
+    fn virtual_local_edges_are_free() {
+        // Physical: 0-1. Virtual: 4 nodes, host v/2; local virtual edges
+        // (0,1) and (2,3) must not be charged.
+        let phys = path(2);
+        let virt = twgraph::UGraph::from_edges(4, [(0, 1), (2, 3), (0, 2)]);
+        let proj = crate::EdgeProjection::from_hosts(&virt, &phys, |v| v / 2);
+        let mut net = Network::with_projection(virt, proj, NetworkConfig::default());
+        let mut states = vec![(); 4];
+        // Heavy local chatter + one physical word: still 1 round.
+        let rounds = net.superstep(
+            &mut states,
+            |u, _s| match u {
+                0 => vec![(1u32, vec![9u32; 100]), (2u32, vec![1u32; 1])],
+                3 => vec![(2u32, vec![9u32; 50])],
+                _ => Vec::new(),
+            },
+            |_v, _s, _inbox| {},
+        );
+        assert_eq!(rounds, 1);
+        assert_eq!(net.metrics().words, 1); // only the physical word counted
+    }
+}

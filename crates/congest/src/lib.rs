@@ -1,0 +1,40 @@
+//! # congest-sim — a round-accurate CONGEST simulator
+//!
+//! The CONGEST model (paper §2.1): a synchronous network of `n` nodes joined
+//! by the undirected communication graph ⟦G⟧. Per round, each node sends one
+//! O(log n)-bit message per incident edge per direction, then computes
+//! locally for free.
+//!
+//! ## Cost model
+//!
+//! Algorithms here execute **supersteps**. In a superstep every node emits
+//! messages to neighbours based only on its own state; all messages are then
+//! delivered at once. A superstep in which some directed edge carries `w`
+//! *words* (one word = one O(log n)-bit unit: a vertex id, a distance under
+//! the standard poly(n)-weight assumption, a small tag) is charged
+//! `max_(e,dir) ⌈w(e,dir)/W⌉` rounds, `W` being the per-edge per-direction
+//! word budget (default 1). This is the number of rounds a real execution
+//! pays by pipelining each edge's queue independently, and — because nodes
+//! only read their inbox after the superstep — no node ever acts on
+//! partially-delivered data, so the accounting is sound. It also realizes
+//! Ghaffari's O(dilation + congestion) scheduling bound for concurrent
+//! subgraph algorithms (paper Theorem 6): running them in one shared
+//! superstep sequence makes the per-edge word count *be* the congestion.
+//!
+//! ## Virtual networks
+//!
+//! For the stateful-walk product graphs G_C (paper §5.2) every physical node
+//! hosts |Q| virtual nodes. [`EdgeProjection`] maps each virtual edge to the
+//! physical edge it rides on (or marks it node-local = free), so the charge
+//! for a virtual superstep is measured on physical edges — reproducing the
+//! O(|Q|·p_max) simulation overhead by measurement instead of by formula.
+
+mod engine;
+mod metrics;
+mod projection;
+mod wire;
+
+pub use engine::{Network, NetworkConfig};
+pub use metrics::{Metrics, MetricsDelta};
+pub use projection::EdgeProjection;
+pub use wire::WireMsg;

@@ -1,0 +1,81 @@
+//! Cost accounting for simulated executions.
+
+/// Cumulative execution metrics of a [`crate::Network`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Charged CONGEST rounds (the headline figure in every experiment).
+    pub rounds: u64,
+    /// Number of supersteps executed.
+    pub supersteps: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total words moved across (physical) edges.
+    pub words: u64,
+    /// Largest per-directed-edge word load observed in any single superstep —
+    /// the *congestion* that Lemma 9 bounds by Õ(τ) for part-wise aggregation.
+    pub max_edge_words_in_superstep: u64,
+    /// Rounds charged explicitly by orchestrators (control pulses, local
+    /// gather allowances) rather than by message traffic.
+    pub charged_rounds: u64,
+}
+
+impl Metrics {
+    /// Difference `self − earlier`, for measuring a phase.
+    pub fn since(&self, earlier: &Metrics) -> MetricsDelta {
+        MetricsDelta {
+            rounds: self.rounds - earlier.rounds,
+            supersteps: self.supersteps - earlier.supersteps,
+            messages: self.messages - earlier.messages,
+            words: self.words - earlier.words,
+            max_edge_words_in_superstep: self
+                .max_edge_words_in_superstep
+                .max(earlier.max_edge_words_in_superstep),
+        }
+    }
+}
+
+/// Metrics for a measured phase (see [`Metrics::since`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsDelta {
+    /// Rounds spent in the phase.
+    pub rounds: u64,
+    /// Supersteps executed in the phase.
+    pub supersteps: u64,
+    /// Messages delivered in the phase.
+    pub messages: u64,
+    /// Words moved in the phase.
+    pub words: u64,
+    /// Peak single-superstep edge congestion (global max, not phase-local).
+    pub max_edge_words_in_superstep: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let a = Metrics {
+            rounds: 10,
+            supersteps: 3,
+            messages: 100,
+            words: 150,
+            max_edge_words_in_superstep: 4,
+            charged_rounds: 0,
+        };
+        let b = Metrics {
+            rounds: 25,
+            supersteps: 5,
+            messages: 180,
+            words: 260,
+            max_edge_words_in_superstep: 6,
+            charged_rounds: 0,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.rounds, 15);
+        assert_eq!(d.supersteps, 2);
+        assert_eq!(d.messages, 80);
+        assert_eq!(d.words, 110);
+        assert_eq!(d.max_edge_words_in_superstep, 6);
+    }
+}

@@ -1,0 +1,135 @@
+//! Virtual-edge → physical-edge projection for simulated product graphs.
+
+use twgraph::UGraph;
+
+/// Maps each undirected edge of a *virtual* communication graph onto the
+/// physical edge carrying it (paper §5.2: node `u` simulates all of
+/// `U_Q(u)`, and a virtual edge between copies of `u` and `v` rides the
+/// physical edge `{u, v}`; edges between two copies of the *same* node are
+/// node-local, i.e. free).
+#[derive(Clone, Debug)]
+pub struct EdgeProjection {
+    /// For each virtual edge id: `(physical_edge_id, flipped)`, where
+    /// `flipped` records whether the virtual edge's (lo, hi) endpoint order
+    /// maps to the physical edge's (hi, lo). `LOCAL` marks free edges.
+    map: Vec<(u32, bool)>,
+    /// Number of physical directed-edge slots (2 × physical edge count).
+    n_physical_edges: usize,
+}
+
+impl EdgeProjection {
+    /// Sentinel physical id for node-local (free) virtual edges.
+    pub const LOCAL: u32 = u32::MAX;
+
+    /// Build a projection from the virtual graph onto the physical one using
+    /// `host(virtual_vertex) -> physical_vertex`. Virtual edges whose
+    /// endpoints share a host become free; all others must map onto a
+    /// physical edge (panics otherwise — that would be an unsimulatable
+    /// virtual link).
+    pub fn from_hosts(virtual_g: &UGraph, physical_g: &UGraph, host: impl Fn(u32) -> u32) -> Self {
+        // Index physical edges: sorted (lo, hi) list parallel to ids.
+        let phys_edges: Vec<(u32, u32)> = physical_g.edges().collect();
+        let find = |a: u32, b: u32| -> u32 {
+            let key = if a < b { (a, b) } else { (b, a) };
+            phys_edges
+                .binary_search(&key)
+                .unwrap_or_else(|_| panic!("virtual edge maps to non-edge ({},{})", key.0, key.1))
+                as u32
+        };
+        let map = virtual_g
+            .edges()
+            .map(|(u, v)| {
+                let hu = host(u);
+                let hv = host(v);
+                if hu == hv {
+                    (Self::LOCAL, false)
+                } else {
+                    let pid = find(hu, hv);
+                    let (plo, _phi) = phys_edges[pid as usize];
+                    (pid, plo != hu) // flipped iff virtual-lo maps to physical-hi
+                }
+            })
+            .collect();
+        EdgeProjection {
+            map,
+            n_physical_edges: phys_edges.len(),
+        }
+    }
+
+    /// Identity projection (virtual == physical).
+    pub fn identity(g: &UGraph) -> Self {
+        EdgeProjection {
+            map: (0..g.m() as u32).map(|e| (e, false)).collect(),
+            n_physical_edges: g.m(),
+        }
+    }
+
+    /// Number of physical (undirected) edges.
+    #[inline]
+    pub fn n_physical_edges(&self) -> usize {
+        self.n_physical_edges
+    }
+
+    /// Resolve a virtual edge id and direction (`forward` = from the lower
+    /// endpoint) into a physical directed-slot index, or `None` if free.
+    #[inline]
+    pub fn slot(&self, virtual_edge: u32, forward: bool) -> Option<usize> {
+        let (pid, flip) = self.map[virtual_edge as usize];
+        if pid == Self::LOCAL {
+            None
+        } else {
+            let dir = forward ^ flip;
+            Some(pid as usize * 2 + usize::from(dir))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twgraph::UGraph;
+
+    #[test]
+    fn identity_projection() {
+        let g = UGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let p = EdgeProjection::identity(&g);
+        assert_eq!(p.n_physical_edges(), 2);
+        assert_eq!(p.slot(0, true), Some(1));
+        assert_eq!(p.slot(0, false), Some(0));
+    }
+
+    #[test]
+    fn product_projection() {
+        // Physical: 0 - 1. Virtual: two copies per node; host(v) = v / 2.
+        let phys = UGraph::from_edges(2, [(0, 1)]);
+        let virt = UGraph::from_edges(
+            4,
+            [
+                (0, 1), // copies of node 0: local
+                (2, 3), // copies of node 1: local
+                (0, 2), // cross edges ride the physical edge
+                (1, 3),
+                (0, 3),
+            ],
+        );
+        let p = EdgeProjection::from_hosts(&virt, &phys, |v| v / 2);
+        // Virtual edges sorted: (0,1)=local, (0,2), (0,3), (1,3), (2,3)=local.
+        assert_eq!(p.slot(0, true), None);
+        assert!(p.slot(1, true).is_some());
+        assert!(p.slot(2, true).is_some());
+        assert!(p.slot(3, true).is_some());
+        assert_eq!(p.slot(4, true), None);
+        // All cross edges share the one physical edge: same slot pair.
+        let s1 = p.slot(1, true).unwrap();
+        let s2 = p.slot(2, true).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-edge")]
+    fn rejects_unsimulatable_edges() {
+        let phys = UGraph::from_edges(3, [(0, 1)]);
+        let virt = UGraph::from_edges(3, [(0, 2)]);
+        let _ = EdgeProjection::from_hosts(&virt, &phys, |v| v);
+    }
+}

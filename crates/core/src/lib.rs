@@ -1,0 +1,205 @@
+//! # lowtw — fully polynomial-time distributed computation in
+//! low-treewidth graphs
+//!
+//! A reproduction of Izumi–Kitamura–Naruse–Schwartzman (SPAA 2022):
+//! CONGEST algorithms whose round complexity is polynomial in the
+//! treewidth τ, linear in the diameter D and polylogarithmic in n —
+//! executed on a round-accurate simulator that charges every word moved.
+//!
+//! ```
+//! use lowtw::prelude::*;
+//!
+//! // A random partial 3-tree instance with weighted directed arcs.
+//! let g = twgraph::gen::partial_ktree(200, 3, 0.7, 7);
+//! let inst = twgraph::gen::with_random_weights(&g, 100, 7);
+//!
+//! // Decompose once; reuse for every distance problem.
+//! let session = Session::decompose(&g, 4, 7);
+//! assert!(session.width() < g.n());
+//!
+//! // Exact distance labels; decode any pair locally.
+//! let labels = session.labels(&inst);
+//! let d = lowtw::decode(&labels[3], &labels[77]);
+//! assert_eq!(d, twgraph::alg::dijkstra(&inst, 3).dist[77]);
+//! ```
+//!
+//! The heavy lifting lives in the focused member crates, all re-exported
+//! here:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`twgraph`] | graph types, generators, treewidth toolkit, oracles |
+//! | [`congest_sim`] | the CONGEST superstep engine and cost model |
+//! | [`subgraph_ops`] | PA / RST / STA / SLE / CCD / BCT / MVC primitives |
+//! | [`treedec`] | `Sep` + distributed tree decomposition (Thm 1) |
+//! | [`distlabel`] | distance labeling + SSSP (Thm 2) |
+//! | [`stateful_walks`] | walk constraints, product graphs, CDL (Thm 3) |
+//! | [`bmatch`] | bipartite maximum matching (Thm 4) |
+//! | [`girth`] | weighted girth, directed + undirected (Thm 5) |
+//! | [`baselines`] | Bellman–Ford, pipelined APSP, Hopcroft–Karp, … |
+
+pub use baselines;
+pub use bmatch;
+pub use congest_sim;
+pub use distlabel;
+pub use girth;
+pub use stateful_walks;
+pub use subgraph_ops;
+pub use treedec;
+pub use twgraph;
+
+pub use congest_sim::{Metrics, Network, NetworkConfig};
+pub use distlabel::label::{decode, decode_pair, Label};
+pub use treedec::SepConfig;
+pub use twgraph::{Dist, MultiDigraph, UGraph, INF};
+
+/// Everything most callers need.
+pub mod prelude {
+    pub use crate::Session;
+    pub use congest_sim::{Network, NetworkConfig};
+    pub use distlabel::label::{decode, decode_pair, Label};
+    pub use twgraph::{Dist, MultiDigraph, UGraph, INF};
+}
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use treedec::decomp::NodeInfo;
+use twgraph::tw::TreeDecomposition;
+
+/// A decomposition session: compute the tree decomposition of a
+/// communication graph once, then run any of the paper's algorithms on
+/// instances over that topology.
+pub struct Session {
+    /// The communication graph ⟦G⟧.
+    pub graph: UGraph,
+    /// The tree decomposition Φ.
+    pub td: TreeDecomposition,
+    /// Recursion records (G'_x / boundary / separators per tree node).
+    pub info: Vec<NodeInfo>,
+    /// The `t` the separator algorithm settled on.
+    pub t_used: u64,
+}
+
+impl Session {
+    /// Decompose `g` centrally with practical constants (`t0` = initial
+    /// treewidth guess, usually τ+1).
+    pub fn decompose(g: &UGraph, t0: u64, seed: u64) -> Self {
+        let cfg = SepConfig::practical(g.n());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = treedec::decompose_centralized(g, t0, &cfg, &mut rng);
+        Session {
+            graph: g.clone(),
+            td: out.td,
+            info: out.info,
+            t_used: out.t_used,
+        }
+    }
+
+    /// Decompose on the CONGEST simulator (Theorem 1); returns the session
+    /// and the charged rounds.
+    pub fn decompose_distributed(g: &UGraph, t0: u64, seed: u64) -> (Self, u64) {
+        let cfg = SepConfig::practical(g.n());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut net = Network::new(g.clone(), NetworkConfig::default());
+        let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng);
+        let rounds = out.rounds + out.backbone_rounds;
+        (
+            Session {
+                graph: g.clone(),
+                td: out.td,
+                info: out.info,
+                t_used: out.t_used,
+            },
+            rounds,
+        )
+    }
+
+    /// Decomposition width (paper Theorem 1: O(τ² log n)).
+    pub fn width(&self) -> usize {
+        self.td.width()
+    }
+
+    /// Decomposition depth (Theorem 1: O(log n)).
+    pub fn depth(&self) -> usize {
+        self.td.stats().depth
+    }
+
+    /// Exact distance labels for a weighted directed instance over this
+    /// topology (Theorem 2), built centrally.
+    pub fn labels(&self, inst: &MultiDigraph) -> Vec<Label> {
+        assert_eq!(inst.n(), self.graph.n());
+        distlabel::build_labels_centralized(inst, &self.td, &self.info)
+    }
+
+    /// Distance labels built on the simulator; returns `(labels, rounds)`.
+    pub fn labels_distributed(&self, inst: &MultiDigraph) -> (Vec<Label>, u64) {
+        let mut net = Network::new(self.graph.clone(), NetworkConfig::default());
+        distlabel::build_labels_distributed(&mut net, inst, &self.td, &self.info)
+    }
+
+    /// Exact SSSP distances from `src` (label construction + decode).
+    pub fn sssp(&self, inst: &MultiDigraph, src: u32) -> Vec<Dist> {
+        let labels = self.labels(inst);
+        distlabel::sssp_centralized(&labels, src)
+    }
+
+    /// Exact maximum matching of a bipartite instance (Theorem 4).
+    pub fn max_matching(
+        &self,
+        inst: &twgraph::gen::BipartiteInstance,
+        mode: bmatch::MatchMode,
+    ) -> bmatch::MatchingOutcome {
+        bmatch::max_matching(inst, &self.td, &self.info, mode)
+    }
+
+    /// Weighted undirected girth (Theorem 5).
+    pub fn girth_undirected(&self, inst: &MultiDigraph, seed: u64) -> Dist {
+        let cfg = girth::GirthConfig::practical(self.graph.n(), seed);
+        girth::girth_undirected(inst, &self.td, &self.info, &cfg).girth
+    }
+
+    /// Weighted directed girth (§7 first reduction).
+    pub fn girth_directed(&self, inst: &MultiDigraph) -> Dist {
+        let labels = self.labels(inst);
+        girth::girth_directed_from_labels(inst, &labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_end_to_end() {
+        let g = twgraph::gen::partial_ktree(120, 3, 0.7, 3);
+        let inst = twgraph::gen::with_random_weights(&g, 50, 3);
+        let session = Session::decompose(&g, 4, 3);
+        session.td.verify(&g).unwrap();
+        let d = session.sssp(&inst, 0);
+        assert_eq!(d, twgraph::alg::dijkstra(&inst, 0).dist);
+    }
+
+    #[test]
+    fn session_distributed_decomposition() {
+        let g = twgraph::gen::banded_path(100, 2);
+        let (session, rounds) = Session::decompose_distributed(&g, 3, 5);
+        session.td.verify(&g).unwrap();
+        assert!(rounds > 0);
+    }
+
+    #[test]
+    fn session_girth_and_matching() {
+        let g = twgraph::gen::cycle(16);
+        let inst = twgraph::gen::with_random_weights(&g, 4, 1);
+        let session = Session::decompose(&g, 3, 1);
+        let want = baselines::girth_exact_centralized(&inst);
+        assert_eq!(session.girth_undirected(&inst, 9), want);
+
+        let (bg, side) = twgraph::gen::bipartite_banded(15, 15, 2, 0.5, 2);
+        let bi = twgraph::gen::BipartiteInstance::new(bg.clone(), side.clone());
+        let bs = Session::decompose(&bg, 3, 2);
+        let out = bs.max_matching(&bi, bmatch::MatchMode::Centralized);
+        let want = baselines::matching_size(&baselines::hopcroft_karp(&bg, &side));
+        assert_eq!(out.size(), want);
+    }
+}

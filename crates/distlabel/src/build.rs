@@ -1,0 +1,358 @@
+//! Bottom-up label construction (paper §4.2), shared by the centralized
+//! and distributed drivers.
+//!
+//! ## Maintained invariant (see lib.rs)
+//!
+//! After processing tree node `x`, every `u ∈ V(G_x)` holds, for every
+//! `s ∈ B_x`, the exact `d_{G_x}(u, s)` and `d_{G_x}(s, u)` (Lemmas 3–4).
+//! Entries for deeper bags keep their child-level values; since
+//! `G_{x•i} ⊆ G_x ⊆ G`, every stored entry is a realizable walk length
+//! (never an underestimate), and the decoder's minimum over all common
+//! ancestor-bag vertices recovers exact distances: for the shallowest tree
+//! node `w` whose `G_w` contains a shortest `u→v` path `P`, `P` must touch
+//! `B_w` (else a deeper node would contain it), and both endpoints hold
+//! exact `d_{G_w}` entries for the first/last `B_w`-vertex on `P`.
+
+use crate::label::Label;
+use treedec::decomp::NodeInfo;
+use twgraph::tw::TreeDecomposition;
+use twgraph::{dist_add, Dist, MultiDigraph, INF};
+
+/// What a tree node's processing step would broadcast in the distributed
+/// execution (paper §4.2 steps 1 and 3): per source node, the arc list it
+/// contributes (each arc = 3 words on the wire).
+#[derive(Clone, Debug, Default)]
+pub struct NodeArtifact {
+    /// `(source node, arcs (src, dst, cost))` — for a leaf, every member
+    /// broadcasts its incident G_x arcs; for an internal node, every bag
+    /// member broadcasts its incident H_x arcs.
+    pub broadcast: Vec<(u32, Vec<(u32, u32, Dist)>)>,
+}
+
+/// Direct-arc cost table lookup: cheapest arc `a → b` in the instance.
+fn direct_cost(inst: &MultiDigraph, a: u32, b: u32) -> Dist {
+    let mut best = INF;
+    for &ai in inst.out_arcs(a) {
+        let arc = inst.arc(twgraph::ArcId(ai));
+        if arc.dst == b {
+            best = best.min(arc.weight);
+        }
+    }
+    best
+}
+
+/// Process one tree node bottom-up, updating `labels` in place and
+/// returning the traffic artifact for the distributed driver.
+pub fn process_node(
+    inst: &MultiDigraph,
+    td: &TreeDecomposition,
+    info: &[NodeInfo],
+    x: usize,
+    labels: &mut [Label],
+) -> NodeArtifact {
+    if info[x].is_leaf {
+        process_leaf(inst, &info[x], labels)
+    } else {
+        process_internal(inst, td, info, x, labels)
+    }
+}
+
+/// Leaf: gather all of G_x locally (step 1), solve APSP, record all bag
+/// entries (the leaf bag is V(G_x)).
+fn process_leaf(inst: &MultiDigraph, ni: &NodeInfo, labels: &mut [Label]) -> NodeArtifact {
+    let gx = ni.gx();
+    let k = gx.len();
+    let local = |v: u32| gx.binary_search(&v).unwrap();
+    let in_inherited = |v: u32| ni.inherited.binary_search(&v).is_ok();
+
+    // Arcs of G_x: endpoints inside gx, not both inherited (G_x carries no
+    // edges inside the inherited boundary — see treedec::decomp).
+    let mut arcs: Vec<(u32, u32, Dist)> = Vec::new();
+    let mut per_node: Vec<(u32, Vec<(u32, u32, Dist)>)> = Vec::new();
+    for &v in &gx {
+        let mut mine = Vec::new();
+        for &ai in inst.out_arcs(v) {
+            let a = inst.arc(twgraph::ArcId(ai));
+            if gx.binary_search(&a.dst).is_ok() && !(in_inherited(a.src) && in_inherited(a.dst)) {
+                mine.push((a.src, a.dst, a.weight));
+            }
+        }
+        arcs.extend(mine.iter().copied());
+        per_node.push((v, mine));
+    }
+
+    // Local APSP (Floyd–Warshall on the gathered subgraph).
+    let mut d = vec![vec![INF; k]; k];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for &(a, b, w) in &arcs {
+        let (ia, ib) = (local(a), local(b));
+        d[ia][ib] = d[ia][ib].min(w);
+    }
+    for m in 0..k {
+        for i in 0..k {
+            if d[i][m] >= INF {
+                continue;
+            }
+            for j in 0..k {
+                let cand = dist_add(d[i][m], d[m][j]);
+                if cand < d[i][j] {
+                    d[i][j] = cand;
+                }
+            }
+        }
+    }
+    for (i, &u) in gx.iter().enumerate() {
+        for (j, &s) in gx.iter().enumerate() {
+            labels[u as usize].merge(s, d[i][j], d[j][i]);
+        }
+    }
+    NodeArtifact {
+        broadcast: per_node,
+    }
+}
+
+/// Internal node: build H_x from child labels + direct arcs (step 2),
+/// APSP on H_x, then refresh every member's B_x entries (step 4 / Lemma 4).
+fn process_internal(
+    inst: &MultiDigraph,
+    td: &TreeDecomposition,
+    info: &[NodeInfo],
+    x: usize,
+    labels: &mut [Label],
+) -> NodeArtifact {
+    let bag = &td.bags[x];
+    let k = bag.len();
+    let bidx = |v: u32| bag.binary_search(&v).ok();
+
+    // H_x edge costs: min(direct arc, child-level label distance).
+    let mut h = vec![vec![INF; k]; k];
+    for (i, row) in h.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for (i, &a) in bag.iter().enumerate() {
+        for (j, &b) in bag.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let mut c = direct_cost(inst, a, b);
+            if let Some(via_child) = labels[a as usize].to(b) {
+                c = c.min(via_child);
+            }
+            h[i][j] = c;
+        }
+    }
+    // The broadcast artifact: each bag node's finite incident H_x arcs.
+    let mut per_node: Vec<(u32, Vec<(u32, u32, Dist)>)> = Vec::new();
+    for (i, &a) in bag.iter().enumerate() {
+        let mine: Vec<(u32, u32, Dist)> = bag
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| i != j && h[i][j] < INF)
+            .map(|(j, &b)| (a, b, h[i][j]))
+            .collect();
+        per_node.push((a, mine));
+    }
+    // APSP on H_x: d_{H_x} = d_{G_x} restricted to the bag (Lemma 3).
+    for m in 0..k {
+        for i in 0..k {
+            if h[i][m] >= INF {
+                continue;
+            }
+            for j in 0..k {
+                let cand = dist_add(h[i][m], h[m][j]);
+                if cand < h[i][j] {
+                    h[i][j] = cand;
+                }
+            }
+        }
+    }
+
+    // Members of G_x: all children's G vertex sets plus the bag.
+    let mut members: Vec<u32> = bag.clone();
+    for &c in &td.children[x] {
+        members.extend(info[c].gx());
+    }
+    members.sort_unstable();
+    members.dedup();
+
+    // Lemma 4 refresh: for every member u and every s ∈ B_x,
+    //   d_{G_x}(u,s) = min_{s'} d_child(u,s') + d_{H_x}(s',s)
+    //   d_{G_x}(s,u) = min_{s'} d_{H_x}(s,s') + d_child(s',u)
+    // with s' ranging over the bag vertices u already has entries for
+    // (including u itself at distance 0 when u ∈ B_x).
+    for &u in &members {
+        // Bridges: (bag index of s', d_child(u→s'), d_child(s'→u)).
+        let mut bridges: Vec<(usize, Dist, Dist)> = Vec::new();
+        if let Some(iu) = bidx(u) {
+            bridges.push((iu, 0, 0));
+        }
+        for &(s, to, from) in &labels[u as usize].entries {
+            if let Some(is) = bidx(s) {
+                if s != u {
+                    bridges.push((is, to, from));
+                }
+            }
+        }
+        for (j, &s) in bag.iter().enumerate() {
+            let mut best_to = INF;
+            let mut best_from = INF;
+            for &(is, to, from) in &bridges {
+                best_to = best_to.min(dist_add(to, h[is][j]));
+                best_from = best_from.min(dist_add(h[j][is], from));
+            }
+            if best_to < INF || best_from < INF {
+                labels[u as usize].merge(s, best_to, best_from);
+            }
+        }
+    }
+
+    NodeArtifact {
+        broadcast: per_node,
+    }
+}
+
+/// Build the full labeling centrally: process tree nodes children-first.
+pub fn build_labels_centralized(
+    inst: &MultiDigraph,
+    td: &TreeDecomposition,
+    info: &[NodeInfo],
+) -> Vec<Label> {
+    let mut labels: Vec<Label> = (0..inst.n() as u32).map(Label::new).collect();
+    for x in order_bottom_up(td) {
+        process_node(inst, td, info, x, &mut labels);
+    }
+    labels
+}
+
+/// Tree nodes ordered children-before-parents.
+pub fn order_bottom_up(td: &TreeDecomposition) -> Vec<usize> {
+    let depths = td.depths();
+    let mut order: Vec<usize> = (0..td.bags.len()).collect();
+    order.sort_by_key(|&x| std::cmp::Reverse(depths[x]));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{decode, Label};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use treedec::{decompose_centralized, SepConfig};
+    use twgraph::alg::apsp_dijkstra;
+    use twgraph::gen::{banded_path, cycle, grid, ktree, random_orientation, with_random_weights};
+    use twgraph::UGraph;
+
+    fn labels_of(g: &UGraph, inst: &MultiDigraph, seed: u64) -> Vec<Label> {
+        let cfg = SepConfig::practical(g.n());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dec = decompose_centralized(g, 3, &cfg, &mut rng);
+        dec.td.verify(g).unwrap();
+        build_labels_centralized(inst, &dec.td, &dec.info)
+    }
+
+    fn assert_exact(g: &UGraph, inst: &MultiDigraph, seed: u64) -> Vec<Label> {
+        let labels = labels_of(g, inst, seed);
+        let truth = apsp_dijkstra(inst);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                let got = decode(&labels[u], &labels[v]);
+                assert_eq!(
+                    got, truth[u][v],
+                    "decode({u},{v}) = {got}, dijkstra = {}",
+                    truth[u][v]
+                );
+            }
+        }
+        labels
+    }
+
+    #[test]
+    fn undirected_weighted_banded_path() {
+        let g = banded_path(60, 2);
+        let inst = with_random_weights(&g, 20, 7);
+        assert_exact(&g, &inst, 1);
+    }
+
+    #[test]
+    fn directed_weighted_ktree() {
+        let g = ktree(50, 3, 9);
+        let inst = random_orientation(&g, 15, 0.4, 11);
+        assert_exact(&g, &inst, 2);
+    }
+
+    #[test]
+    fn directed_cycle_asymmetry() {
+        // One-directional cycle: d(u,v) ≠ d(v,u) everywhere.
+        let g = cycle(12);
+        let arcs: Vec<twgraph::Arc> = (0..12u32)
+            .map(|i| twgraph::Arc::new(i, (i + 1) % 12, 1))
+            .collect();
+        let inst = MultiDigraph::from_arcs(12, arcs);
+        let labels = assert_exact(&g, &inst, 3);
+        let d01 = decode(&labels[0], &labels[1]);
+        let d10 = decode(&labels[1], &labels[0]);
+        assert_eq!(d01, 1);
+        assert_eq!(d10, 11);
+    }
+
+    #[test]
+    fn grid_weighted() {
+        let g = grid(6, 6);
+        let inst = with_random_weights(&g, 9, 5);
+        assert_exact(&g, &inst, 4);
+    }
+
+    #[test]
+    fn unreachable_pairs_decode_inf() {
+        // Orientation can make some pairs unreachable; decode must agree.
+        let g = banded_path(40, 2);
+        let inst = random_orientation(&g, 8, 0.1, 3);
+        assert_exact(&g, &inst, 5);
+    }
+
+    #[test]
+    fn multigraph_parallel_arcs() {
+        let g = cycle(10);
+        let mut arcs = Vec::new();
+        for i in 0..10u32 {
+            arcs.push(twgraph::Arc::new(i, (i + 1) % 10, 5));
+            arcs.push(twgraph::Arc::new(i, (i + 1) % 10, 2)); // cheaper twin
+            arcs.push(twgraph::Arc::new((i + 1) % 10, i, 3));
+        }
+        let inst = MultiDigraph::from_arcs(10, arcs);
+        assert_exact(&g, &inst, 6);
+    }
+
+    #[test]
+    fn label_sizes_bounded() {
+        let g = ktree(200, 3, 13);
+        let inst = with_random_weights(&g, 10, 2);
+        let labels = labels_of(&g, &inst, 7);
+        let max_entries = labels.iter().map(|l| l.entries.len()).max().unwrap();
+        // |B↑(u)| ≤ width+1 per level × depth levels — stays far below n.
+        assert!(
+            max_entries < g.n(),
+            "label blew up: {max_entries} entries on n = {}",
+            g.n()
+        );
+    }
+
+    #[test]
+    fn artifacts_report_traffic() {
+        let g = banded_path(50, 2);
+        let inst = with_random_weights(&g, 5, 1);
+        let cfg = SepConfig::practical(50);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let dec = decompose_centralized(&g, 3, &cfg, &mut rng);
+        let mut labels: Vec<Label> = (0..50u32).map(Label::new).collect();
+        let mut total_arcs = 0usize;
+        for x in order_bottom_up(&dec.td) {
+            let art = process_node(&inst, &dec.td, &dec.info, x, &mut labels);
+            total_arcs += art.broadcast.iter().map(|(_, a)| a.len()).sum::<usize>();
+        }
+        assert!(total_arcs > 0, "no traffic recorded");
+    }
+}

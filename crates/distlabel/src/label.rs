@@ -1,0 +1,135 @@
+//! The label data type and the decoder (paper Definition 1, Lemma 2).
+
+use twgraph::{dist_add, Dist, INF};
+
+/// Distance label of one vertex: exact distances to/from its ancestor-bag
+/// vertices `B↑(u)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Label {
+    /// The label's owner.
+    pub owner: u32,
+    /// Sorted by target: `(target s, d(owner → s), d(s → owner))`.
+    pub entries: Vec<(u32, Dist, Dist)>,
+}
+
+impl Label {
+    /// New empty label.
+    pub fn new(owner: u32) -> Self {
+        Label {
+            owner,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Min-merge an entry (distances only ever shrink as the recursion
+    /// climbs — `G_x ⊆ G_{p(x)}`).
+    pub fn merge(&mut self, target: u32, to: Dist, from: Dist) {
+        match self.entries.binary_search_by_key(&target, |e| e.0) {
+            Ok(i) => {
+                self.entries[i].1 = self.entries[i].1.min(to);
+                self.entries[i].2 = self.entries[i].2.min(from);
+            }
+            Err(i) => self.entries.insert(i, (target, to, from)),
+        }
+    }
+
+    /// `d(owner → s)` if `s` is a target.
+    pub fn to(&self, s: u32) -> Option<Dist> {
+        self.entries
+            .binary_search_by_key(&s, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// `d(s → owner)` if `s` is a target.
+    pub fn from(&self, s: u32) -> Option<Dist> {
+        self.entries
+            .binary_search_by_key(&s, |e| e.0)
+            .ok()
+            .map(|i| self.entries[i].2)
+    }
+
+    /// Label size in O(log n)-bit words (3 per entry) — the quantity
+    /// Theorem 2 bounds by O(τ² log² n) bits.
+    pub fn words(&self) -> usize {
+        3 * self.entries.len()
+    }
+}
+
+/// The decoder: `dec(la(u), la(v)) = min_{s ∈ B↑(u) ∩ B↑(v)} d(u,s) + d(s,v)`.
+/// Linear merge-join over the sorted entry lists.
+pub fn decode(la_u: &Label, la_v: &Label) -> Dist {
+    let mut best = INF;
+    let (mut i, mut j) = (0usize, 0usize);
+    let (a, b) = (&la_u.entries, &la_v.entries);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                best = best.min(dist_add(a[i].1, b[j].2));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+/// Decode both directions at once: `(d(u → v), d(v → u))`.
+pub fn decode_pair(la_u: &Label, la_v: &Label) -> (Dist, Dist) {
+    (decode(la_u, la_v), decode(la_v, la_u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_keeps_minimum() {
+        let mut l = Label::new(0);
+        l.merge(5, 10, 20);
+        l.merge(5, 12, 8);
+        assert_eq!(l.to(5), Some(10));
+        assert_eq!(l.from(5), Some(8));
+        l.merge(3, 1, 1);
+        assert_eq!(l.entries.len(), 2);
+        assert_eq!(l.entries[0].0, 3); // sorted
+    }
+
+    #[test]
+    fn decode_min_over_common() {
+        let mut u = Label::new(0);
+        u.merge(2, 4, 9);
+        u.merge(7, 1, 9);
+        let mut v = Label::new(1);
+        v.merge(2, 9, 3); // via 2: 4 + 3 = 7
+        v.merge(7, 9, 5); // via 7: 1 + 5 = 6
+        v.merge(9, 9, 0);
+        assert_eq!(decode(&u, &v), 6);
+    }
+
+    #[test]
+    fn decode_no_common_is_inf() {
+        let mut u = Label::new(0);
+        u.merge(1, 1, 1);
+        let mut v = Label::new(1);
+        v.merge(2, 1, 1);
+        assert_eq!(decode(&u, &v), INF);
+    }
+
+    #[test]
+    fn decode_self_via_own_bag() {
+        let mut u = Label::new(4);
+        u.merge(4, 0, 0);
+        assert_eq!(decode(&u, &u), 0);
+    }
+
+    #[test]
+    fn words_counts_entries() {
+        let mut u = Label::new(0);
+        u.merge(1, 1, 1);
+        u.merge(2, 1, 1);
+        assert_eq!(u.words(), 6);
+    }
+}

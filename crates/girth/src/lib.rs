@@ -1,0 +1,19 @@
+//! # girth — weighted girth via distance labeling (paper §7, Theorem 5)
+//!
+//! **Directed** graphs reduce directly: the shortest cycle through an arc
+//! `(u, v)` is `c(u,v) + d(v → u)`, and `d(v → u)` is decodable once `u`
+//! holds both labels — one label exchange per edge, then a global min.
+//!
+//! **Undirected** graphs must not confuse the walk `u–v–u` (an edge used
+//! twice) with a cycle. The paper's fix: randomly mark edges with
+//! probability `1/(3ĉ)` and measure, at every vertex, the shortest *exact
+//! count-1* closed walk — any such walk contains a simple cycle (Lemma 6),
+//! and when exactly one marked edge lies on some shortest cycle the bound
+//! is tight. Doubling over ĉ plus O(log n) trials per value makes this
+//! succeed whp.
+
+pub mod directed;
+pub mod undirected;
+
+pub use directed::{girth_directed_from_labels, girth_directed_distributed};
+pub use undirected::{girth_undirected, GirthConfig, GirthRun};

@@ -1,0 +1,217 @@
+//! Undirected weighted girth via exact count-1 closed walks
+//! (paper §7 + Appendix F, Theorem 5).
+
+use congest_sim::NetworkConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stateful_walks::{CdlLabeling, CountWalk};
+use treedec::decomp::NodeInfo;
+use twgraph::tw::TreeDecomposition;
+use twgraph::{Dist, MultiDigraph, INF};
+
+/// Knobs for the probabilistic girth computation.
+#[derive(Clone, Copy, Debug)]
+pub struct GirthConfig {
+    /// Trials per ĉ value (paper: O(log n)).
+    pub trials_per_c: usize,
+    /// RNG seed for the edge-marking.
+    pub seed: u64,
+    /// Measure the CONGEST cost of one representative trial through the
+    /// virtual network (the remaining trials run centrally and the total
+    /// is reported as `trials × per-trial` — trials are identically
+    /// structured, differing only in the random marks).
+    pub measure_distributed: bool,
+}
+
+impl GirthConfig {
+    /// Practical defaults for an n-vertex instance.
+    pub fn practical(n: usize, seed: u64) -> Self {
+        GirthConfig {
+            trials_per_c: 2 + n.max(2).ilog2() as usize,
+            seed,
+            measure_distributed: false,
+        }
+    }
+}
+
+/// Result of a girth computation.
+#[derive(Clone, Copy, Debug)]
+pub struct GirthRun {
+    /// The computed girth ([`INF`] when the graph is acyclic).
+    pub girth: Dist,
+    /// Trials executed in total.
+    pub trials: usize,
+    /// Measured rounds of one representative trial (0 when not measured).
+    pub rounds_per_trial: u64,
+    /// `trials × rounds_per_trial` (0 when not measured).
+    pub rounds_total: u64,
+}
+
+/// Undirected weighted girth (the instance must be a symmetrized
+/// multigraph — twin arcs sharing `uedge` ids — with strictly positive
+/// weights so that Lemma 6's "contains a simple cycle ⇒ weight ≥ g"
+/// argument applies).
+///
+/// Doubling over ĉ = 1, 2, 4, …, 2m (m = undirected edge count; the edge
+/// set F of shortest-cycle edges satisfies |F| ≤ m): each trial marks
+/// every edge independently with probability 1/(3ĉ) and evaluates
+/// `min_u` (shortest exact count-1 closed walk at `u`) through
+/// CDL(C_cnt(1)). Every candidate is ≥ g (Lemma 6); whp one trial is
+/// tight.
+pub fn girth_undirected(
+    inst: &MultiDigraph,
+    td: &TreeDecomposition,
+    info: &[NodeInfo],
+    cfg: &GirthConfig,
+) -> GirthRun {
+    assert!(
+        inst.arcs().iter().all(|a| a.weight >= 1),
+        "girth needs strictly positive weights"
+    );
+    let m = inst.n_uedges();
+    assert!(m > 0 || inst.n_arcs() == 0, "instance must be symmetrized");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let constraint = CountWalk { c: 1 };
+    let mut best = INF;
+    let mut trials = 0usize;
+    let mut rounds_per_trial = 0u64;
+
+    let mut c_hat = 1u64;
+    while c_hat <= (2 * m.max(1)) as u64 {
+        for _ in 0..cfg.trials_per_c.max(1) {
+            // Random 0/1 marks per undirected edge.
+            let p = 1.0 / (3.0 * c_hat as f64);
+            let mut marks = vec![0u32; m];
+            for mk in marks.iter_mut() {
+                if rng.gen_bool(p) {
+                    *mk = 1;
+                }
+            }
+            let mut marked = inst.clone();
+            for a in marked.arcs_mut() {
+                a.label = if a.uedge.is_some() {
+                    marks[a.uedge.idx()]
+                } else {
+                    0
+                };
+            }
+            // CDL(C_cnt(1)); measure the first trial if asked.
+            let cdl = if cfg.measure_distributed && trials == 0 {
+                let (cdl, metrics) = CdlLabeling::build_distributed(
+                    &marked,
+                    &constraint,
+                    td,
+                    info,
+                    NetworkConfig::default(),
+                );
+                rounds_per_trial = metrics.rounds;
+                cdl
+            } else {
+                CdlLabeling::build_centralized(&marked, &constraint, td, info)
+            };
+            // g(u) = shortest exact count-1 closed walk at u — decoded
+            // locally from u's own label copies.
+            for u in 0..inst.n() as u32 {
+                best = best.min(cdl.dist(u, u, constraint.count_state(1)));
+            }
+            trials += 1;
+        }
+        c_hat *= 2;
+    }
+
+    GirthRun {
+        girth: best,
+        trials,
+        rounds_per_trial,
+        rounds_total: rounds_per_trial * trials as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::girth_exact_centralized;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use treedec::{decompose_centralized, SepConfig};
+    use twgraph::gen::{banded_path, cycle, with_random_weights};
+
+    fn decomposition_of(inst: &MultiDigraph, seed: u64) -> (TreeDecomposition, Vec<NodeInfo>) {
+        let g = inst.comm_graph();
+        let sep_cfg = SepConfig::practical(g.n());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let dec = decompose_centralized(&g, 3, &sep_cfg, &mut rng);
+        (dec.td, dec.info)
+    }
+
+    #[test]
+    fn plain_cycle_girth_is_total_weight() {
+        let inst = with_random_weights(&cycle(9), 5, 3);
+        let want = girth_exact_centralized(&inst);
+        let (td, info) = decomposition_of(&inst, 1);
+        let run = girth_undirected(&inst, &td, &info, &GirthConfig::practical(9, 42));
+        assert_eq!(run.girth, want);
+    }
+
+    #[test]
+    fn matches_oracle_on_banded_paths() {
+        for seed in 0..3 {
+            let g = banded_path(24, 2);
+            let inst = with_random_weights(&g, 6, seed);
+            let want = girth_exact_centralized(&inst);
+            let (td, info) = decomposition_of(&inst, seed + 7);
+            let run =
+                girth_undirected(&inst, &td, &info, &GirthConfig::practical(24, 99 + seed));
+            assert_eq!(run.girth, want, "seed {seed}");
+            assert!(run.trials > 0);
+        }
+    }
+
+    #[test]
+    fn acyclic_reports_inf() {
+        let g = twgraph::gen::random_tree(20, 4);
+        let inst = with_random_weights(&g, 5, 2);
+        let (td, info) = decomposition_of(&inst, 3);
+        let run = girth_undirected(&inst, &td, &info, &GirthConfig::practical(20, 5));
+        assert_eq!(run.girth, INF);
+    }
+
+    #[test]
+    fn never_underestimates() {
+        // Even with a single adversarial trial budget the result is a
+        // valid upper bound's inverse: ≥ true girth (Lemma 6).
+        let g = banded_path(20, 3);
+        let inst = with_random_weights(&g, 4, 9);
+        let want = girth_exact_centralized(&inst);
+        let (td, info) = decomposition_of(&inst, 4);
+        let run = girth_undirected(
+            &inst,
+            &td,
+            &info,
+            &GirthConfig {
+                trials_per_c: 1,
+                seed: 0,
+                measure_distributed: false,
+            },
+        );
+        assert!(run.girth >= want);
+    }
+
+    #[test]
+    fn distributed_measurement_mode() {
+        let inst = with_random_weights(&cycle(8), 3, 1);
+        let (td, info) = decomposition_of(&inst, 6);
+        let run = girth_undirected(
+            &inst,
+            &td,
+            &info,
+            &GirthConfig {
+                trials_per_c: 1,
+                seed: 11,
+                measure_distributed: true,
+            },
+        );
+        assert!(run.rounds_per_trial > 0);
+        assert_eq!(run.rounds_total, run.rounds_per_trial * run.trials as u64);
+    }
+}

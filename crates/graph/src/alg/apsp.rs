@@ -1,0 +1,91 @@
+//! All-pairs shortest paths oracles (test-scale).
+
+use crate::alg::dijkstra::dijkstra;
+use crate::multidigraph::MultiDigraph;
+use crate::{dist_add, Dist, INF};
+
+/// Floyd–Warshall over the arc table. O(n³) — only for small verification
+/// instances; prefer [`apsp_dijkstra`] above a few hundred vertices.
+pub fn floyd_warshall(g: &MultiDigraph) -> Vec<Vec<Dist>> {
+    let n = g.n();
+    let mut d = vec![vec![INF; n]; n];
+    for (v, row) in d.iter_mut().enumerate() {
+        row[v] = 0;
+    }
+    for a in g.arcs() {
+        let e = &mut d[a.src as usize][a.dst as usize];
+        *e = (*e).min(a.weight);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[i][k];
+            if dik >= INF {
+                continue;
+            }
+            for j in 0..n {
+                let cand = dist_add(dik, d[k][j]);
+                if cand < d[i][j] {
+                    d[i][j] = cand;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// APSP by n single-source Dijkstra runs. O(n · m log n).
+pub fn apsp_dijkstra(g: &MultiDigraph) -> Vec<Vec<Dist>> {
+    (0..g.n() as u32).map(|s| dijkstra(g, s).dist).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Arc;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn fw_matches_dijkstra_small() {
+        let g = MultiDigraph::from_arcs(
+            4,
+            vec![
+                Arc::new(0, 1, 2),
+                Arc::new(1, 2, 2),
+                Arc::new(0, 2, 5),
+                Arc::new(2, 3, 1),
+                Arc::new(3, 0, 1),
+            ],
+        );
+        assert_eq!(floyd_warshall(&g), apsp_dijkstra(&g));
+    }
+
+    #[test]
+    fn fw_matches_dijkstra_random() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let n = rng.gen_range(2..20);
+            let m = rng.gen_range(1..60);
+            let arcs: Vec<Arc> = (0..m)
+                .map(|_| {
+                    Arc::new(
+                        rng.gen_range(0..n as u32),
+                        rng.gen_range(0..n as u32),
+                        rng.gen_range(0..50),
+                    )
+                })
+                .collect();
+            let g = MultiDigraph::from_arcs(n, arcs);
+            assert_eq!(floyd_warshall(&g), apsp_dijkstra(&g));
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let g = MultiDigraph::from_arcs(3, vec![Arc::new(0, 1, 1)]);
+        let d = floyd_warshall(&g);
+        for v in 0..3 {
+            assert_eq!(d[v][v], 0);
+        }
+    }
+}

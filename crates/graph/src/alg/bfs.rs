@@ -1,0 +1,107 @@
+//! Breadth-first search on communication graphs.
+
+use crate::ugraph::UGraph;
+use std::collections::VecDeque;
+
+/// Hop distances from `src` in ⟦G⟧; unreachable vertices get `u32::MAX`.
+pub fn bfs_dist(g: &UGraph, src: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS tree from `src`: `(dist, parent)` with `parent[src] = src` and
+/// `parent[v] = u32::MAX` for unreachable `v`.
+pub fn bfs_tree(g: &UGraph, src: u32) -> (Vec<u32>, Vec<u32>) {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut parent = vec![u32::MAX; g.n()];
+    let mut q = VecDeque::new();
+    dist[src as usize] = 0;
+    parent[src as usize] = src;
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                parent[v as usize] = u;
+                q.push_back(v);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Eccentricity of `v` (max finite hop distance from `v`).
+pub fn eccentricity(g: &UGraph, v: u32) -> u32 {
+    bfs_dist(g, v)
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact unweighted diameter `D(⟦G⟧)` by running BFS from every vertex.
+/// Quadratic — intended for test/bench instrumentation, not hot paths.
+/// Returns 0 for graphs with ≤ 1 vertex; ignores unreachable pairs (i.e.
+/// computes the max eccentricity within components).
+pub fn diameter_exact(g: &UGraph) -> u32 {
+    g.vertices().map(|v| eccentricity(g, v)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UGraph;
+
+    fn path(n: usize) -> UGraph {
+        UGraph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        assert_eq!(bfs_dist(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_dist(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_tree_parents() {
+        let g = path(4);
+        let (dist, parent) = bfs_tree(&g, 1);
+        assert_eq!(dist, vec![1, 0, 1, 2]);
+        assert_eq!(parent[0], 1);
+        assert_eq!(parent[1], 1);
+        assert_eq!(parent[3], 2);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = UGraph::from_edges(4, [(0, 1), (2, 3)]);
+        let d = bfs_dist(&g, 0);
+        assert_eq!(d[3], u32::MAX);
+    }
+
+    #[test]
+    fn diameter_path_and_cycle() {
+        assert_eq!(diameter_exact(&path(6)), 5);
+        let cycle = UGraph::from_edges(6, (0..6u32).map(|i| (i, (i + 1) % 6)));
+        assert_eq!(diameter_exact(&cycle), 3);
+    }
+
+    #[test]
+    fn diameter_singleton() {
+        assert_eq!(diameter_exact(&UGraph::empty(1)), 0);
+    }
+}

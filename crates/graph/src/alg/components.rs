@@ -1,0 +1,90 @@
+//! Connected components of undirected graphs.
+
+use crate::ugraph::UGraph;
+use std::collections::VecDeque;
+
+/// Component id per vertex, numbered 0.. in order of discovery, plus the
+/// number of components.
+pub fn components(g: &UGraph) -> (Vec<u32>, usize) {
+    let mut comp = vec![u32::MAX; g.n()];
+    let mut next = 0u32;
+    let mut q = VecDeque::new();
+    for s in g.vertices() {
+        if comp[s as usize] != u32::MAX {
+            continue;
+        }
+        comp[s as usize] = next;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = next;
+                    q.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Whether the graph is connected (vacuously true for n ≤ 1).
+pub fn is_connected(g: &UGraph) -> bool {
+    g.n() <= 1 || components(g).1 == 1
+}
+
+/// Index of the largest component by a vertex measure `mu` (ties broken by
+/// lower component id), together with per-component measure totals.
+///
+/// `mu[v]` is the weight each vertex contributes — the paper's µ_X measure
+/// (§3.1) uses `mu[v] = 1` iff `v ∈ X`.
+pub fn largest_component(comp: &[u32], n_comp: usize, mu: &[u64]) -> (usize, Vec<u64>) {
+    let mut totals = vec![0u64; n_comp];
+    for (v, &c) in comp.iter().enumerate() {
+        totals[c as usize] += mu[v];
+    }
+    let best = (0..n_comp).max_by_key(|&c| (totals[c], usize::MAX - c)).unwrap_or(0);
+    (best, totals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UGraph;
+
+    #[test]
+    fn two_components() {
+        let g = UGraph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        let (comp, k) = components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn connected_cycle() {
+        let g = UGraph::from_edges(4, (0..4u32).map(|i| (i, (i + 1) % 4)));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn largest_by_measure() {
+        let g = UGraph::from_edges(5, [(0, 1), (2, 3)]);
+        let (comp, k) = components(&g);
+        // Uniform measure: component {0,1} and {2,3} tie at 2, isolated 4 has 1.
+        let (big, totals) = largest_component(&comp, k, &[1; 5]);
+        assert_eq!(totals.iter().sum::<u64>(), 5);
+        assert_eq!(totals[big], 2);
+        // Skewed measure puts all the mass on vertex 4.
+        let (big2, _) = largest_component(&comp, k, &[0, 0, 0, 0, 10]);
+        assert_eq!(big2 as u32, comp[4]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(is_connected(&UGraph::empty(0)));
+        assert!(is_connected(&UGraph::empty(1)));
+        assert!(!is_connected(&UGraph::empty(2)));
+    }
+}

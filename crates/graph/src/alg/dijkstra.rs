@@ -1,0 +1,156 @@
+//! Dijkstra on weighted directed multigraphs — the main distance oracle.
+
+use crate::multidigraph::MultiDigraph;
+use crate::{dist_add, ArcId, Dist, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source run: distances and the predecessor arc of each
+/// reached vertex (`ArcId(u32::MAX)` for the source / unreachable).
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    /// `dist[v]` = weighted distance from the source, [`INF`] if unreachable.
+    pub dist: Vec<Dist>,
+    /// Arc used to reach `v` on some shortest path.
+    pub parent_arc: Vec<ArcId>,
+}
+
+impl ShortestPathTree {
+    /// Reconstruct the arc sequence of a shortest path to `t` (empty if `t`
+    /// is the source; `None` if unreachable).
+    pub fn path_to(&self, g: &MultiDigraph, t: u32) -> Option<Vec<ArcId>> {
+        if self.dist[t as usize] >= INF {
+            return None;
+        }
+        let mut arcs = Vec::new();
+        let mut cur = t;
+        loop {
+            let pa = self.parent_arc[cur as usize];
+            if pa.0 == u32::MAX {
+                break;
+            }
+            arcs.push(pa);
+            cur = g.arc(pa).src;
+        }
+        arcs.reverse();
+        Some(arcs)
+    }
+}
+
+/// Standard binary-heap Dijkstra from `src` over out-arcs.
+pub fn dijkstra(g: &MultiDigraph, src: u32) -> ShortestPathTree {
+    let n = g.n();
+    let mut dist = vec![INF; n];
+    let mut parent_arc = vec![ArcId(u32::MAX); n];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0;
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &ai in g.out_arcs(u) {
+            let a = g.arc(ArcId(ai));
+            let nd = dist_add(d, a.weight);
+            if nd < dist[a.dst as usize] {
+                dist[a.dst as usize] = nd;
+                parent_arc[a.dst as usize] = ArcId(ai);
+                heap.push(Reverse((nd, a.dst)));
+            }
+        }
+    }
+    ShortestPathTree { dist, parent_arc }
+}
+
+/// Distances *to* `dst` from every vertex (Dijkstra on the reverse graph,
+/// but without materializing it — walks in-arcs directly).
+pub fn dijkstra_to(g: &MultiDigraph, dst: u32) -> Vec<Dist> {
+    let n = g.n();
+    let mut dist = vec![INF; n];
+    let mut heap = BinaryHeap::new();
+    dist[dst as usize] = 0;
+    heap.push(Reverse((0u64, dst)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for &ai in g.in_arcs(u) {
+            let a = g.arc(ArcId(ai));
+            let nd = dist_add(d, a.weight);
+            if nd < dist[a.src as usize] {
+                dist[a.src as usize] = nd;
+                heap.push(Reverse((nd, a.src)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Arc;
+
+    fn weighted_diamond() -> MultiDigraph {
+        // 0 --1--> 1 --1--> 3 ; 0 --5--> 2 --1--> 3 ; parallel cheap 0 --3--> 2
+        MultiDigraph::from_arcs(
+            4,
+            vec![
+                Arc::new(0, 1, 1),
+                Arc::new(1, 3, 1),
+                Arc::new(0, 2, 5),
+                Arc::new(0, 2, 3),
+                Arc::new(2, 3, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn distances() {
+        let g = weighted_diamond();
+        let t = dijkstra(&g, 0);
+        assert_eq!(t.dist, vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn parallel_arcs_use_cheapest() {
+        let g = weighted_diamond();
+        let t = dijkstra(&g, 0);
+        let p = t.path_to(&g, 2).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(g.arc(p[0]).weight, 3);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let g = weighted_diamond();
+        let t = dijkstra(&g, 0);
+        let p = t.path_to(&g, 3).unwrap();
+        let total: u64 = p.iter().map(|&a| g.arc(a).weight).sum();
+        assert_eq!(total, 2);
+        assert_eq!(g.arc(p[0]).src, 0);
+        assert_eq!(g.arc(*p.last().unwrap()).dst, 3);
+    }
+
+    #[test]
+    fn unreachable() {
+        let g = MultiDigraph::from_arcs(3, vec![Arc::new(0, 1, 1)]);
+        let t = dijkstra(&g, 0);
+        assert_eq!(t.dist[2], INF);
+        assert!(t.path_to(&g, 2).is_none());
+    }
+
+    #[test]
+    fn directionality_respected() {
+        let g = MultiDigraph::from_arcs(2, vec![Arc::new(0, 1, 4)]);
+        assert_eq!(dijkstra(&g, 1).dist[0], INF);
+        assert_eq!(dijkstra_to(&g, 1), vec![4, 0]);
+        assert_eq!(dijkstra_to(&g, 0), vec![0, INF]);
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let g = MultiDigraph::from_arcs(3, vec![Arc::new(0, 1, 0), Arc::new(1, 2, 0)]);
+        assert_eq!(dijkstra(&g, 0).dist, vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Centralized minimum X–Y vertex cut (Menger / max-flow with unit vertex
+//! capacities) — the oracle for the distributed MVC task.
+
+use crate::ugraph::UGraph;
+use std::collections::VecDeque;
+
+/// Minimum vertex cut separating `xs` from `ys` inside the subgraph induced
+/// by `members` (`None` = whole graph), if its size is ≤ `t`.
+///
+/// Returns `None` when the minimum exceeds `t` — including the ∞ cases
+/// (X ∩ Y ≠ ∅ or an X–Y edge). The cut never contains X ∪ Y vertices.
+pub fn min_vertex_cut(
+    g: &UGraph,
+    members: Option<&[u32]>,
+    xs: &[u32],
+    ys: &[u32],
+    t: usize,
+) -> Option<Vec<u32>> {
+    let n = g.n();
+    let in_members = |v: u32| -> bool {
+        members.map_or(true, |m| m.binary_search(&v).is_ok())
+    };
+    debug_assert!(members.is_none_or(|m| m.windows(2).all(|w| w[0] < w[1])));
+    let mut is_x = vec![false; n];
+    let mut is_y = vec![false; n];
+    for &x in xs {
+        is_x[x as usize] = true;
+    }
+    for &y in ys {
+        is_y[y as usize] = true;
+        if is_x[y as usize] {
+            return None; // overlap ⇒ ∞
+        }
+    }
+
+    // Split nodes: in = 2v, out = 2v+1. Internal cap 1 (∞ for X/Y), edge
+    // arcs ∞. Net-flow bookkeeping on edges; boolean on internal arcs.
+    let mut internal_flow = vec![false; n];
+    let mut edge_flow: std::collections::HashMap<(u32, u32), i32> = std::collections::HashMap::new();
+    let nf = |ef: &std::collections::HashMap<(u32, u32), i32>, v: u32, w: u32| -> i32 {
+        *ef.get(&(v, w)).unwrap_or(&0)
+    };
+
+    let mut flow = 0usize;
+    loop {
+        // BFS over the residual split graph.
+        let mut par_in: Vec<i64> = vec![-2; n]; // -2 unvisited, -1 start, w = FwdEdge, -3 FromOut
+        let mut par_out: Vec<i64> = vec![-2; n]; // -2 unvisited, -1 start, w = RevEdge, -3 FromIn
+        let mut q = VecDeque::new();
+        for &x in xs {
+            if !in_members(x) {
+                continue;
+            }
+            par_out[x as usize] = -1;
+            par_in[x as usize] = -1;
+            q.push_back(2 * x + 1); // x_out
+            q.push_back(2 * x);
+        }
+        let mut reached_sink: Option<u32> = None;
+        while let Some(node) = q.pop_front() {
+            let v = node / 2;
+            let is_out = node % 2 == 1;
+            if is_out {
+                // v_out → w_in (∞ forward arcs).
+                for &w in g.neighbors(v) {
+                    if in_members(w) && par_in[w as usize] == -2 {
+                        par_in[w as usize] = v as i64;
+                        if is_y[w as usize] {
+                            reached_sink = Some(w);
+                            break;
+                        }
+                        q.push_back(2 * w);
+                    }
+                }
+                if reached_sink.is_some() {
+                    break;
+                }
+                // v_out → v_in (internal reverse) iff flow present or ∞ cap.
+                let free = is_x[v as usize] || is_y[v as usize] || internal_flow[v as usize];
+                if free && par_in[v as usize] == -2 {
+                    par_in[v as usize] = -3;
+                    if is_y[v as usize] {
+                        reached_sink = Some(v);
+                        break;
+                    }
+                    q.push_back(2 * v);
+                }
+            } else {
+                // v_in → v_out (internal forward) iff no flow or ∞ cap.
+                let free =
+                    is_x[v as usize] || is_y[v as usize] || !internal_flow[v as usize];
+                if free && par_out[v as usize] == -2 {
+                    par_out[v as usize] = -3;
+                    q.push_back(2 * v + 1);
+                }
+                // v_in → w_out (residual reverse) iff net flow w→v positive.
+                for &w in g.neighbors(v) {
+                    if in_members(w) && nf(&edge_flow, v, w) < 0 && par_out[w as usize] == -2 {
+                        par_out[w as usize] = v as i64;
+                        q.push_back(2 * w + 1);
+                    }
+                }
+            }
+        }
+
+        let Some(sink) = reached_sink else {
+            // No augmenting path: extract the cut from reachability.
+            let mut cut = Vec::new();
+            for v in 0..n as u32 {
+                if par_in[v as usize] != -2
+                    && par_out[v as usize] == -2
+                    && !is_x[v as usize]
+                    && !is_y[v as usize]
+                {
+                    cut.push(v);
+                }
+            }
+            debug_assert_eq!(cut.len(), flow);
+            return Some(cut);
+        };
+
+        flow += 1;
+        if flow > t {
+            return None;
+        }
+        // Backtrace from sink_in, flipping residual arcs.
+        let mut v = sink;
+        let mut side_in = true;
+        loop {
+            if side_in {
+                match par_in[v as usize] {
+                    -1 => break,
+                    -3 => {
+                        if !is_x[v as usize] && !is_y[v as usize] {
+                            internal_flow[v as usize] = false;
+                        }
+                        side_in = false;
+                    }
+                    w => {
+                        let w = w as u32;
+                        *edge_flow.entry((v, w)).or_insert(0) -= 1;
+                        *edge_flow.entry((w, v)).or_insert(0) += 1;
+                        v = w;
+                        side_in = false;
+                    }
+                }
+            } else {
+                match par_out[v as usize] {
+                    -1 => break,
+                    -3 => {
+                        if !is_x[v as usize] && !is_y[v as usize] {
+                            internal_flow[v as usize] = true;
+                        }
+                        side_in = true;
+                    }
+                    w => {
+                        let w = w as u32;
+                        *edge_flow.entry((v, w)).or_insert(0) -= 1;
+                        *edge_flow.entry((w, v)).or_insert(0) += 1;
+                        v = w;
+                        side_in = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::components;
+    use crate::gen::{cycle, grid, path};
+
+    fn separates(g: &UGraph, cut: &[u32], xs: &[u32], ys: &[u32]) -> bool {
+        let keep: Vec<bool> = (0..g.n() as u32).map(|v| !cut.contains(&v)).collect();
+        let (h, old_of) = g.induced(&keep);
+        let (comp, _) = components(&h);
+        let comp_of = |v: u32| comp[old_of.iter().position(|&o| o == v).unwrap()];
+        xs.iter().all(|&x| ys.iter().all(|&y| comp_of(x) != comp_of(y)))
+    }
+
+    #[test]
+    fn path_needs_one() {
+        let g = path(7);
+        let cut = min_vertex_cut(&g, None, &[0], &[6], 3).unwrap();
+        assert_eq!(cut.len(), 1);
+        assert!(separates(&g, &cut, &[0], &[6]));
+    }
+
+    #[test]
+    fn cycle_needs_two() {
+        let g = cycle(8);
+        let cut = min_vertex_cut(&g, None, &[0], &[4], 3).unwrap();
+        assert_eq!(cut.len(), 2);
+        assert!(separates(&g, &cut, &[0], &[4]));
+    }
+
+    #[test]
+    fn grid_columns() {
+        let g = grid(3, 5);
+        let cut = min_vertex_cut(&g, None, &[0, 5, 10], &[4, 9, 14], 4).unwrap();
+        assert_eq!(cut.len(), 3);
+        assert!(separates(&g, &cut, &[0, 5, 10], &[4, 9, 14]));
+    }
+
+    #[test]
+    fn infinite_cases() {
+        let g = path(3);
+        assert!(min_vertex_cut(&g, None, &[0], &[1], 5).is_none()); // adjacent
+        assert!(min_vertex_cut(&g, None, &[0, 1], &[1, 2], 5).is_none()); // overlap
+    }
+
+    #[test]
+    fn budget_respected() {
+        let g = cycle(8);
+        assert!(min_vertex_cut(&g, None, &[0], &[4], 1).is_none());
+    }
+
+    #[test]
+    fn members_restriction() {
+        let g = cycle(6);
+        let half = [0u32, 1, 2, 3];
+        let cut = min_vertex_cut(&g, Some(&half), &[0], &[3], 3).unwrap();
+        assert_eq!(cut.len(), 1);
+    }
+
+    #[test]
+    fn already_disconnected() {
+        let g = UGraph::from_edges(4, [(0, 1), (2, 3)]);
+        let cut = min_vertex_cut(&g, None, &[0], &[3], 3).unwrap();
+        assert!(cut.is_empty());
+    }
+}

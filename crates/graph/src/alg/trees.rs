@@ -1,0 +1,223 @@
+//! Rooted spanning trees, subtree measures, and centroids.
+//!
+//! The `Split` procedure of the paper's separator algorithm (§3.3, Fig. 1)
+//! operates on rooted spanning trees: it repeatedly finds the *center*
+//! (measure-centroid) of a tree and carves off subtrees by size. These are
+//! the centralized building blocks; the distributed counterparts live in
+//! `subgraph-ops` (RST / STA / SLE tasks of Lemma 8).
+
+use crate::ugraph::UGraph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A rooted tree over (a subset of) a graph's vertices, stored as parent
+/// pointers. Vertices outside the tree have `parent[v] == u32::MAX`;
+/// the root points to itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootedTree {
+    /// Parent pointer per vertex (self for root, `u32::MAX` for non-members).
+    pub parent: Vec<u32>,
+    /// The root vertex.
+    pub root: u32,
+}
+
+impl RootedTree {
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        self.parent[v as usize] != u32::MAX
+    }
+
+    /// The member vertices, in index order.
+    pub fn members(&self) -> Vec<u32> {
+        (0..self.parent.len() as u32).filter(|&v| self.contains(v)).collect()
+    }
+
+    /// Children lists (only meaningful for member vertices).
+    pub fn children(&self) -> Vec<Vec<u32>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for v in 0..self.parent.len() as u32 {
+            if self.contains(v) && v != self.root {
+                ch[self.parent[v as usize] as usize].push(v);
+            }
+        }
+        ch
+    }
+
+    /// Re-root the tree at `new_root` (must be a member): reverses parent
+    /// pointers along the root path. Used by `Split` after the center of a
+    /// subtree is located (§3.3: "Now we regard c as the root of T").
+    pub fn reroot(&mut self, new_root: u32) {
+        assert!(self.contains(new_root), "new root not in tree");
+        let mut path = vec![new_root];
+        let mut cur = new_root;
+        while self.parent[cur as usize] != cur {
+            cur = self.parent[cur as usize];
+            path.push(cur);
+        }
+        for w in path.windows(2) {
+            self.parent[w[1] as usize] = w[0];
+        }
+        self.parent[new_root as usize] = new_root;
+        self.root = new_root;
+    }
+
+    /// Vertices in a bottom-up order (every vertex after all of its
+    /// children... actually before its parent), computed by a DFS.
+    pub fn bottom_up_order(&self) -> Vec<u32> {
+        let ch = self.children();
+        let mut order = Vec::new();
+        let mut stack = vec![(self.root, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                order.push(v);
+            } else {
+                stack.push((v, true));
+                for &c in &ch[v as usize] {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Measure of each subtree: `sizes[v] = Σ_{u ∈ T(v)} mu[u]` for members,
+/// 0 for non-members. `mu` is the paper's µ_X vertex measure.
+pub fn subtree_sizes(t: &RootedTree, mu: &[u64]) -> Vec<u64> {
+    let mut sizes = vec![0u64; t.parent.len()];
+    for v in t.bottom_up_order() {
+        sizes[v as usize] += mu[v as usize];
+        let p = t.parent[v as usize];
+        if p != v {
+            sizes[p as usize] += sizes[v as usize];
+        }
+    }
+    sizes
+}
+
+/// Measure-centroid of a rooted tree: a vertex `c` such that every component
+/// of `T − c` has measure ≤ µ(T)/2 (equivalently: every child subtree of `c`
+/// and the complement have measure ≤ µ(T)/2). Always exists; ties broken by
+/// smallest vertex id so the result is deterministic.
+pub fn centroid(t: &RootedTree, mu: &[u64]) -> u32 {
+    let sizes = subtree_sizes(t, mu);
+    let total = sizes[t.root as usize];
+    let ch = t.children();
+    let mut best = None;
+    for v in t.members() {
+        let mut max_piece = total - sizes[v as usize]; // the "above" part
+        for &c in &ch[v as usize] {
+            max_piece = max_piece.max(sizes[c as usize]);
+        }
+        if 2 * max_piece <= total {
+            match best {
+                None => best = Some(v),
+                Some(b) if v < b => best = Some(v),
+                _ => {}
+            }
+        }
+    }
+    best.expect("every nonempty tree has a centroid")
+}
+
+/// A uniformly random spanning tree would be overkill; this builds a random
+/// DFS spanning tree of the component containing `root` (random neighbour
+/// order), which is what the distributed RST task produces up to tie-breaks.
+pub fn random_spanning_tree(g: &UGraph, root: u32, rng: &mut impl Rng) -> RootedTree {
+    let mut parent = vec![u32::MAX; g.n()];
+    parent[root as usize] = root;
+    let mut stack = vec![root];
+    let mut scratch: Vec<u32> = Vec::new();
+    while let Some(u) = stack.pop() {
+        scratch.clear();
+        scratch.extend_from_slice(g.neighbors(u));
+        scratch.shuffle(rng);
+        for &v in &scratch {
+            if parent[v as usize] == u32::MAX {
+                parent[v as usize] = u;
+                stack.push(v);
+            }
+        }
+    }
+    RootedTree { parent, root }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UGraph;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn path_tree(n: usize) -> RootedTree {
+        // 0 <- 1 <- 2 <- ... rooted at 0
+        let mut parent: Vec<u32> = (0..n as u32).map(|v| v.saturating_sub(1)).collect();
+        parent[0] = 0;
+        RootedTree { parent, root: 0 }
+    }
+
+    #[test]
+    fn subtree_sizes_path() {
+        let t = path_tree(4);
+        let s = subtree_sizes(&t, &[1; 4]);
+        assert_eq!(s, vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn centroid_of_path() {
+        let t = path_tree(5);
+        let c = centroid(&t, &[1; 5]);
+        assert_eq!(c, 2);
+    }
+
+    #[test]
+    fn centroid_weighted() {
+        let t = path_tree(5);
+        // All mass on vertex 4 → 4 is the centroid.
+        let c = centroid(&t, &[0, 0, 0, 0, 100]);
+        assert_eq!(c, 4);
+    }
+
+    #[test]
+    fn reroot_preserves_members() {
+        let mut t = path_tree(5);
+        t.reroot(4);
+        assert_eq!(t.root, 4);
+        assert_eq!(t.parent[4], 4);
+        assert_eq!(t.parent[0], 1);
+        let s = subtree_sizes(&t, &[1; 5]);
+        assert_eq!(s[4], 5);
+        assert_eq!(s[0], 1);
+    }
+
+    #[test]
+    fn spanning_tree_spans_component() {
+        let g = UGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5)]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let t = random_spanning_tree(&g, 0, &mut rng);
+        for v in 0..4u32 {
+            assert!(t.contains(v));
+        }
+        assert!(!t.contains(4) && !t.contains(5));
+        // Tree edges must be graph edges.
+        for v in t.members() {
+            let p = t.parent[v as usize];
+            if p != v {
+                assert!(g.has_edge(v, p));
+            }
+        }
+    }
+
+    #[test]
+    fn bottom_up_order_children_first() {
+        let t = path_tree(4);
+        let order = t.bottom_up_order();
+        let pos: Vec<usize> = (0..4u32)
+            .map(|v| order.iter().position(|&x| x == v).unwrap())
+            .collect();
+        for v in 1..4usize {
+            assert!(pos[v] < pos[v - 1], "child must precede parent");
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! The graph families themselves.
+
+use crate::ugraph::{UGraph, UGraphBuilder};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Path on `n` vertices (treewidth 1, diameter n−1).
+pub fn path(n: usize) -> UGraph {
+    assert!(n >= 1);
+    UGraph::from_edges(n, (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)))
+}
+
+/// Cycle on `n ≥ 3` vertices (treewidth 2, diameter ⌊n/2⌋).
+pub fn cycle(n: usize) -> UGraph {
+    assert!(n >= 3);
+    UGraph::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
+}
+
+/// `rows × cols` grid (treewidth min(rows, cols), diameter rows+cols−2).
+pub fn grid(rows: usize, cols: usize) -> UGraph {
+    assert!(rows >= 1 && cols >= 1);
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = UGraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `k`-banded path: vertices 0..n, edge {i, j} iff |i−j| ≤ k.
+/// Treewidth exactly k (for n ≥ k+1), diameter ⌈(n−1)/k⌉ — the family the
+/// D-scaling experiments use, since D = Θ(n/k) can be made large at fixed τ.
+pub fn banded_path(n: usize, k: usize) -> UGraph {
+    assert!(k >= 1);
+    let mut b = UGraphBuilder::new(n);
+    for i in 0..n {
+        for j in i + 1..(i + k + 1).min(n) {
+            b.add_edge(i as u32, j as u32);
+        }
+    }
+    b.build()
+}
+
+/// Random `k`-tree on `n ≥ k+1` vertices: start from a (k+1)-clique and
+/// attach each new vertex to a uniformly random existing k-clique.
+/// Treewidth is exactly k (for n ≥ k+2); diameter is typically Θ(log n).
+pub fn ktree(n: usize, k: usize, seed: u64) -> UGraph {
+    assert!(n >= k + 1, "ktree needs n ≥ k+1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = UGraphBuilder::new(n);
+    // Seed clique.
+    for i in 0..=k {
+        for j in i + 1..=k {
+            b.add_edge(i as u32, j as u32);
+        }
+    }
+    // All k-subsets of the seed clique are attachment cliques.
+    let mut cliques: Vec<Vec<u32>> = Vec::new();
+    let seed_vertices: Vec<u32> = (0..=k as u32).collect();
+    for skip in 0..=k {
+        let mut c = seed_vertices.clone();
+        c.remove(skip);
+        cliques.push(c);
+    }
+    for v in (k + 1)..n {
+        let attach = cliques[rng.gen_range(0..cliques.len())].clone();
+        for &u in &attach {
+            b.add_edge(v as u32, u);
+        }
+        // New k-cliques: v plus each (k−1)-subset of `attach`.
+        for skip in 0..attach.len() {
+            let mut c = attach.clone();
+            c[skip] = v as u32;
+            c.sort_unstable();
+            cliques.push(c);
+        }
+    }
+    b.build()
+}
+
+/// Random connected partial `k`-tree: a [`ktree`] with each non-backbone
+/// edge kept independently with probability `keep_prob`. The attachment
+/// backbone (one edge per added vertex, plus a seed-clique spanning path)
+/// is always kept, so the result is connected. Treewidth ≤ k.
+pub fn partial_ktree(n: usize, k: usize, keep_prob: f64, seed: u64) -> UGraph {
+    assert!((0.0..=1.0).contains(&keep_prob));
+    assert!(n >= k + 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = UGraphBuilder::new(n);
+    for i in 0..k {
+        b.add_edge(i as u32, i as u32 + 1); // spanning path through the seed clique
+    }
+    for i in 0..=k {
+        for j in i + 1..=k {
+            if j != i + 1 && rng.gen_bool(keep_prob) {
+                b.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    let mut cliques: Vec<Vec<u32>> = Vec::new();
+    let seed_vertices: Vec<u32> = (0..=k as u32).collect();
+    for skip in 0..=k {
+        let mut c = seed_vertices.clone();
+        c.remove(skip);
+        cliques.push(c);
+    }
+    for v in (k + 1)..n {
+        let attach = cliques[rng.gen_range(0..cliques.len())].clone();
+        // Keep one backbone edge unconditionally for connectivity.
+        let backbone = *attach.choose(&mut rng).unwrap();
+        b.add_edge(v as u32, backbone);
+        for &u in &attach {
+            if u != backbone && rng.gen_bool(keep_prob) {
+                b.add_edge(v as u32, u);
+            }
+        }
+        for skip in 0..attach.len() {
+            let mut c = attach.clone();
+            c[skip] = v as u32;
+            c.sort_unstable();
+            cliques.push(c);
+        }
+    }
+    b.build()
+}
+
+/// Uniform random recursive tree on `n` vertices (treewidth 1).
+pub fn random_tree(n: usize, seed: u64) -> UGraph {
+    assert!(n >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = UGraphBuilder::new(n);
+    for v in 1..n {
+        let p = rng.gen_range(0..v);
+        b.add_edge(v as u32, p as u32);
+    }
+    b.build()
+}
+
+/// Erdős–Rényi G(n, p) — the *un*structured control family (treewidth is
+/// typically Θ(n) once p ≫ 1/n).
+pub fn gnp(n: usize, p: f64, seed: u64) -> UGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = UGraphBuilder::new(n);
+    for i in 0..n as u32 {
+        for j in i + 1..n as u32 {
+            if rng.gen_bool(p) {
+                b.add_edge(i, j);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The [ACK16]-flavoured bit-gadget family: constant diameter, logarithmic
+/// treewidth (paper §1.2 uses such instances to separate girth from
+/// diameter). Layout with `m = 2^bits` pair vertices per side:
+///
+/// * `a_0..a_{m-1}` and `b_0..b_{m-1}` — the two "word" sides;
+/// * bit vertices `x_j` / `x̄_j` for each bit position `j`;
+/// * one hub `c` adjacent to every bit vertex.
+///
+/// `a_i` (resp. `b_i`) connects to `x_j` if bit `j` of `i` is set, else to
+/// `x̄_j`. Removing the `2·bits + 1` bit/hub vertices isolates everything, so
+/// treewidth ≤ 2·bits + 1, while the diameter is ≤ 4.
+pub fn bit_gadget(bits: usize) -> UGraph {
+    assert!(bits >= 1 && bits < 20);
+    let m = 1usize << bits;
+    let a0 = 0u32;
+    let b0 = m as u32;
+    let x0 = 2 * m as u32; // x_j at x0 + 2j, x̄_j at x0 + 2j + 1
+    let hub = x0 + 2 * bits as u32;
+    let n = hub as usize + 1;
+    let mut b = UGraphBuilder::new(n);
+    for j in 0..bits as u32 {
+        b.add_edge(hub, x0 + 2 * j);
+        b.add_edge(hub, x0 + 2 * j + 1);
+    }
+    for i in 0..m {
+        for j in 0..bits {
+            let bitv = if (i >> j) & 1 == 1 {
+                x0 + 2 * j as u32
+            } else {
+                x0 + 2 * j as u32 + 1
+            };
+            b.add_edge(a0 + i as u32, bitv);
+            b.add_edge(b0 + i as u32, bitv);
+        }
+    }
+    b.build()
+}
+
+/// Random bipartite graph with banded structure: left vertices `0..nl`,
+/// right vertices `nl..nl+nr`; left `i` may connect to right `j` only when
+/// `|i·nr/nl − j| ≤ band`, each allowed edge kept with probability `p`, and
+/// a deterministic backbone keeps the graph connected. Low treewidth
+/// (≤ 2·band + 2) because it embeds in a banded path.
+///
+/// Returns the graph and the side assignment (`true` = left).
+pub fn bipartite_banded(
+    nl: usize,
+    nr: usize,
+    band: usize,
+    p: f64,
+    seed: u64,
+) -> (UGraph, Vec<bool>) {
+    assert!(nl >= 1 && nr >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = nl + nr;
+    let mut b = UGraphBuilder::new(n);
+    let right = |j: usize| (nl + j) as u32;
+    for i in 0..nl {
+        let center = (i * nr / nl).min(nr - 1);
+        let lo = center.saturating_sub(band);
+        let hi = (center + band).min(nr - 1);
+        // Zigzag backbone keeps the whole graph connected: left i and
+        // left i+1 share the right vertex at i's center.
+        b.add_edge(i as u32, right(center));
+        if i + 1 < nl {
+            b.add_edge((i + 1) as u32, right(center));
+        }
+        for j in lo..=hi {
+            if rng.gen_bool(p) {
+                b.add_edge(i as u32, right(j));
+            }
+        }
+    }
+    // Attach any right vertex that ended up isolated.
+    let g0 = b.clone().build();
+    for j in 0..nr {
+        if g0.degree(right(j)) == 0 {
+            let i = (j * nl / nr).min(nl - 1);
+            b.add_edge(i as u32, right(j));
+        }
+    }
+    let mut side = vec![false; n];
+    for s in side.iter_mut().take(nl) {
+        *s = true;
+    }
+    (b.build(), side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{diameter_exact, is_connected};
+    use crate::tw::{elimination_width, min_degree_order};
+
+    #[test]
+    fn banded_path_params() {
+        let g = banded_path(20, 3);
+        assert!(is_connected(&g));
+        assert_eq!(elimination_width(&g, &min_degree_order(&g)), 3);
+        assert_eq!(diameter_exact(&g), (20 - 1 + 2) / 3); // ⌈19/3⌉ = 7
+    }
+
+    #[test]
+    fn ktree_width_is_k() {
+        for k in 1..=4 {
+            let g = ktree(40, k, 11 + k as u64);
+            assert!(is_connected(&g));
+            let w = elimination_width(&g, &min_degree_order(&g));
+            assert_eq!(w, k, "k-tree width must equal k (k = {k})");
+        }
+    }
+
+    #[test]
+    fn partial_ktree_connected_and_bounded() {
+        for seed in 0..5 {
+            let g = partial_ktree(60, 3, 0.6, seed);
+            assert!(is_connected(&g), "seed {seed}");
+            let w = elimination_width(&g, &min_degree_order(&g));
+            assert!(w <= 3, "width {w} exceeds k");
+        }
+    }
+
+    #[test]
+    fn grid_properties() {
+        let g = grid(3, 5);
+        assert_eq!(g.n(), 15);
+        assert!(is_connected(&g));
+        assert_eq!(diameter_exact(&g), 6);
+        let w = elimination_width(&g, &min_degree_order(&g));
+        assert!((3..=4).contains(&w));
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let g = random_tree(50, 3);
+        assert!(is_connected(&g));
+        assert_eq!(g.m(), 49);
+        assert_eq!(elimination_width(&g, &min_degree_order(&g)), 1);
+    }
+
+    #[test]
+    fn bit_gadget_shape() {
+        let bits = 4;
+        let g = bit_gadget(bits);
+        assert!(is_connected(&g));
+        assert!(diameter_exact(&g) <= 4);
+        // Width bounded by 2·bits + 1 (delete bit vertices + hub).
+        let w = elimination_width(&g, &min_degree_order(&g));
+        assert!(w <= 2 * bits + 1, "width {w}");
+        // and n is exponential in bits: separation family's point.
+        assert_eq!(g.n(), 2 * (1 << bits) + 2 * bits + 1);
+    }
+
+    #[test]
+    fn bipartite_banded_is_bipartite() {
+        let (g, side) = bipartite_banded(30, 30, 2, 0.5, 9);
+        assert!(is_connected(&g));
+        for (u, v) in g.edges() {
+            assert_ne!(side[u as usize], side[v as usize], "edge within one side");
+        }
+    }
+
+    #[test]
+    fn cycle_and_path_degenerate_sizes() {
+        assert_eq!(path(1).n(), 1);
+        assert_eq!(cycle(3).m(), 3);
+    }
+
+    #[test]
+    fn gnp_determinism() {
+        assert_eq!(gnp(20, 0.2, 5), gnp(20, 0.2, 5));
+    }
+}

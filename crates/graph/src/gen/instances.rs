@@ -1,0 +1,123 @@
+//! Decorators turning bare communication graphs into problem instances.
+
+use crate::multidigraph::MultiDigraph;
+use crate::ugraph::UGraph;
+use crate::Dist;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Undirected weighted instance: every edge of `g` gets an independent
+/// uniform weight in `[1, wmax]` (twin arcs share the weight).
+pub fn with_random_weights(g: &UGraph, wmax: Dist, seed: u64) -> MultiDigraph {
+    assert!(wmax >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    MultiDigraph::from_undirected(
+        g.n(),
+        g.edges().map(|(u, v)| (u, v, rng.gen_range(1..=wmax))),
+    )
+}
+
+/// Undirected unit-weight instance.
+pub fn with_unit_weights(g: &UGraph) -> MultiDigraph {
+    MultiDigraph::from_undirected(g.n(), g.edges().map(|(u, v)| (u, v, 1)))
+}
+
+/// Directed weighted instance over the topology of `g`: each undirected edge
+/// independently becomes a forward arc, a backward arc, or both (probability
+/// `both_prob` for both, else a fair coin for the direction), with uniform
+/// weights in `[1, wmax]`. The communication graph of the result is `g`
+/// itself — exactly the paper's setting where orientation does not affect
+/// communication (§2.1).
+pub fn random_orientation(g: &UGraph, wmax: Dist, both_prob: f64, seed: u64) -> MultiDigraph {
+    assert!(wmax >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut arcs = Vec::new();
+    for (u, v) in g.edges() {
+        let w = rng.gen_range(1..=wmax);
+        if rng.gen_bool(both_prob) {
+            arcs.push(crate::Arc::new(u, v, w));
+            arcs.push(crate::Arc::new(v, u, rng.gen_range(1..=wmax)));
+        } else if rng.gen_bool(0.5) {
+            arcs.push(crate::Arc::new(u, v, w));
+        } else {
+            arcs.push(crate::Arc::new(v, u, w));
+        }
+    }
+    MultiDigraph::from_arcs(g.n(), arcs)
+}
+
+/// A bipartite matching instance: unweighted undirected graph plus the side
+/// assignment (`true` = left).
+#[derive(Clone, Debug)]
+pub struct BipartiteInstance {
+    /// The (simple, undirected) graph.
+    pub graph: UGraph,
+    /// `side[v] == true` iff `v` is a left vertex.
+    pub side: Vec<bool>,
+}
+
+impl BipartiteInstance {
+    /// Build from parts produced by [`crate::gen::bipartite_banded`].
+    pub fn new(graph: UGraph, side: Vec<bool>) -> Self {
+        assert_eq!(graph.n(), side.len());
+        debug_assert!(
+            graph
+                .edges()
+                .all(|(u, v)| side[u as usize] != side[v as usize]),
+            "instance is not bipartite"
+        );
+        BipartiteInstance { graph, side }
+    }
+
+    /// Number of left vertices.
+    pub fn n_left(&self) -> usize {
+        self.side.iter().filter(|&&s| s).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{bipartite_banded, cycle};
+
+    #[test]
+    fn weights_in_range_and_twinned() {
+        let g = cycle(10);
+        let inst = with_random_weights(&g, 9, 4);
+        assert_eq!(inst.n_arcs(), 20);
+        for a in inst.arcs() {
+            assert!((1..=9).contains(&a.weight));
+        }
+        // Twin arcs (same uedge) share weights.
+        for e in 0..inst.n_uedges() as u32 {
+            let twins: Vec<_> = inst
+                .arcs()
+                .iter()
+                .filter(|a| a.uedge.0 == e)
+                .collect();
+            assert_eq!(twins.len(), 2);
+            assert_eq!(twins[0].weight, twins[1].weight);
+        }
+    }
+
+    #[test]
+    fn orientation_preserves_comm_graph() {
+        let g = cycle(12);
+        let inst = random_orientation(&g, 5, 0.3, 99);
+        assert_eq!(inst.comm_graph(), g);
+    }
+
+    #[test]
+    fn unit_weights() {
+        let g = cycle(5);
+        let inst = with_unit_weights(&g);
+        assert!(inst.arcs().iter().all(|a| a.weight == 1));
+    }
+
+    #[test]
+    fn bipartite_instance_counts() {
+        let (g, side) = bipartite_banded(8, 6, 2, 0.7, 1);
+        let inst = BipartiteInstance::new(g, side);
+        assert_eq!(inst.n_left(), 8);
+    }
+}

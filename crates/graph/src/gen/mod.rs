@@ -1,0 +1,26 @@
+//! Synthetic graph families with controlled treewidth / diameter, and
+//! instance decorators (weights, orientations, bipartite structure).
+//!
+//! Every experiment in `EXPERIMENTS.md` draws its workloads from here. The
+//! families are chosen so that (τ, D, n) can be swept independently:
+//!
+//! | family | treewidth | diameter |
+//! |--------|-----------|----------|
+//! | [`ktree`] / [`partial_ktree`] | = k / ≤ k | Θ(log n) typically |
+//! | [`banded_path`] | = k | Θ(n/k) — the D-scaling family |
+//! | [`grid`] | = min(rows, cols) | rows + cols − 2 |
+//! | [`cycle`] | 2 | ⌊n/2⌋ |
+//! | [`random_tree`] | 1 | varies |
+//! | [`bit_gadget`] | O(log n) | ≤ 4 — the girth/diameter separation family |
+//! | [`bipartite_banded`] | ≤ 2·band+1 | Θ(n/band) |
+
+mod families;
+mod instances;
+
+pub use families::{
+    banded_path, bipartite_banded, bit_gadget, cycle, gnp, grid, ktree, partial_ktree, path,
+    random_tree,
+};
+pub use instances::{
+    random_orientation, with_random_weights, with_unit_weights, BipartiteInstance,
+};

@@ -1,0 +1,107 @@
+//! Index newtypes.
+//!
+//! All graphs in the workspace index nodes, arcs and undirected edges with
+//! `u32` (sufficient for laptop-scale simulation and half the memory of
+//! `usize` on 64-bit targets — see the type-size guidance in the perf book).
+//! The newtypes prevent accidental cross-indexing between the three spaces.
+
+use std::fmt;
+
+/// A vertex index, valid for the graph it was issued by.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// A directed arc index into a [`crate::MultiDigraph`]'s arc table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArcId(pub u32);
+
+/// An undirected edge identity. Arcs that arose from the same undirected
+/// edge of an input instance share one `UEdgeId` (needed e.g. to flip a
+/// matching edge consistently, or to give both directions one random label).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UEdgeId(pub u32);
+
+impl NodeId {
+    /// Convert to a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ArcId {
+    /// Convert to a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl UEdgeId {
+    /// Sentinel for "this arc has no undirected counterpart".
+    pub const NONE: UEdgeId = UEdgeId(u32::MAX);
+
+    /// Convert to a `usize` index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this id refers to a real undirected edge.
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self.0 != u32::MAX
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Debug for UEdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_some() {
+            write!(f, "e{}", self.0)
+        } else {
+            write!(f, "e-")
+        }
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u32::try_from(v).expect("node index exceeds u32"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uedge_sentinel() {
+        assert!(!UEdgeId::NONE.is_some());
+        assert!(UEdgeId(0).is_some());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", NodeId(3)), "v3");
+        assert_eq!(format!("{:?}", ArcId(7)), "a7");
+        assert_eq!(format!("{:?}", UEdgeId::NONE), "e-");
+    }
+}

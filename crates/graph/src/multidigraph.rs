@@ -1,0 +1,345 @@
+//! Directed, weighted, labeled multigraphs — the problem instances.
+//!
+//! The paper (§2.1, §5.1) works with multigraphs `G = (V, E, γ)` where `γ`
+//! maps each edge to an ordered pair of endpoints. [`MultiDigraph`] stores
+//! arcs explicitly in a table (so parallel arcs and the γ map are first
+//! class), with CSR-style out/in adjacency over *arc ids*.
+//!
+//! Arcs carry a weight (`u64`, see [`crate::Dist`]) and a small integer
+//! `label` used by the stateful-walk constraints (edge colors for
+//! [`Ccol`](https://example.invalid) walks, 0/1 marks for count walks, …).
+//! Arcs derived from an undirected input edge share a [`UEdgeId`].
+
+use crate::ugraph::{UGraph, UGraphBuilder};
+use crate::{ArcId, Dist, UEdgeId};
+
+/// One directed arc of a [`MultiDigraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arc {
+    /// Tail vertex (γ(e)[0]).
+    pub src: u32,
+    /// Head vertex (γ(e)[1]).
+    pub dst: u32,
+    /// Non-negative weight.
+    pub weight: Dist,
+    /// Small label consumed by walk constraints (color, 0/1 mark, …).
+    pub label: u32,
+    /// Undirected-edge identity shared by a twin arc, or [`UEdgeId::NONE`].
+    pub uedge: UEdgeId,
+}
+
+impl Arc {
+    /// A plain arc with label 0 and no undirected identity.
+    pub fn new(src: u32, dst: u32, weight: Dist) -> Self {
+        Arc {
+            src,
+            dst,
+            weight,
+            label: 0,
+            uedge: UEdgeId::NONE,
+        }
+    }
+}
+
+/// A directed weighted labeled multigraph with explicit arc identities.
+#[derive(Clone, Debug)]
+pub struct MultiDigraph {
+    n: u32,
+    arcs: Vec<Arc>,
+    out_off: Vec<u32>,
+    out_arcs: Vec<u32>,
+    in_off: Vec<u32>,
+    in_arcs: Vec<u32>,
+    /// Number of distinct undirected edges referenced by `uedge` fields.
+    n_uedges: u32,
+}
+
+impl MultiDigraph {
+    /// Build from an arc table.
+    pub fn from_arcs(n: usize, arcs: Vec<Arc>) -> Self {
+        let mut n_uedges = 0u32;
+        for a in &arcs {
+            assert!(
+                (a.src as usize) < n && (a.dst as usize) < n,
+                "arc ({},{}) out of range for n={n}",
+                a.src,
+                a.dst
+            );
+            if a.uedge.is_some() {
+                n_uedges = n_uedges.max(a.uedge.0 + 1);
+            }
+        }
+        let mut out_deg = vec![0u32; n];
+        let mut in_deg = vec![0u32; n];
+        for a in &arcs {
+            out_deg[a.src as usize] += 1;
+            in_deg[a.dst as usize] += 1;
+        }
+        let prefix = |deg: &[u32]| {
+            let mut off = vec![0u32; n + 1];
+            for v in 0..n {
+                off[v + 1] = off[v] + deg[v];
+            }
+            off
+        };
+        let out_off = prefix(&out_deg);
+        let in_off = prefix(&in_deg);
+        let mut out_cursor = out_off.clone();
+        let mut in_cursor = in_off.clone();
+        let mut out_arcs = vec![0u32; arcs.len()];
+        let mut in_arcs = vec![0u32; arcs.len()];
+        for (i, a) in arcs.iter().enumerate() {
+            out_arcs[out_cursor[a.src as usize] as usize] = i as u32;
+            out_cursor[a.src as usize] += 1;
+            in_arcs[in_cursor[a.dst as usize] as usize] = i as u32;
+            in_cursor[a.dst as usize] += 1;
+        }
+        MultiDigraph {
+            n: n as u32,
+            arcs,
+            out_off,
+            out_arcs,
+            in_off,
+            in_arcs,
+            n_uedges,
+        }
+    }
+
+    /// Interpret an undirected weighted edge list: every edge `{u, v}` becomes
+    /// a twin pair of arcs sharing a fresh [`UEdgeId`] and the given label.
+    pub fn from_undirected(
+        n: usize,
+        edges: impl IntoIterator<Item = (u32, u32, Dist)>,
+    ) -> Self {
+        Self::from_undirected_labeled(n, edges.into_iter().map(|(u, v, w)| (u, v, w, 0)))
+    }
+
+    /// Like [`from_undirected`](Self::from_undirected) with per-edge labels.
+    pub fn from_undirected_labeled(
+        n: usize,
+        edges: impl IntoIterator<Item = (u32, u32, Dist, u32)>,
+    ) -> Self {
+        let mut arcs = Vec::new();
+        for (i, (u, v, w, label)) in edges.into_iter().enumerate() {
+            let ue = UEdgeId(i as u32);
+            arcs.push(Arc {
+                src: u,
+                dst: v,
+                weight: w,
+                label,
+                uedge: ue,
+            });
+            arcs.push(Arc {
+                src: v,
+                dst: u,
+                weight: w,
+                label,
+                uedge: ue,
+            });
+        }
+        Self::from_arcs(n, arcs)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of arcs (directed count; an undirected edge contributes two).
+    #[inline]
+    pub fn n_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Number of distinct undirected edge identities.
+    #[inline]
+    pub fn n_uedges(&self) -> usize {
+        self.n_uedges as usize
+    }
+
+    /// The arc table entry.
+    #[inline]
+    pub fn arc(&self, a: ArcId) -> &Arc {
+        &self.arcs[a.idx()]
+    }
+
+    /// All arcs, in id order.
+    #[inline]
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// Mutable access to all arcs — used by algorithms that re-label edges
+    /// (e.g. the girth algorithm's probabilistic 0/1 labels, or matching
+    /// flips). The topology (src/dst) must not be altered.
+    #[inline]
+    pub fn arcs_mut(&mut self) -> &mut [Arc] {
+        &mut self.arcs
+    }
+
+    /// Arc ids leaving `v` (the paper's `E_out(v)`).
+    #[inline]
+    pub fn out_arcs(&self, v: u32) -> &[u32] {
+        let lo = self.out_off[v as usize] as usize;
+        let hi = self.out_off[v as usize + 1] as usize;
+        &self.out_arcs[lo..hi]
+    }
+
+    /// Arc ids entering `v`.
+    #[inline]
+    pub fn in_arcs(&self, v: u32) -> &[u32] {
+        let lo = self.in_off[v as usize] as usize;
+        let hi = self.in_off[v as usize + 1] as usize;
+        &self.in_arcs[lo..hi]
+    }
+
+    /// Maximum multiplicity `p_max`: the largest number of parallel arcs
+    /// between one ordered pair of endpoints (paper §5.2 uses this in the
+    /// simulation overhead).
+    pub fn max_multiplicity(&self) -> usize {
+        let mut pairs: Vec<(u32, u32)> = self.arcs.iter().map(|a| (a.src, a.dst)).collect();
+        pairs.sort_unstable();
+        let mut best = 0usize;
+        let mut run = 0usize;
+        let mut prev = None;
+        for p in pairs {
+            if Some(p) == prev {
+                run += 1;
+            } else {
+                run = 1;
+                prev = Some(p);
+            }
+            best = best.max(run);
+        }
+        best
+    }
+
+    /// The communication network ⟦G⟧ (paper §2.1): drop orientation, weights,
+    /// multiplicity and self-loops.
+    pub fn comm_graph(&self) -> UGraph {
+        let mut b = UGraphBuilder::new(self.n());
+        for a in &self.arcs {
+            b.add_edge(a.src, a.dst);
+        }
+        b.build()
+    }
+
+    /// The reverse multigraph (every arc flipped). Useful for computing
+    /// "distance *to* a target" with forward algorithms.
+    pub fn reversed(&self) -> MultiDigraph {
+        let arcs = self
+            .arcs
+            .iter()
+            .map(|a| Arc {
+                src: a.dst,
+                dst: a.src,
+                ..*a
+            })
+            .collect();
+        Self::from_arcs(self.n(), arcs)
+    }
+
+    /// The subgraph induced by `keep`, with old-vertex mapping
+    /// (`old_of[new] = old`). Arc labels/weights/uedge ids are preserved.
+    pub fn induced(&self, keep: &[bool]) -> (MultiDigraph, Vec<u32>) {
+        assert_eq!(keep.len(), self.n());
+        let mut new_of = vec![u32::MAX; self.n()];
+        let mut old_of = Vec::new();
+        for v in 0..self.n() {
+            if keep[v] {
+                new_of[v] = old_of.len() as u32;
+                old_of.push(v as u32);
+            }
+        }
+        let arcs = self
+            .arcs
+            .iter()
+            .filter(|a| keep[a.src as usize] && keep[a.dst as usize])
+            .map(|a| Arc {
+                src: new_of[a.src as usize],
+                dst: new_of[a.dst as usize],
+                ..*a
+            })
+            .collect();
+        (MultiDigraph::from_arcs(old_of.len(), arcs), old_of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> MultiDigraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, plus a parallel arc 0 -> 1.
+        MultiDigraph::from_arcs(
+            4,
+            vec![
+                Arc::new(0, 1, 1),
+                Arc::new(0, 1, 5),
+                Arc::new(1, 3, 2),
+                Arc::new(0, 2, 2),
+                Arc::new(2, 3, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn adjacency() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.n_arcs(), 5);
+        assert_eq!(g.out_arcs(0).len(), 3);
+        assert_eq!(g.in_arcs(3).len(), 2);
+        assert_eq!(g.max_multiplicity(), 2);
+    }
+
+    #[test]
+    fn comm_graph_merges_and_undirects() {
+        let g = diamond();
+        let c = g.comm_graph();
+        assert_eq!(c.n(), 4);
+        assert_eq!(c.m(), 4); // {0,1},{1,3},{0,2},{2,3}
+        assert!(c.has_edge(1, 0)); // orientation dropped
+    }
+
+    #[test]
+    fn from_undirected_creates_twins() {
+        let g = MultiDigraph::from_undirected(3, [(0, 1, 7), (1, 2, 9)]);
+        assert_eq!(g.n_arcs(), 4);
+        assert_eq!(g.n_uedges(), 2);
+        // Twin arcs share the uedge id and weight.
+        let a01: Vec<_> = g
+            .arcs()
+            .iter()
+            .filter(|a| a.uedge == UEdgeId(0))
+            .collect();
+        assert_eq!(a01.len(), 2);
+        assert_eq!(a01[0].weight, 7);
+        assert_eq!(a01[0].uedge, a01[1].uedge);
+    }
+
+    #[test]
+    fn reversed_flips() {
+        let g = diamond();
+        let r = g.reversed();
+        assert_eq!(r.out_arcs(3).len(), 2);
+        assert_eq!(r.in_arcs(0).len(), 3);
+    }
+
+    #[test]
+    fn induced_keeps_metadata() {
+        let g = MultiDigraph::from_undirected_labeled(4, [(0, 1, 3, 9), (1, 2, 4, 8), (2, 3, 5, 7)]);
+        let (h, old_of) = g.induced(&[true, true, true, false]);
+        assert_eq!(h.n(), 3);
+        assert_eq!(h.n_arcs(), 4);
+        assert_eq!(old_of, vec![0, 1, 2]);
+        assert!(h.arcs().iter().any(|a| a.label == 9 && a.weight == 3));
+    }
+
+    #[test]
+    fn self_loop_excluded_from_comm_graph() {
+        let g = MultiDigraph::from_arcs(2, vec![Arc::new(0, 0, 1), Arc::new(0, 1, 1)]);
+        assert_eq!(g.comm_graph().m(), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! Rooted tree decompositions (paper §2.2) and their verifier.
+//!
+//! The paper identifies decomposition-tree vertices with strings over
+//! `[0, n-1]` (the root being the empty string ψ, `x•i` the i-th child of
+//! `x`). We store the equivalent rooted forest with integer node ids plus
+//! parent/children links; [`TreeDecomposition::string_of`] recovers the
+//! paper's string identifiers when a trace wants to print them.
+
+use crate::ugraph::UGraph;
+
+/// A rooted tree decomposition Φ = (T, {B_x}).
+#[derive(Clone, Debug, Default)]
+pub struct TreeDecomposition {
+    /// Bag contents, sorted ascending. Indexed by tree-node id.
+    pub bags: Vec<Vec<u32>>,
+    /// Parent tree-node id; the root has `parent[x] == x`.
+    pub parent: Vec<usize>,
+    /// Children lists.
+    pub children: Vec<Vec<usize>>,
+    /// The root node id (the paper's ψ).
+    pub root: usize,
+}
+
+/// Summary statistics used by the experiment tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeDecompositionStats {
+    /// Number of tree nodes.
+    pub nodes: usize,
+    /// Width = max bag size − 1.
+    pub width: usize,
+    /// Depth of the rooted tree (root alone = 0).
+    pub depth: usize,
+    /// Sum of bag sizes (label-size driver in Theorem 2).
+    pub total_bag_size: usize,
+}
+
+impl TreeDecomposition {
+    /// A decomposition with a single bag containing every vertex (valid for
+    /// any graph; width n−1).
+    pub fn trivial(n: usize) -> Self {
+        TreeDecomposition {
+            bags: vec![(0..n as u32).collect()],
+            parent: vec![0],
+            children: vec![Vec::new()],
+            root: 0,
+        }
+    }
+
+    /// Allocate a new tree node with the given (will-be-sorted) bag under
+    /// `parent` (pass `None` for the root). Returns its id.
+    pub fn push_bag(&mut self, parent: Option<usize>, mut bag: Vec<u32>) -> usize {
+        bag.sort_unstable();
+        bag.dedup();
+        let id = self.bags.len();
+        self.bags.push(bag);
+        self.children.push(Vec::new());
+        match parent {
+            Some(p) => {
+                self.parent.push(p);
+                self.children[p].push(id);
+            }
+            None => {
+                self.parent.push(id);
+                self.root = id;
+            }
+        }
+        id
+    }
+
+    /// Width = max bag size − 1 (0 for an empty decomposition).
+    pub fn width(&self) -> usize {
+        self.bags.iter().map(|b| b.len()).max().unwrap_or(1) - 1
+    }
+
+    /// Depth per tree node (root = 0).
+    pub fn depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.bags.len()];
+        // Parents precede children in `push_bag` construction order, but be
+        // safe and iterate in BFS order from the root.
+        let mut stack = vec![self.root];
+        while let Some(x) = stack.pop() {
+            for &c in &self.children[x] {
+                depth[c] = depth[x] + 1;
+                stack.push(c);
+            }
+        }
+        depth
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> TreeDecompositionStats {
+        TreeDecompositionStats {
+            nodes: self.bags.len(),
+            width: self.width(),
+            depth: self.depths().into_iter().max().unwrap_or(0),
+            total_bag_size: self.bags.iter().map(|b| b.len()).sum(),
+        }
+    }
+
+    /// The paper's string identifier of tree node `x` (child ranks along the
+    /// root path; ψ = empty).
+    pub fn string_of(&self, x: usize) -> Vec<usize> {
+        let mut rev = Vec::new();
+        let mut cur = x;
+        while self.parent[cur] != cur {
+            let p = self.parent[cur];
+            let rank = self.children[p].iter().position(|&c| c == cur).unwrap();
+            rev.push(rank);
+            cur = p;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// For every graph vertex `u`, the *canonical* tree node c*(u): the
+    /// shallowest bag containing `u` (unique by condition (c); if the
+    /// decomposition is invalid this returns an arbitrary shallowest one).
+    pub fn canonical_node(&self, n_vertices: usize) -> Vec<usize> {
+        let depth = self.depths();
+        let mut canon = vec![usize::MAX; n_vertices];
+        for (x, bag) in self.bags.iter().enumerate() {
+            for &u in bag {
+                let cur = canon[u as usize];
+                if cur == usize::MAX || depth[x] < depth[cur] {
+                    canon[u as usize] = x;
+                }
+            }
+        }
+        canon
+    }
+
+    /// Union of the bags on the root path of `x`, sorted — the paper's
+    /// B↑ set when evaluated at `x = c*(u)` (§4.1).
+    pub fn ancestor_bag_union(&self, x: usize) -> Vec<u32> {
+        let mut acc = Vec::new();
+        let mut cur = x;
+        loop {
+            acc.extend_from_slice(&self.bags[cur]);
+            if self.parent[cur] == cur {
+                break;
+            }
+            cur = self.parent[cur];
+        }
+        acc.sort_unstable();
+        acc.dedup();
+        acc
+    }
+
+    /// Verify the three conditions of §2.2 against `g`. Returns a
+    /// human-readable description of the first violation, if any.
+    pub fn verify(&self, g: &UGraph) -> Result<(), String> {
+        if self.bags.is_empty() {
+            return if g.n() == 0 {
+                Ok(())
+            } else {
+                Err("decomposition has no bags but the graph has vertices".into())
+            };
+        }
+        // Structural sanity of the tree itself.
+        let mut seen_root = false;
+        for x in 0..self.bags.len() {
+            if self.parent[x] == x {
+                if seen_root {
+                    return Err("multiple roots".into());
+                }
+                if x != self.root {
+                    return Err(format!("self-parented node {x} is not the declared root"));
+                }
+                seen_root = true;
+            } else if !self.children[self.parent[x]].contains(&x) {
+                return Err(format!("node {x} missing from its parent's child list"));
+            }
+        }
+        if !seen_root {
+            return Err("no root".into());
+        }
+
+        // (a) every vertex covered.
+        let mut covered = vec![false; g.n()];
+        for bag in &self.bags {
+            for &u in bag {
+                if u as usize >= g.n() {
+                    return Err(format!("bag vertex {u} out of range"));
+                }
+                covered[u as usize] = true;
+            }
+        }
+        if let Some(u) = covered.iter().position(|&c| !c) {
+            return Err(format!("condition (a) violated: vertex {u} in no bag"));
+        }
+
+        // (b) every edge covered.
+        'edge: for (u, v) in g.edges() {
+            for bag in &self.bags {
+                if bag.binary_search(&u).is_ok() && bag.binary_search(&v).is_ok() {
+                    continue 'edge;
+                }
+            }
+            return Err(format!("condition (b) violated: edge ({u},{v}) in no bag"));
+        }
+
+        // (c) bags containing each vertex form a connected subtree:
+        // count, for each vertex u, the tree nodes containing u and the tree
+        // edges with u on both endpoints' bags; connected iff
+        // #edges == #nodes − 1 for every u (subforest is always acyclic).
+        let mut node_count = vec![0u32; g.n()];
+        let mut edge_count = vec![0u32; g.n()];
+        for (x, bag) in self.bags.iter().enumerate() {
+            for &u in bag {
+                node_count[u as usize] += 1;
+            }
+            if self.parent[x] != x {
+                let pbag = &self.bags[self.parent[x]];
+                for &u in bag {
+                    if pbag.binary_search(&u).is_ok() {
+                        edge_count[u as usize] += 1;
+                    }
+                }
+            }
+        }
+        for u in 0..g.n() {
+            if node_count[u] > 0 && edge_count[u] != node_count[u] - 1 {
+                return Err(format!(
+                    "condition (c) violated: vertex {u} appears in {} bags with {} connecting tree edges",
+                    node_count[u], edge_count[u]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UGraph;
+
+    fn path4() -> UGraph {
+        UGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    }
+
+    fn path4_decomp() -> TreeDecomposition {
+        let mut td = TreeDecomposition::default();
+        let r = td.push_bag(None, vec![1, 2]);
+        td.push_bag(Some(r), vec![0, 1]);
+        td.push_bag(Some(r), vec![2, 3]);
+        td
+    }
+
+    #[test]
+    fn valid_path_decomposition() {
+        let td = path4_decomp();
+        assert!(td.verify(&path4()).is_ok());
+        assert_eq!(td.width(), 1);
+        assert_eq!(td.stats().depth, 1);
+    }
+
+    #[test]
+    fn trivial_is_valid() {
+        let g = path4();
+        let td = TreeDecomposition::trivial(4);
+        assert!(td.verify(&g).is_ok());
+        assert_eq!(td.width(), 3);
+    }
+
+    #[test]
+    fn detects_missing_vertex() {
+        let mut td = TreeDecomposition::default();
+        td.push_bag(None, vec![0, 1]);
+        td.push_bag(Some(0), vec![1, 2]);
+        let err = td.verify(&path4()).unwrap_err();
+        assert!(err.contains("condition (a)"), "{err}");
+    }
+
+    #[test]
+    fn detects_missing_edge() {
+        let mut td = TreeDecomposition::default();
+        let r = td.push_bag(None, vec![0, 1]);
+        td.push_bag(Some(r), vec![1, 2]);
+        td.push_bag(Some(r), vec![3]);
+        let err = td.verify(&path4()).unwrap_err();
+        assert!(err.contains("condition (b)"), "{err}");
+    }
+
+    #[test]
+    fn detects_disconnected_occurrences() {
+        let mut td = TreeDecomposition::default();
+        // Vertex 1 appears in two bags that are not adjacent in T.
+        let r = td.push_bag(None, vec![0, 1]);
+        let c = td.push_bag(Some(r), vec![0, 2]);
+        td.push_bag(Some(c), vec![1, 2, 3]);
+        let err = td.verify(&path4()).unwrap_err();
+        assert!(err.contains("condition (c)"), "{err}");
+    }
+
+    #[test]
+    fn canonical_nodes_and_strings() {
+        let td = path4_decomp();
+        let canon = td.canonical_node(4);
+        assert_eq!(canon[1], 0); // vertex 1 appears at the root first
+        assert_eq!(canon[0], 1);
+        assert_eq!(canon[3], 2);
+        assert_eq!(td.string_of(0), Vec::<usize>::new());
+        assert_eq!(td.string_of(1), vec![0]);
+        assert_eq!(td.string_of(2), vec![1]);
+    }
+
+    #[test]
+    fn ancestor_union() {
+        let td = path4_decomp();
+        assert_eq!(td.ancestor_bag_union(1), vec![0, 1, 2]);
+        assert_eq!(td.ancestor_bag_union(0), vec![1, 2]);
+    }
+}

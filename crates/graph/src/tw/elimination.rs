@@ -1,0 +1,259 @@
+//! Elimination-order machinery: width upper bounds via greedy heuristics and
+//! a degeneracy lower bound.
+//!
+//! Greedy elimination (min-degree / min-fill) gives a *valid* tree
+//! decomposition whose width upper-bounds the treewidth; the experiments use
+//! it as the "near-optimal centralized reference" the paper's O(τ² log n)
+//! widths are compared against. Degeneracy lower-bounds treewidth, which
+//! pins the generated families' τ from below.
+
+use super::decomposition::TreeDecomposition;
+use crate::ugraph::UGraph;
+use std::collections::BTreeSet;
+
+/// Working copy of a graph supporting vertex elimination with fill-in.
+struct FillGraph {
+    adj: Vec<BTreeSet<u32>>,
+    alive: Vec<bool>,
+}
+
+impl FillGraph {
+    fn new(g: &UGraph) -> Self {
+        FillGraph {
+            adj: g
+                .vertices()
+                .map(|v| g.neighbors(v).iter().copied().collect())
+                .collect(),
+            alive: vec![true; g.n()],
+        }
+    }
+
+    fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Number of fill edges eliminating `v` would create.
+    fn fill_cost(&self, v: u32) -> usize {
+        let nb: Vec<u32> = self.adj[v as usize].iter().copied().collect();
+        let mut missing = 0;
+        for i in 0..nb.len() {
+            for j in i + 1..nb.len() {
+                if !self.adj[nb[i] as usize].contains(&nb[j]) {
+                    missing += 1;
+                }
+            }
+        }
+        missing
+    }
+
+    /// Eliminate `v`: make its neighbourhood a clique, remove `v`.
+    /// Returns the neighbourhood at elimination time (the bag minus `v`).
+    fn eliminate(&mut self, v: u32) -> Vec<u32> {
+        let nb: Vec<u32> = self.adj[v as usize].iter().copied().collect();
+        for i in 0..nb.len() {
+            for j in i + 1..nb.len() {
+                self.adj[nb[i] as usize].insert(nb[j]);
+                self.adj[nb[j] as usize].insert(nb[i]);
+            }
+        }
+        for &u in &nb {
+            self.adj[u as usize].remove(&v);
+        }
+        self.adj[v as usize].clear();
+        self.alive[v as usize] = false;
+        nb
+    }
+}
+
+/// Greedy minimum-degree elimination order.
+pub fn min_degree_order(g: &UGraph) -> Vec<u32> {
+    let mut fg = FillGraph::new(g);
+    let mut order = Vec::with_capacity(g.n());
+    for _ in 0..g.n() {
+        let v = (0..g.n() as u32)
+            .filter(|&v| fg.alive[v as usize])
+            .min_by_key(|&v| (fg.degree(v), v))
+            .unwrap();
+        fg.eliminate(v);
+        order.push(v);
+    }
+    order
+}
+
+/// Greedy minimum-fill elimination order (slower, usually tighter width).
+pub fn min_fill_order(g: &UGraph) -> Vec<u32> {
+    let mut fg = FillGraph::new(g);
+    let mut order = Vec::with_capacity(g.n());
+    for _ in 0..g.n() {
+        let v = (0..g.n() as u32)
+            .filter(|&v| fg.alive[v as usize])
+            .min_by_key(|&v| (fg.fill_cost(v), fg.degree(v), v))
+            .unwrap();
+        fg.eliminate(v);
+        order.push(v);
+    }
+    order
+}
+
+/// Width induced by an elimination order = max bag size − 1 along the order.
+pub fn elimination_width(g: &UGraph, order: &[u32]) -> usize {
+    let mut fg = FillGraph::new(g);
+    let mut width = 0usize;
+    for &v in order {
+        width = width.max(fg.degree(v));
+        fg.eliminate(v);
+    }
+    width
+}
+
+/// Degeneracy of `g` — a lower bound on treewidth (repeatedly remove a
+/// minimum-degree vertex; the max degree seen is the degeneracy).
+pub fn degeneracy(g: &UGraph) -> usize {
+    let n = g.n();
+    let mut deg: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut degen = 0usize;
+    // Simple O(n²)-ish loop; fine at experiment scale and obviously correct.
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| deg[v])
+            .unwrap();
+        degen = degen.max(deg[v]);
+        removed[v] = true;
+        for &u in g.neighbors(v as u32) {
+            if !removed[u as usize] {
+                deg[u as usize] -= 1;
+            }
+        }
+    }
+    degen
+}
+
+/// Build the standard tree decomposition induced by an elimination order:
+/// the bag of `v` is `{v} ∪ N_later(v)` in the fill graph; `v`'s tree parent
+/// is the bag of the earliest-eliminated vertex of `N_later(v)`.
+pub fn treedec_from_elimination(g: &UGraph, order: &[u32]) -> TreeDecomposition {
+    assert_eq!(order.len(), g.n());
+    let n = g.n();
+    if n == 0 {
+        return TreeDecomposition::default();
+    }
+    let mut fg = FillGraph::new(g);
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    // bag_of[v] = {v} ∪ neighbourhood at elimination time.
+    let mut raw_bags: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &v in order {
+        let mut bag = fg.eliminate(v);
+        bag.push(v);
+        bag.sort_unstable();
+        raw_bags[v as usize] = bag;
+    }
+    // Tree structure: parent(v) = argmin position among later neighbours.
+    // Build nodes in *reverse* elimination order so parents exist first.
+    let mut td = TreeDecomposition::default();
+    let mut node_of = vec![usize::MAX; n];
+    for &v in order.iter().rev() {
+        let later_min = raw_bags[v as usize]
+            .iter()
+            .copied()
+            .filter(|&u| u != v)
+            .min_by_key(|&u| pos[u as usize]);
+        let parent = later_min.map(|u| node_of[u as usize]);
+        // A vertex in another component of the fill graph can have no later
+        // neighbour; attach it under the root to keep T a tree (its bag is a
+        // singleton, so conditions (b)/(c) are unaffected).
+        let parent = match parent {
+            Some(p) => Some(p),
+            None if td.bags.is_empty() => None,
+            None => Some(td.root),
+        };
+        node_of[v as usize] = td.push_bag(parent, raw_bags[v as usize].clone());
+    }
+    td
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UGraph;
+
+    fn cycle(n: usize) -> UGraph {
+        UGraph::from_edges(n, (0..n as u32).map(|i| (i, (i + 1) % n as u32)))
+    }
+
+    #[test]
+    fn tree_has_width_1() {
+        let g = UGraph::from_edges(5, [(0, 1), (0, 2), (2, 3), (2, 4)]);
+        let order = min_degree_order(&g);
+        assert_eq!(elimination_width(&g, &order), 1);
+        let td = treedec_from_elimination(&g, &order);
+        assert!(td.verify(&g).is_ok());
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn cycle_has_width_2() {
+        let g = cycle(8);
+        for order in [min_degree_order(&g), min_fill_order(&g)] {
+            assert_eq!(elimination_width(&g, &order), 2);
+            let td = treedec_from_elimination(&g, &order);
+            assert!(td.verify(&g).is_ok());
+            assert_eq!(td.width(), 2);
+        }
+    }
+
+    #[test]
+    fn clique_width_n_minus_1() {
+        let n = 6u32;
+        let g = UGraph::from_edges(
+            n as usize,
+            (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))),
+        );
+        let order = min_degree_order(&g);
+        assert_eq!(elimination_width(&g, &order), 5);
+        assert_eq!(degeneracy(&g), 5);
+    }
+
+    #[test]
+    fn degeneracy_lower_bounds_heuristic_width() {
+        let g = cycle(10);
+        assert!(degeneracy(&g) <= elimination_width(&g, &min_degree_order(&g)));
+    }
+
+    #[test]
+    fn disconnected_graph_decomposes() {
+        let g = UGraph::from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let order = min_degree_order(&g);
+        let td = treedec_from_elimination(&g, &order);
+        assert!(td.verify(&g).is_ok());
+        assert_eq!(td.width(), 1);
+    }
+
+    #[test]
+    fn grid_width_bounded() {
+        // 4x4 grid: treewidth 4; heuristics should land in [4, 6].
+        let rows = 4u32;
+        let cols = 4u32;
+        let idx = |r: u32, c: u32| r * cols + c;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        let g = UGraph::from_edges((rows * cols) as usize, edges);
+        let w = elimination_width(&g, &min_fill_order(&g));
+        assert!((4..=6).contains(&w), "width {w}");
+        let td = treedec_from_elimination(&g, &min_fill_order(&g));
+        assert!(td.verify(&g).is_ok());
+    }
+}

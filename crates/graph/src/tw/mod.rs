@@ -1,0 +1,10 @@
+//! Treewidth toolkit: tree decompositions, validity verification, and
+//! width-bounding heuristics.
+
+mod decomposition;
+mod elimination;
+
+pub use decomposition::{TreeDecomposition, TreeDecompositionStats};
+pub use elimination::{
+    degeneracy, elimination_width, min_degree_order, min_fill_order, treedec_from_elimination,
+};

@@ -1,0 +1,25 @@
+//! # bmatch — exact bipartite maximum matching (paper §6, Theorem 4)
+//!
+//! Divide and conquer over the separator hierarchy that the tree
+//! decomposition already provides: every vertex belongs to exactly one
+//! leaf subgraph or to exactly one internal node's separator `S'_x`.
+//! Leaves are matched locally (gathered subgraphs); then, walking the
+//! decomposition bottom-up, each separator vertex is activated one at a
+//! time and a single augmenting path from it is sought
+//! (Proposition 1 / [IOO18]: that is the only place an augmenting path
+//! can start).
+//!
+//! An augmenting path is a shortest **2-colored walk** (Example 1) from
+//! the new vertex to any unmatched vertex — colors are "matched" /
+//! "unmatched" edge states, and in bipartite graphs the shortest such walk
+//! is simple. Deactivated vertices are excluded the paper's way: their
+//! incident edges get cost ∞ while the graph (and hence the decomposition)
+//! stays fixed.
+//!
+//! The distributed mode executes a CDL(C_col(2)) construction per
+//! augmentation through the virtual-network machinery and accumulates the
+//! measured rounds — the Õ(τ⁴D + τ⁷) pipeline of Theorem 4.
+
+pub mod matcher;
+
+pub use matcher::{max_matching, MatchMode, MatchingOutcome};

@@ -1,0 +1,276 @@
+//! The separator-hierarchy matcher.
+
+use baselines::{hopcroft_karp, matching_size};
+use congest_sim::NetworkConfig;
+use stateful_walks::{CdlLabeling, ColoredWalk, ConstrainedSssp};
+use treedec::decomp::NodeInfo;
+use twgraph::gen::BipartiteInstance;
+use twgraph::tw::TreeDecomposition;
+use twgraph::{Arc, MultiDigraph, UEdgeId, INF};
+
+/// Execution mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchMode {
+    /// Pure algorithm, no round accounting (fast; the oracle-comparable
+    /// reference).
+    Centralized,
+    /// Per augmentation, run the CDL(C_col(2)) construction through the
+    /// charged virtual network and accumulate its rounds (slow, faithful).
+    Distributed,
+}
+
+/// Result of a matching run.
+#[derive(Clone, Debug)]
+pub struct MatchingOutcome {
+    /// `mate[v]` = the matched partner.
+    pub mate: Vec<Option<u32>>,
+    /// Number of successful augmentations performed at separator vertices.
+    pub augmentations: usize,
+    /// Number of augmentation attempts (= activated separator vertices).
+    pub attempts: usize,
+    /// Accumulated measured rounds (0 in centralized mode).
+    pub rounds: u64,
+}
+
+impl MatchingOutcome {
+    /// Matching cardinality.
+    pub fn size(&self) -> usize {
+        matching_size(&self.mate)
+    }
+}
+
+/// Edge colors for the alternating-walk constraint.
+const UNMATCHED: u32 = 0;
+const MATCHED: u32 = 1;
+
+/// Build the 2-colored weighted instance for the current matching and
+/// active set: arcs of active edges get weight 1 and their match color;
+/// arcs touching an inactive vertex get weight ∞ (the paper's masking).
+fn alternating_instance(
+    edges: &[(u32, u32)],
+    n: usize,
+    matched: &[bool],
+    active: &[bool],
+) -> MultiDigraph {
+    let mut arcs = Vec::with_capacity(edges.len() * 2);
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        let usable = active[u as usize] && active[v as usize];
+        let w = if usable { 1 } else { INF };
+        let label = if matched[e] { MATCHED } else { UNMATCHED };
+        let ue = UEdgeId(e as u32);
+        arcs.push(Arc {
+            src: u,
+            dst: v,
+            weight: w,
+            label,
+            uedge: ue,
+        });
+        arcs.push(Arc {
+            src: v,
+            dst: u,
+            weight: w,
+            label,
+            uedge: ue,
+        });
+    }
+    MultiDigraph::from_arcs(n, arcs)
+}
+
+/// Exact maximum matching of a bipartite instance over the given
+/// decomposition (paper Theorem 4).
+pub fn max_matching(
+    inst: &BipartiteInstance,
+    td: &TreeDecomposition,
+    info: &[NodeInfo],
+    mode: MatchMode,
+) -> MatchingOutcome {
+    let g = &inst.graph;
+    let n = g.n();
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let mut matched = vec![false; edges.len()];
+    let mut mate: Vec<Option<u32>> = vec![None; n];
+    let mut active = vec![false; n];
+    let mut rounds = 0u64;
+    let mut augmentations = 0usize;
+    let mut attempts = 0usize;
+
+    // Incidence: edge ids per vertex (for local mate bookkeeping).
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        incident[u as usize].push(e as u32);
+        incident[v as usize].push(e as u32);
+    }
+
+    // Process the decomposition bottom-up.
+    let order = distlabel::build::order_bottom_up(td);
+    for x in order {
+        let ni = &info[x];
+        if ni.is_leaf {
+            // Leaf: gather and match locally (the paper's "centralized
+            // fashion" base case).
+            for &v in &ni.gpx {
+                active[v as usize] = true;
+            }
+            let keep: Vec<bool> = (0..n as u32)
+                .map(|v| ni.gpx.binary_search(&v).is_ok())
+                .collect();
+            let (sub, old_of) = g.induced(&keep);
+            let sub_side: Vec<bool> = old_of.iter().map(|&v| inst.side[v as usize]).collect();
+            let sub_mate = hopcroft_karp(&sub, &sub_side);
+            for (new_v, m) in sub_mate.iter().enumerate() {
+                if let Some(new_m) = m {
+                    let (a, b) = (old_of[new_v], old_of[*new_m as usize]);
+                    if a < b {
+                        mate[a as usize] = Some(b);
+                        mate[b as usize] = Some(a);
+                        let e = edges
+                            .binary_search(&(a, b))
+                            .expect("matched pair must be an edge");
+                        matched[e] = true;
+                    }
+                }
+            }
+            continue;
+        }
+        // Internal: activate separator vertices one at a time (only those
+        // not already active — the separator partition guarantees
+        // uniqueness, this is a defensive filter).
+        for &s in &ni.sep {
+            if active[s as usize] {
+                continue;
+            }
+            active[s as usize] = true;
+            attempts += 1;
+            debug_assert!(mate[s as usize].is_none());
+
+            let alt = alternating_instance(&edges, n, &matched, &active);
+            let constraint = ColoredWalk { colors: 2 };
+            if mode == MatchMode::Distributed {
+                let (_cdl, metrics) = CdlLabeling::build_distributed(
+                    &alt,
+                    &constraint,
+                    td,
+                    info,
+                    NetworkConfig::default(),
+                );
+                rounds += metrics.rounds;
+            }
+            let sssp = ConstrainedSssp::run(&alt, &constraint, s);
+            // Best unmatched target reached with an unmatched final edge.
+            let end_state = 2 + UNMATCHED as u16;
+            let target = (0..n as u32)
+                .filter(|&t| t != s && mate[t as usize].is_none() && active[t as usize])
+                .map(|t| (sssp.dist(t, end_state), t))
+                .filter(|&(d, _)| d < INF)
+                .min();
+            let Some((path_len, t)) = target else {
+                continue;
+            };
+            let walk = sssp
+                .walk_to(t, end_state)
+                .expect("finite distance must yield a walk");
+            // Shortest alternating walks are simple in bipartite graphs:
+            // verify, then flip.
+            {
+                let mut seen: Vec<u32> = walk.iter().map(|&a| alt.arc(a).src).collect();
+                seen.push(t);
+                let len_before = seen.len();
+                seen.sort_unstable();
+                seen.dedup();
+                assert_eq!(seen.len(), len_before, "augmenting walk not simple");
+            }
+            rounds += walk.len() as u64; // the Corollary-1 walk output pass
+            for aid in &walk {
+                let ue = alt.arc(*aid).uedge;
+                matched[ue.idx()] = !matched[ue.idx()];
+            }
+            // Rebuild mate[] for the touched vertices.
+            let mut touched: Vec<u32> = walk
+                .iter()
+                .flat_map(|&a| [alt.arc(a).src, alt.arc(a).dst])
+                .collect();
+            touched.sort_unstable();
+            touched.dedup();
+            for &v in &touched {
+                mate[v as usize] = None;
+                for &e in &incident[v as usize] {
+                    if matched[e as usize] {
+                        let (a, b) = edges[e as usize];
+                        mate[v as usize] = Some(if a == v { b } else { a });
+                    }
+                }
+            }
+            augmentations += 1;
+            debug_assert!(path_len >= 1);
+        }
+    }
+
+    MatchingOutcome {
+        mate,
+        augmentations,
+        attempts,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::matching::is_valid_matching;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use treedec::{decompose_centralized, SepConfig};
+    use twgraph::gen::bipartite_banded;
+
+    fn run(nl: usize, nr: usize, band: usize, p: f64, seed: u64, mode: MatchMode) -> (BipartiteInstance, MatchingOutcome) {
+        let (g, side) = bipartite_banded(nl, nr, band, p, seed);
+        let inst = BipartiteInstance::new(g, side);
+        let cfg = SepConfig::practical(inst.graph.n());
+        let mut rng = SmallRng::seed_from_u64(seed + 1000);
+        let dec = decompose_centralized(&inst.graph, 3, &cfg, &mut rng);
+        let out = max_matching(&inst, &dec.td, &dec.info, mode);
+        (inst, out)
+    }
+
+    #[test]
+    fn matches_hopcroft_karp_cardinality() {
+        for seed in 0..6 {
+            let (inst, out) = run(40, 40, 2, 0.5, seed, MatchMode::Centralized);
+            assert!(is_valid_matching(&inst.graph, &inst.side, &out.mate));
+            let want = matching_size(&hopcroft_karp(&inst.graph, &inst.side));
+            assert_eq!(out.size(), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_sides() {
+        for seed in 0..3 {
+            let (inst, out) = run(30, 12, 3, 0.6, seed, MatchMode::Centralized);
+            assert!(is_valid_matching(&inst.graph, &inst.side, &out.mate));
+            let want = matching_size(&hopcroft_karp(&inst.graph, &inst.side));
+            assert_eq!(out.size(), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sparse_instances() {
+        for seed in 10..13 {
+            let (inst, out) = run(25, 25, 1, 0.3, seed, MatchMode::Centralized);
+            assert!(is_valid_matching(&inst.graph, &inst.side, &out.mate));
+            let want = matching_size(&hopcroft_karp(&inst.graph, &inst.side));
+            assert_eq!(out.size(), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn distributed_mode_counts_rounds() {
+        let (inst, out) = run(12, 12, 1, 0.5, 3, MatchMode::Distributed);
+        assert!(is_valid_matching(&inst.graph, &inst.side, &out.mate));
+        let want = matching_size(&hopcroft_karp(&inst.graph, &inst.side));
+        assert_eq!(out.size(), want);
+        if out.attempts > 0 {
+            assert!(out.rounds > 0, "distributed mode must charge rounds");
+        }
+        assert!(out.augmentations <= out.attempts);
+    }
+}

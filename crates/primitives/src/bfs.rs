@@ -1,0 +1,214 @@
+//! RST — rooted spanning trees per part, by parallel BFS flooding
+//! (paper Lemma 8's RST task).
+//!
+//! All parts flood simultaneously in shared supersteps, so the measured
+//! cost is `O(max part diameter + interference)`, the scheduling-theorem
+//! envelope. A one-superstep membership exchange lets senders target only
+//! neighbours in the same part; a final notification superstep gives every
+//! parent its child list.
+
+use crate::parts::Parts;
+use crate::roles::TreeRoles;
+use crate::snc;
+use congest_sim::Network;
+
+#[derive(Clone)]
+struct PBfsState {
+    /// Aligned with the node's membership list: (dist, parent), or MAX.
+    dist: Vec<u32>,
+    parent: Vec<u32>,
+    fresh: Vec<bool>,
+    /// Neighbours known to share each membership (filled by the preamble).
+    nbrs: Vec<Vec<u32>>,
+}
+
+/// Build one BFS tree per part, rooted at the given `(part, root)` pairs.
+/// Every part must be connected within the communication graph restricted
+/// to its members; the root must be a member.
+pub fn part_bfs_trees(net: &mut Network, parts: &Parts, roots: &[(u32, u32)]) -> TreeRoles {
+    let n = net.n();
+    assert_eq!(parts.members.len(), n);
+    let memberships = parts.members.clone();
+
+    // Preamble SNC: learn which neighbours share which parts.
+    let shared = snc::share_with_neighbors(net, |v| memberships[v as usize].clone());
+    let mut states: Vec<PBfsState> = (0..n)
+        .map(|v| {
+            let mine = &memberships[v];
+            let nbrs: Vec<Vec<u32>> = mine
+                .iter()
+                .map(|&p| {
+                    shared[v]
+                        .iter()
+                        .filter(|(_, their)| their.binary_search(&p).is_ok())
+                        .map(|&(w, _)| w)
+                        .collect()
+                })
+                .collect();
+            PBfsState {
+                dist: vec![u32::MAX; mine.len()],
+                parent: vec![u32::MAX; mine.len()],
+                fresh: vec![false; mine.len()],
+                nbrs,
+            }
+        })
+        .collect();
+    for &(p, r) in roots {
+        let idx = memberships[r as usize]
+            .binary_search(&p)
+            .unwrap_or_else(|_| panic!("root {r} is not a member of part {p}"));
+        states[r as usize].dist[idx] = 0;
+        states[r as usize].parent[idx] = r;
+        states[r as usize].fresh[idx] = true;
+    }
+
+    let memberships_ref = &memberships;
+    net.run_until_quiet(
+        &mut states,
+        |u, s: &PBfsState| {
+            let mut out = Vec::new();
+            for (i, &p) in memberships_ref[u as usize].iter().enumerate() {
+                if s.fresh[i] {
+                    for &w in &s.nbrs[i] {
+                        out.push((w, (p, s.dist[i])));
+                    }
+                }
+            }
+            out
+        },
+        |v, s, inbox| {
+            for f in s.fresh.iter_mut() {
+                *f = false;
+            }
+            for (src, (p, d)) in inbox {
+                if let Ok(i) = memberships_ref[v as usize].binary_search(&p) {
+                    if d + 1 < s.dist[i] {
+                        s.dist[i] = d + 1;
+                        s.parent[i] = src;
+                        s.fresh[i] = true;
+                    }
+                }
+            }
+        },
+        8 * n as u64 + 64,
+    );
+
+    // Notification SNC: tell parents about children (the cost of producing
+    // the RST output format of Lemma 8).
+    let mut children: Vec<Vec<(u32, Vec<u32>)>> = (0..n)
+        .map(|v| {
+            memberships[v]
+                .iter()
+                .map(|&p| (p, Vec::new()))
+                .collect()
+        })
+        .collect();
+    let states_ref = &states;
+    net.superstep(
+        &mut children,
+        |u, _c| {
+            let mut out = Vec::new();
+            for (i, &p) in memberships_ref[u as usize].iter().enumerate() {
+                let par = states_ref[u as usize].parent[i];
+                if par != u32::MAX && par != u {
+                    out.push((par, p));
+                }
+            }
+            out
+        },
+        |v, c, inbox| {
+            for (src, p) in inbox {
+                let i = memberships_ref[v as usize].binary_search(&p).unwrap();
+                c[i].1.push(src);
+            }
+        },
+    );
+
+    // Assemble the roles (each node's local knowledge, gathered by the
+    // orchestrator as output).
+    let mut maps: std::collections::HashMap<u32, Vec<(u32, u32, bool)>> =
+        std::collections::HashMap::new();
+    for v in 0..n {
+        for (i, &p) in memberships[v].iter().enumerate() {
+            let par = states[v].parent[i];
+            assert!(
+                par != u32::MAX,
+                "part {p} is disconnected: node {v} unreached"
+            );
+            maps.entry(p).or_default().push((v as u32, par, false));
+        }
+    }
+    let mut maps: Vec<_> = maps.into_iter().collect();
+    maps.sort_by_key(|&(p, _)| p);
+    TreeRoles::from_parent_maps(n, maps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_sim::{Network, NetworkConfig};
+    use twgraph::gen::{banded_path, grid};
+
+    #[test]
+    fn trees_span_parts() {
+        // Grid rows as parts.
+        let g = grid(3, 5);
+        let mut net = Network::new(g.clone(), NetworkConfig::default());
+        let labels: Vec<Option<u32>> = (0..15).map(|v| Some(v / 5)).collect();
+        let parts = Parts::from_labels(&labels);
+        let roots = [(0u32, 0u32), (1, 5), (2, 10)];
+        let tr = part_bfs_trees(&mut net, &parts, &roots);
+        tr.validate().unwrap();
+        assert_eq!(tr.roots(), vec![(0, 0), (1, 5), (2, 10)]);
+        // Tree edges are graph edges within the part.
+        for v in 0..15u32 {
+            for r in &tr.roles[v as usize] {
+                if r.parent != v {
+                    assert!(g.has_edge(v, r.parent));
+                    assert_eq!(labels[v as usize], labels[r.parent as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_tree_depth_is_part_distance() {
+        let g = banded_path(30, 3);
+        let mut net = Network::new(g.clone(), NetworkConfig::default());
+        // One part = whole graph.
+        let parts = Parts::from_labels(&vec![Some(0); 30]);
+        let tr = part_bfs_trees(&mut net, &parts, &[(0, 0)]);
+        // Parent distance decreases by one hop along the tree.
+        let d = twgraph::alg::bfs_dist(&g, 0);
+        for v in 1..30u32 {
+            let r = tr.role_of(v, 0).unwrap();
+            assert_eq!(d[v as usize], d[r.parent as usize] + 1);
+        }
+    }
+
+    #[test]
+    fn near_disjoint_shared_root() {
+        // Path 0-1-2-3-4; parts {0,1,2} and {2,3,4} share node 2.
+        let g = twgraph::gen::path(5);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let parts = Parts::from_lists(
+            2,
+            vec![vec![0], vec![0], vec![0, 1], vec![1], vec![1]],
+        );
+        let tr = part_bfs_trees(&mut net, &parts, &[(0, 2), (1, 2)]);
+        tr.validate().unwrap();
+        assert_eq!(tr.roots(), vec![(0, 2), (1, 2)]);
+        assert_eq!(tr.role_of(0, 0).unwrap().parent, 1);
+        assert_eq!(tr.role_of(4, 1).unwrap().parent, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_part_detected() {
+        let g = twgraph::gen::path(5);
+        let mut net = Network::new(g, NetworkConfig::default());
+        // Part 0 = {0, 4}: not connected through members only.
+        let parts = Parts::from_lists(1, vec![vec![0], vec![], vec![], vec![], vec![0]]);
+        let _ = part_bfs_trees(&mut net, &parts, &[(0, 0)]);
+    }
+}

@@ -1,0 +1,156 @@
+//! CCD — connected component detection (paper Lemma 8).
+//!
+//! Min-UID label flooding restricted to *active* nodes and an *allowed*
+//! edge predicate (evaluated symmetrically at both endpoints, from purely
+//! local data). Every active node ends up knowing the minimum UID in its
+//! component of the allowed subgraph — a globally unique component id.
+//! Rounds ≈ the largest component diameter (measured; see DESIGN.md §4 on
+//! why flooding is the honest substitute here).
+
+use congest_sim::Network;
+
+#[derive(Clone)]
+struct CcdState {
+    label: u64,
+    fresh: bool,
+    active: bool,
+}
+
+/// Detect components among `active` nodes across edges `{u, v}` with both
+/// endpoints active and `allowed(u, v)` true. Returns per node the
+/// component label (min UID in the component), `None` for inactive nodes.
+pub fn detect(
+    net: &mut Network,
+    active: &[bool],
+    allowed: impl Fn(u32, u32) -> bool + Sync,
+) -> Vec<Option<u64>> {
+    let n = net.n();
+    assert_eq!(active.len(), n);
+    let g = net.graph().clone();
+    let mut states: Vec<CcdState> = (0..n as u32)
+        .map(|v| CcdState {
+            label: net.uid(v),
+            fresh: active[v as usize],
+            active: active[v as usize],
+        })
+        .collect();
+    let active_ref = active;
+    net.run_until_quiet(
+        &mut states,
+        |u, s: &CcdState| {
+            if s.fresh && s.active {
+                g.neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| active_ref[v as usize] && allowed(u, v))
+                    .map(|v| (v, s.label))
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        },
+        |_v, s, inbox| {
+            s.fresh = false;
+            if !s.active {
+                return;
+            }
+            for (_src, label) in inbox {
+                if label < s.label {
+                    s.label = label;
+                    s.fresh = true;
+                }
+            }
+        },
+        8 * n as u64 + 64,
+    );
+    states
+        .into_iter()
+        .map(|s| s.active.then_some(s.label))
+        .collect()
+}
+
+/// Compact the labels of [`detect`] into dense part ids `0..N` (ordered by
+/// label) — a free local relabeling given a globally known label list, which
+/// in a real execution is one aggregation the caller has typically already
+/// paid for. Returns `(per-node part id, part count)`.
+pub fn compact_labels(labels: &[Option<u64>]) -> (Vec<Option<u32>>, usize) {
+    let mut distinct: Vec<u64> = labels.iter().flatten().copied().collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let ids = labels
+        .iter()
+        .map(|l| l.map(|x| distinct.binary_search(&x).unwrap() as u32))
+        .collect();
+    (ids, distinct.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_sim::{Network, NetworkConfig};
+    use twgraph::alg::components;
+    use twgraph::gen::{grid, path};
+    use twgraph::UGraph;
+
+    #[test]
+    fn whole_graph_single_component() {
+        let g = grid(3, 4);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let labels = detect(&mut net, &vec![true; 12], |_, _| true);
+        let first = labels[0].unwrap();
+        assert!(labels.iter().all(|&l| l == Some(first)));
+    }
+
+    #[test]
+    fn removing_cut_vertex_splits() {
+        // Path 0-1-2-3-4; deactivate 2 → components {0,1} and {3,4}.
+        let g = path(5);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let mut active = vec![true; 5];
+        active[2] = false;
+        let labels = detect(&mut net, &active, |_, _| true);
+        assert!(labels[2].is_none());
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        let (ids, count) = compact_labels(&labels);
+        assert_eq!(count, 2);
+        assert!(ids[2].is_none());
+    }
+
+    #[test]
+    fn edge_filter_respected() {
+        // Cycle of 6 with edges {0,1} and {3,4} forbidden → two arcs.
+        let g = twgraph::gen::cycle(6);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let forbidden = [(0u32, 1u32), (3, 4)];
+        let labels = detect(&mut net, &vec![true; 6], |u, v| {
+            let key = if u < v { (u, v) } else { (v, u) };
+            !forbidden.contains(&key)
+        });
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[1]);
+        assert_eq!(labels[4], labels[5]);
+        assert_eq!(labels[5], labels[0]);
+    }
+
+    #[test]
+    fn matches_centralized_components() {
+        let g = UGraph::from_edges(8, [(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (5, 7)]);
+        let mut net = Network::new(g.clone(), NetworkConfig::default());
+        let labels = detect(&mut net, &vec![true; 8], |_, _| true);
+        let (comp, k) = components(&g);
+        let (ids, count) = compact_labels(&labels);
+        assert_eq!(count, k);
+        for u in 0..8 {
+            for v in 0..8 {
+                assert_eq!(
+                    comp[u] == comp[v],
+                    ids[u] == ids[v],
+                    "component mismatch for {u},{v}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Part collections: which nodes belong to which subgraphs.
+//!
+//! A [`Parts`] value describes a collection `H = {H_0, …, H_{N−1}}` of
+//! connected subgraphs by per-node membership lists. Vertex-disjoint
+//! collections have singleton lists; *near-disjoint* collections
+//! (paper Appendix A.1) allow shared boundary vertices.
+
+/// Membership structure of a subgraph collection.
+#[derive(Clone, Debug, Default)]
+pub struct Parts {
+    /// Number of parts `N`.
+    pub n_parts: u32,
+    /// Sorted part-id list per node (empty = belongs to no part).
+    pub members: Vec<Vec<u32>>,
+}
+
+impl Parts {
+    /// Build from per-node optional labels (the vertex-disjoint case).
+    pub fn from_labels(labels: &[Option<u32>]) -> Self {
+        let n_parts = labels
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1);
+        Parts {
+            n_parts,
+            members: labels
+                .iter()
+                .map(|l| l.iter().copied().collect())
+                .collect(),
+        }
+    }
+
+    /// Build from per-node membership lists (near-disjoint case).
+    pub fn from_lists(n_parts: u32, mut members: Vec<Vec<u32>>) -> Self {
+        for list in &mut members {
+            list.sort_unstable();
+            list.dedup();
+            debug_assert!(list.iter().all(|&p| p < n_parts));
+        }
+        Parts { n_parts, members }
+    }
+
+    /// Number of nodes the structure covers.
+    pub fn n_nodes(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether `v` belongs to part `p`.
+    #[inline]
+    pub fn contains(&self, v: u32, p: u32) -> bool {
+        self.members[v as usize].binary_search(&p).is_ok()
+    }
+
+    /// Reverse index: the node list of every part.
+    pub fn nodes_of_parts(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.n_parts as usize];
+        for (v, list) in self.members.iter().enumerate() {
+            for &p in list {
+                out[p as usize].push(v as u32);
+            }
+        }
+        out
+    }
+
+    /// Whether the collection is vertex-disjoint (every node in ≤ 1 part).
+    pub fn is_disjoint(&self) -> bool {
+        self.members.iter().all(|l| l.len() <= 1)
+    }
+
+    /// The maximum number of parts any single node belongs to — the overlap
+    /// factor that multiplies congestion for near-disjoint collections.
+    pub fn max_overlap(&self) -> usize {
+        self.members.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_labels_roundtrip() {
+        let p = Parts::from_labels(&[Some(0), Some(1), None, Some(0)]);
+        assert_eq!(p.n_parts, 2);
+        assert!(p.contains(0, 0));
+        assert!(!p.contains(2, 0));
+        assert!(p.is_disjoint());
+        let nodes = p.nodes_of_parts();
+        assert_eq!(nodes[0], vec![0, 3]);
+        assert_eq!(nodes[1], vec![1]);
+    }
+
+    #[test]
+    fn near_disjoint_overlap() {
+        let p = Parts::from_lists(3, vec![vec![0, 1], vec![1], vec![2, 0, 1]]);
+        assert!(!p.is_disjoint());
+        assert_eq!(p.max_overlap(), 3);
+        assert!(p.contains(2, 2));
+        assert!(p.contains(2, 0));
+    }
+
+    #[test]
+    fn empty() {
+        let p = Parts::from_labels(&[None, None]);
+        assert_eq!(p.n_parts, 0);
+        assert_eq!(p.max_overlap(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-part tree roles: the structure both flow engines run on.
+//!
+//! A [`TreeRoles`] records, for every node and every part it participates
+//! in, the node's parent and children within that part's tree. The tree's
+//! edges must be communication-graph edges (the flow engines send messages
+//! along them). Roles come from two sources:
+//!
+//! * part BFS trees ([`crate::bfs::part_bfs_trees`]) — the paper's RST task;
+//! * Steiner subtrees of the global BFS tree ([`crate::pa::steiner_roles`])
+//!   — the tree-restricted shortcut substitute (DESIGN.md §4.1). There,
+//!   *relay* nodes that lie on the Steiner tree without belonging to the
+//!   part also get a role, flagged [`Role::relay`].
+
+/// One node's role in one part's tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Role {
+    /// The part id.
+    pub part: u32,
+    /// Parent node within the part tree (self = root of this part's tree).
+    pub parent: u32,
+    /// Children within the part tree.
+    pub children: Vec<u32>,
+    /// True if the node only forwards for this part (Steiner relay) and
+    /// contributes no value of its own.
+    pub relay: bool,
+}
+
+/// Role lists per node.
+#[derive(Clone, Debug, Default)]
+pub struct TreeRoles {
+    /// `roles[v]` = the roles of node `v`, sorted by part id.
+    pub roles: Vec<Vec<Role>>,
+}
+
+impl TreeRoles {
+    /// Empty role set over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        TreeRoles {
+            roles: vec![Vec::new(); n],
+        }
+    }
+
+    /// Build from per-part parent maps: for each part, a list of
+    /// `(node, parent, relay)` entries (`parent == node` marks the root).
+    pub fn from_parent_maps(
+        n: usize,
+        parts: impl IntoIterator<Item = (u32, Vec<(u32, u32, bool)>)>,
+    ) -> Self {
+        let mut tr = TreeRoles::new(n);
+        for (part, entries) in parts {
+            for &(node, parent, relay) in &entries {
+                tr.roles[node as usize].push(Role {
+                    part,
+                    parent,
+                    children: Vec::new(),
+                    relay,
+                });
+            }
+            // Fill children.
+            for &(node, parent, _) in &entries {
+                if parent != node {
+                    let r = tr.roles[parent as usize]
+                        .iter_mut()
+                        .rev()
+                        .find(|r| r.part == part)
+                        .expect("parent must have a role in the same part");
+                    r.children.push(node);
+                }
+            }
+        }
+        for list in &mut tr.roles {
+            list.sort_by_key(|r| r.part);
+            for r in list.iter_mut() {
+                r.children.sort_unstable();
+            }
+        }
+        tr
+    }
+
+    /// Find node `v`'s role in `part`.
+    #[inline]
+    pub fn role_of(&self, v: u32, part: u32) -> Option<&Role> {
+        let list = &self.roles[v as usize];
+        list.binary_search_by_key(&part, |r| r.part)
+            .ok()
+            .map(|i| &list[i])
+    }
+
+    /// The root node of each part present (part → root), as pairs.
+    pub fn roots(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (v, list) in self.roles.iter().enumerate() {
+            for r in list {
+                if r.parent == v as u32 {
+                    out.push((r.part, v as u32));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Validate the structural invariants: parent/child symmetry, exactly
+    /// one root per part, acyclicity. Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut roots: HashMap<u32, u32> = HashMap::new();
+        for (v, list) in self.roles.iter().enumerate() {
+            for r in list {
+                if r.parent == v as u32 {
+                    if let Some(prev) = roots.insert(r.part, v as u32) {
+                        return Err(format!("part {} has roots {} and {}", r.part, prev, v));
+                    }
+                } else {
+                    let pr = self
+                        .role_of(r.parent, r.part)
+                        .ok_or_else(|| format!("parent {} lacks role in part {}", r.parent, r.part))?;
+                    if !pr.children.contains(&(v as u32)) {
+                        return Err(format!(
+                            "part {}: node {} not in parent {}'s child list",
+                            r.part, v, r.parent
+                        ));
+                    }
+                }
+            }
+        }
+        // Acyclicity: walk up from every role; bounded by n steps.
+        let n = self.roles.len();
+        for (v, list) in self.roles.iter().enumerate() {
+            for r in list {
+                let mut cur = v as u32;
+                for _ in 0..=n {
+                    let role = self.role_of(cur, r.part).unwrap();
+                    if role.parent == cur {
+                        break;
+                    }
+                    cur = role.parent;
+                }
+                let role = self.role_of(cur, r.part).unwrap();
+                if role.parent != cur {
+                    return Err(format!("cycle in part {} reachable from node {}", r.part, v));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        // Part 0: star 0<-1, 0<-2. Part 1: chain 2<-3.
+        let tr = TreeRoles::from_parent_maps(
+            4,
+            [
+                (0u32, vec![(0, 0, false), (1, 0, false), (2, 0, true)]),
+                (1u32, vec![(2, 2, false), (3, 2, false)]),
+            ],
+        );
+        assert!(tr.validate().is_ok());
+        assert_eq!(tr.roots(), vec![(0, 0), (1, 2)]);
+        let r = tr.role_of(0, 0).unwrap();
+        assert_eq!(r.children, vec![1, 2]);
+        assert!(tr.role_of(2, 0).unwrap().relay);
+        assert!(tr.role_of(1, 1).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_two_roots() {
+        let tr = TreeRoles::from_parent_maps(2, [(0u32, vec![(0, 0, false), (1, 1, false)])]);
+        assert!(tr.validate().unwrap_err().contains("roots"));
+    }
+
+    #[test]
+    #[should_panic(expected = "parent must have a role")]
+    fn build_rejects_orphan_parent() {
+        let _ = TreeRoles::from_parent_maps(3, [(0u32, vec![(1, 2, false)])]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Recursive tree decomposition from balanced separators (paper §3.4),
+//! centralized reference implementation.
+//!
+//! Recursion state per tree node `x` (Proposition 3 of the paper):
+//! `G'_x` is a connected component of `G − B_{p(x)}` (so it is an *induced*
+//! subgraph of G), and `G_x = G'_x` plus the `B_{p(x)}`-vertices adjacent
+//! to it (with only the cross edges — no edges inside the inherited set).
+//! The bag is `B_x = (B_{p(x)} ∩ V(G_x)) ∪ S'_x` where `S'_x` is a balanced
+//! separator of `G'_x`, or all of `V(G_x)` at leaves.
+
+use crate::config::SepConfig;
+use crate::sep::{sep_doubling, SepOutcome};
+use rand::Rng;
+use std::collections::VecDeque;
+use twgraph::tw::TreeDecomposition;
+use twgraph::UGraph;
+
+/// Per-tree-node recursion record, kept for downstream algorithms
+/// (distance labeling walks the same G_x structure).
+#[derive(Clone, Debug)]
+pub struct NodeInfo {
+    /// V(G'_x), sorted.
+    pub gpx: Vec<u32>,
+    /// B_{p(x)} ∩ V(G_x): the inherited boundary, sorted.
+    pub inherited: Vec<u32>,
+    /// S'_x — the separator computed for G'_x (sorted); for leaf nodes the
+    /// separator that triggered termination.
+    pub sep: Vec<u32>,
+    /// Whether the node terminated the recursion (B_x = V(G_x)).
+    pub is_leaf: bool,
+}
+
+impl NodeInfo {
+    /// V(G_x) = V(G'_x) ∪ inherited (sorted).
+    pub fn gx(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.gpx.iter().chain(self.inherited.iter()).copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Result of a decomposition run.
+#[derive(Clone, Debug)]
+pub struct DecompOutcome {
+    /// The tree decomposition Φ = (T, {B_x}).
+    pub td: TreeDecomposition,
+    /// Recursion records aligned with `td` node ids.
+    pub info: Vec<NodeInfo>,
+    /// The largest `t` any `Sep` call settled on.
+    pub t_used: u64,
+}
+
+/// Sorted intersection of a sorted vector with a predicate-free list.
+fn adjacent_subset(g: &UGraph, candidates: &[u32], comp_mask: &[bool]) -> Vec<u32> {
+    let mut out: Vec<u32> = candidates
+        .iter()
+        .copied()
+        .filter(|&b| g.neighbors(b).iter().any(|&u| comp_mask[u as usize]))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Build the tree decomposition of the (connected) graph `g` (Theorem 1's
+/// centralized counterpart; the distributed version lives in [`crate::dist`]).
+pub fn decompose_centralized(
+    g: &UGraph,
+    t0: u64,
+    cfg: &SepConfig,
+    rng: &mut impl Rng,
+) -> DecompOutcome {
+    let n = g.n();
+    assert!(n > 0, "cannot decompose the empty graph");
+    assert!(
+        twgraph::alg::is_connected(g),
+        "input communication graph must be connected"
+    );
+
+    let mut td = TreeDecomposition::default();
+    let mut info: Vec<NodeInfo> = Vec::new();
+    let mut t_used = t0.max(2);
+
+    struct Work {
+        parent: Option<usize>,
+        gpx: Vec<u32>,
+        inherited: Vec<u32>,
+    }
+    let mut queue = VecDeque::new();
+    queue.push_back(Work {
+        parent: None,
+        gpx: (0..n as u32).collect(),
+        inherited: Vec::new(),
+    });
+
+    while let Some(w) = queue.pop_front() {
+        // Separator of G'_x with X = V(G'_x).
+        let mut members = vec![false; n];
+        let mut mu = vec![0u64; n];
+        for &v in &w.gpx {
+            members[v as usize] = true;
+            mu[v as usize] = 1;
+        }
+        let SepOutcome {
+            separator: sep,
+            t_used: t_here,
+            ..
+        } = sep_doubling(g, &members, &mu, t_used, cfg, rng);
+        t_used = t_used.max(t_here);
+
+        let gx_size = w.gpx.len() + w.inherited.len();
+        let sx_size = sep.len() + w.inherited.len();
+        if gx_size <= 2 * sx_size {
+            // Leaf: B_x = V(G_x).
+            let mut bag: Vec<u32> = w.gpx.iter().chain(w.inherited.iter()).copied().collect();
+            bag.sort_unstable();
+            let _ = td.push_bag(w.parent, bag);
+            info.push(NodeInfo {
+                gpx: w.gpx,
+                inherited: w.inherited,
+                sep,
+                is_leaf: true,
+            });
+            continue;
+        }
+
+        // Internal node: B_x = inherited ∪ S'_x.
+        let mut bag: Vec<u32> = w.inherited.iter().chain(sep.iter()).copied().collect();
+        bag.sort_unstable();
+        bag.dedup();
+        let x = td.push_bag(w.parent, bag.clone());
+        debug_assert_eq!(x, info.len());
+
+        // Children: components of G'_x − S'_x.
+        let mut child_members = members.clone();
+        for &s in &sep {
+            child_members[s as usize] = false;
+        }
+        let comps = components_of(g, &child_members);
+        for comp in comps {
+            let mut comp_mask = vec![false; n];
+            for &v in &comp {
+                comp_mask[v as usize] = true;
+            }
+            let child_inherited = adjacent_subset(g, &bag, &comp_mask);
+            queue.push_back(Work {
+                parent: Some(x),
+                gpx: comp,
+                inherited: child_inherited,
+            });
+        }
+        info.push(NodeInfo {
+            gpx: w.gpx,
+            inherited: w.inherited,
+            sep,
+            is_leaf: false,
+        });
+    }
+
+    DecompOutcome { td, info, t_used }
+}
+
+/// Connected components of the subgraph induced by `mask`, each sorted.
+pub(crate) fn components_of(g: &UGraph, mask: &[bool]) -> Vec<Vec<u32>> {
+    let n = g.n();
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    for s in 0..n as u32 {
+        if seen[s as usize] || !mask[s as usize] {
+            continue;
+        }
+        let mut comp = vec![s];
+        seen[s as usize] = true;
+        let mut q = VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                if mask[v as usize] && !seen[v as usize] {
+                    seen[v as usize] = true;
+                    comp.push(v);
+                    q.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use twgraph::gen::{banded_path, cycle, grid, ktree, random_tree};
+
+    fn check(g: &UGraph, t0: u64, seed: u64) -> DecompOutcome {
+        let cfg = SepConfig::practical(g.n());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = decompose_centralized(g, t0, &cfg, &mut rng);
+        out.td
+            .verify(g)
+            .unwrap_or_else(|e| panic!("invalid decomposition: {e}"));
+        out
+    }
+
+    #[test]
+    fn banded_path_decomposes() {
+        let g = banded_path(500, 2);
+        let out = check(&g, 3, 1);
+        let stats = out.td.stats();
+        assert!(stats.width < 120, "width {} too large", stats.width);
+        assert!(stats.depth <= 64, "depth {}", stats.depth);
+    }
+
+    #[test]
+    fn ktree_decomposes() {
+        let g = ktree(300, 3, 7);
+        let out = check(&g, 4, 2);
+        assert!(out.td.stats().width < 150);
+    }
+
+    #[test]
+    fn tree_decomposes_narrow() {
+        let g = random_tree(400, 3);
+        let out = check(&g, 2, 3);
+        // τ = 1: practical constants keep this comfortably narrow.
+        assert!(
+            out.td.stats().width < 60,
+            "width {} for a tree",
+            out.td.stats().width
+        );
+    }
+
+    #[test]
+    fn cycle_and_grid() {
+        check(&cycle(128), 3, 4);
+        check(&grid(10, 10), 11, 5);
+    }
+
+    #[test]
+    fn small_graph_single_bag() {
+        let g = cycle(8);
+        let out = check(&g, 3, 6);
+        // Step 1 fires immediately: one bag with all vertices.
+        assert_eq!(out.td.bags.len(), 1);
+        assert_eq!(out.td.width(), 7);
+    }
+
+    #[test]
+    fn info_consistency() {
+        let g = banded_path(300, 3);
+        let out = check(&g, 4, 8);
+        for (x, ni) in out.info.iter().enumerate() {
+            // G'_x and inherited are disjoint; bag ⊆ V(G_x).
+            for b in &ni.inherited {
+                assert!(ni.gpx.binary_search(b).is_err());
+            }
+            let gx = ni.gx();
+            for b in &out.td.bags[x] {
+                assert!(gx.binary_search(b).is_ok(), "bag vertex outside G_x");
+            }
+            // Children partition G'_x − S'_x.
+            if !ni.is_leaf {
+                let mut child_union: Vec<u32> = out.td.children[x]
+                    .iter()
+                    .flat_map(|&c| out.info[c].gpx.clone())
+                    .collect();
+                child_union.sort_unstable();
+                let mut expect: Vec<u32> = ni
+                    .gpx
+                    .iter()
+                    .copied()
+                    .filter(|v| ni.sep.binary_search(v).is_err())
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(child_union, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn width_scales_with_k() {
+        // Same n, growing k: width should grow, stay valid.
+        let mut last = 0;
+        for k in [1usize, 3] {
+            let g = banded_path(400, k.max(1));
+            let out = check(&g, k as u64 + 1, 9);
+            let w = out.td.stats().width;
+            assert!(w >= last / 4, "width collapsed: {w} after {last}");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn depth_logarithmic() {
+        for n in [200usize, 800] {
+            let g = banded_path(n, 2);
+            let out = check(&g, 3, 10);
+            let depth = out.td.stats().depth;
+            // practical balance 7/8 ⇒ depth ≤ log_{8/7}(n) + slack.
+            let bound = ((n as f64).ln() / (8.0f64 / 7.0).ln()).ceil() as usize + 8;
+            assert!(depth <= bound, "depth {depth} > bound {bound} at n={n}");
+        }
+    }
+}

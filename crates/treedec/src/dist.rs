@@ -1,0 +1,531 @@
+//! Distributed tree decomposition (paper Theorem 1, Appendix B.2–B.3).
+//!
+//! All recursion-level subgraphs {G'_x | x ∈ A_ℓ} are vertex disjoint and
+//! mutually non-adjacent, so one CONGEST execution processes the whole
+//! level: every data movement — counting µ, leader election, spanning-tree
+//! construction (RST), subtree sizing for `Split` (STA), component
+//! detection (CCD), component measures (PA) and the sampled-pair vertex
+//! cuts (MVC) — runs through the charged simulator primitives, batched
+//! across parts in shared supersteps. Control decisions (loop advancement,
+//! balance verdicts) are orchestrated centrally and charged as O(height)
+//! control pulses per phase (DESIGN.md §4.4).
+
+use crate::config::SepConfig;
+use crate::decomp::{components_of, NodeInfo};
+use crate::sep::SepPath;
+use crate::split::{split_to_completion, STree};
+use congest_sim::Network;
+use rand::Rng;
+use std::collections::HashMap;
+use subgraph_ops::ccd;
+use subgraph_ops::global::{build_global_tree, GlobalTree};
+use subgraph_ops::mvc::{batch_min_vertex_cut, CutInstance, CutResult};
+use subgraph_ops::pa;
+use subgraph_ops::{bfs::part_bfs_trees, Parts, TreeRoles};
+
+/// Result of the distributed decomposition.
+#[derive(Clone, Debug)]
+pub struct DistDecompOutcome {
+    /// The tree decomposition.
+    pub td: twgraph::tw::TreeDecomposition,
+    /// Recursion records aligned with tree node ids.
+    pub info: Vec<NodeInfo>,
+    /// The largest `t` used.
+    pub t_used: u64,
+    /// Total charged rounds for the construction (excluding the global
+    /// tree build, reported separately).
+    pub rounds: u64,
+    /// Rounds spent building the global BFS backbone.
+    pub backbone_rounds: u64,
+}
+
+/// One level item: a pending G'_x with its tree parent and boundary.
+struct Work {
+    parent: Option<usize>,
+    gpx: Vec<u32>,
+    inherited: Vec<u32>,
+}
+
+/// Outcome of one batched Sep attempt for one item.
+enum ItemSep {
+    Done { separator: Vec<u32>, path: SepPath },
+    Failed,
+}
+
+/// Execute upflow/downflow traffic equivalent to one STA + total-share pass
+/// over the given split trees (the real flows `Split` needs per round:
+/// subtree sizes up, totals down).
+fn charge_split_flows(net: &mut Network, trees: &[(u32, &STree)], mu: &[u64]) {
+    if trees.is_empty() {
+        return;
+    }
+    let n = net.n();
+    let maps: Vec<(u32, Vec<(u32, u32, bool)>)> = trees
+        .iter()
+        .map(|&(pid, tr)| {
+            (
+                pid,
+                tr.nodes.iter().map(|&(v, p)| (v, p, false)).collect(),
+            )
+        })
+        .collect();
+    let roles = TreeRoles::from_parent_maps(n, maps);
+    let shared = pa::aggregate_and_share(net, &roles, |v, _p| Some(mu[v as usize]), |a, b| a + b);
+    let _ = shared;
+}
+
+/// µ totals per compacted component id (distributed CCD + PA), plus the
+/// per-node component assignment. `active` selects the vertices still in
+/// play; `mu` is the measure.
+fn component_measures(
+    net: &mut Network,
+    gtree: &GlobalTree,
+    active: &[bool],
+    mu: &[u64],
+) -> (Vec<Option<u32>>, Vec<u64>) {
+    let labels = ccd::detect(net, active, |_, _| true);
+    let (ids, count) = ccd::compact_labels(&labels);
+    if count == 0 {
+        return (ids, Vec::new());
+    }
+    let parts = Parts::from_labels(&ids);
+    let roles = pa::steiner_roles(gtree, &parts);
+    let up = pa::aggregate(net, &roles, |v, _p| Some(mu[v as usize]), |a, b| a + b);
+    let mut totals = vec![0u64; count];
+    for (p, total) in up.roots {
+        totals[p as usize] = total;
+    }
+    gtree.charge_control_pulse(net);
+    (ids, totals)
+}
+
+/// One batched Sep attempt at a fixed `t` across all `items` (each a
+/// connected, mutually non-adjacent vertex set). Returns per-item results.
+#[allow(clippy::too_many_arguments)]
+fn batched_sep_attempt(
+    net: &mut Network,
+    gtree: &GlobalTree,
+    g: &twgraph::UGraph,
+    items: &[&Vec<u32>],
+    t: u64,
+    cfg: &SepConfig,
+    rng: &mut impl Rng,
+) -> Vec<ItemSep> {
+    let n = net.n();
+    let n_items = items.len();
+    let mu: Vec<u64> = {
+        let mut m = vec![0u64; n];
+        for it in items {
+            for &v in it.iter() {
+                m[v as usize] = 1;
+            }
+        }
+        m
+    };
+
+    // µ(G'_x) per item via PA over the item parts (real flow).
+    let item_parts = {
+        let mut member_lists = vec![Vec::new(); n];
+        for (i, it) in items.iter().enumerate() {
+            for &v in it.iter() {
+                member_lists[v as usize].push(i as u32);
+            }
+        }
+        Parts::from_lists(n_items as u32, member_lists)
+    };
+    let item_roles = pa::steiner_roles(gtree, &item_parts);
+    let up = pa::aggregate(net, &item_roles, |v, _p| Some(mu[v as usize]), |a, b| a + b);
+    let mut mu_g = vec![0u64; n_items];
+    for (p, total) in up.roots {
+        mu_g[p as usize] = total;
+    }
+    gtree.charge_control_pulse(net);
+
+    let mut result: Vec<Option<ItemSep>> = (0..n_items).map(|_| None).collect();
+    // Step 1 short-circuit.
+    for i in 0..n_items {
+        if mu_g[i] <= cfg.small_cutoff * t * t {
+            result[i] = Some(ItemSep::Done {
+                separator: items[i].clone(),
+                path: SepPath::Small,
+            });
+        }
+    }
+
+    // Iterations: harvest split-tree roots, lockstep across items.
+    let iters = cfg.iterations(t);
+    let mut cur: Vec<Vec<u32>> = items.iter().map(|it| (*it).clone()).collect(); // G_i members
+    let mut removed = vec![false; n]; // ⋃ R* over all items (disjoint parts)
+    let mut r_star: Vec<Vec<u32>> = vec![Vec::new(); n_items];
+    let mut tis: Vec<Vec<STree>> = vec![Vec::new(); n_items]; // all split trees per item
+    for _i in 1..=iters {
+        let live: Vec<usize> = (0..n_items)
+            .filter(|&i| result[i].is_none() && !cur[i].is_empty())
+            .collect();
+        if live.is_empty() {
+            break;
+        }
+        // RST per live item's current G_i (batched). Roots: minimum member
+        // (a real run elects via SLE — charge one pulse).
+        let mut member_lists = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+        for (slot, &i) in live.iter().enumerate() {
+            for &v in &cur[i] {
+                member_lists[v as usize].push(slot as u32);
+            }
+            roots.push((slot as u32, cur[i][0]));
+        }
+        let parts = Parts::from_lists(live.len() as u32, member_lists);
+        gtree.charge_control_pulse(net);
+        let trees = part_bfs_trees(net, &parts, &roots);
+
+        // Split (centralized control over node-reported structure, with the
+        // STA/total flows charged per split round — DESIGN.md §4.4).
+        let split_rounds = (t.max(2)).ilog2() as usize + 2;
+        for (slot, &i) in live.iter().enumerate() {
+            let stree = stree_from_roles(&trees, slot as u32, roots[slot].1);
+            for _ in 0..split_rounds {
+                charge_split_flows(net, &[(slot as u32, &stree)], &mu);
+            }
+            let ti = split_to_completion(stree, &mu, mu_g[i], t, cfg);
+            let mut ri: Vec<u32> = ti.iter().map(|tr| tr.root).collect();
+            ri.sort_unstable();
+            ri.dedup();
+            for &r in &ri {
+                if !removed[r as usize] {
+                    removed[r as usize] = true;
+                    r_star[i].push(r);
+                }
+            }
+            tis[i].extend(ti);
+        }
+
+        // Balance check of R* per item + next G_{i+1} via CCD/PA.
+        let active: Vec<bool> = (0..n)
+            .map(|v| mu[v] > 0 && !removed[v] && items.iter().any(|it| it.binary_search(&(v as u32)).is_ok()))
+            .collect();
+        let (ids, totals) = component_measures(net, gtree, &active, &mu);
+        // Assign components to items (components lie inside one item).
+        let mut comp_item: HashMap<u32, usize> = HashMap::new();
+        for v in 0..n {
+            if let Some(c) = ids[v] {
+                if let std::collections::hash_map::Entry::Vacant(e) = comp_item.entry(c) {
+                    let i = items
+                        .iter()
+                        .position(|it| it.binary_search(&(v as u32)).is_ok())
+                        .unwrap();
+                    e.insert(i);
+                }
+            }
+        }
+        for &i in &live {
+            let largest = comp_item
+                .iter()
+                .filter(|&(_, &it)| it == i)
+                .map(|(&c, _)| totals[c as usize])
+                .max()
+                .unwrap_or(0);
+            if cfg.is_balanced(largest, mu_g[i]) {
+                let mut sep = r_star[i].clone();
+                sep.sort_unstable();
+                result[i] = Some(ItemSep::Done {
+                    separator: sep,
+                    path: SepPath::Roots(_i),
+                });
+            } else {
+                // G_{i+1} = heaviest component of G_i − R_i within item i.
+                let best_comp = comp_item
+                    .iter()
+                    .filter(|&(_, &it)| it == i)
+                    .max_by_key(|&(&c, _)| (totals[c as usize], u32::MAX - c))
+                    .map(|(&c, _)| c);
+                cur[i] = match best_comp {
+                    Some(c) => (0..n as u32)
+                        .filter(|&v| ids[v as usize] == Some(c) && cur[i].binary_search(&v).is_ok())
+                        .collect(),
+                    None => Vec::new(),
+                };
+                if cur[i].is_empty() {
+                    let mut sep = r_star[i].clone();
+                    sep.sort_unstable();
+                    result[i] = Some(ItemSep::Done {
+                        separator: sep,
+                        path: SepPath::Roots(_i),
+                    });
+                }
+            }
+        }
+    }
+
+    // Step 4: sampled-pair vertex cuts for the still-open items.
+    for _trial in 0..cfg.trials.max(1) {
+        let open: Vec<usize> = (0..n_items).filter(|&i| result[i].is_none()).collect();
+        if open.is_empty() {
+            break;
+        }
+        let mut instances = Vec::new();
+        let mut owner = Vec::new();
+        for &i in &open {
+            let ti = &tis[i];
+            if ti.len() < 2 {
+                continue;
+            }
+            for _ in 0..cfg.sampled_pairs * cfg.iterations(t) as usize {
+                let a = rng.gen_range(0..ti.len());
+                let b = rng.gen_range(0..ti.len());
+                if a == b {
+                    continue;
+                }
+                let mut xs = ti[a].members();
+                let mut ys = ti[b].members();
+                xs.sort_unstable();
+                ys.sort_unstable();
+                instances.push(CutInstance {
+                    members: Some(items[i].clone()),
+                    sources: xs,
+                    sinks: ys,
+                });
+                owner.push(i);
+            }
+        }
+        let cuts = batch_min_vertex_cut(net, &instances, t as usize);
+        let mut z: Vec<Vec<u32>> = vec![Vec::new(); n_items];
+        for (k, cut) in cuts.into_iter().enumerate() {
+            if let CutResult::Cut(c) = cut {
+                z[owner[k]].extend(c);
+            }
+        }
+        // Balance check for Z (and union fallback) via CCD/PA.
+        for &i in &open {
+            z[i].sort_unstable();
+            z[i].dedup();
+            let check = |sep: &Vec<u32>, net: &mut Network| -> bool {
+                let active: Vec<bool> = (0..n as u32)
+                    .map(|v| {
+                        items[i].binary_search(&v).is_ok() && sep.binary_search(&v).is_err()
+                    })
+                    .collect();
+                let (_, totals) = component_measures(net, gtree, &active, &mu);
+                let largest = totals.iter().copied().max().unwrap_or(0);
+                cfg.is_balanced(largest, mu_g[i])
+            };
+            if check(&z[i], net) {
+                result[i] = Some(ItemSep::Done {
+                    separator: z[i].clone(),
+                    path: SepPath::Cuts,
+                });
+            } else if cfg.union_fallback {
+                let mut u: Vec<u32> = z[i].iter().chain(r_star[i].iter()).copied().collect();
+                u.sort_unstable();
+                u.dedup();
+                if check(&u, net) {
+                    result[i] = Some(ItemSep::Done {
+                        separator: u,
+                        path: SepPath::Union,
+                    });
+                }
+            }
+        }
+    }
+    let _ = g;
+    result
+        .into_iter()
+        .map(|r| r.unwrap_or(ItemSep::Failed))
+        .collect()
+}
+
+/// Extract the STree of part `pid` rooted at `root` from RST output.
+fn stree_from_roles(trees: &TreeRoles, pid: u32, root: u32) -> STree {
+    let mut nodes = Vec::new();
+    for (v, list) in trees.roles.iter().enumerate() {
+        for r in list {
+            if r.part == pid {
+                nodes.push((v as u32, r.parent));
+            }
+        }
+    }
+    STree { root, nodes }
+}
+
+/// Distributed tree decomposition of the network's communication graph
+/// (paper Theorem 1). Rounds are accumulated in the network's metrics and
+/// reported in the outcome.
+pub fn decompose_distributed(
+    net: &mut Network,
+    t0: u64,
+    cfg: &SepConfig,
+    rng: &mut impl Rng,
+) -> DistDecompOutcome {
+    let n = net.n();
+    let g = net.graph().clone();
+    let before_backbone = net.metrics().rounds;
+    let gtree = build_global_tree(net);
+    let backbone_rounds = net.metrics().rounds - before_backbone;
+    let start_rounds = net.metrics().rounds;
+
+    let mut td = twgraph::tw::TreeDecomposition::default();
+    let mut info: Vec<NodeInfo> = Vec::new();
+    let mut t = t0.max(2);
+    let mut level: Vec<Work> = vec![Work {
+        parent: None,
+        gpx: (0..n as u32).collect(),
+        inherited: Vec::new(),
+    }];
+
+    while !level.is_empty() {
+        // Batched Sep over this level's items, with shared t-doubling.
+        let gpxs: Vec<&Vec<u32>> = level.iter().map(|w| &w.gpx).collect();
+        let mut seps: Vec<Option<(Vec<u32>, SepPath)>> = vec![None; level.len()];
+        loop {
+            let open: Vec<usize> = (0..level.len()).filter(|&i| seps[i].is_none()).collect();
+            if open.is_empty() {
+                break;
+            }
+            let open_items: Vec<&Vec<u32>> = open.iter().map(|&i| gpxs[i]).collect();
+            let results = batched_sep_attempt(net, &gtree, &g, &open_items, t, cfg, rng);
+            let mut any_fail = false;
+            for (slot, res) in results.into_iter().enumerate() {
+                match res {
+                    ItemSep::Done { separator, path } => {
+                        seps[open[slot]] = Some((separator, path));
+                    }
+                    ItemSep::Failed => any_fail = true,
+                }
+            }
+            if any_fail {
+                t *= 2;
+                assert!(t <= 4 * n as u64 + 16, "t doubling ran away");
+            }
+        }
+
+        // Materialize tree nodes and the next level.
+        let mut next_level = Vec::new();
+        for (w, sep_out) in level.iter().zip(seps.into_iter()) {
+            let (sep, _path) = sep_out.unwrap();
+            let gx_size = w.gpx.len() + w.inherited.len();
+            let sx_size = sep.len() + w.inherited.len();
+            if gx_size <= 2 * sx_size {
+                let mut bag: Vec<u32> =
+                    w.gpx.iter().chain(w.inherited.iter()).copied().collect();
+                bag.sort_unstable();
+                td.push_bag(w.parent, bag);
+                info.push(NodeInfo {
+                    gpx: w.gpx.clone(),
+                    inherited: w.inherited.clone(),
+                    sep,
+                    is_leaf: true,
+                });
+                continue;
+            }
+            let mut bag: Vec<u32> = w.inherited.iter().chain(sep.iter()).copied().collect();
+            bag.sort_unstable();
+            bag.dedup();
+            let x = td.push_bag(w.parent, bag.clone());
+            debug_assert_eq!(x, info.len());
+            let mut mask = vec![false; n];
+            for &v in &w.gpx {
+                mask[v as usize] = true;
+            }
+            for &s in &sep {
+                mask[s as usize] = false;
+            }
+            for comp in components_of(&g, &mask) {
+                let mut comp_mask = vec![false; n];
+                for &v in &comp {
+                    comp_mask[v as usize] = true;
+                }
+                let child_inherited: Vec<u32> = bag
+                    .iter()
+                    .copied()
+                    .filter(|&b| g.neighbors(b).iter().any(|&u| comp_mask[u as usize]))
+                    .collect();
+                next_level.push(Work {
+                    parent: Some(x),
+                    gpx: comp,
+                    inherited: child_inherited,
+                });
+            }
+            info.push(NodeInfo {
+                gpx: w.gpx.clone(),
+                inherited: w.inherited.clone(),
+                sep,
+                is_leaf: false,
+            });
+        }
+        level = next_level;
+    }
+
+    DistDecompOutcome {
+        td,
+        info,
+        t_used: t,
+        rounds: net.metrics().rounds - start_rounds,
+        backbone_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_sim::{Network, NetworkConfig};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use twgraph::gen::{banded_path, cycle, ktree, random_tree};
+
+    fn run(g: &twgraph::UGraph, t0: u64, seed: u64) -> (DistDecompOutcome, Network) {
+        let mut net = Network::new(g.clone(), NetworkConfig::default());
+        let cfg = SepConfig::practical(g.n());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = decompose_distributed(&mut net, t0, &cfg, &mut rng);
+        out.td
+            .verify(g)
+            .unwrap_or_else(|e| panic!("invalid distributed decomposition: {e}"));
+        (out, net)
+    }
+
+    #[test]
+    fn banded_path_distributed() {
+        let g = banded_path(200, 2);
+        let (out, _net) = run(&g, 3, 1);
+        assert!(out.td.stats().width < 100);
+        assert!(out.rounds > 0);
+    }
+
+    #[test]
+    fn ktree_distributed() {
+        let g = ktree(150, 3, 4);
+        let (out, _net) = run(&g, 4, 2);
+        assert!(out.td.stats().width < 120);
+    }
+
+    #[test]
+    fn tree_distributed() {
+        let g = random_tree(150, 6);
+        let (out, _) = run(&g, 2, 3);
+        assert!(out.td.stats().width < 60);
+    }
+
+    #[test]
+    fn small_cycle_single_bag() {
+        let g = cycle(10);
+        let (out, _) = run(&g, 3, 4);
+        assert_eq!(out.td.bags.len(), 1);
+    }
+
+    #[test]
+    fn rounds_scale_with_diameter() {
+        // Same treewidth, double the diameter → rounds grow, but far less
+        // than linearly in n² (sanity of the cost accounting).
+        let g1 = banded_path(128, 2);
+        let g2 = banded_path(256, 2);
+        let (o1, _) = run(&g1, 3, 5);
+        let (o2, _) = run(&g2, 3, 5);
+        assert!(o2.rounds > o1.rounds);
+        assert!(
+            o2.rounds < o1.rounds * 16,
+            "rounds exploded: {} -> {}",
+            o1.rounds,
+            o2.rounds
+        );
+    }
+}

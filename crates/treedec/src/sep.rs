@@ -1,0 +1,424 @@
+//! `Sep` — the balanced-separator algorithm (paper §3.3), centralized
+//! reference implementation. The distributed implementation in
+//! [`crate::dist`] executes the same logic through charged primitives.
+
+use crate::config::SepConfig;
+use crate::split::{split_to_completion, STree};
+use rand::Rng;
+use std::collections::VecDeque;
+use twgraph::alg::min_vertex_cut;
+use twgraph::UGraph;
+
+/// Which of the algorithm's output paths produced the separator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SepPath {
+    /// Step 1: µ(G) ≤ `small_cutoff`·t² — X itself is output.
+    Small,
+    /// Step 3: the harvested split-tree roots R* became balanced after the
+    /// recorded iteration.
+    Roots(u64),
+    /// Step 4: the sampled-pair cut set Z.
+    Cuts,
+    /// Practical fallback: R* ∪ Z (only with `union_fallback`).
+    Union,
+}
+
+/// A successful `Sep` run.
+#[derive(Clone, Debug)]
+pub struct SepOutcome {
+    /// The separator vertices (sorted).
+    pub separator: Vec<u32>,
+    /// The `t` value that succeeded.
+    pub t_used: u64,
+    /// Which output path fired.
+    pub path: SepPath,
+}
+
+/// Spanning tree of the subgraph induced by `members` (must be connected
+/// within it), randomized neighbour order.
+fn spanning_tree_of(g: &UGraph, members: &[bool], rng: &mut impl Rng) -> STree {
+    let root = (0..g.n() as u32)
+        .find(|&v| members[v as usize])
+        .expect("empty subgraph has no spanning tree");
+    let mut parent = vec![u32::MAX; g.n()];
+    parent[root as usize] = root;
+    let mut nodes = vec![(root, root)];
+    let mut q = VecDeque::new();
+    q.push_back(root);
+    let mut scratch: Vec<u32> = Vec::new();
+    while let Some(u) = q.pop_front() {
+        scratch.clear();
+        scratch.extend(
+            g.neighbors(u)
+                .iter()
+                .copied()
+                .filter(|&v| members[v as usize] && parent[v as usize] == u32::MAX),
+        );
+        // Randomized order, matching the arbitrary tie-breaks a distributed
+        // execution would produce.
+        for i in (1..scratch.len()).rev() {
+            scratch.swap(i, rng.gen_range(0..=i));
+        }
+        for &v in &scratch {
+            if parent[v as usize] == u32::MAX {
+                parent[v as usize] = u;
+                nodes.push((v, u));
+                q.push_back(v);
+            }
+        }
+    }
+    STree { root, nodes }
+}
+
+/// µ-measure of the heaviest component of `g` minus `removed`, restricted
+/// to `members`, together with that component's vertex list.
+fn heaviest_component(
+    g: &UGraph,
+    members: &[bool],
+    removed: &[bool],
+    mu: &[u64],
+) -> (u64, Vec<u32>) {
+    let n = g.n();
+    let mut seen = vec![false; n];
+    let mut best: (u64, Vec<u32>) = (0, Vec::new());
+    for s in 0..n as u32 {
+        let si = s as usize;
+        if seen[si] || !members[si] || removed[si] {
+            continue;
+        }
+        let mut comp = vec![s];
+        let mut total = mu[si];
+        seen[si] = true;
+        let mut q = VecDeque::from([s]);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                let vi = v as usize;
+                if !seen[vi] && members[vi] && !removed[vi] {
+                    seen[vi] = true;
+                    total += mu[vi];
+                    comp.push(v);
+                    q.push_back(v);
+                }
+            }
+        }
+        if total > best.0 || (total == best.0 && best.1.is_empty()) {
+            best = (total, comp);
+        }
+    }
+    best
+}
+
+/// Is `sep` an (X, α)-balanced separator of the subgraph induced by
+/// `members` (w.r.t. the measure `mu` summing to `mu_g`)?
+pub(crate) fn is_balanced_separator(
+    g: &UGraph,
+    members: &[bool],
+    sep: &[u32],
+    mu: &[u64],
+    mu_g: u64,
+    cfg: &SepConfig,
+) -> bool {
+    let mut removed = vec![false; g.n()];
+    for &v in sep {
+        removed[v as usize] = true;
+    }
+    let (largest, _) = heaviest_component(g, members, &removed, mu);
+    cfg.is_balanced(largest, mu_g)
+}
+
+/// One attempt of `Sep` at a fixed `t` (steps 1–4). `members` selects the
+/// (connected) subgraph to separate; `mu` is the µ_X measure over *global*
+/// vertex ids (zero outside `members`). Returns `None` when all step-4
+/// trials fail — the caller doubles `t`.
+pub fn sep_centralized(
+    g: &UGraph,
+    members: &[bool],
+    mu: &[u64],
+    t: u64,
+    cfg: &SepConfig,
+    rng: &mut impl Rng,
+) -> Option<SepOutcome> {
+    let mu_g: u64 = (0..g.n())
+        .filter(|&v| members[v])
+        .map(|v| mu[v])
+        .sum();
+
+    // Step 1.
+    if mu_g <= cfg.small_cutoff * t * t {
+        let separator: Vec<u32> = (0..g.n() as u32)
+            .filter(|&v| members[v as usize] && mu[v as usize] > 0)
+            .collect();
+        return Some(SepOutcome {
+            separator,
+            t_used: t,
+            path: SepPath::Small,
+        });
+    }
+
+    // Steps 2–3: harvest split-tree roots over shrinking G_i.
+    let member_list: Vec<u32> = (0..g.n() as u32)
+        .filter(|&v| members[v as usize])
+        .collect();
+    let mut cur_members = members.to_vec(); // V(G_i)
+    let mut removed = vec![false; g.n()]; // R*_i as a mask
+    let mut r_star: Vec<u32> = Vec::new();
+    let mut tis: Vec<Vec<STree>> = Vec::new();
+    let iters = cfg.iterations(t);
+    let mut roots_balanced_at = None;
+    for i in 1..=iters {
+        let t_star = spanning_tree_of(g, &cur_members, rng);
+        let ti = split_to_completion(t_star, mu, mu_g, t, cfg);
+        let mut ri: Vec<u32> = ti.iter().map(|tr| tr.root).collect();
+        ri.sort_unstable();
+        ri.dedup();
+        for &r in &ri {
+            if !removed[r as usize] {
+                removed[r as usize] = true;
+                r_star.push(r);
+            }
+        }
+        tis.push(ti);
+        // Balance check of R* against the whole input subgraph.
+        let (largest, heaviest) = heaviest_component(g, members, &removed, mu);
+        if cfg.is_balanced(largest, mu_g) {
+            roots_balanced_at = Some(i);
+            break;
+        }
+        if i < iters {
+            // G_{i+1} = heaviest component of G_i − R_i.
+            let mut next = vec![false; g.n()];
+            // Recompute the heaviest component *within* G_i (not the whole
+            // input): restrict to cur_members.
+            let (_, comp) = heaviest_component(g, &cur_members, &removed, mu);
+            for v in comp {
+                next[v as usize] = true;
+            }
+            let _ = heaviest;
+            cur_members = next;
+            if cur_members.iter().all(|&b| !b) {
+                // Everything got removed — R* is trivially balanced.
+                roots_balanced_at = Some(i);
+                break;
+            }
+        }
+    }
+    if let Some(i) = roots_balanced_at {
+        r_star.sort_unstable();
+        return Some(SepOutcome {
+            separator: r_star,
+            t_used: t,
+            path: SepPath::Roots(i),
+        });
+    }
+
+    // Step 4: sampled-pair vertex cuts.
+    let _ = member_list;
+    for _trial in 0..cfg.trials.max(1) {
+        let mut z: Vec<u32> = Vec::new();
+        for ti in &tis {
+            if ti.len() < 2 {
+                continue;
+            }
+            for _ in 0..cfg.sampled_pairs {
+                let a = rng.gen_range(0..ti.len());
+                let b = rng.gen_range(0..ti.len());
+                if a == b {
+                    continue;
+                }
+                let mut xs = ti[a].members();
+                let mut ys = ti[b].members();
+                xs.sort_unstable();
+                ys.sort_unstable();
+                let mut memb: Vec<u32> = (0..g.n() as u32)
+                    .filter(|&v| members[v as usize])
+                    .collect();
+                memb.sort_unstable();
+                if let Some(cut) = min_vertex_cut(g, Some(&memb), &xs, &ys, t as usize) {
+                    z.extend(cut);
+                }
+            }
+        }
+        z.sort_unstable();
+        z.dedup();
+        if is_balanced_separator(g, members, &z, mu, mu_g, cfg) {
+            return Some(SepOutcome {
+                separator: z,
+                t_used: t,
+                path: SepPath::Cuts,
+            });
+        }
+        if cfg.union_fallback {
+            let mut u: Vec<u32> = z.iter().chain(r_star.iter()).copied().collect();
+            u.sort_unstable();
+            u.dedup();
+            if is_balanced_separator(g, members, &u, mu, mu_g, cfg) {
+                return Some(SepOutcome {
+                    separator: u,
+                    t_used: t,
+                    path: SepPath::Union,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// `Sep` with the standard doubling estimation of `t` (paper §3.2): try
+/// `t = t0, 2t0, …` until success. Always terminates: at `t` with
+/// µ(G) ≤ `small_cutoff`·t², step 1 fires.
+pub fn sep_doubling(
+    g: &UGraph,
+    members: &[bool],
+    mu: &[u64],
+    t0: u64,
+    cfg: &SepConfig,
+    rng: &mut impl Rng,
+) -> SepOutcome {
+    let mut t = t0.max(2);
+    loop {
+        if let Some(out) = sep_centralized(g, members, mu, t, cfg, rng) {
+            return out;
+        }
+        t *= 2;
+        assert!(
+            t <= 4 * g.n() as u64 + 16,
+            "Sep doubling ran away — this cannot happen (step 1 must fire)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use twgraph::gen::{banded_path, grid, ktree, random_tree};
+
+    fn uniform_mu(n: usize) -> Vec<u64> {
+        vec![1; n]
+    }
+
+    fn run(g: &UGraph, t0: u64, cfg: &SepConfig, seed: u64) -> SepOutcome {
+        let n = g.n();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let members = vec![true; n];
+        let out = sep_doubling(g, &members, &uniform_mu(n), t0, cfg, &mut rng);
+        // The outcome must really be balanced (or the Small path).
+        let mu = uniform_mu(n);
+        if out.path != SepPath::Small {
+            assert!(
+                is_balanced_separator(g, &members, &out.separator, &mu, n as u64, cfg),
+                "unbalanced separator via {:?}",
+                out.path
+            );
+        }
+        assert!(
+            out.separator.len() as u64 <= cfg.size_bound(out.t_used),
+            "separator size {} exceeds bound {} (t={})",
+            out.separator.len(),
+            cfg.size_bound(out.t_used),
+            out.t_used
+        );
+        out
+    }
+
+    #[test]
+    fn small_graph_short_circuits() {
+        let g = banded_path(12, 2);
+        let cfg = SepConfig::practical(12);
+        let out = run(&g, 3, &cfg, 1);
+        assert_eq!(out.path, SepPath::Small);
+        assert_eq!(out.separator.len(), 12);
+    }
+
+    #[test]
+    fn banded_path_separates() {
+        let g = banded_path(600, 2);
+        let cfg = SepConfig::practical(600);
+        let out = run(&g, 3, &cfg, 7);
+        assert_ne!(out.path, SepPath::Small);
+        // t = 3 ≥ τ+1 = 3 should succeed without doubling far.
+        assert!(out.t_used <= 12, "t escalated to {}", out.t_used);
+    }
+
+    #[test]
+    fn ktree_separates_at_tau_plus_one() {
+        let g = ktree(400, 3, 5);
+        let cfg = SepConfig::practical(400);
+        let out = run(&g, 4, &cfg, 3);
+        assert!(out.separator.len() <= cfg.size_bound(out.t_used) as usize);
+    }
+
+    #[test]
+    fn tree_needs_tiny_separator() {
+        let g = random_tree(500, 11);
+        let cfg = SepConfig::practical(500);
+        let out = run(&g, 2, &cfg, 9);
+        // Trees (τ=1) are easy; the separator should stay far below n.
+        assert!(
+            out.separator.len() < 150,
+            "separator of a tree too big: {}",
+            out.separator.len()
+        );
+    }
+
+    #[test]
+    fn grid_balanced() {
+        let g = grid(12, 12);
+        let cfg = SepConfig::practical(144);
+        let _ = run(&g, 13, &cfg, 2);
+    }
+
+    #[test]
+    fn weighted_measure_respected() {
+        // µ concentrated on the last 100 vertices of a long banded path:
+        // balance must be with respect to µ, so the separator has to split
+        // the heavy region, not just the middle of the path.
+        let g = banded_path(400, 2);
+        let n = g.n();
+        let mut mu = vec![0u64; n];
+        for v in 300..400 {
+            mu[v] = 1;
+        }
+        let cfg = SepConfig::practical(n);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let members = vec![true; n];
+        let out = sep_doubling(&g, &members, &mu, 3, &cfg, &mut rng);
+        if out.path != SepPath::Small {
+            assert!(is_balanced_separator(&g, &members, &out.separator, &mu, 100, &cfg));
+            // Balance w.r.t. µ forces at least one separator vertex into
+            // (or adjacent to) the heavy tail region.
+            assert!(
+                out.separator.iter().any(|&v| v >= 295),
+                "separator {:?} ignores the heavy region",
+                out.separator
+            );
+        }
+    }
+
+    #[test]
+    fn paper_constants_on_tiny_graph() {
+        // With the paper's constants, any sub-800-vertex graph exits at
+        // step 1 for t = 2 — fidelity check of the verbatim constant set.
+        let g = banded_path(300, 2);
+        let cfg = SepConfig::paper(300);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let out = sep_centralized(&g, &vec![true; 300], &uniform_mu(300), 2, &cfg, &mut rng)
+            .expect("step 1 must fire");
+        assert_eq!(out.path, SepPath::Small);
+    }
+
+    #[test]
+    fn subgraph_members_respected() {
+        // Separate only the left half of a banded path.
+        let g = banded_path(400, 2);
+        let members: Vec<bool> = (0..400).map(|v| v < 200).collect();
+        let mu: Vec<u64> = (0..400).map(|v| u64::from(v < 200)).collect();
+        let cfg = SepConfig::practical(200);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let out = sep_doubling(&g, &members, &mu, 3, &cfg, &mut rng);
+        for &v in &out.separator {
+            assert!(v < 200, "separator vertex {v} outside the subgraph");
+        }
+    }
+}

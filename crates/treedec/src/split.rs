@@ -1,0 +1,414 @@
+//! The `Split` procedure (paper §3.3 step 2, Fig. 1): carve a rooted tree
+//! into split trees of µ-size within [µ(G)/(12t), µ(G)/(4t)], vertex
+//! disjoint except for shared roots.
+
+use crate::config::SepConfig;
+use std::collections::HashMap;
+
+/// A rooted tree over global vertex ids, stored as (member, parent) pairs
+/// (`parent == member` marks the root). Trees produced by `Split` may share
+/// their root vertex with siblings — exactly the paper's invariant.
+#[derive(Clone, Debug)]
+pub struct STree {
+    /// The root vertex.
+    pub root: u32,
+    /// Members with parent pointers; contains the root.
+    pub nodes: Vec<(u32, u32)>,
+}
+
+impl STree {
+    /// A single-vertex tree.
+    pub fn singleton(v: u32) -> Self {
+        STree {
+            root: v,
+            nodes: vec![(v, v)],
+        }
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no vertices (never produced by `Split`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Member vertex list.
+    pub fn members(&self) -> Vec<u32> {
+        self.nodes.iter().map(|&(v, _)| v).collect()
+    }
+
+    /// Total µ-measure of the members.
+    pub fn mu(&self, mu: &[u64]) -> u64 {
+        self.nodes.iter().map(|&(v, _)| mu[v as usize]).sum()
+    }
+
+    fn children_map(&self) -> HashMap<u32, Vec<u32>> {
+        let mut ch: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &(v, p) in &self.nodes {
+            ch.entry(v).or_default();
+            if p != v {
+                ch.entry(p).or_default().push(v);
+            }
+        }
+        for list in ch.values_mut() {
+            list.sort_unstable();
+        }
+        ch
+    }
+
+    /// µ-size of every member's subtree (iterative post-order).
+    pub fn subtree_sizes(&self, mu: &[u64]) -> HashMap<u32, u64> {
+        let ch = self.children_map();
+        let mut sizes: HashMap<u32, u64> = HashMap::new();
+        let mut stack = vec![(self.root, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if expanded {
+                let mut s = mu[v as usize];
+                for &c in &ch[&v] {
+                    s += sizes[&c];
+                }
+                sizes.insert(v, s);
+            } else {
+                stack.push((v, true));
+                for &c in &ch[&v] {
+                    stack.push((c, false));
+                }
+            }
+        }
+        sizes
+    }
+
+    /// µ-centroid: every component of `T − c` has µ ≤ µ(T)/2. Deterministic
+    /// tie-break by vertex id.
+    pub fn centroid(&self, mu: &[u64]) -> u32 {
+        let total = self.mu(mu);
+        let sizes = self.subtree_sizes(mu);
+        let ch = self.children_map();
+        let mut best = None;
+        for &(v, _) in &self.nodes {
+            let mut worst = total - sizes[&v];
+            for &c in &ch[&v] {
+                worst = worst.max(sizes[&c]);
+            }
+            if 2 * worst <= total {
+                best = match best {
+                    None => Some(v),
+                    Some(b) if v < b => Some(v),
+                    other => other,
+                };
+            }
+        }
+        best.expect("nonempty tree has a centroid")
+    }
+
+    /// The same tree re-rooted at `new_root`.
+    pub fn rerooted(&self, new_root: u32) -> STree {
+        let mut parent: HashMap<u32, u32> = self.nodes.iter().copied().collect();
+        assert!(parent.contains_key(&new_root), "new root not a member");
+        let mut path = vec![new_root];
+        let mut cur = new_root;
+        while parent[&cur] != cur {
+            cur = parent[&cur];
+            path.push(cur);
+        }
+        for w in path.windows(2) {
+            parent.insert(w[1], w[0]);
+        }
+        parent.insert(new_root, new_root);
+        STree {
+            root: new_root,
+            nodes: self.nodes.iter().map(|&(v, _)| (v, parent[&v])).collect(),
+        }
+    }
+
+    /// The subtree rooted at `v` as its own tree.
+    pub fn subtree(&self, v: u32) -> STree {
+        let ch = self.children_map();
+        let mut nodes = vec![(v, v)];
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            for &c in &ch[&u] {
+                nodes.push((c, u));
+                stack.push(c);
+            }
+        }
+        STree { root: v, nodes }
+    }
+}
+
+/// Output of one `Split` invocation on one tree.
+#[derive(Clone, Debug, Default)]
+pub struct SplitOutcome {
+    /// Split trees within the target window → the paper's T_i.
+    pub finished: Vec<STree>,
+    /// Still-too-big trees → back into T for further splitting.
+    pub requeue: Vec<STree>,
+}
+
+/// Is `x ≥ µ(G)/(lo·t)` (exact rational comparison)?
+#[inline]
+fn ge_lo(x: u64, mu_g: u64, t: u64, cfg: &SepConfig) -> bool {
+    x * cfg.split_lo * t >= mu_g
+}
+
+/// Is `x > µ(G)/(hi·t)`?
+#[inline]
+fn gt_hi(x: u64, mu_g: u64, t: u64, cfg: &SepConfig) -> bool {
+    x * cfg.split_hi * t > mu_g
+}
+
+/// One `Split` invocation (paper §3.3 step 2): center, carve heavy child
+/// subtrees, then either merge a light remainder or group light children
+/// into sibling trees sharing the center as root.
+pub fn split_tree(tree: &STree, mu: &[u64], mu_g: u64, t: u64, cfg: &SepConfig) -> SplitOutcome {
+    let mut out = SplitOutcome::default();
+    let total = tree.mu(mu);
+    let c = tree.centroid(mu);
+    let t1 = tree.rerooted(c);
+    let sizes = t1.subtree_sizes(mu);
+    let ch = t1.children_map()[&c].clone();
+
+    let mut heavy: Vec<STree> = Vec::new();
+    let mut light: Vec<u32> = Vec::new();
+    for v in ch {
+        if ge_lo(sizes[&v], mu_g, t, cfg) {
+            heavy.push(t1.subtree(v));
+        } else {
+            light.push(v);
+        }
+    }
+    let heavy_mu: u64 = heavy.iter().map(|h| h.mu(mu)).sum();
+    let tprime_mu = total - heavy_mu;
+
+    let mut produced: Vec<STree> = Vec::new();
+    if !heavy.is_empty() && !ge_lo(tprime_mu, mu_g, t, cfg) {
+        // Fig. 1(a): T' is light — merge it into the first heavy subtree.
+        let absorbed = heavy.remove(0);
+        let mut nodes: Vec<(u32, u32)> = vec![(c, c)];
+        for &v in &light {
+            for &(x, p) in &t1.subtree(v).nodes {
+                nodes.push((x, if x == v { c } else { p }));
+            }
+        }
+        for &(x, p) in &absorbed.nodes {
+            nodes.push((x, if x == absorbed.root { c } else { p }));
+        }
+        produced.push(STree { root: c, nodes });
+        produced.extend(heavy);
+    } else {
+        // Fig. 1(b): group consecutive light children into sibling trees
+        // rooted at c, each of µ ∈ [µG/(12t), µG/(6t)) except possibly the
+        // last which absorbs the remainder (< µG/(4t)).
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        let mut cur: Vec<u32> = Vec::new();
+        let mut acc = 0u64;
+        for &v in &light {
+            cur.push(v);
+            acc += sizes[&v];
+            if ge_lo(acc, mu_g, t, cfg) {
+                groups.push(std::mem::take(&mut cur));
+                acc = 0;
+            }
+        }
+        if !cur.is_empty() {
+            // Remainder below the lo threshold: absorb into the last group
+            // (or stand alone if it is the only one).
+            match groups.last_mut() {
+                Some(last) => last.append(&mut cur),
+                None => groups.push(cur),
+            }
+        }
+        for group in groups {
+            let mut nodes: Vec<(u32, u32)> = vec![(c, c)];
+            for &v in &group {
+                for &(x, p) in &t1.subtree(v).nodes {
+                    nodes.push((x, if x == v { c } else { p }));
+                }
+            }
+            produced.push(STree { root: c, nodes });
+        }
+        if produced.is_empty() {
+            // c is the whole tree (no children at all).
+            produced.push(STree::singleton(c));
+        }
+        produced.extend(heavy);
+    }
+
+    for tr in produced {
+        let m = tr.mu(mu);
+        // Safety valve for degenerate tiny-µG corners (only reachable with
+        // aggressive practical cutoffs; see lib.rs): a "split" that failed
+        // to shrink the tree is finished rather than requeued forever.
+        let no_progress = tr.len() == tree.len();
+        if gt_hi(m, mu_g, t, cfg) && !no_progress {
+            out.requeue.push(tr);
+        } else {
+            out.finished.push(tr);
+        }
+    }
+    out
+}
+
+/// Iterate `Split` until every tree fits the window: the paper's step-2
+/// loop producing T_i from the spanning tree `T*`. Returns the final split
+/// trees (T_i).
+pub fn split_to_completion(
+    start: STree,
+    mu: &[u64],
+    mu_g: u64,
+    t: u64,
+    cfg: &SepConfig,
+) -> Vec<STree> {
+    let mut work = vec![start];
+    let mut done = Vec::new();
+    let mut guard = 0usize;
+    while let Some(tree) = work.pop() {
+        guard += 1;
+        assert!(guard < 64 + 4 * mu.len(), "split failed to terminate");
+        if tree.len() <= 1 || !gt_hi(tree.mu(mu), mu_g, t, cfg) {
+            done.push(tree);
+            continue;
+        }
+        let out = split_tree(&tree, mu, mu_g, t, cfg);
+        done.extend(out.finished);
+        work.extend(out.requeue);
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use twgraph::alg::random_spanning_tree;
+    use twgraph::gen::{banded_path, random_tree};
+
+    fn tree_of(g: &twgraph::UGraph, seed: u64) -> STree {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rt = random_spanning_tree(g, 0, &mut rng);
+        STree {
+            root: 0,
+            nodes: rt
+                .members()
+                .into_iter()
+                .map(|v| (v, rt.parent[v as usize]))
+                .collect(),
+        }
+    }
+
+    fn cfg() -> SepConfig {
+        SepConfig::practical(256)
+    }
+
+    #[test]
+    fn stree_basics() {
+        let t = STree {
+            root: 0,
+            nodes: vec![(0, 0), (1, 0), (2, 1), (3, 1)],
+        };
+        let mu = vec![1u64; 4];
+        assert_eq!(t.mu(&mu), 4);
+        let sizes = t.subtree_sizes(&mu);
+        assert_eq!(sizes[&1], 3);
+        assert_eq!(sizes[&0], 4);
+        assert_eq!(t.centroid(&mu), 1);
+        let r = t.rerooted(1);
+        assert_eq!(r.root, 1);
+        let sizes2 = r.subtree_sizes(&mu);
+        assert_eq!(sizes2[&0], 1);
+        assert_eq!(sizes2[&1], 4);
+        let sub = t.subtree(1);
+        assert_eq!(sub.len(), 3);
+    }
+
+    /// The paper's invariant: every split tree has µ ≤ µ(G)/(4t) (finished
+    /// window) and — except degenerate remainders — µ ≥ µ(G)/(12t); trees
+    /// are vertex disjoint except for roots; the union covers T*.
+    #[test]
+    fn split_invariants_hold() {
+        for (n, t) in [(200usize, 2u64), (300, 3), (400, 4)] {
+            let g = banded_path(n, 3);
+            let start = tree_of(&g, n as u64);
+            let mu = vec![1u64; n];
+            let mu_g = n as u64;
+            let trees = split_to_completion(start, &mu, mu_g, t, &cfg());
+            // Window: all finished trees fit under µG/(4t)·(1+slack for the
+            // shared roots the tree structurally includes).
+            for tr in &trees {
+                let m = tr.mu(&mu);
+                assert!(
+                    4 * t * (m.saturating_sub(1)) <= mu_g,
+                    "tree too big: µ={m}, bound {}",
+                    mu_g / (4 * t)
+                );
+            }
+            // Coverage and disjointness-except-roots.
+            let mut count = vec![0u32; n];
+            let mut root_of = vec![false; n];
+            for tr in &trees {
+                root_of[tr.root as usize] = true;
+                for &(v, _) in &tr.nodes {
+                    count[v as usize] += 1;
+                }
+            }
+            for v in 0..n {
+                assert!(count[v] >= 1, "vertex {v} uncovered");
+                if count[v] > 1 {
+                    assert!(root_of[v], "non-root vertex {v} shared");
+                }
+            }
+            // Enough trees exist: at least µG/(µG/(4t)) = 4t··(1−slack).
+            assert!(
+                trees.len() as u64 >= 3 * t,
+                "only {} trees for t={t}",
+                trees.len()
+            );
+        }
+    }
+
+    #[test]
+    fn split_tree_edges_stay_tree_edges() {
+        let g = random_tree(150, 9);
+        let start = tree_of(&g, 5);
+        let mu = vec![1u64; 150];
+        let trees = split_to_completion(start, &mu, 150, 2, &cfg());
+        for tr in &trees {
+            for &(v, p) in &tr.nodes {
+                if v != p {
+                    assert!(g.has_edge(v, p), "({v},{p}) not an edge");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_measure_vertices_allowed() {
+        // µ concentrated on half the vertices; split still covers everyone.
+        let g = banded_path(120, 2);
+        let start = tree_of(&g, 1);
+        let mu: Vec<u64> = (0..120).map(|v| (v % 2) as u64).collect();
+        let mu_g: u64 = mu.iter().sum();
+        let trees = split_to_completion(start, &mu, mu_g, 2, &cfg());
+        let covered: usize = {
+            let mut seen = vec![false; 120];
+            for tr in &trees {
+                for &(v, _) in &tr.nodes {
+                    seen[v as usize] = true;
+                }
+            }
+            seen.iter().filter(|&&s| s).count()
+        };
+        assert_eq!(covered, 120);
+    }
+
+    #[test]
+    fn singleton_finishes() {
+        let trees = split_to_completion(STree::singleton(0), &[1], 1, 2, &cfg());
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].len(), 1);
+    }
+}

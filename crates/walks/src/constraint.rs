@@ -1,0 +1,282 @@
+//! Stateful walk constraints (paper Definition 2) and the stock examples.
+
+use twgraph::Arc;
+
+/// Compact state identifier. Conventions: [`BOT`] (= 0) is the reject
+/// state ⊥; [`NABLA`] (= 1) is the empty-walk state ▽; constraint-specific
+/// states start at 2.
+pub type StateId = u16;
+
+/// The reject state ⊥ (condition 3: δ_e(⊥) = ⊥ for every e).
+pub const BOT: StateId = 0;
+/// The empty-walk state ▽ (condition 1: M(w) = ▽ iff w = φ).
+pub const NABLA: StateId = 1;
+
+/// A stateful walk constraint: the tuple (Q, M, δ) of Definition 2,
+/// presented operationally. `M` is implicit: the state of a walk is
+/// obtained by folding [`transition`](StatefulConstraint::transition) from
+/// [`NABLA`]; a walk is in `C` iff its state is not [`BOT`].
+pub trait StatefulConstraint {
+    /// |Q|, including ⊥ and ▽. States are `0..n_states()`.
+    fn n_states(&self) -> usize;
+
+    /// δ_e(q): the state after appending arc `e` to a walk in state `q`.
+    /// Implementations must satisfy `transition(e, BOT) == BOT`.
+    fn transition(&self, arc: &Arc, q: StateId) -> StateId;
+
+    /// The state of a whole walk (the paper's M), folded from ▽.
+    fn walk_state(&self, arcs: &[Arc]) -> StateId {
+        arcs.iter()
+            .fold(NABLA, |q, a| self.transition(a, q))
+    }
+
+    /// Human-readable state name for traces and the Fig. 3 demo.
+    fn state_name(&self, q: StateId) -> String {
+        match q {
+            BOT => "⊥".into(),
+            NABLA => "▽".into(),
+            other => format!("q{other}"),
+        }
+    }
+}
+
+/// Example 1: c-colored walks — no two consecutive edges share a color.
+/// Edge colors live in `Arc::label` (must be < `colors`).
+/// Q = {⊥, ▽} ∪ colors; |Q| = colors + 2.
+#[derive(Clone, Copy, Debug)]
+pub struct ColoredWalk {
+    /// Palette size c.
+    pub colors: u32,
+}
+
+impl StatefulConstraint for ColoredWalk {
+    fn n_states(&self) -> usize {
+        self.colors as usize + 2
+    }
+
+    fn transition(&self, arc: &Arc, q: StateId) -> StateId {
+        debug_assert!(arc.label < self.colors, "color out of palette");
+        let color_state = (arc.label + 2) as StateId;
+        match q {
+            BOT => BOT,
+            NABLA => color_state,
+            last => {
+                if last == color_state {
+                    BOT
+                } else {
+                    color_state
+                }
+            }
+        }
+    }
+
+    fn state_name(&self, q: StateId) -> String {
+        match q {
+            BOT => "⊥".into(),
+            NABLA => "▽".into(),
+            c => format!("col{}", c - 2),
+        }
+    }
+}
+
+/// Example 2: count-c walks — at most `c` edges labeled 1 (labels are
+/// 0/1 in `Arc::label`). Q = {⊥, ▽} ∪ {0..=c}; |Q| = c + 3.
+/// The *exact*-count subset C(c) is selected at decode time by asking for
+/// final state `count_state(c)`.
+#[derive(Clone, Copy, Debug)]
+pub struct CountWalk {
+    /// The budget c.
+    pub c: u32,
+}
+
+impl CountWalk {
+    /// The state id meaning "count = k so far".
+    pub fn count_state(&self, k: u32) -> StateId {
+        debug_assert!(k <= self.c);
+        (k + 2) as StateId
+    }
+}
+
+impl StatefulConstraint for CountWalk {
+    fn n_states(&self) -> usize {
+        self.c as usize + 3
+    }
+
+    fn transition(&self, arc: &Arc, q: StateId) -> StateId {
+        debug_assert!(arc.label <= 1, "count labels are 0/1");
+        match q {
+            BOT => BOT,
+            NABLA => {
+                if arc.label > self.c {
+                    BOT
+                } else {
+                    self.count_state(arc.label)
+                }
+            }
+            k => {
+                let count = (k - 2) as u32 + arc.label;
+                if count > self.c {
+                    BOT
+                } else {
+                    self.count_state(count)
+                }
+            }
+        }
+    }
+
+    fn state_name(&self, q: StateId) -> String {
+        match q {
+            BOT => "⊥".into(),
+            NABLA => "▽".into(),
+            k => format!("cnt{}", k - 2),
+        }
+    }
+}
+
+/// Extension: parity of label-1 edges. Q = {⊥, ▽, even, odd}. Walks are
+/// never rejected; parity is read from the final state. Exercises
+/// constraints whose state set never hits ⊥.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParityWalk;
+
+impl ParityWalk {
+    /// State "even number of 1-labels so far".
+    pub const EVEN: StateId = 2;
+    /// State "odd number of 1-labels so far".
+    pub const ODD: StateId = 3;
+}
+
+impl StatefulConstraint for ParityWalk {
+    fn n_states(&self) -> usize {
+        4
+    }
+
+    fn transition(&self, arc: &Arc, q: StateId) -> StateId {
+        let bit = (arc.label & 1) as StateId;
+        match q {
+            BOT => BOT,
+            NABLA => Self::EVEN + bit,
+            s => {
+                let cur = s - Self::EVEN;
+                Self::EVEN + (cur ^ bit)
+            }
+        }
+    }
+}
+
+/// Extension: forbidden label transitions — a walk may not traverse an
+/// edge labeled `b` immediately after one labeled `a` for any forbidden
+/// pair `(a, b)`. Generalizes [`ColoredWalk`] (forbid all (a, a)).
+#[derive(Clone, Debug)]
+pub struct ForbiddenTransitionWalk {
+    /// Number of labels.
+    pub labels: u32,
+    /// Forbidden ordered pairs (a, b).
+    pub forbidden: Vec<(u32, u32)>,
+}
+
+impl StatefulConstraint for ForbiddenTransitionWalk {
+    fn n_states(&self) -> usize {
+        self.labels as usize + 2
+    }
+
+    fn transition(&self, arc: &Arc, q: StateId) -> StateId {
+        debug_assert!(arc.label < self.labels);
+        let next = (arc.label + 2) as StateId;
+        match q {
+            BOT => BOT,
+            NABLA => next,
+            last => {
+                let prev = (last - 2) as u32;
+                if self.forbidden.contains(&(prev, arc.label)) {
+                    BOT
+                } else {
+                    next
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twgraph::UEdgeId;
+
+    fn arc(label: u32) -> Arc {
+        Arc {
+            src: 0,
+            dst: 0,
+            weight: 1,
+            label,
+            uedge: UEdgeId::NONE,
+        }
+    }
+
+    #[test]
+    fn colored_rejects_monochromatic_pairs() {
+        let c = ColoredWalk { colors: 3 };
+        assert_eq!(c.walk_state(&[arc(0), arc(1), arc(0)]), 2); // ends color 0
+        assert_eq!(c.walk_state(&[arc(0), arc(0)]), BOT);
+        assert_eq!(c.walk_state(&[]), NABLA);
+        // ⊥ absorbs (condition 3).
+        assert_eq!(c.transition(&arc(2), BOT), BOT);
+    }
+
+    #[test]
+    fn count_budget_enforced() {
+        let c = CountWalk { c: 2 };
+        assert_eq!(c.walk_state(&[arc(1), arc(0), arc(1)]), c.count_state(2));
+        assert_eq!(c.walk_state(&[arc(1), arc(1), arc(1)]), BOT);
+        assert_eq!(c.walk_state(&[arc(0), arc(0)]), c.count_state(0));
+    }
+
+    #[test]
+    fn count_zero_budget() {
+        let c = CountWalk { c: 0 };
+        assert_eq!(c.walk_state(&[arc(0), arc(0)]), c.count_state(0));
+        assert_eq!(c.walk_state(&[arc(1)]), BOT);
+    }
+
+    #[test]
+    fn parity_tracks_mod_two() {
+        let p = ParityWalk;
+        assert_eq!(p.walk_state(&[arc(1), arc(0), arc(1)]), ParityWalk::EVEN);
+        assert_eq!(p.walk_state(&[arc(1), arc(0)]), ParityWalk::ODD);
+        assert_eq!(p.walk_state(&[arc(0)]), ParityWalk::EVEN);
+    }
+
+    #[test]
+    fn forbidden_transitions() {
+        let f = ForbiddenTransitionWalk {
+            labels: 3,
+            forbidden: vec![(0, 1), (2, 2)],
+        };
+        assert_eq!(f.walk_state(&[arc(0), arc(1)]), BOT);
+        assert_ne!(f.walk_state(&[arc(1), arc(0)]), BOT);
+        assert_eq!(f.walk_state(&[arc(2), arc(2)]), BOT);
+    }
+
+    #[test]
+    fn colored_equals_forbidden_diagonal() {
+        let c = ColoredWalk { colors: 2 };
+        let f = ForbiddenTransitionWalk {
+            labels: 2,
+            forbidden: vec![(0, 0), (1, 1)],
+        };
+        for seq in [
+            vec![0u32, 1, 0, 1],
+            vec![0, 0],
+            vec![1, 0, 0],
+            vec![],
+            vec![1],
+        ] {
+            let arcs: Vec<Arc> = seq.iter().map(|&l| arc(l)).collect();
+            assert_eq!(
+                c.walk_state(&arcs) == BOT,
+                f.walk_state(&arcs) == BOT,
+                "disagreement on {seq:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The product graph `G_C` (paper §5.2, Lemma 5, Fig. 3).
+
+use crate::constraint::{StatefulConstraint, StateId, BOT, NABLA};
+use twgraph::{Arc, MultiDigraph, UEdgeId};
+
+/// The explicit product multigraph on `V(G) × Q`.
+#[derive(Clone, Debug)]
+pub struct ProductGraph {
+    /// The product multigraph. Vertex `(v, q)` has index `v·|Q| + q`.
+    pub graph: MultiDigraph,
+    /// |Q|.
+    pub q: usize,
+    /// The physical vertex count.
+    pub n_physical: usize,
+    /// For every product arc, the originating physical arc id
+    /// (`u32::MAX` for the intra-vertex arcs of condition (2)).
+    pub origin: Vec<u32>,
+}
+
+impl ProductGraph {
+    /// Index of product vertex `(v, q)`.
+    #[inline]
+    pub fn vertex(&self, v: u32, q: StateId) -> u32 {
+        v * self.q as u32 + q as u32
+    }
+
+    /// Inverse of [`vertex`](Self::vertex): `(v, q)` of a product index.
+    #[inline]
+    pub fn split(&self, pv: u32) -> (u32, StateId) {
+        (pv / self.q as u32, (pv % self.q as u32) as StateId)
+    }
+
+    /// The hosting physical vertex of a product index (for the
+    /// edge-projection of virtual networks).
+    #[inline]
+    pub fn host(&self, pv: u32) -> u32 {
+        pv / self.q as u32
+    }
+}
+
+/// Build `G_C` from an instance and a constraint. Arcs:
+///
+/// 1. `(u,i) → (v, δ_e(i))` for every arc `e = (u,v)` and every state
+///    `i ≠ ⊥` with `δ_e(i) ≠ ⊥`, at cost `c(e)`;
+/// 2. the ⊥-backbone `(u,⊥) → (v,⊥)` for every arc (condition 3 keeps ⊥
+///    absorbing), at cost `c(e)` — this bounds `D(⟦G_C⟧)` by O(D);
+/// 3. intra-vertex arcs `(u,i) → (u,⊥)` for `i ≠ ⊥` (the paper's
+///    condition (2)), cost 0 — they ride no physical edge.
+pub fn build_product(g: &MultiDigraph, c: &impl StatefulConstraint) -> ProductGraph {
+    let q = c.n_states();
+    let n = g.n();
+    let vertex = |v: u32, s: StateId| v * q as u32 + s as u32;
+    let mut arcs: Vec<Arc> = Vec::new();
+    let mut origin: Vec<u32> = Vec::new();
+    for (ai, a) in g.arcs().iter().enumerate() {
+        // Backbone (δ(⊥) = ⊥).
+        arcs.push(Arc {
+            src: vertex(a.src, BOT),
+            dst: vertex(a.dst, BOT),
+            weight: a.weight,
+            label: a.label,
+            uedge: UEdgeId::NONE,
+        });
+        origin.push(ai as u32);
+        for i in 1..q as StateId {
+            let j = c.transition(a, i);
+            if j != BOT {
+                arcs.push(Arc {
+                    src: vertex(a.src, i),
+                    dst: vertex(a.dst, j),
+                    weight: a.weight,
+                    label: a.label,
+                    uedge: UEdgeId::NONE,
+                });
+                origin.push(ai as u32);
+            }
+        }
+    }
+    for v in 0..n as u32 {
+        for i in 1..q as StateId {
+            arcs.push(Arc {
+                src: vertex(v, i),
+                dst: vertex(v, BOT),
+                weight: 0,
+                label: 0,
+                uedge: UEdgeId::NONE,
+            });
+            origin.push(u32::MAX);
+        }
+    }
+    ProductGraph {
+        graph: MultiDigraph::from_arcs(n * q, arcs),
+        q,
+        n_physical: n,
+        origin,
+    }
+}
+
+/// Brute-force oracle for Lemma 5 tests: the shortest weight of a walk
+/// from `s` to `t` ending in state `q_target`, enumerating all walks of at
+/// most `max_len` edges by dynamic programming over (vertex, state, len).
+pub fn brute_force_constrained_dist(
+    g: &MultiDigraph,
+    c: &impl StatefulConstraint,
+    s: u32,
+    t: u32,
+    q_target: StateId,
+    max_len: usize,
+) -> u64 {
+    use twgraph::{dist_add, INF};
+    let q = c.n_states();
+    let idx = |v: u32, st: StateId| (v as usize) * q + st as usize;
+    let mut best = vec![INF; g.n() * q];
+    best[idx(s, NABLA)] = 0;
+    let mut answer = if s == t && q_target == NABLA { 0 } else { INF };
+    for _ in 0..max_len {
+        let mut next = best.clone();
+        for a in g.arcs() {
+            for st in 0..q as StateId {
+                let cur = best[idx(a.src, st)];
+                if cur >= INF {
+                    continue;
+                }
+                let ns = if st == BOT { BOT } else { c.transition(a, st) };
+                let cand = dist_add(cur, a.weight);
+                let slot = idx(a.dst, ns);
+                if cand < next[slot] {
+                    next[slot] = cand;
+                }
+            }
+        }
+        best = next;
+        answer = answer.min(best[idx(t, q_target)]);
+    }
+    answer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{ColoredWalk, CountWalk};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use twgraph::alg::dijkstra;
+    use twgraph::INF;
+
+    fn random_labeled_instance(n: usize, m: usize, labels: u32, seed: u64) -> MultiDigraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let arcs: Vec<Arc> = (0..m)
+            .map(|_| Arc {
+                src: rng.gen_range(0..n as u32),
+                dst: rng.gen_range(0..n as u32),
+                weight: rng.gen_range(1..10),
+                label: rng.gen_range(0..labels),
+                uedge: UEdgeId::NONE,
+            })
+            .filter(|a| a.src != a.dst)
+            .collect();
+        MultiDigraph::from_arcs(n, arcs)
+    }
+
+    /// Lemma 5 (both directions): dist in G_C from (s,▽) to (t,q) equals
+    /// the shortest constrained-walk weight.
+    #[test]
+    fn lemma5_colored_random() {
+        let c = ColoredWalk { colors: 3 };
+        for seed in 0..6 {
+            let g = random_labeled_instance(6, 18, 3, seed);
+            let p = build_product(&g, &c);
+            for s in 0..6u32 {
+                let spt = dijkstra(&p.graph, p.vertex(s, NABLA));
+                for t in 0..6u32 {
+                    for q in 2..c.n_states() as StateId {
+                        let via_product = spt.dist[p.vertex(t, q) as usize];
+                        // Walk length bound: weights ≤ 9, n·|Q| states ⇒
+                        // 35 edges more than suffice on 6 vertices.
+                        let brute = brute_force_constrained_dist(&g, &c, s, t, q, 35);
+                        assert_eq!(
+                            via_product, brute,
+                            "seed {seed}, {s}→{t} state {q}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma5_count_random() {
+        let c = CountWalk { c: 2 };
+        for seed in 10..14 {
+            let g = random_labeled_instance(5, 14, 2, seed);
+            let p = build_product(&g, &c);
+            for s in 0..5u32 {
+                let spt = dijkstra(&p.graph, p.vertex(s, NABLA));
+                for t in 0..5u32 {
+                    for k in 0..=2u32 {
+                        let q = c.count_state(k);
+                        let via_product = spt.dist[p.vertex(t, q) as usize];
+                        let brute = brute_force_constrained_dist(&g, &c, s, t, q, 30);
+                        assert_eq!(via_product, brute, "seed {seed}, {s}→{t} count {k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bot_backbone_bounds_diameter() {
+        // ⟦G_C⟧ diameter stays within a small factor of D(⟦G⟧).
+        let g = twgraph::gen::with_unit_weights(&twgraph::gen::path(12));
+        let c = ColoredWalk { colors: 2 };
+        let p = build_product(&g, &c);
+        let comm = p.graph.comm_graph();
+        let d_phys = twgraph::alg::diameter_exact(&g.comm_graph());
+        let d_virt = twgraph::alg::diameter_exact(&comm);
+        assert!(
+            d_virt <= d_phys + 2,
+            "product diameter {d_virt} vs physical {d_phys}"
+        );
+    }
+
+    #[test]
+    fn bot_copies_never_reach_live_states() {
+        let g = random_labeled_instance(5, 12, 2, 3);
+        let c = ColoredWalk { colors: 2 };
+        let p = build_product(&g, &c);
+        let spt = dijkstra(&p.graph, p.vertex(0, BOT));
+        for v in 0..5u32 {
+            for q in 1..c.n_states() as StateId {
+                assert_eq!(
+                    spt.dist[p.vertex(v, q) as usize],
+                    INF,
+                    "⊥ must not reach live state ({v},{q})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn product_size_matches_formula() {
+        let g = random_labeled_instance(7, 20, 3, 4);
+        let c = ColoredWalk { colors: 3 };
+        let p = build_product(&g, &c);
+        assert_eq!(p.graph.n(), 7 * c.n_states());
+        let (v, q) = p.split(p.vertex(4, 3));
+        assert_eq!((v, q), (4, 3));
+        assert_eq!(p.host(p.vertex(4, 3)), 4);
+    }
+}

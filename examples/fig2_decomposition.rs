@@ -1,0 +1,55 @@
+//! Figure 2 reproduction: the G_x / B_x / G'_{x·i} recursion.
+//!
+//! Decomposes a small grid and prints each tree node's separator, bag and
+//! child components — the structure the paper's Figure 2 sketches.
+//!
+//! ```sh
+//! cargo run --release --example fig2_decomposition
+//! ```
+
+use lowtw::prelude::*;
+use lowtw::twgraph;
+
+fn main() {
+    let g = twgraph::gen::grid(4, 40);
+    println!("4×40 grid: n = {}, m = {}, τ = 4\n", g.n(), g.m());
+    let session = Session::decompose(&g, 5, 3);
+    session.td.verify(&g).expect("decomposition must be valid");
+
+    let depths = session.td.depths();
+    for x in 0..session.td.bags.len() {
+        let ni = &session.info[x];
+        let indent = "  ".repeat(depths[x]);
+        let string: Vec<String> = session
+            .td
+            .string_of(x)
+            .into_iter()
+            .map(|r| r.to_string())
+            .collect();
+        let name = if string.is_empty() {
+            "ψ".to_string()
+        } else {
+            format!("ψ·{}", string.join("·"))
+        };
+        if ni.is_leaf {
+            println!(
+                "{indent}{name}: leaf — |V(G_x)| = {}, bag = V(G_x) ({} vertices)",
+                ni.gpx.len() + ni.inherited.len(),
+                session.td.bags[x].len()
+            );
+        } else {
+            println!(
+                "{indent}{name}: |G'_x| = {:>3}, separator S'_x = {:?}, |B_x| = {}, children = {}",
+                ni.gpx.len(),
+                &ni.sep,
+                session.td.bags[x].len(),
+                session.td.children[x].len()
+            );
+        }
+    }
+    let stats = session.td.stats();
+    println!(
+        "\nwidth = {}, depth = {}, nodes = {} (Theorem 1: width O(τ² log n), depth O(log n))",
+        stats.width, stats.depth, stats.nodes
+    );
+}

@@ -1,0 +1,57 @@
+//! End-to-end bipartite matching pipeline (Theorem 4) against
+//! Hopcroft–Karp and the distributed alternating-BFS baseline.
+
+use lowtw::prelude::*;
+use lowtw::{baselines, bmatch, twgraph};
+
+#[test]
+fn matching_over_distributed_decomposition() {
+    let (g, side) = twgraph::gen::bipartite_banded(35, 35, 2, 0.55, 17);
+    let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
+    let (session, rounds) = Session::decompose_distributed(&g, 3, 17);
+    assert!(rounds > 0);
+    let out = session.max_matching(&inst, bmatch::MatchMode::Centralized);
+    let want = baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
+    assert_eq!(out.size(), want);
+}
+
+#[test]
+fn matching_many_seeds() {
+    for seed in 0..8 {
+        let (g, side) = twgraph::gen::bipartite_banded(30, 24, 2, 0.45, seed);
+        let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
+        let session = Session::decompose(&g, 3, seed);
+        let out = session.max_matching(&inst, bmatch::MatchMode::Centralized);
+        let want = baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
+        assert_eq!(out.size(), want, "seed {seed}");
+        assert!(
+            baselines::matching::is_valid_matching(&g, &side, &out.mate),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn distributed_mode_rounds_recorded_and_correct() {
+    let (g, side) = twgraph::gen::bipartite_banded(14, 14, 1, 0.5, 4);
+    let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
+    let session = Session::decompose(&g, 3, 4);
+    let out = session.max_matching(&inst, bmatch::MatchMode::Distributed);
+    let want = baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
+    assert_eq!(out.size(), want);
+    if out.attempts > 0 {
+        assert!(out.rounds > 0);
+    }
+}
+
+#[test]
+fn baseline_and_theorem4_agree() {
+    let (g, side) = twgraph::gen::bipartite_banded(40, 40, 3, 0.4, 23);
+    let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
+    let session = Session::decompose(&g, 4, 23);
+    let ours = session.max_matching(&inst, bmatch::MatchMode::Centralized);
+    let mut net = Network::new(g.clone(), NetworkConfig::default());
+    let (mate, rounds) = baselines::matching_distributed_baseline(&mut net, &g, &side);
+    assert_eq!(ours.size(), baselines::matching_size(&mate));
+    assert!(rounds > 0);
+}

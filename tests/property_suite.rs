@@ -1,0 +1,111 @@
+//! Property-based invariants across the whole stack (proptest).
+
+use lowtw::prelude::*;
+use lowtw::{baselines, bmatch, twgraph};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 1 invariants: every decomposition of a random partial
+    /// k-tree is valid and its width does not exceed the configured O(t²
+    /// log n) envelope.
+    #[test]
+    fn decomposition_always_valid(
+        n in 24usize..90,
+        k in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = twgraph::gen::partial_ktree(n, k, 0.7, seed);
+        let session = Session::decompose(&g, k as u64 + 1, seed);
+        prop_assert!(session.td.verify(&g).is_ok());
+        let cfg = lowtw::SepConfig::practical(n);
+        let per_level = cfg.size_bound(session.t_used) as usize;
+        let bound = per_level * (session.depth() + 1) + 1;
+        prop_assert!(
+            session.width() <= bound,
+            "width {} > envelope {bound}", session.width()
+        );
+    }
+
+    /// Theorem 2 / Lemma 2: the decoder is exact on random directed
+    /// weighted multigraph instances (sampled pairs).
+    #[test]
+    fn labels_decode_exactly(
+        n in 20usize..60,
+        k in 1usize..4,
+        wmax in 1u64..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = twgraph::gen::partial_ktree(n, k, 0.75, seed);
+        let inst = twgraph::gen::random_orientation(&g, wmax, 0.4, seed ^ 0xabc);
+        let session = Session::decompose(&g, k as u64 + 1, seed);
+        let labels = session.labels(&inst);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        use rand::Rng;
+        for _ in 0..24 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            let want = twgraph::alg::dijkstra(&inst, u).dist[v as usize];
+            prop_assert_eq!(decode(&labels[u as usize], &labels[v as usize]), want);
+        }
+    }
+
+    /// Theorem 4: the separator-hierarchy matcher is always maximum.
+    #[test]
+    fn matching_always_maximum(
+        nl in 8usize..36,
+        nr in 8usize..36,
+        band in 1usize..4,
+        p in 0.2f64..0.8,
+        seed in 0u64..1_000_000,
+    ) {
+        let (g, side) = twgraph::gen::bipartite_banded(nl, nr, band, p, seed);
+        let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
+        let session = Session::decompose(&g, 3, seed);
+        let out = session.max_matching(&inst, bmatch::MatchMode::Centralized);
+        let want = baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
+        prop_assert_eq!(out.size(), want);
+        prop_assert!(baselines::matching::is_valid_matching(&g, &side, &out.mate));
+    }
+
+    /// Lemma 1: separators are balanced and within the size bound.
+    #[test]
+    fn separators_balanced_and_small(
+        n in 40usize..140,
+        k in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        use lowtw::treedec::sep::sep_doubling;
+        let g = twgraph::gen::partial_ktree(n, k, 0.7, seed);
+        let cfg = lowtw::SepConfig::practical(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let members = vec![true; n];
+        let mu = vec![1u64; n];
+        let out = sep_doubling(&g, &members, &mu, k as u64 + 1, &cfg, &mut rng);
+        prop_assert!(out.separator.len() as u64 <= cfg.size_bound(out.t_used));
+    }
+
+    /// Lemma 6 half of Theorem 5: the probabilistic girth never
+    /// underestimates, whatever the marking randomness does.
+    #[test]
+    fn girth_is_sound(
+        n in 8usize..24,
+        wmax in 1u64..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = twgraph::gen::cycle(n);
+        let inst = twgraph::gen::with_random_weights(&g, wmax, seed);
+        let want = baselines::girth_exact_centralized(&inst);
+        let session = Session::decompose(&g, 3, seed);
+        let cfg = lowtw::girth::GirthConfig {
+            trials_per_c: 1,
+            seed,
+            measure_distributed: false,
+        };
+        let run = lowtw::girth::girth_undirected(&inst, &session.td, &session.info, &cfg);
+        prop_assert!(run.girth >= want);
+    }
+}
