@@ -10,7 +10,7 @@
 //!   unweighted girth) routine that the girth/diameter separation of §1.2
 //!   is measured against (experiment E8).
 //! * [`matching_distributed_baseline`] — augmenting alternating-BFS
-//!   matching in the spirit of the Õ(s_max)-round algorithms [AKO18]
+//!   matching in the spirit of the Õ(s_max)-round algorithms \[AKO18\]
 //!   (experiment E7's comparison).
 //! * [`girth_exact_centralized`] / [`girth_directed_centralized`] — exact
 //!   weighted girth oracles.

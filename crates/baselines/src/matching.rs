@@ -1,6 +1,6 @@
 //! Bipartite matching baselines: centralized Hopcroft–Karp (the oracle)
 //! and a distributed augmenting-path algorithm in the Õ(s_max)-round
-//! spirit of [AKO18].
+//! spirit of \[AKO18\].
 
 use congest_sim::Network;
 use std::collections::VecDeque;
@@ -100,7 +100,7 @@ struct MState {
 /// Distributed augmenting-path matching: phases of alternating BFS from
 /// all free left vertices; one vertex-disjoint augmenting path set is
 /// flipped per phase (greedy, id-priority). O(s_max) phases, each costing
-/// O(path length) supersteps — the Õ(s_max)-round flavour of [AKO18],
+/// O(path length) supersteps — the Õ(s_max)-round flavour of \[AKO18\],
 /// measured honestly. Returns `(mate, rounds)`.
 pub fn matching_distributed_baseline(
     net: &mut Network,

@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! Implements the entry points the workspace's benches use — groups,
+//! `bench_with_input`, `bench_function`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros — over a deliberately tiny
+//! measurement loop: a short warm-up, then `sample_size` timed samples of a
+//! calibrated batch, reporting min/median/mean per iteration. No plots, no
+//! statistics beyond that; good enough to compare runs by eye and to keep
+//! `cargo bench` functional offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        let name = function_name.into();
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration timings of the measured samples, in seconds.
+    last_sample_secs: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, batching iterations so one sample lasts long enough
+    /// to measure, and record per-iteration statistics.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + batch calibration: aim for samples of ≥ ~2ms.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        self.last_sample_secs.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.last_sample_secs
+                .push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn run_one(full_id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        last_sample_secs: Vec::new(),
+    };
+    f(&mut b);
+    let mut xs = b.last_sample_secs;
+    if xs.is_empty() {
+        println!("{full_id:<40} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let min = xs[0];
+    let median = xs[xs.len() / 2];
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    println!(
+        "{full_id:<40} min {:>12}   median {:>12}   mean {:>12}   ({} samples)",
+        fmt_secs(min),
+        fmt_secs(median),
+        fmt_secs(mean),
+        xs.len()
+    );
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.effective_sample_size();
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.effective_sample_size();
+        run_one(id, samples, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.effective_sample_size();
+        run_one(&id.id, samples, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// Declare a group-runner function invoking each benchmark fn in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(4u32), &4u32, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,162 @@
+//! Offline stand-in for `serde` (1.x API subset).
+//!
+//! Provides a JSON-only [`Serialize`] trait plus the matching
+//! `#[derive(Serialize)]` macro (re-exported from the local `serde_derive`).
+//! The workspace only ever serializes flat records to JSON lines, so the
+//! full serde data model is deliberately out of scope; see
+//! `crates/compat/README.md` for the migration story.
+
+// Let the generated `impl serde::Serialize for ...` resolve even when the
+// derive is used inside this crate (its own tests).
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// Types that can write themselves as a JSON value.
+///
+/// Unlike real serde this is not serializer-generic: the single consumer is
+/// `serde_json::to_string`.
+pub trait Serialize {
+    /// Append `self` as a JSON value to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+macro_rules! impl_serialize_display_num {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_display_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            // JSON has no NaN/Inf; serde_json emits null for them.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out);
+    }
+}
+
+/// JSON string escaping shared with `serde_json`.
+pub fn escape_str_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        escape_str_into(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        escape_str_into(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize + ?Sized>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(&42u64), "42");
+        assert_eq!(json(&-3i32), "-3");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&f64::NAN), "null");
+        assert_eq!(json("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json(&Some(7u32)), "7");
+        assert_eq!(json(&None::<u32>), "null");
+        assert_eq!(json(&vec![1u8, 2, 3]), "[1,2,3]");
+    }
+
+    #[test]
+    fn derive_named_struct() {
+        #[derive(Serialize)]
+        struct R {
+            name: String,
+            n: usize,
+            ok: bool,
+        }
+        let r = R {
+            name: "x".into(),
+            n: 3,
+            ok: false,
+        };
+        assert_eq!(json(&r), r#"{"name":"x","n":3,"ok":false}"#);
+    }
+}

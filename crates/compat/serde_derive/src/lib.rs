@@ -1,0 +1,160 @@
+//! `#[derive(Serialize)]` for the offline serde stand-in.
+//!
+//! Hand-rolled token-stream parsing (no `syn`/`quote`): supports exactly the
+//! shape the workspace uses — non-generic structs with named fields. Anything
+//! else produces a compile error pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (JSON-only; see `crates/compat/serde`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match try_derive(input) {
+        Ok(ts) => ts,
+        Err(msg) => {
+            // Emit a compile_error! carrying the message.
+            format!("compile_error!({msg:?});").parse().unwrap()
+        }
+    }
+}
+
+fn try_derive(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.: skip the parenthesized scope.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        other => {
+            return Err(format!(
+                "the offline serde stand-in only derives Serialize for structs \
+                 with named fields (found {other:?})"
+            ))
+        }
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "the offline serde stand-in cannot derive Serialize for generic \
+                     struct `{name}`"
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "the offline serde stand-in cannot derive Serialize for tuple \
+                     struct `{name}`"
+                ))
+            }
+            Some(_) => i += 1,
+            None => {
+                return Err(format!(
+                    "the offline serde stand-in cannot derive Serialize for `{name}`: \
+                     no named-field body found"
+                ))
+            }
+        }
+    };
+
+    let fields = parse_field_names(body)?;
+
+    let mut steps = String::new();
+    for (idx, f) in fields.iter().enumerate() {
+        if idx > 0 {
+            steps.push_str("out.push(',');\n");
+        }
+        steps.push_str(&format!(
+            "out.push_str({key:?});\nserde::Serialize::serialize_json(&self.{f}, out);\n",
+            key = format!("\"{f}\":"),
+        ));
+    }
+
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n\
+                 out.push('{{');\n\
+                 {steps}\
+                 out.push('}}');\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("serde_derive stand-in generated invalid code: {e:?}"))
+}
+
+/// Extract field names from the brace body of a named-field struct: skip
+/// attributes and visibility, take the identifier before each top-level `:`,
+/// then skip the type up to the next top-level `,`.
+fn parse_field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err(format!("expected field name, found {tt:?}"));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field name, found {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}

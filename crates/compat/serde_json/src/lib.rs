@@ -1,0 +1,202 @@
+//! Offline stand-in for `serde_json` (1.x API subset): [`Value`],
+//! [`to_string`], and a [`json!`] macro covering flat objects, arrays and
+//! scalars — the shapes the experiment harness emits as `#json` lines.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All JSON numbers the workspace produces are machine ints or floats;
+    /// a signed/unsigned split mirrors serde_json's `Number` closely enough.
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(x) => out.push_str(&x.to_string()),
+            Value::UInt(x) => out.push_str(&x.to_string()),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    out.push_str(&x.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => serde::escape_str_into(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::escape_str_into(k, out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write_into(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl serde::Serialize for Value {
+    fn serialize_json(&self, out: &mut String) {
+        self.write_into(out);
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value { Value::UInt(x as u64) }
+        }
+    )*};
+}
+macro_rules! impl_from_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value { Value::Int(x as i64) }
+        }
+    )*};
+}
+
+impl_from_uint!(u8, u16, u32, u64, usize);
+impl_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::Float(x)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(x: f32) -> Value {
+        Value::Float(x as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(x: bool) -> Value {
+        Value::Bool(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(x: &str) -> Value {
+        Value::String(x.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(x: String) -> Value {
+        Value::String(x)
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(xs: Vec<T>) -> Value {
+        Value::Array(xs.into_iter().map(Value::from).collect())
+    }
+}
+
+/// Serialization error. The stand-in serializer is infallible, but the
+/// signature mirrors `serde_json::to_string` so call sites keep their
+/// `?`/`unwrap()`.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stand-in error (unreachable)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Build a [`Value`] from a JSON-shaped literal. Supports the forms the
+/// workspace uses: flat `{"key": expr, ...}` objects, `[expr, ...]` arrays,
+/// `null`, and bare expressions convertible via `Value::from`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::Value::from($val)) ),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($val) ),* ])
+    };
+    ($val:expr) => { $crate::Value::from($val) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_rendering() {
+        let v = json!({
+            "s": "he said \"hi\"",
+            "n": 3u64,
+            "neg": -4i32,
+            "f": 2.5f64,
+            "b": true,
+            "null": Value::Null,
+            "arr": vec![1u32, 2],
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"s":"he said \"hi\"","n":3,"neg":-4,"f":2.5,"b":true,"null":null,"arr":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn nested_values_compose() {
+        let inner = json!({"k": 1u64});
+        let outer = json!({"inner": inner, "tag": "x"});
+        assert_eq!(
+            to_string(&outer).unwrap(),
+            r#"{"inner":{"k":1},"tag":"x"}"#
+        );
+    }
+}

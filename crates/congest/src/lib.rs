@@ -21,6 +21,43 @@
 //! subgraph algorithms (paper Theorem 6): running them in one shared
 //! superstep sequence makes the per-edge word count *be* the congestion.
 //!
+//! ## Example
+//!
+//! A BFS flood on a 10-node path. State per node is `(dist, fresh)`; a node
+//! re-broadcasts only when its distance improved. The engine charges exactly
+//! ten rounds — nine propagation supersteps plus the far endpoint's final
+//! (improving-nothing) echo:
+//!
+//! ```
+//! use congest_sim::{Network, NetworkConfig};
+//!
+//! let g = twgraph::gen::path(10);
+//! let mut net = Network::new(g.clone(), NetworkConfig::default());
+//!
+//! let mut states: Vec<(Option<u32>, bool)> = vec![(None, false); 10];
+//! states[0] = (Some(0), true);
+//! net.run_until_quiet(
+//!     &mut states,
+//!     |u, s| match s {
+//!         (Some(d), true) => g.neighbors(u).iter().map(|&v| (v, d + 1)).collect(),
+//!         _ => Vec::new(),
+//!     },
+//!     |_v, s, inbox| {
+//!         s.1 = false;
+//!         for (_src, d) in inbox {
+//!             if s.0.map_or(true, |cur| d < cur) {
+//!                 *s = (Some(d), true);
+//!             }
+//!         }
+//!     },
+//!     10_000,
+//! );
+//!
+//! assert_eq!(states[9].0, Some(9));
+//! assert_eq!(net.metrics().rounds, 10);
+//! assert_eq!(net.metrics().max_edge_words_in_superstep, 1);
+//! ```
+//!
 //! ## Virtual networks
 //!
 //! For the stateful-walk product graphs G_C (paper §5.2) every physical node

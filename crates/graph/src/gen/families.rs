@@ -159,7 +159,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> UGraph {
     b.build()
 }
 
-/// The [ACK16]-flavoured bit-gadget family: constant diameter, logarithmic
+/// The \[ACK16\]-flavoured bit-gadget family: constant diameter, logarithmic
 /// treewidth (paper §1.2 uses such instances to separate girth from
 /// diameter). Layout with `m = 2^bits` pair vertices per side:
 ///

@@ -16,9 +16,9 @@ use crate::{ArcId, Dist, UEdgeId};
 /// One directed arc of a [`MultiDigraph`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Arc {
-    /// Tail vertex (γ(e)[0]).
+    /// Tail vertex (γ(e)\[0\]).
     pub src: u32,
-    /// Head vertex (γ(e)[1]).
+    /// Head vertex (γ(e)\[1\]).
     pub dst: u32,
     /// Non-negative weight.
     pub weight: Dist,

@@ -6,7 +6,7 @@
 //! Leaves are matched locally (gathered subgraphs); then, walking the
 //! decomposition bottom-up, each separator vertex is activated one at a
 //! time and a single augmenting path from it is sought
-//! (Proposition 1 / [IOO18]: that is the only place an augmenting path
+//! (Proposition 1 / \[IOO18\]: that is the only place an augmenting path
 //! can start).
 //!
 //! An augmenting path is a shortest **2-colored walk** (Example 1) from

@@ -15,10 +15,16 @@
 //! | BCT(h) | multi-source subgraph broadcast | [`pa::broadcast`] |
 //! | MVC(h,t) | minimum vertex cuts | [`mvc::batch_min_vertex_cut`] |
 //!
+//! No single theorem is "the" primitive layer; rather, every theorem rides
+//! it: Theorem 1 (tree decomposition) consumes RST/STA/SLE/CCD/MVC inside
+//! `Split`, Theorems 2–5 consume PA/BCT for the per-level bag broadcasts,
+//! and the shared-superstep execution realizes the Theorem 6 scheduling
+//! bound by construction (see below).
+//!
 //! ## Shortcut substitution (DESIGN.md §4.1)
 //!
 //! The paper realizes PA with tree-restricted low-congestion shortcuts
-//! ([HIZ16]; Lemma 9: dilation Õ(τD), congestion Õ(τ)). We implement the
+//! (\[HIZ16\]; Lemma 9: dilation Õ(τD), congestion Õ(τ)). We implement the
 //! same *family* — every part aggregates along the minimal Steiner subtree
 //! of one global BFS tree — and let the simulator *measure* congestion
 //! instead of assuming the Õ(τ) bound (experiment E9 reports the measured

@@ -5,7 +5,7 @@
 //! BFS tree spanning its members ("tree-restricted shortcuts", the
 //! substitution documented in DESIGN.md §4.1); the flow engines then move
 //! the data with measured cost. The setup itself is charged one control
-//! pulse — the real [HIZ16] construction costs Õ(τD) rounds once, which the
+//! pulse — the real \[HIZ16\] construction costs Õ(τD) rounds once, which the
 //! experiments account separately (the tree is built once and reused).
 
 use crate::flow::{downflow, upflow, UpflowResult};
@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn steiner_tree_spans_members_only_plus_relays() {
-        let (_net, roles, parts) = two_parts_on_path();
+        let (_net, roles, _parts) = two_parts_on_path();
         // Part 0 = {0..3} is contiguous: no relays needed.
         for v in 0..4u32 {
             let r = roles.role_of(v, 0).unwrap();

@@ -10,7 +10,7 @@
 //! ```
 
 use lowtw::prelude::*;
-use lowtw::{baselines, girth, twgraph};
+use lowtw::{baselines, girth};
 
 fn main() {
     // A cycle with chords: treewidth stays small, several candidate

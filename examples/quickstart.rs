@@ -8,7 +8,9 @@
 
 use lowtw::prelude::*;
 
-fn main() {
+// `pub` so the smoke test (tests/smoke_quickstart.rs) can drive this
+// example as a module.
+pub fn main() {
     // A 400-node partial 3-tree with random arc weights — the kind of
     // sparse hierarchical topology the paper targets.
     let g = twgraph::gen::partial_ktree(400, 3, 0.7, 42);

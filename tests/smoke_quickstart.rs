@@ -1,0 +1,12 @@
+//! Smoke test: the documented entry point (`examples/quickstart.rs`) must
+//! keep running to completion. The example source is compiled into this
+//! test verbatim via a `#[path]` module, so API drift in the example is
+//! caught by `cargo test` — not only by someone happening to run it.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart;
+
+#[test]
+fn quickstart_example_runs_to_completion() {
+    quickstart::main();
+}
