@@ -1,0 +1,143 @@
+//! The `engine` bench: one full distributed SSSP pipeline — tree
+//! decomposition → distance labeling → label-broadcast query — on a large
+//! partial k-tree, with every stage's charged costs reported from the
+//! engine's phase log and the wall-clock throughput of the arena engine
+//! alongside. Writes `BENCH_engine.json`.
+//!
+//! ```sh
+//! cargo run --release -p lowtw-bench --bin engine              # n = 100_000
+//! cargo run --release -p lowtw-bench --bin engine -- 20000 2   # smaller / wider
+//! ```
+//!
+//! Positional arguments: `n` (default 100_000), `k` (default 1), `keep`
+//! (default 0.5), `seed` (default 1). The default family is a partial
+//! 1-tree: the deepest-n regime the superstep count (≈ 1.3·n for the
+//! decomposition's per-tree-node split flows) allows in minutes; raise `k`
+//! for wider-bag runs at smaller `n`.
+
+use congest_sim::{Network, NetworkConfig, PhaseSnapshot};
+use lowtw::{distlabel, treedec, twgraph};
+use lowtw_bench::fmt;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |i: usize, default: f64| -> f64 {
+        args.get(i).map(|s| s.parse().expect("numeric argument")).unwrap_or(default)
+    };
+    let n = arg(0, 100_000.0) as usize;
+    let k = arg(1, 1.0) as usize;
+    let keep = arg(2, 0.5);
+    let seed = arg(3, 1.0) as u64;
+
+    eprintln!("generating partial {k}-tree, n = {n}, keep = {keep}, seed = {seed} ...");
+    let g = twgraph::gen::partial_ktree(n, k, keep, seed);
+    let inst = twgraph::gen::with_random_weights(&g, 30, seed);
+    let m = g.m();
+    let mut net = Network::new(g, NetworkConfig::default());
+    let cfg = lowtw::SepConfig::practical(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let t = Instant::now();
+    let out = treedec::decompose_distributed(&mut net, k as u64 + 1, &cfg, &mut rng);
+    let wall_decompose = t.elapsed();
+    eprintln!(
+        "decompose: width = {}, depth = {} ({:.1?})",
+        out.td.width(),
+        out.td.stats().depth,
+        wall_decompose
+    );
+
+    let t = Instant::now();
+    let (labels, _) = distlabel::build_labels_distributed(&mut net, &inst, &out.td, &out.info);
+    let wall_label = t.elapsed();
+    eprintln!("label ({:.1?})", wall_label);
+
+    let t = Instant::now();
+    let (dists, _) = distlabel::sssp_distributed(&mut net, &labels, 0);
+    let wall_query = t.elapsed();
+    eprintln!("query ({:.1?})", wall_query);
+
+    // Spot-check correctness against the centralized oracle.
+    let truth = twgraph::alg::dijkstra(&inst, 0);
+    for v in (0..n).step_by((n / 64).max(1)) {
+        assert_eq!(dists[v], truth.dist[v], "sssp mismatch at {v}");
+    }
+
+    // The per-phase table, straight from the engine's phase log.
+    let phases: Vec<PhaseSnapshot> = net.phase_log().to_vec();
+    println!("\n== engine bench: per-phase charged costs (n = {n}, m = {m}, k = {k}) ==");
+    println!(
+        "{:<22} {:>12} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "phase", "rounds", "steps", "messages", "words", "charged", "congest"
+    );
+    for p in &phases {
+        println!(
+            "{:<22} {:>12} {:>10} {:>12} {:>12} {:>10} {:>8}",
+            p.phase,
+            fmt(p.rounds),
+            fmt(p.supersteps),
+            fmt(p.messages),
+            fmt(p.words),
+            fmt(p.charged_rounds),
+            fmt(p.max_edge_words_in_superstep)
+        );
+    }
+    let total = net.metrics();
+    println!(
+        "{:<22} {:>12} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "total",
+        fmt(total.rounds),
+        fmt(total.supersteps),
+        fmt(total.messages),
+        fmt(total.words),
+        fmt(total.charged_rounds),
+        fmt(total.max_edge_words_in_superstep)
+    );
+
+    let phase_json: Vec<serde_json::Value> = phases
+        .iter()
+        .map(|p| {
+            serde_json::json!({
+                "phase": p.phase.clone(),
+                "rounds": p.rounds,
+                "supersteps": p.supersteps,
+                "messages": p.messages,
+                "words": p.words,
+                "charged_rounds": p.charged_rounds,
+                "max_edge_words_in_superstep": p.max_edge_words_in_superstep,
+            })
+        })
+        .collect();
+    let wall_ms = serde_json::json!({
+        "decompose": wall_decompose.as_millis() as u64,
+        "label": wall_label.as_millis() as u64,
+        "query": wall_query.as_millis() as u64,
+    });
+    let total_json = serde_json::json!({
+        "rounds": total.rounds,
+        "supersteps": total.supersteps,
+        "messages": total.messages,
+        "words": total.words,
+        "charged_rounds": total.charged_rounds,
+        "max_edge_words_in_superstep": total.max_edge_words_in_superstep,
+    });
+    let doc = serde_json::json!({
+        "bench": "engine",
+        "family": "partial_ktree",
+        "n": n,
+        "m": m,
+        "k": k,
+        "keep": keep,
+        "seed": seed,
+        "width": out.td.width(),
+        "depth": out.td.stats().depth,
+        "wall_ms": wall_ms,
+        "phases": phase_json,
+        "total": total_json,
+    });
+    std::fs::write("BENCH_engine.json", serde_json::to_string(&doc).unwrap() + "\n").unwrap();
+    println!("\nwrote BENCH_engine.json");
+}

@@ -1,11 +1,23 @@
-//! The superstep engine.
+//! The superstep engine, built around a flat CSR mailbox arena.
+//!
+//! A superstep stages every emitted message into one contiguous buffer
+//! (ordered by source), charges it against precomputed per-directed-edge
+//! slots, then counting-sorts it into a second contiguous delivery buffer
+//! indexed by destination. All index/accounting scratch (slot loads, the
+//! touched-slot list, inbox offsets) lives in a reusable [`MailboxArena`],
+//! so after warm-up a superstep performs no per-node allocations — the only
+//! per-call allocations are the two flat message buffers, and quiescence
+//! loops ([`Network::run_until_quiet`]) reuse even those across supersteps.
+//! Accounting is *sparse*: only slots that actually carried words are
+//! visited, so an almost-quiet superstep costs O(active) rather than O(m).
 
-use crate::metrics::Metrics;
-use crate::projection::EdgeProjection;
+use crate::metrics::{Metrics, PhaseSnapshot};
+use crate::projection::{EdgeProjection, NO_SLOT};
 use crate::wire::WireMsg;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::ops::Range;
 use twgraph::UGraph;
 
 /// Engine configuration.
@@ -14,7 +26,8 @@ pub struct NetworkConfig {
     /// Words each edge carries per direction per round (`W`; default 1 —
     /// the classical CONGEST normalization of one O(log n)-bit message).
     pub bandwidth_words: u64,
-    /// Node count above which send/recv phases run on the rayon pool.
+    /// Node count above which send/recv phases run on the rayon pool,
+    /// partitioned over edge-balanced node ranges.
     pub parallel_threshold: usize,
     /// Seed for the unique O(log n)-bit node identifiers.
     pub seed: u64,
@@ -30,6 +43,84 @@ impl Default for NetworkConfig {
     }
 }
 
+/// The messages delivered to one node in a superstep: a window into the
+/// flat delivery arena. Iterating by value (`for (src, msg) in inbox`)
+/// moves each message out of the arena; [`iter`](Inbox::iter) borrows.
+/// Messages arrive ordered by source id.
+pub struct Inbox<'a, M> {
+    slots: &'a mut [Option<(u32, M)>],
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// Number of delivered messages.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing was delivered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The first message (lowest source id), by reference.
+    #[inline]
+    pub fn first(&self) -> Option<&(u32, M)> {
+        self.slots.first().map(|s| s.as_ref().expect("message already taken"))
+    }
+
+    /// Borrowing iterator over `(source, payload)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(u32, M)> + '_ {
+        self.slots.iter().map(|s| s.as_ref().expect("message already taken"))
+    }
+}
+
+impl<'a, M> IntoIterator for Inbox<'a, M> {
+    type Item = (u32, M);
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> InboxIter<'a, M> {
+        InboxIter {
+            inner: self.slots.iter_mut(),
+        }
+    }
+}
+
+/// By-value iterator over an [`Inbox`] (see [`Inbox`]).
+pub struct InboxIter<'a, M> {
+    inner: std::slice::IterMut<'a, Option<(u32, M)>>,
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = (u32, M);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, M)> {
+        self.inner.next().map(|s| s.take().expect("message already taken"))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<'a, M> ExactSizeIterator for InboxIter<'a, M> {}
+
+/// Reusable accounting scratch: zeroed between supersteps, never shrunk.
+#[derive(Default)]
+struct MailboxArena {
+    /// Words accumulated per physical directed-edge slot this superstep.
+    /// Invariant between supersteps: all zeros (reset via `touched`).
+    slot_words: Vec<u64>,
+    /// The slots dirtied this superstep (sparse reset + sparse max/sum).
+    touched: Vec<u32>,
+    /// Per-node inbox cursor (counts, then scatter positions).
+    cursor: Vec<usize>,
+    /// Per-node inbox offsets into the delivery buffer (`n + 1` entries).
+    inbox_off: Vec<usize>,
+}
+
 /// A simulated CONGEST network over a fixed communication graph.
 ///
 /// The network owns the topology, the cost accounting and the node
@@ -38,13 +129,63 @@ impl Default for NetworkConfig {
 /// back to back while accumulating a single round count.
 pub struct Network {
     g: UGraph,
-    /// Undirected edges sorted ascending — edge id = position.
-    edges: Vec<(u32, u32)>,
-    projection: EdgeProjection,
+    /// CSR offsets mirroring `g` (`adj_off[v]..adj_off[v+1]` indexes the
+    /// sorted neighbour array below).
+    adj_off: Vec<u32>,
+    /// Undirected edge id per adjacency slot (edge id = rank in the sorted
+    /// `(lo, hi)` edge list, as in [`UGraph::edges`]).
+    adj_eids: Vec<u32>,
+    /// Per virtual edge id: physical directed slot of the lo→hi direction
+    /// ([`NO_SLOT`] = free node-local edge).
+    slot_fwd: Vec<u32>,
+    /// Per virtual edge id: physical directed slot of the hi→lo direction.
+    slot_rev: Vec<u32>,
     cfg: NetworkConfig,
     metrics: Metrics,
     /// Unique random O(log n)-bit node ids (the model's identifiers).
     uids: Vec<u64>,
+    /// Target number of work chunks for the parallel paths.
+    n_chunks: usize,
+    arena: MailboxArena,
+    phase_log: Vec<PhaseSnapshot>,
+}
+
+/// Split `0..n` into up to `chunks` contiguous ranges of roughly equal
+/// total weight, where `prefix(i)` is the cumulative weight of the first
+/// `i` items. Returns a single range when there is no weight to balance —
+/// in particular a graph with zero edges (or all-isolated vertices) must
+/// not divide by its total edge weight.
+fn balanced_ranges(n: usize, chunks: usize, prefix: impl Fn(usize) -> u64) -> Vec<Range<usize>> {
+    let total = prefix(n);
+    let chunks = chunks.clamp(1, n.max(1));
+    if total == 0 || chunks == 1 || n == 0 {
+        return vec![0..n];
+    }
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for c in 1..=chunks {
+        let end = if c == chunks {
+            n
+        } else {
+            // Smallest i ≥ start with prefix(i) ≥ c/chunks of the total.
+            let target = total * c as u64 / chunks as u64;
+            let (mut lo, mut hi) = (start, n);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if prefix(mid) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        if end > start {
+            out.push(start..end);
+            start = end;
+        }
+    }
+    out
 }
 
 impl Network {
@@ -57,21 +198,52 @@ impl Network {
     /// A (possibly virtual) network whose word traffic is charged through
     /// `projection` onto physical edges.
     pub fn with_projection(g: UGraph, projection: EdgeProjection, cfg: NetworkConfig) -> Self {
-        let edges: Vec<(u32, u32)> = g.edges().collect();
+        let n = g.n();
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let mut uids: Vec<u64> = (0..g.n() as u64).map(|v| (v << 32) | rng.gen::<u32>() as u64).collect();
+        let mut uids: Vec<u64> = (0..n as u64).map(|v| (v << 32) | rng.gen::<u32>() as u64).collect();
         // The high half guarantees uniqueness; shuffle the order relation by
         // rotating so uid order is unrelated to index order.
         for u in uids.iter_mut() {
             *u = u.rotate_left(32);
         }
+
+        // Flatten the adjacency into a CSR mirror annotated with edge ids,
+        // so `{u, v} → edge id` is one binary search in u's neighbour list.
+        let mut adj_off = Vec::with_capacity(n + 1);
+        adj_off.push(0u32);
+        for v in 0..n as u32 {
+            adj_off.push(adj_off[v as usize] + g.degree(v) as u32);
+        }
+        let mut adj_eids = vec![0u32; adj_off[n] as usize];
+        for (eid, (u, v)) in g.edges().enumerate() {
+            for (a, b) in [(u, v), (v, u)] {
+                let lo = adj_off[a as usize] as usize;
+                let pos = g.neighbors(a).binary_search(&b).expect("edge ids out of sync");
+                adj_eids[lo + pos] = eid as u32;
+            }
+        }
+        let (slot_fwd, slot_rev) = projection.slot_tables();
+        debug_assert_eq!(slot_fwd.len(), g.m());
+
+        let n_chunks = std::thread::available_parallelism().map_or(1, |p| p.get()) * 4;
+        let arena = MailboxArena {
+            slot_words: vec![0u64; projection.n_physical_edges() * 2],
+            touched: Vec::new(),
+            cursor: vec![0usize; n],
+            inbox_off: vec![0usize; n + 1],
+        };
         Network {
             g,
-            edges,
-            projection,
+            adj_off,
+            adj_eids,
+            slot_fwd,
+            slot_rev,
             cfg,
             metrics: Metrics::default(),
             uids,
+            n_chunks: n_chunks.clamp(1, 256),
+            arena,
+            phase_log: Vec::new(),
         }
     }
 
@@ -108,15 +280,193 @@ impl Network {
     /// Charge rounds outside message traffic (global O(D)-round control
     /// pulses by the orchestrator; see DESIGN.md §4.4).
     pub fn charge_rounds(&mut self, rounds: u64) {
-        self.metrics.rounds += rounds;
-        self.metrics.charged_rounds += rounds;
+        self.metrics.note_charged(rounds);
     }
 
-    /// Edge id of `{u, v}`, if present.
+    /// Close the current accounting phase under `phase` (see
+    /// [`Metrics::snapshot`]) and append it to the network's phase log.
+    pub fn snapshot(&mut self, phase: &str) -> PhaseSnapshot {
+        let snap = self.metrics.snapshot(phase);
+        self.phase_log.push(snap.clone());
+        snap
+    }
+
+    /// Every phase recorded via [`snapshot`](Network::snapshot), in order.
     #[inline]
-    fn edge_id(&self, u: u32, v: u32) -> Option<u32> {
-        let key = if u < v { (u, v) } else { (v, u) };
-        self.edges.binary_search(&key).ok().map(|i| i as u32)
+    pub fn phase_log(&self) -> &[PhaseSnapshot] {
+        &self.phase_log
+    }
+
+    /// Phase 1: evaluate `send` for every node and append the emitted
+    /// messages to the flat staging buffer as `(src, dst, payload)`,
+    /// ordered by source. Above the parallel threshold the nodes are
+    /// partitioned into edge-balanced ranges for the rayon pool.
+    fn stage_sends<S, M>(
+        &self,
+        states: &[S],
+        send: &(impl Fn(u32, &S) -> Vec<(u32, M)> + Sync),
+        stage: &mut Vec<(u32, u32, M)>,
+    ) where
+        S: Send + Sync,
+        M: WireMsg,
+    {
+        let n = states.len();
+        stage.clear();
+        if n >= self.cfg.parallel_threshold {
+            // adj_off doubles as the degree prefix sum (edge-balanced split).
+            let adj_off = &self.adj_off;
+            let ranges = balanced_ranges(n, self.n_chunks, |i| adj_off[i] as u64);
+            let parts: Vec<Vec<(u32, u32, M)>> = ranges
+                .into_par_iter()
+                .map(|r| {
+                    let mut buf = Vec::new();
+                    for u in r {
+                        for (v, m) in send(u as u32, &states[u]) {
+                            buf.push((u as u32, v, m));
+                        }
+                    }
+                    buf
+                })
+                .collect();
+            stage.reserve(parts.iter().map(Vec::len).sum());
+            for part in parts {
+                stage.extend(part);
+            }
+        } else {
+            for (u, s) in states.iter().enumerate() {
+                for (v, m) in send(u as u32, s) {
+                    stage.push((u as u32, v, m));
+                }
+            }
+        }
+    }
+
+    /// Phases 2–4: validate and charge the staged messages, counting-sort
+    /// them into the delivery buffer, and run `recv` over every node's
+    /// inbox window. Drains `stage`; returns the rounds charged.
+    fn deliver_staged<S, M>(
+        &mut self,
+        states: &mut [S],
+        stage: &mut Vec<(u32, u32, M)>,
+        deliv: &mut Vec<Option<(u32, M)>>,
+        recv: &(impl Fn(u32, &mut S, Inbox<'_, M>) + Sync),
+    ) -> u64
+    where
+        S: Send + Sync,
+        M: WireMsg,
+    {
+        let n = states.len();
+
+        // Phase 2: validate, account (sparsely — only touched slots).
+        {
+            let Network {
+                g,
+                arena,
+                adj_off,
+                adj_eids,
+                slot_fwd,
+                slot_rev,
+                ..
+            } = self;
+            arena.cursor[..n].fill(0);
+            // Defensive reset: a caught CONGEST-violation panic in an
+            // earlier superstep may have left slots dirty mid-accounting;
+            // normal supersteps drain `touched` on exit, so this is free.
+            for s in arena.touched.drain(..) {
+                arena.slot_words[s as usize] = 0;
+            }
+            for &(u, v, ref m) in stage.iter() {
+                let lo = adj_off[u as usize] as usize;
+                let eid = g
+                    .neighbors(u)
+                    .binary_search(&v)
+                    .map(|pos| adj_eids[lo + pos])
+                    .unwrap_or_else(|_| {
+                        panic!("CONGEST violation: {u} sent to non-neighbor {v}")
+                    });
+                let w = m.words();
+                debug_assert!(w >= 1, "zero-word message");
+                let slot = if u < v {
+                    slot_fwd[eid as usize]
+                } else {
+                    slot_rev[eid as usize]
+                };
+                if slot != NO_SLOT {
+                    if arena.slot_words[slot as usize] == 0 {
+                        arena.touched.push(slot);
+                    }
+                    arena.slot_words[slot as usize] += w;
+                }
+                arena.cursor[v as usize] += 1;
+            }
+        }
+        let arena = &mut self.arena;
+        let max_slot = arena.touched.iter().map(|&s| arena.slot_words[s as usize]).max().unwrap_or(0);
+        let words: u64 = arena.touched.iter().map(|&s| arena.slot_words[s as usize]).sum();
+        let bw = self.cfg.bandwidth_words;
+        let rounds = arena
+            .touched
+            .iter()
+            .map(|&s| arena.slot_words[s as usize].div_ceil(bw))
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        for s in arena.touched.drain(..) {
+            arena.slot_words[s as usize] = 0;
+        }
+        self.metrics.note_superstep(rounds, stage.len() as u64, words, max_slot);
+
+        // Phase 3: counting-sort delivery into the flat mailbox. The stage
+        // is source-ascending and the sort is stable, so every inbox window
+        // ends up ordered by source.
+        arena.inbox_off[0] = 0;
+        for v in 0..n {
+            arena.inbox_off[v + 1] = arena.inbox_off[v] + arena.cursor[v];
+        }
+        arena.cursor[..n].copy_from_slice(&arena.inbox_off[..n]);
+        deliv.clear();
+        deliv.resize_with(stage.len(), || None);
+        for (u, v, m) in stage.drain(..) {
+            let p = arena.cursor[v as usize];
+            arena.cursor[v as usize] += 1;
+            deliv[p] = Some((u, m));
+        }
+
+        // Phase 4: deliver. Parallel path: message-balanced node ranges,
+        // each owning a disjoint window of the delivery buffer.
+        let inbox_off = &arena.inbox_off;
+        if n >= self.cfg.parallel_threshold {
+            let ranges = balanced_ranges(n, self.n_chunks, |i| inbox_off[i] as u64);
+            let mut jobs = Vec::with_capacity(ranges.len());
+            let mut state_rest = states;
+            let mut deliv_rest = &mut deliv[..];
+            let mut node_base = 0usize;
+            for r in &ranges {
+                let (s_chunk, s_rest) = state_rest.split_at_mut(r.end - r.start);
+                let (d_chunk, d_rest) = deliv_rest.split_at_mut(inbox_off[r.end] - inbox_off[r.start]);
+                state_rest = s_rest;
+                deliv_rest = d_rest;
+                jobs.push((node_base, s_chunk, d_chunk));
+                node_base = r.end;
+            }
+            jobs.into_par_iter().for_each(|(base, s_chunk, d_chunk)| {
+                let mut rest = d_chunk;
+                for (i, s) in s_chunk.iter_mut().enumerate() {
+                    let v = base + i;
+                    let (window, r) = rest.split_at_mut(inbox_off[v + 1] - inbox_off[v]);
+                    rest = r;
+                    recv(v as u32, s, Inbox { slots: window });
+                }
+            });
+        } else {
+            let mut rest = &mut deliv[..];
+            for (v, s) in states.iter_mut().enumerate() {
+                let (window, r) = rest.split_at_mut(inbox_off[v + 1] - inbox_off[v]);
+                rest = r;
+                recv(v as u32, s, Inbox { slots: window });
+            }
+        }
+        rounds
     }
 
     /// Execute one superstep.
@@ -133,122 +483,52 @@ impl Network {
         &mut self,
         states: &mut [S],
         send: impl Fn(u32, &S) -> Vec<(u32, M)> + Sync,
-        recv: impl Fn(u32, &mut S, Vec<(u32, M)>) + Sync,
+        recv: impl Fn(u32, &mut S, Inbox<'_, M>) + Sync,
     ) -> u64
     where
         S: Send + Sync,
         M: WireMsg,
     {
-        let n = self.g.n();
-        assert_eq!(states.len(), n, "state vector must match node count");
-
-        // Phase 1: emit.
-        let outs: Vec<Vec<(u32, M)>> = if n >= self.cfg.parallel_threshold {
-            states
-                .par_iter()
-                .enumerate()
-                .map(|(u, s)| send(u as u32, s))
-                .collect()
-        } else {
-            states
-                .iter()
-                .enumerate()
-                .map(|(u, s)| send(u as u32, s))
-                .collect()
-        };
-
-        // Phase 2: validate, account, route.
-        let mut slot_words = vec![0u64; self.projection.n_physical_edges() * 2];
-        let mut inbox_len = vec![0usize; n];
-        let mut n_messages = 0u64;
-        for (u, msgs) in outs.iter().enumerate() {
-            for (v, m) in msgs {
-                let eid = self.edge_id(u as u32, *v).unwrap_or_else(|| {
-                    panic!("CONGEST violation: {u} sent to non-neighbor {v}")
-                });
-                let w = m.words();
-                debug_assert!(w >= 1, "zero-word message");
-                if let Some(slot) = self.projection.slot(eid, (u as u32) < *v) {
-                    slot_words[slot] += w;
-                }
-                inbox_len[*v as usize] += 1;
-                n_messages += 1;
-            }
-        }
-        let max_slot = slot_words.iter().copied().max().unwrap_or(0);
-        let rounds = slot_words
-            .iter()
-            .map(|&w| w.div_ceil(self.cfg.bandwidth_words))
-            .max()
-            .unwrap_or(0)
-            .max(1);
-        self.metrics.rounds += rounds;
-        self.metrics.supersteps += 1;
-        self.metrics.messages += n_messages;
-        self.metrics.words += slot_words.iter().sum::<u64>();
-        self.metrics.max_edge_words_in_superstep =
-            self.metrics.max_edge_words_in_superstep.max(max_slot);
-
-        let mut inboxes: Vec<Vec<(u32, M)>> = inbox_len.into_iter().map(Vec::with_capacity).collect();
-        for (u, msgs) in outs.into_iter().enumerate() {
-            for (v, m) in msgs {
-                // Iterating sources ascending keeps inboxes sorted by source.
-                inboxes[v as usize].push((u as u32, m));
-            }
-        }
-
-        // Phase 3: deliver.
-        if n >= self.cfg.parallel_threshold {
-            states
-                .par_iter_mut()
-                .zip(inboxes.into_par_iter())
-                .enumerate()
-                .for_each(|(v, (s, inbox))| recv(v as u32, s, inbox));
-        } else {
-            for (v, (s, inbox)) in states.iter_mut().zip(inboxes).enumerate() {
-                recv(v as u32, s, inbox);
-            }
-        }
-        rounds
+        assert_eq!(states.len(), self.g.n(), "state vector must match node count");
+        let mut stage = Vec::new();
+        let mut deliv = Vec::new();
+        self.stage_sends(states, &send, &mut stage);
+        self.deliver_staged(states, &mut stage, &mut deliv, &recv)
     }
 
     /// Run supersteps until `send` produces no messages anywhere (a
     /// quiescence-driven loop, e.g. flooding). The final silent superstep is
     /// *not* charged. Returns the number of productive supersteps.
+    ///
+    /// `send` must be a pure function of the state. The staged messages of
+    /// the quiescence probe are delivered directly (send is evaluated once
+    /// per superstep), and the flat message buffers are reused across the
+    /// whole loop.
     pub fn run_until_quiet<S, M>(
         &mut self,
         states: &mut [S],
         send: impl Fn(u32, &S) -> Vec<(u32, M)> + Sync,
-        recv: impl Fn(u32, &mut S, Vec<(u32, M)>) + Sync,
+        recv: impl Fn(u32, &mut S, Inbox<'_, M>) + Sync,
         max_supersteps: u64,
     ) -> u64
     where
         S: Send + Sync,
         M: WireMsg,
     {
+        assert_eq!(states.len(), self.g.n(), "state vector must match node count");
         let mut steps = 0;
+        let mut stage = Vec::new();
+        let mut deliv = Vec::new();
         loop {
             assert!(
                 steps < max_supersteps,
                 "run_until_quiet exceeded {max_supersteps} supersteps"
             );
-            // Peek: is anyone sending? (Evaluating send twice is fine — it
-            // must be a pure function of the state.)
-            let quiet = if states.len() >= self.cfg.parallel_threshold {
-                states
-                    .par_iter()
-                    .enumerate()
-                    .all(|(u, s)| send(u as u32, s).is_empty())
-            } else {
-                states
-                    .iter()
-                    .enumerate()
-                    .all(|(u, s)| send(u as u32, s).is_empty())
-            };
-            if quiet {
+            self.stage_sends(states, &send, &mut stage);
+            if stage.is_empty() {
                 return steps;
             }
-            self.superstep(states, &send, &recv);
+            self.deliver_staged(states, &mut stage, &mut deliv, &recv);
             steps += 1;
         }
     }
@@ -257,7 +537,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use twgraph::gen::path;
+    use twgraph::gen::{gnp, path};
 
     #[derive(Clone, Default)]
     struct FloodState {
@@ -443,5 +723,152 @@ mod tests {
         );
         assert_eq!(rounds, 1);
         assert_eq!(net.metrics().words, 1); // only the physical word counted
+    }
+
+    #[test]
+    fn arena_state_clean_between_supersteps() {
+        // Two different traffic patterns back to back must account
+        // independently (the touched-slot reset works).
+        let g = path(3);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let mut states = vec![(); 3];
+        let r1 = net.superstep(
+            &mut states,
+            |u, _s| if u == 0 { vec![(1u32, vec![1u32; 4])] } else { Vec::new() },
+            |_v, _s, _inbox| {},
+        );
+        assert_eq!(r1, 4);
+        let r2 = net.superstep(
+            &mut states,
+            |u, _s| if u == 2 { vec![(1u32, 1u32)] } else { Vec::new() },
+            |_v, _s, _inbox| {},
+        );
+        assert_eq!(r2, 1);
+        assert_eq!(net.metrics().words, 5);
+        assert_eq!(net.metrics().max_edge_words_in_superstep, 4);
+    }
+
+    #[test]
+    fn parallel_path_handles_zero_edges() {
+        // Regression: a graph with no edges (gnp with p = 0) must not
+        // panic in the edge-partitioned parallel send/recv path.
+        let g = gnp(64, 0.0, 9);
+        assert_eq!(g.m(), 0);
+        let cfg = NetworkConfig {
+            parallel_threshold: 1, // force the parallel path
+            ..Default::default()
+        };
+        let mut net = Network::new(g, cfg);
+        let mut states = vec![0u32; 64];
+        let rounds = net.superstep(
+            &mut states,
+            |_u, _s| Vec::<(u32, u32)>::new(),
+            |_v, s, inbox| *s = inbox.len() as u32,
+        );
+        assert_eq!(rounds, 1);
+        assert_eq!(net.metrics().messages, 0);
+        assert!(states.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn parallel_path_handles_isolated_vertices() {
+        // Isolated vertices next to an active component, through the
+        // parallel path: delivery windows must line up.
+        let mut g = twgraph::UGraphBuilder::new(40);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let g = g.build();
+        let cfg = NetworkConfig {
+            parallel_threshold: 1,
+            ..Default::default()
+        };
+        let mut net = Network::new(g, cfg);
+        let dists = flood(&mut net, 0);
+        assert_eq!(dists[1], Some(1));
+        assert_eq!(dists[2], Some(2));
+        assert!(dists[3..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn parallel_and_sequential_paths_agree() {
+        let g = twgraph::gen::gnp(96, 0.08, 5);
+        let run = |threshold: usize| {
+            let cfg = NetworkConfig {
+                parallel_threshold: threshold,
+                ..Default::default()
+            };
+            let mut net = Network::new(g.clone(), cfg);
+            let dists = flood(&mut net, 0);
+            (dists, *net.metrics())
+        };
+        let (d_seq, m_seq) = run(usize::MAX);
+        let (d_par, m_par) = run(1);
+        assert_eq!(d_seq, d_par);
+        assert_eq!(m_seq, m_par);
+    }
+
+    #[test]
+    fn phase_snapshots_partition_the_totals() {
+        let g = path(12);
+        let mut net = Network::new(g, NetworkConfig::default());
+        flood(&mut net, 0);
+        let p1 = net.snapshot("flood-a");
+        flood(&mut net, 11);
+        net.charge_rounds(3);
+        let p2 = net.snapshot("flood-b");
+        assert_eq!(net.phase_log().len(), 2);
+        assert_eq!(p1.rounds + p2.rounds, net.metrics().rounds);
+        assert_eq!(p1.words + p2.words, net.metrics().words);
+        assert_eq!(p2.charged_rounds, 3);
+        assert!(p1.max_edge_words_in_superstep >= 1);
+    }
+
+    #[test]
+    fn accounting_recovers_from_caught_violation_panic() {
+        // A caught CONGEST-violation panic must not leave dirty slot loads
+        // behind (the arena is reused, unlike the seed's fresh buffers).
+        let g = path(3);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut states = vec![(); 3];
+            net.superstep(
+                &mut states,
+                // Node 0 charges a legal 7-word message first, then node 1
+                // violates the model — the panic lands mid-accounting.
+                |u, _s| match u {
+                    0 => vec![(1u32, vec![1u32; 7])],
+                    1 => vec![(0u32, vec![2u32; 3]), (2, vec![2u32; 3])],
+                    _ => vec![(0u32, vec![3u32; 5])], // 2 → 0: non-neighbor
+                },
+                |_v, _s, _inbox| {},
+            )
+        }));
+        assert!(caught.is_err());
+        // A clean one-word superstep afterwards must charge exactly 1 round
+        // and 1 word on top of nothing.
+        let mut states = vec![(); 3];
+        let rounds = net.superstep(
+            &mut states,
+            |u, _s| if u == 0 { vec![(1u32, 1u32)] } else { Vec::new() },
+            |_v, _s, _inbox| {},
+        );
+        assert_eq!(rounds, 1);
+        assert_eq!(net.metrics().words, 1);
+        assert_eq!(net.metrics().max_edge_words_in_superstep, 1);
+    }
+
+    #[test]
+    fn balanced_ranges_cover_and_balance() {
+        // Uniform weights: every chunk within a factor 2 of ideal.
+        let prefix = |i: usize| i as u64;
+        let ranges = balanced_ranges(100, 4, prefix);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 100);
+        assert_eq!(ranges.len(), 4);
+        for r in &ranges {
+            assert!(r.len() >= 13 && r.len() <= 50, "unbalanced: {r:?}");
+        }
+        // Degenerate cases.
+        assert_eq!(balanced_ranges(10, 4, |_| 0), vec![0..10]);
+        assert_eq!(balanced_ranges(0, 4, |_| 0), vec![0..0]);
     }
 }

@@ -71,7 +71,7 @@ mod metrics;
 mod projection;
 mod wire;
 
-pub use engine::{Network, NetworkConfig};
-pub use metrics::{Metrics, MetricsDelta};
-pub use projection::EdgeProjection;
+pub use engine::{Inbox, InboxIter, Network, NetworkConfig};
+pub use metrics::{Metrics, MetricsDelta, PhaseSnapshot};
+pub use projection::{EdgeProjection, NO_SLOT};
 pub use wire::WireMsg;

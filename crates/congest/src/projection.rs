@@ -2,6 +2,10 @@
 
 use twgraph::UGraph;
 
+/// Sentinel directed-slot index for free (node-local) virtual edges, used
+/// in the tables returned by [`EdgeProjection::slot_tables`].
+pub const NO_SLOT: u32 = u32::MAX;
+
 /// Maps each undirected edge of a *virtual* communication graph onto the
 /// physical edge carrying it (paper §5.2: node `u` simulates all of
 /// `U_Q(u)`, and a virtual edge between copies of `u` and `v` rides the
@@ -82,6 +86,19 @@ impl EdgeProjection {
             Some(pid as usize * 2 + usize::from(dir))
         }
     }
+
+    /// Resolve every virtual edge's two directed slots up front, for the
+    /// engine's arena hot path: returns `(forward, reverse)` tables indexed
+    /// by virtual edge id, with [`NO_SLOT`] marking free local edges. The
+    /// flip logic is paid once here instead of per message.
+    pub fn slot_tables(&self) -> (Vec<u32>, Vec<u32>) {
+        let resolve = |forward: bool| -> Vec<u32> {
+            (0..self.map.len() as u32)
+                .map(|e| self.slot(e, forward).map_or(NO_SLOT, |s| s as u32))
+                .collect()
+        };
+        (resolve(true), resolve(false))
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +140,18 @@ mod tests {
         let s1 = p.slot(1, true).unwrap();
         let s2 = p.slot(2, true).unwrap();
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn slot_tables_match_pointwise_resolution() {
+        let phys = UGraph::from_edges(2, [(0, 1)]);
+        let virt = UGraph::from_edges(4, [(0, 1), (2, 3), (0, 2), (1, 3), (0, 3)]);
+        let p = EdgeProjection::from_hosts(&virt, &phys, |v| v / 2);
+        let (fwd, rev) = p.slot_tables();
+        for e in 0..5u32 {
+            assert_eq!(p.slot(e, true).map_or(NO_SLOT, |s| s as u32), fwd[e as usize]);
+            assert_eq!(p.slot(e, false).map_or(NO_SLOT, |s| s as u32), rev[e as usize]);
+        }
     }
 
     #[test]

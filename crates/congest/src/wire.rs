@@ -14,6 +14,8 @@ pub trait WireMsg: Clone + Send {
     }
 }
 
+/// The empty payload: a bare one-word "ping" (presence is the signal).
+impl WireMsg for () {}
 impl WireMsg for u8 {}
 impl WireMsg for u16 {}
 impl WireMsg for u32 {}

@@ -82,7 +82,9 @@ pub fn build_labels_distributed(
         gtree.charge_control_pulse(net);
     }
 
-    (labels, net.metrics().rounds - start)
+    let rounds = net.metrics().rounds - start;
+    net.snapshot("distlabel/build");
+    (labels, rounds)
 }
 
 #[cfg(test)]

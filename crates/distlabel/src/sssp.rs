@@ -43,7 +43,9 @@ pub fn sssp_distributed(net: &mut Network, labels: &[Label], src: u32) -> (Vec<D
             decode(&la_src, &labels[v])
         })
         .collect();
-    (dists, net.metrics().rounds - start)
+    let rounds = net.metrics().rounds - start;
+    net.snapshot("distlabel/query");
+    (dists, rounds)
 }
 
 #[cfg(test)]

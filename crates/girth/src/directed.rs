@@ -82,7 +82,9 @@ pub fn girth_directed_distributed(
     let roles = pa::steiner_roles(&gtree, &parts);
     let up = pa::aggregate(net, &roles, |v, _p| Some(local_best[v as usize]), Dist::min);
     let girth = up.roots.first().map_or(INF, |&(_, d)| d);
-    (girth, net.metrics().rounds - start)
+    let rounds = net.metrics().rounds - start;
+    net.snapshot("girth/directed");
+    (girth, rounds)
 }
 
 #[cfg(test)]

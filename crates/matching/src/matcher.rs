@@ -1,7 +1,7 @@
 //! The separator-hierarchy matcher.
 
 use baselines::{hopcroft_karp, matching_size};
-use congest_sim::NetworkConfig;
+use congest_sim::{NetworkConfig, PhaseSnapshot};
 use stateful_walks::{CdlLabeling, ColoredWalk, ConstrainedSssp};
 use treedec::decomp::NodeInfo;
 use twgraph::gen::BipartiteInstance;
@@ -30,6 +30,9 @@ pub struct MatchingOutcome {
     pub attempts: usize,
     /// Accumulated measured rounds (0 in centralized mode).
     pub rounds: u64,
+    /// Per-augmentation phase costs of the charged virtual CDL runs
+    /// (empty in centralized mode).
+    pub phases: Vec<PhaseSnapshot>,
 }
 
 impl MatchingOutcome {
@@ -93,6 +96,7 @@ pub fn max_matching(
     let mut rounds = 0u64;
     let mut augmentations = 0usize;
     let mut attempts = 0usize;
+    let mut phases: Vec<PhaseSnapshot> = Vec::new();
 
     // Incidence: edge ids per vertex (for local mate bookkeeping).
     let mut incident: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -154,6 +158,7 @@ pub fn max_matching(
                     NetworkConfig::default(),
                 );
                 rounds += metrics.rounds;
+                phases.push(metrics.as_phase(&format!("matching/augment-{attempts}")));
             }
             let sssp = ConstrainedSssp::run(&alt, &constraint, s);
             // Best unmatched target reached with an unmatched final edge.
@@ -210,6 +215,7 @@ pub fn max_matching(
         augmentations,
         attempts,
         rounds,
+        phases,
     }
 }
 

@@ -144,7 +144,9 @@ pub fn build_bfs_tree(net: &mut Network, root: u32) -> GlobalTree {
 /// Elect a leader and build the global BFS tree in one go.
 pub fn build_global_tree(net: &mut Network) -> GlobalTree {
     let leader = elect_global_leader(net);
-    build_bfs_tree(net, leader)
+    let tree = build_bfs_tree(net, leader);
+    net.snapshot("primitives/backbone");
+    tree
 }
 
 #[cfg(test)]

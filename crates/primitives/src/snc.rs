@@ -3,7 +3,7 @@
 //! A trivially thin wrapper over one engine superstep, named to keep the
 //! correspondence with the paper's task vocabulary explicit.
 
-use congest_sim::{Network, WireMsg};
+use congest_sim::{Inbox, Network, WireMsg};
 
 /// Execute one SNC: every node sends `build(v, state)` messages to
 /// neighbours and absorbs its inbox with `absorb`. Returns the rounds
@@ -12,7 +12,7 @@ pub fn exchange<S, M>(
     net: &mut Network,
     states: &mut [S],
     build: impl Fn(u32, &S) -> Vec<(u32, M)> + Sync,
-    absorb: impl Fn(u32, &mut S, Vec<(u32, M)>) + Sync,
+    absorb: impl Fn(u32, &mut S, Inbox<'_, M>) + Sync,
 ) -> u64
 where
     S: Send + Sync,
@@ -39,7 +39,7 @@ where
             g.neighbors(u).iter().map(|&v| (v, mine.clone())).collect()
         },
         |_v, s, inbox| {
-            *s = inbox;
+            *s = inbox.into_iter().collect();
         },
     );
     states

@@ -455,11 +455,13 @@ pub fn decompose_distributed(
         level = next_level;
     }
 
+    let rounds = net.metrics().rounds - start_rounds;
+    net.snapshot("treedec/decompose");
     DistDecompOutcome {
         td,
         info,
         t_used: t,
-        rounds: net.metrics().rounds - start_rounds,
+        rounds,
         backbone_rounds,
     }
 }

@@ -1,0 +1,187 @@
+//! Differential lockdown of the superstep engine's charged semantics.
+//!
+//! Every case runs a full distributed pipeline (SSSP, girth, matching) on a
+//! fixed corpus of families and seeds, captures the engine's `Metrics`
+//! after each stage, and compares them **bit for bit** against golden
+//! records under `tests/golden/` that were produced by the seed engine.
+//! Any refactor of `congest_sim` that silently changes the charged rounds,
+//! words, message counts or per-edge congestion fails this suite.
+//!
+//! Regenerate the goldens (only when the cost model itself is *meant* to
+//! change, with review) via:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test differential_engine
+//! ```
+
+use lowtw::prelude::*;
+use lowtw::{baselines, bmatch, distlabel, girth, treedec, twgraph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// One canonical JSON line per captured measurement. Field order is fixed
+/// so the string comparison is exact.
+fn metrics_line(case: &str, stage: &str, m: &congest_sim::Metrics) -> String {
+    format!(
+        "{{\"case\":\"{case}\",\"stage\":\"{stage}\",\"rounds\":{},\"supersteps\":{},\"messages\":{},\"words\":{},\"max_edge_words\":{},\"charged_rounds\":{}}}",
+        m.rounds, m.supersteps, m.messages, m.words, m.max_edge_words_in_superstep, m.charged_rounds
+    )
+}
+
+fn value_line(case: &str, stage: &str, fields: &[(&str, u64)]) -> String {
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+    format!("{{\"case\":\"{case}\",\"stage\":\"{stage}\",{}}}", body.join(","))
+}
+
+/// Full distributed SSSP pipeline on one net: tree decomposition →
+/// distance labeling → one label-broadcast query. Captures the cumulative
+/// metrics after every stage plus a correctness check against Dijkstra.
+fn sssp_case(name: &str, g: &UGraph, inst: &MultiDigraph, t0: u64, seed: u64, src: u32) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut net = Network::new(g.clone(), NetworkConfig::default());
+    let cfg = lowtw::SepConfig::practical(g.n());
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng);
+    out.td.verify(g).unwrap();
+    lines.push(metrics_line(name, "decompose", net.metrics()));
+
+    let (labels, _) = distlabel::build_labels_distributed(&mut net, inst, &out.td, &out.info);
+    lines.push(metrics_line(name, "label", net.metrics()));
+
+    let (dists, _) = distlabel::sssp_distributed(&mut net, &labels, src);
+    assert_eq!(dists, twgraph::alg::dijkstra(inst, src).dist, "{name}: sssp incorrect");
+    lines.push(metrics_line(name, "query", net.metrics()));
+    lines
+}
+
+/// Directed girth from labels, measured on its own net.
+fn girth_directed_case(name: &str, g: &UGraph, inst: &MultiDigraph, seed: u64) -> Vec<String> {
+    let session = Session::decompose(g, 3, seed);
+    let labels = session.labels(inst);
+    let mut net = Network::new(g.clone(), NetworkConfig::default());
+    let (girth_val, _) = girth::girth_directed_distributed(&mut net, inst, &labels);
+    let mut lines = vec![metrics_line(name, "query", net.metrics())];
+    lines.push(value_line(
+        name,
+        "result",
+        &[("girth", if girth_val >= INF { u64::MAX } else { girth_val })],
+    ));
+    lines
+}
+
+/// Probabilistic undirected girth with one representative trial charged
+/// through the virtual product network.
+fn girth_undirected_case(name: &str, g: &UGraph, wmax: u64, seed: u64) -> Vec<String> {
+    let inst = twgraph::gen::with_random_weights(g, wmax, seed);
+    let want = baselines::girth_exact_centralized(&inst);
+    let session = Session::decompose(g, 3, seed);
+    let cfg = girth::GirthConfig {
+        trials_per_c: 2,
+        seed,
+        measure_distributed: true,
+    };
+    let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg);
+    assert!(run.girth >= want, "{name}: girth underestimated");
+    vec![value_line(
+        name,
+        "result",
+        &[
+            ("girth", if run.girth >= INF { u64::MAX } else { run.girth }),
+            ("trials", run.trials as u64),
+            ("rounds_per_trial", run.rounds_per_trial),
+            ("rounds_total", run.rounds_total),
+        ],
+    )]
+}
+
+/// Separator-hierarchy matching with every augmentation charged through
+/// the virtual CDL network.
+fn matching_case(name: &str, nl: usize, nr: usize, band: usize, p: f64, seed: u64) -> Vec<String> {
+    let (g, side) = twgraph::gen::bipartite_banded(nl, nr, band, p, seed);
+    let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
+    let session = Session::decompose(&g, 3, seed);
+    let out = session.max_matching(&inst, bmatch::MatchMode::Distributed);
+    let want = baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
+    assert_eq!(out.size(), want, "{name}: matching not maximum");
+    vec![value_line(
+        name,
+        "result",
+        &[
+            ("size", out.size() as u64),
+            ("augmentations", out.augmentations as u64),
+            ("attempts", out.attempts as u64),
+            ("rounds", out.rounds),
+        ],
+    )]
+}
+
+/// The fixed corpus. Families and seeds chosen to cover every pipeline,
+/// both sparse and denser regimes, trees, and the virtual-network path.
+fn run_corpus() -> Vec<String> {
+    let mut lines = Vec::new();
+
+    // --- SSSP pipelines -------------------------------------------------
+    {
+        let g = twgraph::gen::partial_ktree(96, 2, 0.7, 11);
+        let inst = twgraph::gen::with_random_weights(&g, 30, 11);
+        lines.extend(sssp_case("sssp/partial_ktree_96_2", &g, &inst, 3, 11, 5));
+    }
+    {
+        let g = twgraph::gen::partial_ktree(150, 3, 0.7, 21);
+        let inst = twgraph::gen::with_random_weights(&g, 50, 21);
+        lines.extend(sssp_case("sssp/partial_ktree_150_3", &g, &inst, 4, 21, 42));
+    }
+    {
+        let g = twgraph::gen::banded_path(120, 3);
+        let inst = twgraph::gen::with_random_weights(&g, 12, 4);
+        lines.extend(sssp_case("sssp/banded_path_120_3", &g, &inst, 4, 4, 17));
+    }
+    {
+        let g = twgraph::gen::random_tree(90, 6);
+        let inst = twgraph::gen::with_random_weights(&g, 9, 6);
+        lines.extend(sssp_case("sssp/random_tree_90", &g, &inst, 2, 6, 0));
+    }
+
+    // --- Girth pipelines ------------------------------------------------
+    {
+        let g = twgraph::gen::partial_ktree(60, 2, 0.7, 13);
+        let inst = twgraph::gen::random_orientation(&g, 9, 0.4, 13);
+        lines.extend(girth_directed_case("girth/directed_pk_60_2", &g, &inst, 13));
+    }
+    lines.extend(girth_undirected_case("girth/undirected_cycle_20", &twgraph::gen::cycle(20), 5, 15));
+
+    // --- Matching pipeline ----------------------------------------------
+    // Large enough that the decomposition has internal separator nodes, so
+    // augmentations actually run through the charged virtual CDL network.
+    lines.extend(matching_case("matching/banded_26_26", 26, 26, 1, 0.45, 2));
+
+    lines
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/engine_metrics.jsonl")
+}
+
+#[test]
+fn metrics_match_seed_engine_goldens() {
+    let got = run_corpus();
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got.join("\n") + "\n").unwrap();
+        eprintln!("wrote {} golden lines to {}", got.len(), path.display());
+        return;
+    }
+    let want_raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `UPDATE_GOLDEN=1 cargo test --test differential_engine`",
+            path.display()
+        )
+    });
+    let want: Vec<&str> = want_raw.lines().collect();
+    for (i, (g, w)) in got.iter().map(String::as_str).zip(want.iter().copied()).enumerate() {
+        assert_eq!(g, w, "golden line {} diverged from the seed engine", i + 1);
+    }
+    assert_eq!(got.len(), want.len(), "golden line count changed");
+}

@@ -7,7 +7,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Theorem 1 invariants: every decomposition of a random partial
     /// k-tree is valid and its width does not exceed the configured O(t²
@@ -86,6 +86,56 @@ proptest! {
         let mu = vec![1u64; n];
         let out = sep_doubling(&g, &members, &mu, k as u64 + 1, &cfg, &mut rng);
         prop_assert!(out.separator.len() as u64 <= cfg.size_bound(out.t_used));
+    }
+
+    /// Lemma 9's congestion bound, measured: part-wise aggregation over a
+    /// partial k-tree decomposition keeps the peak per-edge word load in
+    /// any single superstep Õ(τ) — we allow a generous constant times
+    /// (k+1)·log²n and it must never be exceeded, whatever the family's
+    /// randomness does.
+    #[test]
+    fn decomposition_congestion_stays_near_tau(
+        n in 48usize..160,
+        k in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        use rand::SeedableRng;
+        let g = twgraph::gen::partial_ktree(n, k, 0.7, seed);
+        let mut net = Network::new(g.clone(), NetworkConfig::default());
+        let cfg = lowtw::SepConfig::practical(n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = lowtw::treedec::decompose_distributed(&mut net, k as u64 + 1, &cfg, &mut rng);
+        prop_assert!(out.td.verify(&g).is_ok());
+        let log2 = (n as f64).log2();
+        let bound = (8.0 * (k as f64 + 1.0) * log2 * log2) as u64;
+        let congestion = net.metrics().max_edge_words_in_superstep;
+        prop_assert!(
+            congestion <= bound,
+            "congestion {congestion} > Õ(τ) envelope {bound} (n={n}, k={k})"
+        );
+    }
+
+    /// Differential SSSP: the label-broadcast query and the distributed
+    /// Bellman–Ford baseline must agree exactly on random weighted
+    /// instances (and with Dijkstra, transitively).
+    #[test]
+    fn sssp_matches_bellman_ford_distributed(
+        n in 24usize..80,
+        k in 1usize..4,
+        wmax in 1u64..50,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = twgraph::gen::partial_ktree(n, k, 0.7, seed);
+        let inst = twgraph::gen::with_random_weights(&g, wmax, seed);
+        let session = Session::decompose(&g, k as u64 + 1, seed);
+        let labels = session.labels(&inst);
+        let src = (seed % n as u64) as u32;
+        let mut net1 = Network::new(g.clone(), NetworkConfig::default());
+        let (d_labels, r1) = lowtw::distlabel::sssp_distributed(&mut net1, &labels, src);
+        let mut net2 = Network::new(g.clone(), NetworkConfig::default());
+        let (d_bford, r2) = baselines::bellman_ford_distributed(&mut net2, &inst, src);
+        prop_assert_eq!(d_labels, d_bford);
+        prop_assert!(r1 > 0 && r2 > 0);
     }
 
     /// Lemma 6 half of Theorem 5: the probabilistic girth never
