@@ -14,13 +14,18 @@
 //!   (experiment E7's comparison).
 //! * [`girth_exact_centralized`] / [`girth_directed_centralized`] — exact
 //!   weighted girth oracles.
+//! * [`oracles`] — the uniform centralized oracle surface the scenario
+//!   matrix (`crates/scenarios`) differentially checks every pipeline
+//!   against.
 
 pub mod apsp;
 pub mod bford;
 pub mod girth_oracle;
 pub mod matching;
+pub mod oracles;
 
 pub use apsp::apsp_pipelined_distributed;
 pub use bford::bellman_ford_distributed;
 pub use girth_oracle::{girth_directed_centralized, girth_exact_centralized};
 pub use matching::{hopcroft_karp, matching_distributed_baseline, matching_size};
+pub use oracles::{constrained_sssp_oracle, matching_oracle, sssp_oracle};

@@ -1,0 +1,81 @@
+//! Uniform centralized oracle surface for differential runners.
+//!
+//! Every scenario × pipeline cell of the workload matrix (the `scenarios`
+//! crate) is checked against exactly one function from this module, so the
+//! trust anchor of the whole differential suite is enumerable in one place:
+//!
+//! | pipeline | oracle | algorithm |
+//! |----------|--------|-----------|
+//! | sssp | [`sssp_oracle`] | binary-heap Dijkstra |
+//! | distance labeling | [`sssp_oracle`] per sampled source | Dijkstra |
+//! | girth | [`girth_exact_centralized`](crate::girth_exact_centralized) / [`girth_directed_centralized`](crate::girth_directed_centralized) | per-edge shortest-cycle scan |
+//! | matching | [`matching_oracle`] | Hopcroft–Karp |
+//! | stateful walks | [`constrained_sssp_oracle`] | Dijkstra on the product graph |
+
+use stateful_walks::{ConstrainedSssp, StateId, StatefulConstraint};
+use twgraph::{Dist, MultiDigraph, UGraph};
+
+/// Exact single-source distances (centralized Dijkstra) — the oracle for
+/// the SSSP and distance-labeling pipelines. Unreachable vertices get
+/// [`twgraph::INF`]; the instance may be disconnected.
+pub fn sssp_oracle(inst: &MultiDigraph, src: u32) -> Vec<Dist> {
+    twgraph::alg::dijkstra(inst, src).dist
+}
+
+/// Exact maximum-matching size of a bipartite instance (Hopcroft–Karp) —
+/// the oracle for the matching pipeline. Handles disconnected inputs.
+pub fn matching_oracle(g: &UGraph, side: &[bool]) -> usize {
+    crate::matching_size(&crate::hopcroft_karp(g, side))
+}
+
+/// Exact constrained shortest-walk distances from `src` under constraint
+/// `c`: `out[t][q]` is the weight of the shortest walk from `src` to `t`
+/// whose final constraint state is `q` (Dijkstra on the explicit product
+/// graph) — the oracle for the stateful-walk (CDL) pipeline.
+pub fn constrained_sssp_oracle(
+    inst: &MultiDigraph,
+    c: &impl StatefulConstraint,
+    src: u32,
+) -> Vec<Vec<Dist>> {
+    let sssp = ConstrainedSssp::run(inst, c, src);
+    (0..inst.n() as u32)
+        .map(|t| {
+            (0..c.n_states() as StateId)
+                .map(|q| sssp.dist(t, q))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stateful_walks::ColoredWalk;
+    use twgraph::gen;
+    use twgraph::INF;
+
+    #[test]
+    fn sssp_oracle_disconnected_gives_inf() {
+        let g = gen::disjoint_union(&[gen::cycle(4), gen::path(3)]);
+        let inst = gen::with_unit_weights(&g);
+        let d = sssp_oracle(&inst, 0);
+        assert_eq!(d[2], 2);
+        assert!(d[4] >= INF && d[6] >= INF);
+    }
+
+    #[test]
+    fn matching_oracle_on_even_cycle() {
+        let g = gen::cycle(8);
+        let side: Vec<bool> = (0..8).map(|v| v % 2 == 0).collect();
+        assert_eq!(matching_oracle(&g, &side), 4);
+    }
+
+    #[test]
+    fn constrained_oracle_shape() {
+        let inst = gen::with_colored_weights(&gen::cycle(6), 3, 2, 1);
+        let c = ColoredWalk { colors: 2 };
+        let out = constrained_sssp_oracle(&inst, &c, 0);
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|row| row.len() == c.n_states()));
+    }
+}

@@ -1,0 +1,97 @@
+//! The `scenarios` bench: the full scenario × pipeline cross-product from
+//! the `scenarios` registry, every cell differentially verified against
+//! its centralized oracle while running, with charged costs and wall
+//! clock reported per cell. Writes `BENCH_scenarios.json` with one entry
+//! per cell.
+//!
+//! ```sh
+//! cargo run --release -p lowtw-bench --bin scenarios
+//! cargo run --release -p lowtw-bench --bin scenarios -- girth   # one pipeline
+//! ```
+//!
+//! Optional positional argument: a pipeline name (`sssp`, `distlabel`,
+//! `girth`, `matching`, `walks`) to restrict the matrix to one row —
+//! filtered runs print the table but do not rewrite `BENCH_scenarios.json`.
+
+use lowtw_bench::fmt;
+use scenarios::{all_pipelines, corpus, run_cell, CellReport};
+use std::time::Instant;
+
+fn main() {
+    let filter: Option<String> = std::env::args().nth(1);
+    let pipelines = all_pipelines();
+    if let Some(f) = filter.as_deref() {
+        assert!(
+            pipelines.iter().any(|p| p.name() == f),
+            "unknown pipeline {f:?}; expected one of {:?}",
+            pipelines.iter().map(|p| p.name()).collect::<Vec<_>>()
+        );
+    }
+    let scenarios = corpus();
+
+    let mut entries: Vec<serde_json::Value> = Vec::new();
+    let mut reports: Vec<(CellReport, u64)> = Vec::new();
+    let t_total = Instant::now();
+    for sc in &scenarios {
+        for p in &pipelines {
+            if filter.as_deref().is_some_and(|f| f != p.name()) {
+                continue;
+            }
+            let t = Instant::now();
+            let rep = run_cell(sc, p.as_ref());
+            let wall_ms = t.elapsed().as_millis() as u64;
+            eprintln!(
+                "{:<28} {:<10} rounds = {:>9}  checked = {:>5}  ({wall_ms} ms)",
+                rep.scenario,
+                rep.pipeline,
+                fmt(rep.metrics.rounds),
+                fmt(rep.checked as u64)
+            );
+            let mut json = rep.json();
+            json["wall_ms"] = serde_json::json!(wall_ms);
+            entries.push(json);
+            reports.push((rep, wall_ms));
+        }
+    }
+
+    println!(
+        "\n== scenario matrix: {} cells, every one oracle-verified ({:.1?}) ==",
+        reports.len(),
+        t_total.elapsed()
+    );
+    println!(
+        "{:<28} {:<10} {:>6} {:>5} {:>9} {:>11} {:>11} {:>8} {:>7}",
+        "scenario", "pipeline", "n", "comps", "rounds", "messages", "words", "checked", "ms"
+    );
+    for (r, wall_ms) in &reports {
+        println!(
+            "{:<28} {:<10} {:>6} {:>5} {:>9} {:>11} {:>11} {:>8} {:>7}",
+            r.scenario,
+            r.pipeline,
+            r.n,
+            r.components,
+            fmt(r.metrics.rounds),
+            fmt(r.metrics.messages),
+            fmt(r.metrics.words),
+            r.checked,
+            wall_ms
+        );
+    }
+
+    if filter.is_some() {
+        println!("\nfiltered run: BENCH_scenarios.json left untouched");
+        return;
+    }
+    let doc = serde_json::json!({
+        "bench": "scenarios",
+        "scenarios": scenarios.len(),
+        "pipelines": pipelines.len(),
+        "cells": entries,
+    });
+    std::fs::write(
+        "BENCH_scenarios.json",
+        serde_json::to_string(&doc).unwrap() + "\n",
+    )
+    .unwrap();
+    println!("\nwrote BENCH_scenarios.json ({} cells)", reports.len());
+}

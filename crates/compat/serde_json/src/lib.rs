@@ -131,6 +131,44 @@ where
     }
 }
 
+static NULL: Value = Value::Null;
+
+/// `value["key"]` on objects, mirroring `serde_json`: a missing key (or a
+/// non-object receiver) yields `Value::Null` rather than panicking.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// `value["key"] = v` on objects, mirroring `serde_json`: inserts the key
+/// if absent, treats a `Null` receiver as an empty object, and panics on
+/// scalar receivers (as the real crate does).
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if matches!(self, Value::Null) {
+            *self = Value::Object(Vec::new());
+        }
+        let Value::Object(entries) = self else {
+            panic!("cannot index-assign into a scalar Value");
+        };
+        if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+            return &mut entries[pos].1;
+        }
+        entries.push((key.to_string(), Value::Null));
+        &mut entries.last_mut().unwrap().1
+    }
+}
+
 /// Serialization error. The stand-in serializer is infallible, but the
 /// signature mirrors `serde_json::to_string` so call sites keep their
 /// `?`/`unwrap()`.
@@ -198,5 +236,19 @@ mod tests {
             to_string(&outer).unwrap(),
             r#"{"inner":{"k":1},"tag":"x"}"#
         );
+    }
+
+    #[test]
+    fn indexing_reads_and_inserts() {
+        let mut v = json!({"a": 1u64});
+        assert_eq!(v["a"], Value::UInt(1));
+        assert_eq!(v["missing"], Value::Null);
+        v["a"] = json!(2u64);
+        v["b"] = json!("x");
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":2,"b":"x"}"#);
+        // Null receivers become objects, as in real serde_json.
+        let mut built = Value::Null;
+        built["k"] = json!(1u64);
+        assert_eq!(to_string(&built).unwrap(), r#"{"k":1}"#);
     }
 }

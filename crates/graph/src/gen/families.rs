@@ -1,9 +1,13 @@
 //! The graph families themselves.
+//!
+//! All seeded families draw their randomness through
+//! [`derive_rng`](super::derive_rng) — see the seed-derivation rule in the
+//! [module docs](super).
 
+use super::derive_rng;
 use crate::ugraph::{UGraph, UGraphBuilder};
-use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Path on `n` vertices (treewidth 1, diameter n−1).
 pub fn path(n: usize) -> UGraph {
@@ -54,7 +58,7 @@ pub fn banded_path(n: usize, k: usize) -> UGraph {
 /// Treewidth is exactly k (for n ≥ k+2); diameter is typically Θ(log n).
 pub fn ktree(n: usize, k: usize, seed: u64) -> UGraph {
     assert!(n >= k + 1, "ktree needs n ≥ k+1");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = derive_rng("ktree", &[n as u64, k as u64], seed);
     let mut b = UGraphBuilder::new(n);
     // Seed clique.
     for i in 0..=k {
@@ -93,7 +97,11 @@ pub fn ktree(n: usize, k: usize, seed: u64) -> UGraph {
 pub fn partial_ktree(n: usize, k: usize, keep_prob: f64, seed: u64) -> UGraph {
     assert!((0.0..=1.0).contains(&keep_prob));
     assert!(n >= k + 1);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = derive_rng(
+        "partial_ktree",
+        &[n as u64, k as u64, keep_prob.to_bits()],
+        seed,
+    );
     let mut b = UGraphBuilder::new(n);
     for i in 0..k {
         b.add_edge(i as u32, i as u32 + 1); // spanning path through the seed clique
@@ -135,7 +143,7 @@ pub fn partial_ktree(n: usize, k: usize, keep_prob: f64, seed: u64) -> UGraph {
 /// Uniform random recursive tree on `n` vertices (treewidth 1).
 pub fn random_tree(n: usize, seed: u64) -> UGraph {
     assert!(n >= 1);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = derive_rng("random_tree", &[n as u64], seed);
     let mut b = UGraphBuilder::new(n);
     for v in 1..n {
         let p = rng.gen_range(0..v);
@@ -147,7 +155,7 @@ pub fn random_tree(n: usize, seed: u64) -> UGraph {
 /// Erdős–Rényi G(n, p) — the *un*structured control family (treewidth is
 /// typically Θ(n) once p ≫ 1/n).
 pub fn gnp(n: usize, p: f64, seed: u64) -> UGraph {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = derive_rng("gnp", &[n as u64, p.to_bits()], seed);
     let mut b = UGraphBuilder::new(n);
     for i in 0..n as u32 {
         for j in i + 1..n as u32 {
@@ -212,7 +220,11 @@ pub fn bipartite_banded(
     seed: u64,
 ) -> (UGraph, Vec<bool>) {
     assert!(nl >= 1 && nr >= 1);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = derive_rng(
+        "bipartite_banded",
+        &[nl as u64, nr as u64, band as u64, p.to_bits()],
+        seed,
+    );
     let n = nl + nr;
     let mut b = UGraphBuilder::new(n);
     let right = |j: usize| (nl + j) as u32;
@@ -247,10 +259,177 @@ pub fn bipartite_banded(
     (b.build(), side)
 }
 
+/// Random 2-terminal series-parallel graph on `n ≥ 2` vertices
+/// (treewidth ≤ 2). Grown from the single edge {0, 1} by `n − 2` random
+/// compositions, each adding one vertex `v` on a uniformly random existing
+/// edge `{a, b}`:
+///
+/// * **series** — subdivide: `{a, b}` is replaced by `{a, v}, {v, b}`;
+/// * **parallel** — diamond: `{a, v}, {v, b}` are added next to `{a, b}`
+///   (a parallel composition of the edge with a fresh series pair).
+///
+/// Both operations preserve 2-terminal series-parallel structure, so the
+/// result is connected, simple, and has treewidth ≤ 2.
+pub fn series_parallel(n: usize, seed: u64) -> UGraph {
+    assert!(n >= 2);
+    let mut rng = derive_rng("series_parallel", &[n as u64], seed);
+    let mut edges: Vec<(u32, u32)> = vec![(0, 1)];
+    for v in 2..n as u32 {
+        let e = rng.gen_range(0..edges.len());
+        let (a, b) = edges[e];
+        if rng.gen_bool(0.5) {
+            edges.swap_remove(e); // series: subdivide {a, b} through v
+        }
+        edges.push((a, v));
+        edges.push((v, b));
+    }
+    UGraph::from_edges(n, edges)
+}
+
+/// Random cactus on `n` vertices: every edge lies on at most one cycle
+/// (treewidth ≤ 2). Grown from a single vertex by attaching, at a uniformly
+/// random existing vertex, either a fresh cycle of length 3–5 (probability
+/// 0.7, budget permitting) or a pendant edge.
+pub fn cactus(n: usize, seed: u64) -> UGraph {
+    assert!(n >= 1);
+    let mut rng = derive_rng("cactus", &[n as u64], seed);
+    let mut b = UGraphBuilder::new(n);
+    let mut next = 1u32;
+    while (next as usize) < n {
+        let anchor = rng.gen_range(0..next);
+        let remaining = n - next as usize;
+        if remaining >= 2 && rng.gen_bool(0.7) {
+            // A cycle through the anchor: `len − 1` fresh vertices.
+            let len = rng.gen_range(3..=5usize).min(remaining + 1);
+            for i in 0..(len - 1) as u32 {
+                let prev = if i == 0 { anchor } else { next - 1 };
+                b.add_edge(prev, next);
+                next += 1;
+            }
+            b.add_edge(next - 1, anchor);
+        } else {
+            b.add_edge(anchor, next);
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+/// Random Halin graph on `n ≥ 4` vertices (treewidth ≤ 3): a tree without
+/// degree-2 vertices, with its leaves joined by a cycle in depth-first
+/// order. Grown by giving the root three children and then repeatedly
+/// expanding a uniformly random leaf with 2–3 children; a final budget of
+/// one vertex becomes an extra child of the root (which keeps every
+/// internal degree ≥ 3).
+pub fn halin(n: usize, seed: u64) -> UGraph {
+    assert!(n >= 4);
+    let mut rng = derive_rng("halin", &[n as u64], seed);
+    let mut children: Vec<Vec<u32>> = vec![Vec::new()];
+    let mut leaves: Vec<u32> = Vec::new();
+    let spawn = |children: &mut Vec<Vec<u32>>, leaves: &mut Vec<u32>, parent: u32, k: usize| {
+        for _ in 0..k {
+            let v = children.len() as u32;
+            children.push(Vec::new());
+            children[parent as usize].push(v);
+            leaves.push(v);
+        }
+    };
+    spawn(&mut children, &mut leaves, 0, 3.min(n - 1));
+    loop {
+        let budget = n - children.len();
+        if budget < 2 {
+            if budget == 1 {
+                spawn(&mut children, &mut leaves, 0, 1);
+            }
+            break;
+        }
+        let li = rng.gen_range(0..leaves.len());
+        let leaf = leaves.swap_remove(li);
+        let k = rng.gen_range(2..=3usize).min(budget);
+        spawn(&mut children, &mut leaves, leaf, k);
+    }
+    let mut b = UGraphBuilder::new(children.len());
+    for (p, cs) in children.iter().enumerate() {
+        for &c in cs {
+            b.add_edge(p as u32, c);
+        }
+    }
+    // Leaf cycle in depth-first order (planar embedding order).
+    let mut order = Vec::new();
+    let mut stack = vec![0u32];
+    while let Some(v) = stack.pop() {
+        if children[v as usize].is_empty() {
+            order.push(v);
+        } else {
+            stack.extend(children[v as usize].iter().rev());
+        }
+    }
+    for w in order.windows(2) {
+        b.add_edge(w[0], w[1]);
+    }
+    b.add_edge(*order.last().unwrap(), order[0]);
+    b.build()
+}
+
+/// `cliques ≥ 3` cliques of `size ≥ 2` vertices each, arranged in a ring:
+/// clique `i`'s last vertex connects to clique `i+1`'s first. Treewidth is
+/// `size − 1` ≤ tw ≤ `size + 1` (the clique forces `size − 1`; breaking the
+/// ring at one bridge and adding its two endpoints to every bag of a
+/// path-of-cliques decomposition gives `size + 1`). Diameter Θ(`cliques`).
+pub fn ring_of_cliques(cliques: usize, size: usize) -> UGraph {
+    assert!(cliques >= 3 && size >= 2);
+    let id = |c: usize, j: usize| (c * size + j) as u32;
+    let mut b = UGraphBuilder::new(cliques * size);
+    for c in 0..cliques {
+        for i in 0..size {
+            for j in i + 1..size {
+                b.add_edge(id(c, i), id(c, j));
+            }
+        }
+        b.add_edge(id(c, size - 1), id((c + 1) % cliques, 0));
+    }
+    b.build()
+}
+
+/// The disjoint union of `parts`, with vertex ids offset in order.
+pub fn disjoint_union(parts: &[UGraph]) -> UGraph {
+    let n = parts.iter().map(|g| g.n()).sum();
+    let mut b = UGraphBuilder::new(n);
+    let mut off = 0u32;
+    for g in parts {
+        for (u, v) in g.edges() {
+            b.add_edge(u + off, v + off);
+        }
+        off += g.n() as u32;
+    }
+    b.build()
+}
+
+/// Disconnected mixed-family instance on `n ≥ 24` vertices: a partial
+/// 2-tree (≈ n/2), a cactus (≈ n/4), a cycle (≈ n/8), a random tree (the
+/// rest — the n ≥ 24 floor keeps it ≥ 2 vertices, i.e. a real tree, so
+/// the result always has exactly five components with one isolated
+/// vertex). Every component has treewidth ≤ 2; the graph as a whole
+/// exercises per-component pipeline handling.
+pub fn multi_component(n: usize, seed: u64) -> UGraph {
+    assert!(n >= 24);
+    let a = n / 2;
+    let b = n / 4;
+    let c = (n / 8).max(3);
+    let d = n - a - b - c - 1;
+    disjoint_union(&[
+        partial_ktree(a, 2, 0.7, seed),
+        cactus(b, seed),
+        cycle(c),
+        random_tree(d, seed),
+        UGraph::empty(1),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::alg::{diameter_exact, is_connected};
+    use crate::alg::{components, diameter_exact, is_connected};
     use crate::tw::{elimination_width, min_degree_order};
 
     #[test]
@@ -330,5 +509,94 @@ mod tests {
     #[test]
     fn gnp_determinism() {
         assert_eq!(gnp(20, 0.2, 5), gnp(20, 0.2, 5));
+    }
+
+    #[test]
+    fn gnp_streams_decorrelated_across_p() {
+        // Under the old direct seeding, gnp(n, 0.1, s) was a subgraph of
+        // gnp(n, 0.3, s); the derived streams break that coupling.
+        let lo = gnp(40, 0.1, 7);
+        let hi = gnp(40, 0.3, 7);
+        let contained = lo.edges().filter(|&(u, v)| hi.has_edge(u, v)).count();
+        assert!(
+            contained < lo.m(),
+            "low-p gnp is still a subgraph of high-p gnp: streams collapsed"
+        );
+    }
+
+    #[test]
+    fn series_parallel_width_at_most_2() {
+        for seed in 0..6 {
+            let g = series_parallel(60, seed);
+            assert!(is_connected(&g), "seed {seed}");
+            let w = elimination_width(&g, &min_degree_order(&g));
+            assert!(w <= 2, "seed {seed}: width {w} exceeds 2");
+        }
+    }
+
+    #[test]
+    fn cactus_width_at_most_2_and_edge_count() {
+        for seed in 0..6 {
+            let g = cactus(50, seed);
+            assert!(is_connected(&g), "seed {seed}");
+            // Cactus: n − 1 ≤ m ≤ ⌊3(n−1)/2⌋.
+            assert!(g.m() >= g.n() - 1 && g.m() <= 3 * (g.n() - 1) / 2, "seed {seed}");
+            let w = elimination_width(&g, &min_degree_order(&g));
+            assert!(w <= 2, "seed {seed}: width {w} exceeds 2");
+        }
+    }
+
+    #[test]
+    fn halin_width_at_most_3_no_degree_2() {
+        for seed in 0..6 {
+            let g = halin(40, seed);
+            assert!(is_connected(&g), "seed {seed}");
+            assert_eq!(g.n(), 40, "seed {seed}: exact vertex budget");
+            for v in g.vertices() {
+                assert_ne!(g.degree(v), 2, "seed {seed}: Halin graphs have no degree-2 vertex");
+                assert_ne!(g.degree(v), 1, "seed {seed}: every leaf lies on the cycle");
+            }
+            // True treewidth of a Halin graph is ≤ 3; the min-degree
+            // heuristic may overshoot by one.
+            let w = elimination_width(&g, &min_degree_order(&g));
+            assert!(w <= 4, "seed {seed}: width {w} exceeds 4");
+        }
+    }
+
+    #[test]
+    fn ring_of_cliques_width_bounds() {
+        for size in [3usize, 4, 6] {
+            let g = ring_of_cliques(5, size);
+            assert!(is_connected(&g));
+            assert_eq!(g.n(), 5 * size);
+            let w = elimination_width(&g, &min_degree_order(&g));
+            assert!((size - 1..=size + 1).contains(&w), "size {size}: width {w}");
+        }
+    }
+
+    #[test]
+    fn multi_component_structure() {
+        for n in [24usize, 25, 31, 48] {
+            let g = multi_component(n, 9);
+            assert_eq!(g.n(), n);
+            let (_, k) = components(&g);
+            assert_eq!(k, 5, "n = {n}: partial 2-tree + cactus + cycle + tree + isolate");
+        }
+        let g = multi_component(48, 9);
+        let (comp, k) = components(&g);
+        assert_eq!(k, 5);
+        // The isolated vertex is the last one.
+        assert_eq!(g.degree(47), 0);
+        assert!(comp.iter().all(|&c| (c as usize) < k));
+        let w = elimination_width(&g, &min_degree_order(&g));
+        assert!(w <= 2, "every component is width ≤ 2, width {w}");
+    }
+
+    #[test]
+    fn disjoint_union_offsets() {
+        let g = disjoint_union(&[cycle(3), path(2), UGraph::empty(1)]);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 4);
+        assert!(g.has_edge(3, 4) && !g.has_edge(2, 3) && g.degree(5) == 0);
     }
 }

@@ -1,19 +1,62 @@
 //! Decorators turning bare communication graphs into problem instances.
+//!
+//! All seeded decorators draw their randomness through
+//! [`derive_rng`](super::derive_rng) — see the seed-derivation rule in the
+//! [module docs](super).
 
+use super::derive_rng;
 use crate::multidigraph::MultiDigraph;
 use crate::ugraph::UGraph;
 use crate::Dist;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 /// Undirected weighted instance: every edge of `g` gets an independent
 /// uniform weight in `[1, wmax]` (twin arcs share the weight).
 pub fn with_random_weights(g: &UGraph, wmax: Dist, seed: u64) -> MultiDigraph {
     assert!(wmax >= 1);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = derive_rng("uniform_weights", &[g.n() as u64, wmax], seed);
     MultiDigraph::from_undirected(
         g.n(),
         g.edges().map(|(u, v)| (u, v, rng.gen_range(1..=wmax))),
+    )
+}
+
+/// Undirected instance with heavy-tailed (discrete Pareto) weights: each
+/// edge draws `w = min(wmax, ⌊u^{−1/α}⌋)` for `u` uniform in (0, 1] — a
+/// power-law tail `P[w ≥ x] ≈ x^{−α}` truncated at `wmax`. Small `α`
+/// (e.g. 1.1) yields occasional near-`wmax` outliers among unit-ish
+/// weights, the regime that stresses weighted-distance pipelines.
+pub fn with_heavy_tailed_weights(g: &UGraph, wmax: Dist, alpha: f64, seed: u64) -> MultiDigraph {
+    assert!(wmax >= 1 && alpha > 0.0);
+    let mut rng = derive_rng(
+        "heavy_tailed_weights",
+        &[g.n() as u64, wmax, alpha.to_bits()],
+        seed,
+    );
+    MultiDigraph::from_undirected(
+        g.n(),
+        g.edges().map(|(u, v)| {
+            let u01: f64 = 1.0 - rng.gen_range(0.0..1.0); // (0, 1]
+            let w = u01.powf(-1.0 / alpha).floor() as u64;
+            (u, v, w.clamp(1, wmax))
+        }),
+    )
+}
+
+/// Undirected weighted instance with uniform random edge colors in
+/// `[0, colors)` — the workload of the stateful-walk (CDL) pipelines.
+/// Twin arcs share both weight and color.
+pub fn with_colored_weights(g: &UGraph, wmax: Dist, colors: u32, seed: u64) -> MultiDigraph {
+    assert!(wmax >= 1 && colors >= 1);
+    let mut rng = derive_rng(
+        "colored_weights",
+        &[g.n() as u64, wmax, u64::from(colors)],
+        seed,
+    );
+    MultiDigraph::from_undirected_labeled(
+        g.n(),
+        g.edges()
+            .map(|(u, v)| (u, v, rng.gen_range(1..=wmax), rng.gen_range(0..colors))),
     )
 }
 
@@ -30,7 +73,11 @@ pub fn with_unit_weights(g: &UGraph) -> MultiDigraph {
 /// communication (§2.1).
 pub fn random_orientation(g: &UGraph, wmax: Dist, both_prob: f64, seed: u64) -> MultiDigraph {
     assert!(wmax >= 1);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = derive_rng(
+        "random_orientation",
+        &[g.n() as u64, wmax, both_prob.to_bits()],
+        seed,
+    );
     let mut arcs = Vec::new();
     for (u, v) in g.edges() {
         let w = rng.gen_range(1..=wmax);
@@ -119,5 +166,31 @@ mod tests {
         let (g, side) = bipartite_banded(8, 6, 2, 0.7, 1);
         let inst = BipartiteInstance::new(g, side);
         assert_eq!(inst.n_left(), 8);
+    }
+
+    #[test]
+    fn heavy_tailed_weights_in_range_with_outliers() {
+        let g = crate::gen::grid(12, 12);
+        let inst = with_heavy_tailed_weights(&g, 1_000, 1.1, 3);
+        let weights: Vec<u64> = inst.arcs().iter().map(|a| a.weight).collect();
+        assert!(weights.iter().all(|&w| (1..=1_000).contains(&w)));
+        let ones = weights.iter().filter(|&&w| w == 1).count();
+        let big = weights.iter().filter(|&&w| w >= 50).count();
+        // The tail: mostly small weights, but genuine outliers present.
+        assert!(ones * 2 > weights.len(), "bulk should be unit-ish");
+        assert!(big > 0, "no heavy outlier drawn");
+    }
+
+    #[test]
+    fn colored_weights_share_twin_color() {
+        let g = cycle(14);
+        let inst = with_colored_weights(&g, 9, 3, 5);
+        for e in 0..inst.n_uedges() as u32 {
+            let twins: Vec<_> = inst.arcs().iter().filter(|a| a.uedge.0 == e).collect();
+            assert_eq!(twins.len(), 2);
+            assert_eq!(twins[0].label, twins[1].label);
+            assert_eq!(twins[0].weight, twins[1].weight);
+            assert!(twins[0].label < 3);
+        }
     }
 }

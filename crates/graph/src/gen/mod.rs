@@ -1,8 +1,9 @@
 //! Synthetic graph families with controlled treewidth / diameter, and
 //! instance decorators (weights, orientations, bipartite structure).
 //!
-//! Every experiment in `EXPERIMENTS.md` draws its workloads from here. The
-//! families are chosen so that (τ, D, n) can be swept independently:
+//! Every experiment in `EXPERIMENTS.md` and every scenario in the
+//! `scenarios` crate draws its workloads from here. The families are chosen
+//! so that (τ, D, n) can be swept independently:
 //!
 //! | family | treewidth | diameter |
 //! |--------|-----------|----------|
@@ -11,16 +12,116 @@
 //! | [`grid`] | = min(rows, cols) | rows + cols − 2 |
 //! | [`cycle`] | 2 | ⌊n/2⌋ |
 //! | [`random_tree`] | 1 | varies |
+//! | [`series_parallel`] | ≤ 2 | varies |
+//! | [`cactus`] | ≤ 2 | varies |
+//! | [`halin`] | ≤ 3 | Θ(log n) typically |
+//! | [`ring_of_cliques`] | c − 1 (≤ c + 1 bound) | Θ(#cliques) |
+//! | [`multi_component`] | ≤ 2 (per part) | ∞ (disconnected) |
 //! | [`bit_gadget`] | O(log n) | ≤ 4 — the girth/diameter separation family |
 //! | [`bipartite_banded`] | ≤ 2·band+1 | Θ(n/band) |
+//!
+//! # Seed derivation
+//!
+//! Every seeded generator in this module derives its RNG stream through
+//! [`derive_rng`] rather than feeding the caller's seed to
+//! `SmallRng::seed_from_u64` directly. The rule:
+//!
+//! ```text
+//! state = mix64-fold(family tag bytes, parameter count, parameter words)
+//!         .wrapping_add(seed)
+//! stream = SmallRng::seed_from_u64(state)
+//! ```
+//!
+//! where `mix64` is the SplitMix64 finalizer. Consequences:
+//!
+//! * **Distinct seeds never collapse.** For a fixed family and fixed
+//!   parameters the map `seed → state` is `x ↦ x + const` (a bijection on
+//!   `u64`), and `SmallRng::seed_from_u64` is itself injective, so two
+//!   different seeds always produce different streams. A derivation that
+//!   XOR-ed or hashed the seed *together with* the parameters could map two
+//!   `(params, seed)` pairs with coinciding parameters onto one state;
+//!   folding the parameters first and adding the seed last rules that out.
+//! * **Distinct families/parameters are decorrelated.** `gnp(n, 0.1, s)`
+//!   and `gnp(n, 0.2, s)` no longer read the same underlying uniforms (the
+//!   old construction made the p = 0.1 graph a literal subgraph of the
+//!   p = 0.2 one for every shared seed), and `partial_ktree` no longer
+//!   shares a stream with `ktree` at equal seeds. Float parameters enter
+//!   via `f64::to_bits`, tags via their UTF-8 bytes, and the parameter
+//!   count is folded in so prefix-coinciding tuples cannot alias.
+//!
+//! Fixed-seed outputs therefore changed once, in the PR that introduced
+//! the rule; golden files were regenerated alongside.
 
 mod families;
 mod instances;
 
 pub use families::{
-    banded_path, bipartite_banded, bit_gadget, cycle, gnp, grid, ktree, partial_ktree, path,
-    random_tree,
+    banded_path, bipartite_banded, bit_gadget, cactus, cycle, disjoint_union, gnp, grid, halin,
+    ktree, multi_component, partial_ktree, path, random_tree, ring_of_cliques, series_parallel,
 };
 pub use instances::{
-    random_orientation, with_random_weights, with_unit_weights, BipartiteInstance,
+    random_orientation, with_colored_weights, with_heavy_tailed_weights, with_random_weights,
+    with_unit_weights, BipartiteInstance,
 };
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// SplitMix64 finalizer — the bijective scrambler behind the seed rule.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the RNG stream of a seeded generator from its family `tag`, its
+/// structural parameters and the caller's `seed` (see the module docs for
+/// the rule and the guarantees).
+pub fn derive_rng(tag: &str, params: &[u64], seed: u64) -> SmallRng {
+    let mut h = 0x51_CE_5A_ED_u64; // "slice seed" domain constant
+    for &b in tag.as_bytes() {
+        h = mix64(h ^ u64::from(b));
+    }
+    h = mix64(h ^ params.len() as u64);
+    for &p in params {
+        h = mix64(h ^ p);
+    }
+    SmallRng::seed_from_u64(h.wrapping_add(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    fn first_words(tag: &str, params: &[u64], seed: u64) -> [u64; 4] {
+        let mut rng = derive_rng(tag, params, seed);
+        [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()]
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        // Coinciding parameters, nearby and far-apart seeds: no collapse.
+        for s in [0u64, 1, 2, 41, u64::MAX - 1] {
+            assert_ne!(
+                first_words("gnp", &[100, 7], s),
+                first_words("gnp", &[100, 7], s + 1),
+                "seed {s} collided with {}",
+                s + 1
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_params_distinct_streams() {
+        assert_ne!(first_words("gnp", &[100, 7], 3), first_words("gnp", &[100, 8], 3));
+        assert_ne!(first_words("gnp", &[100], 3), first_words("gnp", &[100, 0], 3));
+        assert_ne!(first_words("gnp", &[100, 7], 3), first_words("ktree", &[100, 7], 3));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(first_words("x", &[1, 2], 9), first_words("x", &[1, 2], 9));
+    }
+}

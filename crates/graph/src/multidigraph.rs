@@ -240,6 +240,23 @@ impl MultiDigraph {
         Self::from_arcs(self.n(), arcs)
     }
 
+    /// The isomorphic instance with vertex `v` renamed to `perm[v]` (a
+    /// permutation of `0..n`). Arc order, weights, labels and uedge ids are
+    /// preserved, so the relabeled instance is the π-image in every respect.
+    pub fn relabeled(&self, perm: &[u32]) -> MultiDigraph {
+        assert_eq!(perm.len(), self.n());
+        let arcs = self
+            .arcs
+            .iter()
+            .map(|a| Arc {
+                src: perm[a.src as usize],
+                dst: perm[a.dst as usize],
+                ..*a
+            })
+            .collect();
+        Self::from_arcs(self.n(), arcs)
+    }
+
     /// The subgraph induced by `keep`, with old-vertex mapping
     /// (`old_of[new] = old`). Arc labels/weights/uedge ids are preserved.
     pub fn induced(&self, keep: &[bool]) -> (MultiDigraph, Vec<u32>) {

@@ -67,6 +67,24 @@ impl TreeDecomposition {
         id
     }
 
+    /// The same tree with every bag mapped through the vertex renaming
+    /// `perm` (a permutation of the decomposed graph's vertices): a valid
+    /// decomposition of [`UGraph::relabeled`]`(perm)` with identical tree
+    /// structure, widths and depths.
+    pub fn relabeled(&self, perm: &[u32]) -> TreeDecomposition {
+        let map = |bag: &Vec<u32>| -> Vec<u32> {
+            let mut b: Vec<u32> = bag.iter().map(|&v| perm[v as usize]).collect();
+            b.sort_unstable();
+            b
+        };
+        TreeDecomposition {
+            bags: self.bags.iter().map(map).collect(),
+            parent: self.parent.clone(),
+            children: self.children.clone(),
+            root: self.root,
+        }
+    }
+
     /// Width = max bag size − 1 (0 for an empty decomposition).
     pub fn width(&self) -> usize {
         self.bags.iter().map(|b| b.len()).max().unwrap_or(1) - 1

@@ -95,6 +95,24 @@ impl UGraph {
         self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
+    /// The isomorphic graph with vertex `v` renamed to `perm[v]`.
+    /// `perm` must be a permutation of `0..n`.
+    pub fn relabeled(&self, perm: &[u32]) -> UGraph {
+        assert_eq!(perm.len(), self.n());
+        debug_assert!({
+            let mut seen = vec![false; self.n()];
+            perm.iter().all(|&p| {
+                let fresh = !seen[p as usize];
+                seen[p as usize] = true;
+                fresh
+            })
+        });
+        UGraph::from_edges(
+            self.n(),
+            self.edges().map(|(u, v)| (perm[u as usize], perm[v as usize])),
+        )
+    }
+
     /// The subgraph induced by `keep` (vertices with `keep[v] == true`),
     /// together with the mapping from new indices to original ones.
     ///

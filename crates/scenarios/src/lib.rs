@@ -1,0 +1,47 @@
+//! # scenarios — the scenario corpus and unified workload harness
+//!
+//! The paper's claim is parameterized: every pipeline in this workspace
+//! (SSSP, distance labeling, girth, matching, stateful walks) stays fully
+//! polynomial *for any* low-treewidth input. This crate makes that claim
+//! testable as a cross-product:
+//!
+//! * [`registry`] — a [`Scenario`] names a seeded graph [`Family`] with a
+//!   declared treewidth bound and a [`WeightModel`]; [`corpus`] is the
+//!   registered set (series-parallel, cactus, Halin, rings of cliques,
+//!   disconnected multi-component mixes, heavy-tailed weights, the legacy
+//!   families, and an unbounded G(n, p) control).
+//! * [`pipeline`] — the [`Pipeline`] trait wraps each end-to-end pipeline
+//!   behind one uniform `run(&Scenario) -> CellReport` interface. Every
+//!   run decomposes each connected component, executes the distributed
+//!   (or charged-virtual) machinery, and **asserts equality against the
+//!   centralized oracles in [`baselines::oracles`]** — a returned report
+//!   is a verified report.
+//! * [`runner`] — component splitting plus [`run_matrix`], the single
+//!   driver behind the `scenario_matrix` differential test suite, the
+//!   metamorphic test layer, and the `scenarios` bench bin
+//!   (`BENCH_scenarios.json`).
+//! * [`report`] — [`CellReport`] / [`MetricsTotal`]: outputs, charged
+//!   metrics under the parallel-composition rule, and per-phase
+//!   [`congest_sim::PhaseSnapshot`] logs.
+//!
+//! ```
+//! use scenarios::{corpus, all_pipelines};
+//!
+//! let sc = &corpus()[0];
+//! let p = &all_pipelines()[0];
+//! let rep = p.run(sc); // panics if the cell diverges from its oracle
+//! assert!(rep.checked > 0 && rep.metrics.rounds > 0);
+//! ```
+
+pub mod pipeline;
+pub mod registry;
+pub mod report;
+pub mod runner;
+
+pub use pipeline::{
+    all_pipelines, DistLabelPipeline, GirthPipeline, MatchingPipeline, Pipeline, SsspPipeline,
+    WalksPipeline,
+};
+pub use registry::{corpus, Family, Scenario, WeightModel};
+pub use report::{fold_checksum, CellReport, MetricsTotal};
+pub use runner::{run_cell, run_matrix, split_components, Part};

@@ -1,0 +1,411 @@
+//! The five end-to-end pipelines behind one uniform interface.
+//!
+//! Every pipeline consumes a [`Scenario`], runs the full distributed (or
+//! charged-virtual) machinery per connected component, **differentially
+//! checks its outputs against the centralized oracles in
+//! [`baselines::oracles`]**, and returns a [`CellReport`]. A report is only
+//! ever produced for a verified cell — divergence panics with the scenario
+//! name, so `run_matrix` doubles as the differential suite.
+
+use crate::registry::Scenario;
+use crate::report::{fold_checksum, CellReport};
+use crate::runner::{decompose_part, decompose_part_distributed, split_components};
+use congest_sim::NetworkConfig;
+use stateful_walks::{CdlLabeling, ColoredWalk, StateId, StatefulConstraint};
+use twgraph::alg::bfs_dist;
+use twgraph::gen::BipartiteInstance;
+use twgraph::INF;
+
+/// One end-to-end pipeline runnable on any scenario.
+pub trait Pipeline {
+    /// Stable pipeline name (report key).
+    fn name(&self) -> &'static str;
+    /// Run on `sc`, differentially checked; panics on divergence.
+    fn run(&self, sc: &Scenario) -> CellReport;
+}
+
+/// All five pipelines, in canonical order.
+pub fn all_pipelines() -> Vec<Box<dyn Pipeline>> {
+    vec![
+        Box::new(SsspPipeline),
+        Box::new(DistLabelPipeline),
+        Box::new(GirthPipeline),
+        Box::new(MatchingPipeline),
+        Box::new(WalksPipeline),
+    ]
+}
+
+/// Tree decomposition → distance labeling → one label-broadcast SSSP
+/// query from global vertex 0, all charged on the simulator; checked
+/// vertex-for-vertex against centralized Dijkstra.
+pub struct SsspPipeline;
+
+impl Pipeline for SsspPipeline {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn run(&self, sc: &Scenario) -> CellReport {
+        let g = sc.graph();
+        let inst = sc.instance();
+        let mut rep = CellReport::new(sc.name, self.name(), g.n(), g.m());
+        let parts = split_components(&g, &inst);
+        rep.components = parts.len();
+        let src = 0u32;
+        let mut dists = vec![INF; g.n()];
+        for (ci, part) in parts.iter().enumerate() {
+            if part.graph.n() == 1 {
+                if part.old_of[0] == src {
+                    dists[src as usize] = 0;
+                }
+                continue;
+            }
+            let (out, mut net) = decompose_part_distributed(part, sc.t0, sc.seed, ci);
+            out.td.verify(&part.graph).unwrap();
+            rep.note_decomposition(out.td.width(), out.td.stats().depth);
+            let (labels, _) =
+                distlabel::build_labels_distributed(&mut net, &part.inst, &out.td, &out.info);
+            if let Some(local_src) = part.local_of(src) {
+                let (d, _) = distlabel::sssp_distributed(&mut net, &labels, local_src);
+                for (local, &dv) in d.iter().enumerate() {
+                    dists[part.old_of[local] as usize] = dv;
+                }
+            }
+            rep.metrics.absorb(net.metrics());
+            rep.note_phases(ci, net.phase_log());
+        }
+        let oracle = baselines::sssp_oracle(&inst, src);
+        assert_eq!(dists, oracle, "{}: sssp diverged from the Dijkstra oracle", sc.name);
+        rep.checked = g.n();
+        rep.output = dists
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, &d)| fold_checksum(acc, i as u64, d));
+        rep
+    }
+}
+
+/// Distance labeling build + decode: distributed label construction per
+/// component, then pairwise `dec(la(u), la(v))` decoding checked against
+/// per-source Dijkstra rows, including cross-component ∞ pairs.
+pub struct DistLabelPipeline;
+
+impl Pipeline for DistLabelPipeline {
+    fn name(&self) -> &'static str {
+        "distlabel"
+    }
+
+    fn run(&self, sc: &Scenario) -> CellReport {
+        let g = sc.graph();
+        let inst = sc.instance();
+        let mut rep = CellReport::new(sc.name, self.name(), g.n(), g.m());
+        let parts = split_components(&g, &inst);
+        rep.components = parts.len();
+        let mut label_words = 0u64;
+        let mut max_label_words = 0u64;
+        for (ci, part) in parts.iter().enumerate() {
+            if part.graph.n() == 1 {
+                continue;
+            }
+            let (out, mut net) = decompose_part_distributed(part, sc.t0, sc.seed, ci);
+            rep.note_decomposition(out.td.width(), out.td.stats().depth);
+            let (labels, _) =
+                distlabel::build_labels_distributed(&mut net, &part.inst, &out.td, &out.info);
+            rep.metrics.absorb(net.metrics());
+            rep.note_phases(ci, net.phase_log());
+            for l in &labels {
+                label_words += l.words() as u64;
+                max_label_words = max_label_words.max(l.words() as u64);
+            }
+            // Decode a source stride against Dijkstra rows on the *full*
+            // instance (mapped through old ids), every target vertex.
+            let pn = part.graph.n();
+            for local_u in (0..pn as u32).step_by((pn / 4).max(1)) {
+                let oracle = baselines::sssp_oracle(&inst, part.old_of[local_u as usize]);
+                for local_v in 0..pn as u32 {
+                    let got = distlabel::decode(&labels[local_u as usize], &labels[local_v as usize]);
+                    let want = oracle[part.old_of[local_v as usize] as usize];
+                    assert_eq!(
+                        got, want,
+                        "{}: decode({}, {}) diverged",
+                        sc.name, part.old_of[local_u as usize], part.old_of[local_v as usize]
+                    );
+                    rep.output = fold_checksum(
+                        rep.output,
+                        u64::from(part.old_of[local_u as usize]) * g.n() as u64
+                            + u64::from(part.old_of[local_v as usize]),
+                        got,
+                    );
+                    rep.checked += 1;
+                }
+                // Cross-component pairs have no common label space, so no
+                // decode exists; consistency-check (without counting it as
+                // a differential verification) that the oracle agrees such
+                // pairs are unreachable.
+                for other in parts.iter().filter(|o| o.old_of != part.old_of) {
+                    for &ov in other.old_of.iter().take(2) {
+                        assert!(
+                            oracle[ov as usize] >= INF,
+                            "{}: oracle finds a cross-component path {} → {ov}",
+                            sc.name,
+                            part.old_of[local_u as usize]
+                        );
+                    }
+                }
+            }
+        }
+        rep.detail.push(("label_words_total", label_words));
+        rep.detail.push(("label_words_max", max_label_words));
+        rep
+    }
+}
+
+/// Probabilistic undirected weighted girth per cyclic component (one
+/// representative trial charged through the virtual product network),
+/// checked for exactness against the centralized shortest-cycle oracle.
+pub struct GirthPipeline;
+
+impl Pipeline for GirthPipeline {
+    fn name(&self) -> &'static str {
+        "girth"
+    }
+
+    fn run(&self, sc: &Scenario) -> CellReport {
+        let g = sc.graph();
+        let inst = sc.instance();
+        let mut rep = CellReport::new(sc.name, self.name(), g.n(), g.m());
+        let parts = split_components(&g, &inst);
+        rep.components = parts.len();
+        let mut best = INF;
+        let mut trials = 0u64;
+        for (ci, part) in parts.iter().enumerate() {
+            // Connected with m ≤ n − 1 ⇒ acyclic ⇒ girth ∞; skip.
+            if part.graph.m() < part.graph.n() {
+                continue;
+            }
+            let out = decompose_part(part, sc.t0, sc.seed, ci);
+            rep.note_decomposition(out.td.width(), out.td.stats().depth);
+            // Half the `practical` trial count: the matrix asserts exact
+            // equality per cell anyway (deterministic given the seed), so a
+            // missed trial shows up as a hard failure, not silent flakiness.
+            let cfg = girth::GirthConfig {
+                trials_per_c: 2 + (part.graph.n().max(2).ilog2() as usize) / 2,
+                seed: sc.seed.wrapping_mul(31).wrapping_add(ci as u64),
+                measure_distributed: true,
+            };
+            let run = girth::girth_undirected(&part.inst, &out.td, &out.info, &cfg);
+            let want = baselines::girth_exact_centralized(&part.inst);
+            assert_eq!(
+                run.girth, want,
+                "{}: component {ci} girth diverged from the oracle",
+                sc.name
+            );
+            rep.checked += 1;
+            best = best.min(run.girth);
+            trials += run.trials as u64;
+            rep.metrics.absorb_rounds(run.rounds_total);
+            rep.detail.push(("rounds_per_trial", run.rounds_per_trial));
+        }
+        // The whole-graph girth is the min over components; the oracle on
+        // the full (possibly disconnected) instance must agree.
+        let want_full = baselines::girth_exact_centralized(&inst);
+        assert_eq!(best, want_full, "{}: full-graph girth diverged", sc.name);
+        rep.checked += 1;
+        rep.detail.push(("trials", trials));
+        rep.output = if best >= INF { u64::MAX } else { best };
+        rep
+    }
+}
+
+/// Separator-hierarchy bipartite matching on the BFS-parity
+/// bipartification of every component, augmentations charged through the
+/// virtual CDL network, checked against Hopcroft–Karp.
+pub struct MatchingPipeline;
+
+impl Pipeline for MatchingPipeline {
+    fn name(&self) -> &'static str {
+        "matching"
+    }
+
+    fn run(&self, sc: &Scenario) -> CellReport {
+        let g = sc.graph();
+        let mut rep = CellReport::new(sc.name, self.name(), g.n(), g.m());
+        let inst = sc.instance();
+        let parts = split_components(&g, &inst);
+        rep.components = parts.len();
+        let mut total = 0usize;
+        let mut augmentations = 0u64;
+        let mut attempts = 0u64;
+        // Globally advancing decomposition index: sub-components of
+        // different parts must not share separator RNG streams.
+        let mut decomp_idx = 0usize;
+        for part in &parts {
+            // Bipartify: 2-color by BFS-layer parity, keep cross edges.
+            let depth = bfs_dist(&part.graph, 0);
+            let side: Vec<bool> = depth.iter().map(|&d| d % 2 == 0).collect();
+            let mut bb = twgraph::UGraphBuilder::new(part.graph.n());
+            for (u, v) in part.graph.edges() {
+                if side[u as usize] != side[v as usize] {
+                    bb.add_edge(u, v);
+                }
+            }
+            let bg = bb.build();
+            // Dropping intra-layer edges may disconnect; recurse on the
+            // sub-components of the derived bipartite graph.
+            let bunit = twgraph::gen::with_unit_weights(&bg);
+            for sub in &split_components(&bg, &bunit) {
+                if sub.graph.n() == 1 {
+                    continue;
+                }
+                let sside: Vec<bool> = sub
+                    .old_of
+                    .iter()
+                    .map(|&ov| side[ov as usize])
+                    .collect();
+                let want = baselines::matching_oracle(&sub.graph, &sside);
+                let out = decompose_part(sub, sc.t0, sc.seed, decomp_idx);
+                decomp_idx += 1;
+                rep.note_decomposition(out.td.width(), out.td.stats().depth);
+                let bi = BipartiteInstance::new(sub.graph.clone(), sside);
+                let got = bmatch::max_matching(&bi, &out.td, &out.info, bmatch::MatchMode::Distributed);
+                assert_eq!(
+                    got.size(),
+                    want,
+                    "{}: matching diverged from Hopcroft–Karp",
+                    sc.name
+                );
+                rep.checked += 1;
+                total += got.size();
+                augmentations += got.augmentations as u64;
+                attempts += got.attempts as u64;
+                rep.metrics.absorb_rounds(got.rounds);
+            }
+        }
+        rep.detail.push(("augmentations", augmentations));
+        rep.detail.push(("attempts", attempts));
+        rep.output = total as u64;
+        rep
+    }
+}
+
+/// Constrained distance labeling CDL(C_col(2)) on the edge-colored
+/// instance: distributed construction through the charged virtual product
+/// network per component, decoded walk distances checked against product
+/// Dijkstra for every state.
+pub struct WalksPipeline;
+
+impl Pipeline for WalksPipeline {
+    fn name(&self) -> &'static str {
+        "walks"
+    }
+
+    fn run(&self, sc: &Scenario) -> CellReport {
+        let g = sc.graph();
+        let colored = sc.colored_instance(2);
+        let mut rep = CellReport::new(sc.name, self.name(), g.n(), g.m());
+        let c = ColoredWalk { colors: 2 };
+        let parts = split_components(&g, &colored);
+        rep.components = parts.len();
+        for (ci, part) in parts.iter().enumerate() {
+            if part.graph.n() == 1 {
+                continue;
+            }
+            let out = decompose_part(part, sc.t0, sc.seed, ci);
+            rep.note_decomposition(out.td.width(), out.td.stats().depth);
+            let (cdl, metrics) = CdlLabeling::build_distributed(
+                &part.inst,
+                &c,
+                &out.td,
+                &out.info,
+                NetworkConfig::default(),
+            );
+            rep.metrics.absorb(&metrics);
+            let pn = part.graph.n();
+            for s in (0..pn as u32).step_by((pn / 4).max(1)) {
+                let oracle = baselines::constrained_sssp_oracle(&part.inst, &c, s);
+                for t in 0..pn as u32 {
+                    for q in 0..c.n_states() as StateId {
+                        let got = cdl.dist(s, t, q);
+                        assert_eq!(
+                            got, oracle[t as usize][q as usize],
+                            "{}: CDL({s} → {t}, state {q}) diverged",
+                            sc.name
+                        );
+                        rep.output = fold_checksum(
+                            rep.output,
+                            (u64::from(s) * pn as u64 + u64::from(t)) * 8 + u64::from(q),
+                            got,
+                        );
+                        rep.checked += 1;
+                    }
+                }
+            }
+        }
+        rep
+    }
+}
+
+/// (Internal) shared scaffolding assertions exercised by unit tests.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Family, Scenario, WeightModel};
+
+    fn tiny(name: &'static str, family: Family) -> Scenario {
+        Scenario {
+            name,
+            family,
+            weights: WeightModel::Uniform { wmax: 7 },
+            seed: 5,
+            tw_bound: Some(3),
+            elim_bound: Some(4),
+            t0: 3,
+        }
+    }
+
+    #[test]
+    fn sssp_cell_on_small_cactus() {
+        let rep = SsspPipeline.run(&tiny("test/cactus", Family::Cactus { n: 24 }));
+        assert_eq!(rep.checked, 24);
+        assert!(rep.metrics.rounds > 0);
+        assert!(!rep.phases.is_empty());
+    }
+
+    #[test]
+    fn girth_cell_on_ring() {
+        let rep = GirthPipeline.run(&tiny(
+            "test/ring",
+            Family::RingOfCliques { cliques: 3, size: 3 },
+        ));
+        assert!(rep.output < u64::MAX, "a ring of triangles has cycles");
+        assert!(rep.checked >= 2);
+    }
+
+    #[test]
+    fn matching_cell_on_series_parallel() {
+        let rep = MatchingPipeline.run(&tiny("test/sp", Family::SeriesParallel { n: 26 }));
+        assert!(rep.output > 0, "a connected graph has a nonempty matching");
+        assert!(rep.checked >= 1);
+    }
+
+    #[test]
+    fn walks_cell_on_halin() {
+        let rep = WalksPipeline.run(&tiny("test/halin", Family::Halin { n: 20 }));
+        assert!(rep.checked > 0);
+        assert!(rep.metrics.rounds > 0, "virtual CDL rounds must be charged");
+    }
+
+    #[test]
+    fn distlabel_cell_on_multi_component() {
+        let rep = DistLabelPipeline.run(&tiny(
+            "test/multi",
+            Family::MultiComponent { n: 40 },
+        ));
+        assert!(rep.components >= 4);
+        assert!(rep.checked > 0);
+        assert!(rep
+            .detail
+            .iter()
+            .any(|&(k, v)| k == "label_words_total" && v > 0));
+    }
+}

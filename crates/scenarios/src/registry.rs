@@ -1,0 +1,313 @@
+//! The scenario registry: named, seeded graph families with declared
+//! treewidth bounds and weight models.
+
+use twgraph::gen;
+use twgraph::{Dist, MultiDigraph, UGraph};
+
+/// A graph family with its structural parameters.
+#[derive(Clone, Copy, Debug)]
+pub enum Family {
+    /// Random connected partial k-tree (treewidth ≤ k).
+    PartialKtree { n: usize, k: usize, keep: f64 },
+    /// k-banded path (treewidth k, diameter Θ(n/k)).
+    BandedPath { n: usize, k: usize },
+    /// rows × cols grid (treewidth min(rows, cols)).
+    Grid { rows: usize, cols: usize },
+    /// Uniform random recursive tree (treewidth 1).
+    RandomTree { n: usize },
+    /// Random 2-terminal series-parallel graph (treewidth ≤ 2).
+    SeriesParallel { n: usize },
+    /// Random cactus — every edge on ≤ 1 cycle (treewidth ≤ 2).
+    Cactus { n: usize },
+    /// Random Halin graph — degree-≥3 tree + leaf cycle (treewidth ≤ 3).
+    Halin { n: usize },
+    /// Ring of `cliques` cliques of `size` vertices each
+    /// (treewidth in [size − 1, size + 1]).
+    RingOfCliques { cliques: usize, size: usize },
+    /// Disconnected mixed-family union incl. an isolated vertex
+    /// (component-wise treewidth ≤ 2).
+    MultiComponent { n: usize },
+    /// Erdős–Rényi G(n, p) — the unstructured control (treewidth
+    /// typically Θ(n)).
+    Gnp { n: usize, p: f64 },
+}
+
+impl Family {
+    /// Build the communication graph for this family under `seed`.
+    pub fn graph(&self, seed: u64) -> UGraph {
+        match *self {
+            Family::PartialKtree { n, k, keep } => gen::partial_ktree(n, k, keep, seed),
+            Family::BandedPath { n, k } => gen::banded_path(n, k),
+            Family::Grid { rows, cols } => gen::grid(rows, cols),
+            Family::RandomTree { n } => gen::random_tree(n, seed),
+            Family::SeriesParallel { n } => gen::series_parallel(n, seed),
+            Family::Cactus { n } => gen::cactus(n, seed),
+            Family::Halin { n } => gen::halin(n, seed),
+            Family::RingOfCliques { cliques, size } => gen::ring_of_cliques(cliques, size),
+            Family::MultiComponent { n } => gen::multi_component(n, seed),
+            Family::Gnp { n, p } => gen::gnp(n, p, seed),
+        }
+    }
+
+    /// Short family tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Family::PartialKtree { .. } => "partial_ktree",
+            Family::BandedPath { .. } => "banded_path",
+            Family::Grid { .. } => "grid",
+            Family::RandomTree { .. } => "random_tree",
+            Family::SeriesParallel { .. } => "series_parallel",
+            Family::Cactus { .. } => "cactus",
+            Family::Halin { .. } => "halin",
+            Family::RingOfCliques { .. } => "ring_of_cliques",
+            Family::MultiComponent { .. } => "multi_component",
+            Family::Gnp { .. } => "gnp",
+        }
+    }
+}
+
+/// How edge weights are drawn for the weighted instance.
+#[derive(Clone, Copy, Debug)]
+pub enum WeightModel {
+    /// All weights 1.
+    Unit,
+    /// Independent uniform weights in `[1, wmax]`.
+    Uniform { wmax: Dist },
+    /// Discrete Pareto weights with tail exponent `alpha`, truncated at
+    /// `wmax` (see [`gen::with_heavy_tailed_weights`]).
+    HeavyTailed { wmax: Dist, alpha: f64 },
+}
+
+impl WeightModel {
+    /// Tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            WeightModel::Unit => "unit",
+            WeightModel::Uniform { .. } => "uniform",
+            WeightModel::HeavyTailed { .. } => "heavy_tailed",
+        }
+    }
+}
+
+/// One named workload: a seeded family, a weight model, and the declared
+/// width bounds every run is checked against.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Registry name (unique; used in reports and golden files).
+    pub name: &'static str,
+    /// The graph family.
+    pub family: Family,
+    /// The weight model of the weighted instance.
+    pub weights: WeightModel,
+    /// Seed driving both the family and the weight draw (streams are
+    /// decorrelated by the `twgraph::gen` seed-derivation rule).
+    pub seed: u64,
+    /// Declared treewidth upper bound from family theory (`None` for the
+    /// unbounded control family).
+    pub tw_bound: Option<usize>,
+    /// Declared upper bound on the *min-degree elimination width* — what
+    /// the repo's heuristic checker can actually certify. Always
+    /// ≥ `tw_bound` where both are present (the heuristic may overshoot
+    /// the true treewidth, e.g. by one on Halin graphs).
+    pub elim_bound: Option<usize>,
+    /// Initial width guess `t0` handed to the decomposition.
+    pub t0: u64,
+}
+
+impl Scenario {
+    /// The communication graph.
+    pub fn graph(&self) -> UGraph {
+        self.family.graph(self.seed)
+    }
+
+    /// The weighted (symmetrized, undirected) instance.
+    pub fn instance(&self) -> MultiDigraph {
+        let g = self.graph();
+        match self.weights {
+            WeightModel::Unit => gen::with_unit_weights(&g),
+            WeightModel::Uniform { wmax } => gen::with_random_weights(&g, wmax, self.seed),
+            WeightModel::HeavyTailed { wmax, alpha } => {
+                gen::with_heavy_tailed_weights(&g, wmax, alpha, self.seed)
+            }
+        }
+    }
+
+    /// The edge-colored instance driving the stateful-walk pipeline
+    /// (`colors` uniform colors; weights follow the scenario's `wmax`
+    /// scale, uniformly drawn).
+    pub fn colored_instance(&self, colors: u32) -> MultiDigraph {
+        let g = self.graph();
+        let wmax = match self.weights {
+            WeightModel::Unit => 1,
+            WeightModel::Uniform { wmax } => wmax,
+            WeightModel::HeavyTailed { wmax, .. } => wmax.min(64),
+        };
+        gen::with_colored_weights(&g, wmax, colors, self.seed)
+    }
+}
+
+/// The scenario corpus: every registered workload, exercising all five new
+/// families, the legacy families, all three weight models, and the
+/// disconnected + unbounded-treewidth controls.
+pub fn corpus() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "series_parallel/uniform",
+            family: Family::SeriesParallel { n: 44 },
+            weights: WeightModel::Uniform { wmax: 12 },
+            seed: 1,
+            tw_bound: Some(2),
+            elim_bound: Some(2),
+            t0: 3,
+        },
+        Scenario {
+            name: "cactus/uniform",
+            family: Family::Cactus { n: 40 },
+            weights: WeightModel::Uniform { wmax: 9 },
+            seed: 2,
+            tw_bound: Some(2),
+            elim_bound: Some(2),
+            t0: 3,
+        },
+        Scenario {
+            name: "halin/unit",
+            family: Family::Halin { n: 36 },
+            weights: WeightModel::Unit,
+            seed: 3,
+            tw_bound: Some(3),
+            elim_bound: Some(4),
+            t0: 4,
+        },
+        Scenario {
+            name: "ring_of_cliques/c4_uniform",
+            family: Family::RingOfCliques { cliques: 8, size: 4 },
+            weights: WeightModel::Uniform { wmax: 20 },
+            seed: 4,
+            tw_bound: Some(5),
+            elim_bound: Some(5),
+            t0: 5,
+        },
+        Scenario {
+            name: "ring_of_cliques/c6_heavy",
+            family: Family::RingOfCliques { cliques: 5, size: 6 },
+            weights: WeightModel::HeavyTailed { wmax: 1_000, alpha: 1.2 },
+            seed: 5,
+            tw_bound: Some(7),
+            elim_bound: Some(7),
+            t0: 7,
+        },
+        Scenario {
+            name: "multi_component/uniform",
+            family: Family::MultiComponent { n: 44 },
+            weights: WeightModel::Uniform { wmax: 15 },
+            seed: 6,
+            tw_bound: Some(2),
+            elim_bound: Some(2),
+            t0: 3,
+        },
+        Scenario {
+            name: "partial_ktree/heavy",
+            family: Family::PartialKtree { n: 44, k: 3, keep: 0.7 },
+            weights: WeightModel::HeavyTailed { wmax: 500, alpha: 1.1 },
+            seed: 7,
+            tw_bound: Some(3),
+            elim_bound: Some(3),
+            t0: 4,
+        },
+        Scenario {
+            name: "partial_ktree/uniform",
+            family: Family::PartialKtree { n: 52, k: 2, keep: 0.7 },
+            weights: WeightModel::Uniform { wmax: 30 },
+            seed: 8,
+            tw_bound: Some(2),
+            elim_bound: Some(2),
+            t0: 3,
+        },
+        Scenario {
+            name: "banded_path/uniform",
+            family: Family::BandedPath { n: 48, k: 3 },
+            weights: WeightModel::Uniform { wmax: 10 },
+            seed: 9,
+            tw_bound: Some(3),
+            elim_bound: Some(3),
+            t0: 4,
+        },
+        Scenario {
+            name: "grid/unit",
+            family: Family::Grid { rows: 5, cols: 8 },
+            weights: WeightModel::Unit,
+            seed: 10,
+            tw_bound: Some(6),
+            elim_bound: Some(8),
+            t0: 7,
+        },
+        Scenario {
+            name: "random_tree/uniform",
+            family: Family::RandomTree { n: 56 },
+            weights: WeightModel::Uniform { wmax: 25 },
+            seed: 11,
+            tw_bound: Some(1),
+            elim_bound: Some(1),
+            t0: 2,
+        },
+        Scenario {
+            name: "gnp/control",
+            family: Family::Gnp { n: 30, p: 0.14 },
+            weights: WeightModel::Uniform { wmax: 8 },
+            seed: 12,
+            tw_bound: None,
+            elim_bound: None,
+            t0: 4,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twgraph::tw::{elimination_width, min_degree_order};
+
+    #[test]
+    fn corpus_names_unique_and_nonempty() {
+        let c = corpus();
+        assert!(c.len() >= 12);
+        let mut names: Vec<_> = c.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), c.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn declared_elim_bounds_hold() {
+        for sc in corpus() {
+            let g = sc.graph();
+            if let Some(bound) = sc.elim_bound {
+                let w = elimination_width(&g, &min_degree_order(&g));
+                assert!(
+                    w <= bound,
+                    "{}: elimination width {w} exceeds declared bound {bound}",
+                    sc.name
+                );
+            }
+            if let (Some(tw), Some(elim)) = (sc.tw_bound, sc.elim_bound) {
+                assert!(tw <= elim, "{}: tw bound above elim bound", sc.name);
+            }
+        }
+    }
+
+    #[test]
+    fn instances_match_graphs_and_weights() {
+        for sc in corpus() {
+            let g = sc.graph();
+            let inst = sc.instance();
+            assert_eq!(inst.comm_graph(), g, "{}", sc.name);
+            assert!(inst.arcs().iter().all(|a| a.weight >= 1), "{}", sc.name);
+            if matches!(sc.weights, WeightModel::Unit) {
+                assert!(inst.arcs().iter().all(|a| a.weight == 1), "{}", sc.name);
+            }
+            let colored = sc.colored_instance(2);
+            assert_eq!(colored.comm_graph(), g, "{}", sc.name);
+            assert!(colored.arcs().iter().all(|a| a.label < 2), "{}", sc.name);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Run reports: charged-cost totals and per-cell records.
+
+use congest_sim::{Metrics, PhaseSnapshot};
+
+/// Charged-cost totals of one scenario × pipeline cell, aggregated over
+/// connected components under the **parallel composition** rule: components
+/// execute concurrently in CONGEST, so round-like counters take the
+/// maximum over components while traffic counters sum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsTotal {
+    /// Charged rounds (max over components).
+    pub rounds: u64,
+    /// Supersteps (max over components).
+    pub supersteps: u64,
+    /// Messages delivered (sum over components).
+    pub messages: u64,
+    /// Words moved (sum over components).
+    pub words: u64,
+    /// Explicitly charged control rounds (max over components).
+    pub charged_rounds: u64,
+    /// Peak single-superstep per-edge congestion (max over components).
+    pub congestion: u64,
+}
+
+impl MetricsTotal {
+    /// Fold one component's full engine metrics into the total.
+    pub fn absorb(&mut self, m: &Metrics) {
+        self.rounds = self.rounds.max(m.rounds);
+        self.supersteps = self.supersteps.max(m.supersteps);
+        self.messages += m.messages;
+        self.words += m.words;
+        self.charged_rounds = self.charged_rounds.max(m.charged_rounds);
+        self.congestion = self.congestion.max(m.max_edge_words_in_superstep);
+    }
+
+    /// Fold a rounds-only measurement (pipelines that report charged rounds
+    /// without a full metrics carrier, e.g. girth trials and matching
+    /// augmentations).
+    pub fn absorb_rounds(&mut self, rounds: u64) {
+        self.rounds = self.rounds.max(rounds);
+    }
+}
+
+/// The uniform result record of one scenario × pipeline cell.
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Pipeline name (`sssp`, `distlabel`, `girth`, `matching`, `walks`).
+    pub pipeline: &'static str,
+    /// Vertices of the scenario graph.
+    pub n: usize,
+    /// Undirected edges of the scenario graph.
+    pub m: usize,
+    /// Connected components of the scenario graph.
+    pub components: usize,
+    /// Largest decomposition width over components (0 if none built).
+    pub width: usize,
+    /// Largest decomposition depth over components.
+    pub depth: usize,
+    /// Headline output (pipeline-specific: distance checksum, girth value,
+    /// matching size, walk-distance checksum).
+    pub output: u64,
+    /// Number of values differentially verified against the baseline
+    /// oracles — every cell must have `checked > 0`.
+    pub checked: usize,
+    /// Aggregated charged costs.
+    pub metrics: MetricsTotal,
+    /// Pipeline-specific named counters (trials, augmentations, …).
+    pub detail: Vec<(&'static str, u64)>,
+    /// Per-phase engine snapshots, names prefixed `c<i>/` per component.
+    pub phases: Vec<PhaseSnapshot>,
+}
+
+impl CellReport {
+    /// Fresh report scaffold for a cell.
+    pub fn new(scenario: &str, pipeline: &'static str, n: usize, m: usize) -> Self {
+        CellReport {
+            scenario: scenario.to_string(),
+            pipeline,
+            n,
+            m,
+            components: 0,
+            width: 0,
+            depth: 0,
+            output: 0,
+            checked: 0,
+            metrics: MetricsTotal::default(),
+            detail: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Record a component's decomposition shape.
+    pub fn note_decomposition(&mut self, width: usize, depth: usize) {
+        self.width = self.width.max(width);
+        self.depth = self.depth.max(depth);
+    }
+
+    /// Append a component's phase log under a `c<i>/` prefix.
+    pub fn note_phases(&mut self, comp: usize, phases: &[PhaseSnapshot]) {
+        for p in phases {
+            let mut p = p.clone();
+            p.phase = format!("c{comp}/{}", p.phase);
+            self.phases.push(p);
+        }
+    }
+
+    /// The canonical JSON value of this cell (stable field set — the bench
+    /// bin serializes one such entry per cell into `BENCH_scenarios.json`).
+    pub fn json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "scenario": self.scenario.clone(),
+            "pipeline": self.pipeline,
+            "n": self.n,
+            "m": self.m,
+            "components": self.components,
+            "width": self.width,
+            "depth": self.depth,
+            "output": self.output,
+            "checked": self.checked,
+            "rounds": self.metrics.rounds,
+            "supersteps": self.metrics.supersteps,
+            "messages": self.metrics.messages,
+            "words": self.metrics.words,
+            "charged_rounds": self.metrics.charged_rounds,
+            "congestion": self.metrics.congestion,
+            "detail": self
+                .detail
+                .iter()
+                .map(|(k, v)| serde_json::json!({"key": *k, "value": *v}))
+                .collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// Order-independent checksum accumulator for distance-like outputs: folds
+/// `(position, value)` pairs with a SplitMix-style scramble so reports can
+/// compare whole output vectors as one `u64`.
+pub fn fold_checksum(acc: u64, position: u64, value: u64) -> u64 {
+    let mut z = position
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(value)
+        .wrapping_add(0x243F_6A88_85A3_08D3);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    acc.wrapping_add(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_composition_rule() {
+        let mut t = MetricsTotal::default();
+        let mk = |rounds, messages| {
+            let mut m = Metrics::default();
+            m.rounds = rounds;
+            m.supersteps = rounds;
+            m.messages = messages;
+            m.words = messages;
+            m.max_edge_words_in_superstep = rounds.min(4);
+            m
+        };
+        t.absorb(&mk(10, 100));
+        t.absorb(&mk(4, 50));
+        assert_eq!(t.rounds, 10);
+        assert_eq!(t.supersteps, 10);
+        assert_eq!(t.messages, 150);
+        assert_eq!(t.words, 150);
+        assert_eq!(t.congestion, 4);
+        t.absorb_rounds(25);
+        assert_eq!(t.rounds, 25);
+    }
+
+    #[test]
+    fn checksum_depends_on_position_and_value() {
+        let a = fold_checksum(0, 1, 5);
+        let b = fold_checksum(0, 2, 5);
+        let c = fold_checksum(0, 1, 6);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Order-independent accumulation.
+        let ab = fold_checksum(fold_checksum(0, 1, 5), 2, 7);
+        let ba = fold_checksum(fold_checksum(0, 2, 7), 1, 5);
+        assert_eq!(ab, ba);
+    }
+}

@@ -1,0 +1,134 @@
+//! Component splitting and the matrix driver.
+
+use crate::pipeline::{all_pipelines, Pipeline};
+use crate::registry::Scenario;
+use crate::report::CellReport;
+use treedec::decomp::DecompOutcome;
+use treedec::dist::DistDecompOutcome;
+use twgraph::alg::components;
+use twgraph::{MultiDigraph, UGraph};
+
+/// One connected component of a scenario, with its induced instance and
+/// the mapping back to original vertex ids.
+pub struct Part {
+    /// The component's communication graph (local ids `0..part_n`).
+    pub graph: UGraph,
+    /// The induced weighted instance (weights/labels/uedges preserved).
+    pub inst: MultiDigraph,
+    /// `old_of[local] = original` vertex id.
+    pub old_of: Vec<u32>,
+}
+
+impl Part {
+    /// Local id of original vertex `v`, if it lies in this part.
+    pub fn local_of(&self, v: u32) -> Option<u32> {
+        self.old_of.binary_search(&v).ok().map(|i| i as u32)
+    }
+}
+
+/// Split `inst` (over communication graph `g`) into connected components.
+/// Parts come out ordered by their smallest original vertex, so `old_of`
+/// is sorted and vertex 0 lies in part 0.
+pub fn split_components(g: &UGraph, inst: &MultiDigraph) -> Vec<Part> {
+    let (comp, k) = components(g);
+    (0..k)
+        .map(|c| {
+            let keep: Vec<bool> = comp.iter().map(|&x| x as usize == c).collect();
+            let (graph, old_of) = g.induced(&keep);
+            let (sub, old2) = inst.induced(&keep);
+            debug_assert_eq!(old_of, old2);
+            Part {
+                graph,
+                inst: sub,
+                old_of,
+            }
+        })
+        .collect()
+}
+
+/// Centralized tree decomposition of one part (the harness decomposes each
+/// component independently; a decomposition of a disconnected graph does
+/// not exist under the repo's connected-`G'_x` invariant). The separator
+/// RNG stream is derived through the `twgraph::gen` seed rule so distinct
+/// `(seed, comp)` pairs never alias (a plain `seed + comp` would collide
+/// with the next scenario's component 0 under the corpus's consecutive
+/// seeds).
+pub fn decompose_part(part: &Part, t0: u64, seed: u64, comp: usize) -> DecompOutcome {
+    let cfg = treedec::SepConfig::practical(part.graph.n());
+    let mut rng = twgraph::gen::derive_rng("scenario_decompose", &[comp as u64], seed);
+    treedec::decompose_centralized(&part.graph, t0, &cfg, &mut rng)
+}
+
+/// Like [`decompose_part`] but charged on a CONGEST network; returns the
+/// outcome and the network for subsequent stages.
+pub fn decompose_part_distributed(
+    part: &Part,
+    t0: u64,
+    seed: u64,
+    comp: usize,
+) -> (DistDecompOutcome, congest_sim::Network) {
+    let cfg = treedec::SepConfig::practical(part.graph.n());
+    let mut rng = twgraph::gen::derive_rng("scenario_decompose", &[comp as u64], seed);
+    let mut net =
+        congest_sim::Network::new(part.graph.clone(), congest_sim::NetworkConfig::default());
+    let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng);
+    (out, net)
+}
+
+/// Run one cell.
+pub fn run_cell(sc: &Scenario, pipeline: &dyn Pipeline) -> CellReport {
+    pipeline.run(sc)
+}
+
+/// Run the full scenario × pipeline cross-product. Panics on the first
+/// cell whose differential check diverges (the pipelines assert
+/// internally), so a clean return means every cell was verified.
+pub fn run_matrix(scenarios: &[Scenario]) -> Vec<CellReport> {
+    let pipelines = all_pipelines();
+    let mut reports = Vec::with_capacity(scenarios.len() * pipelines.len());
+    for sc in scenarios {
+        for p in &pipelines {
+            reports.push(run_cell(sc, p.as_ref()));
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twgraph::gen;
+
+    #[test]
+    fn split_preserves_structure() {
+        let g = gen::multi_component(48, 3);
+        let inst = gen::with_random_weights(&g, 9, 3);
+        let parts = split_components(&g, &inst);
+        assert_eq!(parts.len(), 5);
+        let total_n: usize = parts.iter().map(|p| p.graph.n()).sum();
+        let total_m: usize = parts.iter().map(|p| p.graph.m()).sum();
+        assert_eq!(total_n, g.n());
+        assert_eq!(total_m, g.m());
+        // Weights survive the split.
+        for part in &parts {
+            assert_eq!(part.inst.comm_graph(), part.graph);
+            for a in part.inst.arcs() {
+                assert!((1..=9).contains(&a.weight));
+            }
+        }
+        // Vertex 0 lands in part 0 at local id 0.
+        assert_eq!(parts[0].local_of(0), Some(0));
+        // The isolated vertex is a 1-vertex part.
+        assert!(parts.iter().any(|p| p.graph.n() == 1));
+    }
+
+    #[test]
+    fn decompose_part_valid() {
+        let g = gen::series_parallel(30, 4);
+        let inst = gen::with_unit_weights(&g);
+        let parts = split_components(&g, &inst);
+        assert_eq!(parts.len(), 1);
+        let out = decompose_part(&parts[0], 3, 4, 0);
+        out.td.verify(&parts[0].graph).unwrap();
+    }
+}

@@ -37,6 +37,22 @@ impl NodeInfo {
         v.sort_unstable();
         v
     }
+
+    /// The record with every vertex set mapped through the renaming `perm`
+    /// (the companion of [`TreeDecomposition::relabeled`]).
+    pub fn relabeled(&self, perm: &[u32]) -> NodeInfo {
+        let map = |vs: &Vec<u32>| -> Vec<u32> {
+            let mut v: Vec<u32> = vs.iter().map(|&x| perm[x as usize]).collect();
+            v.sort_unstable();
+            v
+        };
+        NodeInfo {
+            gpx: map(&self.gpx),
+            inherited: map(&self.inherited),
+            sep: map(&self.sep),
+            is_leaf: self.is_leaf,
+        }
+    }
 }
 
 /// Result of a decomposition run.

@@ -1,9 +1,9 @@
 //! Differential lockdown of the superstep engine's charged semantics.
 //!
-//! Every case runs a full distributed pipeline (SSSP, girth, matching) on a
-//! fixed corpus of families and seeds, captures the engine's `Metrics`
-//! after each stage, and compares them **bit for bit** against golden
-//! records under `tests/golden/` that were produced by the seed engine.
+//! Every case runs a full distributed pipeline (SSSP, distance labeling,
+//! girth, matching, stateful walks) on a fixed corpus of families and
+//! seeds, captures the engine's `Metrics` after each stage, and compares
+//! them **bit for bit** against golden records under `tests/golden/`.
 //! Any refactor of `congest_sim` that silently changes the charged rounds,
 //! words, message counts or per-edge congestion fails this suite.
 //!
@@ -15,9 +15,10 @@
 //! ```
 
 use lowtw::prelude::*;
-use lowtw::{baselines, bmatch, distlabel, girth, treedec, twgraph};
+use lowtw::{baselines, bmatch, distlabel, girth, stateful_walks, treedec, twgraph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use stateful_walks::{CdlLabeling, ColoredWalk, StatefulConstraint};
 
 /// One canonical JSON line per captured measurement. Field order is fixed
 /// so the string comparison is exact.
@@ -95,6 +96,67 @@ fn girth_undirected_case(name: &str, g: &UGraph, wmax: u64, seed: u64) -> Vec<St
     )]
 }
 
+/// Distance-labeling pipeline measured on its own: decomposition + label
+/// build, plus the label-size statistics (the Theorem-2 Õ(τ·depth) space
+/// figure) and a decode checksum differentially verified against Dijkstra.
+fn distlabel_case(name: &str, g: &UGraph, inst: &MultiDigraph, t0: u64, seed: u64) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut net = Network::new(g.clone(), NetworkConfig::default());
+    let cfg = lowtw::SepConfig::practical(g.n());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng);
+    let (labels, _) = distlabel::build_labels_distributed(&mut net, inst, &out.td, &out.info);
+    lines.push(metrics_line(name, "label", net.metrics()));
+    let words: Vec<u64> = labels.iter().map(|l| l.words() as u64).collect();
+    let mut checksum = 0u64;
+    for u in (0..g.n()).step_by(7) {
+        let truth = baselines::sssp_oracle(inst, u as u32);
+        for v in (0..g.n()).step_by(3) {
+            let got = decode(&labels[u], &labels[v]);
+            assert_eq!(got, truth[v], "{name}: decode({u}, {v}) incorrect");
+            checksum = checksum.rotate_left(7) ^ got;
+        }
+    }
+    lines.push(value_line(
+        name,
+        "labels",
+        &[
+            ("words_total", words.iter().sum()),
+            ("words_max", *words.iter().max().unwrap()),
+            ("decode_checksum", checksum),
+        ],
+    ));
+    lines
+}
+
+/// Stateful-walk pipeline: distributed CDL(C_col) construction through the
+/// charged virtual product network, verified against product Dijkstra and
+/// locked by the virtual execution's metrics.
+fn walks_case(name: &str, g: &UGraph, colors: u32, wmax: u64, t0: u64, seed: u64) -> Vec<String> {
+    let inst = twgraph::gen::with_colored_weights(g, wmax, colors, seed);
+    let cfg = lowtw::SepConfig::practical(g.n());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let out = treedec::decompose_centralized(g, t0, &cfg, &mut rng);
+    let c = ColoredWalk { colors };
+    let (cdl, metrics) =
+        CdlLabeling::build_distributed(&inst, &c, &out.td, &out.info, NetworkConfig::default());
+    let mut checksum = 0u64;
+    for s in (0..g.n() as u32).step_by(5) {
+        let truth = baselines::constrained_sssp_oracle(&inst, &c, s);
+        for t in 0..g.n() as u32 {
+            for q in 0..c.n_states() as stateful_walks::StateId {
+                let got = cdl.dist(s, t, q);
+                assert_eq!(got, truth[t as usize][q as usize], "{name}: {s}→{t} state {q}");
+                checksum = checksum.rotate_left(9) ^ got;
+            }
+        }
+    }
+    vec![
+        metrics_line(name, "cdl", &metrics),
+        value_line(name, "result", &[("dist_checksum", checksum)]),
+    ]
+}
+
 /// Separator-hierarchy matching with every augmentation charged through
 /// the virtual CDL network.
 fn matching_case(name: &str, nl: usize, nr: usize, band: usize, p: f64, seed: u64) -> Vec<String> {
@@ -142,6 +204,22 @@ fn run_corpus() -> Vec<String> {
         let inst = twgraph::gen::with_random_weights(&g, 9, 6);
         lines.extend(sssp_case("sssp/random_tree_90", &g, &inst, 2, 6, 0));
     }
+
+    // --- Distance-labeling pipelines ------------------------------------
+    {
+        let g = twgraph::gen::series_parallel(64, 31);
+        let inst = twgraph::gen::with_random_weights(&g, 20, 31);
+        lines.extend(distlabel_case("distlabel/series_parallel_64", &g, &inst, 3, 31));
+    }
+    {
+        let g = twgraph::gen::ring_of_cliques(6, 4);
+        let inst = twgraph::gen::with_heavy_tailed_weights(&g, 400, 1.2, 32);
+        lines.extend(distlabel_case("distlabel/ring_cliques_6x4_heavy", &g, &inst, 5, 32));
+    }
+
+    // --- Stateful-walk pipelines ----------------------------------------
+    lines.extend(walks_case("walks/cactus_36", &twgraph::gen::cactus(36, 33), 2, 9, 3, 33));
+    lines.extend(walks_case("walks/halin_30", &twgraph::gen::halin(30, 34), 3, 5, 4, 34));
 
     // --- Girth pipelines ------------------------------------------------
     {

@@ -1,0 +1,187 @@
+//! Metamorphic invariants of the scenario harness.
+//!
+//! Three transformation families, each with a provable relation between
+//! the original and transformed runs:
+//!
+//! 1. **Uniform weight scaling** — multiplying every edge weight by λ
+//!    multiplies every finite SSSP distance by λ, preserves unreachability,
+//!    and (because message *counts* and scheduling depend only on the
+//!    instance's structure, which scaling preserves, including distance
+//!    ties) leaves the engine's charged metrics **bit-for-bit identical**.
+//! 2. **Random vertex relabeling** — all outputs are π-equivariant:
+//!    distances map through π, decode tables commute with π, girth and
+//!    matching size are isomorphism-invariant. Charged *metrics* are
+//!    deliberately **not** asserted here: the protocols schedule per-node
+//!    gathers in vertex-id order, so supersteps legitimately differ
+//!    between isomorphic executions (verified and documented by
+//!    `relabeling_changes_schedule_but_not_outputs`).
+//! 3. **Execution partitioning** — `NetworkConfig::parallel_threshold`
+//!    ∈ {0, default, ∞} switches the engine between the rayon-pool
+//!    edge-partitioned send/recv path and the sequential path (with the
+//!    offline rayon stand-in both run on one thread; with real rayon the
+//!    0-threshold path fans out to N workers). Charged metrics must be
+//!    identical on every path — the cost model may not depend on how the
+//!    simulator happens to execute, i.e. it is thread-count invariant
+//!    (1, 2, N) by construction of the partitioned path.
+
+use congest_sim::{Metrics, Network, NetworkConfig};
+use lowtw::{baselines, bmatch, distlabel, girth, treedec, twgraph};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use scenarios::corpus;
+use twgraph::{MultiDigraph, UGraph, INF};
+
+/// Full distributed pipeline (decompose → label → query from 0) on one
+/// connected graph; returns the distances and the net's final metrics.
+fn sssp_pipeline(
+    g: &UGraph,
+    inst: &MultiDigraph,
+    t0: u64,
+    net_cfg: NetworkConfig,
+) -> (Vec<u64>, Metrics) {
+    let cfg = treedec::SepConfig::practical(g.n());
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut net = Network::new(g.clone(), net_cfg);
+    let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng);
+    let (labels, _) = distlabel::build_labels_distributed(&mut net, inst, &out.td, &out.info);
+    let (d, _) = distlabel::sssp_distributed(&mut net, &labels, 0);
+    (d, *net.metrics())
+}
+
+/// Connected corpus scenarios the metamorphic runs iterate over (the
+/// disconnected mix is exercised by `scenario_matrix`; here each relation
+/// needs one decomposition per graph).
+fn connected_corpus() -> Vec<(&'static str, UGraph, MultiDigraph, u64)> {
+    corpus()
+        .into_iter()
+        .filter(|sc| {
+            matches!(
+                sc.family.tag(),
+                "series_parallel" | "cactus" | "halin" | "ring_of_cliques"
+            )
+        })
+        .map(|sc| (sc.name, sc.graph(), sc.instance(), sc.t0))
+        .collect()
+}
+
+#[test]
+fn weight_scaling_scales_distances_and_preserves_metrics() {
+    for (name, g, inst, t0) in connected_corpus() {
+        let (d1, m1) = sssp_pipeline(&g, &inst, t0, NetworkConfig::default());
+        for lambda in [7u64, 13] {
+            let mut scaled = inst.clone();
+            for a in scaled.arcs_mut() {
+                a.weight *= lambda;
+            }
+            let (d2, m2) = sssp_pipeline(&g, &scaled, t0, NetworkConfig::default());
+            for v in 0..g.n() {
+                if d1[v] >= INF {
+                    assert!(d2[v] >= INF, "{name}: v={v} became reachable under scaling");
+                } else {
+                    assert_eq!(d2[v], lambda * d1[v], "{name}: λ={lambda}, v={v}");
+                }
+            }
+            assert_eq!(
+                m1, m2,
+                "{name}: uniform ×{lambda} weight scaling changed charged metrics"
+            );
+        }
+    }
+}
+
+#[test]
+fn relabeling_changes_schedule_but_not_outputs() {
+    for (name, g, inst, t0) in connected_corpus() {
+        let cfg = treedec::SepConfig::practical(g.n());
+        let mut rng = SmallRng::seed_from_u64(11);
+        let out = treedec::decompose_centralized(&g, t0, &cfg, &mut rng);
+
+        let mut perm: Vec<u32> = (0..g.n() as u32).collect();
+        perm.shuffle(&mut SmallRng::seed_from_u64(0xA11CE));
+        let g2 = g.relabeled(&perm);
+        let inst2 = inst.relabeled(&perm);
+        let td2 = out.td.relabeled(&perm);
+        let info2: Vec<_> = out.info.iter().map(|ni| ni.relabeled(&perm)).collect();
+        td2.verify(&g2)
+            .unwrap_or_else(|e| panic!("{name}: relabeled decomposition invalid: {e}"));
+        assert_eq!(td2.width(), out.td.width(), "{name}: relabeling changed the width");
+
+        // Labels built on both sides: the decode table must commute with π.
+        let l1 = distlabel::build_labels_centralized(&inst, &out.td, &out.info);
+        let l2 = distlabel::build_labels_centralized(&inst2, &td2, &info2);
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                assert_eq!(
+                    distlabel::decode(&l1[u], &l1[v]),
+                    distlabel::decode(&l2[perm[u] as usize], &l2[perm[v] as usize]),
+                    "{name}: decode({u}, {v}) not π-equivariant"
+                );
+            }
+        }
+
+        // Girth is isomorphism-invariant — oracle and pipeline agree
+        // across the relabeling.
+        let want = baselines::girth_exact_centralized(&inst);
+        assert_eq!(
+            baselines::girth_exact_centralized(&inst2),
+            want,
+            "{name}: oracle girth not relabeling-invariant"
+        );
+        let gcfg = girth::GirthConfig {
+            trials_per_c: 2 + g.n().max(2).ilog2() as usize,
+            seed: 23,
+            measure_distributed: false,
+        };
+        let run2 = girth::girth_undirected(&inst2, &td2, &info2, &gcfg);
+        assert_eq!(run2.girth, want, "{name}: pipeline girth diverged after relabeling");
+    }
+}
+
+#[test]
+fn matching_size_is_relabeling_invariant() {
+    // Bipartite workload: relabel within the banded bipartite family.
+    let (g, side) = twgraph::gen::bipartite_banded(18, 18, 2, 0.5, 6);
+    let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
+    let cfg = treedec::SepConfig::practical(g.n());
+    let mut rng = SmallRng::seed_from_u64(3);
+    let out = treedec::decompose_centralized(&g, 3, &cfg, &mut rng);
+    let want =
+        bmatch::max_matching(&inst, &out.td, &out.info, bmatch::MatchMode::Centralized).size();
+    assert_eq!(want, baselines::matching_oracle(&g, &side));
+
+    let mut perm: Vec<u32> = (0..g.n() as u32).collect();
+    perm.shuffle(&mut SmallRng::seed_from_u64(0xBEE));
+    let g2 = g.relabeled(&perm);
+    let mut side2 = vec![false; side.len()];
+    for (v, &s) in side.iter().enumerate() {
+        side2[perm[v] as usize] = s;
+    }
+    let inst2 = twgraph::gen::BipartiteInstance::new(g2.clone(), side2.clone());
+    let td2 = out.td.relabeled(&perm);
+    let info2: Vec<_> = out.info.iter().map(|ni| ni.relabeled(&perm)).collect();
+    let got = bmatch::max_matching(&inst2, &td2, &info2, bmatch::MatchMode::Centralized).size();
+    assert_eq!(got, want, "matching size not relabeling-invariant");
+    assert_eq!(baselines::matching_oracle(&g2, &side2), want);
+}
+
+#[test]
+fn charged_metrics_invariant_across_partitioning() {
+    for (name, g, inst, t0) in connected_corpus() {
+        let (d_ref, m_ref) = sssp_pipeline(&g, &inst, t0, NetworkConfig::default());
+        for threshold in [0usize, usize::MAX] {
+            let cfg = NetworkConfig {
+                parallel_threshold: threshold,
+                ..NetworkConfig::default()
+            };
+            let (d, m) = sssp_pipeline(&g, &inst, t0, cfg);
+            assert_eq!(d, d_ref, "{name}: outputs depend on partitioning ({threshold})");
+            assert_eq!(
+                m, m_ref,
+                "{name}: charged metrics depend on the execution partitioning \
+                 (parallel_threshold = {threshold}) — the cost model leaked \
+                 thread-count dependence"
+            );
+        }
+    }
+}

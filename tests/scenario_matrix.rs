@@ -1,0 +1,100 @@
+//! The scenario × pipeline cross-product, differentially checked.
+//!
+//! Every registered [`scenarios::Scenario`] runs through every registered
+//! [`scenarios::Pipeline`]; each pipeline internally asserts equality
+//! against the centralized oracles in `baselines::oracles`, so a cell that
+//! diverges (or panics) fails this suite with its scenario name. The same
+//! matrix backs the `scenarios` bench bin (`BENCH_scenarios.json`) — this
+//! suite is the correctness gate, the bench bin the cost reporter.
+
+use scenarios::{all_pipelines, corpus, run_cell};
+
+/// One test per pipeline so failures localize; each runs the full corpus.
+fn run_pipeline_over_corpus(name: &str) {
+    let pipelines = all_pipelines();
+    let p = pipelines
+        .iter()
+        .find(|p| p.name() == name)
+        .unwrap_or_else(|| panic!("pipeline {name} not registered"));
+    for sc in corpus() {
+        let rep = run_cell(&sc, p.as_ref());
+        assert!(
+            rep.checked > 0,
+            "{}/{name}: cell verified nothing",
+            sc.name
+        );
+        assert_eq!(rep.scenario, sc.name);
+        assert_eq!(rep.components >= 1, true, "{}", sc.name);
+        // Scenarios with a declared bound must keep their decomposition
+        // width in the Theorem-1 regime: O(τ² log n) with practical
+        // constants — sanity-capped here at elim_bound² · log₂ n + a
+        // small slack rather than n.
+        if let (Some(b), true) = (sc.elim_bound, rep.width > 0) {
+            let n = rep.n.max(4);
+            let cap = (b * b + b + 2) * (usize::BITS - n.leading_zeros()) as usize;
+            assert!(
+                rep.width <= cap,
+                "{}/{name}: decomposition width {} blew past the τ²·log n regime (cap {cap})",
+                sc.name,
+                rep.width
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_sssp() {
+    run_pipeline_over_corpus("sssp");
+}
+
+#[test]
+fn matrix_distlabel() {
+    run_pipeline_over_corpus("distlabel");
+}
+
+#[test]
+fn matrix_girth() {
+    run_pipeline_over_corpus("girth");
+}
+
+#[test]
+fn matrix_matching() {
+    run_pipeline_over_corpus("matching");
+}
+
+#[test]
+fn matrix_walks() {
+    run_pipeline_over_corpus("walks");
+}
+
+/// The corpus × pipeline dimensions the acceptance criteria pin: at least
+/// five *new* families and all five pipelines present.
+#[test]
+fn matrix_dimensions() {
+    let c = corpus();
+    let new_families = [
+        "series_parallel",
+        "cactus",
+        "halin",
+        "ring_of_cliques",
+        "multi_component",
+    ];
+    for f in new_families {
+        assert!(
+            c.iter().any(|s| s.family.tag() == f),
+            "family {f} missing from the corpus"
+        );
+    }
+    assert!(
+        c.iter().any(|s| s.weights.tag() == "heavy_tailed"),
+        "heavy-tailed weight model missing"
+    );
+    assert!(
+        c.iter().any(|s| s.tw_bound.is_none()),
+        "unbounded control family missing"
+    );
+    let p = all_pipelines();
+    assert_eq!(p.len(), 5);
+    let names: Vec<_> = p.iter().map(|p| p.name()).collect();
+    assert_eq!(names, ["sssp", "distlabel", "girth", "matching", "walks"]);
+}
