@@ -3,7 +3,7 @@
 //! Θ(n + D) rounds — the canonical distributed diameter routine the
 //! girth/diameter separation of §1.2 is measured against.
 
-use congest_sim::Network;
+use congest_sim::{CongestError, Network};
 use std::collections::VecDeque;
 
 #[derive(Clone)]
@@ -17,7 +17,7 @@ struct ApspState {
 /// Run the full flood; returns `(per-node distance vectors, rounds)`.
 /// Memory is Θ(n²) — intended for the modest `n` of the separation
 /// experiment, where the *round* count is the object of study.
-pub fn apsp_pipelined_distributed(net: &mut Network) -> (Vec<Vec<u32>>, u64) {
+pub fn apsp_pipelined_distributed(net: &mut Network) -> Result<(Vec<Vec<u32>>, u64), CongestError> {
     let n = net.n();
     let g = net.graph().clone();
     let start = net.metrics().rounds;
@@ -62,15 +62,15 @@ pub fn apsp_pipelined_distributed(net: &mut Network) -> (Vec<Vec<u32>>, u64) {
                     }
                 }
             },
-        );
+        )?;
         for (v, s) in states.iter_mut().enumerate() {
             s.queue.drain(..pending[v]);
         }
     }
-    (
+    Ok((
         states.into_iter().map(|s| s.dist).collect(),
         net.metrics().rounds - start,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -84,7 +84,7 @@ mod tests {
     fn matches_centralized_bfs() {
         let g = grid(4, 5);
         let mut net = Network::new(g.clone(), NetworkConfig::default());
-        let (dists, rounds) = apsp_pipelined_distributed(&mut net);
+        let (dists, rounds) = apsp_pipelined_distributed(&mut net).unwrap();
         for v in 0..g.n() as u32 {
             assert_eq!(dists[v as usize], bfs_dist(&g, v));
         }
@@ -98,7 +98,7 @@ mod tests {
         let g = bit_gadget(4);
         let n = g.n() as u64;
         let mut net = Network::new(g, NetworkConfig::default());
-        let (_, rounds) = apsp_pipelined_distributed(&mut net);
+        let (_, rounds) = apsp_pipelined_distributed(&mut net).unwrap();
         assert!(rounds >= n / 2, "rounds = {rounds}, n = {n}");
     }
 }

@@ -1,7 +1,7 @@
 //! Distributed Bellman–Ford: the classical exact SSSP taking Θ(n) rounds
 //! in the worst case (each superstep relaxes one more hop).
 
-use congest_sim::Network;
+use congest_sim::{CongestError, Network};
 use twgraph::{dist_add, ArcId, Dist, MultiDigraph, INF};
 
 #[derive(Clone)]
@@ -17,7 +17,7 @@ pub fn bellman_ford_distributed(
     net: &mut Network,
     inst: &MultiDigraph,
     src: u32,
-) -> (Vec<Dist>, u64) {
+) -> Result<(Vec<Dist>, u64), CongestError> {
     let n = inst.n();
     assert_eq!(net.n(), n);
     let start = net.metrics().rounds;
@@ -78,11 +78,11 @@ pub fn bellman_ford_distributed(
             }
         },
         (n as u64 + 2) * (n as u64 + 2),
-    );
-    (
+    )?;
+    Ok((
         states.into_iter().map(|s| s.dist).collect(),
         net.metrics().rounds - start,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -97,7 +97,7 @@ mod tests {
         let g = banded_path(60, 3);
         let inst = with_random_weights(&g, 10, 3);
         let mut net = Network::new(g, NetworkConfig::default());
-        let (dist, rounds) = bellman_ford_distributed(&mut net, &inst, 5);
+        let (dist, rounds) = bellman_ford_distributed(&mut net, &inst, 5).unwrap();
         assert_eq!(dist, dijkstra(&inst, 5).dist);
         assert!(rounds > 0);
     }
@@ -109,7 +109,7 @@ mod tests {
         let g = twgraph::gen::path(100);
         let inst = with_random_weights(&g, 5, 1);
         let mut net = Network::new(g, NetworkConfig::default());
-        let (_, rounds) = bellman_ford_distributed(&mut net, &inst, 0);
+        let (_, rounds) = bellman_ford_distributed(&mut net, &inst, 0).unwrap();
         assert!(rounds >= 99, "rounds = {rounds}");
     }
 
@@ -118,7 +118,7 @@ mod tests {
         let inst = MultiDigraph::from_arcs(3, vec![twgraph::Arc::new(0, 1, 4)]);
         let g = twgraph::UGraph::from_edges(3, [(0, 1), (1, 2)]);
         let mut net = Network::new(g, NetworkConfig::default());
-        let (dist, _) = bellman_ford_distributed(&mut net, &inst, 0);
+        let (dist, _) = bellman_ford_distributed(&mut net, &inst, 0).unwrap();
         assert_eq!(dist, vec![0, 4, INF]);
     }
 }

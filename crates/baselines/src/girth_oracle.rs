@@ -131,10 +131,7 @@ mod tests {
 
     #[test]
     fn directed_uses_asymmetric_weights() {
-        let inst = MultiDigraph::from_arcs(
-            2,
-            vec![Arc::new(0, 1, 1), Arc::new(1, 0, 10)],
-        );
+        let inst = MultiDigraph::from_arcs(2, vec![Arc::new(0, 1, 1), Arc::new(1, 0, 10)]);
         assert_eq!(girth_directed_centralized(&inst), 11);
     }
 }

@@ -2,7 +2,7 @@
 //! and a distributed augmenting-path algorithm in the Õ(s_max)-round
 //! spirit of \[AKO18\].
 
-use congest_sim::Network;
+use congest_sim::{CongestError, Network};
 use std::collections::VecDeque;
 use twgraph::UGraph;
 
@@ -39,12 +39,7 @@ pub fn hopcroft_karp(g: &UGraph, side: &[bool]) -> Vec<Option<u32>> {
             break;
         }
         // DFS phase: vertex-disjoint shortest augmenting paths.
-        fn try_augment(
-            g: &UGraph,
-            u: u32,
-            mate: &mut [Option<u32>],
-            layer: &mut [u32],
-        ) -> bool {
+        fn try_augment(g: &UGraph, u: u32, mate: &mut [Option<u32>], layer: &mut [u32]) -> bool {
             for i in 0..g.neighbors(u).len() {
                 let r = g.neighbors(u)[i];
                 match mate[r as usize] {
@@ -106,7 +101,7 @@ pub fn matching_distributed_baseline(
     net: &mut Network,
     g: &UGraph,
     side: &[bool],
-) -> (Vec<Option<u32>>, u64) {
+) -> Result<(Vec<Option<u32>>, u64), CongestError> {
     let n = g.n();
     assert_eq!(net.n(), n);
     let start = net.metrics().rounds;
@@ -179,7 +174,7 @@ pub fn matching_distributed_baseline(
                 }
             },
             4 * n as u64 + 16,
-        );
+        )?;
         // Collect free rights that were reached; flip greedily disjoint
         // paths (the back-walk is node-local chasing of parent pointers —
         // charge one round per hop by replaying it as messages).
@@ -239,10 +234,10 @@ pub fn matching_distributed_baseline(
         net.charge_rounds(flips.max(1));
     }
 
-    (
+    Ok((
         states.into_iter().map(|s| s.mate).collect(),
         net.metrics().rounds - start,
-    )
+    ))
 }
 
 /// Validity check: `mate` is a matching on `g` respecting bipartiteness.
@@ -272,10 +267,7 @@ mod tests {
     #[test]
     fn hk_on_perfect_matchable() {
         // Complete bipartite K_{3,3}.
-        let g = UGraph::from_edges(
-            6,
-            (0..3u32).flat_map(|l| (3..6u32).map(move |r| (l, r))),
-        );
+        let g = UGraph::from_edges(6, (0..3u32).flat_map(|l| (3..6u32).map(move |r| (l, r))));
         let side = vec![true, true, true, false, false, false];
         let mate = hopcroft_karp(&g, &side);
         assert_eq!(matching_size(&mate), 3);
@@ -297,7 +289,7 @@ mod tests {
             let (g, side) = bipartite_banded(20, 20, 2, 0.6, seed);
             let truth = matching_size(&hopcroft_karp(&g, &side));
             let mut net = Network::new(g.clone(), NetworkConfig::default());
-            let (mate, rounds) = matching_distributed_baseline(&mut net, &g, &side);
+            let (mate, rounds) = matching_distributed_baseline(&mut net, &g, &side).unwrap();
             assert!(is_valid_matching(&g, &side, &mate), "seed {seed}");
             assert_eq!(matching_size(&mate), truth, "seed {seed}");
             assert!(rounds > 0);

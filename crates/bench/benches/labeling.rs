@@ -14,7 +14,7 @@ fn bench_build(c: &mut Criterion) {
         let inst = twgraph::gen::with_random_weights(&g, 30, 1);
         let cfg = SepConfig::practical(n);
         let mut rng = SmallRng::seed_from_u64(2);
-        let dec = treedec::decompose_centralized(&g, 4, &cfg, &mut rng);
+        let dec = treedec::decompose_centralized(&g, 4, &cfg, &mut rng).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
             b.iter(|| build_labels_centralized(inst, &dec.td, &dec.info).len())
         });
@@ -28,7 +28,7 @@ fn bench_decode(c: &mut Criterion) {
     let inst = twgraph::gen::with_random_weights(&g, 30, 1);
     let cfg = SepConfig::practical(n);
     let mut rng = SmallRng::seed_from_u64(2);
-    let dec = treedec::decompose_centralized(&g, 4, &cfg, &mut rng);
+    let dec = treedec::decompose_centralized(&g, 4, &cfg, &mut rng).unwrap();
     let labels = build_labels_centralized(&inst, &dec.td, &dec.info);
     c.bench_function("decode_pair", |b| {
         let mut i = 0u32;

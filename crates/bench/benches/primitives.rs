@@ -15,7 +15,7 @@ fn bench_superstep(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| {
                 let mut net = Network::new(g.clone(), NetworkConfig::default());
-                build_global_tree(&mut net).height
+                build_global_tree(&mut net).unwrap().height
             })
         });
     }
@@ -34,9 +34,10 @@ fn bench_pa(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| {
                 let mut net = Network::new(g.clone(), NetworkConfig::default());
-                let tree = build_global_tree(&mut net);
+                let tree = build_global_tree(&mut net).unwrap();
                 let roles = pa::steiner_roles(&tree, &parts);
                 pa::aggregate(&mut net, &roles, |_v, _p| Some(1u64), |a, b| a + b)
+                    .unwrap()
                     .roots
                     .len()
             })

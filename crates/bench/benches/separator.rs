@@ -22,7 +22,9 @@ fn bench_sep(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(5);
-                sep_doubling(g, &members, &mu, t0, &cfg, &mut rng).separator.len()
+                sep_doubling(g, &members, &mu, t0, &cfg, &mut rng)
+                    .separator
+                    .len()
             })
         });
     }
@@ -38,7 +40,10 @@ fn bench_decompose(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(3);
-                treedec::decompose_centralized(g, 3, &cfg, &mut rng).td.width()
+                treedec::decompose_centralized(g, 3, &cfg, &mut rng)
+                    .unwrap()
+                    .td
+                    .width()
             })
         });
     }

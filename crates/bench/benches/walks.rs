@@ -12,7 +12,8 @@ fn instance(n: usize, seed: u64) -> MultiDigraph {
     let mut rng = SmallRng::seed_from_u64(seed);
     MultiDigraph::from_undirected_labeled(
         n,
-        g.edges().map(|(u, v)| (u, v, rng.gen_range(1..9), rng.gen_range(0..2))),
+        g.edges()
+            .map(|(u, v)| (u, v, rng.gen_range(1..9), rng.gen_range(0..2))),
     )
 }
 

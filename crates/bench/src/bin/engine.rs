@@ -25,7 +25,9 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let arg = |i: usize, default: f64| -> f64 {
-        args.get(i).map(|s| s.parse().expect("numeric argument")).unwrap_or(default)
+        args.get(i)
+            .map(|s| s.parse().expect("numeric argument"))
+            .unwrap_or(default)
     };
     let n = arg(0, 100_000.0) as usize;
     let k = arg(1, 1.0) as usize;
@@ -41,7 +43,8 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(seed);
 
     let t = Instant::now();
-    let out = treedec::decompose_distributed(&mut net, k as u64 + 1, &cfg, &mut rng);
+    let out = treedec::decompose_distributed(&mut net, k as u64 + 1, &cfg, &mut rng)
+        .expect("decomposition failed");
     let wall_decompose = t.elapsed();
     eprintln!(
         "decompose: width = {}, depth = {} ({:.1?})",
@@ -51,12 +54,13 @@ fn main() {
     );
 
     let t = Instant::now();
-    let (labels, _) = distlabel::build_labels_distributed(&mut net, &inst, &out.td, &out.info);
+    let (labels, _) = distlabel::build_labels_distributed(&mut net, &inst, &out.td, &out.info)
+        .expect("label build failed");
     let wall_label = t.elapsed();
     eprintln!("label ({:.1?})", wall_label);
 
     let t = Instant::now();
-    let (dists, _) = distlabel::sssp_distributed(&mut net, &labels, 0);
+    let (dists, _) = distlabel::sssp_distributed(&mut net, &labels, 0).expect("sssp failed");
     let wall_query = t.elapsed();
     eprintln!("query ({:.1?})", wall_query);
 
@@ -111,10 +115,12 @@ fn main() {
             })
         })
         .collect();
-    let wall_ms = serde_json::json!({
-        "decompose": wall_decompose.as_millis() as u64,
-        "label": wall_label.as_millis() as u64,
-        "query": wall_query.as_millis() as u64,
+    // Microsecond precision: the old `wall_ms` name under-reported (and
+    // small stages truncated to 0 entirely).
+    let wall_us = serde_json::json!({
+        "decompose": wall_decompose.as_micros() as u64,
+        "label": wall_label.as_micros() as u64,
+        "query": wall_query.as_micros() as u64,
     });
     let total_json = serde_json::json!({
         "rounds": total.rounds,
@@ -134,10 +140,14 @@ fn main() {
         "seed": seed,
         "width": out.td.width(),
         "depth": out.td.stats().depth,
-        "wall_ms": wall_ms,
+        "wall_us": wall_us,
         "phases": phase_json,
         "total": total_json,
     });
-    std::fs::write("BENCH_engine.json", serde_json::to_string(&doc).unwrap() + "\n").unwrap();
+    std::fs::write(
+        "BENCH_engine.json",
+        serde_json::to_string(&doc).unwrap() + "\n",
+    )
+    .unwrap();
     println!("\nwrote BENCH_engine.json");
 }

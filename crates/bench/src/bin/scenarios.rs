@@ -38,19 +38,21 @@ fn main() {
                 continue;
             }
             let t = Instant::now();
-            let rep = run_cell(sc, p.as_ref());
-            let wall_ms = t.elapsed().as_millis() as u64;
+            let rep = run_cell(sc, p.as_ref()).unwrap_or_else(|e| panic!("cell failed: {e}"));
+            // Microsecond wall clock: many cells finish in well under a
+            // millisecond, which the old `wall_ms` field truncated to 0.
+            let wall_us = t.elapsed().as_micros() as u64;
             eprintln!(
-                "{:<28} {:<10} rounds = {:>9}  checked = {:>5}  ({wall_ms} ms)",
+                "{:<28} {:<10} rounds = {:>9}  checked = {:>5}  ({wall_us} µs)",
                 rep.scenario,
                 rep.pipeline,
                 fmt(rep.metrics.rounds),
                 fmt(rep.checked as u64)
             );
             let mut json = rep.json();
-            json["wall_ms"] = serde_json::json!(wall_ms);
+            json["wall_us"] = serde_json::json!(wall_us);
             entries.push(json);
-            reports.push((rep, wall_ms));
+            reports.push((rep, wall_us));
         }
     }
 
@@ -60,12 +62,12 @@ fn main() {
         t_total.elapsed()
     );
     println!(
-        "{:<28} {:<10} {:>6} {:>5} {:>9} {:>11} {:>11} {:>8} {:>7}",
-        "scenario", "pipeline", "n", "comps", "rounds", "messages", "words", "checked", "ms"
+        "{:<28} {:<10} {:>6} {:>5} {:>9} {:>11} {:>11} {:>8} {:>9}",
+        "scenario", "pipeline", "n", "comps", "rounds", "messages", "words", "checked", "µs"
     );
-    for (r, wall_ms) in &reports {
+    for (r, wall_us) in &reports {
         println!(
-            "{:<28} {:<10} {:>6} {:>5} {:>9} {:>11} {:>11} {:>8} {:>7}",
+            "{:<28} {:<10} {:>6} {:>5} {:>9} {:>11} {:>11} {:>8} {:>9}",
             r.scenario,
             r.pipeline,
             r.n,
@@ -74,7 +76,7 @@ fn main() {
             fmt(r.metrics.messages),
             fmt(r.metrics.words),
             r.checked,
-            wall_ms
+            wall_us
         );
     }
 

@@ -75,14 +75,15 @@ fn e1_headline() {
         let g = twgraph::gen::partial_ktree(n, 3, 0.7, 1);
         let d = twgraph::alg::diameter_exact(&g);
         let inst = twgraph::gen::with_random_weights(&g, 50, 1);
-        let (session, td_rounds) = Session::decompose_distributed(&g, 4, 1);
-        let (labels, dl_rounds) = session.labels_distributed(&inst);
+        let (session, td_rounds) = Session::decompose_distributed(&g, 4, 1).unwrap();
+        let (labels, dl_rounds) = session.labels_distributed(&inst).unwrap();
         let mut net = Network::new(g.clone(), NetworkConfig::default());
-        let (_, q_rounds) = distlabel::sssp_distributed(&mut net, &labels, 0);
+        let (_, q_rounds) = distlabel::sssp_distributed(&mut net, &labels, 0).unwrap();
         let directed = twgraph::gen::random_orientation(&g, 50, 0.4, 1);
         let dl2 = session.labels(&directed);
         let mut net2 = Network::new(g.clone(), NetworkConfig::default());
-        let (_, girth_rounds) = girth::girth_directed_distributed(&mut net2, &directed, &dl2);
+        let (_, girth_rounds) =
+            girth::girth_directed_distributed(&mut net2, &directed, &dl2).unwrap();
         rows.push((
             vec![
                 n.to_string(),
@@ -166,7 +167,7 @@ fn e3_decomposition() {
     for (k, n) in [(2usize, 256usize), (2, 512), (2, 1024), (4, 512)] {
         let g = twgraph::gen::banded_path(n, k);
         let d = twgraph::alg::diameter_exact(&g);
-        let (session, rounds) = Session::decompose_distributed(&g, k as u64 + 1, 3);
+        let (session, rounds) = Session::decompose_distributed(&g, k as u64 + 1, 3).unwrap();
         let stats = session.td.stats();
         let logn = (n as f64).ln();
         let width_norm = stats.width as f64 / (k as f64 * k as f64 * logn);
@@ -195,7 +196,16 @@ fn e3_decomposition() {
     }
     table(
         "E3 Theorem 1: decomposition width/(τ²ln n), depth/ln n, distributed rounds",
-        &["family", "n", "D", "width", "w/(τ²ln n)", "depth", "dep/ln n", "rounds"],
+        &[
+            "family",
+            "n",
+            "D",
+            "width",
+            "w/(τ²ln n)",
+            "depth",
+            "dep/ln n",
+            "rounds",
+        ],
         &rows,
     );
 }
@@ -207,11 +217,10 @@ fn e4_labeling() {
         let k = 3usize;
         let g = twgraph::gen::partial_ktree(n, k, 0.7, 5);
         let inst = twgraph::gen::with_random_weights(&g, 30, 5);
-        let session = Session::decompose(&g, k as u64 + 1, 5);
-        let (labels, rounds) = session.labels_distributed(&inst);
+        let session = Session::decompose(&g, k as u64 + 1, 5).unwrap();
+        let (labels, rounds) = session.labels_distributed(&inst).unwrap();
         let max_w = labels.iter().map(|l| l.words()).max().unwrap() as u64;
-        let avg_w: f64 =
-            labels.iter().map(|l| l.words() as f64).sum::<f64>() / labels.len() as f64;
+        let avg_w: f64 = labels.iter().map(|l| l.words() as f64).sum::<f64>() / labels.len() as f64;
         let log2n = (n as f64).log2();
         let norm = max_w as f64 / (k as f64 * k as f64 * log2n * log2n);
         // Exactness spot check.
@@ -240,7 +249,14 @@ fn e4_labeling() {
     }
     table(
         "E4 Theorem 2: label size (words) vs τ²log²n and construction rounds",
-        &["n", "avg|la|", "max|la|", "max/(τ²log²n)", "rounds", "check"],
+        &[
+            "n",
+            "avg|la|",
+            "max|la|",
+            "max/(τ²log²n)",
+            "rounds",
+            "check",
+        ],
         &rows,
     );
 }
@@ -252,12 +268,12 @@ fn e5_sssp() {
         let g = twgraph::gen::banded_path(n, 2);
         let d = twgraph::alg::diameter_exact(&g);
         let inst = twgraph::gen::with_random_weights(&g, 40, 9);
-        let session = Session::decompose(&g, 3, 9);
-        let (labels, dl_rounds) = session.labels_distributed(&inst);
+        let session = Session::decompose(&g, 3, 9).unwrap();
+        let (labels, dl_rounds) = session.labels_distributed(&inst).unwrap();
         let mut net = Network::new(g.clone(), NetworkConfig::default());
-        let (_, q_rounds) = distlabel::sssp_distributed(&mut net, &labels, 0);
+        let (_, q_rounds) = distlabel::sssp_distributed(&mut net, &labels, 0).unwrap();
         let mut net2 = Network::new(g.clone(), NetworkConfig::default());
-        let (_, bf_rounds) = baselines::bellman_ford_distributed(&mut net2, &inst, 0);
+        let (_, bf_rounds) = baselines::bellman_ford_distributed(&mut net2, &inst, 0).unwrap();
         // Queries needed before the labeling pays off.
         let breakeven = if bf_rounds > q_rounds {
             (dl_rounds / (bf_rounds - q_rounds)).saturating_add(1)
@@ -290,7 +306,14 @@ fn e5_sssp() {
     }
     table(
         "E5 SSSP: one-time labeling + per-query broadcast vs per-source Bellman–Ford",
-        &["n", "D", "DL once", "per-query", "B-F per-source", "break-even q"],
+        &[
+            "n",
+            "D",
+            "DL once",
+            "per-query",
+            "B-F per-source",
+            "break-even q",
+        ],
         &rows,
     );
 }
@@ -306,7 +329,7 @@ fn e6_cdl_q() {
         n,
         g.edges().map(|(u, v)| (u, v, 1, rng.gen_range(0..2))),
     );
-    let session = Session::decompose(&g, 3, 4);
+    let session = Session::decompose(&g, 3, 4).unwrap();
     let mut rows = Vec::new();
     let mut prev: Option<(usize, u64)> = None;
     for c in [1u32, 2, 4, 8] {
@@ -318,7 +341,8 @@ fn e6_cdl_q() {
             &session.td,
             &session.info,
             NetworkConfig::default(),
-        );
+        )
+        .unwrap();
         let exp = prev.map_or("-".into(), |(q0, r0)| {
             format!(
                 "{:.2}",
@@ -352,17 +376,21 @@ fn e7_matching() {
     for &n_side in &[32usize, 64, 128] {
         let (g, side) = twgraph::gen::bipartite_banded(n_side, n_side, 2, 0.5, 3);
         let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
-        let session = Session::decompose(&g, 3, 3);
-        let ours = session.max_matching(&inst, bmatch::MatchMode::Centralized);
+        let session = Session::decompose(&g, 3, 3).unwrap();
+        let ours = session
+            .max_matching(&inst, bmatch::MatchMode::Centralized)
+            .unwrap();
         let hk = baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
         assert_eq!(ours.size(), hk);
         let mut net = Network::new(g.clone(), NetworkConfig::default());
-        let (_, base_rounds) = baselines::matching_distributed_baseline(&mut net, &g, &side);
+        let (_, base_rounds) =
+            baselines::matching_distributed_baseline(&mut net, &g, &side).unwrap();
         // Faithful distributed Theorem-4 run only at the small size (it
         // rebuilds a CDL per augmentation).
         let t4_rounds = if n_side <= 32 {
             session
                 .max_matching(&inst, bmatch::MatchMode::Distributed)
+                .unwrap()
                 .rounds
         } else {
             0
@@ -406,16 +434,16 @@ fn e8_girth() {
         let n = g.n();
         let inst = twgraph::gen::with_unit_weights(&g);
         let truth = baselines::girth_exact_centralized(&inst);
-        let session = Session::decompose(&g, 2 * bits as u64 + 2, 6);
+        let session = Session::decompose(&g, 2 * bits as u64 + 2, 6).unwrap();
         let cfg = girth::GirthConfig {
             trials_per_c: 4,
             seed: 8,
             measure_distributed: true,
         };
-        let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg);
+        let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg).unwrap();
         assert_eq!(run.girth, truth);
         let mut net = Network::new(g.clone(), NetworkConfig::default());
-        let (_, apsp_rounds) = baselines::apsp_pipelined_distributed(&mut net);
+        let (_, apsp_rounds) = baselines::apsp_pipelined_distributed(&mut net).unwrap();
         rows.push((
             vec![
                 format!("gadget({bits})"),
@@ -438,7 +466,14 @@ fn e8_girth() {
     }
     table(
         "E8 Theorem 5: girth per-trial rounds vs APSP(diameter) rounds on the constant-D family",
-        &["family", "n", "girth", "girth rnds/trial", "APSP rnds", "APSP/n"],
+        &[
+            "family",
+            "n",
+            "girth",
+            "girth rnds/trial",
+            "APSP rnds",
+            "APSP/n",
+        ],
         &rows,
     );
 
@@ -451,16 +486,16 @@ fn e8_girth() {
         let d = twgraph::alg::diameter_exact(&g);
         let inst = twgraph::gen::with_random_weights(&g, 5, 2);
         let truth = baselines::girth_exact_centralized(&inst);
-        let session = Session::decompose(&g, 3, 2);
+        let session = Session::decompose(&g, 3, 2).unwrap();
         let cfg = girth::GirthConfig {
             trials_per_c: 3,
             seed: 21,
             measure_distributed: true,
         };
-        let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg);
+        let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg).unwrap();
         assert_eq!(run.girth, truth);
         let mut net = Network::new(g.clone(), NetworkConfig::default());
-        let (_, apsp_rounds) = baselines::apsp_pipelined_distributed(&mut net);
+        let (_, apsp_rounds) = baselines::apsp_pipelined_distributed(&mut net).unwrap();
         rows.push((
             vec![
                 n.to_string(),
@@ -499,12 +534,13 @@ fn e9_primitives() {
         let n = 512usize;
         let g = twgraph::gen::banded_path(n, k);
         let mut net = Network::new(g, NetworkConfig::default());
-        let tree = build_global_tree(&mut net);
+        let tree = build_global_tree(&mut net).unwrap();
         let labels: Vec<Option<u32>> = (0..n).map(|v| Some((v / 16) as u32)).collect();
         let parts = Parts::from_labels(&labels);
         let roles = pa::steiner_roles(&tree, &parts);
         let before = *net.metrics();
-        let _ = pa::aggregate_and_share(&mut net, &roles, |_v, _p| Some(1u64), |a, b| a + b);
+        let _ =
+            pa::aggregate_and_share(&mut net, &roles, |_v, _p| Some(1u64), |a, b| a + b).unwrap();
         let delta = net.metrics().since(&before);
         rows.push((
             vec![
@@ -546,7 +582,8 @@ fn e9_primitives() {
                 sinks: ys,
             }],
             rows_dim + 1,
-        );
+        )
+        .unwrap();
         let delta = net.metrics().since(&before);
         let cut = match &res[0] {
             subgraph_ops::mvc::CutResult::Cut(c) => c.len(),
@@ -577,7 +614,7 @@ fn e9_primitives() {
     for h in [1usize, 4, 16, 64] {
         let g = twgraph::gen::banded_path(n, 2);
         let mut net = Network::new(g, NetworkConfig::default());
-        let tree = build_global_tree(&mut net);
+        let tree = build_global_tree(&mut net).unwrap();
         let parts = Parts::from_labels(&vec![Some(0u32); n]);
         let roles = pa::steiner_roles(&tree, &parts);
         let before = *net.metrics();
@@ -587,7 +624,8 @@ fn e9_primitives() {
             } else {
                 Vec::new()
             }
-        });
+        })
+        .unwrap();
         let delta = net.metrics().since(&before);
         rows.push((
             vec![h.to_string(), fmt(delta.rounds)],
@@ -625,22 +663,23 @@ fn a1_pa_ablation() {
 
     // Steiner.
     let mut net1 = Network::new(g.clone(), NetworkConfig::default());
-    let tree = build_global_tree(&mut net1);
+    let tree = build_global_tree(&mut net1).unwrap();
     let roles = pa::steiner_roles(&tree, &parts);
     let before = *net1.metrics();
-    let _ = pa::aggregate_and_share(&mut net1, &roles, |_v, _p| Some(1u64), |a, b| a + b);
+    let _ = pa::aggregate_and_share(&mut net1, &roles, |_v, _p| Some(1u64), |a, b| a + b).unwrap();
     let steiner = net1.metrics().since(&before).rounds;
 
     // Naive: per-part BFS trees + up/down flow on them.
     let mut net2 = Network::new(g.clone(), NetworkConfig::default());
     let roots: Vec<(u32, u32)> = (0..r as u32).map(|p| (p, p * c as u32)).collect();
     let before = *net2.metrics();
-    let ptrees = part_bfs_trees(&mut net2, &parts, &roots);
-    let up = upflow(&mut net2, &ptrees, |_v, _p| Some(1u64), |a, b| a + b);
+    let ptrees = part_bfs_trees(&mut net2, &parts, &roots).unwrap();
+    let up = upflow(&mut net2, &ptrees, |_v, _p| Some(1u64), |a, b| a + b).unwrap();
     let totals: std::collections::HashMap<u32, u64> = up.roots.into_iter().collect();
     let _ = downflow(&mut net2, &ptrees, |p, _| {
         totals.get(&p).copied().into_iter().collect::<Vec<u64>>()
-    });
+    })
+    .unwrap();
     let naive = net2.metrics().since(&before).rounds;
 
     table(

@@ -141,7 +141,12 @@ macro_rules! prop_assert_eq {
         if !(*l == *r) {
             return Err(format!(
                 "assertion failed at {}:{}: `{}` == `{}`\n  left: {:?}\n right: {:?}",
-                file!(), line!(), stringify!($left), stringify!($right), l, r
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
             ));
         }
     }};

@@ -232,10 +232,7 @@ mod tests {
     fn nested_values_compose() {
         let inner = json!({"k": 1u64});
         let outer = json!({"inner": inner, "tag": "x"});
-        assert_eq!(
-            to_string(&outer).unwrap(),
-            r#"{"inner":{"k":1},"tag":"x"}"#
-        );
+        assert_eq!(to_string(&outer).unwrap(), r#"{"inner":{"k":1},"tag":"x"}"#);
     }
 
     #[test]

@@ -10,7 +10,25 @@
 //! loops ([`Network::run_until_quiet`]) reuse even those across supersteps.
 //! Accounting is *sparse*: only slots that actually carried words are
 //! visited, so an almost-quiet superstep costs O(active) rather than O(m).
+//!
+//! ## Scoped supersteps
+//!
+//! A full superstep still evaluates `send` for all `n` nodes and lays out
+//! `n` inbox windows, so a protocol that only involves a small vertex set
+//! (one recursion subproblem, one part collection) pays O(n) per superstep
+//! regardless of how quiet the network is. The *scoped* entry points
+//! ([`superstep_on`](Network::superstep_on),
+//! [`run_until_quiet_on`](Network::run_until_quiet_on)) take a sorted
+//! active-node list and positional states (`states[i]` belongs to
+//! `active[i]`): `send`/`recv` run only over the active set and every piece
+//! of delivery bookkeeping is reset sparsely, so a scoped superstep costs
+//! O(active + messages). The charged metrics are **identical** to running
+//! the full superstep with `send` returning nothing outside the active set
+//! — the staged message multiset, and hence every counter, is the same.
+//! Messages must stay inside the active set
+//! ([`CongestError::InactiveRecipient`] otherwise).
 
+use crate::error::CongestError;
 use crate::metrics::{Metrics, PhaseSnapshot};
 use crate::projection::{EdgeProjection, NO_SLOT};
 use crate::wire::WireMsg;
@@ -18,6 +36,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::ops::Range;
+use std::sync::Arc;
 use twgraph::UGraph;
 
 /// Engine configuration.
@@ -67,12 +86,16 @@ impl<'a, M> Inbox<'a, M> {
     /// The first message (lowest source id), by reference.
     #[inline]
     pub fn first(&self) -> Option<&(u32, M)> {
-        self.slots.first().map(|s| s.as_ref().expect("message already taken"))
+        self.slots
+            .first()
+            .map(|s| s.as_ref().expect("message already taken"))
     }
 
     /// Borrowing iterator over `(source, payload)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = &(u32, M)> + '_ {
-        self.slots.iter().map(|s| s.as_ref().expect("message already taken"))
+        self.slots
+            .iter()
+            .map(|s| s.as_ref().expect("message already taken"))
     }
 }
 
@@ -97,7 +120,9 @@ impl<'a, M> Iterator for InboxIter<'a, M> {
 
     #[inline]
     fn next(&mut self) -> Option<(u32, M)> {
-        self.inner.next().map(|s| s.take().expect("message already taken"))
+        self.inner
+            .next()
+            .map(|s| s.take().expect("message already taken"))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -115,10 +140,21 @@ struct MailboxArena {
     slot_words: Vec<u64>,
     /// The slots dirtied this superstep (sparse reset + sparse max/sum).
     touched: Vec<u32>,
-    /// Per-node inbox cursor (counts, then scatter positions).
+    /// Per-node inbox cursor (counts, then scatter positions). The dense
+    /// path refills it whole; the scoped path touches active entries only,
+    /// resetting them on entry (stale entries outside an active set are
+    /// never read).
     cursor: Vec<usize>,
-    /// Per-node inbox offsets into the delivery buffer (`n + 1` entries).
+    /// Per-node inbox offsets into the delivery buffer (`n + 1` entries for
+    /// the dense path; scatter positions per active node for the scoped
+    /// path).
     inbox_off: Vec<usize>,
+    /// Membership stamp of the current scoped superstep's active set:
+    /// `active_stamp[v] == active_epoch` iff `v` is active. Bumping the
+    /// epoch clears the whole set in O(1).
+    active_stamp: Vec<u64>,
+    /// Generation counter for `active_stamp`.
+    active_epoch: u64,
 }
 
 /// A simulated CONGEST network over a fixed communication graph.
@@ -128,7 +164,7 @@ struct MailboxArena {
 /// [`superstep`](Network::superstep), so one network can run many protocols
 /// back to back while accumulating a single round count.
 pub struct Network {
-    g: UGraph,
+    g: Arc<UGraph>,
     /// CSR offsets mirroring `g` (`adj_off[v]..adj_off[v+1]` indexes the
     /// sorted neighbour array below).
     adj_off: Vec<u32>,
@@ -155,10 +191,19 @@ pub struct Network {
 /// `i` items. Returns a single range when there is no weight to balance —
 /// in particular a graph with zero edges (or all-isolated vertices) must
 /// not divide by its total edge weight.
-fn balanced_ranges(n: usize, chunks: usize, prefix: impl Fn(usize) -> u64) -> Vec<Range<usize>> {
+///
+/// Public because the same weight-balanced partitioning drives other
+/// deterministic fan-outs (e.g. `treedec`'s sibling-branch scheduling).
+pub fn balanced_ranges(
+    n: usize,
+    chunks: usize,
+    prefix: impl Fn(usize) -> u64,
+) -> Vec<Range<usize>> {
     let total = prefix(n);
     let chunks = chunks.clamp(1, n.max(1));
     if total == 0 || chunks == 1 || n == 0 {
+        // A single whole-range chunk, not `vec![0; n]`.
+        #[allow(clippy::single_range_in_vec_init)]
         return vec![0..n];
     }
     let mut out = Vec::with_capacity(chunks);
@@ -200,7 +245,9 @@ impl Network {
     pub fn with_projection(g: UGraph, projection: EdgeProjection, cfg: NetworkConfig) -> Self {
         let n = g.n();
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let mut uids: Vec<u64> = (0..n as u64).map(|v| (v << 32) | rng.gen::<u32>() as u64).collect();
+        let mut uids: Vec<u64> = (0..n as u64)
+            .map(|v| (v << 32) | rng.gen::<u32>() as u64)
+            .collect();
         // The high half guarantees uniqueness; shuffle the order relation by
         // rotating so uid order is unrelated to index order.
         for u in uids.iter_mut() {
@@ -218,7 +265,10 @@ impl Network {
         for (eid, (u, v)) in g.edges().enumerate() {
             for (a, b) in [(u, v), (v, u)] {
                 let lo = adj_off[a as usize] as usize;
-                let pos = g.neighbors(a).binary_search(&b).expect("edge ids out of sync");
+                let pos = g
+                    .neighbors(a)
+                    .binary_search(&b)
+                    .expect("edge ids out of sync");
                 adj_eids[lo + pos] = eid as u32;
             }
         }
@@ -231,9 +281,11 @@ impl Network {
             touched: Vec::new(),
             cursor: vec![0usize; n],
             inbox_off: vec![0usize; n + 1],
+            active_stamp: vec![0u64; n],
+            active_epoch: 0,
         };
         Network {
-            g,
+            g: Arc::new(g),
             adj_off,
             adj_eids,
             slot_fwd,
@@ -251,6 +303,15 @@ impl Network {
     #[inline]
     pub fn graph(&self) -> &UGraph {
         &self.g
+    }
+
+    /// A shared handle to the communication graph — a refcount bump, not a
+    /// topology copy. Algorithms that need the adjacency inside `send`/
+    /// `recv` closures (while the network itself is mutably borrowed) take
+    /// this instead of cloning O(n + m) state per invocation.
+    #[inline]
+    pub fn graph_handle(&self) -> Arc<UGraph> {
+        Arc::clone(&self.g)
     }
 
     /// Node count.
@@ -341,6 +402,121 @@ impl Network {
         }
     }
 
+    /// Scoped phase 1: evaluate `send` over the active nodes only
+    /// (`states[i]` belongs to `active[i]`). The active list is sorted, so
+    /// the stage comes out source-ascending exactly like the dense path.
+    /// Scoped supersteps are small by construction, so this path stays
+    /// sequential — fan-out parallelism belongs to the caller's level, not
+    /// to a near-quiet superstep.
+    fn stage_sends_on<S, M>(
+        &self,
+        active: &[u32],
+        states: &[S],
+        send: &(impl Fn(u32, &S) -> Vec<(u32, M)> + Sync),
+        stage: &mut Vec<(u32, u32, M)>,
+    ) where
+        M: WireMsg,
+    {
+        stage.clear();
+        for (i, &u) in active.iter().enumerate() {
+            for (v, m) in send(u, &states[i]) {
+                stage.push((u, v, m));
+            }
+        }
+    }
+
+    /// Phase 2 (shared): validate and charge the staged messages, count
+    /// them per destination into `arena.cursor` (which the caller must have
+    /// reset for every possible destination), and record the superstep in
+    /// the metrics. When `scoped` is set, destinations must carry the
+    /// current active stamp. On error the slot accounting is rolled back
+    /// and nothing is charged.
+    fn charge_stage<M: WireMsg>(
+        &mut self,
+        stage: &[(u32, u32, M)],
+        scoped: bool,
+    ) -> Result<u64, CongestError> {
+        let Network {
+            g,
+            arena,
+            adj_off,
+            adj_eids,
+            slot_fwd,
+            slot_rev,
+            ..
+        } = self;
+        // Defensive reset: an aborted earlier superstep may have left slots
+        // dirty mid-accounting; normal supersteps drain `touched` on exit,
+        // so this is free.
+        for s in arena.touched.drain(..) {
+            arena.slot_words[s as usize] = 0;
+        }
+        let mut failure = None;
+        for &(u, v, ref m) in stage.iter() {
+            let lo = adj_off[u as usize] as usize;
+            let eid = match g.neighbors(u).binary_search(&v) {
+                Ok(pos) => adj_eids[lo + pos],
+                Err(_) => {
+                    failure = Some(CongestError::NonNeighborSend { from: u, to: v });
+                    break;
+                }
+            };
+            if scoped && arena.active_stamp[v as usize] != arena.active_epoch {
+                failure = Some(CongestError::InactiveRecipient { from: u, to: v });
+                break;
+            }
+            let w = m.words();
+            debug_assert!(w >= 1, "zero-word message");
+            let slot = if u < v {
+                slot_fwd[eid as usize]
+            } else {
+                slot_rev[eid as usize]
+            };
+            if slot != NO_SLOT {
+                if arena.slot_words[slot as usize] == 0 {
+                    arena.touched.push(slot);
+                }
+                arena.slot_words[slot as usize] += w;
+            }
+            arena.cursor[v as usize] += 1;
+        }
+        if let Some(e) = failure {
+            // Roll back so the arena invariant (all slot loads zero) holds
+            // and a failed superstep charges nothing. The per-destination
+            // counts are re-zeroed by the next superstep's reset.
+            for s in arena.touched.drain(..) {
+                arena.slot_words[s as usize] = 0;
+            }
+            return Err(e);
+        }
+        let max_slot = arena
+            .touched
+            .iter()
+            .map(|&s| arena.slot_words[s as usize])
+            .max()
+            .unwrap_or(0);
+        let words: u64 = arena
+            .touched
+            .iter()
+            .map(|&s| arena.slot_words[s as usize])
+            .sum();
+        let bw = self.cfg.bandwidth_words;
+        let rounds = self
+            .arena
+            .touched
+            .iter()
+            .map(|&s| self.arena.slot_words[s as usize].div_ceil(bw))
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        for s in self.arena.touched.drain(..) {
+            self.arena.slot_words[s as usize] = 0;
+        }
+        self.metrics
+            .note_superstep(rounds, stage.len() as u64, words, max_slot);
+        Ok(rounds)
+    }
+
     /// Phases 2–4: validate and charge the staged messages, counting-sort
     /// them into the delivery buffer, and run `recv` over every node's
     /// inbox window. Drains `stage`; returns the rounds charged.
@@ -350,7 +526,7 @@ impl Network {
         stage: &mut Vec<(u32, u32, M)>,
         deliv: &mut Vec<Option<(u32, M)>>,
         recv: &(impl Fn(u32, &mut S, Inbox<'_, M>) + Sync),
-    ) -> u64
+    ) -> Result<u64, CongestError>
     where
         S: Send + Sync,
         M: WireMsg,
@@ -358,63 +534,9 @@ impl Network {
         let n = states.len();
 
         // Phase 2: validate, account (sparsely — only touched slots).
-        {
-            let Network {
-                g,
-                arena,
-                adj_off,
-                adj_eids,
-                slot_fwd,
-                slot_rev,
-                ..
-            } = self;
-            arena.cursor[..n].fill(0);
-            // Defensive reset: a caught CONGEST-violation panic in an
-            // earlier superstep may have left slots dirty mid-accounting;
-            // normal supersteps drain `touched` on exit, so this is free.
-            for s in arena.touched.drain(..) {
-                arena.slot_words[s as usize] = 0;
-            }
-            for &(u, v, ref m) in stage.iter() {
-                let lo = adj_off[u as usize] as usize;
-                let eid = g
-                    .neighbors(u)
-                    .binary_search(&v)
-                    .map(|pos| adj_eids[lo + pos])
-                    .unwrap_or_else(|_| {
-                        panic!("CONGEST violation: {u} sent to non-neighbor {v}")
-                    });
-                let w = m.words();
-                debug_assert!(w >= 1, "zero-word message");
-                let slot = if u < v {
-                    slot_fwd[eid as usize]
-                } else {
-                    slot_rev[eid as usize]
-                };
-                if slot != NO_SLOT {
-                    if arena.slot_words[slot as usize] == 0 {
-                        arena.touched.push(slot);
-                    }
-                    arena.slot_words[slot as usize] += w;
-                }
-                arena.cursor[v as usize] += 1;
-            }
-        }
+        self.arena.cursor[..n].fill(0);
+        let rounds = self.charge_stage(stage, false)?;
         let arena = &mut self.arena;
-        let max_slot = arena.touched.iter().map(|&s| arena.slot_words[s as usize]).max().unwrap_or(0);
-        let words: u64 = arena.touched.iter().map(|&s| arena.slot_words[s as usize]).sum();
-        let bw = self.cfg.bandwidth_words;
-        let rounds = arena
-            .touched
-            .iter()
-            .map(|&s| arena.slot_words[s as usize].div_ceil(bw))
-            .max()
-            .unwrap_or(0)
-            .max(1);
-        for s in arena.touched.drain(..) {
-            arena.slot_words[s as usize] = 0;
-        }
-        self.metrics.note_superstep(rounds, stage.len() as u64, words, max_slot);
 
         // Phase 3: counting-sort delivery into the flat mailbox. The stage
         // is source-ascending and the sort is stable, so every inbox window
@@ -443,7 +565,8 @@ impl Network {
             let mut node_base = 0usize;
             for r in &ranges {
                 let (s_chunk, s_rest) = state_rest.split_at_mut(r.end - r.start);
-                let (d_chunk, d_rest) = deliv_rest.split_at_mut(inbox_off[r.end] - inbox_off[r.start]);
+                let (d_chunk, d_rest) =
+                    deliv_rest.split_at_mut(inbox_off[r.end] - inbox_off[r.start]);
                 state_rest = s_rest;
                 deliv_rest = d_rest;
                 jobs.push((node_base, s_chunk, d_chunk));
@@ -466,14 +589,73 @@ impl Network {
                 recv(v as u32, s, Inbox { slots: window });
             }
         }
-        rounds
+        Ok(rounds)
+    }
+
+    /// Scoped phases 2–4: all bookkeeping is reset and laid out over the
+    /// active list only, so the cost is O(active + messages) instead of
+    /// O(n). Inbox windows appear in active order (source-ascending within
+    /// each window, as in the dense path).
+    fn deliver_staged_on<S, M>(
+        &mut self,
+        active: &[u32],
+        states: &mut [S],
+        stage: &mut Vec<(u32, u32, M)>,
+        deliv: &mut Vec<Option<(u32, M)>>,
+        recv: &(impl Fn(u32, &mut S, Inbox<'_, M>) + Sync),
+    ) -> Result<u64, CongestError>
+    where
+        M: WireMsg,
+    {
+        // Stamp the active set (O(1) clear via the epoch bump) and reset
+        // this set's per-destination counts. A whole-graph active set (a
+        // scoped protocol that happens to span everything, e.g. a top-level
+        // flow) skips the stamping: every recipient is trivially active and
+        // the dense vectorized reset beats n scattered writes.
+        let full = active.len() == self.g.n();
+        if full {
+            self.arena.cursor[..active.len()].fill(0);
+        } else {
+            self.arena.active_epoch += 1;
+            for &v in active {
+                self.arena.active_stamp[v as usize] = self.arena.active_epoch;
+                self.arena.cursor[v as usize] = 0;
+            }
+        }
+        let rounds = self.charge_stage(stage, !full)?;
+        let arena = &mut self.arena;
+
+        // Scatter positions per active node, in active order.
+        let mut off = 0usize;
+        for &v in active {
+            arena.inbox_off[v as usize] = off;
+            off += arena.cursor[v as usize];
+        }
+        deliv.clear();
+        deliv.resize_with(stage.len(), || None);
+        for (u, v, m) in stage.drain(..) {
+            let p = arena.inbox_off[v as usize];
+            arena.inbox_off[v as usize] += 1;
+            deliv[p] = Some((u, m));
+        }
+
+        // Deliver sequentially over the active windows (they are laid out
+        // contiguously in active order).
+        let mut rest = &mut deliv[..];
+        for (i, &v) in active.iter().enumerate() {
+            let (window, r) = rest.split_at_mut(arena.cursor[v as usize]);
+            rest = r;
+            recv(v, &mut states[i], Inbox { slots: window });
+        }
+        Ok(rounds)
     }
 
     /// Execute one superstep.
     ///
     /// * `send(v, &state)` returns the messages node `v` emits as
     ///   `(neighbor, payload)` pairs — sending to a non-neighbor is a model
-    ///   violation and panics.
+    ///   violation and returns [`CongestError::NonNeighborSend`] (nothing
+    ///   is charged or delivered in that case).
     /// * `recv(v, &mut state, inbox)` consumes the delivered messages as
     ///   `(source, payload)` pairs, ordered by source id.
     ///
@@ -484,16 +666,54 @@ impl Network {
         states: &mut [S],
         send: impl Fn(u32, &S) -> Vec<(u32, M)> + Sync,
         recv: impl Fn(u32, &mut S, Inbox<'_, M>) + Sync,
-    ) -> u64
+    ) -> Result<u64, CongestError>
     where
         S: Send + Sync,
         M: WireMsg,
     {
-        assert_eq!(states.len(), self.g.n(), "state vector must match node count");
+        assert_eq!(
+            states.len(),
+            self.g.n(),
+            "state vector must match node count"
+        );
         let mut stage = Vec::new();
         let mut deliv = Vec::new();
         self.stage_sends(states, &send, &mut stage);
         self.deliver_staged(states, &mut stage, &mut deliv, &recv)
+    }
+
+    /// Execute one superstep scoped to `active` (sorted, unique node ids).
+    ///
+    /// States are *positional*: `states[i]` is the state of `active[i]`, so
+    /// a protocol over k nodes allocates k states, not n. `send`/`recv` are
+    /// evaluated for active nodes only and every message must target an
+    /// active node. Charged exactly like [`superstep`](Network::superstep)
+    /// with `send` empty outside the active set.
+    pub fn superstep_on<S, M>(
+        &mut self,
+        active: &[u32],
+        states: &mut [S],
+        send: impl Fn(u32, &S) -> Vec<(u32, M)> + Sync,
+        recv: impl Fn(u32, &mut S, Inbox<'_, M>) + Sync,
+    ) -> Result<u64, CongestError>
+    where
+        S: Send + Sync,
+        M: WireMsg,
+    {
+        assert_eq!(
+            states.len(),
+            active.len(),
+            "positional states must match the active list"
+        );
+        debug_assert!(
+            active.windows(2).all(|w| w[0] < w[1]),
+            "active list must be sorted+unique"
+        );
+        debug_assert!(active.iter().all(|&v| (v as usize) < self.g.n()));
+        let mut stage = Vec::new();
+        let mut deliv = Vec::new();
+        self.stage_sends_on(active, states, &send, &mut stage);
+        self.deliver_staged_on(active, states, &mut stage, &mut deliv, &recv)
     }
 
     /// Run supersteps until `send` produces no messages anywhere (a
@@ -510,12 +730,16 @@ impl Network {
         send: impl Fn(u32, &S) -> Vec<(u32, M)> + Sync,
         recv: impl Fn(u32, &mut S, Inbox<'_, M>) + Sync,
         max_supersteps: u64,
-    ) -> u64
+    ) -> Result<u64, CongestError>
     where
         S: Send + Sync,
         M: WireMsg,
     {
-        assert_eq!(states.len(), self.g.n(), "state vector must match node count");
+        assert_eq!(
+            states.len(),
+            self.g.n(),
+            "state vector must match node count"
+        );
         let mut steps = 0;
         let mut stage = Vec::new();
         let mut deliv = Vec::new();
@@ -526,9 +750,50 @@ impl Network {
             );
             self.stage_sends(states, &send, &mut stage);
             if stage.is_empty() {
-                return steps;
+                return Ok(steps);
             }
-            self.deliver_staged(states, &mut stage, &mut deliv, &recv);
+            self.deliver_staged(states, &mut stage, &mut deliv, &recv)?;
+            steps += 1;
+        }
+    }
+
+    /// [`run_until_quiet`](Network::run_until_quiet) scoped to `active`
+    /// (sorted, unique) with positional states — the quiescence loop for
+    /// subproblem-local floods. Cost per superstep is O(active + messages).
+    pub fn run_until_quiet_on<S, M>(
+        &mut self,
+        active: &[u32],
+        states: &mut [S],
+        send: impl Fn(u32, &S) -> Vec<(u32, M)> + Sync,
+        recv: impl Fn(u32, &mut S, Inbox<'_, M>) + Sync,
+        max_supersteps: u64,
+    ) -> Result<u64, CongestError>
+    where
+        S: Send + Sync,
+        M: WireMsg,
+    {
+        assert_eq!(
+            states.len(),
+            active.len(),
+            "positional states must match the active list"
+        );
+        debug_assert!(
+            active.windows(2).all(|w| w[0] < w[1]),
+            "active list must be sorted+unique"
+        );
+        let mut steps = 0;
+        let mut stage = Vec::new();
+        let mut deliv = Vec::new();
+        loop {
+            assert!(
+                steps < max_supersteps,
+                "run_until_quiet_on exceeded {max_supersteps} supersteps"
+            );
+            self.stage_sends_on(active, states, &send, &mut stage);
+            if stage.is_empty() {
+                return Ok(steps);
+            }
+            self.deliver_staged_on(active, states, &mut stage, &mut deliv, &recv)?;
             steps += 1;
         }
     }
@@ -574,7 +839,8 @@ mod tests {
                 }
             },
             10_000,
-        );
+        )
+        .unwrap();
         states.into_iter().map(|s| s.dist).collect()
     }
 
@@ -596,21 +862,23 @@ mod tests {
         let g = path(2);
         let mut net = Network::new(g, NetworkConfig::default());
         let mut states = vec![0u64; 2];
-        let rounds = net.superstep(
-            &mut states,
-            |u, _s| {
-                if u == 0 {
-                    vec![(1u32, vec![7u32; 5])] // one 5-word message
-                } else {
-                    Vec::new()
-                }
-            },
-            |_v, s, inbox| {
-                if let Some((_, payload)) = inbox.first() {
-                    *s = payload.len() as u64;
-                }
-            },
-        );
+        let rounds = net
+            .superstep(
+                &mut states,
+                |u, _s| {
+                    if u == 0 {
+                        vec![(1u32, vec![7u32; 5])] // one 5-word message
+                    } else {
+                        Vec::new()
+                    }
+                },
+                |_v, s, inbox| {
+                    if let Some((_, payload)) = inbox.first() {
+                        *s = payload.len() as u64;
+                    }
+                },
+            )
+            .unwrap();
         assert_eq!(rounds, 5);
         assert_eq!(states[1], 5);
         assert_eq!(net.metrics().words, 5);
@@ -625,17 +893,19 @@ mod tests {
         };
         let mut net = Network::new(g, cfg);
         let mut states = vec![(); 2];
-        let rounds = net.superstep(
-            &mut states,
-            |u, _s| {
-                if u == 0 {
-                    vec![(1u32, vec![0u32; 8])]
-                } else {
-                    Vec::new()
-                }
-            },
-            |_v, _s, _inbox| {},
-        );
+        let rounds = net
+            .superstep(
+                &mut states,
+                |u, _s| {
+                    if u == 0 {
+                        vec![(1u32, vec![0u32; 8])]
+                    } else {
+                        Vec::new()
+                    }
+                },
+                |_v, _s, _inbox| {},
+            )
+            .unwrap();
         assert_eq!(rounds, 2); // ⌈8/4⌉
     }
 
@@ -645,25 +915,38 @@ mod tests {
         let mut net = Network::new(g, NetworkConfig::default());
         let mut states = vec![(); 2];
         // One word each way in the same superstep: full-duplex, 1 round.
-        let rounds = net.superstep(
-            &mut states,
-            |u, _s| vec![(1 - u, 1u32)],
-            |_v, _s, _inbox| {},
-        );
+        let rounds = net
+            .superstep(
+                &mut states,
+                |u, _s| vec![(1 - u, 1u32)],
+                |_v, _s, _inbox| {},
+            )
+            .unwrap();
         assert_eq!(rounds, 1);
     }
 
     #[test]
-    #[should_panic(expected = "non-neighbor")]
-    fn sending_to_non_neighbor_panics() {
+    fn sending_to_non_neighbor_errors() {
         let g = path(3); // 0-1-2: 0 and 2 not adjacent
         let mut net = Network::new(g, NetworkConfig::default());
         let mut states = vec![(); 3];
-        net.superstep(
-            &mut states,
-            |u, _s| if u == 0 { vec![(2u32, 1u32)] } else { Vec::new() },
-            |_v, _s, _inbox| {},
-        );
+        let err = net
+            .superstep(
+                &mut states,
+                |u, _s| {
+                    if u == 0 {
+                        vec![(2u32, 1u32)]
+                    } else {
+                        Vec::new()
+                    }
+                },
+                |_v, _s, _inbox| {},
+            )
+            .unwrap_err();
+        assert_eq!(err, CongestError::NonNeighborSend { from: 0, to: 2 });
+        // A failed superstep charges nothing.
+        assert_eq!(net.metrics().rounds, 0);
+        assert_eq!(net.metrics().supersteps, 0);
     }
 
     #[test]
@@ -679,7 +962,8 @@ mod tests {
                     *s = inbox.iter().map(|&(src, _)| src).collect();
                 }
             },
-        );
+        )
+        .unwrap();
         assert_eq!(states[3], vec![0, 1, 2]);
     }
 
@@ -708,19 +992,21 @@ mod tests {
         // (0,1) and (2,3) must not be charged.
         let phys = path(2);
         let virt = twgraph::UGraph::from_edges(4, [(0, 1), (2, 3), (0, 2)]);
-        let proj = crate::EdgeProjection::from_hosts(&virt, &phys, |v| v / 2);
+        let proj = crate::EdgeProjection::from_hosts(&virt, &phys, |v| v / 2).unwrap();
         let mut net = Network::with_projection(virt, proj, NetworkConfig::default());
         let mut states = vec![(); 4];
         // Heavy local chatter + one physical word: still 1 round.
-        let rounds = net.superstep(
-            &mut states,
-            |u, _s| match u {
-                0 => vec![(1u32, vec![9u32; 100]), (2u32, vec![1u32; 1])],
-                3 => vec![(2u32, vec![9u32; 50])],
-                _ => Vec::new(),
-            },
-            |_v, _s, _inbox| {},
-        );
+        let rounds = net
+            .superstep(
+                &mut states,
+                |u, _s| match u {
+                    0 => vec![(1u32, vec![9u32; 100]), (2u32, vec![1u32; 1])],
+                    3 => vec![(2u32, vec![9u32; 50])],
+                    _ => Vec::new(),
+                },
+                |_v, _s, _inbox| {},
+            )
+            .unwrap();
         assert_eq!(rounds, 1);
         assert_eq!(net.metrics().words, 1); // only the physical word counted
     }
@@ -732,17 +1018,33 @@ mod tests {
         let g = path(3);
         let mut net = Network::new(g, NetworkConfig::default());
         let mut states = vec![(); 3];
-        let r1 = net.superstep(
-            &mut states,
-            |u, _s| if u == 0 { vec![(1u32, vec![1u32; 4])] } else { Vec::new() },
-            |_v, _s, _inbox| {},
-        );
+        let r1 = net
+            .superstep(
+                &mut states,
+                |u, _s| {
+                    if u == 0 {
+                        vec![(1u32, vec![1u32; 4])]
+                    } else {
+                        Vec::new()
+                    }
+                },
+                |_v, _s, _inbox| {},
+            )
+            .unwrap();
         assert_eq!(r1, 4);
-        let r2 = net.superstep(
-            &mut states,
-            |u, _s| if u == 2 { vec![(1u32, 1u32)] } else { Vec::new() },
-            |_v, _s, _inbox| {},
-        );
+        let r2 = net
+            .superstep(
+                &mut states,
+                |u, _s| {
+                    if u == 2 {
+                        vec![(1u32, 1u32)]
+                    } else {
+                        Vec::new()
+                    }
+                },
+                |_v, _s, _inbox| {},
+            )
+            .unwrap();
         assert_eq!(r2, 1);
         assert_eq!(net.metrics().words, 5);
         assert_eq!(net.metrics().max_edge_words_in_superstep, 4);
@@ -760,11 +1062,13 @@ mod tests {
         };
         let mut net = Network::new(g, cfg);
         let mut states = vec![0u32; 64];
-        let rounds = net.superstep(
-            &mut states,
-            |_u, _s| Vec::<(u32, u32)>::new(),
-            |_v, s, inbox| *s = inbox.len() as u32,
-        );
+        let rounds = net
+            .superstep(
+                &mut states,
+                |_u, _s| Vec::<(u32, u32)>::new(),
+                |_v, s, inbox| *s = inbox.len() as u32,
+            )
+            .unwrap();
         assert_eq!(rounds, 1);
         assert_eq!(net.metrics().messages, 0);
         assert!(states.iter().all(|&c| c == 0));
@@ -824,37 +1128,216 @@ mod tests {
     }
 
     #[test]
-    fn accounting_recovers_from_caught_violation_panic() {
-        // A caught CONGEST-violation panic must not leave dirty slot loads
-        // behind (the arena is reused, unlike the seed's fresh buffers).
+    fn accounting_recovers_from_violation_error() {
+        // A rejected superstep must not leave dirty slot loads behind (the
+        // arena is reused, unlike the seed's fresh buffers).
         let g = path(3);
         let mut net = Network::new(g, NetworkConfig::default());
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut states = vec![(); 3];
-            net.superstep(
-                &mut states,
-                // Node 0 charges a legal 7-word message first, then node 1
-                // violates the model — the panic lands mid-accounting.
-                |u, _s| match u {
-                    0 => vec![(1u32, vec![1u32; 7])],
-                    1 => vec![(0u32, vec![2u32; 3]), (2, vec![2u32; 3])],
-                    _ => vec![(0u32, vec![3u32; 5])], // 2 → 0: non-neighbor
-                },
-                |_v, _s, _inbox| {},
-            )
-        }));
-        assert!(caught.is_err());
+        let mut states = vec![(); 3];
+        let err = net.superstep(
+            &mut states,
+            // Node 0 charges a legal 7-word message first, then node 2
+            // violates the model — the error lands mid-accounting.
+            |u, _s| match u {
+                0 => vec![(1u32, vec![1u32; 7])],
+                1 => vec![(0u32, vec![2u32; 3]), (2, vec![2u32; 3])],
+                _ => vec![(0u32, vec![3u32; 5])], // 2 → 0: non-neighbor
+            },
+            |_v, _s, _inbox| {},
+        );
+        assert!(err.is_err());
         // A clean one-word superstep afterwards must charge exactly 1 round
         // and 1 word on top of nothing.
         let mut states = vec![(); 3];
-        let rounds = net.superstep(
-            &mut states,
-            |u, _s| if u == 0 { vec![(1u32, 1u32)] } else { Vec::new() },
-            |_v, _s, _inbox| {},
-        );
+        let rounds = net
+            .superstep(
+                &mut states,
+                |u, _s| {
+                    if u == 0 {
+                        vec![(1u32, 1u32)]
+                    } else {
+                        Vec::new()
+                    }
+                },
+                |_v, _s, _inbox| {},
+            )
+            .unwrap();
         assert_eq!(rounds, 1);
         assert_eq!(net.metrics().words, 1);
         assert_eq!(net.metrics().max_edge_words_in_superstep, 1);
+    }
+
+    /// Scoped flood over a sub-path, positional states.
+    fn scoped_flood(net: &mut Network, active: &[u32], src: u32) -> Vec<Option<u32>> {
+        let g = net.graph().clone();
+        let pos_of = |v: u32| active.binary_search(&v).unwrap();
+        let mut states = vec![FloodState::default(); active.len()];
+        states[pos_of(src)] = FloodState {
+            dist: Some(0),
+            fresh: true,
+        };
+        let active_ref = active;
+        net.run_until_quiet_on(
+            active,
+            &mut states,
+            |u, s: &FloodState| {
+                if s.fresh {
+                    let d = s.dist.unwrap();
+                    g.neighbors(u)
+                        .iter()
+                        .copied()
+                        .filter(|v| active_ref.binary_search(v).is_ok())
+                        .map(|v| (v, d + 1))
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            },
+            |_v, s, inbox| {
+                s.fresh = false;
+                for (_src, d) in inbox {
+                    if s.dist.map_or(true, |cur| d < cur) {
+                        s.dist = Some(d);
+                        s.fresh = true;
+                    }
+                }
+            },
+            10_000,
+        )
+        .unwrap();
+        states.into_iter().map(|s| s.dist).collect()
+    }
+
+    #[test]
+    fn scoped_superstep_charges_like_dense() {
+        // The same restricted flood, dense (send empty outside the set)
+        // versus scoped: identical metrics, identical results.
+        let g = path(64);
+        let active: Vec<u32> = (8..24).collect();
+
+        let mut dense = Network::new(g.clone(), NetworkConfig::default());
+        let mut states = vec![FloodState::default(); 64];
+        states[8] = FloodState {
+            dist: Some(0),
+            fresh: true,
+        };
+        let ga = g.clone();
+        let active_ref = &active;
+        dense
+            .run_until_quiet(
+                &mut states,
+                |u, s: &FloodState| {
+                    if s.fresh && active_ref.binary_search(&u).is_ok() {
+                        let d = s.dist.unwrap();
+                        ga.neighbors(u)
+                            .iter()
+                            .copied()
+                            .filter(|v| active_ref.binary_search(v).is_ok())
+                            .map(|v| (v, d + 1))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    }
+                },
+                |_v, s, inbox| {
+                    s.fresh = false;
+                    for (_src, d) in inbox {
+                        if s.dist.map_or(true, |cur| d < cur) {
+                            s.dist = Some(d);
+                            s.fresh = true;
+                        }
+                    }
+                },
+                10_000,
+            )
+            .unwrap();
+
+        let mut scoped = Network::new(g, NetworkConfig::default());
+        let got = scoped_flood(&mut scoped, &active, 8);
+
+        assert_eq!(*dense.metrics(), *scoped.metrics());
+        for (i, &v) in active.iter().enumerate() {
+            assert_eq!(got[i], states[v as usize].dist, "node {v}");
+        }
+    }
+
+    #[test]
+    fn scoped_superstep_rejects_outside_recipient() {
+        let g = path(4);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let active = [1u32, 2];
+        let mut states = vec![(); 2];
+        let err = net
+            .superstep_on(
+                &active,
+                &mut states,
+                |u, _s| {
+                    if u == 1 {
+                        vec![(0u32, 1u32)]
+                    } else {
+                        Vec::new()
+                    }
+                },
+                |_v, _s, _inbox| {},
+            )
+            .unwrap_err();
+        assert_eq!(err, CongestError::InactiveRecipient { from: 1, to: 0 });
+        // Nothing charged; a later clean scoped superstep works.
+        assert_eq!(net.metrics().supersteps, 0);
+        let rounds = net
+            .superstep_on(
+                &active,
+                &mut states,
+                |u, _s| {
+                    if u == 1 {
+                        vec![(2u32, 1u32)]
+                    } else {
+                        Vec::new()
+                    }
+                },
+                |_v, _s, _inbox| {},
+            )
+            .unwrap();
+        assert_eq!(rounds, 1);
+        assert_eq!(net.metrics().words, 1);
+    }
+
+    #[test]
+    fn scoped_inbox_windows_line_up() {
+        // Star into node 5, scoped to {1, 3, 5}: node 5's window sees both
+        // messages sorted by source; the others see empty windows.
+        let g = twgraph::UGraph::from_edges(6, [(1, 5), (3, 5), (0, 5)]);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let active = [1u32, 3, 5];
+        let mut states: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        net.superstep_on(
+            &active,
+            &mut states,
+            |u, _s| if u != 5 { vec![(5u32, u)] } else { Vec::new() },
+            |v, s, inbox| {
+                if v == 5 {
+                    *s = inbox.iter().map(|&(src, _)| src).collect();
+                } else {
+                    assert!(inbox.is_empty());
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(states[2], vec![1, 3]);
+    }
+
+    #[test]
+    fn scoped_then_dense_then_scoped_bookkeeping_clean() {
+        // Interleave scoped and dense supersteps with different active
+        // sets: stale cursor entries must never leak into a later layout.
+        let g = path(8);
+        let mut net = Network::new(g.clone(), NetworkConfig::default());
+        let d1 = scoped_flood(&mut net, &[0, 1, 2], 0);
+        assert_eq!(d1, vec![Some(0), Some(1), Some(2)]);
+        let full = flood(&mut net, 0);
+        assert_eq!(full[7], Some(7));
+        let d2 = scoped_flood(&mut net, &[4, 5, 6, 7], 6);
+        assert_eq!(d2, vec![Some(2), Some(1), Some(0), Some(1)]);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Typed errors for model violations.
+//!
+//! The engine used to panic on a CONGEST violation; library callers now get
+//! a typed [`CongestError`] instead and decide themselves whether to abort,
+//! so panics stay confined to `#[cfg(test)]` code.
+
+use std::fmt;
+
+/// A violation of the CONGEST simulation model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CongestError {
+    /// A node emitted a message to a vertex it shares no edge with.
+    NonNeighborSend {
+        /// The sending node.
+        from: u32,
+        /// The (non-adjacent) target.
+        to: u32,
+    },
+    /// A scoped superstep delivered a message to a node outside the active
+    /// set (see [`crate::Network::superstep_on`]).
+    InactiveRecipient {
+        /// The sending node.
+        from: u32,
+        /// The target outside the active set.
+        to: u32,
+    },
+    /// A virtual edge maps onto a non-edge of the physical graph — an
+    /// unsimulatable virtual link (see [`crate::EdgeProjection::from_hosts`]).
+    UnsimulatableEdge {
+        /// Physical endpoint the virtual lo-endpoint maps to.
+        u: u32,
+        /// Physical endpoint the virtual hi-endpoint maps to.
+        v: u32,
+    },
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CongestError::NonNeighborSend { from, to } => {
+                write!(f, "CONGEST violation: {from} sent to non-neighbor {to}")
+            }
+            CongestError::InactiveRecipient { from, to } => {
+                write!(
+                    f,
+                    "scoped superstep: {from} sent to {to} outside the active set"
+                )
+            }
+            CongestError::UnsimulatableEdge { u, v } => {
+                write!(f, "virtual edge maps to non-edge ({u},{v})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CongestError {}

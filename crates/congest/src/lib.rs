@@ -51,7 +51,7 @@
 //!         }
 //!     },
 //!     10_000,
-//! );
+//! ).unwrap();
 //!
 //! assert_eq!(states[9].0, Some(9));
 //! assert_eq!(net.metrics().rounds, 10);
@@ -67,11 +67,13 @@
 //! O(|Q|·p_max) simulation overhead by measurement instead of by formula.
 
 mod engine;
+mod error;
 mod metrics;
 mod projection;
 mod wire;
 
-pub use engine::{Inbox, InboxIter, Network, NetworkConfig};
+pub use engine::{balanced_ranges, Inbox, InboxIter, Network, NetworkConfig};
+pub use error::CongestError;
 pub use metrics::{Metrics, MetricsDelta, PhaseSnapshot};
 pub use projection::{EdgeProjection, NO_SLOT};
 pub use wire::WireMsg;

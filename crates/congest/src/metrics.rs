@@ -113,6 +113,26 @@ impl Metrics {
         }
     }
 
+    /// Fold another execution's counters into `self` under the **parallel
+    /// composition** rule: two executions over vertex-disjoint subgraphs
+    /// run concurrently in CONGEST, so round-like counters (rounds,
+    /// supersteps, charged control rounds) take the maximum while traffic
+    /// counters (messages, words) sum; peak per-edge congestion is a max
+    /// because disjoint subgraphs never share an edge. The rule itself
+    /// lives in [`PhaseSnapshot::par_absorb`] (this method and
+    /// `scenarios::MetricsTotal` both delegate to it).
+    pub fn par_absorb(&mut self, other: &Metrics) {
+        let mut acc = self.as_phase("");
+        acc.par_absorb(&other.as_phase(""));
+        self.rounds = acc.rounds;
+        self.supersteps = acc.supersteps;
+        self.messages = acc.messages;
+        self.words = acc.words;
+        self.charged_rounds = acc.charged_rounds;
+        self.max_edge_words_in_superstep = acc.max_edge_words_in_superstep;
+        self.phase_congestion = self.phase_congestion.max(other.phase_congestion);
+    }
+
     /// Difference `self − earlier`, for measuring a phase.
     pub fn since(&self, earlier: &Metrics) -> MetricsDelta {
         MetricsDelta {
@@ -161,6 +181,23 @@ pub struct PhaseSnapshot {
     pub max_edge_words_in_superstep: u64,
 }
 
+impl PhaseSnapshot {
+    /// Fold another phase's counters into this one under the parallel
+    /// composition rule (see [`Metrics::par_absorb`]): max for round-like
+    /// counters, sum for traffic, max for congestion. The phase name of
+    /// `self` is kept.
+    pub fn par_absorb(&mut self, other: &PhaseSnapshot) {
+        self.rounds = self.rounds.max(other.rounds);
+        self.supersteps = self.supersteps.max(other.supersteps);
+        self.messages += other.messages;
+        self.words += other.words;
+        self.charged_rounds = self.charged_rounds.max(other.charged_rounds);
+        self.max_edge_words_in_superstep = self
+            .max_edge_words_in_superstep
+            .max(other.max_edge_words_in_superstep);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +243,24 @@ mod tests {
         assert_eq!(p2.supersteps, 1);
         assert_eq!(p2.max_edge_words_in_superstep, 2);
         assert_eq!(m.max_edge_words_in_superstep, 7);
+    }
+
+    #[test]
+    fn par_absorb_maxes_rounds_and_sums_traffic() {
+        let mut a = charged(10, 3, 100, 150, 4);
+        let b = charged(25, 5, 80, 90, 6);
+        a.par_absorb(&b);
+        assert_eq!(a.rounds, 25);
+        assert_eq!(a.messages, 180);
+        assert_eq!(a.words, 240);
+        assert_eq!(a.max_edge_words_in_superstep, 6);
+
+        let mut p = a.as_phase("left");
+        let q = b.as_phase("right");
+        p.par_absorb(&q);
+        assert_eq!(p.phase, "left");
+        assert_eq!(p.rounds, 25);
+        assert_eq!(p.messages, 260);
     }
 
     #[test]

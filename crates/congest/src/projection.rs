@@ -1,5 +1,6 @@
 //! Virtual-edge → physical-edge projection for simulated product graphs.
 
+use crate::error::CongestError;
 use twgraph::UGraph;
 
 /// Sentinel directed-slot index for free (node-local) virtual edges, used
@@ -28,36 +29,38 @@ impl EdgeProjection {
     /// Build a projection from the virtual graph onto the physical one using
     /// `host(virtual_vertex) -> physical_vertex`. Virtual edges whose
     /// endpoints share a host become free; all others must map onto a
-    /// physical edge (panics otherwise — that would be an unsimulatable
-    /// virtual link).
-    pub fn from_hosts(virtual_g: &UGraph, physical_g: &UGraph, host: impl Fn(u32) -> u32) -> Self {
+    /// physical edge ([`CongestError::UnsimulatableEdge`] otherwise — such a
+    /// virtual link has no physical channel to ride).
+    pub fn from_hosts(
+        virtual_g: &UGraph,
+        physical_g: &UGraph,
+        host: impl Fn(u32) -> u32,
+    ) -> Result<Self, CongestError> {
         // Index physical edges: sorted (lo, hi) list parallel to ids.
         let phys_edges: Vec<(u32, u32)> = physical_g.edges().collect();
-        let find = |a: u32, b: u32| -> u32 {
+        let find = |a: u32, b: u32| -> Result<u32, CongestError> {
             let key = if a < b { (a, b) } else { (b, a) };
             phys_edges
                 .binary_search(&key)
-                .unwrap_or_else(|_| panic!("virtual edge maps to non-edge ({},{})", key.0, key.1))
-                as u32
+                .map(|i| i as u32)
+                .map_err(|_| CongestError::UnsimulatableEdge { u: key.0, v: key.1 })
         };
-        let map = virtual_g
-            .edges()
-            .map(|(u, v)| {
-                let hu = host(u);
-                let hv = host(v);
-                if hu == hv {
-                    (Self::LOCAL, false)
-                } else {
-                    let pid = find(hu, hv);
-                    let (plo, _phi) = phys_edges[pid as usize];
-                    (pid, plo != hu) // flipped iff virtual-lo maps to physical-hi
-                }
-            })
-            .collect();
-        EdgeProjection {
+        let mut map = Vec::with_capacity(virtual_g.m());
+        for (u, v) in virtual_g.edges() {
+            let hu = host(u);
+            let hv = host(v);
+            if hu == hv {
+                map.push((Self::LOCAL, false));
+            } else {
+                let pid = find(hu, hv)?;
+                let (plo, _phi) = phys_edges[pid as usize];
+                map.push((pid, plo != hu)); // flipped iff virtual-lo maps to physical-hi
+            }
+        }
+        Ok(EdgeProjection {
             map,
             n_physical_edges: phys_edges.len(),
-        }
+        })
     }
 
     /// Identity projection (virtual == physical).
@@ -129,7 +132,7 @@ mod tests {
                 (0, 3),
             ],
         );
-        let p = EdgeProjection::from_hosts(&virt, &phys, |v| v / 2);
+        let p = EdgeProjection::from_hosts(&virt, &phys, |v| v / 2).unwrap();
         // Virtual edges sorted: (0,1)=local, (0,2), (0,3), (1,3), (2,3)=local.
         assert_eq!(p.slot(0, true), None);
         assert!(p.slot(1, true).is_some());
@@ -146,19 +149,25 @@ mod tests {
     fn slot_tables_match_pointwise_resolution() {
         let phys = UGraph::from_edges(2, [(0, 1)]);
         let virt = UGraph::from_edges(4, [(0, 1), (2, 3), (0, 2), (1, 3), (0, 3)]);
-        let p = EdgeProjection::from_hosts(&virt, &phys, |v| v / 2);
+        let p = EdgeProjection::from_hosts(&virt, &phys, |v| v / 2).unwrap();
         let (fwd, rev) = p.slot_tables();
         for e in 0..5u32 {
-            assert_eq!(p.slot(e, true).map_or(NO_SLOT, |s| s as u32), fwd[e as usize]);
-            assert_eq!(p.slot(e, false).map_or(NO_SLOT, |s| s as u32), rev[e as usize]);
+            assert_eq!(
+                p.slot(e, true).map_or(NO_SLOT, |s| s as u32),
+                fwd[e as usize]
+            );
+            assert_eq!(
+                p.slot(e, false).map_or(NO_SLOT, |s| s as u32),
+                rev[e as usize]
+            );
         }
     }
 
     #[test]
-    #[should_panic(expected = "non-edge")]
     fn rejects_unsimulatable_edges() {
         let phys = UGraph::from_edges(3, [(0, 1)]);
         let virt = UGraph::from_edges(3, [(0, 2)]);
-        let _ = EdgeProjection::from_hosts(&virt, &phys, |v| v);
+        let err = EdgeProjection::from_hosts(&virt, &phys, |v| v).unwrap_err();
+        assert_eq!(err, CongestError::UnsimulatableEdge { u: 0, v: 2 });
     }
 }

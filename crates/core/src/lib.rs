@@ -14,7 +14,7 @@
 //! let inst = twgraph::gen::with_random_weights(&g, 100, 7);
 //!
 //! // Decompose once; reuse for every distance problem.
-//! let session = Session::decompose(&g, 4, 7);
+//! let session = Session::decompose(&g, 4, 7).unwrap();
 //! assert!(session.width() < g.n());
 //!
 //! // Exact distance labels; decode any pair locally.
@@ -48,9 +48,9 @@ pub use subgraph_ops;
 pub use treedec;
 pub use twgraph;
 
-pub use congest_sim::{Metrics, Network, NetworkConfig};
+pub use congest_sim::{CongestError, Metrics, Network, NetworkConfig};
 pub use distlabel::label::{decode, decode_pair, Label};
-pub use treedec::SepConfig;
+pub use treedec::{DecompError, SepConfig};
 pub use twgraph::{Dist, MultiDigraph, UGraph, INF};
 
 /// Everything most callers need.
@@ -83,27 +83,31 @@ pub struct Session {
 impl Session {
     /// Decompose `g` centrally with practical constants (`t0` = initial
     /// treewidth guess, usually τ+1).
-    pub fn decompose(g: &UGraph, t0: u64, seed: u64) -> Self {
+    pub fn decompose(g: &UGraph, t0: u64, seed: u64) -> Result<Self, DecompError> {
         let cfg = SepConfig::practical(g.n());
         let mut rng = SmallRng::seed_from_u64(seed);
-        let out = treedec::decompose_centralized(g, t0, &cfg, &mut rng);
-        Session {
+        let out = treedec::decompose_centralized(g, t0, &cfg, &mut rng)?;
+        Ok(Session {
             graph: g.clone(),
             td: out.td,
             info: out.info,
             t_used: out.t_used,
-        }
+        })
     }
 
     /// Decompose on the CONGEST simulator (Theorem 1); returns the session
     /// and the charged rounds.
-    pub fn decompose_distributed(g: &UGraph, t0: u64, seed: u64) -> (Self, u64) {
+    pub fn decompose_distributed(
+        g: &UGraph,
+        t0: u64,
+        seed: u64,
+    ) -> Result<(Self, u64), DecompError> {
         let cfg = SepConfig::practical(g.n());
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut net = Network::new(g.clone(), NetworkConfig::default());
-        let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng);
+        let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng)?;
         let rounds = out.rounds + out.backbone_rounds;
-        (
+        Ok((
             Session {
                 graph: g.clone(),
                 td: out.td,
@@ -111,7 +115,7 @@ impl Session {
                 t_used: out.t_used,
             },
             rounds,
-        )
+        ))
     }
 
     /// Decomposition width (paper Theorem 1: O(τ² log n)).
@@ -132,7 +136,10 @@ impl Session {
     }
 
     /// Distance labels built on the simulator; returns `(labels, rounds)`.
-    pub fn labels_distributed(&self, inst: &MultiDigraph) -> (Vec<Label>, u64) {
+    pub fn labels_distributed(
+        &self,
+        inst: &MultiDigraph,
+    ) -> Result<(Vec<Label>, u64), CongestError> {
         let mut net = Network::new(self.graph.clone(), NetworkConfig::default());
         distlabel::build_labels_distributed(&mut net, inst, &self.td, &self.info)
     }
@@ -148,14 +155,14 @@ impl Session {
         &self,
         inst: &twgraph::gen::BipartiteInstance,
         mode: bmatch::MatchMode,
-    ) -> bmatch::MatchingOutcome {
+    ) -> Result<bmatch::MatchingOutcome, CongestError> {
         bmatch::max_matching(inst, &self.td, &self.info, mode)
     }
 
     /// Weighted undirected girth (Theorem 5).
-    pub fn girth_undirected(&self, inst: &MultiDigraph, seed: u64) -> Dist {
+    pub fn girth_undirected(&self, inst: &MultiDigraph, seed: u64) -> Result<Dist, CongestError> {
         let cfg = girth::GirthConfig::practical(self.graph.n(), seed);
-        girth::girth_undirected(inst, &self.td, &self.info, &cfg).girth
+        Ok(girth::girth_undirected(inst, &self.td, &self.info, &cfg)?.girth)
     }
 
     /// Weighted directed girth (§7 first reduction).
@@ -173,7 +180,7 @@ mod tests {
     fn session_end_to_end() {
         let g = twgraph::gen::partial_ktree(120, 3, 0.7, 3);
         let inst = twgraph::gen::with_random_weights(&g, 50, 3);
-        let session = Session::decompose(&g, 4, 3);
+        let session = Session::decompose(&g, 4, 3).unwrap();
         session.td.verify(&g).unwrap();
         let d = session.sssp(&inst, 0);
         assert_eq!(d, twgraph::alg::dijkstra(&inst, 0).dist);
@@ -182,7 +189,7 @@ mod tests {
     #[test]
     fn session_distributed_decomposition() {
         let g = twgraph::gen::banded_path(100, 2);
-        let (session, rounds) = Session::decompose_distributed(&g, 3, 5);
+        let (session, rounds) = Session::decompose_distributed(&g, 3, 5).unwrap();
         session.td.verify(&g).unwrap();
         assert!(rounds > 0);
     }
@@ -191,14 +198,16 @@ mod tests {
     fn session_girth_and_matching() {
         let g = twgraph::gen::cycle(16);
         let inst = twgraph::gen::with_random_weights(&g, 4, 1);
-        let session = Session::decompose(&g, 3, 1);
+        let session = Session::decompose(&g, 3, 1).unwrap();
         let want = baselines::girth_exact_centralized(&inst);
-        assert_eq!(session.girth_undirected(&inst, 9), want);
+        assert_eq!(session.girth_undirected(&inst, 9).unwrap(), want);
 
         let (bg, side) = twgraph::gen::bipartite_banded(15, 15, 2, 0.5, 2);
         let bi = twgraph::gen::BipartiteInstance::new(bg.clone(), side.clone());
-        let bs = Session::decompose(&bg, 3, 2);
-        let out = bs.max_matching(&bi, bmatch::MatchMode::Centralized);
+        let bs = Session::decompose(&bg, 3, 2).unwrap();
+        let out = bs
+            .max_matching(&bi, bmatch::MatchMode::Centralized)
+            .unwrap();
         let want = baselines::matching_size(&baselines::hopcroft_karp(&bg, &side));
         assert_eq!(out.size(), want);
     }

@@ -18,6 +18,10 @@ use treedec::decomp::NodeInfo;
 use twgraph::tw::TreeDecomposition;
 use twgraph::{dist_add, Dist, MultiDigraph, INF};
 
+/// A flat arc list `(src, dst, weight)` — the per-node broadcast payload
+/// (3 words per arc).
+pub type ArcList = Vec<(u32, u32, Dist)>;
+
 /// What a tree node's processing step would broadcast in the distributed
 /// execution (paper §4.2 steps 1 and 3): per source node, the arc list it
 /// contributes (each arc = 3 words on the wire).
@@ -26,7 +30,7 @@ pub struct NodeArtifact {
     /// `(source node, arcs (src, dst, cost))` — for a leaf, every member
     /// broadcasts its incident G_x arcs; for an internal node, every bag
     /// member broadcasts its incident H_x arcs.
-    pub broadcast: Vec<(u32, Vec<(u32, u32, Dist)>)>,
+    pub broadcast: Vec<(u32, ArcList)>,
 }
 
 /// Direct-arc cost table lookup: cheapest arc `a → b` in the instance.
@@ -68,7 +72,7 @@ fn process_leaf(inst: &MultiDigraph, ni: &NodeInfo, labels: &mut [Label]) -> Nod
     // Arcs of G_x: endpoints inside gx, not both inherited (G_x carries no
     // edges inside the inherited boundary — see treedec::decomp).
     let mut arcs: Vec<(u32, u32, Dist)> = Vec::new();
-    let mut per_node: Vec<(u32, Vec<(u32, u32, Dist)>)> = Vec::new();
+    let mut per_node: Vec<(u32, ArcList)> = Vec::new();
     for &v in &gx {
         let mut mine = Vec::new();
         for &ai in inst.out_arcs(v) {
@@ -144,7 +148,7 @@ fn process_internal(
         }
     }
     // The broadcast artifact: each bag node's finite incident H_x arcs.
-    let mut per_node: Vec<(u32, Vec<(u32, u32, Dist)>)> = Vec::new();
+    let mut per_node: Vec<(u32, ArcList)> = Vec::new();
     for (i, &a) in bag.iter().enumerate() {
         let mine: Vec<(u32, u32, Dist)> = bag
             .iter()
@@ -248,7 +252,7 @@ mod tests {
     fn labels_of(g: &UGraph, inst: &MultiDigraph, seed: u64) -> Vec<Label> {
         let cfg = SepConfig::practical(g.n());
         let mut rng = SmallRng::seed_from_u64(seed);
-        let dec = decompose_centralized(g, 3, &cfg, &mut rng);
+        let dec = decompose_centralized(g, 3, &cfg, &mut rng).unwrap();
         dec.td.verify(g).unwrap();
         build_labels_centralized(inst, &dec.td, &dec.info)
     }
@@ -346,7 +350,7 @@ mod tests {
         let inst = with_random_weights(&g, 5, 1);
         let cfg = SepConfig::practical(50);
         let mut rng = SmallRng::seed_from_u64(8);
-        let dec = decompose_centralized(&g, 3, &cfg, &mut rng);
+        let dec = decompose_centralized(&g, 3, &cfg, &mut rng).unwrap();
         let mut labels: Vec<Label> = (0..50u32).map(Label::new).collect();
         let mut total_arcs = 0usize;
         for x in order_bottom_up(&dec.td) {

@@ -8,14 +8,14 @@
 //! yields the τ⁵ term of Theorem 2). The numeric label updates are
 //! node-local computation on broadcast data (free under CONGEST).
 
-use crate::build::{order_bottom_up, process_node};
+use crate::build::{order_bottom_up, process_node, ArcList};
 use crate::label::Label;
-use congest_sim::Network;
+use congest_sim::{CongestError, Network};
 use subgraph_ops::global::build_global_tree;
 use subgraph_ops::{pa, Parts};
 use treedec::decomp::NodeInfo;
 use twgraph::tw::TreeDecomposition;
-use twgraph::{Dist, MultiDigraph};
+use twgraph::MultiDigraph;
 
 /// Build the labeling on the simulator; returns the labels plus the rounds
 /// charged for the construction (excluding the reused global backbone).
@@ -24,11 +24,11 @@ pub fn build_labels_distributed(
     inst: &MultiDigraph,
     td: &TreeDecomposition,
     info: &[NodeInfo],
-) -> (Vec<Label>, u64) {
+) -> Result<(Vec<Label>, u64), CongestError> {
     let n = inst.n();
     assert_eq!(net.n(), n);
     let start = net.metrics().rounds;
-    let gtree = build_global_tree(net);
+    let gtree = build_global_tree(net)?;
 
     let depths = td.depths();
     let mut labels: Vec<Label> = (0..n as u32).map(Label::new).collect();
@@ -51,7 +51,7 @@ pub fn build_labels_distributed(
         }
         // Run the numeric step for each tree node, collecting traffic.
         let mut member_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut items_per_node: Vec<Vec<(u32, Vec<(u32, u32, Dist)>)>> = Vec::new();
+        let mut items_per_node: Vec<Vec<(u32, ArcList)>> = Vec::new();
         for (slot, &x) in nodes.iter().enumerate() {
             let art = process_node(inst, td, info, x, &mut labels);
             for &v in &info[x].gx() {
@@ -64,7 +64,7 @@ pub fn build_labels_distributed(
         let parts = Parts::from_lists(nodes.len() as u32, member_lists);
         let roles = pa::steiner_roles(&gtree, &parts);
         // Flatten: per (graph node, part) the arcs it contributes.
-        let lookup: std::collections::HashMap<(u32, u32), &Vec<(u32, u32, Dist)>> = items_per_node
+        let lookup: std::collections::HashMap<(u32, u32), &ArcList> = items_per_node
             .iter()
             .enumerate()
             .flat_map(|(slot, contribs)| {
@@ -78,13 +78,13 @@ pub fn build_labels_distributed(
                 .get(&(v, p))
                 .map(|arcs| arcs.to_vec())
                 .unwrap_or_default()
-        });
+        })?;
         gtree.charge_control_pulse(net);
     }
 
     let rounds = net.metrics().rounds - start;
     net.snapshot("distlabel/build");
-    (labels, rounds)
+    Ok((labels, rounds))
 }
 
 #[cfg(test)]
@@ -105,12 +105,12 @@ mod tests {
         let inst = with_random_weights(&g, 10, 3);
         let cfg = SepConfig::practical(48);
         let mut rng = SmallRng::seed_from_u64(5);
-        let dec = decompose_centralized(&g, 3, &cfg, &mut rng);
+        let dec = decompose_centralized(&g, 3, &cfg, &mut rng).unwrap();
         let central = build_labels_centralized(&inst, &dec.td, &dec.info);
 
         let mut net = Network::new(g.clone(), NetworkConfig::default());
         let (dist_labels, rounds) =
-            build_labels_distributed(&mut net, &inst, &dec.td, &dec.info);
+            build_labels_distributed(&mut net, &inst, &dec.td, &dec.info).unwrap();
         assert_eq!(central, dist_labels);
         assert!(rounds > 0);
 
@@ -133,9 +133,10 @@ mod tests {
             let inst = with_random_weights(&g, 10, seed);
             let cfg = SepConfig::practical(n);
             let mut rng = SmallRng::seed_from_u64(seed);
-            let dec = decompose_centralized(&g, 3, &cfg, &mut rng);
+            let dec = decompose_centralized(&g, 3, &cfg, &mut rng).unwrap();
             let mut net = Network::new(g.clone(), NetworkConfig::default());
-            let (_, rounds) = build_labels_distributed(&mut net, &inst, &dec.td, &dec.info);
+            let (_, rounds) =
+                build_labels_distributed(&mut net, &inst, &dec.td, &dec.info).unwrap();
             measured.push(rounds);
         }
         assert!(
@@ -150,9 +151,9 @@ mod tests {
         let inst = random_orientation(&g, 12, 0.3, 9);
         let cfg = SepConfig::practical(40);
         let mut rng = SmallRng::seed_from_u64(6);
-        let dec = decompose_centralized(&g, 3, &cfg, &mut rng);
+        let dec = decompose_centralized(&g, 3, &cfg, &mut rng).unwrap();
         let mut net = Network::new(g.clone(), NetworkConfig::default());
-        let (labels, _) = build_labels_distributed(&mut net, &inst, &dec.td, &dec.info);
+        let (labels, _) = build_labels_distributed(&mut net, &inst, &dec.td, &dec.info).unwrap();
         let truth = apsp_dijkstra(&inst);
         for u in 0..g.n() {
             for v in 0..g.n() {

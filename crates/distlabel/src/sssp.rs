@@ -2,7 +2,7 @@
 //! the source broadcasts its Õ(τ²)-word label; every node decodes locally.
 
 use crate::label::{decode, Label};
-use congest_sim::Network;
+use congest_sim::{CongestError, Network};
 use subgraph_ops::global::build_global_tree;
 use subgraph_ops::{pa, Parts};
 use twgraph::Dist;
@@ -18,11 +18,15 @@ pub fn sssp_centralized(labels: &[Label], src: u32) -> Vec<Dist> {
 /// Distributed SSSP: ship `la(src)` to every node over the global BFS tree
 /// (one part-wise broadcast; O(D + |label|) rounds, measured), then decode
 /// locally. Returns the distances and the rounds charged.
-pub fn sssp_distributed(net: &mut Network, labels: &[Label], src: u32) -> (Vec<Dist>, u64) {
+pub fn sssp_distributed(
+    net: &mut Network,
+    labels: &[Label],
+    src: u32,
+) -> Result<(Vec<Dist>, u64), CongestError> {
     let n = net.n();
     assert_eq!(labels.len(), n);
     let start = net.metrics().rounds;
-    let gtree = build_global_tree(net);
+    let gtree = build_global_tree(net)?;
     let parts = Parts::from_labels(&vec![Some(0u32); n]);
     let roles = pa::steiner_roles(&gtree, &parts);
     let entries = labels[src as usize].entries.clone();
@@ -32,7 +36,7 @@ pub fn sssp_distributed(net: &mut Network, labels: &[Label], src: u32) -> (Vec<D
         } else {
             Vec::new()
         }
-    });
+    })?;
     // Local decode at each node from the received label copy.
     let dists = (0..n)
         .map(|v| {
@@ -45,7 +49,7 @@ pub fn sssp_distributed(net: &mut Network, labels: &[Label], src: u32) -> (Vec<D
         .collect();
     let rounds = net.metrics().rounds - start;
     net.snapshot("distlabel/query");
-    (dists, rounds)
+    Ok((dists, rounds))
 }
 
 #[cfg(test)]
@@ -65,14 +69,14 @@ mod tests {
         let inst = with_random_weights(&g, 12, 4);
         let cfg = SepConfig::practical(80);
         let mut rng = SmallRng::seed_from_u64(2);
-        let dec = decompose_centralized(&g, 4, &cfg, &mut rng);
+        let dec = decompose_centralized(&g, 4, &cfg, &mut rng).unwrap();
         let labels = build_labels_centralized(&inst, &dec.td, &dec.info);
 
         let truth = dijkstra(&inst, 17).dist;
         assert_eq!(sssp_centralized(&labels, 17), truth);
 
         let mut net = Network::new(g.clone(), NetworkConfig::default());
-        let (dists, rounds) = sssp_distributed(&mut net, &labels, 17);
+        let (dists, rounds) = sssp_distributed(&mut net, &labels, 17).unwrap();
         assert_eq!(dists, truth);
         assert!(rounds > 0);
         // Broadcast cost ≈ D + 3·|label| with Steiner overhead, well under

@@ -2,7 +2,7 @@
 //! paragraph): exchange labels across every edge, decode the back
 //! distance locally, aggregate the global min.
 
-use congest_sim::Network;
+use congest_sim::{CongestError, Network};
 use distlabel::label::{decode, Label};
 use subgraph_ops::global::build_global_tree;
 use subgraph_ops::{pa, Parts};
@@ -30,11 +30,11 @@ pub fn girth_directed_distributed(
     net: &mut Network,
     inst: &MultiDigraph,
     labels: &[Label],
-) -> (Dist, u64) {
+) -> Result<(Dist, u64), CongestError> {
     let n = inst.n();
     assert_eq!(net.n(), n);
     let start = net.metrics().rounds;
-    let g = net.graph().clone();
+    let g = net.graph_handle();
 
     // One SNC carrying whole labels: per neighbour the (target, to, from)
     // entries — 3 words each.
@@ -58,7 +58,7 @@ pub fn girth_directed_distributed(
                 s.push((v, la));
             }
         },
-    );
+    )?;
     // Local: best cycle through arcs leaving each node.
     let mut local_best = vec![INF; n];
     for a in inst.arcs() {
@@ -72,19 +72,18 @@ pub fn girth_directed_distributed(
             .find(|(owner, la)| *owner == a.src && la.owner == a.dst)
         {
             let back = decode(la_dst, &labels[a.src as usize]);
-            local_best[a.src as usize] =
-                local_best[a.src as usize].min(dist_add(a.weight, back));
+            local_best[a.src as usize] = local_best[a.src as usize].min(dist_add(a.weight, back));
         }
     }
     // Global min over the backbone.
-    let gtree = build_global_tree(net);
+    let gtree = build_global_tree(net)?;
     let parts = Parts::from_labels(&vec![Some(0u32); n]);
     let roles = pa::steiner_roles(&gtree, &parts);
-    let up = pa::aggregate(net, &roles, |v, _p| Some(local_best[v as usize]), Dist::min);
+    let up = pa::aggregate(net, &roles, |v, _p| Some(local_best[v as usize]), Dist::min)?;
     let girth = up.roots.first().map_or(INF, |&(_, d)| d);
     let rounds = net.metrics().rounds - start;
     net.snapshot("girth/directed");
-    (girth, rounds)
+    Ok((girth, rounds))
 }
 
 #[cfg(test)]
@@ -102,7 +101,7 @@ mod tests {
         let g = inst.comm_graph();
         let cfg = SepConfig::practical(g.n());
         let mut rng = SmallRng::seed_from_u64(seed);
-        let dec = decompose_centralized(&g, 3, &cfg, &mut rng);
+        let dec = decompose_centralized(&g, 3, &cfg, &mut rng).unwrap();
         build_labels_centralized(inst, &dec.td, &dec.info)
     }
 
@@ -125,7 +124,7 @@ mod tests {
         let labels = labels_for(&inst, 9);
         let want = girth_directed_centralized(&inst);
         let mut net = Network::new(g, NetworkConfig::default());
-        let (got, rounds) = girth_directed_distributed(&mut net, &inst, &labels);
+        let (got, rounds) = girth_directed_distributed(&mut net, &inst, &labels).unwrap();
         assert_eq!(got, want);
         assert!(rounds > 0);
     }
@@ -133,9 +132,7 @@ mod tests {
     #[test]
     fn acyclic_reports_inf() {
         // Orient a path strictly forward: no directed cycle.
-        let arcs: Vec<twgraph::Arc> = (0..19u32)
-            .map(|i| twgraph::Arc::new(i, i + 1, 1))
-            .collect();
+        let arcs: Vec<twgraph::Arc> = (0..19u32).map(|i| twgraph::Arc::new(i, i + 1, 1)).collect();
         let inst = MultiDigraph::from_arcs(20, arcs);
         let labels = labels_for(&inst, 11);
         assert_eq!(girth_directed_from_labels(&inst, &labels), INF);

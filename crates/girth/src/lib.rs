@@ -15,5 +15,5 @@
 pub mod directed;
 pub mod undirected;
 
-pub use directed::{girth_directed_from_labels, girth_directed_distributed};
+pub use directed::{girth_directed_distributed, girth_directed_from_labels};
 pub use undirected::{girth_undirected, GirthConfig, GirthRun};

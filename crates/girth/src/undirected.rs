@@ -1,7 +1,7 @@
 //! Undirected weighted girth via exact count-1 closed walks
 //! (paper §7 + Appendix F, Theorem 5).
 
-use congest_sim::NetworkConfig;
+use congest_sim::{CongestError, NetworkConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use stateful_walks::{CdlLabeling, CountWalk};
@@ -63,7 +63,7 @@ pub fn girth_undirected(
     td: &TreeDecomposition,
     info: &[NodeInfo],
     cfg: &GirthConfig,
-) -> GirthRun {
+) -> Result<GirthRun, CongestError> {
     assert!(
         inst.arcs().iter().all(|a| a.weight >= 1),
         "girth needs strictly positive weights"
@@ -103,7 +103,7 @@ pub fn girth_undirected(
                     td,
                     info,
                     NetworkConfig::default(),
-                );
+                )?;
                 rounds_per_trial = metrics.rounds;
                 cdl
             } else {
@@ -119,12 +119,12 @@ pub fn girth_undirected(
         c_hat *= 2;
     }
 
-    GirthRun {
+    Ok(GirthRun {
         girth: best,
         trials,
         rounds_per_trial,
         rounds_total: rounds_per_trial * trials as u64,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -140,7 +140,7 @@ mod tests {
         let g = inst.comm_graph();
         let sep_cfg = SepConfig::practical(g.n());
         let mut rng = SmallRng::seed_from_u64(seed);
-        let dec = decompose_centralized(&g, 3, &sep_cfg, &mut rng);
+        let dec = decompose_centralized(&g, 3, &sep_cfg, &mut rng).unwrap();
         (dec.td, dec.info)
     }
 
@@ -149,7 +149,7 @@ mod tests {
         let inst = with_random_weights(&cycle(9), 5, 3);
         let want = girth_exact_centralized(&inst);
         let (td, info) = decomposition_of(&inst, 1);
-        let run = girth_undirected(&inst, &td, &info, &GirthConfig::practical(9, 42));
+        let run = girth_undirected(&inst, &td, &info, &GirthConfig::practical(9, 42)).unwrap();
         assert_eq!(run.girth, want);
     }
 
@@ -160,8 +160,8 @@ mod tests {
             let inst = with_random_weights(&g, 6, seed);
             let want = girth_exact_centralized(&inst);
             let (td, info) = decomposition_of(&inst, seed + 7);
-            let run =
-                girth_undirected(&inst, &td, &info, &GirthConfig::practical(24, 99 + seed));
+            let run = girth_undirected(&inst, &td, &info, &GirthConfig::practical(24, 99 + seed))
+                .unwrap();
             assert_eq!(run.girth, want, "seed {seed}");
             assert!(run.trials > 0);
         }
@@ -172,7 +172,7 @@ mod tests {
         let g = twgraph::gen::random_tree(20, 4);
         let inst = with_random_weights(&g, 5, 2);
         let (td, info) = decomposition_of(&inst, 3);
-        let run = girth_undirected(&inst, &td, &info, &GirthConfig::practical(20, 5));
+        let run = girth_undirected(&inst, &td, &info, &GirthConfig::practical(20, 5)).unwrap();
         assert_eq!(run.girth, INF);
     }
 
@@ -193,7 +193,8 @@ mod tests {
                 seed: 0,
                 measure_distributed: false,
             },
-        );
+        )
+        .unwrap();
         assert!(run.girth >= want);
     }
 
@@ -210,7 +211,8 @@ mod tests {
                 seed: 11,
                 measure_distributed: true,
             },
-        );
+        )
+        .unwrap();
         assert!(run.rounds_per_trial > 0);
         assert_eq!(run.rounds_total, run.rounds_per_trial * run.trials as u64);
     }

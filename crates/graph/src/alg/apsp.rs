@@ -18,14 +18,25 @@ pub fn floyd_warshall(g: &MultiDigraph) -> Vec<Vec<Dist>> {
     }
     for k in 0..n {
         for i in 0..n {
+            if i == k {
+                continue; // relaxing through k never improves row k itself
+            }
             let dik = d[i][k];
             if dik >= INF {
                 continue;
             }
-            for j in 0..n {
-                let cand = dist_add(dik, d[k][j]);
-                if cand < d[i][j] {
-                    d[i][j] = cand;
+            // Split borrows: row k is read while row i is written.
+            let (rk, ri) = if i < k {
+                let (lo, hi) = d.split_at_mut(k);
+                (&hi[0], &mut lo[i])
+            } else {
+                let (lo, hi) = d.split_at_mut(i);
+                (&lo[k], &mut hi[0])
+            };
+            for (dij, &dkj) in ri.iter_mut().zip(rk.iter()) {
+                let cand = dist_add(dik, dkj);
+                if cand < *dij {
+                    *dij = cand;
                 }
             }
         }
@@ -84,8 +95,8 @@ mod tests {
     fn diagonal_is_zero() {
         let g = MultiDigraph::from_arcs(3, vec![Arc::new(0, 1, 1)]);
         let d = floyd_warshall(&g);
-        for v in 0..3 {
-            assert_eq!(d[v][v], 0);
+        for (v, row) in d.iter().enumerate() {
+            assert_eq!(row[v], 0);
         }
     }
 }

@@ -43,7 +43,9 @@ pub fn largest_component(comp: &[u32], n_comp: usize, mu: &[u64]) -> (usize, Vec
     for (v, &c) in comp.iter().enumerate() {
         totals[c as usize] += mu[v];
     }
-    let best = (0..n_comp).max_by_key(|&c| (totals[c], usize::MAX - c)).unwrap_or(0);
+    let best = (0..n_comp)
+        .max_by_key(|&c| (totals[c], usize::MAX - c))
+        .unwrap_or(0);
     (best, totals)
 }
 

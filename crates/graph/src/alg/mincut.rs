@@ -17,10 +17,8 @@ pub fn min_vertex_cut(
     t: usize,
 ) -> Option<Vec<u32>> {
     let n = g.n();
-    let in_members = |v: u32| -> bool {
-        members.map_or(true, |m| m.binary_search(&v).is_ok())
-    };
-    debug_assert!(members.is_none_or(|m| m.windows(2).all(|w| w[0] < w[1])));
+    let in_members = |v: u32| -> bool { members.map_or(true, |m| m.binary_search(&v).is_ok()) };
+    debug_assert!(members.map_or(true, |m| m.windows(2).all(|w| w[0] < w[1])));
     let mut is_x = vec![false; n];
     let mut is_y = vec![false; n];
     for &x in xs {
@@ -36,7 +34,8 @@ pub fn min_vertex_cut(
     // Split nodes: in = 2v, out = 2v+1. Internal cap 1 (∞ for X/Y), edge
     // arcs ∞. Net-flow bookkeeping on edges; boolean on internal arcs.
     let mut internal_flow = vec![false; n];
-    let mut edge_flow: std::collections::HashMap<(u32, u32), i32> = std::collections::HashMap::new();
+    let mut edge_flow: std::collections::HashMap<(u32, u32), i32> =
+        std::collections::HashMap::new();
     let nf = |ef: &std::collections::HashMap<(u32, u32), i32>, v: u32, w: u32| -> i32 {
         *ef.get(&(v, w)).unwrap_or(&0)
     };
@@ -87,8 +86,7 @@ pub fn min_vertex_cut(
                 }
             } else {
                 // v_in → v_out (internal forward) iff no flow or ∞ cap.
-                let free =
-                    is_x[v as usize] || is_y[v as usize] || !internal_flow[v as usize];
+                let free = is_x[v as usize] || is_y[v as usize] || !internal_flow[v as usize];
                 if free && par_out[v as usize] == -2 {
                     par_out[v as usize] = -3;
                     q.push_back(2 * v + 1);
@@ -177,7 +175,8 @@ mod tests {
         let (h, old_of) = g.induced(&keep);
         let (comp, _) = components(&h);
         let comp_of = |v: u32| comp[old_of.iter().position(|&o| o == v).unwrap()];
-        xs.iter().all(|&x| ys.iter().all(|&y| comp_of(x) != comp_of(y)))
+        xs.iter()
+            .all(|&x| ys.iter().all(|&y| comp_of(x) != comp_of(y)))
     }
 
     #[test]

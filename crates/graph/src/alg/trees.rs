@@ -30,7 +30,9 @@ impl RootedTree {
 
     /// The member vertices, in index order.
     pub fn members(&self) -> Vec<u32> {
-        (0..self.parent.len() as u32).filter(|&v| self.contains(v)).collect()
+        (0..self.parent.len() as u32)
+            .filter(|&v| self.contains(v))
+            .collect()
     }
 
     /// Children lists (only meaningful for member vertices).

@@ -57,7 +57,7 @@ pub fn banded_path(n: usize, k: usize) -> UGraph {
 /// attach each new vertex to a uniformly random existing k-clique.
 /// Treewidth is exactly k (for n ≥ k+2); diameter is typically Θ(log n).
 pub fn ktree(n: usize, k: usize, seed: u64) -> UGraph {
-    assert!(n >= k + 1, "ktree needs n ≥ k+1");
+    assert!(n > k, "ktree needs n ≥ k+1");
     let mut rng = derive_rng("ktree", &[n as u64, k as u64], seed);
     let mut b = UGraphBuilder::new(n);
     // Seed clique.
@@ -96,7 +96,7 @@ pub fn ktree(n: usize, k: usize, seed: u64) -> UGraph {
 /// is always kept, so the result is connected. Treewidth ≤ k.
 pub fn partial_ktree(n: usize, k: usize, keep_prob: f64, seed: u64) -> UGraph {
     assert!((0.0..=1.0).contains(&keep_prob));
-    assert!(n >= k + 1);
+    assert!(n > k);
     let mut rng = derive_rng(
         "partial_ktree",
         &[n as u64, k as u64, keep_prob.to_bits()],
@@ -179,7 +179,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> UGraph {
 /// `x̄_j`. Removing the `2·bits + 1` bit/hub vertices isolates everything, so
 /// treewidth ≤ 2·bits + 1, while the diameter is ≤ 4.
 pub fn bit_gadget(bits: usize) -> UGraph {
-    assert!(bits >= 1 && bits < 20);
+    assert!((1..20).contains(&bits));
     let m = 1usize << bits;
     let a0 = 0u32;
     let b0 = m as u32;
@@ -437,7 +437,7 @@ mod tests {
         let g = banded_path(20, 3);
         assert!(is_connected(&g));
         assert_eq!(elimination_width(&g, &min_degree_order(&g)), 3);
-        assert_eq!(diameter_exact(&g), (20 - 1 + 2) / 3); // ⌈19/3⌉ = 7
+        assert_eq!(diameter_exact(&g), 19u32.div_ceil(3)); // ⌈19/3⌉ = 7
     }
 
     #[test]
@@ -540,7 +540,10 @@ mod tests {
             let g = cactus(50, seed);
             assert!(is_connected(&g), "seed {seed}");
             // Cactus: n − 1 ≤ m ≤ ⌊3(n−1)/2⌋.
-            assert!(g.m() >= g.n() - 1 && g.m() <= 3 * (g.n() - 1) / 2, "seed {seed}");
+            assert!(
+                g.m() >= g.n() - 1 && g.m() <= 3 * (g.n() - 1) / 2,
+                "seed {seed}"
+            );
             let w = elimination_width(&g, &min_degree_order(&g));
             assert!(w <= 2, "seed {seed}: width {w} exceeds 2");
         }
@@ -553,7 +556,11 @@ mod tests {
             assert!(is_connected(&g), "seed {seed}");
             assert_eq!(g.n(), 40, "seed {seed}: exact vertex budget");
             for v in g.vertices() {
-                assert_ne!(g.degree(v), 2, "seed {seed}: Halin graphs have no degree-2 vertex");
+                assert_ne!(
+                    g.degree(v),
+                    2,
+                    "seed {seed}: Halin graphs have no degree-2 vertex"
+                );
                 assert_ne!(g.degree(v), 1, "seed {seed}: every leaf lies on the cycle");
             }
             // True treewidth of a Halin graph is ≤ 3; the min-degree
@@ -580,7 +587,10 @@ mod tests {
             let g = multi_component(n, 9);
             assert_eq!(g.n(), n);
             let (_, k) = components(&g);
-            assert_eq!(k, 5, "n = {n}: partial 2-tree + cactus + cycle + tree + isolate");
+            assert_eq!(
+                k, 5,
+                "n = {n}: partial 2-tree + cactus + cycle + tree + isolate"
+            );
         }
         let g = multi_component(48, 9);
         let (comp, k) = components(&g);

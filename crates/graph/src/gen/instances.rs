@@ -137,11 +137,7 @@ mod tests {
         }
         // Twin arcs (same uedge) share weights.
         for e in 0..inst.n_uedges() as u32 {
-            let twins: Vec<_> = inst
-                .arcs()
-                .iter()
-                .filter(|a| a.uedge.0 == e)
-                .collect();
+            let twins: Vec<_> = inst.arcs().iter().filter(|a| a.uedge.0 == e).collect();
             assert_eq!(twins.len(), 2);
             assert_eq!(twins[0].weight, twins[1].weight);
         }

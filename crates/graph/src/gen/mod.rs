@@ -97,7 +97,12 @@ mod tests {
 
     fn first_words(tag: &str, params: &[u64], seed: u64) -> [u64; 4] {
         let mut rng = derive_rng(tag, params, seed);
-        [rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()]
+        [
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+        ]
     }
 
     #[test]
@@ -115,9 +120,18 @@ mod tests {
 
     #[test]
     fn distinct_params_distinct_streams() {
-        assert_ne!(first_words("gnp", &[100, 7], 3), first_words("gnp", &[100, 8], 3));
-        assert_ne!(first_words("gnp", &[100], 3), first_words("gnp", &[100, 0], 3));
-        assert_ne!(first_words("gnp", &[100, 7], 3), first_words("ktree", &[100, 7], 3));
+        assert_ne!(
+            first_words("gnp", &[100, 7], 3),
+            first_words("gnp", &[100, 8], 3)
+        );
+        assert_ne!(
+            first_words("gnp", &[100], 3),
+            first_words("gnp", &[100, 0], 3)
+        );
+        assert_ne!(
+            first_words("gnp", &[100, 7], 3),
+            first_words("ktree", &[100, 7], 3)
+        );
     }
 
     #[test]

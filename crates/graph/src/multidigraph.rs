@@ -107,10 +107,7 @@ impl MultiDigraph {
 
     /// Interpret an undirected weighted edge list: every edge `{u, v}` becomes
     /// a twin pair of arcs sharing a fresh [`UEdgeId`] and the given label.
-    pub fn from_undirected(
-        n: usize,
-        edges: impl IntoIterator<Item = (u32, u32, Dist)>,
-    ) -> Self {
+    pub fn from_undirected(n: usize, edges: impl IntoIterator<Item = (u32, u32, Dist)>) -> Self {
         Self::from_undirected_labeled(n, edges.into_iter().map(|(u, v, w)| (u, v, w, 0)))
     }
 
@@ -326,11 +323,7 @@ mod tests {
         assert_eq!(g.n_arcs(), 4);
         assert_eq!(g.n_uedges(), 2);
         // Twin arcs share the uedge id and weight.
-        let a01: Vec<_> = g
-            .arcs()
-            .iter()
-            .filter(|a| a.uedge == UEdgeId(0))
-            .collect();
+        let a01: Vec<_> = g.arcs().iter().filter(|a| a.uedge == UEdgeId(0)).collect();
         assert_eq!(a01.len(), 2);
         assert_eq!(a01[0].weight, 7);
         assert_eq!(a01[0].uedge, a01[1].uedge);
@@ -346,7 +339,8 @@ mod tests {
 
     #[test]
     fn induced_keeps_metadata() {
-        let g = MultiDigraph::from_undirected_labeled(4, [(0, 1, 3, 9), (1, 2, 4, 8), (2, 3, 5, 7)]);
+        let g =
+            MultiDigraph::from_undirected_labeled(4, [(0, 1, 3, 9), (1, 2, 4, 8), (2, 3, 5, 7)]);
         let (h, old_of) = g.induced(&[true, true, true, false]);
         assert_eq!(h.n(), 3);
         assert_eq!(h.n_arcs(), 4);

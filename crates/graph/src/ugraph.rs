@@ -109,7 +109,8 @@ impl UGraph {
         });
         UGraph::from_edges(
             self.n(),
-            self.edges().map(|(u, v)| (perm[u as usize], perm[v as usize])),
+            self.edges()
+                .map(|(u, v)| (perm[u as usize], perm[v as usize])),
         )
     }
 
@@ -147,7 +148,7 @@ pub struct UGraphBuilder {
 impl UGraphBuilder {
     /// Builder for a graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        assert!(n <= u32::MAX as usize - 1, "vertex count exceeds u32 range");
+        assert!(n < u32::MAX as usize, "vertex count exceeds u32 range");
         UGraphBuilder {
             n,
             edges: Vec::new(),

@@ -1,0 +1,259 @@
+//! Membership-stamped subgraph views: O(1)-membership, zero-copy induced
+//! subgraphs for recursive algorithms.
+//!
+//! A recursion that repeatedly restricts a graph to vertex subsets (the
+//! balanced-separator recursion of the paper's §3.4 being the archetype)
+//! must not clone adjacency or allocate per-subproblem hash sets — at
+//! n = 10⁵ that is the difference between seconds and minutes. The tools
+//! here keep all per-vertex state in flat arrays owned by the caller:
+//!
+//! * [`StampSet`] — a generation-stamped vertex → tag map. Clearing is one
+//!   integer increment; membership tests and tag lookups are one array
+//!   read. The classic epoch-stamp idiom, sized once for the whole run.
+//! * [`SubgraphView`] — a borrowed `(graph, member list, stamp)` triple
+//!   representing the induced subgraph over the stamped vertices, with
+//!   filtered neighbour iteration and scratch-buffer component search.
+//!
+//! Both are index-space views: the vertex ids of the host graph remain
+//! valid, so results never need translation back.
+
+use crate::ugraph::UGraph;
+use std::collections::VecDeque;
+
+/// A reusable vertex-set-with-tags over a fixed vertex universe, cleared in
+/// O(1) by bumping a generation counter.
+#[derive(Clone, Debug)]
+pub struct StampSet {
+    epoch: Vec<u64>,
+    tag: Vec<u32>,
+    cur: u64,
+}
+
+impl StampSet {
+    /// An empty set over vertices `0..n`.
+    pub fn new(n: usize) -> Self {
+        StampSet {
+            epoch: vec![0; n],
+            tag: vec![0; n],
+            cur: 1,
+        }
+    }
+
+    /// Vertex universe size.
+    pub fn universe(&self) -> usize {
+        self.epoch.len()
+    }
+
+    /// Remove every vertex (O(1): the old generation becomes unreadable).
+    pub fn clear(&mut self) {
+        self.cur += 1;
+    }
+
+    /// Insert `v` with an associated `tag` (overwrites a previous tag).
+    #[inline]
+    pub fn insert(&mut self, v: u32, tag: u32) {
+        self.epoch[v as usize] = self.cur;
+        self.tag[v as usize] = tag;
+    }
+
+    /// Remove `v` (cheap point removal, unlike [`clear`](Self::clear)).
+    #[inline]
+    pub fn remove(&mut self, v: u32) {
+        self.epoch[v as usize] = 0;
+    }
+
+    /// Whether `v` is in the set.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        self.epoch[v as usize] == self.cur
+    }
+
+    /// The tag of `v`, if present.
+    #[inline]
+    pub fn tag(&self, v: u32) -> Option<u32> {
+        if self.contains(v) {
+            Some(self.tag[v as usize])
+        } else {
+            None
+        }
+    }
+}
+
+/// A zero-copy view of the subgraph of `graph` induced by `members` (all
+/// stamped into `set` with the same tag by the caller). The member list is
+/// expected sorted; vertices keep their host-graph ids.
+#[derive(Clone, Copy)]
+pub struct SubgraphView<'a> {
+    /// The host graph.
+    pub graph: &'a UGraph,
+    /// Sorted member vertices (host ids).
+    pub members: &'a [u32],
+    set: &'a StampSet,
+}
+
+impl<'a> SubgraphView<'a> {
+    /// Assemble a view. The caller guarantees `set.contains(v)` exactly for
+    /// the vertices of `members` (typically one [`StampSet`] holds every
+    /// sibling subproblem of a recursion level, distinguished by tag).
+    pub fn new(graph: &'a UGraph, members: &'a [u32], set: &'a StampSet) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(members.iter().all(|&v| set.contains(v)));
+        SubgraphView {
+            graph,
+            members,
+            set,
+        }
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// O(1) membership test.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        self.set.contains(v)
+    }
+
+    /// Neighbours of `v` inside the view (filtered host adjacency).
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        self.graph
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| self.set.contains(w))
+    }
+
+    /// Connected components of the view, each sorted, appended to `out`.
+    /// `visited` and `queue` are caller-owned scratch (cleared here), so a
+    /// recursion reuses them across every level instead of allocating
+    /// O(n) per subproblem.
+    pub fn components_into(
+        &self,
+        visited: &mut StampSet,
+        queue: &mut VecDeque<u32>,
+        out: &mut Vec<Vec<u32>>,
+    ) {
+        visited.clear();
+        queue.clear();
+        for &s in self.members {
+            if visited.contains(s) {
+                continue;
+            }
+            let mut comp = vec![s];
+            visited.insert(s, 0);
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                for w in self.neighbors(u) {
+                    if !visited.contains(w) {
+                        visited.insert(w, 0);
+                        comp.push(w);
+                        queue.push_back(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            out.push(comp);
+        }
+    }
+
+    /// Connected components (allocating convenience wrapper).
+    pub fn components(&self) -> Vec<Vec<u32>> {
+        let mut visited = StampSet::new(self.graph.n());
+        let mut queue = VecDeque::new();
+        let mut out = Vec::new();
+        self.components_into(&mut visited, &mut queue, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stamp_set_basics() {
+        let mut s = StampSet::new(8);
+        assert!(!s.contains(3));
+        s.insert(3, 7);
+        s.insert(5, 9);
+        assert_eq!(s.tag(3), Some(7));
+        assert_eq!(s.tag(5), Some(9));
+        assert_eq!(s.tag(4), None);
+        s.remove(3);
+        assert!(!s.contains(3));
+        s.clear();
+        assert!(!s.contains(5));
+        s.insert(5, 1);
+        assert_eq!(s.tag(5), Some(1));
+    }
+
+    #[test]
+    fn view_filters_neighbors() {
+        let g = gen::cycle(6);
+        let members = [0u32, 1, 2, 3];
+        let mut set = StampSet::new(6);
+        for &v in &members {
+            set.insert(v, 0);
+        }
+        let view = SubgraphView::new(&g, &members, &set);
+        assert!(view.contains(2));
+        assert!(!view.contains(4));
+        let n1: Vec<u32> = view.neighbors(0).collect();
+        assert_eq!(n1, vec![1]); // 5 is outside the view
+        let n2: Vec<u32> = view.neighbors(2).collect();
+        assert_eq!(n2, vec![1, 3]);
+    }
+
+    #[test]
+    fn view_components_match_induced() {
+        // Cycle of 8 minus {0, 4} → two paths.
+        let g = gen::cycle(8);
+        let members: Vec<u32> = (0..8).filter(|&v| v != 0 && v != 4).collect();
+        let mut set = StampSet::new(8);
+        for &v in &members {
+            set.insert(v, 0);
+        }
+        let view = SubgraphView::new(&g, &members, &set);
+        let comps = view.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![1, 2, 3]);
+        assert_eq!(comps[1], vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_levels() {
+        let g = gen::grid(4, 4);
+        let mut visited = StampSet::new(16);
+        let mut queue = VecDeque::new();
+        let mut set = StampSet::new(16);
+
+        // Level 1: the whole grid is one component.
+        let all: Vec<u32> = (0..16).collect();
+        for &v in &all {
+            set.insert(v, 0);
+        }
+        let mut out = Vec::new();
+        SubgraphView::new(&g, &all, &set).components_into(&mut visited, &mut queue, &mut out);
+        assert_eq!(out.len(), 1);
+
+        // Level 2 (same scratch): drop the second row → two components.
+        set.clear();
+        let members: Vec<u32> = (0..16).filter(|&v| !(4..8).contains(&v)).collect();
+        for &v in &members {
+            set.insert(v, 1);
+        }
+        let mut out2 = Vec::new();
+        SubgraphView::new(&g, &members, &set).components_into(&mut visited, &mut queue, &mut out2);
+        assert_eq!(out2.len(), 2);
+        assert_eq!(out2[0], vec![0, 1, 2, 3]);
+        assert_eq!(out2[1], (8..16).collect::<Vec<u32>>());
+    }
+}

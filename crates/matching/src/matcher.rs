@@ -1,7 +1,7 @@
 //! The separator-hierarchy matcher.
 
 use baselines::{hopcroft_karp, matching_size};
-use congest_sim::{NetworkConfig, PhaseSnapshot};
+use congest_sim::{CongestError, NetworkConfig, PhaseSnapshot};
 use stateful_walks::{CdlLabeling, ColoredWalk, ConstrainedSssp};
 use treedec::decomp::NodeInfo;
 use twgraph::gen::BipartiteInstance;
@@ -86,7 +86,7 @@ pub fn max_matching(
     td: &TreeDecomposition,
     info: &[NodeInfo],
     mode: MatchMode,
-) -> MatchingOutcome {
+) -> Result<MatchingOutcome, CongestError> {
     let g = &inst.graph;
     let n = g.n();
     let edges: Vec<(u32, u32)> = g.edges().collect();
@@ -156,7 +156,7 @@ pub fn max_matching(
                     td,
                     info,
                     NetworkConfig::default(),
-                );
+                )?;
                 rounds += metrics.rounds;
                 phases.push(metrics.as_phase(&format!("matching/augment-{attempts}")));
             }
@@ -210,13 +210,13 @@ pub fn max_matching(
         }
     }
 
-    MatchingOutcome {
+    Ok(MatchingOutcome {
         mate,
         augmentations,
         attempts,
         rounds,
         phases,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -228,13 +228,20 @@ mod tests {
     use treedec::{decompose_centralized, SepConfig};
     use twgraph::gen::bipartite_banded;
 
-    fn run(nl: usize, nr: usize, band: usize, p: f64, seed: u64, mode: MatchMode) -> (BipartiteInstance, MatchingOutcome) {
+    fn run(
+        nl: usize,
+        nr: usize,
+        band: usize,
+        p: f64,
+        seed: u64,
+        mode: MatchMode,
+    ) -> (BipartiteInstance, MatchingOutcome) {
         let (g, side) = bipartite_banded(nl, nr, band, p, seed);
         let inst = BipartiteInstance::new(g, side);
         let cfg = SepConfig::practical(inst.graph.n());
         let mut rng = SmallRng::seed_from_u64(seed + 1000);
-        let dec = decompose_centralized(&inst.graph, 3, &cfg, &mut rng);
-        let out = max_matching(&inst, &dec.td, &dec.info, mode);
+        let dec = decompose_centralized(&inst.graph, 3, &cfg, &mut rng).unwrap();
+        let out = max_matching(&inst, &dec.td, &dec.info, mode).unwrap();
         (inst, out)
     }
 

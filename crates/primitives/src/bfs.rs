@@ -10,7 +10,7 @@
 use crate::parts::Parts;
 use crate::roles::TreeRoles;
 use crate::snc;
-use congest_sim::Network;
+use congest_sim::{CongestError, Network};
 
 #[derive(Clone)]
 struct PBfsState {
@@ -25,20 +25,35 @@ struct PBfsState {
 /// Build one BFS tree per part, rooted at the given `(part, root)` pairs.
 /// Every part must be connected within the communication graph restricted
 /// to its members; the root must be a member.
-pub fn part_bfs_trees(net: &mut Network, parts: &Parts, roots: &[(u32, u32)]) -> TreeRoles {
+///
+/// The membership-exchange preamble and the child-notification round are
+/// full-network SNCs (every node advertises, members notify); the flood in
+/// between runs scoped to the member nodes, so its per-superstep cost is
+/// O(members) instead of O(n) at identical charged metrics.
+pub fn part_bfs_trees(
+    net: &mut Network,
+    parts: &Parts,
+    roots: &[(u32, u32)],
+) -> Result<TreeRoles, CongestError> {
     let n = net.n();
     assert_eq!(parts.members.len(), n);
-    let memberships = parts.members.clone();
+    let memberships = &parts.members;
+
+    // The nodes that belong to any part, sorted — the flood's active set.
+    let active: Vec<u32> = (0..n as u32)
+        .filter(|&v| !memberships[v as usize].is_empty())
+        .collect();
 
     // Preamble SNC: learn which neighbours share which parts.
-    let shared = snc::share_with_neighbors(net, |v| memberships[v as usize].clone());
-    let mut states: Vec<PBfsState> = (0..n)
-        .map(|v| {
-            let mine = &memberships[v];
+    let shared = snc::share_with_neighbors(net, |v| memberships[v as usize].clone())?;
+    let mut states: Vec<PBfsState> = active
+        .iter()
+        .map(|&v| {
+            let mine = &memberships[v as usize];
             let nbrs: Vec<Vec<u32>> = mine
                 .iter()
                 .map(|&p| {
-                    shared[v]
+                    shared[v as usize]
                         .iter()
                         .filter(|(_, their)| their.binary_search(&p).is_ok())
                         .map(|&(w, _)| w)
@@ -53,21 +68,27 @@ pub fn part_bfs_trees(net: &mut Network, parts: &Parts, roots: &[(u32, u32)]) ->
             }
         })
         .collect();
+    let pos_of = |v: u32| -> usize {
+        active
+            .binary_search(&v)
+            .unwrap_or_else(|_| panic!("node {v} belongs to no part"))
+    };
     for &(p, r) in roots {
         let idx = memberships[r as usize]
             .binary_search(&p)
             .unwrap_or_else(|_| panic!("root {r} is not a member of part {p}"));
-        states[r as usize].dist[idx] = 0;
-        states[r as usize].parent[idx] = r;
-        states[r as usize].fresh[idx] = true;
+        let rp = pos_of(r);
+        states[rp].dist[idx] = 0;
+        states[rp].parent[idx] = r;
+        states[rp].fresh[idx] = true;
     }
 
-    let memberships_ref = &memberships;
-    net.run_until_quiet(
+    net.run_until_quiet_on(
+        &active,
         &mut states,
         |u, s: &PBfsState| {
             let mut out = Vec::new();
-            for (i, &p) in memberships_ref[u as usize].iter().enumerate() {
+            for (i, &p) in memberships[u as usize].iter().enumerate() {
                 if s.fresh[i] {
                     for &w in &s.nbrs[i] {
                         out.push((w, (p, s.dist[i])));
@@ -81,7 +102,7 @@ pub fn part_bfs_trees(net: &mut Network, parts: &Parts, roots: &[(u32, u32)]) ->
                 *f = false;
             }
             for (src, (p, d)) in inbox {
-                if let Ok(i) = memberships_ref[v as usize].binary_search(&p) {
+                if let Ok(i) = memberships[v as usize].binary_search(&p) {
                     if d + 1 < s.dist[i] {
                         s.dist[i] = d + 1;
                         s.parent[i] = src;
@@ -91,25 +112,30 @@ pub fn part_bfs_trees(net: &mut Network, parts: &Parts, roots: &[(u32, u32)]) ->
             }
         },
         8 * n as u64 + 64,
-    );
+    )?;
 
     // Notification SNC: tell parents about children (the cost of producing
-    // the RST output format of Lemma 8).
-    let mut children: Vec<Vec<(u32, Vec<u32>)>> = (0..n)
-        .map(|v| {
-            memberships[v]
+    // the RST output format of Lemma 8). Parents are members, so this round
+    // is scoped too.
+    let mut children: Vec<Vec<(u32, Vec<u32>)>> = active
+        .iter()
+        .map(|&v| {
+            memberships[v as usize]
                 .iter()
                 .map(|&p| (p, Vec::new()))
                 .collect()
         })
         .collect();
     let states_ref = &states;
-    net.superstep(
+    let pos_ref = &pos_of;
+    net.superstep_on(
+        &active,
         &mut children,
         |u, _c| {
             let mut out = Vec::new();
-            for (i, &p) in memberships_ref[u as usize].iter().enumerate() {
-                let par = states_ref[u as usize].parent[i];
+            let su = &states_ref[pos_ref(u)];
+            for (i, &p) in memberships[u as usize].iter().enumerate() {
+                let par = su.parent[i];
                 if par != u32::MAX && par != u {
                     out.push((par, p));
                 }
@@ -118,29 +144,29 @@ pub fn part_bfs_trees(net: &mut Network, parts: &Parts, roots: &[(u32, u32)]) ->
         },
         |v, c, inbox| {
             for (src, p) in inbox {
-                let i = memberships_ref[v as usize].binary_search(&p).unwrap();
+                let i = memberships[v as usize].binary_search(&p).unwrap();
                 c[i].1.push(src);
             }
         },
-    );
+    )?;
 
     // Assemble the roles (each node's local knowledge, gathered by the
     // orchestrator as output).
     let mut maps: std::collections::HashMap<u32, Vec<(u32, u32, bool)>> =
         std::collections::HashMap::new();
-    for v in 0..n {
-        for (i, &p) in memberships[v].iter().enumerate() {
-            let par = states[v].parent[i];
+    for (pos, &v) in active.iter().enumerate() {
+        for (i, &p) in memberships[v as usize].iter().enumerate() {
+            let par = states[pos].parent[i];
             assert!(
                 par != u32::MAX,
                 "part {p} is disconnected: node {v} unreached"
             );
-            maps.entry(p).or_default().push((v as u32, par, false));
+            maps.entry(p).or_default().push((v, par, false));
         }
     }
     let mut maps: Vec<_> = maps.into_iter().collect();
     maps.sort_by_key(|&(p, _)| p);
-    TreeRoles::from_parent_maps(n, maps)
+    Ok(TreeRoles::from_parent_maps(n, maps))
 }
 
 #[cfg(test)]
@@ -157,7 +183,7 @@ mod tests {
         let labels: Vec<Option<u32>> = (0..15).map(|v| Some(v / 5)).collect();
         let parts = Parts::from_labels(&labels);
         let roots = [(0u32, 0u32), (1, 5), (2, 10)];
-        let tr = part_bfs_trees(&mut net, &parts, &roots);
+        let tr = part_bfs_trees(&mut net, &parts, &roots).unwrap();
         tr.validate().unwrap();
         assert_eq!(tr.roots(), vec![(0, 0), (1, 5), (2, 10)]);
         // Tree edges are graph edges within the part.
@@ -177,7 +203,7 @@ mod tests {
         let mut net = Network::new(g.clone(), NetworkConfig::default());
         // One part = whole graph.
         let parts = Parts::from_labels(&vec![Some(0); 30]);
-        let tr = part_bfs_trees(&mut net, &parts, &[(0, 0)]);
+        let tr = part_bfs_trees(&mut net, &parts, &[(0, 0)]).unwrap();
         // Parent distance decreases by one hop along the tree.
         let d = twgraph::alg::bfs_dist(&g, 0);
         for v in 1..30u32 {
@@ -191,11 +217,8 @@ mod tests {
         // Path 0-1-2-3-4; parts {0,1,2} and {2,3,4} share node 2.
         let g = twgraph::gen::path(5);
         let mut net = Network::new(g, NetworkConfig::default());
-        let parts = Parts::from_lists(
-            2,
-            vec![vec![0], vec![0], vec![0, 1], vec![1], vec![1]],
-        );
-        let tr = part_bfs_trees(&mut net, &parts, &[(0, 2), (1, 2)]);
+        let parts = Parts::from_lists(2, vec![vec![0], vec![0], vec![0, 1], vec![1], vec![1]]);
+        let tr = part_bfs_trees(&mut net, &parts, &[(0, 2), (1, 2)]).unwrap();
         tr.validate().unwrap();
         assert_eq!(tr.roots(), vec![(0, 2), (1, 2)]);
         assert_eq!(tr.role_of(0, 0).unwrap().parent, 1);
@@ -209,6 +232,6 @@ mod tests {
         let mut net = Network::new(g, NetworkConfig::default());
         // Part 0 = {0, 4}: not connected through members only.
         let parts = Parts::from_lists(1, vec![vec![0], vec![], vec![], vec![], vec![0]]);
-        let _ = part_bfs_trees(&mut net, &parts, &[(0, 0)]);
+        let _ = part_bfs_trees(&mut net, &parts, &[(0, 0)]).unwrap();
     }
 }

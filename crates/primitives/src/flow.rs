@@ -6,9 +6,15 @@
 //! and the total round count is the schedule length — dilation plus
 //! (smoothed) congestion, the envelope of the paper's scheduling theorem
 //! (Theorem 6). Items are FIFO, so no reordering starvation.
+//!
+//! Flows run **scoped** to the role-holding nodes
+//! ([`TreeRoles::nodes`]): states are allocated per participating node and
+//! every superstep costs O(participants + messages) instead of O(n) — the
+//! charged metrics are identical to a full-network execution because nodes
+//! without roles never send anything.
 
 use crate::roles::TreeRoles;
-use congest_sim::{Network, WireMsg};
+use congest_sim::{CongestError, Network, WireMsg};
 use std::collections::VecDeque;
 
 /// Wire format of a flow item: part id + optional payload (None = a relay
@@ -44,6 +50,9 @@ struct UpState<V> {
     queue: VecDeque<(u32, FlowMsg<V>)>,
     finalized: Vec<(u32, V)>,
     root_results: Vec<(u32, V)>,
+    /// Items this node forwards in the ongoing superstep (set by the
+    /// orchestrator loop so the send closure needs no id → position map).
+    pending: usize,
 }
 
 /// Convergecast: combine per-(node, part) initial values toward each part
@@ -54,16 +63,18 @@ pub fn upflow<V>(
     roles: &TreeRoles,
     init: impl Fn(u32, u32) -> Option<V> + Sync,
     combine: impl Fn(V, V) -> V + Sync + Send,
-) -> UpflowResult<V>
+) -> Result<UpflowResult<V>, CongestError>
 where
     V: WireMsg + Sync + std::fmt::Debug,
 {
     let n = net.n();
     assert_eq!(roles.roles.len(), n);
     let rate = net.config().bandwidth_words.max(1) as usize;
+    let active = &roles.nodes;
 
-    let mut states: Vec<UpState<V>> = (0..n as u32)
-        .map(|v| {
+    let mut states: Vec<UpState<V>> = active
+        .iter()
+        .map(|&v| {
             let rs = &roles.roles[v as usize];
             UpState {
                 acc: rs
@@ -74,36 +85,33 @@ where
                 queue: VecDeque::new(),
                 finalized: Vec::new(),
                 root_results: Vec::new(),
+                pending: 0,
             }
         })
         .collect();
 
     // Seed: leaves finalize immediately.
-    for v in 0..n {
-        finalize_ready(v as u32, &mut states[v], roles);
+    for (i, &v) in active.iter().enumerate() {
+        finalize_ready(v, &mut states[i], roles);
     }
 
     let max_steps = flow_step_guard(roles, n);
     let mut steps = 0u64;
     loop {
-        let pending: Vec<usize> = states
-            .iter()
-            .map(|s| s.queue.len().min(rate))
-            .collect();
-        if pending.iter().all(|&p| p == 0) {
+        let mut any = false;
+        for s in states.iter_mut() {
+            s.pending = s.queue.len().min(rate);
+            any |= s.pending > 0;
+        }
+        if !any {
             break;
         }
         assert!(steps < max_steps, "upflow exceeded {max_steps} supersteps");
         steps += 1;
-        net.superstep(
+        net.superstep_on(
+            active,
             &mut states,
-            |u, s: &UpState<V>| {
-                s.queue
-                    .iter()
-                    .take(pending[u as usize])
-                    .cloned()
-                    .collect::<Vec<_>>()
-            },
+            |_u, s: &UpState<V>| s.queue.iter().take(s.pending).cloned().collect::<Vec<_>>(),
             |v, s, inbox| {
                 for (_src, msg) in inbox {
                     let rs = &roles.roles[v as usize];
@@ -119,24 +127,24 @@ where
                     s.remaining[idx] -= 1;
                 }
             },
-        );
+        )?;
         // Local post-processing (free): drop sent items, finalize newly
         // complete roles.
-        for v in 0..n {
-            let sent = pending[v];
-            states[v].queue.drain(..sent);
-            finalize_ready(v as u32, &mut states[v], roles);
+        for (i, &v) in active.iter().enumerate() {
+            let sent = states[i].pending;
+            states[i].queue.drain(..sent);
+            finalize_ready(v, &mut states[i], roles);
         }
     }
 
     let mut roots = Vec::new();
-    let mut per_node = Vec::with_capacity(n);
-    for s in states {
+    let mut per_node = vec![Vec::new(); n];
+    for (i, s) in states.into_iter().enumerate() {
         roots.extend(s.root_results);
-        per_node.push(s.finalized);
+        per_node[active[i] as usize] = s.finalized;
     }
     roots.sort_by_key(|&(p, _)| p);
-    UpflowResult { roots, per_node }
+    Ok(UpflowResult { roots, per_node })
 }
 
 fn finalize_ready<V: Clone>(v: u32, s: &mut UpState<V>, roles: &TreeRoles) {
@@ -167,6 +175,7 @@ fn finalize_ready<V: Clone>(v: u32, s: &mut UpState<V>, roles: &TreeRoles) {
 struct DownState<V> {
     queue: VecDeque<(u32, FlowMsg<V>)>,
     got: Vec<(u32, V)>,
+    pending: usize,
 }
 
 /// Broadcast: deliver each part root's item list to every node in the part
@@ -177,19 +186,22 @@ pub fn downflow<V>(
     net: &mut Network,
     roles: &TreeRoles,
     root_items: impl Fn(u32, u32) -> Vec<V> + Sync,
-) -> Vec<Vec<(u32, V)>>
+) -> Result<Vec<Vec<(u32, V)>>, CongestError>
 where
     V: WireMsg + Sync + std::fmt::Debug,
 {
     let n = net.n();
     assert_eq!(roles.roles.len(), n);
     let rate = net.config().bandwidth_words.max(1) as usize;
+    let active = &roles.nodes;
 
-    let mut states: Vec<DownState<V>> = (0..n as u32)
-        .map(|v| {
+    let mut states: Vec<DownState<V>> = active
+        .iter()
+        .map(|&v| {
             let mut st = DownState {
                 queue: VecDeque::new(),
                 got: Vec::new(),
+                pending: 0,
             };
             for r in &roles.roles[v as usize] {
                 if r.parent == v {
@@ -217,24 +229,23 @@ where
     let max_steps = flow_step_guard(roles, n) + (total_items as u64 + 1) * (n as u64 + 1);
     let mut steps = 0u64;
     loop {
-        let pending: Vec<usize> = states
-            .iter()
-            .map(|s| s.queue.len().min(rate))
-            .collect();
-        if pending.iter().all(|&p| p == 0) {
+        let mut any = false;
+        for s in states.iter_mut() {
+            s.pending = s.queue.len().min(rate);
+            any |= s.pending > 0;
+        }
+        if !any {
             break;
         }
-        assert!(steps < max_steps, "downflow exceeded {max_steps} supersteps");
+        assert!(
+            steps < max_steps,
+            "downflow exceeded {max_steps} supersteps"
+        );
         steps += 1;
-        net.superstep(
+        net.superstep_on(
+            active,
             &mut states,
-            |u, s: &DownState<V>| {
-                s.queue
-                    .iter()
-                    .take(pending[u as usize])
-                    .cloned()
-                    .collect::<Vec<_>>()
-            },
+            |_u, s: &DownState<V>| s.queue.iter().take(s.pending).cloned().collect::<Vec<_>>(),
             |v, s, inbox| {
                 for (_src, msg) in inbox {
                     let item = msg.value.expect("downflow items are never empty");
@@ -254,19 +265,27 @@ where
                     s.got.push((msg.part, item));
                 }
             },
-        );
-        for (v, s) in states.iter_mut().enumerate() {
-            s.queue.drain(..pending[v]);
+        )?;
+        for s in states.iter_mut() {
+            s.queue.drain(..s.pending);
         }
     }
 
-    states.into_iter().map(|s| s.got).collect()
+    let mut out = vec![Vec::new(); n];
+    for (i, s) in states.into_iter().enumerate() {
+        out[active[i] as usize] = s.got;
+    }
+    Ok(out)
 }
 
 /// Generous superstep guard: total roles + node count (a flow moves each
 /// (node, part) item a bounded number of times under rate ≥ 1).
 fn flow_step_guard(roles: &TreeRoles, n: usize) -> u64 {
-    let total_roles: usize = roles.roles.iter().map(Vec::len).sum();
+    let total_roles: usize = roles
+        .nodes
+        .iter()
+        .map(|&v| roles.roles[v as usize].len())
+        .sum();
     (4 * total_roles + 8 * n + 64) as u64
 }
 
@@ -285,7 +304,13 @@ mod tests {
             5,
             [(
                 0u32,
-                vec![(0, 1, false), (1, 2, false), (2, 2, false), (3, 2, false), (4, 3, false)],
+                vec![
+                    (0, 1, false),
+                    (1, 2, false),
+                    (2, 2, false),
+                    (3, 2, false),
+                    (4, 3, false),
+                ],
             )],
         );
         roles.validate().unwrap();
@@ -300,7 +325,8 @@ mod tests {
             &roles,
             |v, _part| Some(v as u64 + 1),
             |a, b| a + b,
-        );
+        )
+        .unwrap();
         assert_eq!(res.roots, vec![(0, 15)]);
         // Subtree values: node 0 = 1, node 1 = 1+2, node 4 = 5, node 3 = 9.
         let find = |v: usize| res.per_node[v].iter().find(|&&(p, _)| p == 0).unwrap().1;
@@ -315,7 +341,7 @@ mod tests {
     fn upflow_cost_tracks_depth() {
         let (mut net, roles) = path_roles();
         let before = *net.metrics();
-        let _ = upflow(&mut net, &roles, |_, _| Some(1u64), |a, b| a + b);
+        let _ = upflow(&mut net, &roles, |_, _| Some(1u64), |a, b| a + b).unwrap();
         let d = net.metrics().since(&before);
         // Depth 2 each side; item+part = 2 words per hop, W=1 → 2 rounds/hop.
         assert!(d.rounds <= 12, "rounds = {}", d.rounds);
@@ -330,16 +356,16 @@ mod tests {
             3,
             [(5u32, vec![(0, 1, false), (1, 2, true), (2, 2, false)])],
         );
-        let res = upflow(&mut net, &roles, |v, _| Some(v as u64 + 10), |a, b| a + b);
+        let res = upflow(&mut net, &roles, |v, _| Some(v as u64 + 10), |a, b| a + b).unwrap();
         assert_eq!(res.roots, vec![(5, 22)]); // 10 + 12, relay's 11 excluded
     }
 
     #[test]
     fn downflow_reaches_all_members() {
         let (mut net, roles) = path_roles();
-        let got = downflow(&mut net, &roles, |part, _root| vec![part * 100 + 7]);
-        for v in 0..5 {
-            assert_eq!(got[v], vec![(0, 7)]);
+        let got = downflow(&mut net, &roles, |part, _root| vec![part * 100 + 7]).unwrap();
+        for gv in got.iter().take(5) {
+            assert_eq!(*gv, vec![(0, 7)]);
         }
     }
 
@@ -347,9 +373,9 @@ mod tests {
     fn downflow_multiple_items_pipelined() {
         let (mut net, roles) = path_roles();
         let before = *net.metrics();
-        let got = downflow(&mut net, &roles, |_, _| vec![1u64, 2, 3, 4]);
-        for v in 0..5 {
-            let items: Vec<u64> = got[v].iter().map(|&(_, x)| x).collect();
+        let got = downflow(&mut net, &roles, |_, _| vec![1u64, 2, 3, 4]).unwrap();
+        for gv in got.iter().take(5) {
+            let items: Vec<u64> = gv.iter().map(|&(_, x)| x).collect();
             assert_eq!(items, vec![1, 2, 3, 4]);
         }
         let d = net.metrics().since(&before);
@@ -370,7 +396,13 @@ mod tests {
             ],
         );
         roles.validate().unwrap();
-        let res = upflow(&mut net, &roles, |v, p| Some((v as u64 + 1) * (p as u64 + 1)), |a, b| a + b);
+        let res = upflow(
+            &mut net,
+            &roles,
+            |v, p| Some((v as u64 + 1) * (p as u64 + 1)),
+            |a, b| a + b,
+        )
+        .unwrap();
         assert_eq!(res.roots, vec![(0, 6), (1, 12)]);
     }
 
@@ -379,8 +411,24 @@ mod tests {
         let g = path(4);
         let mut net = Network::new(g, NetworkConfig::default());
         let roles = TreeRoles::new(4);
-        let res = upflow(&mut net, &roles, |_, _| Some(1u64), |a, b| a + b);
+        let res = upflow(&mut net, &roles, |_, _| Some(1u64), |a, b| a + b).unwrap();
         assert!(res.roots.is_empty());
         assert_eq!(net.metrics().rounds, 0);
+    }
+
+    #[test]
+    fn flows_only_touch_role_nodes() {
+        // A part confined to {0, 1} on a long path: per-superstep cost is
+        // scoped, and the untouched tail never appears in the outputs.
+        let g = path(64);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let roles = TreeRoles::from_parent_maps(64, [(0u32, vec![(0, 1, false), (1, 1, false)])]);
+        assert_eq!(roles.nodes, vec![0, 1]);
+        let res = upflow(&mut net, &roles, |v, _| Some(v as u64 + 1), |a, b| a + b).unwrap();
+        assert_eq!(res.roots, vec![(0, 3)]);
+        assert!(res.per_node[2..].iter().all(Vec::is_empty));
+        let got = downflow(&mut net, &roles, |_, _| vec![9u64]).unwrap();
+        assert_eq!(got[0], vec![(0, 9)]);
+        assert!(got[2..].iter().all(Vec::is_empty));
     }
 }

@@ -1,7 +1,7 @@
 //! Global leader election and BFS tree — the backbone every Steiner-based
 //! operation rides on, and the O(D)-round control-pulse charge.
 
-use congest_sim::Network;
+use congest_sim::{CongestError, Network};
 
 /// A BFS spanning tree of the (connected) communication graph.
 #[derive(Clone, Debug)]
@@ -47,9 +47,9 @@ struct ElectState {
 /// Distributed leader election by max-UID flooding. Every node learns the
 /// maximum UID in its component; rounds ≈ diameter (measured). Returns the
 /// winning node index (resolved from the winning UID).
-pub fn elect_global_leader(net: &mut Network) -> u32 {
+pub fn elect_global_leader(net: &mut Network) -> Result<u32, CongestError> {
     let n = net.n();
-    let g = net.graph().clone();
+    let g = net.graph_handle();
     let mut states: Vec<ElectState> = (0..n as u32)
         .map(|v| ElectState {
             best: net.uid(v),
@@ -75,11 +75,11 @@ pub fn elect_global_leader(net: &mut Network) -> u32 {
             }
         },
         4 * n as u64 + 16,
-    );
+    )?;
     let winner_uid = states[0].best;
-    (0..n as u32)
+    Ok((0..n as u32)
         .find(|&v| net.uid(v) == winner_uid)
-        .expect("winning uid must belong to some node")
+        .expect("winning uid must belong to some node"))
 }
 
 #[derive(Clone)]
@@ -91,9 +91,9 @@ struct BfsState {
 
 /// Distributed BFS tree from `root` over the whole communication graph.
 /// Rounds ≈ eccentricity(root) + 1, measured.
-pub fn build_bfs_tree(net: &mut Network, root: u32) -> GlobalTree {
+pub fn build_bfs_tree(net: &mut Network, root: u32) -> Result<GlobalTree, CongestError> {
     let n = net.n();
-    let g = net.graph().clone();
+    let g = net.graph_handle();
     let mut states = vec![
         BfsState {
             dist: u32::MAX,
@@ -127,26 +127,26 @@ pub fn build_bfs_tree(net: &mut Network, root: u32) -> GlobalTree {
             }
         },
         4 * n as u64 + 16,
-    );
+    )?;
     assert!(
         states.iter().all(|s| s.dist != u32::MAX),
         "communication graph must be connected"
     );
     let height = states.iter().map(|s| s.dist).max().unwrap_or(0);
-    GlobalTree {
+    Ok(GlobalTree {
         root,
         parent: states.iter().map(|s| s.parent).collect(),
         depth: states.iter().map(|s| s.dist).collect(),
         height,
-    }
+    })
 }
 
 /// Elect a leader and build the global BFS tree in one go.
-pub fn build_global_tree(net: &mut Network) -> GlobalTree {
-    let leader = elect_global_leader(net);
-    let tree = build_bfs_tree(net, leader);
+pub fn build_global_tree(net: &mut Network) -> Result<GlobalTree, CongestError> {
+    let leader = elect_global_leader(net)?;
+    let tree = build_bfs_tree(net, leader)?;
     net.snapshot("primitives/backbone");
-    tree
+    Ok(tree)
 }
 
 #[cfg(test)]
@@ -159,14 +159,17 @@ mod tests {
     fn bfs_tree_depths_match_centralized() {
         let g = grid(4, 5);
         let mut net = Network::new(g.clone(), NetworkConfig::default());
-        let t = build_bfs_tree(&mut net, 0);
+        let t = build_bfs_tree(&mut net, 0).unwrap();
         let d = twgraph::alg::bfs_dist(&g, 0);
         assert_eq!(t.depth, d);
         assert_eq!(t.root, 0);
         assert_eq!(t.parent[0], 0);
         for v in 1..g.n() as u32 {
             assert!(g.has_edge(v, t.parent[v as usize]));
-            assert_eq!(t.depth[v as usize], t.depth[t.parent[v as usize] as usize] + 1);
+            assert_eq!(
+                t.depth[v as usize],
+                t.depth[t.parent[v as usize] as usize] + 1
+            );
         }
     }
 
@@ -174,7 +177,7 @@ mod tests {
     fn leader_election_converges_to_max_uid() {
         let g = cycle(17);
         let mut net = Network::new(g, NetworkConfig::default());
-        let leader = elect_global_leader(&mut net);
+        let leader = elect_global_leader(&mut net).unwrap();
         let max_uid = (0..17).map(|v| net.uid(v)).max().unwrap();
         assert_eq!(net.uid(leader), max_uid);
     }
@@ -184,7 +187,7 @@ mod tests {
         let g = path(64);
         let mut net = Network::new(g, NetworkConfig::default());
         let before = *net.metrics();
-        let _ = elect_global_leader(&mut net);
+        let _ = elect_global_leader(&mut net).unwrap();
         let delta = net.metrics().since(&before);
         // Max-flood on a path finishes within ~2×diameter supersteps.
         assert!(delta.rounds <= 2 * 64 + 4, "rounds = {}", delta.rounds);
@@ -195,7 +198,7 @@ mod tests {
     fn control_pulse_charges() {
         let g = path(10);
         let mut net = Network::new(g, NetworkConfig::default());
-        let t = build_bfs_tree(&mut net, 0);
+        let t = build_bfs_tree(&mut net, 0).unwrap();
         let before = net.metrics().rounds;
         t.charge_control_pulse(&mut net);
         assert_eq!(net.metrics().rounds - before, 2 * (9 + 1));
@@ -205,7 +208,7 @@ mod tests {
     fn children_consistent() {
         let g = grid(3, 3);
         let mut net = Network::new(g, NetworkConfig::default());
-        let t = build_bfs_tree(&mut net, 4);
+        let t = build_bfs_tree(&mut net, 4).unwrap();
         let ch = t.children();
         let total: usize = ch.iter().map(Vec::len).sum();
         assert_eq!(total, 8); // n−1 tree edges

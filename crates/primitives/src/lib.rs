@@ -50,4 +50,4 @@ pub mod snc;
 
 pub use global::GlobalTree;
 pub use parts::Parts;
-pub use roles::TreeRoles;
+pub use roles::{ParentMap, TreeRoles};

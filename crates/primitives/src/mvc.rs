@@ -15,7 +15,7 @@
 //! (DESIGN.md §4.2) keeps the same asymptotic envelope in `t` with honest,
 //! measured dilation.
 
-use congest_sim::{Network, WireMsg};
+use congest_sim::{CongestError, Network, WireMsg};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -213,13 +213,18 @@ type NodeState = HashMap<u32, InstState>;
 
 /// Solve all `instances` concurrently; report, per instance, a minimum
 /// vertex cut of size ≤ `t` or [`CutResult::TooBig`].
+///
+/// The shared supersteps run scoped to the union of the instances' member
+/// sets (BFS waves and backtrace tokens never leave an instance's
+/// subgraph), so the per-superstep cost tracks the batch's footprint, not
+/// the whole network, at identical charged metrics.
 pub fn batch_min_vertex_cut(
     net: &mut Network,
     instances: &[CutInstance],
     t: usize,
-) -> Vec<CutResult> {
+) -> Result<Vec<CutResult>, CongestError> {
     let n = net.n();
-    let g = net.graph().clone();
+    let g = net.graph_handle();
     let n_inst = instances.len();
     let mut results: Vec<Option<CutResult>> = vec![None; n_inst];
     let mut phase = vec![Phase::Bfs; n_inst];
@@ -242,7 +247,27 @@ pub fn batch_min_vertex_cut(
         }
     };
 
-    let mut states: Vec<NodeState> = vec![HashMap::new(); n];
+    // Active set: the union of the member sets (everything if any instance
+    // spans the whole graph).
+    let active: Vec<u32> = if member_sets.iter().any(Option::is_none) {
+        (0..n as u32).collect()
+    } else {
+        let mut a: Vec<u32> = member_sets
+            .iter()
+            .flatten()
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        a.sort_unstable();
+        a.dedup();
+        a
+    };
+    let pos_of = |v: u32| -> usize {
+        active
+            .binary_search(&v)
+            .expect("cut instance member outside the active set")
+    };
+
+    let mut states: Vec<NodeState> = vec![HashMap::new(); active.len()];
     for (i, ci) in instances.iter().enumerate() {
         let mut too_big = false;
         for &s in &ci.sources {
@@ -261,18 +286,18 @@ pub fn batch_min_vertex_cut(
         }
         for &s in &ci.sources {
             assert!(is_member(i, s), "source {s} outside instance {i}");
-            states[s as usize].insert(i as u32, InstState::new(K_SOURCE));
+            states[pos_of(s)].insert(i as u32, InstState::new(K_SOURCE));
         }
         for &y in &ci.sinks {
             assert!(is_member(i, y), "sink {y} outside instance {i}");
-            states[y as usize].insert(i as u32, InstState::new(K_SINK));
+            states[pos_of(y)].insert(i as u32, InstState::new(K_SINK));
         }
     }
 
     // Seed the first BFS for all live instances.
     for (i, ci) in instances.iter().enumerate() {
         if phase[i] == Phase::Bfs {
-            seed_bfs(&mut states, ci, i as u32);
+            seed_bfs(&mut states, &pos_of, ci, i as u32);
         }
     }
 
@@ -296,7 +321,8 @@ pub fn batch_min_vertex_cut(
         let aug_done_ref = &aug_done;
         let progress_ref = &progress;
 
-        net.superstep(
+        net.superstep_on(
+            &active,
             &mut states,
             |u, s: &NodeState| {
                 let mut out: Vec<(u32, MvcMsg)> = Vec::new();
@@ -344,7 +370,22 @@ pub fn batch_min_vertex_cut(
                         Phase::Done => {}
                     }
                 }
-                out.sort_by_key(|&(w, _)| w);
+                // Full tiebreak: the per-node instance map iterates in hash
+                // order, so sorting by destination alone would leave
+                // same-destination messages in nondeterministic relative
+                // order. Instance id + message shape complete the key
+                // (within one instance the generation order is already
+                // deterministic).
+                out.sort_by_key(|&(w, ref m)| {
+                    let (inst, shape) = match *m {
+                        MvcMsg::Visit { inst, to_in_side } => (inst, u8::from(to_in_side)),
+                        MvcMsg::Token {
+                            inst,
+                            continue_in_side,
+                        } => (inst, 2 + u8::from(continue_in_side)),
+                    };
+                    (w, inst, shape)
+                });
                 out
             },
             |v, s, inbox| {
@@ -363,9 +404,7 @@ pub fn batch_min_vertex_cut(
                             {
                                 continue;
                             }
-                            let st = s
-                                .entry(inst)
-                                .or_insert_with(|| InstState::new(K_INTERNAL));
+                            let st = s.entry(inst).or_insert_with(|| InstState::new(K_INTERNAL));
                             if to_in_side && !st.vis_in {
                                 st.vis_in = true;
                                 st.fresh_in = true;
@@ -408,7 +447,7 @@ pub fn batch_min_vertex_cut(
                     }
                 }
             },
-        );
+        )?;
 
         // Orchestrator pass: phase transitions (control decisions; the
         // per-superstep cost is already paid by the messages above).
@@ -419,15 +458,17 @@ pub fn batch_min_vertex_cut(
                     if hit != u32::MAX {
                         // Augmenting path found: launch the backtrace.
                         phase[i] = Phase::Backtrace;
-                        let st = states[hit as usize].get_mut(&(i as u32)).unwrap();
+                        let st = states[pos_of(hit)].get_mut(&(i as u32)).unwrap();
                         if st.backtrace_walk(true) {
                             // Path of length 0 cannot happen (X ∩ Y = ∅).
                             unreachable!("sink cannot be a path start");
                         }
                         sink_hits[i].store(u32::MAX, Ordering::Relaxed);
-                    } else if progress[i].load(Ordering::Relaxed) == 0 && !bfs_has_fresh(&states, i as u32) {
+                    } else if progress[i].load(Ordering::Relaxed) == 0
+                        && !bfs_has_fresh(&states, i as u32)
+                    {
                         // BFS exhausted without reaching a sink: extract cut.
-                        let cut = extract_cut(&states, instances_ref, i);
+                        let cut = extract_cut(&states, &active, instances_ref, i);
                         results[i] = Some(CutResult::Cut(cut));
                         phase[i] = Phase::Done;
                     }
@@ -446,7 +487,7 @@ pub fn batch_min_vertex_cut(
                                     st.reset_bfs();
                                 }
                             }
-                            seed_bfs(&mut states, &instances_ref[i], i as u32);
+                            seed_bfs(&mut states, &pos_of, &instances_ref[i], i as u32);
                             phase[i] = Phase::Bfs;
                         }
                     }
@@ -456,7 +497,7 @@ pub fn batch_min_vertex_cut(
         }
     }
 
-    results.into_iter().map(Option::unwrap).collect()
+    Ok(results.into_iter().map(Option::unwrap).collect())
 }
 
 #[inline]
@@ -467,9 +508,9 @@ fn member_in(member_sets: &[Option<Vec<u32>>], inst: usize, v: u32) -> bool {
     }
 }
 
-fn seed_bfs(states: &mut [NodeState], ci: &CutInstance, inst: u32) {
+fn seed_bfs(states: &mut [NodeState], pos_of: &impl Fn(u32) -> usize, ci: &CutInstance, inst: u32) {
     for &s in &ci.sources {
-        let st = states[s as usize].get_mut(&inst).unwrap();
+        let st = states[pos_of(s)].get_mut(&inst).unwrap();
         st.vis_out = true;
         st.vis_in = true;
         st.fresh_out = true;
@@ -480,18 +521,22 @@ fn seed_bfs(states: &mut [NodeState], ci: &CutInstance, inst: u32) {
 }
 
 fn bfs_has_fresh(states: &[NodeState], inst: u32) -> bool {
-    states.iter().any(|s| {
-        s.get(&inst)
-            .is_some_and(|st| st.fresh_in || st.fresh_out)
-    })
+    states
+        .iter()
+        .any(|s| s.get(&inst).is_some_and(|st| st.fresh_in || st.fresh_out))
 }
 
-fn extract_cut(states: &[NodeState], instances: &[CutInstance], i: usize) -> Vec<u32> {
+fn extract_cut(
+    states: &[NodeState],
+    active: &[u32],
+    instances: &[CutInstance],
+    i: usize,
+) -> Vec<u32> {
     let mut cut = Vec::new();
-    for (v, s) in states.iter().enumerate() {
+    for (pos, s) in states.iter().enumerate() {
         if let Some(st) = s.get(&(i as u32)) {
             if st.kind == K_INTERNAL && st.vis_in && !st.vis_out {
-                cut.push(v as u32);
+                cut.push(active[pos]);
             }
         }
     }
@@ -509,7 +554,10 @@ mod tests {
 
     fn run_one(g: &UGraph, inst: CutInstance, t: usize) -> CutResult {
         let mut net = Network::new(g.clone(), NetworkConfig::default());
-        batch_min_vertex_cut(&mut net, &[inst], t).pop().unwrap()
+        batch_min_vertex_cut(&mut net, &[inst], t)
+            .unwrap()
+            .pop()
+            .unwrap()
     }
 
     /// Oracle: does removing `cut` really disconnect X from Y, and is the
@@ -526,7 +574,8 @@ mod tests {
             let new = old_of.iter().position(|&o| o == v).unwrap();
             comp[new]
         };
-        xs.iter().all(|&x| ys.iter().all(|&y| comp_of(x) != comp_of(y)))
+        xs.iter()
+            .all(|&x| ys.iter().all(|&y| comp_of(x) != comp_of(y)))
     }
 
     #[test]
@@ -690,7 +739,7 @@ mod tests {
                 sinks: vec![14, 15],
             },
         ];
-        let res = batch_min_vertex_cut(&mut net, &insts, 6);
+        let res = batch_min_vertex_cut(&mut net, &insts, 6).unwrap();
         for (i, r) in res.iter().enumerate() {
             match r {
                 CutResult::Cut(cut) => {

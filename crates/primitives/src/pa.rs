@@ -11,8 +11,8 @@
 use crate::flow::{downflow, upflow, UpflowResult};
 use crate::global::GlobalTree;
 use crate::parts::Parts;
-use crate::roles::TreeRoles;
-use congest_sim::{Network, WireMsg};
+use crate::roles::{ParentMap, TreeRoles};
+use congest_sim::{CongestError, Network, WireMsg};
 use std::collections::HashMap;
 
 /// Compute per-part Steiner-subtree roles on the global BFS tree.
@@ -23,7 +23,7 @@ use std::collections::HashMap;
 pub fn steiner_roles(tree: &GlobalTree, parts: &Parts) -> TreeRoles {
     let n = tree.parent.len();
     let nodes_of = parts.nodes_of_parts();
-    let mut maps: Vec<(u32, Vec<(u32, u32, bool)>)> = Vec::with_capacity(nodes_of.len());
+    let mut maps: Vec<ParentMap> = Vec::with_capacity(nodes_of.len());
     for (p, members) in nodes_of.iter().enumerate() {
         if members.is_empty() {
             continue;
@@ -69,13 +69,16 @@ pub fn steiner_roles(tree: &GlobalTree, parts: &Parts) -> TreeRoles {
                 break;
             }
         }
-        let entries: Vec<(u32, u32, bool)> = marked
+        let mut entries: Vec<(u32, u32, bool)> = marked
             .iter()
             .map(|(&v, &is_member)| {
                 let par = if v == top { v } else { tree.parent[v as usize] };
                 (v, par, !is_member)
             })
             .collect();
+        // `marked` iterates in hash order; pin the entry order (unique per
+        // vertex) so role construction never depends on hasher state.
+        entries.sort_unstable();
         maps.push((p as u32, entries));
     }
     TreeRoles::from_parent_maps(n, maps)
@@ -89,11 +92,11 @@ pub fn aggregate_and_share<V>(
     roles: &TreeRoles,
     value: impl Fn(u32, u32) -> Option<V> + Sync,
     combine: impl Fn(V, V) -> V + Sync + Send + Copy,
-) -> Vec<Vec<(u32, V)>>
+) -> Result<Vec<Vec<(u32, V)>>, CongestError>
 where
     V: WireMsg + Sync + std::fmt::Debug,
 {
-    let up = upflow(net, roles, value, combine);
+    let up = upflow(net, roles, value, combine)?;
     let totals: HashMap<u32, V> = up.roots.iter().cloned().collect();
     downflow(net, roles, |part, _root| {
         totals.get(&part).into_iter().cloned().collect()
@@ -106,7 +109,7 @@ pub fn aggregate<V>(
     roles: &TreeRoles,
     value: impl Fn(u32, u32) -> Option<V> + Sync,
     combine: impl Fn(V, V) -> V + Sync + Send,
-) -> UpflowResult<V>
+) -> Result<UpflowResult<V>, CongestError>
 where
     V: WireMsg + Sync + std::fmt::Debug,
 {
@@ -120,24 +123,24 @@ pub fn elect_leaders(
     net: &mut Network,
     roles: &TreeRoles,
     candidate: impl Fn(u32, u32) -> bool + Sync,
-) -> Vec<Vec<(u32, u32)>> {
+) -> Result<Vec<Vec<(u32, u32)>>, CongestError> {
     let uids: Vec<u64> = (0..net.n() as u32).map(|v| net.uid(v)).collect();
     let shared = aggregate_and_share(
         net,
         roles,
         |v, p| {
             if candidate(v, p) {
-                Some((uids[v as usize] as u64, v))
+                Some((uids[v as usize], v))
             } else {
                 None
             }
         },
         |a: (u64, u32), b: (u64, u32)| if a.0 >= b.0 { a } else { b },
-    );
-    shared
+    )?;
+    Ok(shared
         .into_iter()
         .map(|list| list.into_iter().map(|(p, (_uid, v))| (p, v)).collect())
-        .collect()
+        .collect())
 }
 
 /// BCT(h): every part's designated sources contribute items; all members
@@ -148,7 +151,7 @@ pub fn broadcast<V>(
     net: &mut Network,
     roles: &TreeRoles,
     items: impl Fn(u32, u32) -> Vec<V> + Sync,
-) -> Vec<Vec<(u32, V)>>
+) -> Result<Vec<Vec<(u32, V)>>, CongestError>
 where
     V: WireMsg + Sync + std::fmt::Debug,
 {
@@ -167,7 +170,7 @@ where
             a.append(&mut b);
             a
         },
-    );
+    )?;
     let all: HashMap<u32, Vec<V>> = up.roots.into_iter().collect();
     downflow(net, roles, |part, _root| {
         all.get(&part).cloned().unwrap_or_default()
@@ -185,7 +188,7 @@ mod tests {
         // Path of 8; parts = {0..3}, {4..7} — vertex disjoint.
         let g = path(8);
         let mut net = Network::new(g, NetworkConfig::default());
-        let tree = build_bfs_tree(&mut net, 0);
+        let tree = build_bfs_tree(&mut net, 0).unwrap();
         let labels: Vec<Option<u32>> = (0..8).map(|v| Some((v >= 4) as u32)).collect();
         let parts = Parts::from_labels(&labels);
         let roles = steiner_roles(&tree, &parts);
@@ -213,13 +216,14 @@ mod tests {
     #[test]
     fn aggregate_sums_per_part() {
         let (mut net, roles, _parts) = two_parts_on_path();
-        let shared = aggregate_and_share(&mut net, &roles, |v, _p| Some(v as u64), |a, b| a + b);
+        let shared =
+            aggregate_and_share(&mut net, &roles, |v, _p| Some(v as u64), |a, b| a + b).unwrap();
         // Part 0: 0+1+2+3 = 6; part 1: 4+5+6+7 = 22.
-        for v in 0..4usize {
-            assert_eq!(shared[v], vec![(0, 6)]);
+        for sv in shared.iter().take(4) {
+            assert_eq!(*sv, vec![(0, 6)]);
         }
-        for v in 4..8usize {
-            assert_eq!(shared[v], vec![(1, 22)]);
+        for sv in shared.iter().take(8).skip(4) {
+            assert_eq!(*sv, vec![(1, 22)]);
         }
     }
 
@@ -229,15 +233,13 @@ mod tests {
         // must include relay nodes, and aggregation must still work.
         let g = grid(3, 3);
         let mut net = Network::new(g, NetworkConfig::default());
-        let tree = build_bfs_tree(&mut net, 4);
+        let tree = build_bfs_tree(&mut net, 4).unwrap();
         let corners = [0u32, 2, 6, 8];
-        let labels: Vec<Option<u32>> = (0..9)
-            .map(|v| corners.contains(&v).then_some(0))
-            .collect();
+        let labels: Vec<Option<u32>> = (0..9).map(|v| corners.contains(&v).then_some(0)).collect();
         let parts = Parts::from_labels(&labels);
         let roles = steiner_roles(&tree, &parts);
         roles.validate().unwrap();
-        let up = aggregate(&mut net, &roles, |_v, _p| Some(1u64), |a, b| a + b);
+        let up = aggregate(&mut net, &roles, |_v, _p| Some(1u64), |a, b| a + b).unwrap();
         assert_eq!(up.roots, vec![(0, 4)]);
         // Relays exist and carry no value.
         let relay_count: usize = roles
@@ -252,16 +254,14 @@ mod tests {
     #[test]
     fn leaders_are_members() {
         let (mut net, roles, parts) = two_parts_on_path();
-        let leaders = elect_leaders(&mut net, &roles, |_v, _p| true);
+        let leaders = elect_leaders(&mut net, &roles, |_v, _p| true).unwrap();
         for v in 0..8u32 {
             for &(p, leader) in &leaders[v as usize] {
                 assert!(parts.contains(leader, p), "leader {leader} not in part {p}");
             }
         }
         // Every member of a part agrees on its leader.
-        let l0: Vec<u32> = (0..4)
-            .map(|v| leaders[v][0].1)
-            .collect();
+        let l0: Vec<u32> = (0..4).map(|v| leaders[v][0].1).collect();
         assert!(l0.windows(2).all(|w| w[0] == w[1]));
     }
 
@@ -274,10 +274,11 @@ mod tests {
             } else {
                 Vec::new()
             }
-        });
+        })
+        .unwrap();
         // Part 0 sources: 0, 2. Every member of part 0 receives both.
-        for v in 0..4usize {
-            let mut items: Vec<u64> = got[v].iter().map(|&(_, x)| x).collect();
+        for gv in got.iter().take(4) {
+            let mut items: Vec<u64> = gv.iter().map(|&(_, x)| x).collect();
             items.sort_unstable();
             assert_eq!(items, vec![0, 2]);
         }
@@ -289,12 +290,12 @@ mod tests {
         // well below the part count (the Steiner trees are local).
         let g = banded_path(64, 2);
         let mut net = Network::new(g, NetworkConfig::default());
-        let tree = build_bfs_tree(&mut net, 0);
+        let tree = build_bfs_tree(&mut net, 0).unwrap();
         let labels: Vec<Option<u32>> = (0..64).map(|v| Some(v / 8)).collect();
         let parts = Parts::from_labels(&labels);
         let roles = steiner_roles(&tree, &parts);
         let before = *net.metrics();
-        let _ = aggregate_and_share(&mut net, &roles, |_v, _p| Some(1u64), |a, b| a + b);
+        let _ = aggregate_and_share(&mut net, &roles, |_v, _p| Some(1u64), |a, b| a + b).unwrap();
         let d = net.metrics().since(&before);
         assert!(d.rounds > 0);
         // 8 parts of 8 contiguous nodes: peak congestion stays small.

@@ -17,18 +17,10 @@ pub struct Parts {
 impl Parts {
     /// Build from per-node optional labels (the vertex-disjoint case).
     pub fn from_labels(labels: &[Option<u32>]) -> Self {
-        let n_parts = labels
-            .iter()
-            .flatten()
-            .copied()
-            .max()
-            .map_or(0, |m| m + 1);
+        let n_parts = labels.iter().flatten().copied().max().map_or(0, |m| m + 1);
         Parts {
             n_parts,
-            members: labels
-                .iter()
-                .map(|l| l.iter().copied().collect())
-                .collect(),
+            members: labels.iter().map(|l| l.iter().copied().collect()).collect(),
         }
     }
 

@@ -11,6 +11,11 @@
 //!   *relay* nodes that lie on the Steiner tree without belonging to the
 //!   part also get a role, flagged [`Role::relay`].
 
+/// One part's tree as `(part, entries)` where each entry is
+/// `(node, parent, relay)` and `parent == node` marks the root — the input
+/// unit of [`TreeRoles::from_parent_maps`].
+pub type ParentMap = (u32, Vec<(u32, u32, bool)>);
+
 /// One node's role in one part's tree.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Role {
@@ -30,6 +35,11 @@ pub struct Role {
 pub struct TreeRoles {
     /// `roles[v]` = the roles of node `v`, sorted by part id.
     pub roles: Vec<Vec<Role>>,
+    /// Sorted list of the nodes that hold at least one role — the active
+    /// set a flow over these trees ever touches. Maintained by the
+    /// constructors so flows can scope their supersteps without an O(n)
+    /// scan per invocation.
+    pub nodes: Vec<u32>,
 }
 
 impl TreeRoles {
@@ -37,6 +47,7 @@ impl TreeRoles {
     pub fn new(n: usize) -> Self {
         TreeRoles {
             roles: vec![Vec::new(); n],
+            nodes: Vec::new(),
         }
     }
 
@@ -49,6 +60,9 @@ impl TreeRoles {
         let mut tr = TreeRoles::new(n);
         for (part, entries) in parts {
             for &(node, parent, relay) in &entries {
+                if tr.roles[node as usize].is_empty() {
+                    tr.nodes.push(node);
+                }
                 tr.roles[node as usize].push(Role {
                     part,
                     parent,
@@ -68,6 +82,7 @@ impl TreeRoles {
                 }
             }
         }
+        tr.nodes.sort_unstable();
         for list in &mut tr.roles {
             list.sort_by_key(|r| r.part);
             for r in list.iter_mut() {
@@ -112,9 +127,9 @@ impl TreeRoles {
                         return Err(format!("part {} has roots {} and {}", r.part, prev, v));
                     }
                 } else {
-                    let pr = self
-                        .role_of(r.parent, r.part)
-                        .ok_or_else(|| format!("parent {} lacks role in part {}", r.parent, r.part))?;
+                    let pr = self.role_of(r.parent, r.part).ok_or_else(|| {
+                        format!("parent {} lacks role in part {}", r.parent, r.part)
+                    })?;
                     if !pr.children.contains(&(v as u32)) {
                         return Err(format!(
                             "part {}: node {} not in parent {}'s child list",
@@ -138,7 +153,10 @@ impl TreeRoles {
                 }
                 let role = self.role_of(cur, r.part).unwrap();
                 if role.parent != cur {
-                    return Err(format!("cycle in part {} reachable from node {}", r.part, v));
+                    return Err(format!(
+                        "cycle in part {} reachable from node {}",
+                        r.part, v
+                    ));
                 }
             }
         }

@@ -3,7 +3,7 @@
 //! A trivially thin wrapper over one engine superstep, named to keep the
 //! correspondence with the paper's task vocabulary explicit.
 
-use congest_sim::{Inbox, Network, WireMsg};
+use congest_sim::{CongestError, Inbox, Network, WireMsg};
 
 /// Execute one SNC: every node sends `build(v, state)` messages to
 /// neighbours and absorbs its inbox with `absorb`. Returns the rounds
@@ -13,7 +13,7 @@ pub fn exchange<S, M>(
     states: &mut [S],
     build: impl Fn(u32, &S) -> Vec<(u32, M)> + Sync,
     absorb: impl Fn(u32, &mut S, Inbox<'_, M>) + Sync,
-) -> u64
+) -> Result<u64, CongestError>
 where
     S: Send + Sync,
     M: WireMsg,
@@ -26,11 +26,11 @@ where
 pub fn share_with_neighbors<V>(
     net: &mut Network,
     value: impl Fn(u32) -> V + Sync,
-) -> Vec<Vec<(u32, V)>>
+) -> Result<Vec<Vec<(u32, V)>>, CongestError>
 where
     V: WireMsg + Sync + std::fmt::Debug,
 {
-    let g = net.graph().clone();
+    let g = net.graph_handle();
     let mut states: Vec<Vec<(u32, V)>> = vec![Vec::new(); net.n()];
     net.superstep(
         &mut states,
@@ -41,8 +41,8 @@ where
         |_v, s, inbox| {
             *s = inbox.into_iter().collect();
         },
-    );
-    states
+    )?;
+    Ok(states)
 }
 
 #[cfg(test)]
@@ -55,7 +55,7 @@ mod tests {
     fn neighbors_learn_values() {
         let g = cycle(5);
         let mut net = Network::new(g, NetworkConfig::default());
-        let got = share_with_neighbors(&mut net, |v| v as u64 * 10);
+        let got = share_with_neighbors(&mut net, |v| v as u64 * 10).unwrap();
         assert_eq!(got[0], vec![(1, 10), (4, 40)]);
         assert_eq!(net.metrics().rounds, 1);
     }
@@ -70,7 +70,8 @@ mod tests {
             &mut states,
             |u, _| g.neighbors(u).iter().map(|&v| (v, 1u32)).collect(),
             |_, s, inbox| *s = inbox.len() as u64,
-        );
+        )
+        .unwrap();
         assert_eq!(r, 1);
         assert!(states.iter().all(|&c| c == 2));
     }

@@ -29,7 +29,8 @@
 //!
 //! let sc = &corpus()[0];
 //! let p = &all_pipelines()[0];
-//! let rep = p.run(sc); // panics if the cell diverges from its oracle
+//! // Panics if the cell diverges from its oracle; simulator errors are typed.
+//! let rep = p.run(sc).unwrap();
 //! assert!(rep.checked > 0 && rep.metrics.rounds > 0);
 //! ```
 
@@ -43,5 +44,5 @@ pub use pipeline::{
     WalksPipeline,
 };
 pub use registry::{corpus, Family, Scenario, WeightModel};
-pub use report::{fold_checksum, CellReport, MetricsTotal};
+pub use report::{fold_checksum, CellError, CellReport, MetricsTotal};
 pub use runner::{run_cell, run_matrix, split_components, Part};

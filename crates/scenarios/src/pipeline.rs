@@ -8,7 +8,7 @@
 //! name, so `run_matrix` doubles as the differential suite.
 
 use crate::registry::Scenario;
-use crate::report::{fold_checksum, CellReport};
+use crate::report::{fold_checksum, CellError, CellReport};
 use crate::runner::{decompose_part, decompose_part_distributed, split_components};
 use congest_sim::NetworkConfig;
 use stateful_walks::{CdlLabeling, ColoredWalk, StateId, StatefulConstraint};
@@ -20,8 +20,22 @@ use twgraph::INF;
 pub trait Pipeline {
     /// Stable pipeline name (report key).
     fn name(&self) -> &'static str;
-    /// Run on `sc`, differentially checked; panics on divergence.
-    fn run(&self, sc: &Scenario) -> CellReport;
+    /// Run on `sc`, differentially checked. Panics on divergence (a broken
+    /// invariant); operational failures (simulator violations, invalid
+    /// decomposition inputs) surface as a typed [`CellError`].
+    fn run(&self, sc: &Scenario) -> Result<CellReport, CellError>;
+}
+
+/// Adapter: tag an underlying error with the failing cell's coordinates.
+fn cell_err<'a>(
+    sc: &'a Scenario,
+    pipeline: &'static str,
+) -> impl Fn(treedec::DecompError) -> CellError + 'a {
+    move |e| CellError {
+        scenario: sc.name.to_string(),
+        pipeline,
+        source: e,
+    }
 }
 
 /// All five pipelines, in canonical order.
@@ -45,7 +59,8 @@ impl Pipeline for SsspPipeline {
         "sssp"
     }
 
-    fn run(&self, sc: &Scenario) -> CellReport {
+    fn run(&self, sc: &Scenario) -> Result<CellReport, CellError> {
+        let ce = cell_err(sc, self.name());
         let g = sc.graph();
         let inst = sc.instance();
         let mut rep = CellReport::new(sc.name, self.name(), g.n(), g.m());
@@ -60,13 +75,16 @@ impl Pipeline for SsspPipeline {
                 }
                 continue;
             }
-            let (out, mut net) = decompose_part_distributed(part, sc.t0, sc.seed, ci);
+            let (out, mut net) =
+                decompose_part_distributed(part, sc.t0, sc.seed, ci).map_err(&ce)?;
             out.td.verify(&part.graph).unwrap();
             rep.note_decomposition(out.td.width(), out.td.stats().depth);
             let (labels, _) =
-                distlabel::build_labels_distributed(&mut net, &part.inst, &out.td, &out.info);
+                distlabel::build_labels_distributed(&mut net, &part.inst, &out.td, &out.info)
+                    .map_err(|e| ce(e.into()))?;
             if let Some(local_src) = part.local_of(src) {
-                let (d, _) = distlabel::sssp_distributed(&mut net, &labels, local_src);
+                let (d, _) = distlabel::sssp_distributed(&mut net, &labels, local_src)
+                    .map_err(|e| ce(e.into()))?;
                 for (local, &dv) in d.iter().enumerate() {
                     dists[part.old_of[local] as usize] = dv;
                 }
@@ -75,13 +93,17 @@ impl Pipeline for SsspPipeline {
             rep.note_phases(ci, net.phase_log());
         }
         let oracle = baselines::sssp_oracle(&inst, src);
-        assert_eq!(dists, oracle, "{}: sssp diverged from the Dijkstra oracle", sc.name);
+        assert_eq!(
+            dists, oracle,
+            "{}: sssp diverged from the Dijkstra oracle",
+            sc.name
+        );
         rep.checked = g.n();
         rep.output = dists
             .iter()
             .enumerate()
             .fold(0, |acc, (i, &d)| fold_checksum(acc, i as u64, d));
-        rep
+        Ok(rep)
     }
 }
 
@@ -95,7 +117,8 @@ impl Pipeline for DistLabelPipeline {
         "distlabel"
     }
 
-    fn run(&self, sc: &Scenario) -> CellReport {
+    fn run(&self, sc: &Scenario) -> Result<CellReport, CellError> {
+        let ce = cell_err(sc, self.name());
         let g = sc.graph();
         let inst = sc.instance();
         let mut rep = CellReport::new(sc.name, self.name(), g.n(), g.m());
@@ -107,10 +130,12 @@ impl Pipeline for DistLabelPipeline {
             if part.graph.n() == 1 {
                 continue;
             }
-            let (out, mut net) = decompose_part_distributed(part, sc.t0, sc.seed, ci);
+            let (out, mut net) =
+                decompose_part_distributed(part, sc.t0, sc.seed, ci).map_err(&ce)?;
             rep.note_decomposition(out.td.width(), out.td.stats().depth);
             let (labels, _) =
-                distlabel::build_labels_distributed(&mut net, &part.inst, &out.td, &out.info);
+                distlabel::build_labels_distributed(&mut net, &part.inst, &out.td, &out.info)
+                    .map_err(|e| ce(e.into()))?;
             rep.metrics.absorb(net.metrics());
             rep.note_phases(ci, net.phase_log());
             for l in &labels {
@@ -123,7 +148,8 @@ impl Pipeline for DistLabelPipeline {
             for local_u in (0..pn as u32).step_by((pn / 4).max(1)) {
                 let oracle = baselines::sssp_oracle(&inst, part.old_of[local_u as usize]);
                 for local_v in 0..pn as u32 {
-                    let got = distlabel::decode(&labels[local_u as usize], &labels[local_v as usize]);
+                    let got =
+                        distlabel::decode(&labels[local_u as usize], &labels[local_v as usize]);
                     let want = oracle[part.old_of[local_v as usize] as usize];
                     assert_eq!(
                         got, want,
@@ -156,7 +182,7 @@ impl Pipeline for DistLabelPipeline {
         }
         rep.detail.push(("label_words_total", label_words));
         rep.detail.push(("label_words_max", max_label_words));
-        rep
+        Ok(rep)
     }
 }
 
@@ -170,7 +196,8 @@ impl Pipeline for GirthPipeline {
         "girth"
     }
 
-    fn run(&self, sc: &Scenario) -> CellReport {
+    fn run(&self, sc: &Scenario) -> Result<CellReport, CellError> {
+        let ce = cell_err(sc, self.name());
         let g = sc.graph();
         let inst = sc.instance();
         let mut rep = CellReport::new(sc.name, self.name(), g.n(), g.m());
@@ -183,7 +210,7 @@ impl Pipeline for GirthPipeline {
             if part.graph.m() < part.graph.n() {
                 continue;
             }
-            let out = decompose_part(part, sc.t0, sc.seed, ci);
+            let out = decompose_part(part, sc.t0, sc.seed, ci).map_err(&ce)?;
             rep.note_decomposition(out.td.width(), out.td.stats().depth);
             // Half the `practical` trial count: the matrix asserts exact
             // equality per cell anyway (deterministic given the seed), so a
@@ -193,7 +220,8 @@ impl Pipeline for GirthPipeline {
                 seed: sc.seed.wrapping_mul(31).wrapping_add(ci as u64),
                 measure_distributed: true,
             };
-            let run = girth::girth_undirected(&part.inst, &out.td, &out.info, &cfg);
+            let run = girth::girth_undirected(&part.inst, &out.td, &out.info, &cfg)
+                .map_err(|e| ce(e.into()))?;
             let want = baselines::girth_exact_centralized(&part.inst);
             assert_eq!(
                 run.girth, want,
@@ -213,7 +241,7 @@ impl Pipeline for GirthPipeline {
         rep.checked += 1;
         rep.detail.push(("trials", trials));
         rep.output = if best >= INF { u64::MAX } else { best };
-        rep
+        Ok(rep)
     }
 }
 
@@ -227,7 +255,8 @@ impl Pipeline for MatchingPipeline {
         "matching"
     }
 
-    fn run(&self, sc: &Scenario) -> CellReport {
+    fn run(&self, sc: &Scenario) -> Result<CellReport, CellError> {
+        let ce = cell_err(sc, self.name());
         let g = sc.graph();
         let mut rep = CellReport::new(sc.name, self.name(), g.n(), g.m());
         let inst = sc.instance();
@@ -257,17 +286,15 @@ impl Pipeline for MatchingPipeline {
                 if sub.graph.n() == 1 {
                     continue;
                 }
-                let sside: Vec<bool> = sub
-                    .old_of
-                    .iter()
-                    .map(|&ov| side[ov as usize])
-                    .collect();
+                let sside: Vec<bool> = sub.old_of.iter().map(|&ov| side[ov as usize]).collect();
                 let want = baselines::matching_oracle(&sub.graph, &sside);
-                let out = decompose_part(sub, sc.t0, sc.seed, decomp_idx);
+                let out = decompose_part(sub, sc.t0, sc.seed, decomp_idx).map_err(&ce)?;
                 decomp_idx += 1;
                 rep.note_decomposition(out.td.width(), out.td.stats().depth);
                 let bi = BipartiteInstance::new(sub.graph.clone(), sside);
-                let got = bmatch::max_matching(&bi, &out.td, &out.info, bmatch::MatchMode::Distributed);
+                let got =
+                    bmatch::max_matching(&bi, &out.td, &out.info, bmatch::MatchMode::Distributed)
+                        .map_err(|e| ce(e.into()))?;
                 assert_eq!(
                     got.size(),
                     want,
@@ -284,7 +311,7 @@ impl Pipeline for MatchingPipeline {
         rep.detail.push(("augmentations", augmentations));
         rep.detail.push(("attempts", attempts));
         rep.output = total as u64;
-        rep
+        Ok(rep)
     }
 }
 
@@ -299,7 +326,8 @@ impl Pipeline for WalksPipeline {
         "walks"
     }
 
-    fn run(&self, sc: &Scenario) -> CellReport {
+    fn run(&self, sc: &Scenario) -> Result<CellReport, CellError> {
+        let ce = cell_err(sc, self.name());
         let g = sc.graph();
         let colored = sc.colored_instance(2);
         let mut rep = CellReport::new(sc.name, self.name(), g.n(), g.m());
@@ -310,7 +338,7 @@ impl Pipeline for WalksPipeline {
             if part.graph.n() == 1 {
                 continue;
             }
-            let out = decompose_part(part, sc.t0, sc.seed, ci);
+            let out = decompose_part(part, sc.t0, sc.seed, ci).map_err(&ce)?;
             rep.note_decomposition(out.td.width(), out.td.stats().depth);
             let (cdl, metrics) = CdlLabeling::build_distributed(
                 &part.inst,
@@ -318,7 +346,8 @@ impl Pipeline for WalksPipeline {
                 &out.td,
                 &out.info,
                 NetworkConfig::default(),
-            );
+            )
+            .map_err(|e| ce(e.into()))?;
             rep.metrics.absorb(&metrics);
             let pn = part.graph.n();
             for s in (0..pn as u32).step_by((pn / 4).max(1)) {
@@ -341,7 +370,7 @@ impl Pipeline for WalksPipeline {
                 }
             }
         }
-        rep
+        Ok(rep)
     }
 }
 
@@ -365,7 +394,9 @@ mod tests {
 
     #[test]
     fn sssp_cell_on_small_cactus() {
-        let rep = SsspPipeline.run(&tiny("test/cactus", Family::Cactus { n: 24 }));
+        let rep = SsspPipeline
+            .run(&tiny("test/cactus", Family::Cactus { n: 24 }))
+            .unwrap();
         assert_eq!(rep.checked, 24);
         assert!(rep.metrics.rounds > 0);
         assert!(!rep.phases.is_empty());
@@ -373,34 +404,42 @@ mod tests {
 
     #[test]
     fn girth_cell_on_ring() {
-        let rep = GirthPipeline.run(&tiny(
-            "test/ring",
-            Family::RingOfCliques { cliques: 3, size: 3 },
-        ));
+        let rep = GirthPipeline
+            .run(&tiny(
+                "test/ring",
+                Family::RingOfCliques {
+                    cliques: 3,
+                    size: 3,
+                },
+            ))
+            .unwrap();
         assert!(rep.output < u64::MAX, "a ring of triangles has cycles");
         assert!(rep.checked >= 2);
     }
 
     #[test]
     fn matching_cell_on_series_parallel() {
-        let rep = MatchingPipeline.run(&tiny("test/sp", Family::SeriesParallel { n: 26 }));
+        let rep = MatchingPipeline
+            .run(&tiny("test/sp", Family::SeriesParallel { n: 26 }))
+            .unwrap();
         assert!(rep.output > 0, "a connected graph has a nonempty matching");
         assert!(rep.checked >= 1);
     }
 
     #[test]
     fn walks_cell_on_halin() {
-        let rep = WalksPipeline.run(&tiny("test/halin", Family::Halin { n: 20 }));
+        let rep = WalksPipeline
+            .run(&tiny("test/halin", Family::Halin { n: 20 }))
+            .unwrap();
         assert!(rep.checked > 0);
         assert!(rep.metrics.rounds > 0, "virtual CDL rounds must be charged");
     }
 
     #[test]
     fn distlabel_cell_on_multi_component() {
-        let rep = DistLabelPipeline.run(&tiny(
-            "test/multi",
-            Family::MultiComponent { n: 40 },
-        ));
+        let rep = DistLabelPipeline
+            .run(&tiny("test/multi", Family::MultiComponent { n: 40 }))
+            .unwrap();
         assert!(rep.components >= 4);
         assert!(rep.checked > 0);
         assert!(rep

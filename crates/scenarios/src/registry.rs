@@ -180,7 +180,10 @@ pub fn corpus() -> Vec<Scenario> {
         },
         Scenario {
             name: "ring_of_cliques/c4_uniform",
-            family: Family::RingOfCliques { cliques: 8, size: 4 },
+            family: Family::RingOfCliques {
+                cliques: 8,
+                size: 4,
+            },
             weights: WeightModel::Uniform { wmax: 20 },
             seed: 4,
             tw_bound: Some(5),
@@ -189,8 +192,14 @@ pub fn corpus() -> Vec<Scenario> {
         },
         Scenario {
             name: "ring_of_cliques/c6_heavy",
-            family: Family::RingOfCliques { cliques: 5, size: 6 },
-            weights: WeightModel::HeavyTailed { wmax: 1_000, alpha: 1.2 },
+            family: Family::RingOfCliques {
+                cliques: 5,
+                size: 6,
+            },
+            weights: WeightModel::HeavyTailed {
+                wmax: 1_000,
+                alpha: 1.2,
+            },
             seed: 5,
             tw_bound: Some(7),
             elim_bound: Some(7),
@@ -207,8 +216,15 @@ pub fn corpus() -> Vec<Scenario> {
         },
         Scenario {
             name: "partial_ktree/heavy",
-            family: Family::PartialKtree { n: 44, k: 3, keep: 0.7 },
-            weights: WeightModel::HeavyTailed { wmax: 500, alpha: 1.1 },
+            family: Family::PartialKtree {
+                n: 44,
+                k: 3,
+                keep: 0.7,
+            },
+            weights: WeightModel::HeavyTailed {
+                wmax: 500,
+                alpha: 1.1,
+            },
             seed: 7,
             tw_bound: Some(3),
             elim_bound: Some(3),
@@ -216,7 +232,11 @@ pub fn corpus() -> Vec<Scenario> {
         },
         Scenario {
             name: "partial_ktree/uniform",
-            family: Family::PartialKtree { n: 52, k: 2, keep: 0.7 },
+            family: Family::PartialKtree {
+                n: 52,
+                k: 2,
+                keep: 0.7,
+            },
             weights: WeightModel::Uniform { wmax: 30 },
             seed: 8,
             tw_bound: Some(2),

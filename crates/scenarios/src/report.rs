@@ -1,6 +1,34 @@
 //! Run reports: charged-cost totals and per-cell records.
 
 use congest_sim::{Metrics, PhaseSnapshot};
+use std::fmt;
+use treedec::DecompError;
+
+/// A cell failed for an operational reason (simulator violation, invalid
+/// decomposition input) rather than a differential divergence — the latter
+/// is an invariant break and still asserts. Carries the cell coordinates
+/// so matrix drivers can report which workload died.
+#[derive(Debug)]
+pub struct CellError {
+    /// Scenario registry name.
+    pub scenario: String,
+    /// Pipeline name.
+    pub pipeline: &'static str,
+    /// The underlying failure.
+    pub source: DecompError,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}: {}", self.scenario, self.pipeline, self.source)
+    }
+}
+
+impl std::error::Error for CellError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// Charged-cost totals of one scenario × pipeline cell, aggregated over
 /// connected components under the **parallel composition** rule: components
@@ -23,14 +51,32 @@ pub struct MetricsTotal {
 }
 
 impl MetricsTotal {
-    /// Fold one component's full engine metrics into the total.
+    /// Fold one component's full engine metrics into the total. The rule
+    /// itself lives in [`congest_sim::PhaseSnapshot::par_absorb`] (and
+    /// [`Metrics::par_absorb`]) — this is a thin adapter so every consumer
+    /// aggregates identically.
     pub fn absorb(&mut self, m: &Metrics) {
-        self.rounds = self.rounds.max(m.rounds);
-        self.supersteps = self.supersteps.max(m.supersteps);
-        self.messages += m.messages;
-        self.words += m.words;
-        self.charged_rounds = self.charged_rounds.max(m.charged_rounds);
-        self.congestion = self.congestion.max(m.max_edge_words_in_superstep);
+        let mut acc = self.as_snapshot();
+        acc.par_absorb(&m.as_phase(""));
+        self.rounds = acc.rounds;
+        self.supersteps = acc.supersteps;
+        self.messages = acc.messages;
+        self.words = acc.words;
+        self.charged_rounds = acc.charged_rounds;
+        self.congestion = acc.max_edge_words_in_superstep;
+    }
+
+    /// The total viewed as an (unnamed) phase snapshot.
+    fn as_snapshot(&self) -> PhaseSnapshot {
+        PhaseSnapshot {
+            phase: String::new(),
+            rounds: self.rounds,
+            supersteps: self.supersteps,
+            messages: self.messages,
+            words: self.words,
+            charged_rounds: self.charged_rounds,
+            max_edge_words_in_superstep: self.congestion,
+        }
     }
 
     /// Fold a rounds-only measurement (pipelines that report charged rounds

@@ -2,8 +2,8 @@
 
 use crate::pipeline::{all_pipelines, Pipeline};
 use crate::registry::Scenario;
-use crate::report::CellReport;
-use treedec::decomp::DecompOutcome;
+use crate::report::{CellError, CellReport};
+use treedec::decomp::{DecompError, DecompOutcome};
 use treedec::dist::DistDecompOutcome;
 use twgraph::alg::components;
 use twgraph::{MultiDigraph, UGraph};
@@ -53,7 +53,12 @@ pub fn split_components(g: &UGraph, inst: &MultiDigraph) -> Vec<Part> {
 /// `(seed, comp)` pairs never alias (a plain `seed + comp` would collide
 /// with the next scenario's component 0 under the corpus's consecutive
 /// seeds).
-pub fn decompose_part(part: &Part, t0: u64, seed: u64, comp: usize) -> DecompOutcome {
+pub fn decompose_part(
+    part: &Part,
+    t0: u64,
+    seed: u64,
+    comp: usize,
+) -> Result<DecompOutcome, DecompError> {
     let cfg = treedec::SepConfig::practical(part.graph.n());
     let mut rng = twgraph::gen::derive_rng("scenario_decompose", &[comp as u64], seed);
     treedec::decompose_centralized(&part.graph, t0, &cfg, &mut rng)
@@ -66,32 +71,33 @@ pub fn decompose_part_distributed(
     t0: u64,
     seed: u64,
     comp: usize,
-) -> (DistDecompOutcome, congest_sim::Network) {
+) -> Result<(DistDecompOutcome, congest_sim::Network), DecompError> {
     let cfg = treedec::SepConfig::practical(part.graph.n());
     let mut rng = twgraph::gen::derive_rng("scenario_decompose", &[comp as u64], seed);
     let mut net =
         congest_sim::Network::new(part.graph.clone(), congest_sim::NetworkConfig::default());
-    let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng);
-    (out, net)
+    let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng)?;
+    Ok((out, net))
 }
 
 /// Run one cell.
-pub fn run_cell(sc: &Scenario, pipeline: &dyn Pipeline) -> CellReport {
+pub fn run_cell(sc: &Scenario, pipeline: &dyn Pipeline) -> Result<CellReport, CellError> {
     pipeline.run(sc)
 }
 
 /// Run the full scenario × pipeline cross-product. Panics on the first
 /// cell whose differential check diverges (the pipelines assert
-/// internally), so a clean return means every cell was verified.
-pub fn run_matrix(scenarios: &[Scenario]) -> Vec<CellReport> {
+/// internally) and propagates simulator/decomposition errors, so a clean
+/// return means every cell was verified.
+pub fn run_matrix(scenarios: &[Scenario]) -> Result<Vec<CellReport>, CellError> {
     let pipelines = all_pipelines();
     let mut reports = Vec::with_capacity(scenarios.len() * pipelines.len());
     for sc in scenarios {
         for p in &pipelines {
-            reports.push(run_cell(sc, p.as_ref()));
+            reports.push(run_cell(sc, p.as_ref())?);
         }
     }
-    reports
+    Ok(reports)
 }
 
 #[cfg(test)]
@@ -128,7 +134,7 @@ mod tests {
         let inst = gen::with_unit_weights(&g);
         let parts = split_components(&g, &inst);
         assert_eq!(parts.len(), 1);
-        let out = decompose_part(&parts[0], 3, 4, 0);
+        let out = decompose_part(&parts[0], 3, 4, 0).unwrap();
         out.td.verify(&parts[0].graph).unwrap();
     }
 }

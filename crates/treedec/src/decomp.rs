@@ -10,10 +10,54 @@
 
 use crate::config::SepConfig;
 use crate::sep::{sep_doubling, SepOutcome};
+use congest_sim::CongestError;
 use rand::Rng;
 use std::collections::VecDeque;
+use std::fmt;
 use twgraph::tw::TreeDecomposition;
 use twgraph::UGraph;
+
+/// Typed failure of a decomposition run. Input-validation conditions that
+/// used to panic at the library surface are reported here; callers decide
+/// whether to abort (test code may still `expect`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecompError {
+    /// The input graph has no vertices — there is nothing to decompose.
+    EmptyGraph,
+    /// The input communication graph is not connected; decompose each
+    /// component separately (the `G'_x`-connected invariant of §3.4 cannot
+    /// hold otherwise).
+    Disconnected,
+    /// A CONGEST model violation surfaced from the simulator.
+    Congest(CongestError),
+}
+
+impl fmt::Display for DecompError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompError::EmptyGraph => write!(f, "cannot decompose the empty graph"),
+            DecompError::Disconnected => {
+                write!(f, "input communication graph must be connected")
+            }
+            DecompError::Congest(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecompError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecompError::Congest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CongestError> for DecompError {
+    fn from(e: CongestError) -> Self {
+        DecompError::Congest(e)
+    }
+}
 
 /// Per-tree-node recursion record, kept for downstream algorithms
 /// (distance labeling walks the same G_x structure).
@@ -33,7 +77,12 @@ pub struct NodeInfo {
 impl NodeInfo {
     /// V(G_x) = V(G'_x) ∪ inherited (sorted).
     pub fn gx(&self) -> Vec<u32> {
-        let mut v: Vec<u32> = self.gpx.iter().chain(self.inherited.iter()).copied().collect();
+        let mut v: Vec<u32> = self
+            .gpx
+            .iter()
+            .chain(self.inherited.iter())
+            .copied()
+            .collect();
         v.sort_unstable();
         v
     }
@@ -84,13 +133,14 @@ pub fn decompose_centralized(
     t0: u64,
     cfg: &SepConfig,
     rng: &mut impl Rng,
-) -> DecompOutcome {
+) -> Result<DecompOutcome, DecompError> {
     let n = g.n();
-    assert!(n > 0, "cannot decompose the empty graph");
-    assert!(
-        twgraph::alg::is_connected(g),
-        "input communication graph must be connected"
-    );
+    if n == 0 {
+        return Err(DecompError::EmptyGraph);
+    }
+    if !twgraph::alg::is_connected(g) {
+        return Err(DecompError::Disconnected);
+    }
 
     let mut td = TreeDecomposition::default();
     let mut info: Vec<NodeInfo> = Vec::new();
@@ -172,7 +222,7 @@ pub fn decompose_centralized(
         });
     }
 
-    DecompOutcome { td, info, t_used }
+    Ok(DecompOutcome { td, info, t_used })
 }
 
 /// Connected components of the subgraph induced by `mask`, each sorted.
@@ -212,11 +262,27 @@ mod tests {
     fn check(g: &UGraph, t0: u64, seed: u64) -> DecompOutcome {
         let cfg = SepConfig::practical(g.n());
         let mut rng = SmallRng::seed_from_u64(seed);
-        let out = decompose_centralized(g, t0, &cfg, &mut rng);
+        let out = decompose_centralized(g, t0, &cfg, &mut rng).expect("decomposition failed");
         out.td
             .verify(g)
             .unwrap_or_else(|e| panic!("invalid decomposition: {e}"));
         out
+    }
+
+    #[test]
+    fn empty_and_disconnected_are_typed_errors() {
+        let cfg = SepConfig::practical(4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let empty = UGraph::empty(0);
+        assert_eq!(
+            decompose_centralized(&empty, 2, &cfg, &mut rng).unwrap_err(),
+            DecompError::EmptyGraph
+        );
+        let two = UGraph::empty(2); // two isolated vertices
+        assert_eq!(
+            decompose_centralized(&two, 2, &cfg, &mut rng).unwrap_err(),
+            DecompError::Disconnected
+        );
     }
 
     #[test]

@@ -9,19 +9,47 @@
 //! across parts in shared supersteps. Control decisions (loop advancement,
 //! balance verdicts) are orchestrated centrally and charged as O(height)
 //! control pulses per phase (DESIGN.md §4.4).
+//!
+//! ## Copy-free recursion
+//!
+//! The recursion state is arena-backed: each level keeps its subproblems as
+//! ranges into one flat vertex arena (`LevelArena`), membership tests go
+//! through a generation-stamped set ([`StampSet`]) instead of per-item
+//! binary searches, and all dense per-vertex scratch (the µ measure, the
+//! removed-roots mask, part labels) lives in a `SepScratch` pool that is
+//! reset sparsely and reused across every level and every `t`-doubling
+//! attempt. Nothing clones the graph and nothing allocates O(n) per
+//! subproblem; combined with the engine's scoped supersteps the whole
+//! construction costs O(work touched), not O(levels · n²).
+//!
+//! ## Sibling-branch scheduling
+//!
+//! Post-separator components are vertex disjoint, so the *local* work of
+//! sibling subproblems (split-tree carving, component search, boundary
+//! extraction) is embarrassingly parallel: it fans out over rayon in
+//! weight-balanced chunks (the engine's [`balanced_ranges`] idiom), keyed
+//! by [`SepConfig::branch_schedule`]. The *charged* schedule is untouched —
+//! sibling flows already share supersteps and per-item charging stays in
+//! deterministic item order — so parallel and sequential scheduling produce
+//! bit-identical decompositions and metrics (the parallel-composition rule;
+//! see `congest_sim::Metrics::par_absorb` for the aggregation law and the
+//! `branch_schedules_agree` proptest for the lock).
 
-use crate::config::SepConfig;
-use crate::decomp::{components_of, NodeInfo};
+use crate::config::{BranchSchedule, SepConfig};
+use crate::decomp::{DecompError, NodeInfo};
 use crate::sep::SepPath;
 use crate::split::{split_to_completion, STree};
-use congest_sim::Network;
+use congest_sim::{balanced_ranges, CongestError, Network};
 use rand::Rng;
-use std::collections::HashMap;
+use rayon::prelude::*;
+use std::collections::VecDeque;
 use subgraph_ops::ccd;
 use subgraph_ops::global::{build_global_tree, GlobalTree};
 use subgraph_ops::mvc::{batch_min_vertex_cut, CutInstance, CutResult};
 use subgraph_ops::pa;
-use subgraph_ops::{bfs::part_bfs_trees, Parts, TreeRoles};
+use subgraph_ops::{bfs::part_bfs_trees, ParentMap, Parts, TreeRoles};
+use twgraph::view::{StampSet, SubgraphView};
+use twgraph::UGraph;
 
 /// Result of the distributed decomposition.
 #[derive(Clone, Debug)]
@@ -39,11 +67,94 @@ pub struct DistDecompOutcome {
     pub backbone_rounds: u64,
 }
 
-/// One level item: a pending G'_x with its tree parent and boundary.
-struct Work {
-    parent: Option<usize>,
+/// One recursion level, stored copy-free: item vertex sets are ranges into
+/// flat arenas (`G'_x` members and inherited boundaries), reused across
+/// levels via [`clear`](LevelArena::clear).
+#[derive(Default)]
+struct LevelArena {
+    /// Concatenated sorted `G'_x` member segments.
     gpx: Vec<u32>,
-    inherited: Vec<u32>,
+    /// Concatenated sorted inherited-boundary segments.
+    inh: Vec<u32>,
+    /// Per item: the tree parent and both segment ranges.
+    items: Vec<ItemMeta>,
+}
+
+struct ItemMeta {
+    parent: Option<usize>,
+    gpx: (u32, u32),
+    inh: (u32, u32),
+}
+
+impl LevelArena {
+    fn clear(&mut self) {
+        self.gpx.clear();
+        self.inh.clear();
+        self.items.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn push_item(&mut self, parent: Option<usize>, gpx: &[u32], inh: &[u32]) {
+        let g0 = self.gpx.len() as u32;
+        self.gpx.extend_from_slice(gpx);
+        let i0 = self.inh.len() as u32;
+        self.inh.extend_from_slice(inh);
+        self.items.push(ItemMeta {
+            parent,
+            gpx: (g0, self.gpx.len() as u32),
+            inh: (i0, self.inh.len() as u32),
+        });
+    }
+
+    fn gpx_of(&self, i: usize) -> &[u32] {
+        let (a, b) = self.items[i].gpx;
+        &self.gpx[a as usize..b as usize]
+    }
+
+    fn inh_of(&self, i: usize) -> &[u32] {
+        let (a, b) = self.items[i].inh;
+        &self.inh[a as usize..b as usize]
+    }
+}
+
+/// Pooled dense scratch for the batched separator attempts: every buffer is
+/// allocated once per decomposition and reset *sparsely* (by walking the
+/// vertices actually touched, or by an O(1) stamp-generation bump), so one
+/// attempt costs O(members), not O(n).
+struct SepScratch {
+    /// µ measure (1 on the current call's members, 0 elsewhere).
+    mu: Vec<u64>,
+    /// Vertex → current item index (stamped per call).
+    item_of: StampSet,
+    /// Vertex → current `G_i` membership (stamped per iteration).
+    cur_of: StampSet,
+    /// Harvested split-tree roots R* (stamped per call).
+    removed: StampSet,
+    /// Dense part labels for [`Parts::from_labels`]; entries are cleared by
+    /// walking the member list that set them.
+    labels: Vec<Option<u32>>,
+    /// Sorted union of the current call's item members.
+    all_members: Vec<u32>,
+}
+
+impl SepScratch {
+    fn new(n: usize) -> Self {
+        SepScratch {
+            mu: vec![0; n],
+            item_of: StampSet::new(n),
+            cur_of: StampSet::new(n),
+            removed: StampSet::new(n),
+            labels: vec![None; n],
+            all_members: Vec::new(),
+        }
+    }
 }
 
 /// Outcome of one batched Sep attempt for one item.
@@ -52,89 +163,158 @@ enum ItemSep {
     Failed,
 }
 
+/// Run `f` over `0..n_items`, either sequentially or fanned out over rayon
+/// in weight-balanced chunks (`prefix[i]` = cumulative weight of the first
+/// `i` items — the engine's edge-balanced partitioning idiom). Worker
+/// scratch comes from `pool` (grown with `mk_scratch` on demand and handed
+/// back for the next level — no per-level O(n) allocations); results come
+/// back in item order either way, so the two schedules are observably
+/// identical.
+fn scheduled_map<T, S>(
+    schedule: BranchSchedule,
+    n_items: usize,
+    prefix: &[u64],
+    pool: &mut Vec<S>,
+    mk_scratch: impl Fn() -> S,
+    f: impl Fn(&mut S, usize) -> T + Sync,
+) -> Vec<T>
+where
+    T: Send,
+    S: Send,
+{
+    match schedule {
+        BranchSchedule::Sequential => {
+            if pool.is_empty() {
+                pool.push(mk_scratch());
+            }
+            let s = &mut pool[0];
+            (0..n_items).map(|i| f(s, i)).collect()
+        }
+        BranchSchedule::Parallel => {
+            let chunks = std::thread::available_parallelism()
+                .map_or(1, |p| p.get())
+                .clamp(1, 64);
+            let ranges = balanced_ranges(n_items, chunks, |i| prefix[i]);
+            while pool.len() < ranges.len() {
+                pool.push(mk_scratch());
+            }
+            let jobs: Vec<(std::ops::Range<usize>, &mut S)> =
+                ranges.into_iter().zip(pool.iter_mut()).collect();
+            let parts: Vec<Vec<T>> = jobs
+                .into_par_iter()
+                .map(|(r, s)| r.map(|i| f(s, i)).collect())
+                .collect();
+            parts.into_iter().flatten().collect()
+        }
+    }
+}
+
 /// Execute upflow/downflow traffic equivalent to one STA + total-share pass
 /// over the given split trees (the real flows `Split` needs per round:
 /// subtree sizes up, totals down).
-fn charge_split_flows(net: &mut Network, trees: &[(u32, &STree)], mu: &[u64]) {
+fn charge_split_flows(
+    net: &mut Network,
+    trees: &[(u32, &STree)],
+    mu: &[u64],
+) -> Result<(), CongestError> {
     if trees.is_empty() {
-        return;
+        return Ok(());
     }
     let n = net.n();
-    let maps: Vec<(u32, Vec<(u32, u32, bool)>)> = trees
+    let maps: Vec<ParentMap> = trees
         .iter()
-        .map(|&(pid, tr)| {
-            (
-                pid,
-                tr.nodes.iter().map(|&(v, p)| (v, p, false)).collect(),
-            )
-        })
+        .map(|&(pid, tr)| (pid, tr.nodes.iter().map(|&(v, p)| (v, p, false)).collect()))
         .collect();
     let roles = TreeRoles::from_parent_maps(n, maps);
-    let shared = pa::aggregate_and_share(net, &roles, |v, _p| Some(mu[v as usize]), |a, b| a + b);
+    let shared = pa::aggregate_and_share(net, &roles, |v, _p| Some(mu[v as usize]), |a, b| a + b)?;
     let _ = shared;
+    Ok(())
 }
 
-/// µ totals per compacted component id (distributed CCD + PA), plus the
-/// per-node component assignment. `active` selects the vertices still in
-/// play; `mu` is the measure.
-fn component_measures(
+/// µ totals per compacted component id (distributed CCD + PA) over the
+/// sorted active-vertex list, plus the per-position component assignment.
+/// `is_active` must hold exactly on `active` (the caller's stamps provide
+/// it, so no dense mask is built per call); `labels` is pooled dense
+/// scratch (restored to all-`None` before return).
+fn component_measures_on(
     net: &mut Network,
     gtree: &GlobalTree,
-    active: &[bool],
+    active: &[u32],
+    is_active: impl Fn(u32) -> bool + Sync,
     mu: &[u64],
-) -> (Vec<Option<u32>>, Vec<u64>) {
-    let labels = ccd::detect(net, active, |_, _| true);
-    let (ids, count) = ccd::compact_labels(&labels);
+    labels: &mut [Option<u32>],
+) -> Result<(Vec<u32>, Vec<u64>), CongestError> {
+    let raw = ccd::detect_on_with(net, active, is_active, |_, _| true)?;
+    let (ids, count) = ccd::compact_labels_on(&raw);
     if count == 0 {
-        return (ids, Vec::new());
+        return Ok((ids, Vec::new()));
     }
-    let parts = Parts::from_labels(&ids);
+    for (pos, &v) in active.iter().enumerate() {
+        labels[v as usize] = Some(ids[pos]);
+    }
+    let parts = Parts::from_labels(labels);
+    for &v in active {
+        labels[v as usize] = None;
+    }
     let roles = pa::steiner_roles(gtree, &parts);
-    let up = pa::aggregate(net, &roles, |v, _p| Some(mu[v as usize]), |a, b| a + b);
+    let up = pa::aggregate(net, &roles, |v, _p| Some(mu[v as usize]), |a, b| a + b)?;
     let mut totals = vec![0u64; count];
     for (p, total) in up.roots {
         totals[p as usize] = total;
     }
     gtree.charge_control_pulse(net);
-    (ids, totals)
+    Ok((ids, totals))
 }
 
 /// One batched Sep attempt at a fixed `t` across all `items` (each a
-/// connected, mutually non-adjacent vertex set). Returns per-item results.
+/// connected, mutually non-adjacent sorted vertex set). Returns per-item
+/// results. Charged traffic is identical to the historical per-item
+/// formulation; only the local bookkeeping is arena/stamp based.
 #[allow(clippy::too_many_arguments)]
 fn batched_sep_attempt(
     net: &mut Network,
     gtree: &GlobalTree,
-    g: &twgraph::UGraph,
-    items: &[&Vec<u32>],
+    items: &[&[u32]],
     t: u64,
     cfg: &SepConfig,
     rng: &mut impl Rng,
-) -> Vec<ItemSep> {
-    let n = net.n();
+    scratch: &mut SepScratch,
+) -> Result<Vec<ItemSep>, CongestError> {
     let n_items = items.len();
-    let mu: Vec<u64> = {
-        let mut m = vec![0u64; n];
-        for it in items {
-            for &v in it.iter() {
-                m[v as usize] = 1;
-            }
+
+    // Stamp membership and the µ measure; build the sorted member union.
+    scratch.item_of.clear();
+    scratch.removed.clear();
+    scratch.all_members.clear();
+    for (i, it) in items.iter().enumerate() {
+        for &v in it.iter() {
+            scratch.mu[v as usize] = 1;
+            scratch.item_of.insert(v, i as u32);
+            scratch.all_members.push(v);
         }
-        m
-    };
+    }
+    scratch.all_members.sort_unstable();
 
     // µ(G'_x) per item via PA over the item parts (real flow).
     let item_parts = {
-        let mut member_lists = vec![Vec::new(); n];
         for (i, it) in items.iter().enumerate() {
             for &v in it.iter() {
-                member_lists[v as usize].push(i as u32);
+                scratch.labels[v as usize] = Some(i as u32);
             }
         }
-        Parts::from_lists(n_items as u32, member_lists)
+        let parts = Parts::from_labels(&scratch.labels);
+        for &v in &scratch.all_members {
+            scratch.labels[v as usize] = None;
+        }
+        parts
     };
     let item_roles = pa::steiner_roles(gtree, &item_parts);
-    let up = pa::aggregate(net, &item_roles, |v, _p| Some(mu[v as usize]), |a, b| a + b);
+    let up = pa::aggregate(
+        net,
+        &item_roles,
+        |v, _p| Some(scratch.mu[v as usize]),
+        |a, b| a + b,
+    )?;
     let mut mu_g = vec![0u64; n_items];
     for (p, total) in up.roots {
         mu_g[p as usize] = total;
@@ -146,7 +326,7 @@ fn batched_sep_attempt(
     for i in 0..n_items {
         if mu_g[i] <= cfg.small_cutoff * t * t {
             result[i] = Some(ItemSep::Done {
-                separator: items[i].clone(),
+                separator: items[i].to_vec(),
                 path: SepPath::Small,
             });
         }
@@ -154,8 +334,8 @@ fn batched_sep_attempt(
 
     // Iterations: harvest split-tree roots, lockstep across items.
     let iters = cfg.iterations(t);
-    let mut cur: Vec<Vec<u32>> = items.iter().map(|it| (*it).clone()).collect(); // G_i members
-    let mut removed = vec![false; n]; // ⋃ R* over all items (disjoint parts)
+    let mut cur: Vec<Vec<u32>> = items.iter().map(|it| it.to_vec()).collect(); // G_i members
+    let mut carve_pool: Vec<()> = Vec::new(); // unit scratch, kept for the pool contract
     let mut r_star: Vec<Vec<u32>> = vec![Vec::new(); n_items];
     let mut tis: Vec<Vec<STree>> = vec![Vec::new(); n_items]; // all split trees per item
     for _i in 1..=iters {
@@ -167,62 +347,111 @@ fn batched_sep_attempt(
         }
         // RST per live item's current G_i (batched). Roots: minimum member
         // (a real run elects via SLE — charge one pulse).
-        let mut member_lists = vec![Vec::new(); n];
         let mut roots = Vec::new();
         for (slot, &i) in live.iter().enumerate() {
             for &v in &cur[i] {
-                member_lists[v as usize].push(slot as u32);
+                scratch.labels[v as usize] = Some(slot as u32);
             }
             roots.push((slot as u32, cur[i][0]));
         }
-        let parts = Parts::from_lists(live.len() as u32, member_lists);
+        let parts = Parts::from_labels(&scratch.labels);
+        for &i in &live {
+            for &v in &cur[i] {
+                scratch.labels[v as usize] = None;
+            }
+        }
         gtree.charge_control_pulse(net);
-        let trees = part_bfs_trees(net, &parts, &roots);
+        let trees = part_bfs_trees(net, &parts, &roots)?;
 
         // Split (centralized control over node-reported structure, with the
         // STA/total flows charged per split round — DESIGN.md §4.4).
+        // Sibling subproblems are disjoint: the carving itself fans out
+        // over rayon (weight-balanced by |G_i|), while the flows are
+        // charged afterwards in deterministic slot order — the sequential
+        // schedule the goldens lock.
         let split_rounds = (t.max(2)).ilog2() as usize + 2;
-        for (slot, &i) in live.iter().enumerate() {
-            let stree = stree_from_roles(&trees, slot as u32, roots[slot].1);
+        let mut weight_prefix = Vec::with_capacity(live.len() + 1);
+        weight_prefix.push(0u64);
+        for &i in &live {
+            weight_prefix.push(weight_prefix.last().unwrap() + cur[i].len() as u64);
+        }
+        let trees_ref = &trees;
+        let mu_ref = &scratch.mu;
+        let cur_ref = &cur;
+        let live_ref = &live;
+        let carved: Vec<(STree, Vec<STree>)> = scheduled_map(
+            cfg.branch_schedule,
+            live.len(),
+            &weight_prefix,
+            &mut carve_pool,
+            || (),
+            |_, slot| {
+                let i = live_ref[slot];
+                let stree = stree_from_roles(trees_ref, slot as u32, cur_ref[i][0]);
+                let ti = split_to_completion(stree.clone(), mu_ref, mu_g[i], t, cfg);
+                (stree, ti)
+            },
+        );
+        for (slot, (stree, ti)) in carved.into_iter().enumerate() {
+            let i = live[slot];
             for _ in 0..split_rounds {
-                charge_split_flows(net, &[(slot as u32, &stree)], &mu);
+                charge_split_flows(net, &[(slot as u32, &stree)], &scratch.mu)?;
             }
-            let ti = split_to_completion(stree, &mu, mu_g[i], t, cfg);
             let mut ri: Vec<u32> = ti.iter().map(|tr| tr.root).collect();
             ri.sort_unstable();
             ri.dedup();
             for &r in &ri {
-                if !removed[r as usize] {
-                    removed[r as usize] = true;
+                if !scratch.removed.contains(r) {
+                    scratch.removed.insert(r, 0);
                     r_star[i].push(r);
                 }
             }
             tis[i].extend(ti);
         }
 
-        // Balance check of R* per item + next G_{i+1} via CCD/PA.
-        let active: Vec<bool> = (0..n)
-            .map(|v| mu[v] > 0 && !removed[v] && items.iter().any(|it| it.binary_search(&(v as u32)).is_ok()))
+        // Balance check of R* per item + next G_{i+1} via CCD/PA. The
+        // active set covers every member not yet harvested (including
+        // already-finished items — their components keep flooding, which
+        // is what the charged schedule has always been).
+        let active: Vec<u32> = scratch
+            .all_members
+            .iter()
+            .copied()
+            .filter(|&v| !scratch.removed.contains(v))
             .collect();
-        let (ids, totals) = component_measures(net, gtree, &active, &mu);
-        // Assign components to items (components lie inside one item).
-        let mut comp_item: HashMap<u32, usize> = HashMap::new();
-        for v in 0..n {
-            if let Some(c) = ids[v] {
-                if let std::collections::hash_map::Entry::Vacant(e) = comp_item.entry(c) {
-                    let i = items
-                        .iter()
-                        .position(|it| it.binary_search(&(v as u32)).is_ok())
-                        .unwrap();
-                    e.insert(i);
-                }
+        let item_of = &scratch.item_of;
+        let removed = &scratch.removed;
+        let (ids, totals) = component_measures_on(
+            net,
+            gtree,
+            &active,
+            |v| item_of.contains(v) && !removed.contains(v),
+            &scratch.mu,
+            &mut scratch.labels,
+        )?;
+        // Assign components to items (components lie inside one item):
+        // first active vertex of a component determines it.
+        let mut comp_item: Vec<Option<usize>> = vec![None; totals.len()];
+        for (pos, &v) in active.iter().enumerate() {
+            let c = ids[pos] as usize;
+            if comp_item[c].is_none() {
+                comp_item[c] =
+                    Some(scratch.item_of.tag(v).expect("active vertex in no item") as usize);
+            }
+        }
+        // Stamp the live items' current G_i membership for O(1) lookups.
+        scratch.cur_of.clear();
+        for &i in &live {
+            for &v in &cur[i] {
+                scratch.cur_of.insert(v, i as u32);
             }
         }
         for &i in &live {
             let largest = comp_item
                 .iter()
-                .filter(|&(_, &it)| it == i)
-                .map(|(&c, _)| totals[c as usize])
+                .enumerate()
+                .filter(|&(_, &it)| it == Some(i))
+                .map(|(c, _)| totals[c])
                 .max()
                 .unwrap_or(0);
             if cfg.is_balanced(largest, mu_g[i]) {
@@ -236,12 +465,18 @@ fn batched_sep_attempt(
                 // G_{i+1} = heaviest component of G_i − R_i within item i.
                 let best_comp = comp_item
                     .iter()
-                    .filter(|&(_, &it)| it == i)
-                    .max_by_key(|&(&c, _)| (totals[c as usize], u32::MAX - c))
-                    .map(|(&c, _)| c);
+                    .enumerate()
+                    .filter(|&(_, &it)| it == Some(i))
+                    .max_by_key(|&(c, _)| (totals[c], usize::MAX - c))
+                    .map(|(c, _)| c as u32);
                 cur[i] = match best_comp {
-                    Some(c) => (0..n as u32)
-                        .filter(|&v| ids[v as usize] == Some(c) && cur[i].binary_search(&v).is_ok())
+                    Some(c) => active
+                        .iter()
+                        .enumerate()
+                        .filter(|&(pos, &v)| {
+                            ids[pos] == c && scratch.cur_of.tag(v) == Some(i as u32)
+                        })
+                        .map(|(_, &v)| v)
                         .collect(),
                     None => Vec::new(),
                 };
@@ -281,14 +516,14 @@ fn batched_sep_attempt(
                 xs.sort_unstable();
                 ys.sort_unstable();
                 instances.push(CutInstance {
-                    members: Some(items[i].clone()),
+                    members: Some(items[i].to_vec()),
                     sources: xs,
                     sinks: ys,
                 });
                 owner.push(i);
             }
         }
-        let cuts = batch_min_vertex_cut(net, &instances, t as usize);
+        let cuts = batch_min_vertex_cut(net, &instances, t as usize)?;
         let mut z: Vec<Vec<u32>> = vec![Vec::new(); n_items];
         for (k, cut) in cuts.into_iter().enumerate() {
             if let CutResult::Cut(c) = cut {
@@ -299,17 +534,28 @@ fn batched_sep_attempt(
         for &i in &open {
             z[i].sort_unstable();
             z[i].dedup();
-            let check = |sep: &Vec<u32>, net: &mut Network| -> bool {
-                let active: Vec<bool> = (0..n as u32)
-                    .map(|v| {
-                        items[i].binary_search(&v).is_ok() && sep.binary_search(&v).is_err()
-                    })
+            let item_of = &scratch.item_of;
+            let check = |sep: &Vec<u32>,
+                         net: &mut Network,
+                         labels: &mut Vec<Option<u32>>|
+             -> Result<bool, CongestError> {
+                let active: Vec<u32> = items[i]
+                    .iter()
+                    .copied()
+                    .filter(|v| sep.binary_search(v).is_err())
                     .collect();
-                let (_, totals) = component_measures(net, gtree, &active, &mu);
+                let (_, totals) = component_measures_on(
+                    net,
+                    gtree,
+                    &active,
+                    |v| item_of.tag(v) == Some(i as u32) && sep.binary_search(&v).is_err(),
+                    &scratch.mu,
+                    labels,
+                )?;
                 let largest = totals.iter().copied().max().unwrap_or(0);
-                cfg.is_balanced(largest, mu_g[i])
+                Ok(cfg.is_balanced(largest, mu_g[i]))
             };
-            if check(&z[i], net) {
+            if check(&z[i], net, &mut scratch.labels)? {
                 result[i] = Some(ItemSep::Done {
                     separator: z[i].clone(),
                     path: SepPath::Cuts,
@@ -318,7 +564,7 @@ fn batched_sep_attempt(
                 let mut u: Vec<u32> = z[i].iter().chain(r_star[i].iter()).copied().collect();
                 u.sort_unstable();
                 u.dedup();
-                if check(&u, net) {
+                if check(&u, net, &mut scratch.labels)? {
                     result[i] = Some(ItemSep::Done {
                         separator: u,
                         path: SepPath::Union,
@@ -327,24 +573,136 @@ fn batched_sep_attempt(
             }
         }
     }
-    let _ = g;
-    result
+
+    // Restore the pooled µ for the next call (sparse reset).
+    for &v in &scratch.all_members {
+        scratch.mu[v as usize] = 0;
+    }
+    Ok(result
         .into_iter()
         .map(|r| r.unwrap_or(ItemSep::Failed))
-        .collect()
+        .collect())
 }
 
 /// Extract the STree of part `pid` rooted at `root` from RST output.
 fn stree_from_roles(trees: &TreeRoles, pid: u32, root: u32) -> STree {
     let mut nodes = Vec::new();
-    for (v, list) in trees.roles.iter().enumerate() {
-        for r in list {
+    for &v in &trees.nodes {
+        for r in &trees.roles[v as usize] {
             if r.part == pid {
-                nodes.push((v as u32, r.parent));
+                nodes.push((v, r.parent));
             }
         }
     }
     STree { root, nodes }
+}
+
+/// Per-item output of the (parallelizable) level materialization.
+struct Materialized {
+    /// `true` → single bag `gpx ∪ inherited`, no children.
+    leaf: bool,
+    /// The bag `B_x` (leaf: `V(G_x)`; internal: `inherited ∪ S'_x`).
+    bag: Vec<u32>,
+    /// Children as `(component, child_inherited)` pairs, in component order.
+    children: Vec<(Vec<u32>, Vec<u32>)>,
+}
+
+/// Scratch for one materialization worker (one per rayon chunk).
+struct MatScratch {
+    mask: StampSet,
+    visited: StampSet,
+    queue: VecDeque<u32>,
+}
+
+/// Materialize one item: decide leaf/internal, compute the bag, and find
+/// the post-separator components with their inherited boundaries. Pure
+/// local computation over the view — no charged traffic.
+fn materialize_item(
+    g: &UGraph,
+    s: &mut MatScratch,
+    gpx: &[u32],
+    inherited: &[u32],
+    sep: &[u32],
+) -> Materialized {
+    let gx_size = gpx.len() + inherited.len();
+    let sx_size = sep.len() + inherited.len();
+    if gx_size <= 2 * sx_size {
+        // Leaf: B_x = V(G_x) (gpx and inherited are disjoint + sorted).
+        let mut bag = Vec::with_capacity(gx_size);
+        merge_sorted(gpx, inherited, &mut bag);
+        return Materialized {
+            leaf: true,
+            bag,
+            children: Vec::new(),
+        };
+    }
+
+    // Internal: B_x = inherited ∪ S'_x.
+    let mut bag: Vec<u32> = inherited.iter().chain(sep.iter()).copied().collect();
+    bag.sort_unstable();
+    bag.dedup();
+
+    // Components of G'_x − S'_x through the stamped view.
+    s.mask.clear();
+    for &v in gpx {
+        s.mask.insert(v, 0);
+    }
+    for &v in sep {
+        s.mask.remove(v);
+    }
+    let members: Vec<u32> = gpx
+        .iter()
+        .copied()
+        .filter(|&v| s.mask.contains(v))
+        .collect();
+    let mut comps = Vec::new();
+    SubgraphView::new(g, &members, &s.mask).components_into(
+        &mut s.visited,
+        &mut s.queue,
+        &mut comps,
+    );
+
+    // Tag each component's vertices, then collect every bag vertex adjacent
+    // to a component as that child's inherited boundary (in bag order,
+    // hence sorted).
+    s.visited.clear();
+    for (c, comp) in comps.iter().enumerate() {
+        for &v in comp {
+            s.visited.insert(v, c as u32);
+        }
+    }
+    let mut child_inh: Vec<Vec<u32>> = vec![Vec::new(); comps.len()];
+    let mut touched: Vec<u32> = Vec::new();
+    for &b in &bag {
+        touched.clear();
+        touched.extend(g.neighbors(b).iter().filter_map(|&u| s.visited.tag(u)));
+        touched.sort_unstable();
+        touched.dedup();
+        for &c in &touched {
+            child_inh[c as usize].push(b);
+        }
+    }
+    Materialized {
+        leaf: false,
+        bag,
+        children: comps.into_iter().zip(child_inh).collect(),
+    }
+}
+
+/// Merge two disjoint sorted lists into `out`.
+fn merge_sorted(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
 }
 
 /// Distributed tree decomposition of the network's communication graph
@@ -355,34 +713,40 @@ pub fn decompose_distributed(
     t0: u64,
     cfg: &SepConfig,
     rng: &mut impl Rng,
-) -> DistDecompOutcome {
+) -> Result<DistDecompOutcome, DecompError> {
     let n = net.n();
-    let g = net.graph().clone();
+    if n == 0 {
+        return Err(DecompError::EmptyGraph);
+    }
+    let g = net.graph_handle();
+    if !twgraph::alg::is_connected(&g) {
+        return Err(DecompError::Disconnected);
+    }
     let before_backbone = net.metrics().rounds;
-    let gtree = build_global_tree(net);
+    let gtree = build_global_tree(net)?;
     let backbone_rounds = net.metrics().rounds - before_backbone;
     let start_rounds = net.metrics().rounds;
 
     let mut td = twgraph::tw::TreeDecomposition::default();
     let mut info: Vec<NodeInfo> = Vec::new();
     let mut t = t0.max(2);
-    let mut level: Vec<Work> = vec![Work {
-        parent: None,
-        gpx: (0..n as u32).collect(),
-        inherited: Vec::new(),
-    }];
+    let mut scratch = SepScratch::new(n);
+    let mut mat_pool: Vec<MatScratch> = Vec::new();
+    let mut level = LevelArena::default();
+    let mut next_level = LevelArena::default();
+    level.push_item(None, &(0..n as u32).collect::<Vec<u32>>(), &[]);
 
     while !level.is_empty() {
         // Batched Sep over this level's items, with shared t-doubling.
-        let gpxs: Vec<&Vec<u32>> = level.iter().map(|w| &w.gpx).collect();
-        let mut seps: Vec<Option<(Vec<u32>, SepPath)>> = vec![None; level.len()];
+        let n_items = level.len();
+        let mut seps: Vec<Option<(Vec<u32>, SepPath)>> = (0..n_items).map(|_| None).collect();
         loop {
-            let open: Vec<usize> = (0..level.len()).filter(|&i| seps[i].is_none()).collect();
+            let open: Vec<usize> = (0..n_items).filter(|&i| seps[i].is_none()).collect();
             if open.is_empty() {
                 break;
             }
-            let open_items: Vec<&Vec<u32>> = open.iter().map(|&i| gpxs[i]).collect();
-            let results = batched_sep_attempt(net, &gtree, &g, &open_items, t, cfg, rng);
+            let open_items: Vec<&[u32]> = open.iter().map(|&i| level.gpx_of(i)).collect();
+            let results = batched_sep_attempt(net, &gtree, &open_items, t, cfg, rng, &mut scratch)?;
             let mut any_fail = false;
             for (slot, res) in results.into_iter().enumerate() {
                 match res {
@@ -397,73 +761,79 @@ pub fn decompose_distributed(
                 assert!(t <= 4 * n as u64 + 16, "t doubling ran away");
             }
         }
+        let seps: Vec<(Vec<u32>, SepPath)> = seps.into_iter().map(Option::unwrap).collect();
 
-        // Materialize tree nodes and the next level.
-        let mut next_level = Vec::new();
-        for (w, sep_out) in level.iter().zip(seps.into_iter()) {
-            let (sep, _path) = sep_out.unwrap();
-            let gx_size = w.gpx.len() + w.inherited.len();
-            let sx_size = sep.len() + w.inherited.len();
-            if gx_size <= 2 * sx_size {
-                let mut bag: Vec<u32> =
-                    w.gpx.iter().chain(w.inherited.iter()).copied().collect();
-                bag.sort_unstable();
-                td.push_bag(w.parent, bag);
+        // Materialize tree nodes and the next level: the per-item local
+        // work (component search, boundary extraction) fans out over
+        // rayon; bags and child items are then appended sequentially in
+        // item order, keeping tree node ids deterministic.
+        let mut weight_prefix = Vec::with_capacity(n_items + 1);
+        weight_prefix.push(0u64);
+        for i in 0..n_items {
+            weight_prefix.push(weight_prefix.last().unwrap() + level.gpx_of(i).len() as u64);
+        }
+        let level_ref = &level;
+        let seps_ref = &seps;
+        let g_ref = &g;
+        let materialized: Vec<Materialized> = scheduled_map(
+            cfg.branch_schedule,
+            n_items,
+            &weight_prefix,
+            &mut mat_pool,
+            || MatScratch {
+                mask: StampSet::new(n),
+                visited: StampSet::new(n),
+                queue: VecDeque::new(),
+            },
+            |s, i| {
+                materialize_item(
+                    g_ref,
+                    s,
+                    level_ref.gpx_of(i),
+                    level_ref.inh_of(i),
+                    &seps_ref[i].0,
+                )
+            },
+        );
+
+        next_level.clear();
+        for (i, m) in materialized.into_iter().enumerate() {
+            let (sep, _path) = &seps[i];
+            let parent = level.items[i].parent;
+            if m.leaf {
+                td.push_bag(parent, m.bag);
                 info.push(NodeInfo {
-                    gpx: w.gpx.clone(),
-                    inherited: w.inherited.clone(),
-                    sep,
+                    gpx: level.gpx_of(i).to_vec(),
+                    inherited: level.inh_of(i).to_vec(),
+                    sep: sep.clone(),
                     is_leaf: true,
                 });
                 continue;
             }
-            let mut bag: Vec<u32> = w.inherited.iter().chain(sep.iter()).copied().collect();
-            bag.sort_unstable();
-            bag.dedup();
-            let x = td.push_bag(w.parent, bag.clone());
+            let x = td.push_bag(parent, m.bag);
             debug_assert_eq!(x, info.len());
-            let mut mask = vec![false; n];
-            for &v in &w.gpx {
-                mask[v as usize] = true;
-            }
-            for &s in &sep {
-                mask[s as usize] = false;
-            }
-            for comp in components_of(&g, &mask) {
-                let mut comp_mask = vec![false; n];
-                for &v in &comp {
-                    comp_mask[v as usize] = true;
-                }
-                let child_inherited: Vec<u32> = bag
-                    .iter()
-                    .copied()
-                    .filter(|&b| g.neighbors(b).iter().any(|&u| comp_mask[u as usize]))
-                    .collect();
-                next_level.push(Work {
-                    parent: Some(x),
-                    gpx: comp,
-                    inherited: child_inherited,
-                });
+            for (comp, child_inherited) in &m.children {
+                next_level.push_item(Some(x), comp, child_inherited);
             }
             info.push(NodeInfo {
-                gpx: w.gpx.clone(),
-                inherited: w.inherited.clone(),
-                sep,
+                gpx: level.gpx_of(i).to_vec(),
+                inherited: level.inh_of(i).to_vec(),
+                sep: sep.clone(),
                 is_leaf: false,
             });
         }
-        level = next_level;
+        std::mem::swap(&mut level, &mut next_level);
     }
 
     let rounds = net.metrics().rounds - start_rounds;
     net.snapshot("treedec/decompose");
-    DistDecompOutcome {
+    Ok(DistDecompOutcome {
         td,
         info,
         t_used: t,
         rounds,
         backbone_rounds,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -478,7 +848,8 @@ mod tests {
         let mut net = Network::new(g.clone(), NetworkConfig::default());
         let cfg = SepConfig::practical(g.n());
         let mut rng = SmallRng::seed_from_u64(seed);
-        let out = decompose_distributed(&mut net, t0, &cfg, &mut rng);
+        let out = decompose_distributed(&mut net, t0, &cfg, &mut rng)
+            .expect("distributed decomposition failed");
         out.td
             .verify(g)
             .unwrap_or_else(|e| panic!("invalid distributed decomposition: {e}"));
@@ -512,6 +883,48 @@ mod tests {
         let g = cycle(10);
         let (out, _) = run(&g, 3, 4);
         assert_eq!(out.td.bags.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_is_typed_error() {
+        let g = twgraph::UGraph::empty(0);
+        let mut net = Network::new(g, NetworkConfig::default());
+        let cfg = SepConfig::practical(1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(
+            decompose_distributed(&mut net, 2, &cfg, &mut rng).unwrap_err(),
+            DecompError::EmptyGraph
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_is_typed_error() {
+        let g = twgraph::UGraph::empty(2); // two isolated vertices
+        let mut net = Network::new(g, NetworkConfig::default());
+        let cfg = SepConfig::practical(2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(
+            decompose_distributed(&mut net, 2, &cfg, &mut rng).unwrap_err(),
+            DecompError::Disconnected
+        );
+    }
+
+    #[test]
+    fn sequential_branch_schedule_matches_parallel() {
+        let g = ktree(120, 2, 9);
+        let run_with = |schedule: BranchSchedule| {
+            let mut net = Network::new(g.clone(), NetworkConfig::default());
+            let mut cfg = SepConfig::practical(g.n());
+            cfg.branch_schedule = schedule;
+            let mut rng = SmallRng::seed_from_u64(5);
+            let out = decompose_distributed(&mut net, 3, &cfg, &mut rng).unwrap();
+            (out.td, out.rounds, *net.metrics())
+        };
+        let (td_p, r_p, m_p) = run_with(BranchSchedule::Parallel);
+        let (td_s, r_s, m_s) = run_with(BranchSchedule::Sequential);
+        assert_eq!(td_p.bags, td_s.bags);
+        assert_eq!(r_p, r_s);
+        assert_eq!(m_p, m_s);
     }
 
     #[test]

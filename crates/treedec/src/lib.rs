@@ -33,7 +33,7 @@ pub mod dist;
 pub mod sep;
 pub mod split;
 
-pub use config::SepConfig;
-pub use decomp::{decompose_centralized, DecompOutcome};
+pub use config::{BranchSchedule, SepConfig};
+pub use decomp::{decompose_centralized, DecompError, DecompOutcome};
 pub use dist::{decompose_distributed, DistDecompOutcome};
 pub use sep::{sep_centralized, SepOutcome};

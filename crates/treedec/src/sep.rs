@@ -138,10 +138,7 @@ pub fn sep_centralized(
     cfg: &SepConfig,
     rng: &mut impl Rng,
 ) -> Option<SepOutcome> {
-    let mu_g: u64 = (0..g.n())
-        .filter(|&v| members[v])
-        .map(|v| mu[v])
-        .sum();
+    let mu_g: u64 = (0..g.n()).filter(|&v| members[v]).map(|v| mu[v]).sum();
 
     // Step 1.
     if mu_g <= cfg.small_cutoff * t * t {
@@ -156,9 +153,7 @@ pub fn sep_centralized(
     }
 
     // Steps 2–3: harvest split-tree roots over shrinking G_i.
-    let member_list: Vec<u32> = (0..g.n() as u32)
-        .filter(|&v| members[v as usize])
-        .collect();
+    let member_list: Vec<u32> = (0..g.n() as u32).filter(|&v| members[v as usize]).collect();
     let mut cur_members = members.to_vec(); // V(G_i)
     let mut removed = vec![false; g.n()]; // R*_i as a mask
     let mut r_star: Vec<u32> = Vec::new();
@@ -229,9 +224,8 @@ pub fn sep_centralized(
                 let mut ys = ti[b].members();
                 xs.sort_unstable();
                 ys.sort_unstable();
-                let mut memb: Vec<u32> = (0..g.n() as u32)
-                    .filter(|&v| members[v as usize])
-                    .collect();
+                let mut memb: Vec<u32> =
+                    (0..g.n() as u32).filter(|&v| members[v as usize]).collect();
                 memb.sort_unstable();
                 if let Some(cut) = min_vertex_cut(g, Some(&memb), &xs, &ys, t as usize) {
                     z.extend(cut);
@@ -377,15 +371,22 @@ mod tests {
         let g = banded_path(400, 2);
         let n = g.n();
         let mut mu = vec![0u64; n];
-        for v in 300..400 {
-            mu[v] = 1;
+        for m in mu.iter_mut().take(400).skip(300) {
+            *m = 1;
         }
         let cfg = SepConfig::practical(n);
         let mut rng = SmallRng::seed_from_u64(4);
         let members = vec![true; n];
         let out = sep_doubling(&g, &members, &mu, 3, &cfg, &mut rng);
         if out.path != SepPath::Small {
-            assert!(is_balanced_separator(&g, &members, &out.separator, &mu, 100, &cfg));
+            assert!(is_balanced_separator(
+                &g,
+                &members,
+                &out.separator,
+                &mu,
+                100,
+                &cfg
+            ));
             // Balance w.r.t. µ forces at least one separator vertex into
             // (or adjacent to) the heavy tail region.
             assert!(

@@ -394,7 +394,7 @@ mod tests {
         let mu_g: u64 = mu.iter().sum();
         let trees = split_to_completion(start, &mu, mu_g, 2, &cfg());
         let covered: usize = {
-            let mut seen = vec![false; 120];
+            let mut seen = [false; 120];
             for tr in &trees {
                 for &(v, _) in &tr.nodes {
                     seen[v as usize] = true;

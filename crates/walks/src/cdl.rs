@@ -1,9 +1,9 @@
 //! CDL(C) — constrained distance labeling (paper §5.2, Theorem 3) and
 //! constrained single-source shortest walks (Corollary 1).
 
-use crate::constraint::{StatefulConstraint, StateId, NABLA};
+use crate::constraint::{StateId, StatefulConstraint, NABLA};
 use crate::product::{build_product, ProductGraph};
-use congest_sim::{EdgeProjection, Metrics, Network, NetworkConfig};
+use congest_sim::{CongestError, EdgeProjection, Metrics, Network, NetworkConfig};
 use distlabel::label::{decode, Label};
 use distlabel::{build_labels_centralized, build_labels_distributed};
 use treedec::decomp::NodeInfo;
@@ -85,17 +85,16 @@ impl CdlLabeling {
         td: &TreeDecomposition,
         info: &[NodeInfo],
         cfg: NetworkConfig,
-    ) -> (Self, Metrics) {
+    ) -> Result<(Self, Metrics), CongestError> {
         let product = build_product(inst, c);
         let (ltd, linfo) = lift_decomposition(td, info, product.q);
         let virt = product.graph.comm_graph();
         let phys = inst.comm_graph();
         let q = product.q as u32;
-        let proj = EdgeProjection::from_hosts(&virt, &phys, |pv| pv / q);
+        let proj = EdgeProjection::from_hosts(&virt, &phys, |pv| pv / q)?;
         let mut vnet = Network::with_projection(virt, proj, cfg);
-        let (labels, _rounds) =
-            build_labels_distributed(&mut vnet, &product.graph, &ltd, &linfo);
-        (CdlLabeling { product, labels }, *vnet.metrics())
+        let (labels, _rounds) = build_labels_distributed(&mut vnet, &product.graph, &ltd, &linfo)?;
+        Ok((CdlLabeling { product, labels }, *vnet.metrics()))
     }
 
     /// The decoder `sdec(q, sla(u), sla(v))`: shortest C(q)-walk weight
@@ -187,14 +186,11 @@ mod tests {
         )
     }
 
-    fn decomposition_of(
-        inst: &MultiDigraph,
-        seed: u64,
-    ) -> (TreeDecomposition, Vec<NodeInfo>) {
+    fn decomposition_of(inst: &MultiDigraph, seed: u64) -> (TreeDecomposition, Vec<NodeInfo>) {
         let g = inst.comm_graph();
         let cfg = SepConfig::practical(g.n());
         let mut rng = SmallRng::seed_from_u64(seed);
-        let dec = decompose_centralized(&g, 3, &cfg, &mut rng);
+        let dec = decompose_centralized(&g, 3, &cfg, &mut rng).unwrap();
         (dec.td, dec.info)
     }
 
@@ -219,11 +215,7 @@ mod tests {
             let sssp = ConstrainedSssp::run(&inst, &c, s);
             for t in 0..36u32 {
                 for q in 2..c.n_states() as StateId {
-                    assert_eq!(
-                        cdl.dist(s, t, q),
-                        sssp.dist(t, q),
-                        "{s}→{t} state {q}"
-                    );
+                    assert_eq!(cdl.dist(s, t, q), sssp.dist(t, q), "{s}→{t} state {q}");
                 }
             }
         }
@@ -235,13 +227,9 @@ mod tests {
         let (td, info) = decomposition_of(&inst, 6);
         let c = ColoredWalk { colors: 2 };
         let central = CdlLabeling::build_centralized(&inst, &c, &td, &info);
-        let (dist, metrics) = CdlLabeling::build_distributed(
-            &inst,
-            &c,
-            &td,
-            &info,
-            NetworkConfig::default(),
-        );
+        let (dist, metrics) =
+            CdlLabeling::build_distributed(&inst, &c, &td, &info, NetworkConfig::default())
+                .unwrap();
         assert_eq!(central.labels, dist.labels);
         assert!(metrics.rounds > 0);
     }
@@ -280,13 +268,11 @@ mod tests {
                     Some(walk) => {
                         // Weight matches, endpoints match, constraint holds,
                         // final state matches.
-                        let total: u64 =
-                            walk.iter().map(|&a| inst.arc(a).weight).sum();
+                        let total: u64 = walk.iter().map(|&a| inst.arc(a).weight).sum();
                         assert_eq!(total, d);
                         assert_eq!(inst.arc(walk[0]).src, 0);
                         assert_eq!(inst.arc(*walk.last().unwrap()).dst, t);
-                        let arcs: Vec<Arc> =
-                            walk.iter().map(|&a| *inst.arc(a)).collect();
+                        let arcs: Vec<Arc> = walk.iter().map(|&a| *inst.arc(a)).collect();
                         assert_eq!(c.walk_state(&arcs), q);
                         // Consecutive arcs share endpoints (a real walk).
                         for w in walk.windows(2) {
@@ -315,6 +301,7 @@ mod tests {
         let rounds = |cmax: u32| {
             let c = CountWalk { c: cmax };
             CdlLabeling::build_distributed(&inst, &c, &td, &info, NetworkConfig::default())
+                .unwrap()
                 .1
                 .rounds
         };

@@ -26,8 +26,7 @@ pub trait StatefulConstraint {
 
     /// The state of a whole walk (the paper's M), folded from ▽.
     fn walk_state(&self, arcs: &[Arc]) -> StateId {
-        arcs.iter()
-            .fold(NABLA, |q, a| self.transition(a, q))
+        arcs.iter().fold(NABLA, |q, a| self.transition(a, q))
     }
 
     /// Human-readable state name for traces and the Fig. 3 demo.

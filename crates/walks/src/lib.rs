@@ -25,7 +25,7 @@ pub mod product;
 
 pub use cdl::{CdlLabeling, ConstrainedSssp};
 pub use constraint::{
-    ColoredWalk, CountWalk, ForbiddenTransitionWalk, ParityWalk, StateId, StatefulConstraint,
-    BOT, NABLA,
+    ColoredWalk, CountWalk, ForbiddenTransitionWalk, ParityWalk, StateId, StatefulConstraint, BOT,
+    NABLA,
 };
-pub use product::{build_product, brute_force_constrained_dist, ProductGraph};
+pub use product::{brute_force_constrained_dist, build_product, ProductGraph};

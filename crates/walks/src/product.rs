@@ -1,6 +1,6 @@
 //! The product graph `G_C` (paper §5.2, Lemma 5, Fig. 3).
 
-use crate::constraint::{StatefulConstraint, StateId, BOT, NABLA};
+use crate::constraint::{StateId, StatefulConstraint, BOT, NABLA};
 use twgraph::{Arc, MultiDigraph, UEdgeId};
 
 /// The explicit product multigraph on `V(G) × Q`.
@@ -175,10 +175,7 @@ mod tests {
                         // Walk length bound: weights ≤ 9, n·|Q| states ⇒
                         // 35 edges more than suffice on 6 vertices.
                         let brute = brute_force_constrained_dist(&g, &c, s, t, q, 35);
-                        assert_eq!(
-                            via_product, brute,
-                            "seed {seed}, {s}→{t} state {q}"
-                        );
+                        assert_eq!(via_product, brute, "seed {seed}, {s}→{t} state {q}");
                     }
                 }
             }

@@ -60,5 +60,8 @@ fn main() {
     let sizes: Vec<u64> = done.iter().map(|d| d.mu(&mu)).collect();
     println!("sizes: {sizes:?}");
     let roots: std::collections::BTreeSet<u32> = done.iter().map(|d| d.root).collect();
-    println!("root set R (the separator harvest): {} distinct vertices", roots.len());
+    println!(
+        "root set R (the separator harvest): {} distinct vertices",
+        roots.len()
+    );
 }

@@ -13,13 +13,13 @@ use lowtw::twgraph;
 fn main() {
     let g = twgraph::gen::grid(4, 40);
     println!("4×40 grid: n = {}, m = {}, τ = 4\n", g.n(), g.m());
-    let session = Session::decompose(&g, 5, 3);
+    let session = Session::decompose(&g, 5, 3).unwrap();
     session.td.verify(&g).expect("decomposition must be valid");
 
     let depths = session.td.depths();
-    for x in 0..session.td.bags.len() {
+    for (x, depth) in depths.iter().enumerate().take(session.td.bags.len()) {
         let ni = &session.info[x];
-        let indent = "  ".repeat(depths[x]);
+        let indent = "  ".repeat(*depth);
         let string: Vec<String> = session
             .td
             .string_of(x)

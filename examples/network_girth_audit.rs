@@ -28,13 +28,13 @@ fn main() {
     let g = inst.comm_graph();
     println!("backbone: n = {n}, m = {}, checking shortest cycle…", g.m());
 
-    let session = Session::decompose(&g, 4, 13);
+    let session = Session::decompose(&g, 4, 13).unwrap();
     let cfg = girth::GirthConfig {
         trials_per_c: 8,
         seed: 99,
         measure_distributed: true,
     };
-    let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg);
+    let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg).unwrap();
     let truth = baselines::girth_exact_centralized(&inst);
     println!(
         "girth = {} (exact oracle: {truth}); {} trials, ≈{} rounds per trial",
@@ -44,5 +44,7 @@ fn main() {
 
     // The directed variant is a one-liner on top of the labels.
     let directed = session.girth_directed(&inst);
-    println!("as a directed multigraph the girth is {directed} (twin arcs allow 2-cycles: 2·min weight)");
+    println!(
+        "as a directed multigraph the girth is {directed} (twin arcs allow 2-cycles: 2·min weight)"
+    );
 }

@@ -23,7 +23,7 @@ pub fn main() {
     );
 
     // Theorem 1: tree decomposition (distributed, rounds measured).
-    let (session, td_rounds) = Session::decompose_distributed(&g, 4, 42);
+    let (session, td_rounds) = Session::decompose_distributed(&g, 4, 42).unwrap();
     println!(
         "tree decomposition: width = {}, depth = {}, rounds = {}",
         session.width(),
@@ -32,7 +32,7 @@ pub fn main() {
     );
 
     // Theorem 2: exact distance labeling (distributed, rounds measured).
-    let (labels, dl_rounds) = session.labels_distributed(&inst);
+    let (labels, dl_rounds) = session.labels_distributed(&inst).unwrap();
     let max_label = labels.iter().map(|l| l.words()).max().unwrap();
     println!("labels: max size = {max_label} words, construction rounds = {dl_rounds}");
 
@@ -45,9 +45,9 @@ pub fn main() {
 
     // SSSP via one label broadcast vs distributed Bellman–Ford.
     let mut net = Network::new(g.clone(), NetworkConfig::default());
-    let (dists, sssp_rounds) = distlabel::sssp_distributed(&mut net, &labels, 0);
+    let (dists, sssp_rounds) = distlabel::sssp_distributed(&mut net, &labels, 0).unwrap();
     let mut net2 = Network::new(g.clone(), NetworkConfig::default());
-    let (bf, bf_rounds) = baselines::bellman_ford_distributed(&mut net2, &inst, 0);
+    let (bf, bf_rounds) = baselines::bellman_ford_distributed(&mut net2, &inst, 0).unwrap();
     assert_eq!(dists, bf);
     println!(
         "SSSP rounds: label broadcast = {} (plus {dl_rounds} one-time), Bellman–Ford = {}",

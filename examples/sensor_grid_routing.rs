@@ -23,8 +23,8 @@ fn main() {
         rows + cols - 2
     );
 
-    let session = Session::decompose(&g, rows as u64 + 1, 7);
-    let (labels, rounds) = session.labels_distributed(&inst);
+    let session = Session::decompose(&g, rows as u64 + 1, 7).unwrap();
+    let (labels, rounds) = session.labels_distributed(&inst).unwrap();
     println!(
         "labeling built in {rounds} CONGEST rounds; width = {}, depth = {}",
         session.width(),
@@ -32,10 +32,12 @@ fn main() {
     );
 
     // Label budget per node (what each sensor stores).
-    let avg: f64 =
-        labels.iter().map(|l| l.words() as f64).sum::<f64>() / labels.len() as f64;
+    let avg: f64 = labels.iter().map(|l| l.words() as f64).sum::<f64>() / labels.len() as f64;
     let max = labels.iter().map(|l| l.words()).max().unwrap();
-    println!("routing-table size: avg {avg:.1} words, max {max} words (n = {})", g.n());
+    println!(
+        "routing-table size: avg {avg:.1} words, max {max} words (n = {})",
+        g.n()
+    );
 
     // A few latency queries, answered pairwise-locally.
     let corners = [0u32, (cols - 1) as u32, ((rows - 1) * cols) as u32];

@@ -22,16 +22,17 @@ fn main() {
         g.m()
     );
 
-    let session = Session::decompose(&g, 2 * window as u64 + 2, 11);
+    let session = Session::decompose(&g, 2 * window as u64 + 2, 11).unwrap();
     println!(
         "separator hierarchy: width = {}, depth = {}",
         session.width(),
         session.depth()
     );
 
-    let out = session.max_matching(&inst, bmatch::MatchMode::Centralized);
-    let optimal =
-        baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
+    let out = session
+        .max_matching(&inst, bmatch::MatchMode::Centralized)
+        .unwrap();
+    let optimal = baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
     println!(
         "matched {} pairs in {} augmentations over {} separator activations (optimal = {optimal})",
         out.size(),
@@ -53,7 +54,6 @@ fn main() {
 
     // Distributed baseline comparison (Õ(s_max)-round flavour).
     let mut net = Network::new(g.clone(), NetworkConfig::default());
-    let (_, base_rounds) =
-        baselines::matching_distributed_baseline(&mut net, &g, &side);
+    let (_, base_rounds) = baselines::matching_distributed_baseline(&mut net, &g, &side).unwrap();
     println!("alternating-BFS baseline used {base_rounds} rounds");
 }

@@ -31,42 +31,64 @@ fn metrics_line(case: &str, stage: &str, m: &congest_sim::Metrics) -> String {
 
 fn value_line(case: &str, stage: &str, fields: &[(&str, u64)]) -> String {
     let body: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
-    format!("{{\"case\":\"{case}\",\"stage\":\"{stage}\",{}}}", body.join(","))
+    format!(
+        "{{\"case\":\"{case}\",\"stage\":\"{stage}\",{}}}",
+        body.join(",")
+    )
 }
 
 /// Full distributed SSSP pipeline on one net: tree decomposition →
 /// distance labeling → one label-broadcast query. Captures the cumulative
 /// metrics after every stage plus a correctness check against Dijkstra.
-fn sssp_case(name: &str, g: &UGraph, inst: &MultiDigraph, t0: u64, seed: u64, src: u32) -> Vec<String> {
+fn sssp_case(
+    name: &str,
+    g: &UGraph,
+    inst: &MultiDigraph,
+    t0: u64,
+    seed: u64,
+    src: u32,
+) -> Vec<String> {
     let mut lines = Vec::new();
     let mut net = Network::new(g.clone(), NetworkConfig::default());
     let cfg = lowtw::SepConfig::practical(g.n());
     let mut rng = SmallRng::seed_from_u64(seed);
 
-    let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng);
+    let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng).unwrap();
     out.td.verify(g).unwrap();
     lines.push(metrics_line(name, "decompose", net.metrics()));
 
-    let (labels, _) = distlabel::build_labels_distributed(&mut net, inst, &out.td, &out.info);
+    let (labels, _) =
+        distlabel::build_labels_distributed(&mut net, inst, &out.td, &out.info).unwrap();
     lines.push(metrics_line(name, "label", net.metrics()));
 
-    let (dists, _) = distlabel::sssp_distributed(&mut net, &labels, src);
-    assert_eq!(dists, twgraph::alg::dijkstra(inst, src).dist, "{name}: sssp incorrect");
+    let (dists, _) = distlabel::sssp_distributed(&mut net, &labels, src).unwrap();
+    assert_eq!(
+        dists,
+        twgraph::alg::dijkstra(inst, src).dist,
+        "{name}: sssp incorrect"
+    );
     lines.push(metrics_line(name, "query", net.metrics()));
     lines
 }
 
 /// Directed girth from labels, measured on its own net.
 fn girth_directed_case(name: &str, g: &UGraph, inst: &MultiDigraph, seed: u64) -> Vec<String> {
-    let session = Session::decompose(g, 3, seed);
+    let session = Session::decompose(g, 3, seed).unwrap();
     let labels = session.labels(inst);
     let mut net = Network::new(g.clone(), NetworkConfig::default());
-    let (girth_val, _) = girth::girth_directed_distributed(&mut net, inst, &labels);
+    let (girth_val, _) = girth::girth_directed_distributed(&mut net, inst, &labels).unwrap();
     let mut lines = vec![metrics_line(name, "query", net.metrics())];
     lines.push(value_line(
         name,
         "result",
-        &[("girth", if girth_val >= INF { u64::MAX } else { girth_val })],
+        &[(
+            "girth",
+            if girth_val >= INF {
+                u64::MAX
+            } else {
+                girth_val
+            },
+        )],
     ));
     lines
 }
@@ -76,19 +98,26 @@ fn girth_directed_case(name: &str, g: &UGraph, inst: &MultiDigraph, seed: u64) -
 fn girth_undirected_case(name: &str, g: &UGraph, wmax: u64, seed: u64) -> Vec<String> {
     let inst = twgraph::gen::with_random_weights(g, wmax, seed);
     let want = baselines::girth_exact_centralized(&inst);
-    let session = Session::decompose(g, 3, seed);
+    let session = Session::decompose(g, 3, seed).unwrap();
     let cfg = girth::GirthConfig {
         trials_per_c: 2,
         seed,
         measure_distributed: true,
     };
-    let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg);
+    let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg).unwrap();
     assert!(run.girth >= want, "{name}: girth underestimated");
     vec![value_line(
         name,
         "result",
         &[
-            ("girth", if run.girth >= INF { u64::MAX } else { run.girth }),
+            (
+                "girth",
+                if run.girth >= INF {
+                    u64::MAX
+                } else {
+                    run.girth
+                },
+            ),
             ("trials", run.trials as u64),
             ("rounds_per_trial", run.rounds_per_trial),
             ("rounds_total", run.rounds_total),
@@ -104,8 +133,9 @@ fn distlabel_case(name: &str, g: &UGraph, inst: &MultiDigraph, t0: u64, seed: u6
     let mut net = Network::new(g.clone(), NetworkConfig::default());
     let cfg = lowtw::SepConfig::practical(g.n());
     let mut rng = SmallRng::seed_from_u64(seed);
-    let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng);
-    let (labels, _) = distlabel::build_labels_distributed(&mut net, inst, &out.td, &out.info);
+    let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng).unwrap();
+    let (labels, _) =
+        distlabel::build_labels_distributed(&mut net, inst, &out.td, &out.info).unwrap();
     lines.push(metrics_line(name, "label", net.metrics()));
     let words: Vec<u64> = labels.iter().map(|l| l.words() as u64).collect();
     let mut checksum = 0u64;
@@ -136,17 +166,21 @@ fn walks_case(name: &str, g: &UGraph, colors: u32, wmax: u64, t0: u64, seed: u64
     let inst = twgraph::gen::with_colored_weights(g, wmax, colors, seed);
     let cfg = lowtw::SepConfig::practical(g.n());
     let mut rng = SmallRng::seed_from_u64(seed);
-    let out = treedec::decompose_centralized(g, t0, &cfg, &mut rng);
+    let out = treedec::decompose_centralized(g, t0, &cfg, &mut rng).unwrap();
     let c = ColoredWalk { colors };
     let (cdl, metrics) =
-        CdlLabeling::build_distributed(&inst, &c, &out.td, &out.info, NetworkConfig::default());
+        CdlLabeling::build_distributed(&inst, &c, &out.td, &out.info, NetworkConfig::default())
+            .unwrap();
     let mut checksum = 0u64;
     for s in (0..g.n() as u32).step_by(5) {
         let truth = baselines::constrained_sssp_oracle(&inst, &c, s);
         for t in 0..g.n() as u32 {
             for q in 0..c.n_states() as stateful_walks::StateId {
                 let got = cdl.dist(s, t, q);
-                assert_eq!(got, truth[t as usize][q as usize], "{name}: {s}→{t} state {q}");
+                assert_eq!(
+                    got, truth[t as usize][q as usize],
+                    "{name}: {s}→{t} state {q}"
+                );
                 checksum = checksum.rotate_left(9) ^ got;
             }
         }
@@ -162,8 +196,10 @@ fn walks_case(name: &str, g: &UGraph, colors: u32, wmax: u64, t0: u64, seed: u64
 fn matching_case(name: &str, nl: usize, nr: usize, band: usize, p: f64, seed: u64) -> Vec<String> {
     let (g, side) = twgraph::gen::bipartite_banded(nl, nr, band, p, seed);
     let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
-    let session = Session::decompose(&g, 3, seed);
-    let out = session.max_matching(&inst, bmatch::MatchMode::Distributed);
+    let session = Session::decompose(&g, 3, seed).unwrap();
+    let out = session
+        .max_matching(&inst, bmatch::MatchMode::Distributed)
+        .unwrap();
     let want = baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
     assert_eq!(out.size(), want, "{name}: matching not maximum");
     vec![value_line(
@@ -209,17 +245,43 @@ fn run_corpus() -> Vec<String> {
     {
         let g = twgraph::gen::series_parallel(64, 31);
         let inst = twgraph::gen::with_random_weights(&g, 20, 31);
-        lines.extend(distlabel_case("distlabel/series_parallel_64", &g, &inst, 3, 31));
+        lines.extend(distlabel_case(
+            "distlabel/series_parallel_64",
+            &g,
+            &inst,
+            3,
+            31,
+        ));
     }
     {
         let g = twgraph::gen::ring_of_cliques(6, 4);
         let inst = twgraph::gen::with_heavy_tailed_weights(&g, 400, 1.2, 32);
-        lines.extend(distlabel_case("distlabel/ring_cliques_6x4_heavy", &g, &inst, 5, 32));
+        lines.extend(distlabel_case(
+            "distlabel/ring_cliques_6x4_heavy",
+            &g,
+            &inst,
+            5,
+            32,
+        ));
     }
 
     // --- Stateful-walk pipelines ----------------------------------------
-    lines.extend(walks_case("walks/cactus_36", &twgraph::gen::cactus(36, 33), 2, 9, 3, 33));
-    lines.extend(walks_case("walks/halin_30", &twgraph::gen::halin(30, 34), 3, 5, 4, 34));
+    lines.extend(walks_case(
+        "walks/cactus_36",
+        &twgraph::gen::cactus(36, 33),
+        2,
+        9,
+        3,
+        33,
+    ));
+    lines.extend(walks_case(
+        "walks/halin_30",
+        &twgraph::gen::halin(30, 34),
+        3,
+        5,
+        4,
+        34,
+    ));
 
     // --- Girth pipelines ------------------------------------------------
     {
@@ -227,7 +289,12 @@ fn run_corpus() -> Vec<String> {
         let inst = twgraph::gen::random_orientation(&g, 9, 0.4, 13);
         lines.extend(girth_directed_case("girth/directed_pk_60_2", &g, &inst, 13));
     }
-    lines.extend(girth_undirected_case("girth/undirected_cycle_20", &twgraph::gen::cycle(20), 5, 15));
+    lines.extend(girth_undirected_case(
+        "girth/undirected_cycle_20",
+        &twgraph::gen::cycle(20),
+        5,
+        15,
+    ));
 
     // --- Matching pipeline ----------------------------------------------
     // Large enough that the decomposition has internal separator nodes, so
@@ -258,7 +325,12 @@ fn metrics_match_seed_engine_goldens() {
         )
     });
     let want: Vec<&str> = want_raw.lines().collect();
-    for (i, (g, w)) in got.iter().map(String::as_str).zip(want.iter().copied()).enumerate() {
+    for (i, (g, w)) in got
+        .iter()
+        .map(String::as_str)
+        .zip(want.iter().copied())
+        .enumerate()
+    {
         assert_eq!(g, w, "golden line {} diverged from the seed engine", i + 1);
     }
     assert_eq!(got.len(), want.len(), "golden line count changed");

@@ -43,9 +43,10 @@ fn sssp_pipeline(
     let cfg = treedec::SepConfig::practical(g.n());
     let mut rng = SmallRng::seed_from_u64(7);
     let mut net = Network::new(g.clone(), net_cfg);
-    let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng);
-    let (labels, _) = distlabel::build_labels_distributed(&mut net, inst, &out.td, &out.info);
-    let (d, _) = distlabel::sssp_distributed(&mut net, &labels, 0);
+    let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng).unwrap();
+    let (labels, _) =
+        distlabel::build_labels_distributed(&mut net, inst, &out.td, &out.info).unwrap();
+    let (d, _) = distlabel::sssp_distributed(&mut net, &labels, 0).unwrap();
     (d, *net.metrics())
 }
 
@@ -95,7 +96,7 @@ fn relabeling_changes_schedule_but_not_outputs() {
     for (name, g, inst, t0) in connected_corpus() {
         let cfg = treedec::SepConfig::practical(g.n());
         let mut rng = SmallRng::seed_from_u64(11);
-        let out = treedec::decompose_centralized(&g, t0, &cfg, &mut rng);
+        let out = treedec::decompose_centralized(&g, t0, &cfg, &mut rng).unwrap();
 
         let mut perm: Vec<u32> = (0..g.n() as u32).collect();
         perm.shuffle(&mut SmallRng::seed_from_u64(0xA11CE));
@@ -105,7 +106,11 @@ fn relabeling_changes_schedule_but_not_outputs() {
         let info2: Vec<_> = out.info.iter().map(|ni| ni.relabeled(&perm)).collect();
         td2.verify(&g2)
             .unwrap_or_else(|e| panic!("{name}: relabeled decomposition invalid: {e}"));
-        assert_eq!(td2.width(), out.td.width(), "{name}: relabeling changed the width");
+        assert_eq!(
+            td2.width(),
+            out.td.width(),
+            "{name}: relabeling changed the width"
+        );
 
         // Labels built on both sides: the decode table must commute with π.
         let l1 = distlabel::build_labels_centralized(&inst, &out.td, &out.info);
@@ -133,8 +138,11 @@ fn relabeling_changes_schedule_but_not_outputs() {
             seed: 23,
             measure_distributed: false,
         };
-        let run2 = girth::girth_undirected(&inst2, &td2, &info2, &gcfg);
-        assert_eq!(run2.girth, want, "{name}: pipeline girth diverged after relabeling");
+        let run2 = girth::girth_undirected(&inst2, &td2, &info2, &gcfg).unwrap();
+        assert_eq!(
+            run2.girth, want,
+            "{name}: pipeline girth diverged after relabeling"
+        );
     }
 }
 
@@ -145,9 +153,10 @@ fn matching_size_is_relabeling_invariant() {
     let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
     let cfg = treedec::SepConfig::practical(g.n());
     let mut rng = SmallRng::seed_from_u64(3);
-    let out = treedec::decompose_centralized(&g, 3, &cfg, &mut rng);
-    let want =
-        bmatch::max_matching(&inst, &out.td, &out.info, bmatch::MatchMode::Centralized).size();
+    let out = treedec::decompose_centralized(&g, 3, &cfg, &mut rng).unwrap();
+    let want = bmatch::max_matching(&inst, &out.td, &out.info, bmatch::MatchMode::Centralized)
+        .unwrap()
+        .size();
     assert_eq!(want, baselines::matching_oracle(&g, &side));
 
     let mut perm: Vec<u32> = (0..g.n() as u32).collect();
@@ -160,7 +169,9 @@ fn matching_size_is_relabeling_invariant() {
     let inst2 = twgraph::gen::BipartiteInstance::new(g2.clone(), side2.clone());
     let td2 = out.td.relabeled(&perm);
     let info2: Vec<_> = out.info.iter().map(|ni| ni.relabeled(&perm)).collect();
-    let got = bmatch::max_matching(&inst2, &td2, &info2, bmatch::MatchMode::Centralized).size();
+    let got = bmatch::max_matching(&inst2, &td2, &info2, bmatch::MatchMode::Centralized)
+        .unwrap()
+        .size();
     assert_eq!(got, want, "matching size not relabeling-invariant");
     assert_eq!(baselines::matching_oracle(&g2, &side2), want);
 }
@@ -175,7 +186,10 @@ fn charged_metrics_invariant_across_partitioning() {
                 ..NetworkConfig::default()
             };
             let (d, m) = sssp_pipeline(&g, &inst, t0, cfg);
-            assert_eq!(d, d_ref, "{name}: outputs depend on partitioning ({threshold})");
+            assert_eq!(
+                d, d_ref,
+                "{name}: outputs depend on partitioning ({threshold})"
+            );
             assert_eq!(
                 m, m_ref,
                 "{name}: charged metrics depend on the execution partitioning \

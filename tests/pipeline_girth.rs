@@ -10,8 +10,8 @@ fn undirected_girth_on_weighted_families() {
         let g = twgraph::gen::partial_ktree(n, k, 0.8, seed);
         let inst = twgraph::gen::with_random_weights(&g, 7, seed);
         let want = baselines::girth_exact_centralized(&inst);
-        let session = Session::decompose(&g, k as u64 + 1, seed);
-        let got = session.girth_undirected(&inst, seed + 50);
+        let session = Session::decompose(&g, k as u64 + 1, seed).unwrap();
+        let got = session.girth_undirected(&inst, seed + 50).unwrap();
         assert_eq!(got, want, "seed {seed}");
     }
 }
@@ -20,7 +20,7 @@ fn undirected_girth_on_weighted_families() {
 fn directed_girth_matches_oracle() {
     let g = twgraph::gen::banded_path(60, 3);
     let inst = twgraph::gen::random_orientation(&g, 11, 0.6, 8);
-    let session = Session::decompose(&g, 4, 8);
+    let session = Session::decompose(&g, 4, 8).unwrap();
     let got = session.girth_directed(&inst);
     assert_eq!(got, baselines::girth_directed_centralized(&inst));
 }
@@ -37,19 +37,22 @@ fn girth_diameter_separation_family() {
     let inst = twgraph::gen::with_unit_weights(&g);
     let want = baselines::girth_exact_centralized(&inst);
 
-    let session = Session::decompose(&g, 10, 3);
+    let session = Session::decompose(&g, 10, 3).unwrap();
     let cfg = girth::GirthConfig {
         trials_per_c: 6,
         seed: 7,
         measure_distributed: true,
     };
-    let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg);
+    let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg).unwrap();
     assert_eq!(run.girth, want);
     assert!(run.rounds_per_trial > 0);
 
     let mut net = Network::new(g.clone(), NetworkConfig::default());
-    let (_, apsp_rounds) = baselines::apsp_pipelined_distributed(&mut net);
-    assert!(apsp_rounds as usize >= g.n() / 2, "diameter baseline must pay Ω(n)");
+    let (_, apsp_rounds) = baselines::apsp_pipelined_distributed(&mut net).unwrap();
+    assert!(
+        apsp_rounds as usize >= g.n() / 2,
+        "diameter baseline must pay Ω(n)"
+    );
     println!(
         "bit_gadget(4): n = {}, girth per-trial = {} rounds, APSP = {apsp_rounds} rounds",
         g.n(),
@@ -63,13 +66,13 @@ fn girth_never_underestimates_anywhere() {
         let g = twgraph::gen::cycle(12 + seed as usize * 3);
         let inst = twgraph::gen::with_random_weights(&g, 9, seed);
         let want = baselines::girth_exact_centralized(&inst);
-        let session = Session::decompose(&g, 3, seed);
+        let session = Session::decompose(&g, 3, seed).unwrap();
         let cfg = girth::GirthConfig {
             trials_per_c: 1, // deliberately starved
             seed,
             measure_distributed: false,
         };
-        let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg);
+        let run = girth::girth_undirected(&inst, &session.td, &session.info, &cfg).unwrap();
         assert!(run.girth >= want, "seed {seed}: Lemma 6 violated");
     }
 }

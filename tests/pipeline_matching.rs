@@ -8,9 +8,11 @@ use lowtw::{baselines, bmatch, twgraph};
 fn matching_over_distributed_decomposition() {
     let (g, side) = twgraph::gen::bipartite_banded(35, 35, 2, 0.55, 17);
     let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
-    let (session, rounds) = Session::decompose_distributed(&g, 3, 17);
+    let (session, rounds) = Session::decompose_distributed(&g, 3, 17).unwrap();
     assert!(rounds > 0);
-    let out = session.max_matching(&inst, bmatch::MatchMode::Centralized);
+    let out = session
+        .max_matching(&inst, bmatch::MatchMode::Centralized)
+        .unwrap();
     let want = baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
     assert_eq!(out.size(), want);
 }
@@ -20,8 +22,10 @@ fn matching_many_seeds() {
     for seed in 0..8 {
         let (g, side) = twgraph::gen::bipartite_banded(30, 24, 2, 0.45, seed);
         let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
-        let session = Session::decompose(&g, 3, seed);
-        let out = session.max_matching(&inst, bmatch::MatchMode::Centralized);
+        let session = Session::decompose(&g, 3, seed).unwrap();
+        let out = session
+            .max_matching(&inst, bmatch::MatchMode::Centralized)
+            .unwrap();
         let want = baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
         assert_eq!(out.size(), want, "seed {seed}");
         assert!(
@@ -35,8 +39,10 @@ fn matching_many_seeds() {
 fn distributed_mode_rounds_recorded_and_correct() {
     let (g, side) = twgraph::gen::bipartite_banded(14, 14, 1, 0.5, 4);
     let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
-    let session = Session::decompose(&g, 3, 4);
-    let out = session.max_matching(&inst, bmatch::MatchMode::Distributed);
+    let session = Session::decompose(&g, 3, 4).unwrap();
+    let out = session
+        .max_matching(&inst, bmatch::MatchMode::Distributed)
+        .unwrap();
     let want = baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
     assert_eq!(out.size(), want);
     if out.attempts > 0 {
@@ -48,10 +54,12 @@ fn distributed_mode_rounds_recorded_and_correct() {
 fn baseline_and_theorem4_agree() {
     let (g, side) = twgraph::gen::bipartite_banded(40, 40, 3, 0.4, 23);
     let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
-    let session = Session::decompose(&g, 4, 23);
-    let ours = session.max_matching(&inst, bmatch::MatchMode::Centralized);
+    let session = Session::decompose(&g, 4, 23).unwrap();
+    let ours = session
+        .max_matching(&inst, bmatch::MatchMode::Centralized)
+        .unwrap();
     let mut net = Network::new(g.clone(), NetworkConfig::default());
-    let (mate, rounds) = baselines::matching_distributed_baseline(&mut net, &g, &side);
+    let (mate, rounds) = baselines::matching_distributed_baseline(&mut net, &g, &side).unwrap();
     assert_eq!(ours.size(), baselines::matching_size(&mate));
     assert!(rounds > 0);
 }

@@ -10,15 +10,15 @@ fn full_distributed_pipeline_exact() {
     let g = twgraph::gen::partial_ktree(150, 3, 0.7, 21);
     let inst = twgraph::gen::with_random_weights(&g, 30, 21);
 
-    let (session, td_rounds) = Session::decompose_distributed(&g, 4, 21);
+    let (session, td_rounds) = Session::decompose_distributed(&g, 4, 21).unwrap();
     session.td.verify(&g).unwrap();
     assert!(td_rounds > 0);
 
-    let (labels, dl_rounds) = session.labels_distributed(&inst);
+    let (labels, dl_rounds) = session.labels_distributed(&inst).unwrap();
     assert!(dl_rounds > 0);
 
     let mut net = Network::new(g.clone(), NetworkConfig::default());
-    let (dists, q_rounds) = distlabel::sssp_distributed(&mut net, &labels, 42);
+    let (dists, q_rounds) = distlabel::sssp_distributed(&mut net, &labels, 42).unwrap();
     assert_eq!(dists, twgraph::alg::dijkstra(&inst, 42).dist);
     assert!(q_rounds > 0);
 }
@@ -27,7 +27,7 @@ fn full_distributed_pipeline_exact() {
 fn directed_instance_pipeline() {
     let g = twgraph::gen::banded_path(120, 3);
     let inst = twgraph::gen::random_orientation(&g, 9, 0.5, 5);
-    let session = Session::decompose(&g, 4, 5);
+    let session = Session::decompose(&g, 4, 5).unwrap();
     let labels = session.labels(&inst);
     // Exactness on a directed weighted multigraph, both directions.
     let truth = twgraph::alg::apsp_dijkstra(&inst);
@@ -44,16 +44,16 @@ fn queries_amortize_against_bellman_ford() {
     // pays its full wave per source. Compare 8 queries.
     let g = twgraph::gen::banded_path(160, 2);
     let inst = twgraph::gen::with_random_weights(&g, 40, 9);
-    let session = Session::decompose(&g, 3, 9);
+    let session = Session::decompose(&g, 3, 9).unwrap();
     let labels = session.labels(&inst);
 
     let mut label_rounds = 0u64;
     let mut bf_rounds = 0u64;
     for src in [0u32, 20, 40, 60, 80, 100, 120, 140] {
         let mut net = Network::new(g.clone(), NetworkConfig::default());
-        let (d1, r1) = distlabel::sssp_distributed(&mut net, &labels, src);
+        let (d1, r1) = distlabel::sssp_distributed(&mut net, &labels, src).unwrap();
         let mut net2 = Network::new(g.clone(), NetworkConfig::default());
-        let (d2, r2) = baselines::bellman_ford_distributed(&mut net2, &inst, src);
+        let (d2, r2) = baselines::bellman_ford_distributed(&mut net2, &inst, src).unwrap();
         assert_eq!(d1, d2, "source {src}");
         label_rounds += r1;
         bf_rounds += r2;

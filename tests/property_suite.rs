@@ -19,7 +19,7 @@ proptest! {
         seed in 0u64..1_000_000,
     ) {
         let g = twgraph::gen::partial_ktree(n, k, 0.7, seed);
-        let session = Session::decompose(&g, k as u64 + 1, seed);
+        let session = Session::decompose(&g, k as u64 + 1, seed).unwrap();
         prop_assert!(session.td.verify(&g).is_ok());
         let cfg = lowtw::SepConfig::practical(n);
         let per_level = cfg.size_bound(session.t_used) as usize;
@@ -41,7 +41,7 @@ proptest! {
     ) {
         let g = twgraph::gen::partial_ktree(n, k, 0.75, seed);
         let inst = twgraph::gen::random_orientation(&g, wmax, 0.4, seed ^ 0xabc);
-        let session = Session::decompose(&g, k as u64 + 1, seed);
+        let session = Session::decompose(&g, k as u64 + 1, seed).unwrap();
         let labels = session.labels(&inst);
         let mut rng = SmallRng::seed_from_u64(seed);
         use rand::Rng;
@@ -64,8 +64,8 @@ proptest! {
     ) {
         let (g, side) = twgraph::gen::bipartite_banded(nl, nr, band, p, seed);
         let inst = twgraph::gen::BipartiteInstance::new(g.clone(), side.clone());
-        let session = Session::decompose(&g, 3, seed);
-        let out = session.max_matching(&inst, bmatch::MatchMode::Centralized);
+        let session = Session::decompose(&g, 3, seed).unwrap();
+        let out = session.max_matching(&inst, bmatch::MatchMode::Centralized).unwrap();
         let want = baselines::matching_size(&baselines::hopcroft_karp(&g, &side));
         prop_assert_eq!(out.size(), want);
         prop_assert!(baselines::matching::is_valid_matching(&g, &side, &out.mate));
@@ -104,7 +104,7 @@ proptest! {
         let mut net = Network::new(g.clone(), NetworkConfig::default());
         let cfg = lowtw::SepConfig::practical(n);
         let mut rng = SmallRng::seed_from_u64(seed);
-        let out = lowtw::treedec::decompose_distributed(&mut net, k as u64 + 1, &cfg, &mut rng);
+        let out = lowtw::treedec::decompose_distributed(&mut net, k as u64 + 1, &cfg, &mut rng).unwrap();
         prop_assert!(out.td.verify(&g).is_ok());
         let log2 = (n as f64).log2();
         let bound = (8.0 * (k as f64 + 1.0) * log2 * log2) as u64;
@@ -127,13 +127,13 @@ proptest! {
     ) {
         let g = twgraph::gen::partial_ktree(n, k, 0.7, seed);
         let inst = twgraph::gen::with_random_weights(&g, wmax, seed);
-        let session = Session::decompose(&g, k as u64 + 1, seed);
+        let session = Session::decompose(&g, k as u64 + 1, seed).unwrap();
         let labels = session.labels(&inst);
         let src = (seed % n as u64) as u32;
         let mut net1 = Network::new(g.clone(), NetworkConfig::default());
-        let (d_labels, r1) = lowtw::distlabel::sssp_distributed(&mut net1, &labels, src);
+        let (d_labels, r1) = lowtw::distlabel::sssp_distributed(&mut net1, &labels, src).unwrap();
         let mut net2 = Network::new(g.clone(), NetworkConfig::default());
-        let (d_bford, r2) = baselines::bellman_ford_distributed(&mut net2, &inst, src);
+        let (d_bford, r2) = baselines::bellman_ford_distributed(&mut net2, &inst, src).unwrap();
         prop_assert_eq!(d_labels, d_bford);
         prop_assert!(r1 > 0 && r2 > 0);
     }
@@ -149,13 +149,13 @@ proptest! {
         let g = twgraph::gen::cycle(n);
         let inst = twgraph::gen::with_random_weights(&g, wmax, seed);
         let want = baselines::girth_exact_centralized(&inst);
-        let session = Session::decompose(&g, 3, seed);
+        let session = Session::decompose(&g, 3, seed).unwrap();
         let cfg = lowtw::girth::GirthConfig {
             trials_per_c: 1,
             seed,
             measure_distributed: false,
         };
-        let run = lowtw::girth::girth_undirected(&inst, &session.td, &session.info, &cfg);
+        let run = lowtw::girth::girth_undirected(&inst, &session.td, &session.info, &cfg).unwrap();
         prop_assert!(run.girth >= want);
     }
 }
