@@ -1,0 +1,193 @@
+//! The `serve` bench: build-once / query-many on a large partial k-tree —
+//! centralized decomposition + label construction, compaction into the
+//! sharded `labelserve` store, then a seeded skewed workload replayed
+//! three ways (single queries, one rayon batch, batch with the cache off)
+//! with throughput and cache behavior reported. Writes `BENCH_serve.json`.
+//!
+//! ```sh
+//! cargo run --release -p lowtw-bench --bin serve               # n = 100_000
+//! cargo run --release -p lowtw-bench --bin serve -- 20000 2    # smaller / wider
+//! ```
+//!
+//! Positional arguments: `n` (default 100_000), `k` (default 1), `keep`
+//! (default 0.5), `seed` (default 1) — the same family and defaults as the
+//! `engine` bench, so the build-side numbers line up.
+
+use labelserve::{seeded_queries, QueryEngine, ServeConfig, StoreBuilder, WorkloadSpec};
+use lowtw::{distlabel, treedec, twgraph};
+use lowtw_bench::fmt;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |i: usize, default: f64| -> f64 {
+        args.get(i)
+            .map(|s| s.parse().expect("numeric argument"))
+            .unwrap_or(default)
+    };
+    let n = arg(0, 100_000.0) as usize;
+    let k = arg(1, 1.0) as usize;
+    let keep = arg(2, 0.5);
+    let seed = arg(3, 1.0) as u64;
+
+    eprintln!("generating partial {k}-tree, n = {n}, keep = {keep}, seed = {seed} ...");
+    let g = twgraph::gen::partial_ktree(n, k, keep, seed);
+    let inst = twgraph::gen::with_random_weights(&g, 30, seed);
+    let m = g.m();
+
+    let cfg = lowtw::SepConfig::practical(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let t = Instant::now();
+    let out = treedec::decompose_centralized(&g, k as u64 + 1, &cfg, &mut rng)
+        .expect("decomposition failed");
+    let wall_decompose = t.elapsed();
+    eprintln!(
+        "decompose: width = {}, depth = {} ({:.1?})",
+        out.td.width(),
+        out.td.stats().depth,
+        wall_decompose
+    );
+
+    let t = Instant::now();
+    let labels = distlabel::build_labels_centralized(&inst, &out.td, &out.info);
+    let wall_label = t.elapsed();
+    let label_words: u64 = labels.iter().map(|l| l.words() as u64).sum();
+    eprintln!(
+        "labels: {} words total ({:.1?})",
+        fmt(label_words),
+        wall_label
+    );
+
+    // Compaction: per-node Vec labels → flat sharded CSR arenas.
+    let serve_cfg = ServeConfig::default();
+    let t = Instant::now();
+    let ids: Vec<u32> = (0..n as u32).collect();
+    let mut builder = StoreBuilder::new(n);
+    builder
+        .add_component(&labels, &ids)
+        .expect("store compaction failed");
+    let store = builder
+        .build(serve_cfg.shard_size)
+        .expect("store build failed");
+    let wall_store = t.elapsed();
+    let store_bytes = store.bytes();
+    let bytes_per_node = store_bytes as f64 / n as f64;
+    eprintln!(
+        "store: {} entries, {} shards, {} bytes ({:.1} bytes/node) ({:.1?})",
+        fmt(store.entries() as u64),
+        store.shard_count(),
+        fmt(store_bytes as u64),
+        bytes_per_node,
+        wall_store
+    );
+    let engine = QueryEngine::new(store, serve_cfg);
+
+    // The workload: one seeded skewed stream, replayed three ways.
+    let spec = WorkloadSpec {
+        queries: 1_000_000,
+        hot_pairs: 4096,
+        hot_fraction: 0.75,
+    };
+    let queries = seeded_queries(n, &spec, seed);
+
+    // Spot-check correctness against centralized Dijkstra before timing.
+    for &(s, _) in queries.iter().step_by(queries.len() / 4) {
+        let truth = twgraph::alg::dijkstra(&inst, s);
+        for &(qs, qt) in queries.iter().take(64) {
+            if qs == s {
+                assert_eq!(engine.distance(qs, qt).unwrap(), truth.dist[qt as usize]);
+            }
+        }
+        assert_eq!(
+            engine.distance(s, (s + 1) % n as u32).unwrap(),
+            truth.dist[((s + 1) % n as u32) as usize],
+            "serve diverged from Dijkstra at source {s}"
+        );
+    }
+    engine.reset();
+
+    let t = Instant::now();
+    for &(s, tgt) in &queries {
+        engine.distance(s, tgt).expect("single query failed");
+    }
+    let wall_single = t.elapsed();
+    let single_stats = engine.stats();
+    let single_qps = (queries.len() as f64 / wall_single.as_secs_f64()) as u64;
+    eprintln!(
+        "single:  {} q in {:.1?} = {} q/s (hit rate {:.1}%)",
+        fmt(queries.len() as u64),
+        wall_single,
+        fmt(single_qps),
+        single_stats.hit_rate() * 100.0
+    );
+
+    engine.reset();
+    let t = Instant::now();
+    let answers = engine.batch(&queries).expect("batch failed");
+    let wall_batch = t.elapsed();
+    let batch_stats = engine.stats();
+    let batch_qps = (queries.len() as f64 / wall_batch.as_secs_f64()) as u64;
+    eprintln!(
+        "batched: {} q in {:.1?} = {} q/s (hit rate {:.1}%)",
+        fmt(queries.len() as u64),
+        wall_batch,
+        fmt(batch_qps),
+        batch_stats.hit_rate() * 100.0
+    );
+
+    // Cache off: the same store rewrapped without hot-pair reuse.
+    let nocache = QueryEngine::new(engine.into_store(), serve_cfg.without_cache());
+    let t = Instant::now();
+    let raw = nocache.batch(&queries).expect("uncached batch failed");
+    let wall_nocache = t.elapsed();
+    let nocache_qps = (queries.len() as f64 / wall_nocache.as_secs_f64()) as u64;
+    assert_eq!(answers, raw, "cache on/off answers diverged");
+    eprintln!(
+        "nocache: {} q in {:.1?} = {} q/s",
+        fmt(queries.len() as u64),
+        wall_nocache,
+        fmt(nocache_qps)
+    );
+
+    let doc = serde_json::json!({
+        "bench": "serve",
+        "family": "partial_ktree",
+        "n": n,
+        "m": m,
+        "k": k,
+        "keep": keep,
+        "seed": seed,
+        "width": out.td.width(),
+        "depth": out.td.stats().depth,
+        "label_words": label_words,
+        "store_entries": nocache.store().entries(),
+        "store_shards": nocache.store().shard_count(),
+        "store_bytes": store_bytes,
+        "bytes_per_node": bytes_per_node,
+        "wall_us": serde_json::json!({
+            "decompose": wall_decompose.as_micros() as u64,
+            "label_build": wall_label.as_micros() as u64,
+            "store_build": wall_store.as_micros() as u64,
+            "single": wall_single.as_micros() as u64,
+            "batched": wall_batch.as_micros() as u64,
+            "batched_nocache": wall_nocache.as_micros() as u64,
+        }),
+        "workload": serde_json::json!({
+            "queries": spec.queries,
+            "hot_pairs": spec.hot_pairs,
+            "hot_fraction": spec.hot_fraction,
+        }),
+        "single_qps": single_qps,
+        "batched_qps": batch_qps,
+        "batched_nocache_qps": nocache_qps,
+        "cache_hit_rate": batch_stats.hit_rate(),
+    });
+    std::fs::write(
+        "BENCH_serve.json",
+        serde_json::to_string(&doc).unwrap() + "\n",
+    )
+    .unwrap();
+    println!("\nwrote BENCH_serve.json");
+}

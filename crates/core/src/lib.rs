@@ -33,6 +33,7 @@
 //! | [`subgraph_ops`] | PA / RST / STA / SLE / CCD / BCT / MVC primitives |
 //! | [`treedec`] | `Sep` + distributed tree decomposition (Thm 1) |
 //! | [`distlabel`] | distance labeling + SSSP (Thm 2) |
+//! | [`labelserve`] | sharded, cached query serving over compacted labels |
 //! | [`stateful_walks`] | walk constraints, product graphs, CDL (Thm 3) |
 //! | [`bmatch`] | bipartite maximum matching (Thm 4) |
 //! | [`girth`] | weighted girth, directed + undirected (Thm 5) |
@@ -43,6 +44,7 @@ pub use bmatch;
 pub use congest_sim;
 pub use distlabel;
 pub use girth;
+pub use labelserve;
 pub use stateful_walks;
 pub use subgraph_ops;
 pub use treedec;
@@ -50,6 +52,7 @@ pub use twgraph;
 
 pub use congest_sim::{CongestError, Metrics, Network, NetworkConfig};
 pub use distlabel::label::{decode, decode_pair, Label};
+pub use labelserve::{QueryEngine, ServeConfig, ServeError};
 pub use treedec::{DecompError, SepConfig};
 pub use twgraph::{Dist, MultiDigraph, UGraph, INF};
 
@@ -58,6 +61,7 @@ pub mod prelude {
     pub use crate::Session;
     pub use congest_sim::{Network, NetworkConfig};
     pub use distlabel::label::{decode, decode_pair, Label};
+    pub use labelserve::{QueryEngine, ServeConfig};
     pub use twgraph::{Dist, MultiDigraph, UGraph, INF};
 }
 
@@ -144,6 +148,28 @@ impl Session {
         distlabel::build_labels_distributed(&mut net, inst, &self.td, &self.info)
     }
 
+    /// Build-once / query-many: construct labels for `inst`, compact them
+    /// into a sharded [`labelserve::LabelStore`], and return the cached
+    /// [`QueryEngine`] serving exact distance queries over it.
+    ///
+    /// ```
+    /// use lowtw::prelude::*;
+    ///
+    /// let g = twgraph::gen::partial_ktree(80, 2, 0.7, 5);
+    /// let inst = twgraph::gen::with_random_weights(&g, 20, 5);
+    /// let session = Session::decompose(&g, 3, 5).unwrap();
+    /// let engine = session.serve(&inst, ServeConfig::default()).unwrap();
+    /// let d = engine.distance(0, 79).unwrap();
+    /// assert_eq!(d, twgraph::alg::dijkstra(&inst, 0).dist[79]);
+    /// ```
+    pub fn serve(&self, inst: &MultiDigraph, cfg: ServeConfig) -> Result<QueryEngine, ServeError> {
+        let labels = self.labels(inst);
+        let ids: Vec<u32> = (0..self.graph.n() as u32).collect();
+        let mut builder = labelserve::StoreBuilder::new(self.graph.n());
+        builder.add_component(&labels, &ids)?;
+        Ok(QueryEngine::new(builder.build(cfg.shard_size)?, cfg))
+    }
+
     /// Exact SSSP distances from `src` (label construction + decode).
     pub fn sssp(&self, inst: &MultiDigraph, src: u32) -> Vec<Dist> {
         let labels = self.labels(inst);
@@ -192,6 +218,37 @@ mod tests {
         let (session, rounds) = Session::decompose_distributed(&g, 3, 5).unwrap();
         session.td.verify(&g).unwrap();
         assert!(rounds > 0);
+    }
+
+    #[test]
+    fn session_serve_engine_matches_decode() {
+        let g = twgraph::gen::banded_path(60, 2);
+        let inst = twgraph::gen::with_random_weights(&g, 9, 4);
+        let session = Session::decompose(&g, 3, 4).unwrap();
+        let labels = session.labels(&inst);
+        let engine = session
+            .serve(
+                &inst,
+                ServeConfig {
+                    shard_size: 16,
+                    cache_capacity: 32,
+                },
+            )
+            .unwrap();
+        for u in (0..60u32).step_by(7) {
+            for v in (0..60u32).step_by(5) {
+                assert_eq!(
+                    engine.distance(u, v).unwrap(),
+                    decode(&labels[u as usize], &labels[v as usize]),
+                    "serve({u}, {v}) diverged from label decode"
+                );
+            }
+        }
+        assert!(engine.store().shard_count() >= 3);
+        assert_eq!(
+            engine.distance(60, 0),
+            Err(ServeError::UnknownNode { node: 60, n: 60 })
+        );
     }
 
     #[test]

@@ -56,18 +56,49 @@ impl Label {
     }
 }
 
+/// First index of `s` whose hub is `>= key`, by exponential (galloping)
+/// search — O(log gap) instead of O(gap) when one entry list is much
+/// longer than the other (deep vertex vs. near-root vertex).
+fn gallop(s: &[(u32, Dist, Dist)], key: u32) -> usize {
+    if s.is_empty() || s[0].0 >= key {
+        return 0;
+    }
+    let mut hi = 1usize;
+    while hi < s.len() && s[hi].0 < key {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    lo + s[lo..s.len().min(hi + 1)].partition_point(|e| e.0 < key)
+}
+
 /// The decoder: `dec(la(u), la(v)) = min_{s ∈ B↑(u) ∩ B↑(v)} d(u,s) + d(s,v)`.
-/// Linear merge-join over the sorted entry lists.
 pub fn decode(la_u: &Label, la_v: &Label) -> Dist {
+    decode_entries(&la_u.entries, &la_v.entries)
+}
+
+/// Decode raw sorted entry lists (`(hub, d(owner → hub), d(hub → owner))`,
+/// sorted by hub): the hub-intersection minimum over `a`'s forward and
+/// `b`'s backward distances — a galloping merge-join with two early exits:
+/// disjoint hub ranges return immediately, and a running minimum of 0
+/// cannot improve (distances are non-negative). Exposed for consumers that
+/// hold raw entry slices rather than [`Label`]s; the `labelserve` store
+/// runs the same scan over its structure-of-arrays lanes, and its property
+/// suite pins the two implementations bit-identical.
+pub fn decode_entries(a: &[(u32, Dist, Dist)], b: &[(u32, Dist, Dist)]) -> Dist {
+    if a.is_empty() || b.is_empty() || a[a.len() - 1].0 < b[0].0 || b[b.len() - 1].0 < a[0].0 {
+        return INF;
+    }
     let mut best = INF;
     let (mut i, mut j) = (0usize, 0usize);
-    let (a, b) = (&la_u.entries, &la_v.entries);
     while i < a.len() && j < b.len() {
         match a[i].0.cmp(&b[j].0) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Less => i += gallop(&a[i..], b[j].0),
+            std::cmp::Ordering::Greater => j += gallop(&b[j..], a[i].0),
             std::cmp::Ordering::Equal => {
                 best = best.min(dist_add(a[i].1, b[j].2));
+                if best == 0 {
+                    return 0;
+                }
                 i += 1;
                 j += 1;
             }
@@ -123,6 +154,89 @@ mod tests {
         let mut u = Label::new(4);
         u.merge(4, 0, 0);
         assert_eq!(decode(&u, &u), 0);
+    }
+
+    /// The pre-gallop scan, kept as the semantic reference: quadratic
+    /// intersection with no early exit.
+    fn decode_reference(la_u: &Label, la_v: &Label) -> Dist {
+        let mut best = INF;
+        for &(s, to, _) in &la_u.entries {
+            for &(t, _, from) in &la_v.entries {
+                if s == t {
+                    best = best.min(dist_add(to, from));
+                }
+            }
+        }
+        best
+    }
+
+    /// Deterministic random label over hubs drawn from `0..universe`.
+    fn random_label(owner: u32, len: usize, universe: u32, state: &mut u64) -> Label {
+        let mut next = || {
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(owner as u64 + 1442695);
+            (*state >> 33) as u32
+        };
+        let mut l = Label::new(owner);
+        for _ in 0..len {
+            let hub = next() % universe;
+            let to = (next() % 50) as Dist;
+            let from = (next() % 50) as Dist;
+            l.merge(hub, to, from);
+        }
+        l
+    }
+
+    #[test]
+    fn gallop_decode_matches_reference_on_random_labels() {
+        let mut state = 0x5EED_u64;
+        for universe in [3u32, 8, 64, 1024] {
+            for (la, lb) in [(0, 0), (1, 40), (40, 1), (7, 13), (128, 128)] {
+                for rep in 0..8 {
+                    let u = random_label(rep, la, universe, &mut state);
+                    let v = random_label(100 + rep, lb, universe, &mut state);
+                    assert_eq!(
+                        decode(&u, &v),
+                        decode_reference(&u, &v),
+                        "universe {universe}, sizes ({la}, {lb}), rep {rep}"
+                    );
+                    assert_eq!(decode(&v, &u), decode_reference(&v, &u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_decode_on_skewed_lists() {
+        // One huge label vs. a tiny one: the gallop path must skip runs
+        // without missing the lone common hub.
+        let mut u = Label::new(0);
+        for h in 0..2000u32 {
+            u.merge(h, (h as Dist) + 1, (h as Dist) + 2);
+        }
+        let mut v = Label::new(1);
+        v.merge(1777, 5, 7);
+        assert_eq!(decode(&u, &v), 1778 + 7);
+        assert_eq!(decode(&v, &u), 5 + 1779);
+        // Disjoint-range early exit.
+        let mut w = Label::new(2);
+        w.merge(5000, 1, 1);
+        assert_eq!(decode(&u, &w), INF);
+        assert_eq!(decode(&w, &u), INF);
+    }
+
+    #[test]
+    fn zero_distance_early_exit_is_exact() {
+        let mut u = Label::new(0);
+        u.merge(3, 0, 9);
+        u.merge(8, 2, 2);
+        let mut v = Label::new(1);
+        v.merge(3, 4, 0);
+        v.merge(8, 1, 1);
+        // Hub 3 yields 0 + 0 = 0; nothing later can be smaller.
+        assert_eq!(decode(&u, &v), 0);
+        assert_eq!(decode_reference(&u, &v), 0);
     }
 
     #[test]

@@ -28,5 +28,5 @@ pub mod sssp;
 
 pub use build::build_labels_centralized;
 pub use dist::build_labels_distributed;
-pub use label::{decode, decode_pair, Label};
+pub use label::{decode, decode_entries, decode_pair, Label};
 pub use sssp::{sssp_centralized, sssp_distributed};

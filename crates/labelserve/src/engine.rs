@@ -1,0 +1,272 @@
+//! The query engine: a [`LabelStore`] behind per-shard hot-pair caches and
+//! batched execution.
+//!
+//! The engine is shared-state safe by construction — the store is
+//! immutable, the caches sit behind per-shard mutexes, and the hit/miss
+//! counters are atomics — so one engine serves arbitrarily many threads
+//! concurrently with bit-identical answers (the cache only ever stores
+//! exact decoded distances, so a hit and a recompute cannot disagree).
+//! Lock poisoning is unwound internally: a cache entry is either a
+//! complete `(pair, distance)` record or absent, so recovering a poisoned
+//! mutex is always safe and queries keep serving after a panicking thread.
+
+use crate::error::ServeError;
+use crate::lru::Lru;
+use crate::store::LabelStore;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use twgraph::Dist;
+
+/// Store compaction and serving knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Nodes per shard (node-id range sharding; also the cache-ownership
+    /// granule — pair `(s, t)` is cached in `s`'s shard).
+    pub shard_size: usize,
+    /// Hot-pair LRU entries per shard; 0 disables caching outright.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shard_size: 4096,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A cache-less variant of `self` (identical sharding).
+    pub fn without_cache(self) -> Self {
+        ServeConfig {
+            cache_capacity: 0,
+            ..self
+        }
+    }
+}
+
+/// Cumulative cache counters (exact under concurrency; relaxed ordering —
+/// counters never synchronize data).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from a shard cache.
+    pub hits: u64,
+    /// Queries that went to the arena decoder.
+    pub misses: u64,
+    /// Entries currently resident across all shard caches.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over all queries, in `[0, 1]` (0 when nothing was asked).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A shared, thread-safe distance-query server over a compacted store.
+pub struct QueryEngine {
+    store: LabelStore,
+    cfg: ServeConfig,
+    caches: Vec<Mutex<Lru<(u32, u32), Dist>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Recover a possibly-poisoned cache lock: entries are atomic records, so
+/// the state is valid whether or not the panicking holder finished.
+fn relock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl QueryEngine {
+    /// Engine over `store` with one LRU per shard.
+    pub fn new(store: LabelStore, cfg: ServeConfig) -> Self {
+        let caches = (0..store.shard_count())
+            .map(|_| Mutex::new(Lru::new(cfg.cache_capacity)))
+            .collect();
+        QueryEngine {
+            store,
+            cfg,
+            caches,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &LabelStore {
+        &self.store
+    }
+
+    /// Dissolve the engine and hand the store back (caches and counters
+    /// are dropped) — e.g. to rewrap it under a different [`ServeConfig`]
+    /// without recompacting.
+    pub fn into_store(self) -> LabelStore {
+        self.store
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Exact `d(s → t)`; cross-component pairs answer [`twgraph::INF`],
+    /// ids outside `0..n` are a typed error.
+    pub fn distance(&self, s: u32, t: u32) -> Result<Dist, ServeError> {
+        if self.cfg.cache_capacity == 0 {
+            return self.store.distance(s, t);
+        }
+        // Validate before touching the cache so unknown ids cannot pin
+        // shard locks or skew the counters.
+        if s as usize >= self.store.n() {
+            return Err(ServeError::UnknownNode {
+                node: s,
+                n: self.store.n(),
+            });
+        }
+        let cache = &self.caches[self.store.shard_of(s)];
+        if let Some(d) = relock(cache).get(&(s, t)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(d);
+        }
+        let d = self.store.distance(s, t)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        relock(cache).insert((s, t), d);
+        Ok(d)
+    }
+
+    /// Both directions: `(d(s → t), d(t → s))`.
+    pub fn distance_pair(&self, s: u32, t: u32) -> Result<(Dist, Dist), ServeError> {
+        Ok((self.distance(s, t)?, self.distance(t, s)?))
+    }
+
+    /// Answer a whole batch, one distance per query in input order.
+    /// Execution fans out over the rayon pool (the offline stand-in runs
+    /// it sequentially; answers are identical either way — queries are
+    /// pure reads and the cache stores only exact values). The first
+    /// structural error aborts the batch.
+    pub fn batch(&self, queries: &[(u32, u32)]) -> Result<Vec<Dist>, ServeError> {
+        queries
+            .par_iter()
+            .map(|&(s, t)| self.distance(s, t))
+            .collect()
+    }
+
+    /// Cumulative hit/miss counters plus current cache residency.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.caches.iter().map(|c| relock(c).len()).sum(),
+        }
+    }
+
+    /// Zero the hit/miss counters and drop every cached pair.
+    pub fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        for c in &self.caches {
+            relock(c).clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+    use distlabel::Label;
+    use twgraph::INF;
+
+    /// Path 0–1–2–3 with unit weights; every vertex holds all four hubs.
+    fn path_engine(cfg: ServeConfig) -> QueryEngine {
+        let mut labels = Vec::new();
+        for v in 0..4i64 {
+            let mut l = Label::new(v as u32);
+            for h in 0..4i64 {
+                l.merge(h as u32, (v - h).unsigned_abs(), (h - v).unsigned_abs());
+            }
+            labels.push(l);
+        }
+        let mut b = StoreBuilder::new(4);
+        b.add_component(&labels, &[0, 1, 2, 3]).unwrap();
+        QueryEngine::new(b.build(cfg.shard_size).unwrap(), cfg)
+    }
+
+    #[test]
+    fn caching_changes_counters_not_answers() {
+        let cached = path_engine(ServeConfig {
+            shard_size: 2,
+            cache_capacity: 8,
+        });
+        let raw = path_engine(ServeConfig {
+            shard_size: 2,
+            cache_capacity: 8,
+        });
+        for (s, t) in [(0, 3), (3, 0), (0, 3), (2, 2), (0, 3)] {
+            assert_eq!(
+                cached.distance(s, t).unwrap(),
+                raw.store().distance(s, t).unwrap()
+            );
+        }
+        let st = cached.stats();
+        assert_eq!(st.hits, 2, "repeated (0,3) must hit");
+        assert_eq!(st.misses, 3);
+        assert!(st.entries >= 3);
+        assert!(st.hit_rate() > 0.39 && st.hit_rate() < 0.41);
+        cached.reset();
+        assert_eq!(cached.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn batch_matches_singles_in_order() {
+        let eng = path_engine(ServeConfig::default());
+        let queries = [(0u32, 1u32), (3, 0), (1, 1), (0, 3), (3, 0)];
+        let batch = eng.batch(&queries).unwrap();
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(*got, eng.distance(q.0, q.1).unwrap());
+        }
+        assert_eq!(batch, vec![1, 3, 0, 3, 3]);
+    }
+
+    #[test]
+    fn unknown_node_aborts_batch() {
+        let eng = path_engine(ServeConfig::default());
+        let err = eng.batch(&[(0, 1), (9, 0)]).unwrap_err();
+        assert_eq!(err, ServeError::UnknownNode { node: 9, n: 4 });
+        // Target-side validation flows through the store.
+        assert_eq!(
+            eng.distance(0, 9),
+            Err(ServeError::UnknownNode { node: 9, n: 4 })
+        );
+    }
+
+    #[test]
+    fn cacheless_engine_never_counts() {
+        let eng = path_engine(ServeConfig::default().without_cache());
+        for _ in 0..3 {
+            assert_eq!(eng.distance(0, 2).unwrap(), 2);
+        }
+        assert_eq!(eng.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn self_distance_zero_and_inf_cacheable() {
+        let eng = path_engine(ServeConfig {
+            shard_size: 1,
+            cache_capacity: 4,
+        });
+        assert_eq!(eng.distance(2, 2).unwrap(), 0);
+        assert_eq!(eng.distance(2, 2).unwrap(), 0);
+        assert!(eng.distance(0, 0).unwrap() < INF);
+        assert_eq!(eng.stats().hits, 1);
+    }
+}

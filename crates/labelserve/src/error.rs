@@ -1,0 +1,99 @@
+//! Typed failures of the serving layer.
+//!
+//! Consistent with the workspace-wide Result sweep (PR 4): every
+//! operational failure is a value, never a panic. Note what is *not* an
+//! error: a query between two vertices of different connected components
+//! decodes to [`twgraph::INF`] — exactly what the centralized oracles
+//! report for unreachable pairs — so disconnected inputs serve cleanly.
+
+use std::fmt;
+
+/// A store build or query failed for a structural reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// A query named a vertex id outside the store's `0..n` space.
+    UnknownNode {
+        /// The offending vertex id.
+        node: u32,
+        /// The store's vertex-space size.
+        n: usize,
+    },
+    /// A component registered a vertex already owned by an earlier
+    /// component (the component map must partition `0..n`).
+    DuplicateNode {
+        /// The doubly-claimed global vertex id.
+        node: u32,
+    },
+    /// After all components were registered, a vertex was left without a
+    /// label (the component map must cover `0..n`).
+    UncoveredNode {
+        /// The unclaimed global vertex id.
+        node: u32,
+    },
+    /// A label entry named a hub outside its component's vertex list —
+    /// the `old_of` mapping cannot translate it to a global id.
+    HubOutOfRange {
+        /// The component-local hub id.
+        hub: u32,
+        /// The component's vertex count.
+        comp_n: usize,
+    },
+    /// A component handed the builder label and vertex lists of different
+    /// lengths — there is no well-defined local-to-global mapping.
+    ComponentShapeMismatch {
+        /// Labels supplied.
+        labels: usize,
+        /// Vertices supplied (`old_of` length).
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ServeError::UnknownNode { node, n } => {
+                write!(f, "query names unknown node {node} (store holds 0..{n})")
+            }
+            ServeError::DuplicateNode { node } => {
+                write!(f, "node {node} registered by two components")
+            }
+            ServeError::UncoveredNode { node } => {
+                write!(f, "node {node} left without a label by every component")
+            }
+            ServeError::HubOutOfRange { hub, comp_n } => {
+                write!(
+                    f,
+                    "label entry hub {hub} outside its component (size {comp_n})"
+                )
+            }
+            ServeError::ComponentShapeMismatch { labels, nodes } => {
+                write!(
+                    f,
+                    "component registered {labels} labels for {nodes} vertices"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_coordinates() {
+        let e = ServeError::UnknownNode { node: 9, n: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        assert!(ServeError::DuplicateNode { node: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(ServeError::UncoveredNode { node: 2 }
+            .to_string()
+            .contains('2'));
+        assert!(ServeError::HubOutOfRange { hub: 8, comp_n: 5 }
+            .to_string()
+            .contains('8'));
+    }
+}

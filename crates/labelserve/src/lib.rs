@@ -1,0 +1,53 @@
+//! # labelserve — sharded, cache-aware distance-label serving
+//!
+//! The paper's headline application is build-once / query-many: after the
+//! O(tw)-round construction, any s–t distance is answered from two node
+//! labels alone. `distlabel` builds those labels; this crate **serves**
+//! them — the query-side subsystem of the workspace's north star.
+//!
+//! * [`store`] — [`StoreBuilder`] compacts per-node [`distlabel::Label`]s
+//!   (one heap `Vec` each) into a [`LabelStore`]: flat CSR hub/distance
+//!   arenas sharded by node-id range, hub ids globalized per connected
+//!   component so cross-component pairs decode to [`twgraph::INF`] by
+//!   construction.
+//! * [`engine`] — [`QueryEngine`] answers single, paired, and batched
+//!   queries over a shared store, with a per-shard LRU hot-pair cache
+//!   ([`lru`]) and rayon-parallel batch execution. Thread-safe by
+//!   construction; answers are bit-identical with the cache on or off.
+//! * [`workload`] — seeded, replayable skewed query streams for the
+//!   scenario harness and the `serve` bench.
+//! * [`error`] — typed [`ServeError`]s (unknown node, store-partitioning
+//!   violations), consistent with the workspace Result sweep. A
+//!   cross-component query is **not** an error: it answers the oracle's
+//!   unreachable value, [`twgraph::INF`].
+//!
+//! ```
+//! use distlabel::Label;
+//! use labelserve::{QueryEngine, ServeConfig, StoreBuilder};
+//!
+//! // Two vertices on a weight-3 edge; hubs are global vertex ids.
+//! let mut l0 = Label::new(0);
+//! l0.merge(0, 0, 0);
+//! l0.merge(1, 3, 3);
+//! let mut l1 = Label::new(1);
+//! l1.merge(1, 0, 0);
+//!
+//! let mut b = StoreBuilder::new(2);
+//! b.add_component(&[l0, l1], &[0, 1]).unwrap();
+//! let store = b.build(ServeConfig::default().shard_size).unwrap();
+//! let engine = QueryEngine::new(store, ServeConfig::default());
+//! assert_eq!(engine.distance(0, 1).unwrap(), 3);
+//! assert_eq!(engine.batch(&[(0, 1), (1, 1)]).unwrap(), vec![3, 0]);
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod lru;
+pub mod store;
+pub mod workload;
+
+pub use engine::{CacheStats, QueryEngine, ServeConfig};
+pub use error::ServeError;
+pub use lru::Lru;
+pub use store::{LabelStore, StoreBuilder};
+pub use workload::{seeded_queries, WorkloadSpec};

@@ -1,0 +1,198 @@
+//! A fixed-capacity LRU map on an index-linked arena — the hot-pair cache
+//! behind each shard of the [`QueryEngine`](crate::QueryEngine).
+//!
+//! No allocation after construction beyond the `HashMap`'s own growth to
+//! capacity: slots live in flat vectors linked by `u32` indices, so a hit
+//! is a map probe plus three link splices. Eviction is exact LRU (the tail
+//! of the recency list).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: u32 = u32::MAX;
+
+/// Fixed-capacity least-recently-used map.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    cap: usize,
+    map: HashMap<K, u32>,
+    keys: Vec<K>,
+    vals: Vec<V>,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    head: u32,
+    tail: u32,
+}
+
+impl<K: Eq + Hash + Copy, V: Copy> Lru<K, V> {
+    /// New cache holding at most `cap` entries (`cap == 0` disables it —
+    /// every probe misses and inserts are dropped).
+    pub fn new(cap: usize) -> Self {
+        Lru {
+            cap,
+            map: HashMap::with_capacity(cap.min(1 << 20)),
+            keys: Vec::with_capacity(cap.min(1 << 20)),
+            vals: Vec::with_capacity(cap.min(1 << 20)),
+            prev: Vec::with_capacity(cap.min(1 << 20)),
+            next: Vec::with_capacity(cap.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The construction-time capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Unlink slot `i` from the recency list.
+    fn unlink(&mut self, i: u32) {
+        let (p, n) = (self.prev[i as usize], self.next[i as usize]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    /// Link slot `i` as the most-recently-used head.
+    fn link_front(&mut self, i: u32) {
+        self.prev[i as usize] = NIL;
+        self.next[i as usize] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Look up `k`, refreshing its recency on a hit.
+    pub fn get(&mut self, k: &K) -> Option<V> {
+        let i = *self.map.get(k)?;
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
+        Some(self.vals[i as usize])
+    }
+
+    /// Insert (or refresh) `k → v`, evicting the least-recently-used entry
+    /// when at capacity.
+    pub fn insert(&mut self, k: K, v: V) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&k) {
+            self.vals[i as usize] = v;
+            if self.head != i {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return;
+        }
+        let slot = if self.map.len() < self.cap {
+            let slot = self.keys.len() as u32;
+            self.keys.push(k);
+            self.vals.push(v);
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            slot
+        } else {
+            // Reuse the LRU tail slot for the incoming key.
+            let slot = self.tail;
+            self.unlink(slot);
+            self.map.remove(&self.keys[slot as usize]);
+            self.keys[slot as usize] = k;
+            self.vals[slot as usize] = v;
+            slot
+        };
+        self.map.insert(k, slot);
+        self.link_front(slot);
+    }
+
+    /// Drop every entry (capacity is retained).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.keys.clear();
+        self.vals.clear();
+        self.prev.clear();
+        self.next.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: Lru<u32, u32> = Lru::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        assert_eq!(c.get(&1), Some(10)); // 1 refreshed; LRU is now 2
+        c.insert(4, 40);
+        assert_eq!(c.get(&2), None, "2 was LRU and must be gone");
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.get(&4), Some(40));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn refresh_on_insert_of_existing_key() {
+        let mut c: Lru<u32, u32> = Lru::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh: 2 becomes LRU
+        c.insert(3, 30);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&3), Some(30));
+    }
+
+    #[test]
+    fn zero_capacity_is_a_null_cache() {
+        let mut c: Lru<u32, u32> = Lru::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_stays_bounded_and_consistent() {
+        let mut c: Lru<u64, u64> = Lru::new(16);
+        for i in 0..10_000u64 {
+            c.insert(i % 37, i);
+            assert!(c.len() <= 16);
+            if let Some(v) = c.get(&(i % 37)) {
+                assert_eq!(v, i);
+            } else {
+                panic!("just-inserted key missing");
+            }
+        }
+        c.clear();
+        assert!(c.is_empty());
+        c.insert(5, 5);
+        assert_eq!(c.get(&5), Some(5));
+    }
+}

@@ -1,0 +1,399 @@
+//! The compacted label store: one flat, sharded CSR arena over every
+//! node's distance-label entries.
+//!
+//! ## Layout
+//!
+//! [`distlabel::Label`] keeps one heap `Vec` per node — fine for
+//! construction, hostile to query serving (pointer chase per lookup,
+//! allocator-scattered entries). [`StoreBuilder`] compacts the per-node
+//! entry lists into per-shard structure-of-arrays arenas:
+//!
+//! ```text
+//! shard s  (nodes [base, base + shard_size))
+//!   offsets : u32  × (nodes + 1)     CSR row starts
+//!   hubs    : u32  × entries         global hub ids, sorted per node
+//!   dto     : Dist × entries         d(node → hub)
+//!   dfrom   : Dist × entries         d(hub → node)
+//! ```
+//!
+//! The decoder scans only `hubs` until it finds an intersection, so the
+//! hot loop touches 4-byte lanes (16 hubs per cache line); the two
+//! distance lanes are loaded on matches only. Hub ids are **global**
+//! vertex ids (mapped through each component's `old_of`), which makes
+//! cross-component intersections empty by construction — a cross pair
+//! decodes to [`INF`], matching the oracle's semantics for unreachable
+//! pairs — and lets the store additionally keep a component map for an
+//! O(1) early exit.
+
+use crate::error::ServeError;
+use distlabel::Label;
+use twgraph::{dist_add, Dist, INF};
+
+const UNASSIGNED: u32 = u32::MAX;
+
+/// Accumulates per-component label sets, then compacts them into a
+/// [`LabelStore`]. Components must partition the global vertex space
+/// `0..n`; every violation is a typed [`ServeError`].
+pub struct StoreBuilder {
+    n: usize,
+    comp_of: Vec<u32>,
+    entries: Vec<Vec<(u32, Dist, Dist)>>,
+    comps: u32,
+}
+
+impl StoreBuilder {
+    /// Builder over the global vertex space `0..n`.
+    pub fn new(n: usize) -> Self {
+        StoreBuilder {
+            n,
+            comp_of: vec![UNASSIGNED; n],
+            entries: vec![Vec::new(); n],
+            comps: 0,
+        }
+    }
+
+    /// Register one connected component: `labels[i]` is the label of the
+    /// component-local vertex `i`, and `old_of[i]` its global id (sorted
+    /// ascending, as produced by component splitting — the monotone map
+    /// keeps per-node hub lists sorted).
+    pub fn add_component(&mut self, labels: &[Label], old_of: &[u32]) -> Result<(), ServeError> {
+        if labels.len() != old_of.len() {
+            return Err(ServeError::ComponentShapeMismatch {
+                labels: labels.len(),
+                nodes: old_of.len(),
+            });
+        }
+        debug_assert!(old_of.windows(2).all(|w| w[0] < w[1]), "old_of not sorted");
+        let comp = self.comps;
+        for (label, &global) in labels.iter().zip(old_of) {
+            let slot = self
+                .comp_of
+                .get_mut(global as usize)
+                .ok_or(ServeError::UnknownNode {
+                    node: global,
+                    n: self.n,
+                })?;
+            if *slot != UNASSIGNED {
+                return Err(ServeError::DuplicateNode { node: global });
+            }
+            *slot = comp;
+            let mapped: Result<Vec<(u32, Dist, Dist)>, ServeError> = label
+                .entries
+                .iter()
+                .map(|&(hub, to, from)| {
+                    old_of.get(hub as usize).map(|&gh| (gh, to, from)).ok_or(
+                        ServeError::HubOutOfRange {
+                            hub,
+                            comp_n: old_of.len(),
+                        },
+                    )
+                })
+                .collect();
+            self.entries[global as usize] = mapped?;
+        }
+        self.comps += 1;
+        Ok(())
+    }
+
+    /// Register an isolated vertex as its own component: the synthesized
+    /// label holds only the self-hub at distance 0, so `v → v` decodes to
+    /// 0 and every other pair through `v` to [`INF`].
+    pub fn add_singleton(&mut self, v: u32) -> Result<(), ServeError> {
+        let slot = self
+            .comp_of
+            .get_mut(v as usize)
+            .ok_or(ServeError::UnknownNode { node: v, n: self.n })?;
+        if *slot != UNASSIGNED {
+            return Err(ServeError::DuplicateNode { node: v });
+        }
+        *slot = self.comps;
+        self.comps += 1;
+        self.entries[v as usize] = vec![(v, 0, 0)];
+        Ok(())
+    }
+
+    /// Compact into the sharded arena. Every vertex of `0..n` must have
+    /// been covered by exactly one `add_*` call.
+    pub fn build(self, shard_size: usize) -> Result<LabelStore, ServeError> {
+        if let Some(v) = self.comp_of.iter().position(|&c| c == UNASSIGNED) {
+            return Err(ServeError::UncoveredNode { node: v as u32 });
+        }
+        let shard_size = shard_size.max(1);
+        let shard_count = self.n.div_ceil(shard_size).max(1);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut entries_total = 0usize;
+        for s in 0..shard_count {
+            let base = s * shard_size;
+            let hi = ((s + 1) * shard_size).min(self.n);
+            let rows = &self.entries[base..hi];
+            let total: usize = rows.iter().map(|r| r.len()).sum();
+            let mut offsets = Vec::with_capacity(hi - base + 1);
+            let mut hubs = Vec::with_capacity(total);
+            let mut dto = Vec::with_capacity(total);
+            let mut dfrom = Vec::with_capacity(total);
+            offsets.push(0u32);
+            for row in rows {
+                for &(hub, to, from) in row {
+                    hubs.push(hub);
+                    dto.push(to);
+                    dfrom.push(from);
+                }
+                offsets.push(hubs.len() as u32);
+            }
+            entries_total += total;
+            shards.push(Shard {
+                base: base as u32,
+                offsets,
+                hubs,
+                dto,
+                dfrom,
+            });
+        }
+        Ok(LabelStore {
+            n: self.n,
+            shard_size,
+            comp_of: self.comp_of,
+            shards,
+            entries_total,
+            components: self.comps as usize,
+        })
+    }
+}
+
+/// One node-range shard's CSR arena.
+#[derive(Debug)]
+struct Shard {
+    base: u32,
+    offsets: Vec<u32>,
+    hubs: Vec<u32>,
+    dto: Vec<Dist>,
+    dfrom: Vec<Dist>,
+}
+
+/// The compacted, sharded distance-label store. Immutable after build;
+/// shared freely across query threads.
+#[derive(Debug)]
+pub struct LabelStore {
+    n: usize,
+    shard_size: usize,
+    comp_of: Vec<u32>,
+    shards: Vec<Shard>,
+    entries_total: usize,
+    components: usize,
+}
+
+/// First index of `hubs` with value `>= key` (exponential search; mirrors
+/// `distlabel`'s galloping decoder on the SoA hub lane).
+fn gallop(hubs: &[u32], key: u32) -> usize {
+    if hubs.is_empty() || hubs[0] >= key {
+        return 0;
+    }
+    let mut hi = 1usize;
+    while hi < hubs.len() && hubs[hi] < key {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    lo + hubs[lo..hubs.len().min(hi + 1)].partition_point(|&h| h < key)
+}
+
+impl LabelStore {
+    /// Global vertex count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of node-range shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Nodes per shard (last shard may be partial).
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Total label entries across all shards.
+    pub fn entries(&self) -> usize {
+        self.entries_total
+    }
+
+    /// Connected components registered at build time.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Arena footprint in bytes: hub/distance lanes plus CSR offsets and
+    /// the component map.
+    pub fn bytes(&self) -> usize {
+        let entry = std::mem::size_of::<u32>() + 2 * std::mem::size_of::<Dist>();
+        let offsets: usize = self.shards.iter().map(|s| s.offsets.len() * 4).sum();
+        self.entries_total * entry + offsets + self.comp_of.len() * 4
+    }
+
+    /// Component id of `v`.
+    pub fn comp_of(&self, v: u32) -> Result<u32, ServeError> {
+        self.comp_of
+            .get(v as usize)
+            .copied()
+            .ok_or(ServeError::UnknownNode { node: v, n: self.n })
+    }
+
+    /// The shard index owning node `v` (valid ids only).
+    pub fn shard_of(&self, v: u32) -> usize {
+        v as usize / self.shard_size
+    }
+
+    /// `(hubs, d(v → hub), d(hub → v))` lanes of node `v`.
+    fn lanes(&self, v: u32) -> (&[u32], &[Dist], &[Dist]) {
+        let shard = &self.shards[self.shard_of(v)];
+        let local = (v - shard.base) as usize;
+        let (lo, hi) = (
+            shard.offsets[local] as usize,
+            shard.offsets[local + 1] as usize,
+        );
+        (
+            &shard.hubs[lo..hi],
+            &shard.dto[lo..hi],
+            &shard.dfrom[lo..hi],
+        )
+    }
+
+    /// Exact `d(s → t)` straight off the arena (no cache): the galloping
+    /// hub-intersection minimum, bit-identical to
+    /// [`distlabel::decode`] on the uncompacted labels.
+    pub fn distance(&self, s: u32, t: u32) -> Result<Dist, ServeError> {
+        if s as usize >= self.n {
+            return Err(ServeError::UnknownNode { node: s, n: self.n });
+        }
+        if t as usize >= self.n {
+            return Err(ServeError::UnknownNode { node: t, n: self.n });
+        }
+        if self.comp_of[s as usize] != self.comp_of[t as usize] {
+            return Ok(INF);
+        }
+        let (sh, sto, _) = self.lanes(s);
+        let (th, _, tfrom) = self.lanes(t);
+        Ok(decode_lanes(sh, sto, th, tfrom))
+    }
+
+    /// Both directions at once: `(d(s → t), d(t → s))`.
+    pub fn distance_pair(&self, s: u32, t: u32) -> Result<(Dist, Dist), ServeError> {
+        Ok((self.distance(s, t)?, self.distance(t, s)?))
+    }
+}
+
+/// Merge-join over two sorted hub lanes; `a`'s forward lane meets `b`'s
+/// backward lane. Same early exits as `distlabel::decode_entries`.
+fn decode_lanes(ah: &[u32], ato: &[Dist], bh: &[u32], bfrom: &[Dist]) -> Dist {
+    if ah.is_empty() || bh.is_empty() || ah[ah.len() - 1] < bh[0] || bh[bh.len() - 1] < ah[0] {
+        return INF;
+    }
+    let mut best = INF;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ah.len() && j < bh.len() {
+        match ah[i].cmp(&bh[j]) {
+            std::cmp::Ordering::Less => i += gallop(&ah[i..], bh[j]),
+            std::cmp::Ordering::Greater => j += gallop(&bh[j..], ah[i]),
+            std::cmp::Ordering::Equal => {
+                best = best.min(dist_add(ato[i], bfrom[j]));
+                if best == 0 {
+                    return 0;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-built two-component store: a 3-path {0,1,2} (unit weights,
+    /// hubs = all three vertices for simplicity) and a singleton {3}.
+    fn tiny_store(shard_size: usize) -> LabelStore {
+        let mut labels = Vec::new();
+        let d = |a: i64, b: i64| (a - b).unsigned_abs();
+        for v in 0..3i64 {
+            let mut l = Label::new(v as u32);
+            for h in 0..3i64 {
+                l.merge(h as u32, d(v, h), d(h, v));
+            }
+            labels.push(l);
+        }
+        let mut b = StoreBuilder::new(4);
+        b.add_component(&labels, &[0, 1, 2]).unwrap();
+        b.add_singleton(3).unwrap();
+        b.build(shard_size).unwrap()
+    }
+
+    #[test]
+    fn distances_and_cross_component_inf() {
+        for shard_size in [1, 2, 64] {
+            let s = tiny_store(shard_size);
+            assert_eq!(s.n(), 4);
+            assert_eq!(s.components(), 2);
+            assert_eq!(s.distance(0, 2).unwrap(), 2);
+            assert_eq!(s.distance(2, 0).unwrap(), 2);
+            assert_eq!(s.distance(1, 1).unwrap(), 0);
+            assert_eq!(s.distance(3, 3).unwrap(), 0);
+            assert_eq!(s.distance(0, 3).unwrap(), INF, "cross-component pair");
+            assert_eq!(s.distance_pair(1, 2).unwrap(), (1, 1));
+        }
+    }
+
+    #[test]
+    fn unknown_node_is_typed() {
+        let s = tiny_store(2);
+        assert_eq!(
+            s.distance(4, 0),
+            Err(ServeError::UnknownNode { node: 4, n: 4 })
+        );
+        assert_eq!(
+            s.distance(0, 9),
+            Err(ServeError::UnknownNode { node: 9, n: 4 })
+        );
+        assert_eq!(s.comp_of(7), Err(ServeError::UnknownNode { node: 7, n: 4 }));
+    }
+
+    #[test]
+    fn builder_rejects_partitioning_violations() {
+        let mut b = StoreBuilder::new(2);
+        b.add_singleton(0).unwrap();
+        assert_eq!(
+            b.add_singleton(0),
+            Err(ServeError::DuplicateNode { node: 0 })
+        );
+        assert_eq!(
+            b.build(4).map(|_| ()).unwrap_err(),
+            ServeError::UncoveredNode { node: 1 }
+        );
+
+        let mut b = StoreBuilder::new(2);
+        let mut bad = Label::new(0);
+        bad.merge(5, 1, 1); // hub 5 outside a 1-vertex component
+        assert_eq!(
+            b.add_component(&[bad], &[0]),
+            Err(ServeError::HubOutOfRange { hub: 5, comp_n: 1 })
+        );
+        assert_eq!(
+            b.add_component(&[], &[1]),
+            Err(ServeError::ComponentShapeMismatch {
+                labels: 0,
+                nodes: 1
+            })
+        );
+    }
+
+    #[test]
+    fn sharding_covers_the_space_and_counts_bytes() {
+        let s = tiny_store(3);
+        assert_eq!(s.shard_count(), 2);
+        assert_eq!(s.shard_of(2), 0);
+        assert_eq!(s.shard_of(3), 1);
+        assert_eq!(s.entries(), 3 * 3 + 1);
+        assert!(s.bytes() >= s.entries() * 20);
+    }
+}

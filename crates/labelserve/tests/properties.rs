@@ -1,0 +1,204 @@
+//! Property net over the label-serving path.
+//!
+//! Four families of invariants, each on seeded random low-treewidth
+//! instances (decompose → label → compact → serve):
+//!
+//! 1. **Compaction round-trip** — the store's SoA galloping decoder must
+//!    agree with [`distlabel::decode`] on the uncompacted labels for
+//!    arbitrary pairs (including self-pairs and disconnected components).
+//! 2. **Batch order-invariance** — permuting a batch permutes the answers
+//!    and nothing else, regardless of what the cache has seen before.
+//! 3. **Cache on/off identity** — the hot-pair cache is an optimization,
+//!    never a semantic: answers are bit-identical with caching disabled.
+//! 4. **Relabeling equivariance** — serving a π-relabeled instance
+//!    commutes with π (the store layout depends on vertex ids; the served
+//!    distances must not).
+
+use distlabel::Label;
+use labelserve::{QueryEngine, ServeConfig, StoreBuilder};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use twgraph::{MultiDigraph, UGraph};
+
+/// Decompose one connected graph and build its labels (centralized —
+/// the distributed path is covered by the scenario matrix).
+fn build_labels(g: &UGraph, inst: &MultiDigraph, t0: u64, seed: u64) -> Vec<Label> {
+    let cfg = treedec::SepConfig::practical(g.n());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let out = treedec::decompose_centralized(g, t0, &cfg, &mut rng).expect("decomposition failed");
+    distlabel::build_labels_centralized(inst, &out.td, &out.info)
+}
+
+/// Build a store + engine over a possibly-disconnected instance by
+/// splitting components, labeling each, and compacting — the same recipe
+/// the scenario harness uses. Returns the per-component labels in global
+/// hub space alongside, for round-trip comparison.
+fn build_engine(
+    g: &UGraph,
+    inst: &MultiDigraph,
+    t0: u64,
+    seed: u64,
+    cfg: ServeConfig,
+) -> (QueryEngine, Vec<Label>) {
+    let (comp, k) = twgraph::alg::components(g);
+    let mut builder = StoreBuilder::new(g.n());
+    // Global-hub reference labels: entries mapped through old_of.
+    let mut global_labels: Vec<Label> = (0..g.n() as u32).map(Label::new).collect();
+    for c in 0..k {
+        let keep: Vec<bool> = comp.iter().map(|&x| x as usize == c).collect();
+        let (sub, old_of) = g.induced(&keep);
+        let (sub_inst, _) = inst.induced(&keep);
+        if sub.n() == 1 {
+            builder.add_singleton(old_of[0]).unwrap();
+            global_labels[old_of[0] as usize].merge(old_of[0], 0, 0);
+            continue;
+        }
+        let labels = build_labels(&sub, &sub_inst, t0, seed ^ (c as u64) << 8);
+        builder.add_component(&labels, &old_of).unwrap();
+        for (i, l) in labels.iter().enumerate() {
+            let gl = &mut global_labels[old_of[i] as usize];
+            for &(hub, to, from) in &l.entries {
+                gl.merge(old_of[hub as usize], to, from);
+            }
+        }
+    }
+    (
+        QueryEngine::new(builder.build(cfg.shard_size).unwrap(), cfg),
+        global_labels,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn store_roundtrips_distlabel_decode(
+        n in 20usize..90,
+        k in 1usize..4,
+        seed in 0u64..500,
+        shard_size in 1usize..40,
+    ) {
+        let g = twgraph::gen::partial_ktree(n, k, 0.6, seed);
+        let inst = twgraph::gen::with_random_weights(&g, 17, seed);
+        let cfg = ServeConfig { shard_size, cache_capacity: 16 };
+        let (engine, labels) = build_engine(&g, &inst, k as u64 + 1, seed, cfg);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xF00D);
+        for _ in 0..256 {
+            let (s, t) = (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32));
+            let want = distlabel::decode(&labels[s as usize], &labels[t as usize]);
+            prop_assert_eq!(engine.distance(s, t).unwrap(), want);
+        }
+        for v in 0..n as u32 {
+            prop_assert_eq!(engine.distance(v, v).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn store_roundtrip_spans_components(
+        n in 24usize..70,
+        seed in 0u64..300,
+    ) {
+        let g = twgraph::gen::multi_component(n, seed);
+        let inst = twgraph::gen::with_random_weights(&g, 9, seed);
+        let cfg = ServeConfig { shard_size: (n / 3).max(1), cache_capacity: 8 };
+        let (engine, labels) = build_engine(&g, &inst, 3, seed, cfg);
+        prop_assert!(engine.store().components() >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBEEF);
+        for _ in 0..256 {
+            let (s, t) = (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32));
+            let want = distlabel::decode(&labels[s as usize], &labels[t as usize]);
+            prop_assert_eq!(engine.distance(s, t).unwrap(), want);
+            if engine.store().comp_of(s).unwrap() != engine.store().comp_of(t).unwrap() {
+                prop_assert!(engine.distance(s, t).unwrap() >= twgraph::INF);
+            }
+        }
+    }
+
+    #[test]
+    fn batches_are_order_invariant(
+        n in 20usize..70,
+        seed in 0u64..300,
+        queries in 10usize..120,
+    ) {
+        let g = twgraph::gen::partial_ktree(n, 2, 0.6, seed);
+        let inst = twgraph::gen::with_random_weights(&g, 11, seed);
+        let cfg = ServeConfig { shard_size: 8, cache_capacity: 8 };
+        let (engine, _) = build_engine(&g, &inst, 3, seed, cfg);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xABBA);
+        let qs: Vec<(u32, u32)> = (0..queries)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        let base = engine.batch(&qs).unwrap();
+        let mut order: Vec<usize> = (0..qs.len()).collect();
+        order.shuffle(&mut rng);
+        let shuffled: Vec<(u32, u32)> = order.iter().map(|&i| qs[i]).collect();
+        let got = engine.batch(&shuffled).unwrap();
+        for (pos, &i) in order.iter().enumerate() {
+            prop_assert_eq!(got[pos], base[i]);
+        }
+    }
+
+    #[test]
+    fn cache_is_semantically_invisible(
+        n in 20usize..70,
+        seed in 0u64..300,
+        cache_capacity in 1usize..64,
+    ) {
+        let g = twgraph::gen::cactus(n, seed);
+        let inst = twgraph::gen::with_random_weights(&g, 13, seed);
+        let cached_cfg = ServeConfig { shard_size: 8, cache_capacity };
+        let (cached, _) = build_engine(&g, &inst, 3, seed, cached_cfg);
+        let (raw, _) = build_engine(&g, &inst, 3, seed, cached_cfg.without_cache());
+        let qs = labelserve::seeded_queries(
+            n,
+            &labelserve::WorkloadSpec { queries: 400, hot_pairs: 6, hot_fraction: 0.8 },
+            seed,
+        );
+        // Heavy repetition: most answers come out of the cache on the
+        // cached engine, none on the raw one.
+        prop_assert_eq!(cached.batch(&qs).unwrap(), raw.batch(&qs).unwrap());
+        prop_assert!(cached.stats().hits > 0, "hot workload never hit");
+        prop_assert_eq!(raw.stats().hits, 0);
+    }
+
+    #[test]
+    fn serving_commutes_with_relabeling(
+        n in 20usize..60,
+        seed in 0u64..200,
+    ) {
+        let g = twgraph::gen::series_parallel(n, seed);
+        let inst = twgraph::gen::with_random_weights(&g, 15, seed);
+        let cfg = treedec::SepConfig::practical(g.n());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let out = treedec::decompose_centralized(&g, 3, &cfg, &mut rng).unwrap();
+        let labels = distlabel::build_labels_centralized(&inst, &out.td, &out.info);
+
+        let mut perm: Vec<u32> = (0..g.n() as u32).collect();
+        perm.shuffle(&mut SmallRng::seed_from_u64(seed ^ 0xA11CE));
+        let info2: Vec<_> = out.info.iter().map(|ni| ni.relabeled(&perm)).collect();
+        let labels2 = distlabel::build_labels_centralized(
+            &inst.relabeled(&perm),
+            &out.td.relabeled(&perm),
+            &info2,
+        );
+
+        let ids: Vec<u32> = (0..g.n() as u32).collect();
+        let serve_cfg = ServeConfig { shard_size: 8, cache_capacity: 16 };
+        let mk = |ls: &[Label]| {
+            let mut b = StoreBuilder::new(g.n());
+            b.add_component(ls, &ids).unwrap();
+            QueryEngine::new(b.build(serve_cfg.shard_size).unwrap(), serve_cfg)
+        };
+        let (e1, e2) = (mk(&labels), mk(&labels2));
+        let mut qrng = SmallRng::seed_from_u64(seed ^ 0x5A5A);
+        for _ in 0..200 {
+            let (s, t) = (qrng.gen_range(0..n as u32), qrng.gen_range(0..n as u32));
+            prop_assert_eq!(
+                e1.distance(s, t).unwrap(),
+                e2.distance(perm[s as usize], perm[t as usize]).unwrap()
+            );
+        }
+    }
+}

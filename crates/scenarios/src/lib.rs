@@ -1,9 +1,10 @@
 //! # scenarios — the scenario corpus and unified workload harness
 //!
 //! The paper's claim is parameterized: every pipeline in this workspace
-//! (SSSP, distance labeling, girth, matching, stateful walks) stays fully
-//! polynomial *for any* low-treewidth input. This crate makes that claim
-//! testable as a cross-product:
+//! (SSSP, distance labeling, girth, matching, stateful walks, and the
+//! label-serving query engine) stays fully polynomial *for any*
+//! low-treewidth input. This crate makes that claim testable as a
+//! cross-product:
 //!
 //! * [`registry`] — a [`Scenario`] names a seeded graph [`Family`] with a
 //!   declared treewidth bound and a [`WeightModel`]; [`corpus`] is the
@@ -40,9 +41,9 @@ pub mod report;
 pub mod runner;
 
 pub use pipeline::{
-    all_pipelines, DistLabelPipeline, GirthPipeline, MatchingPipeline, Pipeline, SsspPipeline,
-    WalksPipeline,
+    all_pipelines, DistLabelPipeline, GirthPipeline, MatchingPipeline, Pipeline, ServePipeline,
+    SsspPipeline, WalksPipeline,
 };
 pub use registry::{corpus, Family, Scenario, WeightModel};
-pub use report::{fold_checksum, CellError, CellReport, MetricsTotal};
+pub use report::{fold_checksum, CellError, CellFailure, CellReport, MetricsTotal};
 pub use runner::{run_cell, run_matrix, split_components, Part};

@@ -26,19 +26,20 @@ pub trait Pipeline {
     fn run(&self, sc: &Scenario) -> Result<CellReport, CellError>;
 }
 
-/// Adapter: tag an underlying error with the failing cell's coordinates.
-fn cell_err<'a>(
+/// Adapter: tag an underlying error (any [`CellFailure`] source — decomp
+/// or serve) with the failing cell's coordinates.
+fn cell_err<'a, E: Into<crate::report::CellFailure>>(
     sc: &'a Scenario,
     pipeline: &'static str,
-) -> impl Fn(treedec::DecompError) -> CellError + 'a {
+) -> impl Fn(E) -> CellError + 'a {
     move |e| CellError {
         scenario: sc.name.to_string(),
         pipeline,
-        source: e,
+        source: e.into(),
     }
 }
 
-/// All five pipelines, in canonical order.
+/// All six pipelines, in canonical order.
 pub fn all_pipelines() -> Vec<Box<dyn Pipeline>> {
     vec![
         Box::new(SsspPipeline),
@@ -46,6 +47,7 @@ pub fn all_pipelines() -> Vec<Box<dyn Pipeline>> {
         Box::new(GirthPipeline),
         Box::new(MatchingPipeline),
         Box::new(WalksPipeline),
+        Box::new(ServePipeline),
     ]
 }
 
@@ -374,6 +376,116 @@ impl Pipeline for WalksPipeline {
     }
 }
 
+/// Query serving: distributed label construction per component, compaction
+/// into a sharded `labelserve` store, then a batched query replay through
+/// the cached [`labelserve::QueryEngine`] — every answer differentially
+/// checked against per-source Dijkstra rows (exhaustive pairs for
+/// n ≤ 200, a seeded source/target sample otherwise), cross-component
+/// pairs included (the store must answer the oracle's ∞). A seeded skewed
+/// workload is then replayed to report throughput and cache behavior.
+pub struct ServePipeline;
+
+/// Exhaustive-check cutoff: at or below this vertex count every ordered
+/// pair is verified; above it a seeded sample of full source rows is.
+const SERVE_EXHAUSTIVE_N: usize = 200;
+
+impl Pipeline for ServePipeline {
+    fn name(&self) -> &'static str {
+        "serve"
+    }
+
+    fn run(&self, sc: &Scenario) -> Result<CellReport, CellError> {
+        let ce = cell_err::<treedec::DecompError>(sc, self.name());
+        let se = cell_err::<labelserve::ServeError>(sc, self.name());
+        let g = sc.graph();
+        let inst = sc.instance();
+        let mut rep = CellReport::new(sc.name, self.name(), g.n(), g.m());
+        let parts = split_components(&g, &inst);
+        rep.components = parts.len();
+
+        // Build: distributed label construction per component (charged on
+        // the simulator), compacted into one global sharded store.
+        let mut builder = labelserve::StoreBuilder::new(g.n());
+        for (ci, part) in parts.iter().enumerate() {
+            if part.graph.n() == 1 {
+                builder.add_singleton(part.old_of[0]).map_err(&se)?;
+                continue;
+            }
+            let (out, mut net) =
+                decompose_part_distributed(part, sc.t0, sc.seed, ci).map_err(&ce)?;
+            rep.note_decomposition(out.td.width(), out.td.stats().depth);
+            let (labels, _) =
+                distlabel::build_labels_distributed(&mut net, &part.inst, &out.td, &out.info)
+                    .map_err(|e| ce(e.into()))?;
+            builder.add_component(&labels, &part.old_of).map_err(&se)?;
+            rep.metrics.absorb(net.metrics());
+            rep.note_phases(ci, net.phase_log());
+        }
+        let cfg = labelserve::ServeConfig {
+            // Small graphs still exercise real sharding: at least 4 shards.
+            shard_size: (g.n() / 4).max(1),
+            cache_capacity: 512,
+        };
+        let store = builder.build(cfg.shard_size).map_err(&se)?;
+        rep.detail.push(("store_bytes", store.bytes() as u64));
+        rep.detail.push(("store_entries", store.entries() as u64));
+        let engine = labelserve::QueryEngine::new(store, cfg);
+
+        // Differential: batched engine answers against Dijkstra rows on
+        // the full instance — cross-component pairs must answer ∞.
+        let n = g.n();
+        let sources: Vec<u32> = if n <= SERVE_EXHAUSTIVE_N {
+            (0..n as u32).collect()
+        } else {
+            let mut rng = twgraph::gen::derive_rng("serve_sample", &[n as u64], sc.seed);
+            use rand::Rng;
+            (0..32).map(|_| rng.gen_range(0..n as u32)).collect()
+        };
+        for &u in &sources {
+            let oracle = baselines::sssp_oracle(&inst, u);
+            let row: Vec<(u32, u32)> = (0..n as u32).map(|v| (u, v)).collect();
+            let got = engine.batch(&row).map_err(&se)?;
+            for (v, &d) in got.iter().enumerate() {
+                assert_eq!(
+                    d, oracle[v],
+                    "{}: serve({u} → {v}) diverged from the Dijkstra oracle",
+                    sc.name
+                );
+                rep.output = fold_checksum(rep.output, u64::from(u) * n as u64 + v as u64, d);
+                rep.checked += 1;
+            }
+        }
+
+        // Replay the seeded skewed workload for throughput and cache
+        // behavior (answers drawn from the just-verified pair space).
+        engine.reset();
+        let spec = labelserve::WorkloadSpec {
+            queries: 8 * n.max(8),
+            hot_pairs: (n / 8).max(8),
+            hot_fraction: 0.75,
+        };
+        let queries = labelserve::seeded_queries(n, &spec, sc.seed);
+        let t = std::time::Instant::now();
+        let answers = engine.batch(&queries).map_err(&se)?;
+        let wall = t.elapsed();
+        for (i, &d) in answers.iter().enumerate() {
+            rep.output = fold_checksum(rep.output, i as u64, d);
+        }
+        let stats = engine.stats();
+        rep.detail.push(("queries", queries.len() as u64));
+        rep.detail.push(("cache_hits", stats.hits));
+        rep.detail.push(("cache_misses", stats.misses));
+        rep.detail
+            .push(("cache_hit_pct", (stats.hit_rate() * 100.0).round() as u64));
+        let secs = wall.as_secs_f64();
+        if secs > 0.0 {
+            rep.detail
+                .push(("qps", (queries.len() as f64 / secs) as u64));
+        }
+        Ok(rep)
+    }
+}
+
 /// (Internal) shared scaffolding assertions exercised by unit tests.
 #[cfg(test)]
 mod tests {
@@ -433,6 +545,29 @@ mod tests {
             .unwrap();
         assert!(rep.checked > 0);
         assert!(rep.metrics.rounds > 0, "virtual CDL rounds must be charged");
+    }
+
+    #[test]
+    fn serve_cell_on_multi_component() {
+        let rep = ServePipeline
+            .run(&tiny("test/serve", Family::MultiComponent { n: 40 }))
+            .unwrap();
+        assert!(rep.components >= 4);
+        assert_eq!(rep.checked, 40 * 40, "exhaustive pair verification");
+        assert!(rep.metrics.rounds > 0, "label construction must be charged");
+        for key in ["store_bytes", "queries", "cache_hits", "cache_misses"] {
+            assert!(
+                rep.detail.iter().any(|&(k, _)| k == key),
+                "detail key {key} missing"
+            );
+        }
+        let hits = rep
+            .detail
+            .iter()
+            .find(|&&(k, _)| k == "cache_hits")
+            .unwrap()
+            .1;
+        assert!(hits > 0, "a 75%-hot workload must hit the cache");
     }
 
     #[test]

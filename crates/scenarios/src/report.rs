@@ -4,10 +4,43 @@ use congest_sim::{Metrics, PhaseSnapshot};
 use std::fmt;
 use treedec::DecompError;
 
+/// The underlying operational failure of a cell: either the build side
+/// (decomposition / simulator, wrapped in [`DecompError`]) or the query
+/// side (the `labelserve` store, a [`labelserve::ServeError`]).
+#[derive(Debug)]
+pub enum CellFailure {
+    /// Decomposition or CONGEST-simulator failure.
+    Decomp(DecompError),
+    /// Label-store build or query failure.
+    Serve(labelserve::ServeError),
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellFailure::Decomp(e) => write!(f, "{e}"),
+            CellFailure::Serve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<DecompError> for CellFailure {
+    fn from(e: DecompError) -> Self {
+        CellFailure::Decomp(e)
+    }
+}
+
+impl From<labelserve::ServeError> for CellFailure {
+    fn from(e: labelserve::ServeError) -> Self {
+        CellFailure::Serve(e)
+    }
+}
+
 /// A cell failed for an operational reason (simulator violation, invalid
-/// decomposition input) rather than a differential divergence — the latter
-/// is an invariant break and still asserts. Carries the cell coordinates
-/// so matrix drivers can report which workload died.
+/// decomposition input, store build/query failure) rather than a
+/// differential divergence — the latter is an invariant break and still
+/// asserts. Carries the cell coordinates so matrix drivers can report
+/// which workload died.
 #[derive(Debug)]
 pub struct CellError {
     /// Scenario registry name.
@@ -15,7 +48,7 @@ pub struct CellError {
     /// Pipeline name.
     pub pipeline: &'static str,
     /// The underlying failure.
-    pub source: DecompError,
+    pub source: CellFailure,
 }
 
 impl fmt::Display for CellError {
@@ -26,7 +59,10 @@ impl fmt::Display for CellError {
 
 impl std::error::Error for CellError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.source)
+        match &self.source {
+            CellFailure::Decomp(e) => Some(e),
+            CellFailure::Serve(e) => Some(e),
+        }
     }
 }
 

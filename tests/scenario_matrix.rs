@@ -63,8 +63,13 @@ fn matrix_walks() {
     run_pipeline_over_corpus("walks");
 }
 
+#[test]
+fn matrix_serve() {
+    run_pipeline_over_corpus("serve");
+}
+
 /// The corpus × pipeline dimensions the acceptance criteria pin: at least
-/// five *new* families and all five pipelines present.
+/// five *new* families and all six pipelines present.
 #[test]
 fn matrix_dimensions() {
     let c = corpus();
@@ -90,7 +95,10 @@ fn matrix_dimensions() {
         "unbounded control family missing"
     );
     let p = all_pipelines();
-    assert_eq!(p.len(), 5);
+    assert_eq!(p.len(), 6);
     let names: Vec<_> = p.iter().map(|p| p.name()).collect();
-    assert_eq!(names, ["sssp", "distlabel", "girth", "matching", "walks"]);
+    assert_eq!(
+        names,
+        ["sssp", "distlabel", "girth", "matching", "walks", "serve"]
+    );
 }

@@ -1,0 +1,161 @@
+//! The serve-vs-oracle differential suite: `labelserve::QueryEngine`
+//! answers against the centralized APSP oracle (`baselines::oracles`
+//! Dijkstra rows) on every cell of the scenario matrix — exhaustive pairs
+//! for n ≤ 200, a seeded sample otherwise — plus the cross-component ∞
+//! semantics and the cache on/off identity on live corpus stores.
+//!
+//! The scenario matrix (`scenario_matrix::matrix_serve`) runs the same
+//! comparison through the distributed label build; this suite pins the
+//! serving layer in isolation (centralized build), so a failure here
+//! localizes to compaction/sharding/caching rather than the CONGEST path.
+
+use lowtw::labelserve::{self, QueryEngine, ServeConfig, ServeError, StoreBuilder};
+use lowtw::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scenarios::{corpus, runner, split_components, Scenario};
+use twgraph::INF;
+
+/// Build a serving engine for one scenario the way the harness does —
+/// split components, label each (centralized), compact — with shard/cache
+/// parameters small enough to exercise multi-shard layouts and eviction.
+fn engine_for(sc: &Scenario, cache_capacity: usize) -> QueryEngine {
+    let g = sc.graph();
+    let inst = sc.instance();
+    let parts = split_components(&g, &inst);
+    let mut builder = StoreBuilder::new(g.n());
+    for (ci, part) in parts.iter().enumerate() {
+        if part.graph.n() == 1 {
+            builder.add_singleton(part.old_of[0]).unwrap();
+            continue;
+        }
+        let out = runner::decompose_part(part, sc.t0, sc.seed, ci)
+            .unwrap_or_else(|e| panic!("{}: decomposition failed: {e}", sc.name));
+        let labels = distlabel::build_labels_centralized(&part.inst, &out.td, &out.info);
+        builder.add_component(&labels, &part.old_of).unwrap();
+    }
+    let cfg = ServeConfig {
+        shard_size: (g.n() / 5).max(1),
+        cache_capacity,
+    };
+    QueryEngine::new(builder.build(cfg.shard_size).unwrap(), cfg)
+}
+
+/// Exhaustive (n ≤ 200) or seeded-sample comparison of one engine against
+/// per-source Dijkstra rows; returns the number of verified pairs.
+fn check_against_oracle(sc: &Scenario, engine: &QueryEngine) -> usize {
+    let inst = sc.instance();
+    let n = engine.store().n();
+    let sources: Vec<u32> = if n <= 200 {
+        (0..n as u32).collect()
+    } else {
+        let mut rng = SmallRng::seed_from_u64(sc.seed ^ 0xD1FF);
+        (0..24).map(|_| rng.gen_range(0..n as u32)).collect()
+    };
+    let mut checked = 0;
+    for &u in &sources {
+        let oracle = baselines::sssp_oracle(&inst, u);
+        let row: Vec<(u32, u32)> = (0..n as u32).map(|v| (u, v)).collect();
+        let got = engine.batch(&row).unwrap();
+        for (v, &d) in got.iter().enumerate() {
+            assert_eq!(d, oracle[v], "{}: serve({u} → {v}) != oracle", sc.name);
+            checked += 1;
+        }
+    }
+    checked
+}
+
+#[test]
+fn serve_matches_apsp_oracle_on_every_corpus_cell() {
+    for sc in corpus() {
+        let engine = engine_for(&sc, 64);
+        let checked = check_against_oracle(&sc, &engine);
+        assert!(
+            checked >= engine.store().n(),
+            "{}: nothing verified",
+            sc.name
+        );
+        assert!(
+            engine.store().shard_count() >= 4,
+            "{}: sharding not exercised",
+            sc.name
+        );
+    }
+}
+
+#[test]
+fn cross_component_pairs_answer_infinity() {
+    let sc = corpus()
+        .into_iter()
+        .find(|s| s.family.tag() == "multi_component")
+        .expect("corpus lost its multi_component scenario");
+    let engine = engine_for(&sc, 64);
+    let store = engine.store();
+    assert!(store.components() >= 4, "multi_component became connected");
+    let n = store.n() as u32;
+    let mut cross = 0u64;
+    for s in 0..n {
+        for t in 0..n {
+            if store.comp_of(s).unwrap() != store.comp_of(t).unwrap() {
+                assert_eq!(engine.distance(s, t).unwrap(), INF, "({s}, {t})");
+                cross += 1;
+            }
+        }
+    }
+    assert!(cross > 0, "no cross-component pair exercised");
+}
+
+#[test]
+fn sampled_mode_on_a_large_graph() {
+    // n > 200 flips the suite (and the serve pipeline) into sampled mode;
+    // verify it against full Dijkstra rows on a session-built engine.
+    let n = 600;
+    let g = twgraph::gen::partial_ktree(n, 2, 0.7, 9);
+    let inst = twgraph::gen::with_random_weights(&g, 40, 9);
+    let session = Session::decompose(&g, 3, 9).unwrap();
+    let engine = session
+        .serve(
+            &inst,
+            ServeConfig {
+                shard_size: 128,
+                cache_capacity: 256,
+            },
+        )
+        .unwrap();
+    let mut rng = SmallRng::seed_from_u64(0x5A);
+    for _ in 0..12 {
+        let u = rng.gen_range(0..n as u32);
+        let oracle = baselines::sssp_oracle(&inst, u);
+        let row: Vec<(u32, u32)> = (0..n as u32).map(|v| (u, v)).collect();
+        assert_eq!(engine.batch(&row).unwrap(), oracle, "source {u}");
+    }
+    assert_eq!(
+        engine.distance(n as u32, 0),
+        Err(ServeError::UnknownNode { node: n as u32, n })
+    );
+}
+
+#[test]
+fn cache_toggle_is_invisible_on_corpus_stores() {
+    for sc in corpus().into_iter().take(4) {
+        let cached = engine_for(&sc, 64);
+        let raw = engine_for(&sc, 0);
+        let qs = labelserve::seeded_queries(
+            cached.store().n(),
+            &labelserve::WorkloadSpec {
+                queries: 2_000,
+                hot_pairs: 16,
+                hot_fraction: 0.8,
+            },
+            sc.seed,
+        );
+        assert_eq!(
+            cached.batch(&qs).unwrap(),
+            raw.batch(&qs).unwrap(),
+            "{}: cache changed answers",
+            sc.name
+        );
+        assert!(cached.stats().hits > 0, "{}: cache never hit", sc.name);
+        assert_eq!(raw.stats(), labelserve::CacheStats::default());
+    }
+}
