@@ -1,0 +1,263 @@
+//! The `update` bench: incremental label maintenance vs from-scratch
+//! rebuild under live queries. Builds a maintained labeling + versioned
+//! serving engine over a large partial k-tree, then applies single-edge
+//! batches (a heavy insert deep in the decomposition, then its deletion)
+//! while reader threads query the engine continuously — measuring the
+//! incremental apply+publish wall against a full scratch rebuild of the
+//! same mutated instance, and proving queries were served throughout (no
+//! epoch gap). Writes `BENCH_update.json`.
+//!
+//! ```sh
+//! cargo run --release -p lowtw-bench --bin update              # n = 100_000
+//! cargo run --release -p lowtw-bench --bin update -- 20000 2   # smaller
+//! ```
+//!
+//! Positional arguments: `n` (default 100_000), `k` (default 2), `keep`
+//! (default 0.5), `seed` (default 1) — the `serve` bench family, so the
+//! scratch-side numbers line up with `BENCH_serve.json`.
+
+use labelserve::{ServeConfig, VersionedEngine};
+use lowtw::{distlabel, twgraph};
+use lowtw_bench::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+use twgraph::EdgeBatch;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = |i: usize, default: f64| -> f64 {
+        args.get(i)
+            .map(|s| s.parse().expect("numeric argument"))
+            .unwrap_or(default)
+    };
+    let n = arg(0, 100_000.0) as usize;
+    let k = arg(1, 2.0) as usize;
+    let keep = arg(2, 0.5);
+    let seed = arg(3, 1.0) as u64;
+
+    eprintln!("generating partial {k}-tree, n = {n}, keep = {keep}, seed = {seed} ...");
+    let g = twgraph::gen::partial_ktree(n, k, keep, seed);
+    let inst = twgraph::gen::with_random_weights(&g, 30, seed);
+    let m = g.m();
+
+    // Scratch build: the baseline every incremental apply competes with.
+    let t = Instant::now();
+    let mut dl =
+        distlabel::DynamicLabeling::build(&inst, k as u64 + 1, seed).expect("initial build failed");
+    let wall_build = t.elapsed();
+    let serve_cfg = ServeConfig::default();
+    let t = Instant::now();
+    let eng = VersionedEngine::from_labeling(&dl, serve_cfg).expect("store build failed");
+    let wall_store = t.elapsed();
+    let part = &dl.parts()[0];
+    eprintln!(
+        "scratch build: width = {}, depth = {}, label {:.1?} + store {:.1?}",
+        part.td().width(),
+        part.td().stats().depth,
+        wall_build,
+        wall_store
+    );
+
+    // Pick an edit site deep in the decomposition: the deepest leaf with a
+    // region pair that is NOT already adjacent. An edge between two of its
+    // region vertices dirties only that subtree's labels — and because no
+    // original edge joins the pair, deleting it restores the exact initial
+    // instance (a delete removes every arc with those endpoints, so an
+    // adjacent pair would sever original edges and force a split/rebuild).
+    let adjacent = |u: u32, v: u32| {
+        let inst = dl.inst();
+        inst.out_arcs(u)
+            .iter()
+            .any(|&a| inst.arc(twgraph::ArcId(a)).dst == v)
+            || inst
+                .out_arcs(v)
+                .iter()
+                .any(|&a| inst.arc(twgraph::ArcId(a)).dst == u)
+    };
+    let depths = part.td().depths();
+    let mut leaves: Vec<usize> = (0..part.info().len())
+        .filter(|&x| part.info()[x].is_leaf && part.info()[x].gpx.len() >= 2)
+        .collect();
+    leaves.sort_unstable_by_key(|&x| std::cmp::Reverse(depths[x]));
+    let (leaf, ga, gb) = leaves
+        .iter()
+        .find_map(|&x| {
+            let gpx = &part.info()[x].gpx;
+            (0..gpx.len()).find_map(|i| {
+                (i + 1..gpx.len()).find_map(|j| {
+                    let ga = part.old_of()[gpx[i] as usize];
+                    let gb = part.old_of()[gpx[j] as usize];
+                    (!adjacent(ga, gb)).then_some((x, ga, gb))
+                })
+            })
+        })
+        .expect("no leaf region with a non-adjacent vertex pair");
+    eprintln!(
+        "edit site: leaf node {leaf} at depth {}, global edge ({ga}, {gb})",
+        depths[leaf]
+    );
+
+    // A weight far above any shortest path (n · wmax < 25_000 · scale)
+    // cannot improve ancestor bag distances, so the scoped gate passes and
+    // the rebuild stays confined to the dirty subtree.
+    let heavy = 25_000u64.max(n as u64);
+    let batches = [
+        ("insert_heavy", EdgeBatch::new().insert(ga, gb, heavy)),
+        ("delete_heavy", EdgeBatch::new().delete(ga, gb)),
+        ("insert_heavy_2", EdgeBatch::new().insert(ga, gb, heavy + 1)),
+        ("delete_heavy_2", EdgeBatch::new().delete(ga, gb)),
+    ];
+
+    // Readers hammer the engine for the whole incremental phase; every
+    // query must answer (no epoch gap), and the epochs they observe span
+    // the publishes happening under them.
+    let stop = AtomicBool::new(false);
+    let queries_during = AtomicU64::new(0);
+    let epochs_seen = AtomicU64::new(0);
+    let mut results = Vec::new();
+
+    // Raised on every exit path — a panicking writer must still release
+    // the readers or the scope join below waits on them forever.
+    struct StopGuard<'a>(&'a AtomicBool);
+    impl Drop for StopGuard<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for r in 0..4u64 {
+            let eng = &eng;
+            let stop = &stop;
+            let queries_during = &queries_during;
+            let epochs_seen = &epochs_seen;
+            scope.spawn(move || {
+                let mut i = r;
+                while !stop.load(Ordering::Acquire) {
+                    let snap = eng.snapshot();
+                    epochs_seen.fetch_max(snap.epoch(), Ordering::Relaxed);
+                    let s = ((i * 2_654_435_761) % n as u64) as u32;
+                    let t = ((i * 40_503 + 7) % n as u64) as u32;
+                    snap.distance(s, t).expect("query failed mid-publish");
+                    queries_during.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+
+        let _stop_guard = StopGuard(&stop);
+        for (name, batch) in &batches {
+            let t = Instant::now();
+            let rep = dl.apply(batch).expect("incremental apply failed");
+            let wall_apply = t.elapsed();
+            let t = Instant::now();
+            let stats = eng.publish_from(&dl, &rep.dirty).expect("publish failed");
+            let wall_publish = t.elapsed();
+            eprintln!(
+                "{name}: apply {:.1?} + publish {:.1?} (dirty {}, scoped {}, fallbacks {}, {}:{} shards dirty, {} pairs carried)",
+                wall_apply,
+                wall_publish,
+                rep.dirty.len(),
+                rep.parts_scoped,
+                rep.fallbacks,
+                stats.dirty_shards,
+                stats.total_shards,
+                stats.carried_pairs
+            );
+            results.push((name.to_string(), wall_apply, wall_publish, rep, stats));
+        }
+    });
+    for (name, _, _, rep, _) in &results {
+        assert_eq!(
+            rep.fallbacks, 0,
+            "{name}: heavy edge must take the scoped path"
+        );
+    }
+
+    // Correctness spot-check on the final graph (heavy edge deleted, so it
+    // must equal the original instance's distances).
+    let truth = twgraph::alg::dijkstra(dl.inst(), ga);
+    for t in [gb, 0, (n / 2) as u32, n as u32 - 1] {
+        assert_eq!(
+            eng.distance(ga, t).unwrap(),
+            truth.dist[t as usize],
+            "post-update serve diverged at ({ga}, {t})"
+        );
+    }
+
+    // Scratch rebuild of the same final instance: what every batch would
+    // have cost without incremental maintenance.
+    let t = Instant::now();
+    let scratch = distlabel::DynamicLabeling::build(dl.inst(), k as u64 + 1, seed ^ 0xBEEF)
+        .expect("scratch rebuild failed");
+    let scratch_store =
+        VersionedEngine::from_labeling(&scratch, serve_cfg).expect("scratch store failed");
+    let wall_scratch = t.elapsed();
+    drop(scratch_store);
+
+    let incr_us: Vec<u64> = results
+        .iter()
+        .map(|(_, a, p, _, _)| (a.as_micros() + p.as_micros()) as u64)
+        .collect();
+    let worst_incr = *incr_us.iter().max().unwrap();
+    let scratch_us = wall_scratch.as_micros() as u64;
+    let speedup = scratch_us as f64 / worst_incr as f64;
+    let served = queries_during.load(Ordering::Relaxed);
+    eprintln!(
+        "scratch rebuild {:.1?} vs worst incremental {} us → {:.1}x; {} queries served during rebuilds (max epoch {})",
+        wall_scratch,
+        fmt(worst_incr),
+        speedup,
+        fmt(served),
+        epochs_seen.load(Ordering::Relaxed)
+    );
+    assert!(served > 0, "readers must have been served during rebuilds");
+
+    let doc = serde_json::json!({
+        "bench": "update",
+        "family": "partial_ktree",
+        "n": n,
+        "m": m,
+        "k": k,
+        "keep": keep,
+        "seed": seed,
+        "width": dl.parts()[0].td().width(),
+        "depth": dl.parts()[0].td().stats().depth,
+        "scratch_us": serde_json::json!({
+            "label_build": wall_build.as_micros() as u64,
+            "store_build": wall_store.as_micros() as u64,
+            "full_rebuild": scratch_us,
+        }),
+        "batches": results
+            .iter()
+            .map(|(name, a, p, rep, stats)| serde_json::json!({
+                "name": name.as_str(),
+                "apply_us": a.as_micros() as u64,
+                "publish_us": p.as_micros() as u64,
+                "dirty": rep.dirty.len(),
+                "scoped_parts": rep.parts_scoped,
+                "reused_parts": rep.parts_reused,
+                "fallbacks": rep.fallbacks,
+                "region_nodes": rep.region_nodes,
+                "dirty_shards": stats.dirty_shards,
+                "total_shards": stats.total_shards,
+                "carried_pairs": stats.carried_pairs,
+                "epoch": stats.epoch,
+            }))
+            .collect::<Vec<_>>(),
+        "worst_incremental_us": worst_incr,
+        "speedup_vs_scratch": speedup,
+        "queries_during_rebuild": served,
+        "max_epoch_observed_by_readers": epochs_seen.load(Ordering::Relaxed),
+    });
+    std::fs::write(
+        "BENCH_update.json",
+        serde_json::to_string(&doc).unwrap() + "\n",
+    )
+    .unwrap();
+    println!("\nwrote BENCH_update.json");
+    assert!(
+        speedup >= 5.0,
+        "incremental must beat scratch by 5x (got {speedup:.1}x)"
+    );
+}

@@ -52,17 +52,18 @@ pub use twgraph;
 
 pub use congest_sim::{CongestError, Metrics, Network, NetworkConfig};
 pub use distlabel::label::{decode, decode_pair, Label};
-pub use labelserve::{QueryEngine, ServeConfig, ServeError};
+pub use distlabel::{DynamicLabeling, UpdateReport};
+pub use labelserve::{PublishStats, QueryEngine, ServeConfig, ServeError, VersionedEngine};
 pub use treedec::{DecompError, SepConfig};
-pub use twgraph::{Dist, MultiDigraph, UGraph, INF};
+pub use twgraph::{Dist, EdgeBatch, MultiDigraph, UGraph, INF};
 
 /// Everything most callers need.
 pub mod prelude {
-    pub use crate::Session;
+    pub use crate::{DynamicSession, Session, UpdateError};
     pub use congest_sim::{Network, NetworkConfig};
     pub use distlabel::label::{decode, decode_pair, Label};
-    pub use labelserve::{QueryEngine, ServeConfig};
-    pub use twgraph::{Dist, MultiDigraph, UGraph, INF};
+    pub use labelserve::{QueryEngine, ServeConfig, VersionedEngine};
+    pub use twgraph::{Dist, EdgeBatch, MultiDigraph, UGraph, INF};
 }
 
 use rand::rngs::SmallRng;
@@ -196,6 +197,128 @@ impl Session {
         let labels = self.labels(inst);
         girth::girth_directed_from_labels(inst, &labels)
     }
+
+    /// Open a dynamic session over `inst`: a maintained incremental
+    /// labeling plus an epoch-versioned serving engine, so edge batches
+    /// can be applied while queries keep flowing. Uses this session's
+    /// settled width guess as the rebuild `t0`.
+    pub fn dynamic(
+        &self,
+        inst: &MultiDigraph,
+        seed: u64,
+        cfg: ServeConfig,
+    ) -> Result<DynamicSession, UpdateError> {
+        assert_eq!(inst.n(), self.graph.n());
+        DynamicSession::open(inst, self.t_used, seed, cfg)
+    }
+}
+
+/// What went wrong while applying or publishing an update: either the
+/// label-maintenance side (re-decomposition) or the serving side (store
+/// recompaction).
+#[derive(Debug)]
+pub enum UpdateError {
+    /// Scoped or fallback re-decomposition failed.
+    Decomp(DecompError),
+    /// Store rebuild or publish failed.
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::Decomp(e) => write!(f, "update decomposition failed: {e}"),
+            UpdateError::Serve(e) => write!(f, "update publish failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UpdateError::Decomp(e) => Some(e),
+            UpdateError::Serve(e) => Some(e),
+        }
+    }
+}
+
+impl From<DecompError> for UpdateError {
+    fn from(e: DecompError) -> Self {
+        UpdateError::Decomp(e)
+    }
+}
+
+impl From<ServeError> for UpdateError {
+    fn from(e: ServeError) -> Self {
+        UpdateError::Serve(e)
+    }
+}
+
+/// A dynamic-graph session: a maintained [`DynamicLabeling`] paired with
+/// an epoch-versioned [`VersionedEngine`].
+/// [`apply_updates`](DynamicSession::apply_updates) is the whole
+/// lifecycle — apply the
+/// batch incrementally (dirty-subtree relabeling, full-rebuild fallback on
+/// component splits/merges), then publish the next serving epoch with
+/// clean shards shared and hot cache pairs carried. Readers holding a
+/// [`labelserve::Epoch`] snapshot keep their version for as long as they
+/// keep the `Arc`.
+///
+/// ```
+/// use lowtw::prelude::*;
+///
+/// let g = twgraph::gen::banded_path(80, 2);
+/// let inst = twgraph::gen::with_random_weights(&g, 9, 4);
+/// let session = Session::decompose(&g, 3, 4).unwrap();
+/// let mut dyn_session = session.dynamic(&inst, 4, ServeConfig::default()).unwrap();
+///
+/// let d_before = dyn_session.engine().distance(0, 79).unwrap();
+/// let (report, stats) = dyn_session
+///     .apply_updates(&EdgeBatch::new().insert(0, 79, 1))
+///     .unwrap();
+/// assert!(!report.dirty.is_empty() && stats.epoch == 1);
+/// assert!(dyn_session.engine().distance(0, 79).unwrap() <= d_before.min(1));
+/// ```
+pub struct DynamicSession {
+    labeling: DynamicLabeling,
+    engine: VersionedEngine,
+}
+
+impl DynamicSession {
+    /// Build the labeling and serve it as epoch 0.
+    pub fn open(
+        inst: &MultiDigraph,
+        t0: u64,
+        seed: u64,
+        cfg: ServeConfig,
+    ) -> Result<Self, UpdateError> {
+        let labeling = DynamicLabeling::build(inst, t0, seed)?;
+        let engine = VersionedEngine::from_labeling(&labeling, cfg)?;
+        Ok(DynamicSession { labeling, engine })
+    }
+
+    /// The maintained labeling (current graph, components, labels).
+    pub fn labeling(&self) -> &DynamicLabeling {
+        &self.labeling
+    }
+
+    /// The versioned serving engine (snapshot it to pin an epoch).
+    pub fn engine(&self) -> &VersionedEngine {
+        &self.engine
+    }
+
+    /// Apply an edge batch incrementally and publish the next epoch.
+    /// Queries against [`engine`](Self::engine) are served continuously
+    /// throughout — off the previous epoch until the publish swap, off the
+    /// new one after.
+    pub fn apply_updates(
+        &mut self,
+        batch: &EdgeBatch,
+    ) -> Result<(UpdateReport, PublishStats), UpdateError> {
+        let report = self.labeling.apply(batch)?;
+        let stats = self.engine.publish_from(&self.labeling, &report.dirty)?;
+        Ok((report, stats))
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +372,39 @@ mod tests {
             engine.distance(60, 0),
             Err(ServeError::UnknownNode { node: 60, n: 60 })
         );
+    }
+
+    #[test]
+    fn dynamic_session_applies_and_publishes() {
+        let g = twgraph::gen::partial_ktree(90, 2, 0.7, 6);
+        let inst = twgraph::gen::with_random_weights(&g, 12, 6);
+        let session = Session::decompose(&g, 3, 6).unwrap();
+        let mut ds = session
+            .dynamic(
+                &inst,
+                6,
+                ServeConfig {
+                    shard_size: 16,
+                    cache_capacity: 32,
+                },
+            )
+            .unwrap();
+        assert_eq!(ds.engine().epoch(), 0);
+        let pinned = ds.engine().snapshot();
+        let (report, stats) = ds
+            .apply_updates(&EdgeBatch::new().insert(0, 89, 1).delete(0, 1))
+            .unwrap();
+        assert!(!report.dirty.is_empty());
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(ds.engine().epoch(), 1);
+        // The current epoch answers Dijkstra on the *mutated* instance.
+        let want = twgraph::alg::dijkstra(ds.labeling().inst(), 0).dist;
+        for v in (0..90u32).step_by(9) {
+            assert_eq!(ds.engine().distance(0, v).unwrap(), want[v as usize]);
+        }
+        // The pinned snapshot still answers the pre-update graph.
+        let old = twgraph::alg::dijkstra(&inst, 0).dist;
+        assert_eq!(pinned.distance(0, 89).unwrap(), old[89]);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub struct NodeArtifact {
 }
 
 /// Direct-arc cost table lookup: cheapest arc `a → b` in the instance.
-fn direct_cost(inst: &MultiDigraph, a: u32, b: u32) -> Dist {
+pub(crate) fn direct_cost(inst: &MultiDigraph, a: u32, b: u32) -> Dist {
     let mut best = INF;
     for &ai in inst.out_arcs(a) {
         let arc = inst.arc(twgraph::ArcId(ai));

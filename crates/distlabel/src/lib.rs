@@ -23,10 +23,12 @@
 
 pub mod build;
 pub mod dist;
+pub mod incremental;
 pub mod label;
 pub mod sssp;
 
 pub use build::build_labels_centralized;
 pub use dist::build_labels_distributed;
+pub use incremental::{build_labels_memoized, DynamicLabeling, PartLabeling, UpdateReport};
 pub use label::{decode, decode_entries, decode_pair, Label};
 pub use sssp::{sssp_centralized, sssp_distributed};

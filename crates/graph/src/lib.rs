@@ -26,11 +26,13 @@ pub mod ids;
 pub mod multidigraph;
 pub mod tw;
 pub mod ugraph;
+pub mod update;
 pub mod view;
 
 pub use ids::{ArcId, NodeId, UEdgeId};
 pub use multidigraph::{Arc, MultiDigraph};
 pub use ugraph::{UGraph, UGraphBuilder};
+pub use update::EdgeBatch;
 pub use view::{StampSet, SubgraphView};
 
 /// Distance value used across the workspace. `u64` with a saturating

@@ -75,14 +75,14 @@ impl CacheStats {
 pub struct QueryEngine {
     store: LabelStore,
     cfg: ServeConfig,
-    caches: Vec<Mutex<Lru<(u32, u32), Dist>>>,
+    pub(crate) caches: Vec<Mutex<Lru<(u32, u32), Dist>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 /// Recover a possibly-poisoned cache lock: entries are atomic records, so
 /// the state is valid whether or not the panicking holder finished.
-fn relock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+pub(crate) fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 

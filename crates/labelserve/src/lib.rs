@@ -14,6 +14,11 @@
 //!   queries over a shared store, with a per-shard LRU hot-pair cache
 //!   ([`lru`]) and rayon-parallel batch execution. Thread-safe by
 //!   construction; answers are bit-identical with the cache on or off.
+//! * [`versioned`] — [`VersionedEngine`] serves epoch-stamped snapshots:
+//!   queries keep flowing off epoch N while an updated labeling compacts
+//!   into epoch N+1 (clean shards shared by `Arc`, hot cache pairs carried
+//!   when both endpoints are untouched), then a single pointer swap
+//!   publishes.
 //! * [`workload`] — seeded, replayable skewed query streams for the
 //!   scenario harness and the `serve` bench.
 //! * [`error`] — typed [`ServeError`]s (unknown node, store-partitioning
@@ -44,10 +49,12 @@ pub mod engine;
 pub mod error;
 pub mod lru;
 pub mod store;
+pub mod versioned;
 pub mod workload;
 
 pub use engine::{CacheStats, QueryEngine, ServeConfig};
 pub use error::ServeError;
 pub use lru::Lru;
 pub use store::{LabelStore, StoreBuilder};
+pub use versioned::{Epoch, PublishStats, VersionedEngine};
 pub use workload::{seeded_queries, WorkloadSpec};

@@ -127,6 +127,12 @@ impl<K: Eq + Hash + Copy, V: Copy> Lru<K, V> {
         self.link_front(slot);
     }
 
+    /// Iterate the live entries (arbitrary order — arena slots may hold
+    /// evicted keys, so iteration goes through map membership).
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, &i)| (k, &self.vals[i as usize]))
+    }
+
     /// Drop every entry (capacity is retained).
     pub fn clear(&mut self) {
         self.map.clear();

@@ -27,6 +27,7 @@
 
 use crate::error::ServeError;
 use distlabel::Label;
+use std::sync::Arc;
 use twgraph::{dist_add, Dist, INF};
 
 const UNASSIGNED: u32 = u32::MAX;
@@ -141,13 +142,13 @@ impl StoreBuilder {
                 offsets.push(hubs.len() as u32);
             }
             entries_total += total;
-            shards.push(Shard {
+            shards.push(Arc::new(Shard {
                 base: base as u32,
                 offsets,
                 hubs,
                 dto,
                 dfrom,
-            });
+            }));
         }
         Ok(LabelStore {
             n: self.n,
@@ -171,13 +172,15 @@ struct Shard {
 }
 
 /// The compacted, sharded distance-label store. Immutable after build;
-/// shared freely across query threads.
+/// shared freely across query threads. Shards are `Arc`ed so an
+/// epoch-to-epoch rebuild ([`LabelStore::rebuilt`]) shares every clean
+/// shard's arena with its predecessor instead of copying it.
 #[derive(Debug)]
 pub struct LabelStore {
     n: usize,
     shard_size: usize,
     comp_of: Vec<u32>,
-    shards: Vec<Shard>,
+    shards: Vec<Arc<Shard>>,
     entries_total: usize,
     components: usize,
 }
@@ -279,6 +282,84 @@ impl LabelStore {
     /// Both directions at once: `(d(s → t), d(t → s))`.
     pub fn distance_pair(&self, s: u32, t: u32) -> Result<(Dist, Dist), ServeError> {
         Ok((self.distance(s, t)?, self.distance(t, s)?))
+    }
+
+    /// How many shard arenas `self` physically shares with `other`
+    /// (same `Arc` allocation) — the epoch-versioning tests pin that a
+    /// partial rebuild copies only dirty shards.
+    pub fn shards_shared_with(&self, other: &LabelStore) -> usize {
+        self.shards
+            .iter()
+            .zip(&other.shards)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// True when no vertex of shard `s` appears in the sorted `dirty` list.
+    pub fn shard_clean(&self, s: usize, dirty: &[u32]) -> bool {
+        let lo = (s * self.shard_size) as u32;
+        let hi = (((s + 1) * self.shard_size).min(self.n)) as u32;
+        let start = dirty.partition_point(|&v| v < lo);
+        !(start < dirty.len() && dirty[start] < hi)
+    }
+
+    /// The next epoch's store: shards containing a vertex of `dirty`
+    /// (sorted global ids) are recompacted from `entries_of` (global-hub
+    /// entry list per vertex, sorted by hub); clean shards share their
+    /// arena with `self` via `Arc`. `comp_of` is the updated component map
+    /// — always replaced, since component renumbering is cheap and the
+    /// INF early-exit must track the post-update component structure.
+    pub fn rebuilt(
+        &self,
+        dirty: &[u32],
+        comp_of: Vec<u32>,
+        entries_of: impl Fn(u32) -> Vec<(u32, Dist, Dist)>,
+    ) -> Result<LabelStore, ServeError> {
+        debug_assert_eq!(comp_of.len(), self.n);
+        if let Some(&v) = dirty.iter().find(|&&v| v as usize >= self.n) {
+            return Err(ServeError::UnknownNode { node: v, n: self.n });
+        }
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut entries_total = 0usize;
+        for (s, old) in self.shards.iter().enumerate() {
+            if self.shard_clean(s, dirty) {
+                entries_total += old.hubs.len();
+                shards.push(Arc::clone(old));
+                continue;
+            }
+            let base = s * self.shard_size;
+            let hi = ((s + 1) * self.shard_size).min(self.n);
+            let mut offsets = Vec::with_capacity(hi - base + 1);
+            let mut hubs = Vec::new();
+            let mut dto = Vec::new();
+            let mut dfrom = Vec::new();
+            offsets.push(0u32);
+            for v in base..hi {
+                for (hub, to, from) in entries_of(v as u32) {
+                    hubs.push(hub);
+                    dto.push(to);
+                    dfrom.push(from);
+                }
+                offsets.push(hubs.len() as u32);
+            }
+            entries_total += hubs.len();
+            shards.push(Arc::new(Shard {
+                base: base as u32,
+                offsets,
+                hubs,
+                dto,
+                dfrom,
+            }));
+        }
+        let components = comp_of.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+        Ok(LabelStore {
+            n: self.n,
+            shard_size: self.shard_size,
+            comp_of,
+            shards,
+            entries_total,
+            components,
+        })
     }
 }
 
@@ -395,5 +476,41 @@ mod tests {
         assert_eq!(s.shard_of(3), 1);
         assert_eq!(s.entries(), 3 * 3 + 1);
         assert!(s.bytes() >= s.entries() * 20);
+    }
+
+    #[test]
+    fn rebuilt_shares_clean_shards_and_swaps_dirty_rows() {
+        let s = tiny_store(2); // shards: {0,1}, {2,3}
+                               // Dirty only vertex 3: shard 0 must be shared, shard 1 rebuilt.
+        let comp_of: Vec<u32> = (0..4).map(|v| s.comp_of(v).unwrap()).collect();
+        let r = s
+            .rebuilt(&[3], comp_of, |v| {
+                assert!(v >= 2, "entries_of called for a clean-shard vertex");
+                if v == 3 {
+                    vec![(3, 0, 0), (9, 7, 7)]
+                } else {
+                    vec![(0, 2, 2), (1, 1, 1), (2, 0, 0)]
+                }
+            })
+            .unwrap();
+        assert_eq!(r.shards_shared_with(&s), 1);
+        assert_eq!(r.distance(0, 2).unwrap(), s.distance(0, 2).unwrap());
+        assert_eq!(r.entries(), s.entries() + 1);
+        assert_eq!(r.components(), s.components());
+        // The dirty row now carries the new entries.
+        assert_eq!(r.distance(3, 3).unwrap(), 0);
+
+        // Empty dirty list shares everything.
+        let comp_of: Vec<u32> = (0..4).map(|v| s.comp_of(v).unwrap()).collect();
+        let same = s.rebuilt(&[], comp_of, |_| unreachable!()).unwrap();
+        assert_eq!(same.shards_shared_with(&s), 2);
+
+        // Out-of-range dirty vertex is a typed error.
+        assert_eq!(
+            s.rebuilt(&[7], vec![0; 4], |_| Vec::new())
+                .map(|_| ())
+                .unwrap_err(),
+            ServeError::UnknownNode { node: 7, n: 4 }
+        );
     }
 }

@@ -1,0 +1,316 @@
+//! Epoch-versioned serving: queries keep flowing while the next label
+//! store compacts.
+//!
+//! A [`VersionedEngine`] holds the current [`Epoch`] — a
+//! [`QueryEngine`] stamped with a monotone epoch number — behind an
+//! `RwLock<Arc<_>>`. Readers take a [`snapshot`](VersionedEngine::snapshot)
+//! (an `Arc` clone under a momentary read lock) and answer queries off it
+//! for as long as they like; a writer prepares the next store *outside*
+//! any lock and [`publish`](VersionedEngine::publish)es it with a single
+//! pointer swap. A reader therefore always observes a complete store:
+//! either all of epoch N or all of epoch N+1, never a mix — and there is
+//! no instant at which queries cannot be served.
+//!
+//! Epoch-to-epoch work is confined to what actually changed:
+//! [`publish_from`](VersionedEngine::publish_from) recompacts only the
+//! shards containing a dirty vertex ([`LabelStore::rebuilt`] shares every
+//! clean shard's arena via `Arc`) and carries cached hot pairs forward
+//! when both endpoints live in clean shards — distances between untouched
+//! parts are provably unchanged, so warm cache entries stay exact.
+
+use crate::engine::{relock, QueryEngine, ServeConfig};
+use crate::error::ServeError;
+use crate::store::LabelStore;
+use distlabel::DynamicLabeling;
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+use twgraph::Dist;
+
+/// One published version of the store: an engine plus its epoch stamp.
+pub struct Epoch {
+    epoch: u64,
+    engine: QueryEngine,
+}
+
+impl Epoch {
+    /// The monotone version number (0 for the initial build).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch's query engine.
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// Exact `d(s → t)` at this epoch.
+    pub fn distance(&self, s: u32, t: u32) -> Result<Dist, ServeError> {
+        self.engine.distance(s, t)
+    }
+}
+
+/// What one publish did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PublishStats {
+    /// The epoch that became current.
+    pub epoch: u64,
+    /// Wall time of store rebuild + cache carry + swap, in microseconds.
+    /// (Queries were served off the previous epoch throughout.)
+    pub publish_us: u64,
+    /// Shards recompacted for this epoch.
+    pub dirty_shards: usize,
+    /// Total shards in the store.
+    pub total_shards: usize,
+    /// Hot-pair cache entries carried over from the previous epoch.
+    pub carried_pairs: usize,
+}
+
+/// An epoch-versioned [`QueryEngine`]: swap-published snapshots with
+/// uninterrupted reads.
+pub struct VersionedEngine {
+    current: RwLock<Arc<Epoch>>,
+    cfg: ServeConfig,
+}
+
+/// Compact a [`DynamicLabeling`]'s parts into a store (global hub ids come
+/// from the labeling itself).
+fn store_of(labeling: &DynamicLabeling, shard_size: usize) -> Result<LabelStore, ServeError> {
+    let mut b = crate::store::StoreBuilder::new(labeling.n());
+    for part in labeling.parts() {
+        if part.n() == 1 {
+            b.add_singleton(part.old_of()[0])?;
+        } else {
+            b.add_component(part.labels(), part.old_of())?;
+        }
+    }
+    b.build(shard_size)
+}
+
+impl VersionedEngine {
+    /// Version an already-compacted store as epoch 0.
+    pub fn new(store: LabelStore, cfg: ServeConfig) -> Self {
+        VersionedEngine {
+            current: RwLock::new(Arc::new(Epoch {
+                epoch: 0,
+                engine: QueryEngine::new(store, cfg),
+            })),
+            cfg,
+        }
+    }
+
+    /// Compact a dynamic labeling and serve it as epoch 0.
+    pub fn from_labeling(labeling: &DynamicLabeling, cfg: ServeConfig) -> Result<Self, ServeError> {
+        Ok(VersionedEngine::new(
+            store_of(labeling, cfg.shard_size)?,
+            cfg,
+        ))
+    }
+
+    /// The serving configuration (shared by every epoch).
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Pin the current epoch. The returned `Arc` keeps that version alive
+    /// and serving regardless of later publishes.
+    pub fn snapshot(&self) -> Arc<Epoch> {
+        Arc::clone(&relock_read(&self.current))
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        relock_read(&self.current).epoch
+    }
+
+    /// Convenience single query against the current epoch.
+    pub fn distance(&self, s: u32, t: u32) -> Result<Dist, ServeError> {
+        self.snapshot().engine.distance(s, t)
+    }
+
+    /// Convenience batch against the current epoch (one snapshot for the
+    /// whole batch, so the answers are mutually consistent).
+    pub fn batch(&self, queries: &[(u32, u32)]) -> Result<Vec<Dist>, ServeError> {
+        self.snapshot().engine.batch(queries)
+    }
+
+    /// Publish a fully rebuilt store as the next epoch (no cache carry).
+    pub fn publish(&self, store: LabelStore) -> PublishStats {
+        let t = Instant::now();
+        let total_shards = store.shard_count();
+        let mut cur = relock_write(&self.current);
+        let epoch = cur.epoch + 1;
+        *cur = Arc::new(Epoch {
+            epoch,
+            engine: QueryEngine::new(store, self.cfg),
+        });
+        PublishStats {
+            epoch,
+            publish_us: t.elapsed().as_micros() as u64,
+            dirty_shards: total_shards,
+            total_shards,
+            carried_pairs: 0,
+        }
+    }
+
+    /// Publish the next epoch from an updated labeling: recompact only the
+    /// shards containing a vertex of `dirty` (sorted global ids — a
+    /// [`distlabel::UpdateReport::dirty`] list), share every clean shard
+    /// with the current epoch, and carry hot cache pairs whose endpoints
+    /// both live in clean shards. The store rebuild runs outside any lock;
+    /// in-flight snapshots keep answering at their epoch throughout.
+    pub fn publish_from(
+        &self,
+        labeling: &DynamicLabeling,
+        dirty: &[u32],
+    ) -> Result<PublishStats, ServeError> {
+        let t = Instant::now();
+        let prev = self.snapshot();
+        let old_store = prev.engine.store();
+        let store = old_store.rebuilt(dirty, labeling.comp_of().to_vec(), |v| {
+            labeling.label_entries_global(v)
+        })?;
+        let dirty_shards = (0..store.shard_count())
+            .filter(|&s| !old_store.shard_clean(s, dirty))
+            .count();
+        let total_shards = store.shard_count();
+        let engine = QueryEngine::new(store, self.cfg);
+        let mut carried = 0usize;
+        if self.cfg.cache_capacity > 0 {
+            for (s, old_cache) in prev.engine.caches.iter().enumerate() {
+                if !old_store.shard_clean(s, dirty) {
+                    continue;
+                }
+                let old_cache = relock(old_cache);
+                let mut new_cache = relock(&engine.caches[s]);
+                for (&(a, b), &d) in old_cache.iter() {
+                    if old_store.shard_clean(old_store.shard_of(b), dirty) {
+                        new_cache.insert((a, b), d);
+                        carried += 1;
+                    }
+                }
+            }
+        }
+        let mut cur = relock_write(&self.current);
+        let epoch = cur.epoch + 1;
+        *cur = Arc::new(Epoch { epoch, engine });
+        Ok(PublishStats {
+            epoch,
+            publish_us: t.elapsed().as_micros() as u64,
+            dirty_shards,
+            total_shards,
+            carried_pairs: carried,
+        })
+    }
+}
+
+/// Read-lock recovery twin of [`relock`]: a panicking publisher leaves the
+/// previous (complete) epoch in place, so the state is always valid.
+fn relock_read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Write-lock recovery twin of [`relock`].
+fn relock_write<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twgraph::gen::{banded_path, with_random_weights};
+    use twgraph::{EdgeBatch, INF};
+
+    fn versioned(n: usize) -> (DynamicLabeling, VersionedEngine) {
+        let g = banded_path(n, 2);
+        let inst = with_random_weights(&g, 10, 3);
+        let labeling = DynamicLabeling::build(&inst, 3, 1).unwrap();
+        let cfg = ServeConfig {
+            shard_size: (n / 8).max(1),
+            cache_capacity: 64,
+        };
+        let eng = VersionedEngine::from_labeling(&labeling, cfg).unwrap();
+        (labeling, eng)
+    }
+
+    #[test]
+    fn snapshots_pin_their_epoch() {
+        let (mut labeling, eng) = versioned(120);
+        assert_eq!(eng.epoch(), 0);
+        let before = eng.snapshot();
+        let d_before = before.distance(0, 119).unwrap();
+
+        // Delete an edge on the 0–119 route and publish.
+        let rep = labeling.apply(&EdgeBatch::new().delete(0, 1)).unwrap();
+        let stats = eng.publish_from(&labeling, &rep.dirty).unwrap();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(eng.epoch(), 1);
+
+        // The pinned snapshot still answers the old value; the current
+        // epoch answers the new one.
+        assert_eq!(before.distance(0, 119).unwrap(), d_before);
+        assert_eq!(before.epoch(), 0);
+        let now = eng.snapshot();
+        assert_eq!(now.epoch(), 1);
+        assert_eq!(
+            now.distance(0, 119).unwrap(),
+            labeling.distance(0, 119),
+            "current epoch must match the updated labeling"
+        );
+    }
+
+    #[test]
+    fn partial_publish_shares_clean_shards() {
+        let (mut labeling, eng) = versioned(240);
+        let before = eng.snapshot();
+        // A scoped edit near one end dirties a bounded vertex range.
+        let rep = labeling.apply(&EdgeBatch::new().insert(2, 4, 1)).unwrap();
+        let stats = eng.publish_from(&labeling, &rep.dirty).unwrap();
+        assert!(
+            stats.dirty_shards < stats.total_shards,
+            "scoped update must leave clean shards: {stats:?}"
+        );
+        let shared = eng
+            .snapshot()
+            .engine()
+            .store()
+            .shards_shared_with(before.engine().store());
+        assert_eq!(shared, stats.total_shards - stats.dirty_shards);
+    }
+
+    #[test]
+    fn cache_carry_is_confined_to_clean_shards() {
+        let (mut labeling, eng) = versioned(240);
+        // Warm the epoch-0 cache at both ends of the path.
+        for _ in 0..4 {
+            eng.distance(200, 239).unwrap();
+            eng.distance(3, 5).unwrap();
+        }
+        let rep = labeling.apply(&EdgeBatch::new().insert(2, 4, 1)).unwrap();
+        let stats = eng.publish_from(&labeling, &rep.dirty).unwrap();
+        assert!(stats.carried_pairs >= 1, "clean hot pair must carry over");
+        let snap = eng.snapshot();
+        // Carried entries answer exactly (cache hit or not).
+        assert_eq!(
+            snap.distance(200, 239).unwrap(),
+            labeling.distance(200, 239)
+        );
+        assert_eq!(snap.distance(3, 5).unwrap(), labeling.distance(3, 5));
+    }
+
+    #[test]
+    fn cross_component_inf_tracks_publishes() {
+        let (mut labeling, eng) = versioned(60);
+        assert!(eng.distance(0, 59).unwrap() < INF);
+        // Bandwidth 2: cutting 29|30 means severing all three crossing edges.
+        let cut = EdgeBatch::new()
+            .delete(28, 30)
+            .delete(29, 30)
+            .delete(29, 31);
+        let rep = labeling.apply(&cut).unwrap();
+        eng.publish_from(&labeling, &rep.dirty).unwrap();
+        assert_eq!(eng.distance(0, 59).unwrap(), INF, "split must serve INF");
+        let rep = labeling.apply(&EdgeBatch::new().insert(29, 30, 2)).unwrap();
+        eng.publish_from(&labeling, &rep.dirty).unwrap();
+        assert!(eng.distance(0, 59).unwrap() < INF, "merge must reconnect");
+    }
+}

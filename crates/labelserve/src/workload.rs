@@ -10,7 +10,9 @@
 //! be replayed bit-for-bit across runs, threads, and machines.
 
 use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 
 /// Shape of a seeded workload.
 #[derive(Clone, Copy, Debug)]
@@ -41,9 +43,7 @@ pub fn seeded_queries(n: usize, spec: &WorkloadSpec, seed: u64) -> Vec<(u32, u32
         return Vec::new();
     }
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5E3A_11AB_5EED_0001);
-    let hot: Vec<(u32, u32)> = (0..spec.hot_pairs.max(1))
-        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
-        .collect();
+    let hot = hot_set(n, spec.hot_pairs, &mut rng);
     let hot_fraction = spec.hot_fraction.clamp(0.0, 1.0);
     (0..spec.queries)
         .map(|_| {
@@ -54,6 +54,34 @@ pub fn seeded_queries(n: usize, spec: &WorkloadSpec, seed: u64) -> Vec<(u32, u32
             }
         })
         .collect()
+}
+
+/// Draw a hot set of *distinct* pairs, capped at the `n²` pair space.
+/// Rejection-samples while the target is sparse relative to the space;
+/// otherwise enumerates every pair and takes a seeded shuffle prefix —
+/// either way the draw terminates on any `n`, including the tiny graphs
+/// where `hot_pairs` exceeds the number of pairs that exist.
+fn hot_set(n: usize, hot_pairs: usize, rng: &mut SmallRng) -> Vec<(u32, u32)> {
+    let space = n.saturating_mul(n);
+    let target = hot_pairs.max(1).min(space);
+    if target.saturating_mul(2) <= space {
+        let mut seen = HashSet::with_capacity(target);
+        let mut hot = Vec::with_capacity(target);
+        while hot.len() < target {
+            let p = (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32));
+            if seen.insert(p) {
+                hot.push(p);
+            }
+        }
+        hot
+    } else {
+        let mut all: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|s| (0..n as u32).map(move |t| (s, t)))
+            .collect();
+        all.shuffle(rng);
+        all.truncate(target);
+        all
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +133,36 @@ mod tests {
         u.sort_unstable();
         u.dedup();
         assert_eq!(u.len(), 1, "single hot pair, fraction 1.0");
+    }
+
+    #[test]
+    fn hot_set_is_distinct_and_capped_at_pair_space() {
+        // hot_pairs far beyond the n² pair space must terminate and cap.
+        for n in [1usize, 2, 3] {
+            let spec = WorkloadSpec {
+                queries: 200,
+                hot_pairs: 10_000,
+                hot_fraction: 1.0,
+            };
+            let qs = seeded_queries(n, &spec, 11);
+            assert_eq!(qs.len(), 200);
+            let mut u = qs;
+            u.sort_unstable();
+            u.dedup();
+            assert!(
+                u.len() <= n * n,
+                "n = {n}: {} distinct hot pairs exceeds the n² = {} space",
+                u.len(),
+                n * n
+            );
+        }
+        // The hot set itself holds distinct pairs even in sparse regimes.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hot = hot_set(100, 64, &mut rng);
+        assert_eq!(hot.len(), 64);
+        let mut u = hot;
+        u.sort_unstable();
+        u.dedup();
+        assert_eq!(u.len(), 64, "hot set drew a repeated pair");
     }
 }

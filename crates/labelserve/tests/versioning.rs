@@ -1,0 +1,206 @@
+//! Epoch-versioning hammer: many reader threads pinned across epochs
+//! while a writer keeps publishing.
+//!
+//! The contract under test is **snapshot isolation**: a reader that pins
+//! an [`labelserve::Epoch`] keeps getting that epoch's answers — complete
+//! and exact for the graph as it was at that version — no matter how many
+//! publishes happen meanwhile; and the *current* epoch always answers the
+//! latest graph. The writer computes each epoch's Dijkstra ground truth
+//! **before** publishing it, so every answer a reader can ever observe has
+//! a pre-registered oracle to be checked against. A proptest layer then
+//! replays random edit sequences, pinning a snapshot per epoch and
+//! re-verifying every pinned epoch after all publishes landed.
+
+use distlabel::DynamicLabeling;
+use labelserve::{ServeConfig, VersionedEngine};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use twgraph::{Dist, EdgeBatch};
+
+const READERS: usize = 8;
+const EPOCHS: u64 = 10;
+
+/// The ground truth of one epoch: for each probe source, its full
+/// Dijkstra row on that epoch's graph.
+struct EpochOracle {
+    rows: Vec<(u32, Vec<Dist>)>,
+}
+
+fn oracle_of(dl: &DynamicLabeling, sources: &[u32]) -> EpochOracle {
+    EpochOracle {
+        rows: sources
+            .iter()
+            .map(|&s| (s, twgraph::alg::dijkstra(dl.inst(), s).dist))
+            .collect(),
+    }
+}
+
+/// Deterministic per-epoch edit: walk a heavy edge across the path — each
+/// epoch deletes the previous epoch's inserted edge and inserts the next,
+/// so every publish really changes distances somewhere.
+fn epoch_batch(e: u64, n: u32) -> EdgeBatch {
+    let hop = |i: u64| ((i * 37) % u64::from(n - 1)) as u32;
+    let mut b = EdgeBatch::new();
+    if e > 1 {
+        b = b.delete(hop(e - 1), hop(e - 1) + 1);
+    }
+    b.insert(hop(e), hop(e) + 1, 1 + e % 5)
+}
+
+#[test]
+fn readers_pinned_across_epochs_stay_isolated() {
+    let n = 160usize;
+    let g = twgraph::gen::banded_path(n, 2);
+    let inst = twgraph::gen::with_random_weights(&g, 11, 9);
+    let mut dl = DynamicLabeling::build(&inst, 3, 9).unwrap();
+    let eng = VersionedEngine::from_labeling(
+        &dl,
+        ServeConfig {
+            shard_size: 16,
+            cache_capacity: 64,
+        },
+    )
+    .unwrap();
+    let sources: Vec<u32> = (0..n as u32).step_by(n / 8).collect();
+
+    // oracles[e] is registered before epoch e can ever be observed.
+    let oracles = Mutex::new(vec![oracle_of(&dl, &sources)]);
+    let done = AtomicBool::new(false);
+    let checks = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let eng = &eng;
+        let oracles = &oracles;
+        let done = &done;
+        let checks = &checks;
+        let sources = &sources;
+
+        for r in 0..READERS {
+            scope.spawn(move || {
+                let mut pinned = Vec::new();
+                while !done.load(Ordering::Acquire) {
+                    let snap = eng.snapshot();
+                    let e = snap.epoch() as usize;
+                    // Verify the snapshot against its own epoch's oracle.
+                    let guard = oracles.lock().unwrap();
+                    assert!(guard.len() > e, "epoch {e} published before its oracle");
+                    let (s, row) = &guard[e].rows[r % sources.len()];
+                    let want: Vec<Dist> = row.clone();
+                    let s = *s;
+                    drop(guard);
+                    for t in (0..n as u32).step_by(7) {
+                        assert_eq!(
+                            snap.distance(s, t).unwrap(),
+                            want[t as usize],
+                            "reader {r}: epoch {e} answer drifted at ({s}, {t})"
+                        );
+                        checks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Pin every ~3rd snapshot to re-verify after more
+                    // publishes have happened.
+                    if pinned.len() < 4 && e % 3 == (r % 3) {
+                        pinned.push(snap);
+                    }
+                }
+                // Isolation: pinned epochs still answer their own oracle
+                // after the writer has long moved on.
+                for snap in pinned {
+                    let e = snap.epoch() as usize;
+                    let guard = oracles.lock().unwrap();
+                    let rows: Vec<(u32, Vec<Dist>)> = guard[e].rows.clone();
+                    drop(guard);
+                    for (s, row) in rows {
+                        for t in (0..n as u32).step_by(11) {
+                            assert_eq!(
+                                snap.distance(s, t).unwrap(),
+                                row[t as usize],
+                                "reader {r}: pinned epoch {e} lost isolation at ({s}, {t})"
+                            );
+                            checks.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Writer: register the oracle, then publish — never the reverse.
+        for e in 1..=EPOCHS {
+            let rep = dl.apply(&epoch_batch(e, n as u32)).unwrap();
+            oracles.lock().unwrap().push(oracle_of(&dl, sources));
+            let stats = eng.publish_from(&dl, &rep.dirty).unwrap();
+            assert_eq!(stats.epoch, e);
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    assert_eq!(eng.epoch(), EPOCHS);
+    assert!(
+        checks.load(Ordering::Relaxed) > 0,
+        "readers verified nothing"
+    );
+    // The final epoch serves the final graph.
+    let last = eng.snapshot();
+    for &s in &sources {
+        let want = twgraph::alg::dijkstra(dl.inst(), s).dist;
+        for t in 0..n as u32 {
+            assert_eq!(last.distance(s, t).unwrap(), want[t as usize]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random edit sequences: pin one snapshot per epoch as it is
+    /// published; after the whole sequence, every pinned epoch must still
+    /// answer exactly the all-pairs ground truth of its own graph version.
+    #[test]
+    fn pinned_epochs_answer_their_own_graph(
+        seed in 0u64..1_000,
+        n_edits in 1usize..6,
+    ) {
+        use rand::Rng;
+        let n = 32usize;
+        let g = twgraph::gen::partial_ktree(n, 2, 0.6, seed);
+        let inst = twgraph::gen::with_random_weights(&g, 9, seed);
+        let mut dl = DynamicLabeling::build(&inst, 3, seed).unwrap();
+        let eng = VersionedEngine::from_labeling(
+            &dl,
+            ServeConfig { shard_size: 8, cache_capacity: 16 },
+        ).unwrap();
+
+        // (snapshot, all-pairs oracle of that version).
+        let mut edit_rng = twgraph::gen::derive_rng("versioning_edits", &[n_edits as u64], seed);
+        let mut pinned = vec![(eng.snapshot(), oracle_all_pairs(&dl))];
+        for _ in 0..n_edits {
+            let u = edit_rng.gen_range(0..n as u32);
+            let v = edit_rng.gen_range(0..n as u32);
+            let batch = if edit_rng.gen_bool(0.5) {
+                EdgeBatch::new().delete(u, v)
+            } else {
+                EdgeBatch::new().insert(u, v, edit_rng.gen_range(1..20))
+            };
+            let rep = dl.apply(&batch).unwrap();
+            eng.publish_from(&dl, &rep.dirty).unwrap();
+            pinned.push((eng.snapshot(), oracle_all_pairs(&dl)));
+        }
+        for (e, (snap, oracle)) in pinned.iter().enumerate() {
+            prop_assert_eq!(snap.epoch(), e as u64);
+            for s in 0..n as u32 {
+                for t in 0..n as u32 {
+                    let got = snap.distance(s, t).unwrap();
+                    let want = oracle[s as usize][t as usize];
+                    prop_assert!(got == want, "epoch {e} diverged at ({s}, {t}): {got} != {want}");
+                }
+            }
+        }
+    }
+}
+
+/// Full APSP ground truth of the labeling's current graph.
+fn oracle_all_pairs(dl: &DynamicLabeling) -> Vec<Vec<Dist>> {
+    (0..dl.n() as u32)
+        .map(|s| twgraph::alg::dijkstra(dl.inst(), s).dist)
+        .collect()
+}

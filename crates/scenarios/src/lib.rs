@@ -1,8 +1,9 @@
 //! # scenarios — the scenario corpus and unified workload harness
 //!
 //! The paper's claim is parameterized: every pipeline in this workspace
-//! (SSSP, distance labeling, girth, matching, stateful walks, and the
-//! label-serving query engine) stays fully polynomial *for any*
+//! (SSSP, distance labeling, girth, matching, stateful walks, the
+//! label-serving query engine, and incremental update maintenance with
+//! epoch-versioned serving) stays fully polynomial *for any*
 //! low-treewidth input. This crate makes that claim testable as a
 //! cross-product:
 //!
@@ -41,8 +42,8 @@ pub mod report;
 pub mod runner;
 
 pub use pipeline::{
-    all_pipelines, DistLabelPipeline, GirthPipeline, MatchingPipeline, Pipeline, ServePipeline,
-    SsspPipeline, WalksPipeline,
+    all_pipelines, update_mixes, DistLabelPipeline, GirthPipeline, MatchingPipeline, Pipeline,
+    ServePipeline, SsspPipeline, UpdateMix, UpdatePipeline, WalksPipeline,
 };
 pub use registry::{corpus, Family, Scenario, WeightModel};
 pub use report::{fold_checksum, CellError, CellFailure, CellReport, MetricsTotal};

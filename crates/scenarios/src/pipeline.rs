@@ -1,4 +1,4 @@
-//! The five end-to-end pipelines behind one uniform interface.
+//! The seven end-to-end pipelines behind one uniform interface.
 //!
 //! Every pipeline consumes a [`Scenario`], runs the full distributed (or
 //! charged-virtual) machinery per connected component, **differentially
@@ -39,7 +39,7 @@ fn cell_err<'a, E: Into<crate::report::CellFailure>>(
     }
 }
 
-/// All six pipelines, in canonical order.
+/// All seven pipelines, in canonical order.
 pub fn all_pipelines() -> Vec<Box<dyn Pipeline>> {
     vec![
         Box::new(SsspPipeline),
@@ -48,6 +48,7 @@ pub fn all_pipelines() -> Vec<Box<dyn Pipeline>> {
         Box::new(MatchingPipeline),
         Box::new(WalksPipeline),
         Box::new(ServePipeline),
+        Box::new(UpdatePipeline),
     ]
 }
 
@@ -486,6 +487,199 @@ impl Pipeline for ServePipeline {
     }
 }
 
+/// One update:query traffic mix — the churn axis of the matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateMix {
+    /// Mix name (stable report key fragment).
+    pub name: &'static str,
+    /// Edge edits per batch round.
+    pub updates: usize,
+    /// Relative query volume per round (scaled by the pipeline).
+    pub queries: usize,
+    /// Static detail key under which this mix's QPS is reported.
+    pub qps_key: &'static str,
+}
+
+/// The pinned update:query ratios every scenario replays.
+pub fn update_mixes() -> Vec<UpdateMix> {
+    vec![
+        UpdateMix {
+            name: "read_heavy",
+            updates: 1,
+            queries: 16,
+            qps_key: "qps_read_heavy",
+        },
+        UpdateMix {
+            name: "balanced",
+            updates: 4,
+            queries: 4,
+            qps_key: "qps_balanced",
+        },
+        UpdateMix {
+            name: "write_heavy",
+            updates: 16,
+            queries: 1,
+            qps_key: "qps_write_heavy",
+        },
+    ]
+}
+
+/// Batch rounds replayed per mix.
+const UPDATE_ROUNDS: usize = 2;
+
+/// Dynamic graphs: build a maintained labeling once, then replay seeded
+/// insert/delete batches at three update:query ratios. Every batch goes
+/// through [`distlabel::DynamicLabeling::apply`] (scoped dirty-subtree
+/// relabeling with full-rebuild fallback) and is published as a new epoch
+/// of a [`labelserve::VersionedEngine`]; after **every** publish the
+/// current epoch is checked exhaustively against Dijkstra rows on the
+/// *post-update* instance — cross-component ∞ pairs included, so component
+/// splits and merges are verified, not just weight churn. Reports rebuild
+/// scope (reused / scoped / rebuilt parts, fallbacks), publish latency,
+/// and QPS under churn per mix.
+pub struct UpdatePipeline;
+
+impl Pipeline for UpdatePipeline {
+    fn name(&self) -> &'static str {
+        "update"
+    }
+
+    fn run(&self, sc: &Scenario) -> Result<CellReport, CellError> {
+        use rand::Rng;
+        let ce = cell_err::<treedec::DecompError>(sc, self.name());
+        let se = cell_err::<labelserve::ServeError>(sc, self.name());
+        let g = sc.graph();
+        let inst = sc.instance();
+        let mut rep = CellReport::new(sc.name, self.name(), g.n(), g.m());
+        let n = g.n();
+        let wmax = match sc.weights {
+            crate::registry::WeightModel::Unit => 1,
+            crate::registry::WeightModel::Uniform { wmax } => wmax,
+            crate::registry::WeightModel::HeavyTailed { wmax, .. } => wmax,
+        };
+
+        // Initial build: decompose and label every component once. Only
+        // this decomposition is width-checked — random churn edges may
+        // leave the declared family (that is the point of the test).
+        let mut dl = distlabel::DynamicLabeling::build(&inst, sc.t0, sc.seed).map_err(&ce)?;
+        rep.components = dl.parts().len();
+        for part in dl.parts() {
+            if part.n() > 1 {
+                rep.note_decomposition(part.td().width(), part.td().stats().depth);
+            }
+        }
+        let cfg = labelserve::ServeConfig {
+            shard_size: (n / 4).max(1),
+            cache_capacity: 512,
+        };
+        let eng = labelserve::VersionedEngine::from_labeling(&dl, cfg).map_err(&se)?;
+
+        let mut updates_applied = 0u64;
+        let mut publishes = 0u64;
+        let mut publish_us_total = 0u64;
+        let mut dirty_total = 0u64;
+        let mut scoped_parts = 0u64;
+        let mut rebuilt_parts = 0u64;
+        let mut reused_parts = 0u64;
+        let mut fallbacks = 0u64;
+        let mut queries_total = 0u64;
+        let mut churn_secs = 0.0f64;
+        let mut qps_mix = Vec::new();
+
+        for (mi, mix) in update_mixes().iter().enumerate() {
+            for round in 0..UPDATE_ROUNDS {
+                let mut rng =
+                    twgraph::gen::derive_rng("update_batch", &[mi as u64, round as u64], sc.seed);
+                // Seeded batch: a mixture of deletions of existing edges
+                // and fresh weighted insertions.
+                let mut batch = twgraph::EdgeBatch::new();
+                for _ in 0..mix.updates {
+                    let arcs = dl.inst().arcs();
+                    if rng.gen_bool(0.5) && !arcs.is_empty() {
+                        let a = &arcs[rng.gen_range(0..arcs.len())];
+                        batch = batch.delete(a.src, a.dst);
+                    } else {
+                        let u = rng.gen_range(0..n as u32);
+                        let v = rng.gen_range(0..n as u32);
+                        batch = batch.insert(u, v, rng.gen_range(1..=wmax));
+                    }
+                }
+                let ur = dl.apply(&batch).map_err(&ce)?;
+                updates_applied += 1;
+                dirty_total += ur.dirty.len() as u64;
+                scoped_parts += ur.parts_scoped as u64;
+                rebuilt_parts += ur.parts_rebuilt as u64;
+                reused_parts += ur.parts_reused as u64;
+                fallbacks += ur.fallbacks as u64;
+                let stats = eng.publish_from(&dl, &ur.dirty).map_err(&se)?;
+                publishes += 1;
+                publish_us_total += stats.publish_us;
+                assert_eq!(
+                    stats.epoch, publishes,
+                    "{}: epochs must advance one per publish",
+                    sc.name
+                );
+
+                // Exhaustive differential on the post-update instance: the
+                // just-published epoch must answer Dijkstra on the *new*
+                // graph for every ordered pair (∞ across components).
+                let snap = eng.snapshot();
+                for u in 0..n as u32 {
+                    let oracle = baselines::sssp_oracle(dl.inst(), u);
+                    let row: Vec<(u32, u32)> = (0..n as u32).map(|v| (u, v)).collect();
+                    let got = snap.engine().batch(&row).map_err(&se)?;
+                    for (v, &d) in got.iter().enumerate() {
+                        assert_eq!(
+                            d, oracle[v],
+                            "{}/{}: update({u} → {v}) diverged after batch {updates_applied}",
+                            sc.name, mix.name
+                        );
+                        rep.output =
+                            fold_checksum(rep.output, u64::from(u) * n as u64 + v as u64, d);
+                        rep.checked += 1;
+                    }
+                }
+            }
+
+            // QPS under churn: replay this mix's seeded skewed stream
+            // against the current epoch.
+            let spec = labelserve::WorkloadSpec {
+                queries: (mix.queries * n.max(8)).max(64),
+                hot_pairs: (n / 8).max(8),
+                hot_fraction: 0.75,
+            };
+            let stream = labelserve::seeded_queries(n, &spec, sc.seed.wrapping_add(mi as u64));
+            let t = std::time::Instant::now();
+            let answers = eng.batch(&stream).map_err(&se)?;
+            let wall = t.elapsed().as_secs_f64();
+            for (i, &d) in answers.iter().enumerate() {
+                rep.output = fold_checksum(rep.output, i as u64, d);
+            }
+            queries_total += stream.len() as u64;
+            churn_secs += wall;
+            if wall > 0.0 {
+                qps_mix.push((mix.qps_key, (stream.len() as f64 / wall) as u64));
+            }
+        }
+
+        rep.detail.push(("updates_applied", updates_applied));
+        rep.detail.push(("publishes", publishes));
+        rep.detail.push(("publish_us_total", publish_us_total));
+        rep.detail.push(("dirty_total", dirty_total));
+        rep.detail.push(("scoped_parts", scoped_parts));
+        rep.detail.push(("rebuilt_parts", rebuilt_parts));
+        rep.detail.push(("reused_parts", reused_parts));
+        rep.detail.push(("fallbacks", fallbacks));
+        rep.detail.push(("queries", queries_total));
+        if churn_secs > 0.0 {
+            rep.detail
+                .push(("qps_churn", (queries_total as f64 / churn_secs) as u64));
+        }
+        rep.detail.extend(qps_mix);
+        Ok(rep)
+    }
+}
+
 /// (Internal) shared scaffolding assertions exercised by unit tests.
 #[cfg(test)]
 mod tests {
@@ -568,6 +762,34 @@ mod tests {
             .unwrap()
             .1;
         assert!(hits > 0, "a 75%-hot workload must hit the cache");
+    }
+
+    #[test]
+    fn update_cell_on_multi_component() {
+        let rep = UpdatePipeline
+            .run(&tiny("test/update", Family::MultiComponent { n: 32 }))
+            .unwrap();
+        let total_batches = (update_mixes().len() * UPDATE_ROUNDS) as u64;
+        // Every batch re-verified the full pair space on the mutated graph.
+        assert_eq!(rep.checked, 32 * 32 * total_batches as usize);
+        for key in [
+            "updates_applied",
+            "publishes",
+            "dirty_total",
+            "queries",
+            "qps_churn",
+        ] {
+            assert!(
+                rep.detail.iter().any(|&(k, _)| k == key),
+                "detail key {key} missing"
+            );
+        }
+        let get = |key| rep.detail.iter().find(|&&(k, _)| k == key).unwrap().1;
+        assert_eq!(get("updates_applied"), total_batches);
+        assert_eq!(get("publishes"), total_batches);
+        // Disconnected corpus + random churn must exercise real update
+        // traffic: at least one part changed across the run.
+        assert!(get("dirty_total") > 0, "no batch touched anything");
     }
 
     #[test]

@@ -116,7 +116,7 @@ pub struct DecompOutcome {
 }
 
 /// Sorted intersection of a sorted vector with a predicate-free list.
-fn adjacent_subset(g: &UGraph, candidates: &[u32], comp_mask: &[bool]) -> Vec<u32> {
+pub(crate) fn adjacent_subset(g: &UGraph, candidates: &[u32], comp_mask: &[bool]) -> Vec<u32> {
     let mut out: Vec<u32> = candidates
         .iter()
         .copied()

@@ -30,10 +30,12 @@
 pub mod config;
 pub mod decomp;
 pub mod dist;
+pub mod region;
 pub mod sep;
 pub mod split;
 
 pub use config::{BranchSchedule, SepConfig};
 pub use decomp::{decompose_centralized, DecompError, DecompOutcome};
 pub use dist::{decompose_distributed, DistDecompOutcome};
+pub use region::{decompose_region, RegionNode, RegionOutcome};
 pub use sep::{sep_centralized, SepOutcome};

@@ -1,0 +1,202 @@
+//! Scoped re-decomposition of a dirty region — the tree-surgery half of
+//! incremental label maintenance.
+//!
+//! When an edge batch lands entirely inside `V(G'_x)` for some tree node
+//! `x`, the decomposition outside `subtree(x)` is untouched: `V(G'_x)` is
+//! disjoint from every ancestor bag, so the recursion state of every other
+//! node is a function of unchanged vertices and edges. [`decompose_region`]
+//! re-runs the §3.4 recursion on the (possibly now disconnected) region
+//! against the unchanged parent bag, producing replacement subtrees that
+//! splice in where `subtree(x)` was. The caller (see
+//! `distlabel::incremental`) owns the splice and the relabeling.
+
+use crate::config::SepConfig;
+use crate::decomp::{adjacent_subset, components_of, NodeInfo};
+use crate::sep::{sep_doubling, SepOutcome};
+use rand::Rng;
+use std::collections::VecDeque;
+use twgraph::UGraph;
+
+/// One replacement tree node produced by [`decompose_region`].
+#[derive(Clone, Debug)]
+pub struct RegionNode {
+    /// Parent *within the returned list* (parents always precede
+    /// children), or `None` for a region root — a node that attaches to
+    /// the dirty node's former parent.
+    pub parent: Option<usize>,
+    /// The node's bag, sorted.
+    pub bag: Vec<u32>,
+    /// The recursion record, aligned with the surrounding decomposition's
+    /// [`NodeInfo`] convention.
+    pub info: NodeInfo,
+}
+
+/// Replacement subtrees for the region.
+#[derive(Clone, Debug, Default)]
+pub struct RegionOutcome {
+    /// Replacement nodes in creation (BFS) order; parents precede children.
+    pub nodes: Vec<RegionNode>,
+    /// The largest `t` any `Sep` call settled on.
+    pub t_used: u64,
+}
+
+/// Re-decompose `region` (the old `V(G'_x)`, as a sorted vertex list of
+/// `g`) against the unchanged `boundary` (the old `B_{p(x)}`). `g` is the
+/// *updated* graph. Each connected component of `g[region]` becomes one
+/// replacement subtree whose root inherits the boundary vertices adjacent
+/// to it — exactly the recursion state `decompose_centralized` would hand
+/// a child of `p(x)`, so the splice preserves Proposition 3 for every
+/// node, old and new.
+pub fn decompose_region(
+    g: &UGraph,
+    region: &[u32],
+    boundary: &[u32],
+    t0: u64,
+    cfg: &SepConfig,
+    rng: &mut impl Rng,
+) -> RegionOutcome {
+    let n = g.n();
+    let mut region_mask = vec![false; n];
+    for &v in region {
+        region_mask[v as usize] = true;
+    }
+
+    struct Work {
+        parent: Option<usize>,
+        gpx: Vec<u32>,
+        inherited: Vec<u32>,
+    }
+    let mut queue = VecDeque::new();
+    for comp in components_of(g, &region_mask) {
+        let mut comp_mask = vec![false; n];
+        for &v in &comp {
+            comp_mask[v as usize] = true;
+        }
+        let inherited = adjacent_subset(g, boundary, &comp_mask);
+        queue.push_back(Work {
+            parent: None,
+            gpx: comp,
+            inherited,
+        });
+    }
+
+    let mut out = RegionOutcome {
+        nodes: Vec::new(),
+        t_used: t0.max(2),
+    };
+    while let Some(w) = queue.pop_front() {
+        let mut members = vec![false; n];
+        let mut mu = vec![0u64; n];
+        for &v in &w.gpx {
+            members[v as usize] = true;
+            mu[v as usize] = 1;
+        }
+        let SepOutcome {
+            separator: sep,
+            t_used: t_here,
+            ..
+        } = sep_doubling(g, &members, &mu, out.t_used, cfg, rng);
+        out.t_used = out.t_used.max(t_here);
+
+        let gx_size = w.gpx.len() + w.inherited.len();
+        let sx_size = sep.len() + w.inherited.len();
+        if gx_size <= 2 * sx_size {
+            let mut bag: Vec<u32> = w.gpx.iter().chain(w.inherited.iter()).copied().collect();
+            bag.sort_unstable();
+            out.nodes.push(RegionNode {
+                parent: w.parent,
+                bag,
+                info: NodeInfo {
+                    gpx: w.gpx,
+                    inherited: w.inherited,
+                    sep,
+                    is_leaf: true,
+                },
+            });
+            continue;
+        }
+
+        let mut bag: Vec<u32> = w.inherited.iter().chain(sep.iter()).copied().collect();
+        bag.sort_unstable();
+        bag.dedup();
+        let x = out.nodes.len();
+
+        let mut child_members = members.clone();
+        for &s in &sep {
+            child_members[s as usize] = false;
+        }
+        for comp in components_of(g, &child_members) {
+            let mut comp_mask = vec![false; n];
+            for &v in &comp {
+                comp_mask[v as usize] = true;
+            }
+            let child_inherited = adjacent_subset(g, &bag, &comp_mask);
+            queue.push_back(Work {
+                parent: Some(x),
+                gpx: comp,
+                inherited: child_inherited,
+            });
+        }
+        out.nodes.push(RegionNode {
+            parent: w.parent,
+            bag,
+            info: NodeInfo {
+                gpx: w.gpx,
+                inherited: w.inherited,
+                sep,
+                is_leaf: false,
+            },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose_centralized;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use twgraph::gen::banded_path;
+
+    /// Re-decomposing a leaf's own region against its parent bag yields
+    /// subtree(s) whose vertex sets partition the region and whose roots
+    /// inherit only boundary vertices.
+    #[test]
+    fn region_matches_recursion_state() {
+        let g = banded_path(200, 2);
+        let cfg = SepConfig::practical(g.n());
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dec = decompose_centralized(&g, 3, &cfg, &mut rng).unwrap();
+        let x = (0..dec.td.bags.len())
+            .find(|&x| dec.info[x].is_leaf && dec.td.parent[x] != x)
+            .expect("a non-root leaf exists");
+        let p = dec.td.parent[x];
+        let out = decompose_region(&g, &dec.info[x].gpx, &dec.td.bags[p], 3, &cfg, &mut rng);
+        assert!(!out.nodes.is_empty());
+        let mut covered: Vec<u32> = out.nodes.iter().flat_map(|n| n.info.gpx.clone()).collect();
+        covered.sort_unstable();
+        // Children partition each node's G'_x − S'_x, so the union of all
+        // gpx sets is exactly the region plus nothing (internal nodes
+        // repeat separator vertices of their own gpx — dedup first).
+        covered.dedup();
+        let roots: Vec<&RegionNode> = out.nodes.iter().filter(|n| n.parent.is_none()).collect();
+        let mut root_union: Vec<u32> = roots.iter().flat_map(|n| n.info.gpx.clone()).collect();
+        root_union.sort_unstable();
+        assert_eq!(root_union, dec.info[x].gpx, "roots partition the region");
+        for r in &roots {
+            for b in &r.info.inherited {
+                assert!(
+                    dec.td.bags[p].binary_search(b).is_ok(),
+                    "inherited vertex outside the boundary"
+                );
+            }
+        }
+        // Parents precede children.
+        for (i, node) in out.nodes.iter().enumerate() {
+            if let Some(pp) = node.parent {
+                assert!(pp < i);
+            }
+        }
+    }
+}

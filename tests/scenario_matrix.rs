@@ -7,7 +7,7 @@
 //! matrix backs the `scenarios` bench bin (`BENCH_scenarios.json`) — this
 //! suite is the correctness gate, the bench bin the cost reporter.
 
-use scenarios::{all_pipelines, corpus, run_cell};
+use scenarios::{all_pipelines, corpus, run_cell, update_mixes};
 
 /// One test per pipeline so failures localize; each runs the full corpus.
 fn run_pipeline_over_corpus(name: &str) {
@@ -68,8 +68,13 @@ fn matrix_serve() {
     run_pipeline_over_corpus("serve");
 }
 
+#[test]
+fn matrix_update() {
+    run_pipeline_over_corpus("update");
+}
+
 /// The corpus × pipeline dimensions the acceptance criteria pin: at least
-/// five *new* families and all six pipelines present.
+/// five *new* families and all seven pipelines present.
 #[test]
 fn matrix_dimensions() {
     let c = corpus();
@@ -95,10 +100,68 @@ fn matrix_dimensions() {
         "unbounded control family missing"
     );
     let p = all_pipelines();
-    assert_eq!(p.len(), 6);
+    assert_eq!(p.len(), 7);
     let names: Vec<_> = p.iter().map(|p| p.name()).collect();
     assert_eq!(
         names,
-        ["sssp", "distlabel", "girth", "matching", "walks", "serve"]
+        [
+            "sssp",
+            "distlabel",
+            "girth",
+            "matching",
+            "walks",
+            "serve",
+            "update"
+        ]
     );
+    // The update:query-ratio axis is pinned: three mixes, each reporting
+    // its own QPS detail row in every update cell.
+    let mixes = update_mixes();
+    assert_eq!(mixes.len(), 3);
+    assert_eq!(
+        mixes.iter().map(|m| m.name).collect::<Vec<_>>(),
+        ["read_heavy", "balanced", "write_heavy"]
+    );
+    assert!(
+        mixes[0].updates < mixes[0].queries && mixes[2].updates > mixes[2].queries,
+        "mix ratios must span read-heavy through write-heavy"
+    );
+    // Full matrix cell count: every scenario × every pipeline.
+    assert_eq!(
+        c.len() * p.len(),
+        84,
+        "matrix is 12 scenarios × 7 pipelines"
+    );
+}
+
+/// Every update cell carries the per-mix QPS rows and rebuild-scope
+/// counters the bench bin serializes.
+#[test]
+fn update_cells_report_churn_detail() {
+    let pipelines = all_pipelines();
+    let p = pipelines.iter().find(|p| p.name() == "update").unwrap();
+    let sc = corpus()
+        .into_iter()
+        .find(|s| s.name == "multi_component/uniform")
+        .unwrap();
+    let rep = run_cell(&sc, p.as_ref()).unwrap_or_else(|e| panic!("cell failed: {e}"));
+    for mix in update_mixes() {
+        assert!(
+            rep.detail.iter().any(|&(k, _)| k == mix.qps_key),
+            "per-mix key {} missing",
+            mix.qps_key
+        );
+    }
+    for key in [
+        "scoped_parts",
+        "rebuilt_parts",
+        "reused_parts",
+        "fallbacks",
+        "publish_us_total",
+    ] {
+        assert!(
+            rep.detail.iter().any(|&(k, _)| k == key),
+            "rebuild-scope key {key} missing"
+        );
+    }
 }

@@ -1,0 +1,139 @@
+//! The incremental == scratch differential net.
+//!
+//! For every scenario family in the corpus, a maintained
+//! [`lowtw::DynamicLabeling`] replays seeded insert/delete batches; after
+//! **every** batch its answers are compared bit-for-bit, over the full
+//! ordered pair space, against (a) a from-scratch rebuild of the same
+//! mutated instance and (b) the Dijkstra oracle — cross-component pairs
+//! included, so the ∞ bookkeeping across component splits and merges is
+//! pinned too. A divergence anywhere names the scenario, the round, and
+//! the pair.
+
+use lowtw::{DynamicLabeling, EdgeBatch, INF};
+use rand::Rng;
+use scenarios::corpus;
+
+/// Seeded batch rounds per scenario.
+const ROUNDS: usize = 6;
+
+/// Edge edits per batch.
+const EDITS: usize = 3;
+
+/// Draw one seeded batch against the labeling's *current* graph: deletions
+/// of existing edges and fresh weighted insertions, half and half.
+fn seeded_batch(dl: &DynamicLabeling, round: usize, seed: u64) -> EdgeBatch {
+    let n = dl.n();
+    let mut rng = twgraph::gen::derive_rng("update_diff", &[round as u64], seed);
+    let mut batch = EdgeBatch::new();
+    for _ in 0..EDITS {
+        let arcs = dl.inst().arcs();
+        if rng.gen_bool(0.5) && !arcs.is_empty() {
+            let a = &arcs[rng.gen_range(0..arcs.len())];
+            batch = batch.delete(a.src, a.dst);
+        } else {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            batch = batch.insert(u, v, rng.gen_range(1..=30));
+        }
+    }
+    batch
+}
+
+/// Exhaustively compare the maintained labeling against a scratch rebuild
+/// and the Dijkstra oracle on the current instance.
+fn assert_incremental_matches_scratch(dl: &DynamicLabeling, name: &str, round: usize, t0: u64) {
+    let n = dl.n();
+    // Scratch rebuild under a *different* seed: answers are exact values,
+    // so they must agree regardless of separator randomness.
+    let scratch = DynamicLabeling::build(dl.inst(), t0, 0xD1F7 ^ round as u64)
+        .unwrap_or_else(|e| panic!("{name} round {round}: scratch rebuild failed: {e}"));
+    for u in 0..n as u32 {
+        let oracle = baselines::sssp_oracle(dl.inst(), u);
+        for v in 0..n as u32 {
+            let inc = dl.distance(u, v);
+            let scr = scratch.distance(u, v);
+            assert_eq!(
+                inc, oracle[v as usize],
+                "{name} round {round}: incremental d({u} → {v}) diverged from Dijkstra"
+            );
+            assert_eq!(
+                inc, scr,
+                "{name} round {round}: incremental vs scratch disagree at ({u}, {v})"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_matches_scratch_on_every_family() {
+    let corpus = corpus();
+    assert!(
+        corpus.len() >= 12,
+        "differential net expects the full corpus"
+    );
+    for sc in &corpus {
+        let inst = sc.instance();
+        let mut dl = DynamicLabeling::build(&inst, sc.t0, sc.seed)
+            .unwrap_or_else(|e| panic!("{}: initial build failed: {e}", sc.name));
+        assert_incremental_matches_scratch(&dl, sc.name, 0, sc.t0);
+        for round in 1..=ROUNDS {
+            let batch = seeded_batch(&dl, round, sc.seed);
+            let rep = dl
+                .apply(&batch)
+                .unwrap_or_else(|e| panic!("{} round {round}: apply failed: {e}", sc.name));
+            assert_eq!(
+                rep.parts_reused + rep.parts_scoped + rep.parts_rebuilt,
+                dl.parts().len(),
+                "{} round {round}: part accounting broke: {rep:?}",
+                sc.name
+            );
+            assert_incremental_matches_scratch(&dl, sc.name, round, sc.t0);
+        }
+    }
+}
+
+/// Component splits and merges, driven explicitly: cut a banded path in
+/// half (every crossing edge), verify ∞ across the cut, then re-bridge and
+/// verify finiteness returns — checking the full pair space against
+/// scratch at every step.
+#[test]
+fn split_and_merge_are_exact() {
+    let g = twgraph::gen::banded_path(40, 2);
+    let inst = twgraph::gen::with_random_weights(&g, 9, 5);
+    let mut dl = DynamicLabeling::build(&inst, 3, 5).unwrap();
+    let cut = EdgeBatch::new()
+        .delete(18, 20)
+        .delete(19, 20)
+        .delete(19, 21);
+    let rep = dl.apply(&cut).unwrap();
+    assert!(
+        rep.parts_rebuilt >= 1,
+        "a split must rebuild parts: {rep:?}"
+    );
+    assert_eq!(dl.distance(0, 39), INF, "severed halves must answer INF");
+    assert_incremental_matches_scratch(&dl, "split", 1, 3);
+    let rep = dl.apply(&EdgeBatch::new().insert(19, 20, 4)).unwrap();
+    assert!(
+        rep.parts_rebuilt >= 1,
+        "a merge must rebuild parts: {rep:?}"
+    );
+    assert!(dl.distance(0, 39) < INF, "re-bridged graph must reconnect");
+    assert_incremental_matches_scratch(&dl, "merge", 2, 3);
+}
+
+/// A no-op batch (deleting absent edges, inserting self-loops) must reuse
+/// every part and change no answer.
+#[test]
+fn noop_batches_change_nothing() {
+    let sc = &corpus()[0];
+    let inst = sc.instance();
+    let mut dl = DynamicLabeling::build(&inst, sc.t0, sc.seed).unwrap();
+    let before: Vec<_> = (0..dl.n() as u32).map(|v| dl.distance(0, v)).collect();
+    let rep = dl
+        .apply(&EdgeBatch::new().delete(0, 0).insert(3, 3, 7))
+        .unwrap();
+    assert_eq!(rep.parts_reused, dl.parts().len(), "all parts must reuse");
+    assert_eq!(rep.parts_scoped + rep.parts_rebuilt, 0);
+    let after: Vec<_> = (0..dl.n() as u32).map(|v| dl.distance(0, v)).collect();
+    assert_eq!(before, after);
+}
