@@ -1,0 +1,323 @@
+//! The `servd` bench: the build-once / query-many pipeline served over a
+//! real socket. Builds the store like the `serve` bench, spawns the
+//! `servd` front-end on an ephemeral loopback port, and drives it with an
+//! open-loop mixed workload (hot/cold-skewed singles plus periodic
+//! batches) from several client connections. Latency is measured from
+//! each request's *scheduled* send time, so falling behind the schedule
+//! is charged to the server — no coordinated omission. Writes
+//! `BENCH_servd.json` with p50/p90/p99/p999 and sustained QPS.
+//!
+//! ```sh
+//! cargo run --release -p lowtw-bench --bin servd                # n = 100_000
+//! cargo run --release -p lowtw-bench --bin servd -- 20000 2     # smaller / wider
+//! cargo run --release -p lowtw-bench --bin servd -- --smoke     # CI smoke: small
+//! #   instance, 10k mixed queries, every wire answer checked against the
+//! #   in-process engine, zero protocol errors required; no JSON written.
+//! ```
+//!
+//! Positional arguments: `n` (default 100_000), `k` (default 1), `keep`
+//! (default 0.5), `seed` (default 1) — the `serve` bench family, so the
+//! in-process and over-the-wire numbers line up.
+
+use labelserve::{seeded_queries, ServeConfig, StoreBuilder, VersionedEngine, WorkloadSpec};
+use lowtw::servd::{Client, Request, Response, ServdConfig, Server};
+use lowtw::{distlabel, treedec, twgraph};
+use lowtw_bench::{fmt, rate_per_sec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Every 64th scheduled request ships as one batch of this many pairs.
+const BATCH_EVERY: usize = 64;
+const BATCH_LEN: usize = 32;
+
+fn build_engine(n: usize, k: usize, keep: f64, seed: u64) -> (Arc<VersionedEngine>, usize, usize) {
+    eprintln!("generating partial {k}-tree, n = {n}, keep = {keep}, seed = {seed} ...");
+    let g = twgraph::gen::partial_ktree(n, k, keep, seed);
+    let inst = twgraph::gen::with_random_weights(&g, 30, seed);
+    let m = g.m();
+
+    let cfg = lowtw::SepConfig::practical(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let t = Instant::now();
+    let out = treedec::decompose_centralized(&g, k as u64 + 1, &cfg, &mut rng)
+        .expect("decomposition failed");
+    let labels = distlabel::build_labels_centralized(&inst, &out.td, &out.info);
+    let serve_cfg = ServeConfig::default();
+    let ids: Vec<u32> = (0..n as u32).collect();
+    let mut builder = StoreBuilder::new(n);
+    builder
+        .add_component(&labels, &ids)
+        .expect("store compaction failed");
+    let store = builder
+        .build(serve_cfg.shard_size)
+        .expect("store build failed");
+    eprintln!(
+        "built: width = {}, {} label entries, {} shards ({:.1?})",
+        out.td.width(),
+        fmt(store.entries() as u64),
+        store.shard_count(),
+        t.elapsed()
+    );
+    let width = out.td.width();
+    (Arc::new(VersionedEngine::new(store, serve_cfg)), m, width)
+}
+
+/// One connection's share of the open-loop run.
+struct ConnReport {
+    samples_us: Vec<u64>,
+    requests: u64,
+    queries: u64,
+}
+
+/// Drive `requests` scheduled sends at `interval_us` spacing over one
+/// connection; a synchronous round trip per request, latency charged
+/// from the scheduled instant.
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    queries: &[(u32, u32)],
+    requests: usize,
+    interval_us: u64,
+) -> ConnReport {
+    let mut client = Client::connect(addr).expect("client connect failed");
+    let mut samples_us = Vec::with_capacity(requests);
+    let mut qcount = 0u64;
+    let mut qi = 0usize;
+    let next = |qi: &mut usize| {
+        let q = queries[*qi % queries.len()];
+        *qi += 1;
+        q
+    };
+    let start = Instant::now();
+    for i in 0..requests {
+        let sched = Duration::from_micros(i as u64 * interval_us);
+        let elapsed = start.elapsed();
+        if sched > elapsed {
+            std::thread::sleep(sched - elapsed);
+        }
+        if i % BATCH_EVERY == BATCH_EVERY - 1 {
+            let pairs: Vec<(u32, u32)> = (0..BATCH_LEN).map(|_| next(&mut qi)).collect();
+            let got = client.batch(&pairs).expect("batch over the wire failed");
+            assert_eq!(got.len(), BATCH_LEN);
+            qcount += BATCH_LEN as u64;
+        } else {
+            let (s, t) = next(&mut qi);
+            client.distance(s, t).expect("query over the wire failed");
+            qcount += 1;
+        }
+        samples_us.push((start.elapsed() - sched).as_micros() as u64);
+    }
+    ConnReport {
+        samples_us,
+        requests: requests as u64,
+        queries: qcount,
+    }
+}
+
+/// Check a slice of the workload over the wire against the in-process
+/// engine, answer by answer; returns how many pairs were verified.
+fn differential(addr: std::net::SocketAddr, engine: &VersionedEngine, pairs: &[(u32, u32)]) -> u64 {
+    let mut client = Client::connect(addr).expect("differential connect failed");
+    // Singles and batch through distinct opcodes; both must agree exactly.
+    for &(s, t) in pairs.iter().take(pairs.len() / 4) {
+        assert_eq!(
+            client.distance(s, t).expect("wire query failed"),
+            engine.distance(s, t).expect("in-process query failed"),
+            "wire({s}, {t}) diverged from the in-process engine"
+        );
+    }
+    assert_eq!(
+        client.batch(pairs).expect("wire batch failed"),
+        engine.batch(pairs).expect("in-process batch failed"),
+        "batched wire answers diverged from the in-process engine"
+    );
+    // Epoch sanity while we hold the connection.
+    match client.call(&Request::Epoch).expect("epoch call failed") {
+        Response::Epoch(e) => assert_eq!(e, engine.epoch()),
+        other => panic!("unexpected epoch response {other:?}"),
+    }
+    (pairs.len() + pairs.len() / 4) as u64
+}
+
+fn smoke() {
+    let (engine, _m, _width) = build_engine(2_000, 1, 0.5, 1);
+    let server = Server::spawn(
+        Arc::clone(&engine),
+        ("127.0.0.1", 0),
+        ServdConfig::default(),
+    )
+    .expect("server spawn failed");
+    let addr = server.local_addr();
+    let spec = WorkloadSpec {
+        queries: 10_000,
+        hot_pairs: 256,
+        hot_fraction: 0.75,
+    };
+    let queries = seeded_queries(2_000, &spec, 1);
+    // Every answer verified: singles over one half, one big batch over the
+    // other — exact agreement with the in-process engine required.
+    let mut client = Client::connect(addr).expect("smoke connect failed");
+    let (head, tail) = queries.split_at(queries.len() / 2);
+    for &(s, t) in head {
+        assert_eq!(
+            client.distance(s, t).expect("smoke query failed"),
+            engine.distance(s, t).expect("in-process query failed"),
+            "smoke: wire({s}, {t}) diverged"
+        );
+    }
+    assert_eq!(
+        client.batch(tail).expect("smoke batch failed"),
+        engine.batch(tail).expect("in-process batch failed"),
+        "smoke: batched answers diverged"
+    );
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(
+        (stats.malformed, stats.overloads, stats.rejected_batches),
+        (0, 0, 0),
+        "smoke: protocol errors on a clean workload"
+    );
+    assert_eq!(stats.queries, queries.len() as u64);
+    println!(
+        "smoke ok: {} queries over the wire, all bit-identical, zero protocol errors",
+        fmt(stats.queries)
+    );
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let args: Vec<&String> = raw.iter().filter(|a| !a.starts_with("--")).collect();
+    let arg = |i: usize, default: f64| -> f64 {
+        args.get(i)
+            .map(|s| s.parse().expect("numeric argument"))
+            .unwrap_or(default)
+    };
+    let n = arg(0, 100_000.0) as usize;
+    let k = arg(1, 1.0) as usize;
+    let keep = arg(2, 0.5);
+    let seed = arg(3, 1.0) as u64;
+    let conns = 4usize;
+    let per_conn_rate = 10_000u64; // scheduled req/s per connection
+    let per_conn_requests = 40_000usize;
+
+    let (engine, m, width) = build_engine(n, k, keep, seed);
+    let server = Server::spawn(
+        Arc::clone(&engine),
+        ("127.0.0.1", 0),
+        ServdConfig::default(),
+    )
+    .expect("server spawn failed");
+    let addr = server.local_addr();
+    eprintln!("serving on {addr}");
+
+    // Differential gate before timing: the wire must agree with the
+    // in-process engine on a seeded slice of the workload.
+    let diff_pairs = seeded_queries(
+        n,
+        &WorkloadSpec {
+            queries: 2_000,
+            hot_pairs: 128,
+            hot_fraction: 0.75,
+        },
+        seed ^ 0xD1FF,
+    );
+    let verified = differential(addr, &engine, &diff_pairs);
+    eprintln!("differential: {} wire answers bit-identical", fmt(verified));
+
+    // The open-loop run: `conns` connections, each pacing its own seeded
+    // skewed stream at `per_conn_rate` scheduled requests per second.
+    let spec = WorkloadSpec {
+        queries: 200_000,
+        hot_pairs: 4096,
+        hot_fraction: 0.75,
+    };
+    let interval_us = 1_000_000 / per_conn_rate;
+    let t = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            let queries = seeded_queries(n, &spec, seed.wrapping_add(c as u64));
+            std::thread::spawn(move || {
+                drive_connection(addr, &queries, per_conn_requests, interval_us)
+            })
+        })
+        .collect();
+    let reports: Vec<ConnReport> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let wall = t.elapsed();
+
+    let mut samples: Vec<u64> = reports.iter().flat_map(|r| r.samples_us.clone()).collect();
+    let requests: u64 = reports.iter().map(|r| r.requests).sum();
+    let queries: u64 = reports.iter().map(|r| r.queries).sum();
+    let summary = lowtw::servd::LatencySummary::from_samples(&mut samples);
+    let sustained_rps = rate_per_sec(requests, wall);
+    let sustained_qps = rate_per_sec(queries, wall);
+    eprintln!(
+        "open loop: {} req ({} q) over {} conns in {:.1?} = {} req/s, {} q/s",
+        fmt(requests),
+        fmt(queries),
+        conns,
+        wall,
+        fmt(sustained_rps),
+        fmt(sustained_qps)
+    );
+    eprintln!(
+        "latency: p50 {}µs  p90 {}µs  p99 {}µs  p999 {}µs  max {}µs",
+        summary.p50_us, summary.p90_us, summary.p99_us, summary.p999_us, summary.max_us
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(
+        (stats.malformed, stats.overloads, stats.rejected_batches),
+        (0, 0, 0),
+        "protocol errors during a clean benchmark run"
+    );
+
+    let doc = serde_json::json!({
+        "bench": "servd",
+        "family": "partial_ktree",
+        "n": n,
+        "m": m,
+        "k": k,
+        "keep": keep,
+        "seed": seed,
+        "width": width,
+        "conns": conns,
+        "scheduled_rate_per_conn": per_conn_rate,
+        "requests": requests,
+        "queries": queries,
+        "differential_pairs": verified,
+        "wall_us": wall.as_micros() as u64,
+        "sustained_rps": sustained_rps,
+        "sustained_qps": sustained_qps,
+        "latency_us": serde_json::json!({
+            "count": summary.count,
+            "mean": summary.mean_us,
+            "p50": summary.p50_us,
+            "p90": summary.p90_us,
+            "p99": summary.p99_us,
+            "p999": summary.p999_us,
+            "max": summary.max_us,
+        }),
+        "workload": serde_json::json!({
+            "hot_pairs": spec.hot_pairs,
+            "hot_fraction": spec.hot_fraction,
+            "batch_every": BATCH_EVERY,
+            "batch_len": BATCH_LEN,
+        }),
+        "server": serde_json::json!({
+            "connections": stats.connections,
+            "requests": stats.requests,
+            "queries": stats.queries,
+        }),
+    });
+    std::fs::write(
+        "BENCH_servd.json",
+        serde_json::to_string(&doc).unwrap() + "\n",
+    )
+    .unwrap();
+    println!("\nwrote BENCH_servd.json");
+}

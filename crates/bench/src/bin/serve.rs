@@ -15,7 +15,7 @@
 
 use labelserve::{seeded_queries, QueryEngine, ServeConfig, StoreBuilder, WorkloadSpec};
 use lowtw::{distlabel, treedec, twgraph};
-use lowtw_bench::fmt;
+use lowtw_bench::{fmt, rate_per_sec};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -114,7 +114,7 @@ fn main() {
     }
     let wall_single = t.elapsed();
     let single_stats = engine.stats();
-    let single_qps = (queries.len() as f64 / wall_single.as_secs_f64()) as u64;
+    let single_qps = rate_per_sec(queries.len() as u64, wall_single);
     eprintln!(
         "single:  {} q in {:.1?} = {} q/s (hit rate {:.1}%)",
         fmt(queries.len() as u64),
@@ -128,7 +128,7 @@ fn main() {
     let answers = engine.batch(&queries).expect("batch failed");
     let wall_batch = t.elapsed();
     let batch_stats = engine.stats();
-    let batch_qps = (queries.len() as f64 / wall_batch.as_secs_f64()) as u64;
+    let batch_qps = rate_per_sec(queries.len() as u64, wall_batch);
     eprintln!(
         "batched: {} q in {:.1?} = {} q/s (hit rate {:.1}%)",
         fmt(queries.len() as u64),
@@ -142,7 +142,7 @@ fn main() {
     let t = Instant::now();
     let raw = nocache.batch(&queries).expect("uncached batch failed");
     let wall_nocache = t.elapsed();
-    let nocache_qps = (queries.len() as f64 / wall_nocache.as_secs_f64()) as u64;
+    let nocache_qps = rate_per_sec(queries.len() as u64, wall_nocache);
     assert_eq!(answers, raw, "cache on/off answers diverged");
     eprintln!(
         "nocache: {} q in {:.1?} = {} q/s",

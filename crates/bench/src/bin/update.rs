@@ -201,7 +201,9 @@ fn main() {
         .collect();
     let worst_incr = *incr_us.iter().max().unwrap();
     let scratch_us = wall_scratch.as_micros() as u64;
-    let speedup = scratch_us as f64 / worst_incr as f64;
+    // Clamp to the 1 µs floor: a sub-tick incremental apply must not
+    // divide the committed JSON into `inf` (issue 7 rate satellite).
+    let speedup = scratch_us as f64 / worst_incr.max(1) as f64;
     let served = queries_during.load(Ordering::Relaxed);
     eprintln!(
         "scratch rebuild {:.1?} vs worst incremental {} us → {:.1}x; {} queries served during rebuilds (max epoch {})",

@@ -34,6 +34,7 @@
 //! | [`treedec`] | `Sep` + distributed tree decomposition (Thm 1) |
 //! | [`distlabel`] | distance labeling + SSSP (Thm 2) |
 //! | [`labelserve`] | sharded, cached query serving over compacted labels |
+//! | [`servd`] | socketed serving front-end: varint wire protocol + SLO stats |
 //! | [`stateful_walks`] | walk constraints, product graphs, CDL (Thm 3) |
 //! | [`bmatch`] | bipartite maximum matching (Thm 4) |
 //! | [`girth`] | weighted girth, directed + undirected (Thm 5) |
@@ -45,6 +46,7 @@ pub use congest_sim;
 pub use distlabel;
 pub use girth;
 pub use labelserve;
+pub use servd;
 pub use stateful_walks;
 pub use subgraph_ops;
 pub use treedec;
@@ -54,15 +56,17 @@ pub use congest_sim::{CongestError, Metrics, Network, NetworkConfig};
 pub use distlabel::label::{decode, decode_pair, Label};
 pub use distlabel::{DynamicLabeling, UpdateReport};
 pub use labelserve::{PublishStats, QueryEngine, ServeConfig, ServeError, VersionedEngine};
+pub use servd::{Client, ServdConfig, Server};
 pub use treedec::{DecompError, SepConfig};
 pub use twgraph::{Dist, EdgeBatch, MultiDigraph, UGraph, INF};
 
 /// Everything most callers need.
 pub mod prelude {
-    pub use crate::{DynamicSession, Session, UpdateError};
+    pub use crate::{DynamicSession, NetServeError, Session, UpdateError};
     pub use congest_sim::{Network, NetworkConfig};
     pub use distlabel::label::{decode, decode_pair, Label};
     pub use labelserve::{QueryEngine, ServeConfig, VersionedEngine};
+    pub use servd::{Client, ServdConfig, Server};
     pub use twgraph::{Dist, EdgeBatch, MultiDigraph, UGraph, INF};
 }
 
@@ -171,6 +175,42 @@ impl Session {
         Ok(QueryEngine::new(builder.build(cfg.shard_size)?, cfg))
     }
 
+    /// [`serve`](Session::serve), but behind a socket: build the labels,
+    /// compact them into a store, wrap it in an epoch-versioned
+    /// [`VersionedEngine`], and spawn a [`servd::Server`] answering the
+    /// wire protocol on `addr`. Bind to port 0 for an ephemeral port; the
+    /// chosen address is `server.local_addr()`.
+    ///
+    /// ```
+    /// use lowtw::prelude::*;
+    ///
+    /// let g = twgraph::gen::partial_ktree(80, 2, 0.7, 5);
+    /// let inst = twgraph::gen::with_random_weights(&g, 20, 5);
+    /// let session = Session::decompose(&g, 3, 5).unwrap();
+    /// let server = session
+    ///     .serve_net(&inst, ServeConfig::default(), ("127.0.0.1", 0), ServdConfig::default())
+    ///     .unwrap();
+    /// let mut client = Client::connect(server.local_addr()).unwrap();
+    /// let d = client.distance(0, 79).unwrap();
+    /// assert_eq!(d, twgraph::alg::dijkstra(&inst, 0).dist[79]);
+    /// server.shutdown();
+    /// ```
+    pub fn serve_net(
+        &self,
+        inst: &MultiDigraph,
+        cfg: ServeConfig,
+        addr: impl std::net::ToSocketAddrs,
+        net_cfg: ServdConfig,
+    ) -> Result<Server, NetServeError> {
+        let labels = self.labels(inst);
+        let ids: Vec<u32> = (0..self.graph.n() as u32).collect();
+        let mut builder = labelserve::StoreBuilder::new(self.graph.n());
+        builder.add_component(&labels, &ids)?;
+        let store = builder.build(cfg.shard_size)?;
+        let engine = std::sync::Arc::new(VersionedEngine::new(store, cfg));
+        Ok(Server::spawn(engine, addr, net_cfg)?)
+    }
+
     /// Exact SSSP distances from `src` (label construction + decode).
     pub fn sssp(&self, inst: &MultiDigraph, src: u32) -> Vec<Dist> {
         let labels = self.labels(inst);
@@ -210,6 +250,40 @@ impl Session {
     ) -> Result<DynamicSession, UpdateError> {
         assert_eq!(inst.n(), self.graph.n());
         DynamicSession::open(inst, self.t_used, seed, cfg)
+    }
+}
+
+/// What went wrong bringing a store up behind a socket: the serving
+/// side (label compaction / engine build) or the network side (bind,
+/// listen).
+#[derive(Debug)]
+pub enum NetServeError {
+    /// Label compaction or engine construction failed.
+    Serve(ServeError),
+    /// Binding or configuring the listening socket failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for NetServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetServeError::Serve(e) => write!(f, "network serving setup failed: {e}"),
+            NetServeError::Io(e) => write!(f, "network serving socket failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetServeError {}
+
+impl From<ServeError> for NetServeError {
+    fn from(e: ServeError) -> Self {
+        NetServeError::Serve(e)
+    }
+}
+
+impl From<std::io::Error> for NetServeError {
+    fn from(e: std::io::Error) -> Self {
+        NetServeError::Io(e)
     }
 }
 

@@ -120,17 +120,24 @@ impl QueryEngine {
 
     /// Exact `d(s → t)`; cross-component pairs answer [`twgraph::INF`],
     /// ids outside `0..n` are a typed error.
+    ///
+    /// Counter invariant: `hits + misses` equals the number of queries
+    /// that returned `Ok`, and a miss is counted only once its entry is
+    /// resident — rejected ids and panicking threads leave the counters
+    /// untouched, so recovered poisoned locks cannot drift the stats.
     pub fn distance(&self, s: u32, t: u32) -> Result<Dist, ServeError> {
         if self.cfg.cache_capacity == 0 {
             return self.store.distance(s, t);
         }
-        // Validate before touching the cache so unknown ids cannot pin
-        // shard locks or skew the counters.
-        if s as usize >= self.store.n() {
-            return Err(ServeError::UnknownNode {
-                node: s,
-                n: self.store.n(),
-            });
+        // Validate *both* endpoints before touching the cache so unknown
+        // ids cannot pin shard locks or skew the counters (`t` used to be
+        // checked only after the cache probe, on the miss path).
+        let n = self.store.n();
+        if s as usize >= n {
+            return Err(ServeError::UnknownNode { node: s, n });
+        }
+        if t as usize >= n {
+            return Err(ServeError::UnknownNode { node: t, n });
         }
         let cache = &self.caches[self.store.shard_of(s)];
         if let Some(d) = relock(cache).get(&(s, t)) {
@@ -138,8 +145,10 @@ impl QueryEngine {
             return Ok(d);
         }
         let d = self.store.distance(s, t)?;
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Insert first, count second: a thread that dies between decode
+        // and insert then contributes to neither cache nor counters.
         relock(cache).insert((s, t), d);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         Ok(d)
     }
 
@@ -247,6 +256,74 @@ mod tests {
             eng.distance(0, 9),
             Err(ServeError::UnknownNode { node: 9, n: 4 })
         );
+    }
+
+    /// Regression (issue 7): out-of-range ids must be rejected on the
+    /// `s` side, the `t` side, and through the batch path — without
+    /// touching the cache or its counters, and without panicking on
+    /// extreme ids like `u32::MAX`.
+    #[test]
+    fn out_of_range_ids_reject_on_both_sides() {
+        let eng = path_engine(ServeConfig {
+            shard_size: 2,
+            cache_capacity: 8,
+        });
+        for (s, t, bad) in [
+            (9, 0, 9),
+            (0, 9, 9),
+            (4, 4, 4),
+            (u32::MAX, 0, u32::MAX),
+            (0, u32::MAX, u32::MAX),
+        ] {
+            assert_eq!(
+                eng.distance(s, t),
+                Err(ServeError::UnknownNode { node: bad, n: 4 })
+            );
+        }
+        assert_eq!(
+            eng.stats(),
+            CacheStats::default(),
+            "rejected ids must leave counters and cache untouched"
+        );
+        for batch in [vec![(0, 1), (9, 0)], vec![(0, 1), (0, 9)]] {
+            assert_eq!(
+                eng.batch(&batch).unwrap_err(),
+                ServeError::UnknownNode { node: 9, n: 4 }
+            );
+        }
+        assert_eq!(eng.distance(0, 3).unwrap(), 3, "engine still serves");
+    }
+
+    /// Satellite (issue 7): after a thread panics while holding a shard's
+    /// cache lock, the recovered lock must keep hit/miss accounting exact
+    /// — `hits + misses == Ok queries`, and residency matches the misses
+    /// that actually inserted.
+    #[test]
+    fn poisoned_cache_lock_keeps_accounting_consistent() {
+        use std::sync::Arc;
+        let eng = Arc::new(path_engine(ServeConfig {
+            shard_size: 2,
+            cache_capacity: 8,
+        }));
+        eng.distance(0, 3).unwrap(); // miss + insert
+        let shard = eng.store().shard_of(0);
+        let poisoner = Arc::clone(&eng);
+        let joined = std::thread::spawn(move || {
+            let _guard = poisoner.caches[shard].lock().unwrap();
+            panic!("injected panic while holding the cache lock");
+        })
+        .join();
+        assert!(joined.is_err(), "injection thread must have panicked");
+        assert!(eng.caches[shard].is_poisoned());
+        // The recovered lock serves the resident entry as a hit, and new
+        // pairs as exactly one miss each.
+        assert_eq!(eng.distance(0, 3).unwrap(), 3);
+        assert_eq!(eng.distance(0, 2).unwrap(), 2);
+        assert_eq!(eng.distance(0, 2).unwrap(), 2);
+        let st = eng.stats();
+        assert_eq!((st.hits, st.misses), (2, 2));
+        assert_eq!(st.hits + st.misses, 4, "every Ok query counted once");
+        assert_eq!(st.entries, 2, "misses match what the cache stored");
     }
 
     #[test]

@@ -184,6 +184,107 @@ mod tests {
         assert!(c.is_empty());
     }
 
+    /// Regression (issue 7): capacity 1 must evict on every distinct
+    /// insert without ever touching a NIL sentinel link — the list head
+    /// and tail are the same slot, the degenerate splice case.
+    #[test]
+    fn capacity_one_evicts_every_distinct_insert() {
+        let mut c: Lru<u32, u32> = Lru::new(1);
+        for i in 0..50u32 {
+            c.insert(i, i * 10);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.get(&i), Some(i * 10));
+            if i > 0 {
+                assert_eq!(c.get(&(i - 1)), None, "previous entry must be evicted");
+            }
+        }
+        // Refreshing the sole entry keeps it resident.
+        c.insert(49, 7);
+        assert_eq!(c.get(&49), Some(7));
+        c.clear();
+        assert!(c.is_empty());
+        c.insert(3, 3);
+        assert_eq!(c.get(&3), Some(3));
+    }
+
+    /// Reference model for the property test: exact LRU over a vector
+    /// kept most-recent-first. O(cap) per op — fine for tiny capacities.
+    struct Model {
+        cap: usize,
+        items: Vec<(u32, u64)>,
+    }
+
+    impl Model {
+        fn get(&mut self, k: u32) -> Option<u64> {
+            let i = self.items.iter().position(|&(key, _)| key == k)?;
+            let hit = self.items.remove(i);
+            self.items.insert(0, hit);
+            Some(hit.1)
+        }
+
+        fn insert(&mut self, k: u32, v: u64) {
+            if self.cap == 0 {
+                return;
+            }
+            if let Some(i) = self.items.iter().position(|&(key, _)| key == k) {
+                self.items.remove(i);
+            } else if self.items.len() == self.cap {
+                self.items.pop();
+            }
+            self.items.insert(0, (k, v));
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Satellite (issue 7): over capacities 0–4 (the sentinel-heavy
+            /// regimes) every interleaving of gets and inserts must agree
+            /// with the reference model — same hits, same values, same
+            /// residency — and the arena must never index out of bounds.
+            #[test]
+            fn tiny_capacities_match_reference_model(
+                cap in 0usize..=4,
+                keyspace in 1u32..=7,
+                ops in 1usize..=300,
+                seed in 0u64..1_000_000,
+            ) {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut lru: Lru<u32, u64> = Lru::new(cap);
+                let mut model = Model { cap, items: Vec::new() };
+                for step in 0..ops {
+                    let k = rng.gen_range(0..keyspace);
+                    if rng.gen_bool(0.5) {
+                        let v = step as u64;
+                        lru.insert(k, v);
+                        model.insert(k, v);
+                    } else {
+                        let (got, want) = (lru.get(&k), model.get(k));
+                        prop_assert!(
+                            got == want,
+                            "cap {cap} step {step} key {k}: got {got:?}, want {want:?}"
+                        );
+                    }
+                    prop_assert_eq!(lru.len(), model.items.len());
+                    prop_assert!(lru.len() <= cap, "residency exceeded capacity");
+                }
+                // Final state: identical membership and values.
+                let mut got: Vec<(u32, u64)> =
+                    lru.iter().map(|(&k, &v)| (k, v)).collect();
+                got.sort_unstable();
+                let mut want = model.items.clone();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
     #[test]
     fn heavy_churn_stays_bounded_and_consistent() {
         let mut c: Lru<u64, u64> = Lru::new(16);

@@ -297,6 +297,34 @@ mod tests {
         assert_eq!(snap.distance(3, 5).unwrap(), labeling.distance(3, 5));
     }
 
+    /// Regression (issue 7): ids ≥ n must come back as typed errors —
+    /// never a panic or index — through the versioned single, batch, and
+    /// pinned-snapshot paths, on the `s` and the `t` side alike.
+    #[test]
+    fn out_of_range_ids_reject_through_versioned_serving() {
+        let (_labeling, eng) = versioned(60);
+        let reject = |s, t, bad| {
+            assert_eq!(
+                eng.distance(s, t),
+                Err(ServeError::UnknownNode { node: bad, n: 60 })
+            );
+        };
+        reject(60, 0, 60);
+        reject(0, 60, 60);
+        reject(u32::MAX, 0, u32::MAX);
+        reject(0, u32::MAX, u32::MAX);
+        assert_eq!(
+            eng.batch(&[(0, 1), (1, 61)]).unwrap_err(),
+            ServeError::UnknownNode { node: 61, n: 60 }
+        );
+        let snap = eng.snapshot();
+        assert_eq!(
+            snap.distance(0, 60),
+            Err(ServeError::UnknownNode { node: 60, n: 60 })
+        );
+        assert!(eng.distance(0, 59).is_ok(), "valid pairs still serve");
+    }
+
     #[test]
     fn cross_component_inf_tracks_publishes() {
         let (mut labeling, eng) = versioned(60);

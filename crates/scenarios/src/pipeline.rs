@@ -16,6 +16,14 @@ use twgraph::alg::bfs_dist;
 use twgraph::gen::BipartiteInstance;
 use twgraph::INF;
 
+/// Finite events-per-second on sub-tick wall clocks: seconds clamp to the
+/// 1 µs reporting floor so rate detail keys are always present and never
+/// cast an `inf` to `u64::MAX` (issue 7's rate-computation satellite —
+/// tiny cells can finish inside one clock tick on fast machines).
+fn rate_per_sec(count: u64, secs: f64) -> u64 {
+    (count as f64 / secs.max(1e-6)) as u64
+}
+
 /// One end-to-end pipeline runnable on any scenario.
 pub trait Pipeline {
     /// Stable pipeline name (report key).
@@ -478,11 +486,10 @@ impl Pipeline for ServePipeline {
         rep.detail.push(("cache_misses", stats.misses));
         rep.detail
             .push(("cache_hit_pct", (stats.hit_rate() * 100.0).round() as u64));
-        let secs = wall.as_secs_f64();
-        if secs > 0.0 {
-            rep.detail
-                .push(("qps", (queries.len() as f64 / secs) as u64));
-        }
+        rep.detail.push((
+            "qps",
+            rate_per_sec(queries.len() as u64, wall.as_secs_f64()),
+        ));
         Ok(rep)
     }
 }
@@ -657,9 +664,7 @@ impl Pipeline for UpdatePipeline {
             }
             queries_total += stream.len() as u64;
             churn_secs += wall;
-            if wall > 0.0 {
-                qps_mix.push((mix.qps_key, (stream.len() as f64 / wall) as u64));
-            }
+            qps_mix.push((mix.qps_key, rate_per_sec(stream.len() as u64, wall)));
         }
 
         rep.detail.push(("updates_applied", updates_applied));
@@ -671,10 +676,8 @@ impl Pipeline for UpdatePipeline {
         rep.detail.push(("reused_parts", reused_parts));
         rep.detail.push(("fallbacks", fallbacks));
         rep.detail.push(("queries", queries_total));
-        if churn_secs > 0.0 {
-            rep.detail
-                .push(("qps_churn", (queries_total as f64 / churn_secs) as u64));
-        }
+        rep.detail
+            .push(("qps_churn", rate_per_sec(queries_total, churn_secs)));
         rep.detail.extend(qps_mix);
         Ok(rep)
     }

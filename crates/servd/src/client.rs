@@ -1,0 +1,148 @@
+//! A blocking client for the `servd` wire protocol — the counterpart the
+//! load generator, the smoke test, and the differential suites drive.
+//!
+//! The client is deliberately synchronous and single-threaded: one
+//! request, one response, matched by request id. For pipelining (the
+//! load generator's open-loop mode, the backpressure tests) the
+//! [`send`](Client::send)/[`recv`](Client::recv) halves are exposed
+//! separately — responses may arrive out of admission order when the
+//! server refuses a request, so pipelined callers must match on the
+//! returned id.
+
+use crate::proto::{
+    decode_response, encode_request, read_frame, FrameError, FrameEvent, ProtoError, Request,
+    Response, WireError, MAX_FRAME_DEFAULT,
+};
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use twgraph::Dist;
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or server hangup).
+    Io(io::Error),
+    /// The server's bytes did not parse as a response.
+    Proto(ProtoError),
+    /// The server answered with a typed error.
+    Server(WireError),
+    /// A response arrived for a request id this client never sent, or
+    /// with a body of the wrong kind for the call.
+    UnexpectedResponse,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failed: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol violation from server: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::UnexpectedResponse => write!(f, "response did not match the request"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected protocol client.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            buf: Vec::with_capacity(256),
+            out: Vec::with_capacity(256),
+            max_frame: MAX_FRAME_DEFAULT,
+        })
+    }
+
+    /// Send one request without waiting; returns its id for matching.
+    pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.out.clear();
+        encode_request(id, req, &mut self.out);
+        self.stream.write_all(&self.out)?;
+        Ok(id)
+    }
+
+    /// Block for the next response frame.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        match read_frame(&mut self.stream, &mut self.buf, self.max_frame, || false) {
+            Ok(FrameEvent::Frame) => decode_response(&self.buf).map_err(ClientError::Proto),
+            Ok(FrameEvent::Eof) => Err(ClientError::Io(io::ErrorKind::UnexpectedEof.into())),
+            Ok(FrameEvent::Idle) => unreachable!("client sockets have no read timeout"),
+            Err(FrameError::Io(e)) => Err(ClientError::Io(e)),
+            Err(FrameError::Proto(e)) => Err(ClientError::Proto(e)),
+        }
+    }
+
+    /// One synchronous round trip; errors if the ids do not line up.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let id = self.send(req)?;
+        let (got_id, resp) = self.recv()?;
+        if got_id != id {
+            return Err(ClientError::UnexpectedResponse);
+        }
+        Ok(resp)
+    }
+
+    /// Exact `d(s → t)` at the connection's pinned epoch.
+    pub fn distance(&mut self, s: u32, t: u32) -> Result<Dist, ClientError> {
+        match self.call(&Request::Query { s, t })? {
+            Response::Dist(d) => Ok(d),
+            Response::Err(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// A whole batch, answered in order at the pinned epoch.
+    pub fn batch(&mut self, pairs: &[(u32, u32)]) -> Result<Vec<Dist>, ClientError> {
+        match self.call(&Request::Batch(pairs.to_vec()))? {
+            Response::Batch(ds) => Ok(ds),
+            Response::Err(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// The epoch this connection is pinned to.
+    pub fn epoch(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Epoch)? {
+            Response::Epoch(e) => Ok(e),
+            Response::Err(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Re-pin this connection to the server's current epoch.
+    pub fn repin(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Repin)? {
+            Response::Epoch(e) => Ok(e),
+            Response::Err(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Ship raw bytes down the socket — the hardening tests use this to
+    /// probe the server with malformed frames.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+}

@@ -1,0 +1,58 @@
+//! # servd — the socketed label-serving front-end
+//!
+//! `labelserve` answers s–t distance queries in-process at millions of
+//! QPS; this crate puts that engine behind a wire so the build-once /
+//! query-many split actually serves remote callers. It is deliberately
+//! dependency-free systems Rust: `std::net` sockets, a thread per
+//! connection, and a compact varint-framed binary protocol.
+//!
+//! * [`proto`] — the wire format: LEB128 varint framing, request opcodes
+//!   (single query / batch / epoch / repin), typed response statuses,
+//!   and a total, panic-free decoder for untrusted bytes.
+//! * [`server`] — [`Server`]: accept loop + per-connection reader/worker
+//!   pairs over a shared [`labelserve::VersionedEngine`]. Bounded
+//!   per-connection queues give admission control (`OVERLOADED` /
+//!   `TOO_LARGE` / `MALFORMED` are answers, not hangups), connections pin
+//!   their serving epoch at accept, and shutdown drains every admitted
+//!   request before joining.
+//! * [`client`] — [`Client`]: a blocking counterpart with split
+//!   send/recv for pipelining; what the load generator and the
+//!   differential suites drive.
+//! * [`stats`] — nearest-rank percentile digests for the SLO report.
+//!
+//! ```
+//! use distlabel::Label;
+//! use labelserve::{ServeConfig, StoreBuilder, VersionedEngine};
+//! use servd::{Client, ServdConfig, Server};
+//! use std::sync::Arc;
+//!
+//! // A two-vertex store: one weight-3 edge.
+//! let mut l0 = Label::new(0);
+//! l0.merge(0, 0, 0);
+//! l0.merge(1, 3, 3);
+//! let mut l1 = Label::new(1);
+//! l1.merge(1, 0, 0);
+//! let mut b = StoreBuilder::new(2);
+//! b.add_component(&[l0, l1], &[0, 1]).unwrap();
+//! let store = b.build(ServeConfig::default().shard_size).unwrap();
+//! let engine = Arc::new(VersionedEngine::new(store, ServeConfig::default()));
+//!
+//! // Serve it on an ephemeral loopback port and query over the wire.
+//! let server = Server::spawn(engine, ("127.0.0.1", 0), ServdConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! assert_eq!(client.distance(0, 1).unwrap(), 3);
+//! assert_eq!(client.batch(&[(1, 0), (0, 0)]).unwrap(), vec![3, 0]);
+//! assert_eq!(client.epoch().unwrap(), 0);
+//! let stats = server.shutdown(); // drains in-flight work, joins threads
+//! assert_eq!(stats.queries, 3);
+//! ```
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, ClientError};
+pub use proto::{ProtoError, Request, Response, WireError};
+pub use server::{ServdConfig, Server, ServerStats};
+pub use stats::{percentile_us, LatencySummary};

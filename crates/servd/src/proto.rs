@@ -1,0 +1,719 @@
+//! The wire protocol: varint-framed binary request/response messages.
+//!
+//! ## Framing
+//!
+//! Every message — either direction — is one *frame*:
+//!
+//! ```text
+//! frame   := varint(payload_len) payload
+//! varint  := LEB128, low 7 bits per byte, high bit = continuation
+//! ```
+//!
+//! `payload_len` is bounded by the server's configured maximum; a frame
+//! announcing more is a connection-level protocol error (there is no way
+//! to resynchronize a stream after refusing to read a body).
+//!
+//! ## Requests
+//!
+//! ```text
+//! payload := varint(req_id) opcode args
+//! QUERY (0x01) := varint(s) varint(t)            one s→t distance
+//! BATCH (0x02) := varint(k) k × (varint(s) varint(t))
+//! EPOCH (0x03) :=                                the connection's pinned epoch
+//! REPIN (0x04) :=                                re-pin to the current epoch
+//! ```
+//!
+//! Vertex ids are `u32`; a varint that decodes above `u32::MAX` is
+//! malformed. Trailing bytes after the last argument are malformed —
+//! a frame is exactly one request.
+//!
+//! ## Responses
+//!
+//! ```text
+//! payload := varint(req_id) status body
+//! DIST        (0x00) := varint(d)                `INF` is sent as its value
+//! BATCH_OK    (0x01) := varint(k) k × varint(d)
+//! EPOCH_OK    (0x02) := varint(epoch)
+//! UNKNOWN_NODE(0x10) := varint(node) varint(n)   typed ServeError over the wire
+//! MALFORMED   (0x11) := varint(kind)             see [`ProtoError::kind_code`]
+//! OVERLOADED  (0x12) := varint(queue_depth)      admission control pushed back
+//! TOO_LARGE   (0x13) := varint(len) varint(max)  batch exceeded the admission cap
+//! SHUTDOWN    (0x14) :=                          server is draining
+//! INTERNAL    (0x15) :=                          engine failure not expressible above
+//! ```
+//!
+//! Responses carry the request's `req_id`, so a client may pipeline.
+//! Requests on one connection are answered in admission order; a request
+//! refused by admission control (OVERLOADED / TOO_LARGE / MALFORMED) is
+//! answered immediately and may therefore overtake queued work — match on
+//! `req_id`, not arrival order, when pipelining.
+
+use std::io::{self, Read};
+use twgraph::Dist;
+
+/// Default cap on one frame's payload, in bytes.
+pub const MAX_FRAME_DEFAULT: usize = 1 << 20;
+
+/// Longest legal varint encoding of a `u64`, in bytes.
+pub const MAX_VARINT_BYTES: usize = 10;
+
+const OP_QUERY: u8 = 0x01;
+const OP_BATCH: u8 = 0x02;
+const OP_EPOCH: u8 = 0x03;
+const OP_REPIN: u8 = 0x04;
+
+const ST_DIST: u8 = 0x00;
+const ST_BATCH: u8 = 0x01;
+const ST_EPOCH: u8 = 0x02;
+const ST_UNKNOWN_NODE: u8 = 0x10;
+const ST_MALFORMED: u8 = 0x11;
+const ST_OVERLOADED: u8 = 0x12;
+const ST_TOO_LARGE: u8 = 0x13;
+const ST_SHUTDOWN: u8 = 0x14;
+const ST_INTERNAL: u8 = 0x15;
+
+/// One decoded request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Exact `d(s → t)` at the connection's pinned epoch.
+    Query {
+        /// Source vertex.
+        s: u32,
+        /// Target vertex.
+        t: u32,
+    },
+    /// A batch of pairs, answered in order at the pinned epoch.
+    Batch(Vec<(u32, u32)>),
+    /// The epoch this connection is pinned to.
+    Epoch,
+    /// Re-pin the connection to the engine's current epoch.
+    Repin,
+}
+
+/// A server-reported failure, as carried on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// A query named a vertex outside the store's `0..n`.
+    UnknownNode {
+        /// The offending id.
+        node: u32,
+        /// The store's vertex-space size.
+        n: u64,
+    },
+    /// The request payload could not be interpreted; the kind code is a
+    /// [`ProtoError::kind_code`] value.
+    Malformed {
+        /// Which way the payload was malformed.
+        kind: u64,
+    },
+    /// The connection's bounded request queue was full — retry later.
+    Overloaded {
+        /// The queue depth that was full.
+        queue_depth: u64,
+    },
+    /// A batch exceeded the server's admission cap.
+    BatchTooLarge {
+        /// Pairs in the refused batch.
+        len: u64,
+        /// The server's cap.
+        max: u64,
+    },
+    /// The server is draining; no new requests are admitted.
+    Shutdown,
+    /// An engine failure with no dedicated wire representation.
+    Internal,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            WireError::UnknownNode { node, n } => {
+                write!(f, "unknown node {node} (store holds 0..{n})")
+            }
+            WireError::Malformed { kind } => write!(f, "malformed request (kind {kind})"),
+            WireError::Overloaded { queue_depth } => {
+                write!(f, "connection queue full (depth {queue_depth})")
+            }
+            WireError::BatchTooLarge { len, max } => {
+                write!(f, "batch of {len} pairs exceeds the cap of {max}")
+            }
+            WireError::Shutdown => write!(f, "server is draining"),
+            WireError::Internal => write!(f, "internal serving error"),
+        }
+    }
+}
+
+/// One decoded response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// A single distance ([`twgraph::INF`] travels as its numeric value).
+    Dist(Dist),
+    /// Batch answers, one per pair in request order.
+    Batch(Vec<Dist>),
+    /// An epoch number (answers both `Epoch` and `Repin`).
+    Epoch(u64),
+    /// A typed failure.
+    Err(WireError),
+}
+
+/// Why a payload (or frame header) failed to decode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload ended in the middle of a field.
+    Truncated,
+    /// A varint ran past 10 bytes / 64 bits.
+    VarintOverflow,
+    /// The opcode byte names no known request.
+    UnknownOpcode(u8),
+    /// Bytes were left over after the last argument.
+    TrailingBytes(usize),
+    /// A vertex id decoded above `u32::MAX`.
+    IdOverflow(u64),
+    /// The frame header announced a payload beyond the configured cap.
+    FrameTooLarge {
+        /// Announced payload length.
+        len: u64,
+        /// The receiver's cap.
+        max: usize,
+    },
+    /// The status byte names no known response.
+    UnknownStatus(u8),
+}
+
+impl ProtoError {
+    /// Stable numeric code carried inside MALFORMED responses.
+    pub fn kind_code(&self) -> u64 {
+        match *self {
+            ProtoError::Truncated => 1,
+            ProtoError::VarintOverflow => 2,
+            ProtoError::UnknownOpcode(_) => 3,
+            ProtoError::TrailingBytes(_) => 4,
+            ProtoError::IdOverflow(_) => 5,
+            ProtoError::FrameTooLarge { .. } => 6,
+            ProtoError::UnknownStatus(_) => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ProtoError::Truncated => write!(f, "payload truncated mid-field"),
+            ProtoError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            ProtoError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            ProtoError::TrailingBytes(k) => write!(f, "{k} trailing bytes after request"),
+            ProtoError::IdOverflow(v) => write!(f, "vertex id {v} exceeds u32"),
+            ProtoError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtoError::UnknownStatus(st) => write!(f, "unknown status {st:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Append the LEB128 encoding of `x`.
+pub fn put_varint(buf: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decode one varint starting at `*pos`, advancing it.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, ProtoError> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos).ok_or(ProtoError::Truncated)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(ProtoError::VarintOverflow);
+        }
+        x |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(ProtoError::VarintOverflow);
+        }
+    }
+}
+
+fn get_id(buf: &[u8], pos: &mut usize) -> Result<u32, ProtoError> {
+    let v = get_varint(buf, pos)?;
+    u32::try_from(v).map_err(|_| ProtoError::IdOverflow(v))
+}
+
+/// Encode `req` as a complete frame (length prefix included) onto `out`.
+pub fn encode_request(req_id: u64, req: &Request, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(16);
+    put_varint(&mut payload, req_id);
+    match req {
+        Request::Query { s, t } => {
+            payload.push(OP_QUERY);
+            put_varint(&mut payload, u64::from(*s));
+            put_varint(&mut payload, u64::from(*t));
+        }
+        Request::Batch(pairs) => {
+            payload.push(OP_BATCH);
+            put_varint(&mut payload, pairs.len() as u64);
+            for &(s, t) in pairs {
+                put_varint(&mut payload, u64::from(s));
+                put_varint(&mut payload, u64::from(t));
+            }
+        }
+        Request::Epoch => payload.push(OP_EPOCH),
+        Request::Repin => payload.push(OP_REPIN),
+    }
+    put_varint(out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+}
+
+/// Decode one request payload. On failure the error carries the `req_id`
+/// when it was readable (so the server can address its MALFORMED
+/// response) and 0 otherwise.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), (u64, ProtoError)> {
+    let mut pos = 0usize;
+    let req_id = get_varint(payload, &mut pos).map_err(|e| (0, e))?;
+    let fail = |e: ProtoError| (req_id, e);
+    let &op = payload.get(pos).ok_or(fail(ProtoError::Truncated))?;
+    pos += 1;
+    let req = match op {
+        OP_QUERY => Request::Query {
+            s: get_id(payload, &mut pos).map_err(fail)?,
+            t: get_id(payload, &mut pos).map_err(fail)?,
+        },
+        OP_BATCH => {
+            let k = get_varint(payload, &mut pos).map_err(fail)?;
+            // Each pair is ≥ 2 bytes, so `k` beyond the remaining payload
+            // is provably truncated — reject before reserving anything.
+            if k > ((payload.len() - pos) / 2) as u64 {
+                return Err(fail(ProtoError::Truncated));
+            }
+            let mut pairs = Vec::with_capacity(k as usize);
+            for _ in 0..k {
+                let s = get_id(payload, &mut pos).map_err(fail)?;
+                let t = get_id(payload, &mut pos).map_err(fail)?;
+                pairs.push((s, t));
+            }
+            Request::Batch(pairs)
+        }
+        OP_EPOCH => Request::Epoch,
+        OP_REPIN => Request::Repin,
+        other => return Err(fail(ProtoError::UnknownOpcode(other))),
+    };
+    if pos != payload.len() {
+        return Err(fail(ProtoError::TrailingBytes(payload.len() - pos)));
+    }
+    Ok((req_id, req))
+}
+
+/// Encode `resp` as a complete frame (length prefix included) onto `out`.
+pub fn encode_response(req_id: u64, resp: &Response, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(16);
+    put_varint(&mut payload, req_id);
+    match resp {
+        Response::Dist(d) => {
+            payload.push(ST_DIST);
+            put_varint(&mut payload, *d);
+        }
+        Response::Batch(ds) => {
+            payload.push(ST_BATCH);
+            put_varint(&mut payload, ds.len() as u64);
+            for &d in ds {
+                put_varint(&mut payload, d);
+            }
+        }
+        Response::Epoch(e) => {
+            payload.push(ST_EPOCH);
+            put_varint(&mut payload, *e);
+        }
+        Response::Err(err) => match *err {
+            WireError::UnknownNode { node, n } => {
+                payload.push(ST_UNKNOWN_NODE);
+                put_varint(&mut payload, u64::from(node));
+                put_varint(&mut payload, n);
+            }
+            WireError::Malformed { kind } => {
+                payload.push(ST_MALFORMED);
+                put_varint(&mut payload, kind);
+            }
+            WireError::Overloaded { queue_depth } => {
+                payload.push(ST_OVERLOADED);
+                put_varint(&mut payload, queue_depth);
+            }
+            WireError::BatchTooLarge { len, max } => {
+                payload.push(ST_TOO_LARGE);
+                put_varint(&mut payload, len);
+                put_varint(&mut payload, max);
+            }
+            WireError::Shutdown => payload.push(ST_SHUTDOWN),
+            WireError::Internal => payload.push(ST_INTERNAL),
+        },
+    }
+    put_varint(out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+}
+
+/// Decode one response payload into `(req_id, response)`.
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtoError> {
+    let mut pos = 0usize;
+    let req_id = get_varint(payload, &mut pos)?;
+    let &st = payload.get(pos).ok_or(ProtoError::Truncated)?;
+    pos += 1;
+    let resp = match st {
+        ST_DIST => Response::Dist(get_varint(payload, &mut pos)?),
+        ST_BATCH => {
+            let k = get_varint(payload, &mut pos)?;
+            if k > (payload.len() - pos) as u64 {
+                return Err(ProtoError::Truncated);
+            }
+            let mut ds = Vec::with_capacity(k as usize);
+            for _ in 0..k {
+                ds.push(get_varint(payload, &mut pos)?);
+            }
+            Response::Batch(ds)
+        }
+        ST_EPOCH => Response::Epoch(get_varint(payload, &mut pos)?),
+        ST_UNKNOWN_NODE => Response::Err(WireError::UnknownNode {
+            node: get_id(payload, &mut pos)?,
+            n: get_varint(payload, &mut pos)?,
+        }),
+        ST_MALFORMED => Response::Err(WireError::Malformed {
+            kind: get_varint(payload, &mut pos)?,
+        }),
+        ST_OVERLOADED => Response::Err(WireError::Overloaded {
+            queue_depth: get_varint(payload, &mut pos)?,
+        }),
+        ST_TOO_LARGE => Response::Err(WireError::BatchTooLarge {
+            len: get_varint(payload, &mut pos)?,
+            max: get_varint(payload, &mut pos)?,
+        }),
+        ST_SHUTDOWN => Response::Err(WireError::Shutdown),
+        ST_INTERNAL => Response::Err(WireError::Internal),
+        other => return Err(ProtoError::UnknownStatus(other)),
+    };
+    if pos != payload.len() {
+        return Err(ProtoError::TrailingBytes(payload.len() - pos));
+    }
+    Ok((req_id, resp))
+}
+
+/// What one [`read_frame`] call observed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete payload now sits in the caller's buffer.
+    Frame,
+    /// The read timed out at a frame boundary (no byte consumed) — the
+    /// caller may check its shutdown flag and come back.
+    Idle,
+    /// The peer closed cleanly at a frame boundary.
+    Eof,
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure (including abort mid-frame on shutdown).
+    Io(io::Error),
+    /// Framing violation — the stream cannot be resynchronized.
+    Proto(ProtoError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame read failed: {e}"),
+            FrameError::Proto(e) => write!(f, "framing violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read exactly one frame's payload into `buf` (cleared first).
+///
+/// The reader may have a read timeout set: a timeout *before the first
+/// header byte* surfaces as [`FrameEvent::Idle`]; a timeout mid-frame
+/// retries until `abort()` turns true, at which point the partial frame is
+/// abandoned as an `Io` error — this is what lets a draining server
+/// unstick readers without dropping frames that were fully received.
+pub fn read_frame(
+    r: &mut impl Read,
+    buf: &mut Vec<u8>,
+    max_payload: usize,
+    abort: impl Fn() -> bool,
+) -> Result<FrameEvent, FrameError> {
+    buf.clear();
+    // Header: the length varint, one byte at a time.
+    let mut len = 0u64;
+    let mut shift = 0u32;
+    let mut first = true;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if first {
+                    Ok(FrameEvent::Eof)
+                } else {
+                    Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()))
+                };
+            }
+            Ok(_) => {}
+            Err(e) if is_timeout(&e) => {
+                if first {
+                    return Ok(FrameEvent::Idle);
+                }
+                if abort() {
+                    return Err(FrameError::Io(io::ErrorKind::ConnectionAborted.into()));
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+        first = false;
+        if shift >= 63 && byte[0] > 1 {
+            return Err(FrameError::Proto(ProtoError::VarintOverflow));
+        }
+        len |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(FrameError::Proto(ProtoError::VarintOverflow));
+        }
+    }
+    if len > max_payload as u64 {
+        return Err(FrameError::Proto(ProtoError::FrameTooLarge {
+            len,
+            max: max_payload,
+        }));
+    }
+    // Body: retry timeouts until complete or aborted.
+    buf.resize(len as usize, 0);
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into())),
+            Ok(k) => filled += k,
+            Err(e) if is_timeout(&e) => {
+                if abort() {
+                    return Err(FrameError::Io(io::ErrorKind::ConnectionAborted.into()));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(FrameEvent::Frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twgraph::INF;
+
+    fn roundtrip_request(req: Request) {
+        let mut out = Vec::new();
+        encode_request(77, &req, &mut out);
+        let mut pos = 0usize;
+        let len = get_varint(&out, &mut pos).unwrap() as usize;
+        assert_eq!(pos + len, out.len(), "frame length must cover the payload");
+        let (id, got) = decode_request(&out[pos..]).unwrap();
+        assert_eq!(id, 77);
+        assert_eq!(got, req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Query { s: 0, t: u32::MAX });
+        roundtrip_request(Request::Batch(vec![]));
+        roundtrip_request(Request::Batch(vec![(1, 2), (300, 40_000), (0, 0)]));
+        roundtrip_request(Request::Epoch);
+        roundtrip_request(Request::Repin);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Dist(0),
+            Response::Dist(INF),
+            Response::Batch(vec![1, INF, 0, 1 << 40]),
+            Response::Epoch(9),
+            Response::Err(WireError::UnknownNode { node: 7, n: 4 }),
+            Response::Err(WireError::Malformed { kind: 3 }),
+            Response::Err(WireError::Overloaded { queue_depth: 64 }),
+            Response::Err(WireError::BatchTooLarge {
+                len: 9000,
+                max: 8192,
+            }),
+            Response::Err(WireError::Shutdown),
+            Response::Err(WireError::Internal),
+        ] {
+            let mut out = Vec::new();
+            encode_response(5, &resp, &mut out);
+            let mut pos = 0usize;
+            let len = get_varint(&out, &mut pos).unwrap() as usize;
+            assert_eq!(pos + len, out.len());
+            assert_eq!(decode_response(&out[pos..]).unwrap(), (5, resp));
+        }
+    }
+
+    #[test]
+    fn varints_roundtrip_at_boundaries() {
+        for x in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX, INF] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, x);
+            assert!(buf.len() <= MAX_VARINT_BYTES);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), x);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_not_panics() {
+        // Empty payload: not even a req_id.
+        assert_eq!(decode_request(&[]), Err((0, ProtoError::Truncated)));
+        // req_id but no opcode.
+        assert_eq!(decode_request(&[9]), Err((9, ProtoError::Truncated)));
+        // Unknown opcode.
+        assert_eq!(
+            decode_request(&[9, 0x7f]),
+            Err((9, ProtoError::UnknownOpcode(0x7f)))
+        );
+        // Query truncated mid-argument.
+        assert_eq!(
+            decode_request(&[9, OP_QUERY, 3]),
+            Err((9, ProtoError::Truncated))
+        );
+        // Trailing garbage after a complete request.
+        assert_eq!(
+            decode_request(&[9, OP_EPOCH, 1, 2]),
+            Err((9, ProtoError::TrailingBytes(2)))
+        );
+        // Vertex id above u32.
+        let mut p = vec![9, OP_QUERY];
+        put_varint(&mut p, u64::from(u32::MAX) + 1);
+        put_varint(&mut p, 0);
+        assert_eq!(
+            decode_request(&p),
+            Err((9, ProtoError::IdOverflow(u64::from(u32::MAX) + 1)))
+        );
+        // Batch whose count cannot fit in the remaining bytes.
+        let mut p = vec![9, OP_BATCH];
+        put_varint(&mut p, 1 << 40);
+        assert_eq!(decode_request(&p), Err((9, ProtoError::Truncated)));
+        // A varint running past 64 bits.
+        let p = [0x80u8; 11];
+        assert_eq!(decode_request(&p), Err((0, ProtoError::VarintOverflow)));
+        // Unknown status on the response side.
+        assert_eq!(
+            decode_response(&[5, 0x66]),
+            Err(ProtoError::UnknownStatus(0x66))
+        );
+    }
+
+    #[test]
+    fn frame_reader_handles_split_eof_and_oversize() {
+        use std::io::Cursor;
+        // Two frames back to back.
+        let mut wire = Vec::new();
+        encode_request(1, &Request::Epoch, &mut wire);
+        encode_request(2, &Request::Query { s: 3, t: 4 }, &mut wire);
+        let mut cur = Cursor::new(wire);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut cur, &mut buf, 64, || false).unwrap(),
+            FrameEvent::Frame
+        ));
+        assert_eq!(decode_request(&buf).unwrap().0, 1);
+        assert!(matches!(
+            read_frame(&mut cur, &mut buf, 64, || false).unwrap(),
+            FrameEvent::Frame
+        ));
+        assert_eq!(
+            decode_request(&buf).unwrap(),
+            (2, Request::Query { s: 3, t: 4 })
+        );
+        assert!(matches!(
+            read_frame(&mut cur, &mut buf, 64, || false).unwrap(),
+            FrameEvent::Eof
+        ));
+
+        // EOF mid-frame is an error, not a silent truncation.
+        let mut wire = Vec::new();
+        encode_request(1, &Request::Query { s: 3, t: 4 }, &mut wire);
+        wire.truncate(wire.len() - 1);
+        let mut cur = Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cur, &mut buf, 64, || false),
+            Err(FrameError::Io(_))
+        ));
+
+        // A frame announcing more than the cap is refused before reading.
+        let mut wire = Vec::new();
+        put_varint(&mut wire, 1 << 30);
+        let mut cur = Cursor::new(wire);
+        assert!(matches!(
+            read_frame(&mut cur, &mut buf, 1 << 20, || false),
+            Err(FrameError::Proto(ProtoError::FrameTooLarge { .. }))
+        ));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Arbitrary byte soup never panics the request decoder — it
+            /// either parses or returns a typed error.
+            #[test]
+            fn decoder_total_on_random_bytes(len in 0usize..64, seed in 0u64..1_000_000) {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+                let _ = decode_request(&bytes);
+                let _ = decode_response(&bytes);
+                prop_assert!(true);
+            }
+
+            /// Seeded random requests roundtrip bit-exactly.
+            #[test]
+            fn random_requests_roundtrip(seed in 0u64..1_000_000, k in 0usize..40) {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let pairs: Vec<(u32, u32)> =
+                    (0..k).map(|_| (rng.gen_range(0..u32::MAX), rng.gen_range(0..u32::MAX))).collect();
+                let req = Request::Batch(pairs);
+                let id = rng.gen_range(0..u64::MAX);
+                let mut out = Vec::new();
+                encode_request(id, &req, &mut out);
+                let mut pos = 0usize;
+                let len = get_varint(&out, &mut pos).unwrap() as usize;
+                prop_assert_eq!(pos + len, out.len());
+                let decoded = decode_request(&out[pos..]);
+                prop_assert_eq!(decoded, Ok((id, req)));
+            }
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! The serving front-end: a TCP listener fanning out to
+//! thread-per-connection readers and workers over a shared
+//! [`VersionedEngine`].
+//!
+//! ## Connection anatomy
+//!
+//! Each accepted connection gets **two** threads joined by a *bounded*
+//! request queue:
+//!
+//! ```text
+//! socket ──read──▶ reader ──try_send──▶ [queue ≤ depth] ──▶ worker ──write──▶ socket
+//!                    │ full: OVERLOADED response                │
+//!                    │ malformed: MALFORMED response            │
+//!                    └───────────── shared writer mutex ────────┘
+//! ```
+//!
+//! The reader parses frames and *admits* them; admission can fail three
+//! ways, each answered immediately with a typed error instead of
+//! back-pressuring the socket: the queue is full (`OVERLOADED` — the
+//! client should retry or slow down), the batch exceeds the admission cap
+//! (`TOO_LARGE`), or the payload is unparseable (`MALFORMED`). A framing
+//! violation (oversized or unresynchronizable frame) answers `MALFORMED`
+//! with request id 0 and closes the connection — byte streams cannot be
+//! resynchronized after a bad length header.
+//!
+//! ## Epoch pinning
+//!
+//! A connection pins the engine's current [`labelserve::Epoch`] snapshot at accept
+//! time: every query it sends is answered at that version, however many
+//! epochs are published meanwhile — a client never observes a version
+//! change mid-conversation. `REPIN` moves the pin to the current epoch
+//! (and answers with its number), `EPOCH` reports the pin.
+//!
+//! ## Graceful shutdown
+//!
+//! [`Server::shutdown`] stops the accept loop, tells readers to stop
+//! admitting (a blocked reader wakes at its next poll tick), lets every
+//! worker *drain its queue* — all admitted requests are answered and
+//! flushed — then joins all threads. In-flight queries are never dropped;
+//! unadmitted bytes in socket buffers are.
+
+use crate::proto::{
+    decode_request, encode_response, read_frame, FrameError, FrameEvent, ProtoError, Request,
+    Response, WireError, MAX_FRAME_DEFAULT,
+};
+use labelserve::{ServeError, VersionedEngine};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Front-end knobs. Defaults are sized for the loopback bench; every
+/// field is a hard limit, not a hint.
+#[derive(Clone, Copy, Debug)]
+pub struct ServdConfig {
+    /// Bounded per-connection request queue; a full queue answers
+    /// `OVERLOADED` instead of reading more slowly (admission control).
+    pub queue_depth: usize,
+    /// Most pairs admitted in one batch frame; larger answers `TOO_LARGE`.
+    pub max_batch: usize,
+    /// Most payload bytes in one frame; larger closes the connection.
+    pub max_frame: usize,
+    /// Poll granularity for shutdown checks in blocked reads/accepts.
+    pub poll_interval_ms: u64,
+    /// Fault injection: stall the worker this long per request. Zero in
+    /// production; the backpressure tests use it to fill queues
+    /// deterministically.
+    pub worker_delay_us: u64,
+}
+
+impl Default for ServdConfig {
+    fn default() -> Self {
+        ServdConfig {
+            queue_depth: 128,
+            max_batch: 8192,
+            max_frame: MAX_FRAME_DEFAULT,
+            poll_interval_ms: 10,
+            worker_delay_us: 0,
+        }
+    }
+}
+
+/// Monotone service counters (relaxed atomics — they synchronize nothing).
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    queries: AtomicU64,
+    overloads: AtomicU64,
+    malformed: AtomicU64,
+    rejected_batches: AtomicU64,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Frames that parsed into requests (admitted or refused).
+    pub requests: u64,
+    /// Individual distance queries answered (batches count per pair).
+    pub queries: u64,
+    /// Requests refused by the bounded queue.
+    pub overloads: u64,
+    /// Frames refused as malformed (payload or framing level).
+    pub malformed: u64,
+    /// Batches refused by the admission cap.
+    pub rejected_batches: u64,
+}
+
+/// Recover a possibly-poisoned writer mutex: a frame is written with one
+/// `write_all`, so the stream is either before or after a whole frame.
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Serialize and send one response frame under the connection's writer
+/// lock. Io failure is returned so callers can hang up.
+fn send_response(writer: &Mutex<TcpStream>, req_id: u64, resp: &Response) -> io::Result<()> {
+    let mut out = Vec::with_capacity(32);
+    encode_response(req_id, resp, &mut out);
+    let mut w = relock(writer);
+    w.write_all(&out)
+}
+
+/// Map an engine failure onto the wire.
+fn wire_error(e: ServeError) -> WireError {
+    match e {
+        ServeError::UnknownNode { node, n } => WireError::UnknownNode { node, n: n as u64 },
+        // Build-side partitioning errors cannot arise from a query; keep
+        // the arm total anyway so a future engine error is not a panic.
+        _ => WireError::Internal,
+    }
+}
+
+/// The running front-end. Dropping it shuts down gracefully (drain +
+/// join); call [`shutdown`](Server::shutdown) to do the same explicitly
+/// and get the final stats back.
+pub struct Server {
+    local_addr: SocketAddr,
+    engine: Arc<VersionedEngine>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `engine`. Returns once the listener is live — queries can be sent
+    /// the moment this returns.
+    pub fn spawn(
+        engine: Arc<VersionedEngine>,
+        addr: impl ToSocketAddrs,
+        cfg: ServdConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let accept = {
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || {
+                accept_loop(listener, engine, cfg, shutdown, counters);
+            })
+        };
+        Ok(Server {
+            local_addr,
+            engine,
+            shutdown,
+            counters,
+            accept_thread: Some(accept),
+        })
+    }
+
+    /// The bound address (the actual port when spawned on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine being served.
+    pub fn engine(&self) -> &Arc<VersionedEngine> {
+        &self.engine
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.counters;
+        ServerStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            queries: c.queries.load(Ordering::Relaxed),
+            overloads: c.overloads.load(Ordering::Relaxed),
+            malformed: c.malformed.load(Ordering::Relaxed),
+            rejected_batches: c.rejected_batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, drain every admitted request, join all threads,
+    /// and return the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Accept until shutdown, then join every connection's threads (the
+/// accept thread owns the connection handles, so joining it drains all).
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<VersionedEngine>,
+    cfg: ServdConfig,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let engine = Arc::clone(&engine);
+                let shutdown = Arc::clone(&shutdown);
+                let counters = Arc::clone(&counters);
+                conns.push(std::thread::spawn(move || {
+                    // A connection that fails setup just hangs up; the
+                    // client sees the close.
+                    let _ = serve_connection(stream, engine, cfg, shutdown, counters);
+                }));
+                // Opportunistically reap finished connections so a
+                // long-lived server does not accumulate dead handles.
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(cfg.poll_interval_ms));
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(cfg.poll_interval_ms));
+            }
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// One connection: spawn the worker, run the reader inline, then join the
+/// worker (which drains the queue first).
+fn serve_connection(
+    stream: TcpStream,
+    engine: Arc<VersionedEngine>,
+    cfg: ServdConfig,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(cfg.poll_interval_ms.max(1))))?;
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let (tx, rx) = sync_channel::<(u64, Request)>(cfg.queue_depth.max(1));
+    // Pin the serving epoch for the connection's lifetime.
+    let pinned = engine.snapshot();
+    let worker = {
+        let writer = Arc::clone(&writer);
+        let engine = Arc::clone(&engine);
+        let counters = Arc::clone(&counters);
+        std::thread::spawn(move || worker_loop(rx, pinned, engine, writer, cfg, counters))
+    };
+
+    let mut reader = stream;
+    let mut buf = Vec::with_capacity(256);
+    loop {
+        match read_frame(&mut reader, &mut buf, cfg.max_frame, || {
+            shutdown.load(Ordering::SeqCst)
+        }) {
+            Ok(FrameEvent::Frame) => {
+                counters.requests.fetch_add(1, Ordering::Relaxed);
+                match decode_request(&buf) {
+                    Ok((req_id, req)) => {
+                        if let Request::Batch(pairs) = &req {
+                            if pairs.len() > cfg.max_batch {
+                                counters.rejected_batches.fetch_add(1, Ordering::Relaxed);
+                                let err = WireError::BatchTooLarge {
+                                    len: pairs.len() as u64,
+                                    max: cfg.max_batch as u64,
+                                };
+                                if send_response(&writer, req_id, &Response::Err(err)).is_err() {
+                                    break;
+                                }
+                                continue;
+                            }
+                        }
+                        match tx.try_send((req_id, req)) {
+                            Ok(()) => {}
+                            Err(TrySendError::Full(_)) => {
+                                counters.overloads.fetch_add(1, Ordering::Relaxed);
+                                let err = WireError::Overloaded {
+                                    queue_depth: cfg.queue_depth as u64,
+                                };
+                                if send_response(&writer, req_id, &Response::Err(err)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(TrySendError::Disconnected(_)) => break,
+                        }
+                    }
+                    Err((req_id, e)) => {
+                        counters.malformed.fetch_add(1, Ordering::Relaxed);
+                        let err = WireError::Malformed {
+                            kind: e.kind_code(),
+                        };
+                        if send_response(&writer, req_id, &Response::Err(err)).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(FrameEvent::Idle) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Ok(FrameEvent::Eof) => break,
+            Err(FrameError::Proto(e)) => {
+                // Framing is broken; report (req id 0 — the id is part of
+                // the unreadable payload) and hang up.
+                counters.malformed.fetch_add(1, Ordering::Relaxed);
+                let kind = match e {
+                    ProtoError::FrameTooLarge { .. } => e.kind_code(),
+                    other => other.kind_code(),
+                };
+                let _ = send_response(&writer, 0, &Response::Err(WireError::Malformed { kind }));
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        }
+    }
+    // Dropping the sender lets the worker drain what was admitted and
+    // exit; every queued request is answered before the socket closes.
+    drop(tx);
+    let _ = worker.join();
+    Ok(())
+}
+
+/// Execute admitted requests in order against the pinned epoch.
+fn worker_loop(
+    rx: Receiver<(u64, Request)>,
+    mut pinned: Arc<labelserve::Epoch>,
+    engine: Arc<VersionedEngine>,
+    writer: Arc<Mutex<TcpStream>>,
+    cfg: ServdConfig,
+    counters: Arc<Counters>,
+) {
+    while let Ok((req_id, req)) = rx.recv() {
+        if cfg.worker_delay_us > 0 {
+            std::thread::sleep(Duration::from_micros(cfg.worker_delay_us));
+        }
+        let resp = match req {
+            Request::Query { s, t } => {
+                counters.queries.fetch_add(1, Ordering::Relaxed);
+                match pinned.distance(s, t) {
+                    Ok(d) => Response::Dist(d),
+                    Err(e) => Response::Err(wire_error(e)),
+                }
+            }
+            Request::Batch(pairs) => {
+                counters
+                    .queries
+                    .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+                match pinned.engine().batch(&pairs) {
+                    Ok(ds) => Response::Batch(ds),
+                    Err(e) => Response::Err(wire_error(e)),
+                }
+            }
+            Request::Epoch => Response::Epoch(pinned.epoch()),
+            Request::Repin => {
+                pinned = engine.snapshot();
+                Response::Epoch(pinned.epoch())
+            }
+        };
+        if send_response(&writer, req_id, &resp).is_err() {
+            break;
+        }
+    }
+    // Flush whatever the OS buffered before the socket drops.
+    let _ = relock(&writer).flush();
+}

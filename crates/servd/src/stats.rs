@@ -1,0 +1,97 @@
+//! Latency accounting for the SLO report: nearest-rank percentiles over
+//! recorded microsecond samples.
+//!
+//! The load generator records one sample per completed request —
+//! *scheduled* send time to response, so queueing delay from falling
+//! behind an open-loop schedule is charged to the server (no coordinated
+//! omission) — and folds them into a [`LatencySummary`] for
+//! `BENCH_servd.json`.
+
+/// Nearest-rank percentile (`q` in percent, e.g. `99.9`) of an ascending
+/// slice. Empty input answers 0.
+pub fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The percentile digest of one latency population.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples folded in.
+    pub count: u64,
+    /// Arithmetic mean, µs.
+    pub mean_us: u64,
+    /// Median, µs.
+    pub p50_us: u64,
+    /// 90th percentile, µs.
+    pub p90_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// 99.9th percentile, µs.
+    pub p999_us: u64,
+    /// Worst observed, µs.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Digest a sample population (sorts in place; empty input digests
+    /// to all zeros rather than poisoning the JSON with NaN).
+    pub fn from_samples(samples: &mut [u64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let sum: u64 = samples.iter().sum();
+        LatencySummary {
+            count: samples.len() as u64,
+            mean_us: sum / samples.len() as u64,
+            p50_us: percentile_us(samples, 50.0),
+            p90_us: percentile_us(samples, 90.0),
+            p99_us: percentile_us(samples, 99.0),
+            p999_us: percentile_us(samples, 99.9),
+            max_us: *samples.last().unwrap(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_on_a_known_population() {
+        // 1..=100: pX is exactly X by nearest rank.
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&v, 50.0), 50);
+        assert_eq!(percentile_us(&v, 90.0), 90);
+        assert_eq!(percentile_us(&v, 99.0), 99);
+        assert_eq!(percentile_us(&v, 99.9), 100);
+        assert_eq!(percentile_us(&v, 100.0), 100);
+        // Tiny populations clamp sanely.
+        assert_eq!(percentile_us(&[7], 50.0), 7);
+        assert_eq!(percentile_us(&[7], 99.9), 7);
+        assert_eq!(percentile_us(&[], 99.0), 0);
+        // q = 0 clamps to the first sample instead of indexing at -1.
+        assert_eq!(percentile_us(&[3, 9], 0.0), 3);
+    }
+
+    #[test]
+    fn summary_digests_and_orders() {
+        let mut samples = vec![30u64, 10, 20, 40, 1000];
+        let s = LatencySummary::from_samples(&mut samples);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean_us, 220);
+        assert_eq!(s.p50_us, 30);
+        assert_eq!(s.max_us, 1000);
+        assert!(s.p99_us >= s.p90_us && s.p999_us >= s.p99_us);
+        assert_eq!(s.p999_us, 1000);
+        // Empty population digests to zeros, not NaN.
+        assert_eq!(
+            LatencySummary::from_samples(&mut Vec::new()),
+            LatencySummary::default()
+        );
+    }
+}

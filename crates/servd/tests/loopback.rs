@@ -1,0 +1,304 @@
+//! Loopback integration net over the wire path: every answer a socket
+//! hands back must be bit-identical to the in-process engine, and every
+//! abuse of the protocol must come back as a typed error on a live
+//! connection — never a panic, a hang, or a silent close mid-frame.
+
+use distlabel::DynamicLabeling;
+use labelserve::{seeded_queries, ServeConfig, VersionedEngine, WorkloadSpec};
+use servd::proto::put_varint;
+use servd::{Client, ClientError, Request, Response, ServdConfig, Server, WireError};
+use std::sync::Arc;
+use twgraph::EdgeBatch;
+
+/// A served banded-path engine (n vertices, bandwidth 2) plus its
+/// labeling, for publishing updates mid-test.
+fn served(n: usize, cfg: ServdConfig) -> (DynamicLabeling, Arc<VersionedEngine>, Server) {
+    let g = twgraph::gen::banded_path(n, 2);
+    let inst = twgraph::gen::with_random_weights(&g, 10, 3);
+    let labeling = DynamicLabeling::build(&inst, 3, 1).expect("labeling build");
+    let serve_cfg = ServeConfig {
+        shard_size: (n / 8).max(1),
+        cache_capacity: 64,
+    };
+    let engine =
+        Arc::new(VersionedEngine::from_labeling(&labeling, serve_cfg).expect("engine build"));
+    let server = Server::spawn(Arc::clone(&engine), ("127.0.0.1", 0), cfg).expect("server spawn");
+    (labeling, engine, server)
+}
+
+#[test]
+fn wire_answers_match_in_process_engine() {
+    let (_labeling, engine, server) = served(200, ServdConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let queries = seeded_queries(
+        200,
+        &WorkloadSpec {
+            queries: 2_000,
+            hot_pairs: 32,
+            hot_fraction: 0.7,
+        },
+        7,
+    );
+    // Singles.
+    for &(s, t) in queries.iter().take(500) {
+        assert_eq!(
+            client.distance(s, t).unwrap(),
+            engine.distance(s, t).unwrap(),
+            "wire({s}, {t}) diverged"
+        );
+    }
+    // One batch covering the whole stream.
+    assert_eq!(
+        client.batch(&queries).unwrap(),
+        engine.batch(&queries).unwrap(),
+        "batched wire answers diverged"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.queries, 500 + queries.len() as u64);
+    assert_eq!(
+        stats.malformed + stats.overloads + stats.rejected_batches,
+        0
+    );
+}
+
+#[test]
+fn unknown_nodes_are_typed_over_the_wire() {
+    let (_labeling, _engine, server) = served(60, ServdConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // s-side, t-side, and batch rejections all travel as UNKNOWN_NODE.
+    for (s, t, bad) in [(60, 0, 60), (0, 60, 60), (u32::MAX, 0, u32::MAX)] {
+        match client.distance(s, t) {
+            Err(ClientError::Server(WireError::UnknownNode { node, n })) => {
+                assert_eq!((node, n), (bad, 60));
+            }
+            other => panic!("expected UnknownNode, got {other:?}"),
+        }
+    }
+    match client.batch(&[(0, 1), (1, 77)]) {
+        Err(ClientError::Server(WireError::UnknownNode { node, n })) => {
+            assert_eq!((node, n), (77, 60));
+        }
+        other => panic!("expected UnknownNode, got {other:?}"),
+    }
+    // The connection survives typed rejections.
+    assert!(client.distance(0, 59).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn connections_pin_their_epoch_until_repin() {
+    let (mut labeling, engine, server) = served(120, ServdConfig::default());
+    let mut pinned = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(pinned.epoch().unwrap(), 0);
+    let d_before = pinned.distance(0, 119).unwrap();
+
+    // Publish epoch 1 (delete an edge on the 0–119 route).
+    let rep = labeling.apply(&EdgeBatch::new().delete(0, 1)).unwrap();
+    engine.publish_from(&labeling, &rep.dirty).unwrap();
+    assert_eq!(engine.epoch(), 1);
+
+    // The pinned connection still answers epoch 0 — version stability
+    // across a whole conversation.
+    assert_eq!(pinned.epoch().unwrap(), 0);
+    assert_eq!(pinned.distance(0, 119).unwrap(), d_before);
+
+    // A fresh connection pins the current epoch; repin catches up the old.
+    let mut fresh = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(fresh.epoch().unwrap(), 1);
+    assert_eq!(fresh.distance(0, 119).unwrap(), labeling.distance(0, 119));
+    assert_eq!(pinned.repin().unwrap(), 1);
+    assert_eq!(
+        pinned.distance(0, 119).unwrap(),
+        labeling.distance(0, 119),
+        "repinned connection must answer the new epoch"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn overload_pushes_back_with_typed_errors_and_recovers() {
+    // One-slot queue + a stalled worker: pipelined requests must draw
+    // OVERLOADED answers (admission control), and the connection must
+    // keep serving normally afterwards.
+    let cfg = ServdConfig {
+        queue_depth: 1,
+        worker_delay_us: 20_000,
+        ..ServdConfig::default()
+    };
+    let (_labeling, engine, server) = served(60, cfg);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut ids = Vec::new();
+    for _ in 0..16 {
+        ids.push(client.send(&Request::Query { s: 0, t: 59 }).unwrap());
+    }
+    let mut served_ok = 0u64;
+    let mut overloaded = 0u64;
+    for _ in 0..16 {
+        let (id, resp) = client.recv().unwrap();
+        assert!(ids.contains(&id), "response for an unknown request id");
+        match resp {
+            Response::Dist(d) => {
+                assert_eq!(d, engine.distance(0, 59).unwrap());
+                served_ok += 1;
+            }
+            Response::Err(WireError::Overloaded { queue_depth }) => {
+                assert_eq!(queue_depth, 1);
+                overloaded += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(served_ok >= 1, "at least the first request must serve");
+    assert!(overloaded >= 1, "backpressure never engaged");
+    assert_eq!(served_ok + overloaded, 16);
+    // After the burst drains, the connection serves normally again.
+    assert_eq!(
+        client.distance(0, 1).unwrap(),
+        engine.distance(0, 1).unwrap()
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.overloads, overloaded);
+}
+
+#[test]
+fn oversized_batches_are_refused_not_served() {
+    let cfg = ServdConfig {
+        max_batch: 8,
+        ..ServdConfig::default()
+    };
+    let (_labeling, engine, server) = served(60, cfg);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let big: Vec<(u32, u32)> = (0..9).map(|i| (i, i + 1)).collect();
+    match client.batch(&big) {
+        Err(ClientError::Server(WireError::BatchTooLarge { len, max })) => {
+            assert_eq!((len, max), (9, 8));
+        }
+        other => panic!("expected BatchTooLarge, got {other:?}"),
+    }
+    // At the cap is admitted.
+    let ok: Vec<(u32, u32)> = (0..8).map(|i| (i, i + 1)).collect();
+    assert_eq!(client.batch(&ok).unwrap(), engine.batch(&ok).unwrap());
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_batches, 1);
+    assert_eq!(stats.queries, 8, "refused batch must not execute");
+}
+
+#[test]
+fn malformed_payloads_answer_typed_errors_on_a_live_connection() {
+    let (_labeling, _engine, server) = served(60, ServdConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // A well-framed payload with an unknown opcode: typed MALFORMED
+    // response, connection stays up.
+    let mut frame = Vec::new();
+    let payload = [42u8, 0x7f];
+    put_varint(&mut frame, payload.len() as u64);
+    frame.extend_from_slice(&payload);
+    client.send_raw(&frame).unwrap();
+    match client.recv().unwrap() {
+        (42, Response::Err(WireError::Malformed { .. })) => {}
+        other => panic!("expected malformed answer for id 42, got {other:?}"),
+    }
+    assert!(client.distance(0, 1).is_ok(), "connection must survive");
+
+    // A frame announcing a payload beyond the cap: MALFORMED (id 0) and
+    // the server hangs up — framing cannot be resynchronized.
+    let mut huge = Vec::new();
+    put_varint(&mut huge, 1u64 << 30);
+    client.send_raw(&huge).unwrap();
+    match client.recv().unwrap() {
+        (0, Response::Err(WireError::Malformed { .. })) => {}
+        other => panic!("expected framing-violation answer, got {other:?}"),
+    }
+    assert!(
+        matches!(client.recv(), Err(ClientError::Io(_))),
+        "server must close after a framing violation"
+    );
+
+    // The server itself keeps serving new connections.
+    let mut fresh = Client::connect(server.local_addr()).unwrap();
+    assert!(fresh.distance(0, 1).is_ok());
+    let stats = server.shutdown();
+    assert_eq!(stats.malformed, 2);
+}
+
+#[test]
+fn shutdown_drains_admitted_requests() {
+    // Stall the worker, pipeline a queue's worth of requests, then shut
+    // down: every admitted request must still be answered before the
+    // socket closes.
+    let cfg = ServdConfig {
+        queue_depth: 8,
+        worker_delay_us: 10_000,
+        ..ServdConfig::default()
+    };
+    let (_labeling, engine, server) = served(60, cfg);
+    let want = engine.distance(0, 59).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut sent = Vec::new();
+    for _ in 0..8 {
+        sent.push(client.send(&Request::Query { s: 0, t: 59 }).unwrap());
+    }
+    // Give the reader a moment to admit the burst, then drain.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let stats_thread = std::thread::spawn(move || server.shutdown());
+    let mut answered = 0;
+    loop {
+        match client.recv() {
+            Ok((id, Response::Dist(d))) => {
+                assert!(sent.contains(&id));
+                assert_eq!(d, want);
+                answered += 1;
+            }
+            Ok((_, Response::Err(WireError::Overloaded { .. }))) => {}
+            Ok(other) => panic!("unexpected response {other:?}"),
+            Err(_) => break, // socket closed after the drain
+        }
+    }
+    let stats = stats_thread.join().unwrap();
+    assert!(answered >= 1, "drain answered nothing");
+    assert_eq!(
+        answered + stats.overloads,
+        8,
+        "every admitted request must be answered on drain"
+    );
+}
+
+#[test]
+fn concurrent_connections_serve_identical_answers() {
+    let (_labeling, engine, server) = served(200, ServdConfig::default());
+    let addr = server.local_addr();
+    let engine = Arc::clone(&engine);
+    let handles: Vec<_> = (0..8)
+        .map(|ti| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let queries = seeded_queries(
+                    200,
+                    &WorkloadSpec {
+                        queries: 500,
+                        hot_pairs: 16,
+                        hot_fraction: 0.75,
+                    },
+                    0xC0FFEE ^ ti as u64,
+                );
+                for &(s, t) in &queries {
+                    assert_eq!(
+                        client.distance(s, t).unwrap(),
+                        engine.distance(s, t).unwrap(),
+                        "thread {ti}: wire({s}, {t}) diverged"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.connections, 8);
+    assert_eq!(stats.queries, 8 * 500);
+    assert_eq!(stats.malformed + stats.overloads, 0);
+}

@@ -1,0 +1,116 @@
+//! The wire-vs-in-process differential suite: every answer `servd` hands
+//! back over a loopback socket must be bit-identical to the in-process
+//! `labelserve` engine on the same store, across every cell of the
+//! scenario corpus. `serve_differential` pins compaction/sharding/caching
+//! against the Dijkstra oracle; this suite pins the *wire* — framing,
+//! request decode, response encode, per-connection epoch pinning — so a
+//! failure here localizes to `servd` rather than the serving layer.
+
+use lowtw::labelserve::{self, StoreBuilder, VersionedEngine};
+use lowtw::prelude::*;
+use scenarios::{corpus, runner, split_components, Scenario};
+use std::sync::Arc;
+
+/// Compact one scenario into a versioned engine the way the harness does
+/// (per-component centralized labeling), with shards small enough to
+/// cross shard boundaries on every workload.
+fn versioned_for(sc: &Scenario) -> Arc<VersionedEngine> {
+    let g = sc.graph();
+    let inst = sc.instance();
+    let parts = split_components(&g, &inst);
+    let mut builder = StoreBuilder::new(g.n());
+    for (ci, part) in parts.iter().enumerate() {
+        if part.graph.n() == 1 {
+            builder.add_singleton(part.old_of[0]).unwrap();
+            continue;
+        }
+        let out = runner::decompose_part(part, sc.t0, sc.seed, ci)
+            .unwrap_or_else(|e| panic!("{}: decomposition failed: {e}", sc.name));
+        let labels = distlabel::build_labels_centralized(&part.inst, &out.td, &out.info);
+        builder.add_component(&labels, &part.old_of).unwrap();
+    }
+    let cfg = ServeConfig {
+        shard_size: (g.n() / 5).max(1),
+        cache_capacity: 64,
+    };
+    let store = builder.build(cfg.shard_size).unwrap();
+    Arc::new(VersionedEngine::new(store, cfg))
+}
+
+#[test]
+fn wire_answers_match_in_process_on_every_corpus_cell() {
+    for sc in corpus() {
+        let engine = versioned_for(&sc);
+        let server = Server::spawn(
+            Arc::clone(&engine),
+            ("127.0.0.1", 0),
+            ServdConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: server spawn failed: {e}", sc.name));
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let n = engine.snapshot().engine().store().n();
+        let queries = labelserve::seeded_queries(
+            n,
+            &labelserve::WorkloadSpec {
+                queries: 1_000,
+                hot_pairs: 16,
+                hot_fraction: 0.8,
+            },
+            sc.seed,
+        );
+        // Single-query opcode over a prefix, batch opcode over the whole
+        // stream — both must agree bit-for-bit with the local engine.
+        for &(s, t) in queries.iter().take(100) {
+            assert_eq!(
+                client.distance(s, t).unwrap(),
+                engine.distance(s, t).unwrap(),
+                "{}: wire({s}, {t}) diverged",
+                sc.name
+            );
+        }
+        assert_eq!(
+            client.batch(&queries).unwrap(),
+            engine.batch(&queries).unwrap(),
+            "{}: batched wire answers diverged",
+            sc.name
+        );
+        assert_eq!(client.epoch().unwrap(), 0, "{}", sc.name);
+        let stats = server.shutdown();
+        assert_eq!(
+            (stats.malformed, stats.overloads, stats.rejected_batches),
+            (0, 0, 0),
+            "{}: protocol errors on a clean workload",
+            sc.name
+        );
+        assert_eq!(stats.queries, 100 + queries.len() as u64, "{}", sc.name);
+    }
+}
+
+#[test]
+fn serve_net_facade_round_trips_against_the_oracle() {
+    let n = 300;
+    let g = twgraph::gen::partial_ktree(n, 2, 0.7, 11);
+    let inst = twgraph::gen::with_random_weights(&g, 30, 11);
+    let session = Session::decompose(&g, 3, 11).unwrap();
+    let server = session
+        .serve_net(
+            &inst,
+            ServeConfig {
+                shard_size: 64,
+                cache_capacity: 128,
+            },
+            ("127.0.0.1", 0),
+            ServdConfig::default(),
+        )
+        .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    for u in [0u32, 37, 150, 299] {
+        let oracle = baselines::sssp_oracle(&inst, u);
+        let row: Vec<(u32, u32)> = (0..n as u32).map(|v| (u, v)).collect();
+        assert_eq!(client.batch(&row).unwrap(), oracle, "source {u}");
+    }
+    // Out-of-range ids travel back as typed wire errors, not hangups.
+    assert!(client.distance(n as u32, 0).is_err());
+    assert_eq!(client.distance(0, 0).unwrap(), 0);
+    server.shutdown();
+}
