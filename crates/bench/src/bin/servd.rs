@@ -10,6 +10,8 @@
 //! ```sh
 //! cargo run --release -p lowtw-bench --bin servd                # n = 100_000
 //! cargo run --release -p lowtw-bench --bin servd -- 20000 2     # smaller / wider
+//! cargo run --release -p lowtw-bench --bin servd -- --packed   # serve the
+//! #   compressed (delta-coded bit-packed block) store layout over the wire
 //! cargo run --release -p lowtw-bench --bin servd -- --smoke     # CI smoke: small
 //! #   instance, 10k mixed queries, every wire answer checked against the
 //! #   in-process engine, zero protocol errors required; no JSON written.
@@ -19,7 +21,9 @@
 //! (default 0.5), `seed` (default 1) — the `serve` bench family, so the
 //! in-process and over-the-wire numbers line up.
 
-use labelserve::{seeded_queries, ServeConfig, StoreBuilder, VersionedEngine, WorkloadSpec};
+use labelserve::{
+    seeded_queries, ServeConfig, StoreBuilder, StoreLayout, VersionedEngine, WorkloadSpec,
+};
 use lowtw::servd::{Client, Request, Response, ServdConfig, Server};
 use lowtw::{distlabel, treedec, twgraph};
 use lowtw_bench::{fmt, rate_per_sec};
@@ -32,7 +36,13 @@ use std::time::{Duration, Instant};
 const BATCH_EVERY: usize = 64;
 const BATCH_LEN: usize = 32;
 
-fn build_engine(n: usize, k: usize, keep: f64, seed: u64) -> (Arc<VersionedEngine>, usize, usize) {
+fn build_engine(
+    n: usize,
+    k: usize,
+    keep: f64,
+    seed: u64,
+    layout: StoreLayout,
+) -> (Arc<VersionedEngine>, usize, usize) {
     eprintln!("generating partial {k}-tree, n = {n}, keep = {keep}, seed = {seed} ...");
     let g = twgraph::gen::partial_ktree(n, k, keep, seed);
     let inst = twgraph::gen::with_random_weights(&g, 30, seed);
@@ -44,14 +54,14 @@ fn build_engine(n: usize, k: usize, keep: f64, seed: u64) -> (Arc<VersionedEngin
     let out = treedec::decompose_centralized(&g, k as u64 + 1, &cfg, &mut rng)
         .expect("decomposition failed");
     let labels = distlabel::build_labels_centralized(&inst, &out.td, &out.info);
-    let serve_cfg = ServeConfig::default();
+    let serve_cfg = ServeConfig::default().with_layout(layout);
     let ids: Vec<u32> = (0..n as u32).collect();
     let mut builder = StoreBuilder::new(n);
     builder
         .add_component(&labels, &ids)
         .expect("store compaction failed");
     let store = builder
-        .build(serve_cfg.shard_size)
+        .build_layout(serve_cfg.shard_size, layout)
         .expect("store build failed");
     eprintln!(
         "built: width = {}, {} label entries, {} shards ({:.1?})",
@@ -140,8 +150,8 @@ fn differential(addr: std::net::SocketAddr, engine: &VersionedEngine, pairs: &[(
     (pairs.len() + pairs.len() / 4) as u64
 }
 
-fn smoke() {
-    let (engine, _m, _width) = build_engine(2_000, 1, 0.5, 1);
+fn smoke(layout: StoreLayout) {
+    let (engine, _m, _width) = build_engine(2_000, 1, 0.5, 1, layout);
     let server = Server::spawn(
         Arc::clone(&engine),
         ("127.0.0.1", 0),
@@ -187,8 +197,13 @@ fn smoke() {
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    let layout = if raw.iter().any(|a| a == "--packed") {
+        StoreLayout::Packed
+    } else {
+        StoreLayout::Flat
+    };
     if raw.iter().any(|a| a == "--smoke") {
-        smoke();
+        smoke(layout);
         return;
     }
     let args: Vec<&String> = raw.iter().filter(|a| !a.starts_with("--")).collect();
@@ -205,7 +220,7 @@ fn main() {
     let per_conn_rate = 10_000u64; // scheduled req/s per connection
     let per_conn_requests = 40_000usize;
 
-    let (engine, m, width) = build_engine(n, k, keep, seed);
+    let (engine, m, width) = build_engine(n, k, keep, seed, layout);
     let server = Server::spawn(
         Arc::clone(&engine),
         ("127.0.0.1", 0),

@@ -1,33 +1,155 @@
 //! The `serve` bench: build-once / query-many on a large partial k-tree —
 //! centralized decomposition + label construction, compaction into the
-//! sharded `labelserve` store, then a seeded skewed workload replayed
-//! three ways (single queries, one rayon batch, batch with the cache off)
-//! with throughput and cache behavior reported. Writes `BENCH_serve.json`.
+//! sharded `labelserve` store in **both physical layouts** (flat SoA and
+//! packed delta-coded bit-packed blocks), then a seeded skewed workload is
+//! replayed over each (single, one rayon batch, batch with the cache off)
+//! with throughput, bytes/node, and the packed-vs-flat ratios reported.
+//! Both layouts also round-trip through the `LWLSTOR1` shard file
+//! (`write_to` → `open_mmap`) with a sampled differential, so the bench
+//! doubles as an end-to-end persistence check. Writes `BENCH_serve.json`.
 //!
 //! ```sh
-//! cargo run --release -p lowtw-bench --bin serve               # n = 100_000
-//! cargo run --release -p lowtw-bench --bin serve -- 20000 2    # smaller / wider
+//! cargo run --release -p lowtw-bench --bin serve                  # n = 1_000_000
+//! cargo run --release -p lowtw-bench --bin serve -- 20000 2       # smaller / wider
+//! cargo run --release -p lowtw-bench --bin serve -- 1000000 1 0.5 1 --smoke
 //! ```
 //!
-//! Positional arguments: `n` (default 100_000), `k` (default 1), `keep`
+//! Positional arguments: `n` (default 1_000_000), `k` (default 1), `keep`
 //! (default 0.5), `seed` (default 1) — the same family and defaults as the
-//! `engine` bench, so the build-side numbers line up.
+//! `engine` bench, so the build-side numbers line up. `--smoke` replays a
+//! 20x smaller workload and skips the JSON write — the CI-sized variant
+//! that still builds, packs, persists, and queries at full n.
 
-use labelserve::{seeded_queries, QueryEngine, ServeConfig, StoreBuilder, WorkloadSpec};
+use labelserve::{
+    seeded_queries, LabelStore, QueryEngine, ServeConfig, StoreBuilder, StoreLayout, WorkloadSpec,
+};
 use lowtw::{distlabel, treedec, twgraph};
 use lowtw_bench::{fmt, rate_per_sec};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// One layout's replay numbers: the same workload three ways.
+struct Replay {
+    single: Duration,
+    single_qps: u64,
+    single_hit_rate: f64,
+    batch: Duration,
+    batch_qps: u64,
+    nocache: Duration,
+    nocache_qps: u64,
+    answers: Vec<u64>,
+}
+
+fn replay(tag: &str, store: LabelStore, cfg: ServeConfig, queries: &[(u32, u32)]) -> Replay {
+    let engine = QueryEngine::new(store, cfg);
+    let t = Instant::now();
+    for &(s, tgt) in queries {
+        engine.distance(s, tgt).expect("single query failed");
+    }
+    let single = t.elapsed();
+    let single_stats = engine.stats();
+    let single_qps = rate_per_sec(queries.len() as u64, single);
+    eprintln!(
+        "{tag}/single:  {} q in {:.1?} = {} q/s (hit rate {:.1}%)",
+        fmt(queries.len() as u64),
+        single,
+        fmt(single_qps),
+        single_stats.hit_rate() * 100.0
+    );
+
+    engine.reset();
+    let t = Instant::now();
+    let answers = engine.batch(queries).expect("batch failed");
+    let batch = t.elapsed();
+    let batch_qps = rate_per_sec(queries.len() as u64, batch);
+    eprintln!(
+        "{tag}/batched: {} q in {:.1?} = {} q/s (hit rate {:.1}%)",
+        fmt(queries.len() as u64),
+        batch,
+        fmt(batch_qps),
+        engine.stats().hit_rate() * 100.0
+    );
+
+    // Cache off: the same store rewrapped without hot-pair reuse — the
+    // honest decode-throughput number the layouts are compared on.
+    let nocache_engine = QueryEngine::new(engine.into_store(), cfg.without_cache());
+    let t = Instant::now();
+    let raw = nocache_engine
+        .batch(queries)
+        .expect("uncached batch failed");
+    let nocache = t.elapsed();
+    let nocache_qps = rate_per_sec(queries.len() as u64, nocache);
+    assert_eq!(answers, raw, "{tag}: cache on/off answers diverged");
+    eprintln!(
+        "{tag}/nocache: {} q in {:.1?} = {} q/s",
+        fmt(queries.len() as u64),
+        nocache,
+        fmt(nocache_qps)
+    );
+
+    Replay {
+        single,
+        single_qps,
+        single_hit_rate: single_stats.hit_rate(),
+        batch,
+        batch_qps,
+        nocache,
+        nocache_qps,
+        answers,
+    }
+}
+
+/// write_to → open_mmap → sampled differential against the live store;
+/// returns (file bytes, write wall, open wall).
+fn file_round_trip(
+    tag: &str,
+    store: &LabelStore,
+    queries: &[(u32, u32)],
+) -> (u64, Duration, Duration) {
+    let path = std::env::temp_dir().join(format!(
+        "lowtw_bench_serve_{}_{tag}.lbl",
+        std::process::id()
+    ));
+    let t = Instant::now();
+    store.write_to(&path).expect("store write failed");
+    let wall_write = t.elapsed();
+    let file_bytes = std::fs::metadata(&path).expect("stat failed").len();
+    let t = Instant::now();
+    let opened = LabelStore::open_mmap(&path).expect("store open failed");
+    let wall_open = t.elapsed();
+    assert_eq!(opened.layout(), store.layout());
+    assert_eq!(opened.entries(), store.entries());
+    let step = (queries.len() / 10_000).max(1);
+    for q in queries.iter().step_by(step) {
+        assert_eq!(
+            opened.distance(q.0, q.1).unwrap(),
+            store.distance(q.0, q.1).unwrap(),
+            "{tag}: reopened store diverged at ({}, {})",
+            q.0,
+            q.1
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    eprintln!(
+        "{tag}/file:    {} bytes, write {:.1?}, mmap open {:.1?}",
+        fmt(file_bytes),
+        wall_write,
+        wall_open
+    );
+    (file_bytes, wall_write, wall_open)
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    args.retain(|a| a != "--smoke");
     let arg = |i: usize, default: f64| -> f64 {
         args.get(i)
             .map(|s| s.parse().expect("numeric argument"))
             .unwrap_or(default)
     };
-    let n = arg(0, 100_000.0) as usize;
+    let n = arg(0, 1_000_000.0) as usize;
     let k = arg(1, 1.0) as usize;
     let keep = arg(2, 0.5);
     let seed = arg(3, 1.0) as u64;
@@ -60,97 +182,116 @@ fn main() {
         wall_label
     );
 
-    // Compaction: per-node Vec labels → flat sharded CSR arenas.
+    // Compaction: one accumulation, both physical layouts.
     let serve_cfg = ServeConfig::default();
-    let t = Instant::now();
     let ids: Vec<u32> = (0..n as u32).collect();
     let mut builder = StoreBuilder::new(n);
     builder
         .add_component(&labels, &ids)
         .expect("store compaction failed");
-    let store = builder
-        .build(serve_cfg.shard_size)
-        .expect("store build failed");
-    let wall_store = t.elapsed();
-    let store_bytes = store.bytes();
-    let bytes_per_node = store_bytes as f64 / n as f64;
-    eprintln!(
-        "store: {} entries, {} shards, {} bytes ({:.1} bytes/node) ({:.1?})",
-        fmt(store.entries() as u64),
-        store.shard_count(),
-        fmt(store_bytes as u64),
-        bytes_per_node,
-        wall_store
-    );
-    let engine = QueryEngine::new(store, serve_cfg);
+    drop(labels);
 
-    // The workload: one seeded skewed stream, replayed three ways.
+    let t = Instant::now();
+    let flat = builder
+        .build_layout(serve_cfg.shard_size, StoreLayout::Flat)
+        .expect("flat store build failed");
+    let wall_store_flat = t.elapsed();
+    let t = Instant::now();
+    let packed = builder
+        .build_layout(serve_cfg.shard_size, StoreLayout::Packed)
+        .expect("packed store build failed");
+    let wall_store_packed = t.elapsed();
+    drop(builder);
+
+    let flat_bytes = flat.bytes();
+    let packed_bytes = packed.bytes();
+    let bytes_per_node_flat = flat_bytes as f64 / n as f64;
+    let bytes_per_node_packed = packed_bytes as f64 / n as f64;
+    let compression = flat_bytes as f64 / packed_bytes as f64;
+    eprintln!(
+        "flat store:   {} entries, {} shards, {} bytes ({:.1} bytes/node) ({:.1?})",
+        fmt(flat.entries() as u64),
+        flat.shard_count(),
+        fmt(flat_bytes as u64),
+        bytes_per_node_flat,
+        wall_store_flat
+    );
+    eprintln!(
+        "packed store: {} entries, {} shards, {} bytes ({:.2} bytes/node, {compression:.2}x smaller) ({:.1?})",
+        fmt(packed.entries() as u64),
+        packed.shard_count(),
+        fmt(packed_bytes as u64),
+        bytes_per_node_packed,
+        wall_store_packed
+    );
+
+    // The workload: one seeded skewed stream, replayed per layout.
     let spec = WorkloadSpec {
-        queries: 1_000_000,
+        queries: if smoke { 50_000 } else { 1_000_000 },
         hot_pairs: 4096,
         hot_fraction: 0.75,
     };
     let queries = seeded_queries(n, &spec, seed);
 
-    // Spot-check correctness against centralized Dijkstra before timing.
+    // Spot-check both layouts against centralized Dijkstra before timing.
     for &(s, _) in queries.iter().step_by(queries.len() / 4) {
         let truth = twgraph::alg::dijkstra(&inst, s);
-        for &(qs, qt) in queries.iter().take(64) {
-            if qs == s {
-                assert_eq!(engine.distance(qs, qt).unwrap(), truth.dist[qt as usize]);
-            }
+        let probe = (s + 1) % n as u32;
+        for store in [&flat, &packed] {
+            assert_eq!(
+                store.distance(s, probe).unwrap(),
+                truth.dist[probe as usize],
+                "serve diverged from Dijkstra at source {s}"
+            );
         }
-        assert_eq!(
-            engine.distance(s, (s + 1) % n as u32).unwrap(),
-            truth.dist[((s + 1) % n as u32) as usize],
-            "serve diverged from Dijkstra at source {s}"
-        );
     }
-    engine.reset();
 
-    let t = Instant::now();
-    for &(s, tgt) in &queries {
-        engine.distance(s, tgt).expect("single query failed");
+    let entries = flat.entries();
+    let shards = flat.shard_count();
+    // Persistence round-trip while the stores are still owned here — the
+    // replays consume them into engines.
+    let flat_file = file_round_trip("flat  ", &flat, &queries);
+    let packed_file = file_round_trip("packed", &packed, &queries);
+
+    let flat_run = replay("flat  ", flat, serve_cfg, &queries);
+    let packed_cfg = serve_cfg.with_layout(StoreLayout::Packed);
+    let packed_run = replay("packed", packed, packed_cfg, &queries);
+    assert_eq!(
+        flat_run.answers, packed_run.answers,
+        "flat and packed replays diverged"
+    );
+    let single_ratio = packed_run.single_qps as f64 / flat_run.single_qps.max(1) as f64;
+    eprintln!(
+        "packed/flat: single {single_ratio:.2}x, batched {:.2}x, nocache {:.2}x",
+        packed_run.batch_qps as f64 / flat_run.batch_qps.max(1) as f64,
+        packed_run.nocache_qps as f64 / flat_run.nocache_qps.max(1) as f64
+    );
+
+    if smoke {
+        eprintln!("smoke mode: skipping BENCH_serve.json");
+        return;
     }
-    let wall_single = t.elapsed();
-    let single_stats = engine.stats();
-    let single_qps = rate_per_sec(queries.len() as u64, wall_single);
-    eprintln!(
-        "single:  {} q in {:.1?} = {} q/s (hit rate {:.1}%)",
-        fmt(queries.len() as u64),
-        wall_single,
-        fmt(single_qps),
-        single_stats.hit_rate() * 100.0
-    );
 
-    engine.reset();
-    let t = Instant::now();
-    let answers = engine.batch(&queries).expect("batch failed");
-    let wall_batch = t.elapsed();
-    let batch_stats = engine.stats();
-    let batch_qps = rate_per_sec(queries.len() as u64, wall_batch);
-    eprintln!(
-        "batched: {} q in {:.1?} = {} q/s (hit rate {:.1}%)",
-        fmt(queries.len() as u64),
-        wall_batch,
-        fmt(batch_qps),
-        batch_stats.hit_rate() * 100.0
-    );
-
-    // Cache off: the same store rewrapped without hot-pair reuse.
-    let nocache = QueryEngine::new(engine.into_store(), serve_cfg.without_cache());
-    let t = Instant::now();
-    let raw = nocache.batch(&queries).expect("uncached batch failed");
-    let wall_nocache = t.elapsed();
-    let nocache_qps = rate_per_sec(queries.len() as u64, wall_nocache);
-    assert_eq!(answers, raw, "cache on/off answers diverged");
-    eprintln!(
-        "nocache: {} q in {:.1?} = {} q/s",
-        fmt(queries.len() as u64),
-        wall_nocache,
-        fmt(nocache_qps)
-    );
-
+    let layout_doc =
+        |bytes: usize, wall_store: Duration, run: &Replay, file: (u64, Duration, Duration)| {
+            serde_json::json!({
+                "store_bytes": bytes,
+                "bytes_per_node": bytes as f64 / n as f64,
+                "store_build_us": wall_store.as_micros() as u64,
+                "single_qps": run.single_qps,
+                "batched_qps": run.batch_qps,
+                "batched_nocache_qps": run.nocache_qps,
+                "single_hit_rate": run.single_hit_rate,
+                "wall_us": serde_json::json!({
+                    "single": run.single.as_micros() as u64,
+                    "batched": run.batch.as_micros() as u64,
+                    "batched_nocache": run.nocache.as_micros() as u64,
+                }),
+                "file_bytes": file.0,
+                "file_write_us": file.1.as_micros() as u64,
+                "file_open_us": file.2.as_micros() as u64,
+            })
+        };
     let doc = serde_json::json!({
         "bench": "serve",
         "family": "partial_ktree",
@@ -162,27 +303,21 @@ fn main() {
         "width": out.td.width(),
         "depth": out.td.stats().depth,
         "label_words": label_words,
-        "store_entries": nocache.store().entries(),
-        "store_shards": nocache.store().shard_count(),
-        "store_bytes": store_bytes,
-        "bytes_per_node": bytes_per_node,
+        "store_entries": entries,
+        "store_shards": shards,
         "wall_us": serde_json::json!({
             "decompose": wall_decompose.as_micros() as u64,
             "label_build": wall_label.as_micros() as u64,
-            "store_build": wall_store.as_micros() as u64,
-            "single": wall_single.as_micros() as u64,
-            "batched": wall_batch.as_micros() as u64,
-            "batched_nocache": wall_nocache.as_micros() as u64,
         }),
         "workload": serde_json::json!({
             "queries": spec.queries,
             "hot_pairs": spec.hot_pairs,
             "hot_fraction": spec.hot_fraction,
         }),
-        "single_qps": single_qps,
-        "batched_qps": batch_qps,
-        "batched_nocache_qps": nocache_qps,
-        "cache_hit_rate": batch_stats.hit_rate(),
+        "flat": layout_doc(flat_bytes, wall_store_flat, &flat_run, flat_file),
+        "packed": layout_doc(packed_bytes, wall_store_packed, &packed_run, packed_file),
+        "compression_ratio": compression,
+        "packed_single_qps_ratio": single_ratio,
     });
     std::fs::write(
         "BENCH_serve.json",

@@ -55,19 +55,37 @@ pub use twgraph;
 pub use congest_sim::{CongestError, Metrics, Network, NetworkConfig};
 pub use distlabel::label::{decode, decode_pair, Label};
 pub use distlabel::{DynamicLabeling, UpdateReport};
-pub use labelserve::{PublishStats, QueryEngine, ServeConfig, ServeError, VersionedEngine};
+pub use labelserve::{
+    PublishStats, QueryEngine, ServeConfig, ServeError, StoreFileError, StoreLayout,
+    VersionedEngine,
+};
 pub use servd::{Client, ServdConfig, Server};
 pub use treedec::{DecompError, SepConfig};
 pub use twgraph::{Dist, EdgeBatch, MultiDigraph, UGraph, INF};
 
 /// Everything most callers need.
 pub mod prelude {
-    pub use crate::{DynamicSession, NetServeError, Session, UpdateError};
+    pub use crate::{serve_from_file, DynamicSession, NetServeError, Session, UpdateError};
     pub use congest_sim::{Network, NetworkConfig};
     pub use distlabel::label::{decode, decode_pair, Label};
-    pub use labelserve::{QueryEngine, ServeConfig, VersionedEngine};
+    pub use labelserve::{QueryEngine, ServeConfig, StoreLayout, VersionedEngine};
     pub use servd::{Client, ServdConfig, Server};
     pub use twgraph::{Dist, EdgeBatch, MultiDigraph, UGraph, INF};
+}
+
+/// Serve a persisted `LWLSTOR1` store file (written by
+/// [`Session::serve_to_file`] or `LabelStore::write_to`) without a
+/// session: the file is mapped (packed segments serve zero-copy),
+/// validated, and wrapped in a cached [`QueryEngine`]. `cfg.layout` is
+/// ignored — the file header records the layout it was built with.
+pub fn serve_from_file(
+    path: impl AsRef<std::path::Path>,
+    cfg: ServeConfig,
+) -> Result<QueryEngine, StoreFileError> {
+    Ok(QueryEngine::new(
+        labelserve::LabelStore::open_mmap(path)?,
+        cfg,
+    ))
 }
 
 use rand::rngs::SmallRng;
@@ -168,11 +186,50 @@ impl Session {
     /// assert_eq!(d, twgraph::alg::dijkstra(&inst, 0).dist[79]);
     /// ```
     pub fn serve(&self, inst: &MultiDigraph, cfg: ServeConfig) -> Result<QueryEngine, ServeError> {
+        Ok(QueryEngine::new(self.build_store(inst, &cfg)?, cfg))
+    }
+
+    /// Compact `inst`'s labels into a store in `cfg.layout` (shared by
+    /// the in-process, persisted, and socketed serve fronts).
+    fn build_store(
+        &self,
+        inst: &MultiDigraph,
+        cfg: &ServeConfig,
+    ) -> Result<labelserve::LabelStore, ServeError> {
         let labels = self.labels(inst);
         let ids: Vec<u32> = (0..self.graph.n() as u32).collect();
         let mut builder = labelserve::StoreBuilder::new(self.graph.n());
         builder.add_component(&labels, &ids)?;
-        Ok(QueryEngine::new(builder.build(cfg.shard_size)?, cfg))
+        builder.build_layout(cfg.shard_size, cfg.layout)
+    }
+
+    /// Build-once / serve-later: construct and compact the labels like
+    /// [`serve`](Session::serve), then persist the store as one
+    /// `LWLSTOR1` shard file at `path`. A fresh process (no session, no
+    /// decomposition) serves it back with [`serve_from_file`].
+    ///
+    /// ```
+    /// use lowtw::prelude::*;
+    ///
+    /// let g = twgraph::gen::partial_ktree(80, 2, 0.7, 5);
+    /// let inst = twgraph::gen::with_random_weights(&g, 20, 5);
+    /// let session = Session::decompose(&g, 3, 5).unwrap();
+    /// let cfg = ServeConfig::default().with_layout(StoreLayout::Packed);
+    /// let path = std::env::temp_dir().join(format!("doc_store_{}.lbl", std::process::id()));
+    /// session.serve_to_file(&inst, cfg, &path).unwrap();
+    ///
+    /// let engine = lowtw::serve_from_file(&path, cfg).unwrap();
+    /// let d = engine.distance(0, 79).unwrap();
+    /// assert_eq!(d, twgraph::alg::dijkstra(&inst, 0).dist[79]);
+    /// std::fs::remove_file(&path).ok();
+    /// ```
+    pub fn serve_to_file(
+        &self,
+        inst: &MultiDigraph,
+        cfg: ServeConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), StoreFileError> {
+        self.build_store(inst, &cfg)?.write_to(path)
     }
 
     /// [`serve`](Session::serve), but behind a socket: build the labels,
@@ -202,11 +259,7 @@ impl Session {
         addr: impl std::net::ToSocketAddrs,
         net_cfg: ServdConfig,
     ) -> Result<Server, NetServeError> {
-        let labels = self.labels(inst);
-        let ids: Vec<u32> = (0..self.graph.n() as u32).collect();
-        let mut builder = labelserve::StoreBuilder::new(self.graph.n());
-        builder.add_component(&labels, &ids)?;
-        let store = builder.build(cfg.shard_size)?;
+        let store = self.build_store(inst, &cfg)?;
         let engine = std::sync::Arc::new(VersionedEngine::new(store, cfg));
         Ok(Server::spawn(engine, addr, net_cfg)?)
     }
@@ -429,6 +482,7 @@ mod tests {
                 ServeConfig {
                     shard_size: 16,
                     cache_capacity: 32,
+                    ..ServeConfig::default()
                 },
             )
             .unwrap();
@@ -460,6 +514,7 @@ mod tests {
                 ServeConfig {
                     shard_size: 16,
                     cache_capacity: 32,
+                    ..ServeConfig::default()
                 },
             )
             .unwrap();

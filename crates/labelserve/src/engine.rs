@@ -12,7 +12,7 @@
 
 use crate::error::ServeError;
 use crate::lru::Lru;
-use crate::store::LabelStore;
+use crate::store::{LabelStore, StoreLayout};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -26,6 +26,10 @@ pub struct ServeConfig {
     pub shard_size: usize,
     /// Hot-pair LRU entries per shard; 0 disables caching outright.
     pub cache_capacity: usize,
+    /// Physical shard format compacted by builders that honor this config
+    /// ([`crate::versioned::VersionedEngine::from_labeling`] and the
+    /// session layer); [`StoreLayout::Flat`] is the historical default.
+    pub layout: StoreLayout,
 }
 
 impl Default for ServeConfig {
@@ -33,17 +37,23 @@ impl Default for ServeConfig {
         ServeConfig {
             shard_size: 4096,
             cache_capacity: 4096,
+            layout: StoreLayout::Flat,
         }
     }
 }
 
 impl ServeConfig {
-    /// A cache-less variant of `self` (identical sharding).
+    /// A cache-less variant of `self` (identical sharding and layout).
     pub fn without_cache(self) -> Self {
         ServeConfig {
             cache_capacity: 0,
             ..self
         }
+    }
+
+    /// A variant of `self` compacting into `layout`.
+    pub fn with_layout(self, layout: StoreLayout) -> Self {
+        ServeConfig { layout, ..self }
     }
 }
 
@@ -196,6 +206,8 @@ mod tests {
     use twgraph::INF;
 
     /// Path 0–1–2–3 with unit weights; every vertex holds all four hubs.
+    /// The store compacts into `cfg.layout`, so every test below runs
+    /// against whichever physical form it asks for.
     fn path_engine(cfg: ServeConfig) -> QueryEngine {
         let mut labels = Vec::new();
         for v in 0..4i64 {
@@ -207,32 +219,33 @@ mod tests {
         }
         let mut b = StoreBuilder::new(4);
         b.add_component(&labels, &[0, 1, 2, 3]).unwrap();
-        QueryEngine::new(b.build(cfg.shard_size).unwrap(), cfg)
+        QueryEngine::new(b.build_layout(cfg.shard_size, cfg.layout).unwrap(), cfg)
     }
 
     #[test]
     fn caching_changes_counters_not_answers() {
-        let cached = path_engine(ServeConfig {
-            shard_size: 2,
-            cache_capacity: 8,
-        });
-        let raw = path_engine(ServeConfig {
-            shard_size: 2,
-            cache_capacity: 8,
-        });
-        for (s, t) in [(0, 3), (3, 0), (0, 3), (2, 2), (0, 3)] {
-            assert_eq!(
-                cached.distance(s, t).unwrap(),
-                raw.store().distance(s, t).unwrap()
-            );
+        for layout in [StoreLayout::Flat, StoreLayout::Packed] {
+            let cfg = ServeConfig {
+                shard_size: 2,
+                cache_capacity: 8,
+                layout,
+            };
+            let cached = path_engine(cfg);
+            let raw = path_engine(cfg);
+            for (s, t) in [(0, 3), (3, 0), (0, 3), (2, 2), (0, 3)] {
+                assert_eq!(
+                    cached.distance(s, t).unwrap(),
+                    raw.store().distance(s, t).unwrap()
+                );
+            }
+            let st = cached.stats();
+            assert_eq!(st.hits, 2, "repeated (0,3) must hit");
+            assert_eq!(st.misses, 3);
+            assert!(st.entries >= 3);
+            assert!(st.hit_rate() > 0.39 && st.hit_rate() < 0.41);
+            cached.reset();
+            assert_eq!(cached.stats(), CacheStats::default());
         }
-        let st = cached.stats();
-        assert_eq!(st.hits, 2, "repeated (0,3) must hit");
-        assert_eq!(st.misses, 3);
-        assert!(st.entries >= 3);
-        assert!(st.hit_rate() > 0.39 && st.hit_rate() < 0.41);
-        cached.reset();
-        assert_eq!(cached.stats(), CacheStats::default());
     }
 
     #[test]
@@ -267,6 +280,7 @@ mod tests {
         let eng = path_engine(ServeConfig {
             shard_size: 2,
             cache_capacity: 8,
+            ..ServeConfig::default()
         });
         for (s, t, bad) in [
             (9, 0, 9),
@@ -304,6 +318,7 @@ mod tests {
         let eng = Arc::new(path_engine(ServeConfig {
             shard_size: 2,
             cache_capacity: 8,
+            ..ServeConfig::default()
         }));
         eng.distance(0, 3).unwrap(); // miss + insert
         let shard = eng.store().shard_of(0);
@@ -340,6 +355,7 @@ mod tests {
         let eng = path_engine(ServeConfig {
             shard_size: 1,
             cache_capacity: 4,
+            ..ServeConfig::default()
         });
         assert_eq!(eng.distance(2, 2).unwrap(), 0);
         assert_eq!(eng.distance(2, 2).unwrap(), 0);

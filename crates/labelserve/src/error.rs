@@ -46,6 +46,45 @@ pub enum ServeError {
         /// Vertices supplied (`old_of` length).
         nodes: usize,
     },
+    /// A component's `old_of` vertex map is not strictly ascending. The
+    /// monotone map is what keeps globalized hub lists sorted — the
+    /// invariant both the galloping merge-join and the packed layout's
+    /// delta coding decode against — so an unsorted map must be a typed
+    /// error in release builds too, never a silently wrong distance
+    /// (previously only a `debug_assert!`).
+    UnsortedComponentMap {
+        /// Position `i` in `old_of` where `old_of[i] >= old_of[i + 1]`.
+        index: usize,
+        /// `old_of[index]`.
+        prev: u32,
+        /// `old_of[index + 1]`.
+        next: u32,
+    },
+    /// A single shard exceeded the `u32` bound its CSR offsets (flat) or
+    /// segment headers (packed) are stored in. Previously the flat builder
+    /// truncated with `as u32`, silently corrupting every row after the
+    /// 2³²nd entry; now both layouts refuse with the coordinates.
+    ShardTooLarge {
+        /// The shard index that overflowed.
+        shard: usize,
+        /// Entries accumulated when the bound broke.
+        entries: usize,
+        /// Packed body bytes accumulated (entry count × 20 for flat).
+        bytes: usize,
+    },
+    /// A node's entry list was not strictly ascending by hub at packing
+    /// time — the delta coder would wrap and decode wrong distances.
+    UnsortedNodeEntries {
+        /// The offending global vertex id.
+        node: u32,
+    },
+    /// A packed segment failed structural validation (truncated sections,
+    /// inconsistent CSR counts, or a body stream that decodes wrong) —
+    /// raised when opening a persisted store file, never at query time.
+    CorruptSegment {
+        /// Which invariant broke.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -72,6 +111,30 @@ impl fmt::Display for ServeError {
                     "component registered {labels} labels for {nodes} vertices"
                 )
             }
+            ServeError::UnsortedComponentMap { index, prev, next } => {
+                write!(
+                    f,
+                    "component vertex map not strictly ascending at index {index}: \
+                     {prev} then {next}"
+                )
+            }
+            ServeError::ShardTooLarge {
+                shard,
+                entries,
+                bytes,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} exceeds the u32 segment bound \
+                     ({entries} entries, {bytes} data bytes)"
+                )
+            }
+            ServeError::UnsortedNodeEntries { node } => {
+                write!(f, "node {node} entry list not strictly ascending by hub")
+            }
+            ServeError::CorruptSegment { what } => {
+                write!(f, "corrupt packed segment: {what}")
+            }
         }
     }
 }
@@ -95,5 +158,25 @@ mod tests {
         assert!(ServeError::HubOutOfRange { hub: 8, comp_n: 5 }
             .to_string()
             .contains('8'));
+        let e = ServeError::UnsortedComponentMap {
+            index: 4,
+            prev: 9,
+            next: 7,
+        };
+        for needle in ['4', '9', '7'] {
+            assert!(e.to_string().contains(needle));
+        }
+        let e = ServeError::ShardTooLarge {
+            shard: 2,
+            entries: 5_000_000_000,
+            bytes: 1,
+        };
+        assert!(e.to_string().contains("5000000000"));
+        assert!(ServeError::UnsortedNodeEntries { node: 6 }
+            .to_string()
+            .contains('6'));
+        assert!(ServeError::CorruptSegment { what: "boom" }
+            .to_string()
+            .contains("boom"));
     }
 }

@@ -6,10 +6,16 @@
 //! them — the query-side subsystem of the workspace's north star.
 //!
 //! * [`store`] — [`StoreBuilder`] compacts per-node [`distlabel::Label`]s
-//!   (one heap `Vec` each) into a [`LabelStore`]: flat CSR hub/distance
-//!   arenas sharded by node-id range, hub ids globalized per connected
-//!   component so cross-component pairs decode to [`twgraph::INF`] by
-//!   construction.
+//!   (one heap `Vec` each) into a [`LabelStore`]: hub/distance arenas
+//!   sharded by node-id range, hub ids globalized per connected component
+//!   so cross-component pairs decode to [`twgraph::INF`] by construction.
+//!   [`StoreLayout`] picks the physical form — `Flat` CSR lanes (fastest
+//!   decode, 20 bytes/entry) or `Packed` delta-coded bit-packed block streams
+//!   (~4–5x smaller, served by block-skip + in-block decode).
+//! * [`file`](mod@crate::file) — store persistence: [`LabelStore::write_to`] serializes a
+//!   store (either layout) into the `LWLSTOR1` container;
+//!   [`LabelStore::open_mmap`] maps it read-only and serves packed shards
+//!   zero-copy, so a store is built once and served by fresh processes.
 //! * [`engine`] — [`QueryEngine`] answers single, paired, and batched
 //!   queries over a shared store, with a per-shard LRU hot-pair cache
 //!   ([`lru`]) and rayon-parallel batch execution. Thread-safe by
@@ -47,14 +53,17 @@
 
 pub mod engine;
 pub mod error;
+pub mod file;
 pub mod lru;
+mod packed;
 pub mod store;
 pub mod versioned;
 pub mod workload;
 
 pub use engine::{CacheStats, QueryEngine, ServeConfig};
 pub use error::ServeError;
+pub use file::StoreFileError;
 pub use lru::Lru;
-pub use store::{LabelStore, StoreBuilder};
+pub use store::{LabelStore, StoreBuilder, StoreLayout};
 pub use versioned::{Epoch, PublishStats, VersionedEngine};
 pub use workload::{seeded_queries, WorkloadSpec};

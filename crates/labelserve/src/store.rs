@@ -1,36 +1,101 @@
-//! The compacted label store: one flat, sharded CSR arena over every
-//! node's distance-label entries.
+//! The compacted label store: per-node distance-label entries sharded by
+//! node-id range, in one of two physical layouts.
 //!
-//! ## Layout
+//! ## Layouts
 //!
 //! [`distlabel::Label`] keeps one heap `Vec` per node — fine for
 //! construction, hostile to query serving (pointer chase per lookup,
 //! allocator-scattered entries). [`StoreBuilder`] compacts the per-node
-//! entry lists into per-shard structure-of-arrays arenas:
+//! entry lists into per-shard arenas; [`StoreLayout`] picks the physical
+//! form:
 //!
-//! ```text
-//! shard s  (nodes [base, base + shard_size))
-//!   offsets : u32  × (nodes + 1)     CSR row starts
-//!   hubs    : u32  × entries         global hub ids, sorted per node
-//!   dto     : Dist × entries         d(node → hub)
-//!   dfrom   : Dist × entries         d(hub → node)
-//! ```
+//! * [`StoreLayout::Flat`] — structure-of-arrays CSR, 20 bytes/entry:
 //!
-//! The decoder scans only `hubs` until it finds an intersection, so the
-//! hot loop touches 4-byte lanes (16 hubs per cache line); the two
-//! distance lanes are loaded on matches only. Hub ids are **global**
-//! vertex ids (mapped through each component's `old_of`), which makes
-//! cross-component intersections empty by construction — a cross pair
-//! decodes to [`INF`], matching the oracle's semantics for unreachable
-//! pairs — and lets the store additionally keep a component map for an
-//! O(1) early exit.
+//!   ```text
+//!   shard s  (nodes [base, base + shard_size))
+//!     offsets : u32  × (nodes + 1)     CSR row starts
+//!     hubs    : u32  × entries         global hub ids, sorted per node
+//!     dto     : Dist × entries         d(node → hub)
+//!     dfrom   : Dist × entries         d(hub → node)
+//!   ```
+//!
+//!   The decoder scans only `hubs` until it finds an intersection, so the
+//!   hot loop touches 4-byte lanes (16 hubs per cache line); distance
+//!   lanes load on matches only. Fastest per query, heaviest per node.
+//!
+//! * [`StoreLayout::Packed`] — delta-coded bit-packed streams in 64-entry
+//!   blocks with per-block skip headers (see `packed.rs` for the exact
+//!   format), typically 4–5x smaller. The merge-join becomes
+//!   block-skip over the headers + in-block linear decode. Slightly
+//!   slower per cold decode; the layout of choice once store bytes —
+//!   not decode cycles — bound scale, and the only layout served
+//!   zero-copy from an mmapped store file ([`crate::file`]).
+//!
+//! Either way, hub ids are **global** vertex ids (mapped through each
+//! component's `old_of`), which makes cross-component intersections empty
+//! by construction — a cross pair decodes to [`INF`], matching the
+//! oracle's semantics for unreachable pairs — and lets the store
+//! additionally keep a component map for an O(1) early exit.
 
 use crate::error::ServeError;
+use crate::packed::{decode_packed, PackedShard};
 use distlabel::Label;
 use std::sync::Arc;
 use twgraph::{dist_add, Dist, INF};
 
 const UNASSIGNED: u32 = u32::MAX;
+
+/// Bytes per entry in the flat layout (one `u32` hub + two `u64` lanes).
+const FLAT_ENTRY_BYTES: usize = 20;
+
+/// The physical shard format a store compacts into.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum StoreLayout {
+    /// Flat CSR structure-of-arrays: fastest decode, 20 bytes/entry.
+    #[default]
+    Flat,
+    /// Delta/varint block-packed streams: ~4–5x smaller, mmap-servable.
+    Packed,
+}
+
+/// Guarded CSR offset: a shard whose entry count no longer fits the `u32`
+/// offset lane is a typed error, never an `as u32` truncation that would
+/// silently corrupt every subsequent row.
+pub(crate) fn checked_offset(shard: usize, entries: usize) -> Result<u32, ServeError> {
+    u32::try_from(entries).map_err(|_| ServeError::ShardTooLarge {
+        shard,
+        entries,
+        bytes: entries.saturating_mul(FLAT_ENTRY_BYTES),
+    })
+}
+
+/// Distinct component ids in a component map. [`LabelStore::rebuilt`] used
+/// to report `max + 1`, overcounting once update-driven splits and merges
+/// leave the id space non-dense (a merge that retires id 1 of {0, 1, 2}
+/// leaves 2 components, not 3).
+pub(crate) fn distinct_components(comp_of: &[u32]) -> usize {
+    let Some(&max) = comp_of.iter().max() else {
+        return 0;
+    };
+    // Dense-ish id spaces (the common case: ids were once 0..k) count via
+    // a bitset; a pathologically sparse space falls back to sort-dedup.
+    if (max as usize) < comp_of.len().saturating_mul(4).max(1024) {
+        let mut seen = vec![false; max as usize + 1];
+        let mut count = 0usize;
+        for &c in comp_of {
+            if !seen[c as usize] {
+                seen[c as usize] = true;
+                count += 1;
+            }
+        }
+        count
+    } else {
+        let mut ids = comp_of.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
 
 /// Accumulates per-component label sets, then compacts them into a
 /// [`LabelStore`]. Components must partition the global vertex space
@@ -55,8 +120,10 @@ impl StoreBuilder {
 
     /// Register one connected component: `labels[i]` is the label of the
     /// component-local vertex `i`, and `old_of[i]` its global id (sorted
-    /// ascending, as produced by component splitting — the monotone map
-    /// keeps per-node hub lists sorted).
+    /// strictly ascending, as produced by component splitting — the
+    /// monotone map is what keeps per-node hub lists sorted, and an
+    /// unsorted map is rejected as
+    /// [`ServeError::UnsortedComponentMap`] in every build profile).
     pub fn add_component(&mut self, labels: &[Label], old_of: &[u32]) -> Result<(), ServeError> {
         if labels.len() != old_of.len() {
             return Err(ServeError::ComponentShapeMismatch {
@@ -64,7 +131,13 @@ impl StoreBuilder {
                 nodes: old_of.len(),
             });
         }
-        debug_assert!(old_of.windows(2).all(|w| w[0] < w[1]), "old_of not sorted");
+        if let Some(i) = old_of.windows(2).position(|w| w[0] >= w[1]) {
+            return Err(ServeError::UnsortedComponentMap {
+                index: i,
+                prev: old_of[i],
+                next: old_of[i + 1],
+            });
+        }
         let comp = self.comps;
         for (label, &global) in labels.iter().zip(old_of) {
             let slot = self
@@ -113,9 +186,20 @@ impl StoreBuilder {
         Ok(())
     }
 
-    /// Compact into the sharded arena. Every vertex of `0..n` must have
-    /// been covered by exactly one `add_*` call.
+    /// Compact into a flat-layout store (the historical default).
     pub fn build(self, shard_size: usize) -> Result<LabelStore, ServeError> {
+        self.build_layout(shard_size, StoreLayout::Flat)
+    }
+
+    /// Compact into the sharded arena in the requested layout. Every
+    /// vertex of `0..n` must have been covered by exactly one `add_*`
+    /// call. Borrows the builder, so one accumulation can compact into
+    /// both layouts (the differential suites do exactly that).
+    pub fn build_layout(
+        &self,
+        shard_size: usize,
+        layout: StoreLayout,
+    ) -> Result<LabelStore, ServeError> {
         if let Some(v) = self.comp_of.iter().position(|&c| c == UNASSIGNED) {
             return Err(ServeError::UncoveredNode { node: v as u32 });
         }
@@ -126,9 +210,36 @@ impl StoreBuilder {
         for s in 0..shard_count {
             let base = s * shard_size;
             let hi = ((s + 1) * shard_size).min(self.n);
-            let rows = &self.entries[base..hi];
+            let shard = compact_shard(s, base as u32, &self.entries[base..hi], layout)?;
+            entries_total += shard.entries();
+            shards.push(shard);
+        }
+        Ok(LabelStore {
+            n: self.n,
+            shard_size,
+            comp_of: self.comp_of.clone(),
+            shards,
+            entries_total,
+            components: self.comps as usize,
+            layout,
+        })
+    }
+}
+
+/// Compact one shard's rows into the requested physical form.
+fn compact_shard(
+    index: usize,
+    base: u32,
+    rows: &[Vec<(u32, Dist, Dist)>],
+    layout: StoreLayout,
+) -> Result<ShardData, ServeError> {
+    match layout {
+        StoreLayout::Packed => Ok(ShardData::Packed(Arc::new(PackedShard::pack(
+            index, base, rows,
+        )?))),
+        StoreLayout::Flat => {
             let total: usize = rows.iter().map(|r| r.len()).sum();
-            let mut offsets = Vec::with_capacity(hi - base + 1);
+            let mut offsets = Vec::with_capacity(rows.len() + 1);
             let mut hubs = Vec::with_capacity(total);
             let mut dto = Vec::with_capacity(total);
             let mut dfrom = Vec::with_capacity(total);
@@ -139,50 +250,95 @@ impl StoreBuilder {
                     dto.push(to);
                     dfrom.push(from);
                 }
-                offsets.push(hubs.len() as u32);
+                offsets.push(checked_offset(index, hubs.len())?);
             }
-            entries_total += total;
-            shards.push(Arc::new(Shard {
-                base: base as u32,
+            Ok(ShardData::Flat(Arc::new(FlatShard {
+                base,
                 offsets,
                 hubs,
                 dto,
                 dfrom,
-            }));
+            })))
         }
-        Ok(LabelStore {
-            n: self.n,
-            shard_size,
-            comp_of: self.comp_of,
-            shards,
-            entries_total,
-            components: self.comps as usize,
-        })
     }
 }
 
-/// One node-range shard's CSR arena.
+/// One node-range shard's flat CSR arena.
 #[derive(Debug)]
-struct Shard {
-    base: u32,
-    offsets: Vec<u32>,
-    hubs: Vec<u32>,
-    dto: Vec<Dist>,
-    dfrom: Vec<Dist>,
+pub(crate) struct FlatShard {
+    pub(crate) base: u32,
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) hubs: Vec<u32>,
+    pub(crate) dto: Vec<Dist>,
+    pub(crate) dfrom: Vec<Dist>,
+}
+
+/// One shard in whichever layout the store was compacted into. `Arc`ed so
+/// an epoch-to-epoch rebuild ([`LabelStore::rebuilt`]) shares clean
+/// shards with its predecessor instead of copying them.
+#[derive(Clone, Debug)]
+pub(crate) enum ShardData {
+    /// Flat CSR lanes.
+    Flat(Arc<FlatShard>),
+    /// Delta/varint packed segment.
+    Packed(Arc<PackedShard>),
+}
+
+impl ShardData {
+    /// Label entries held by this shard.
+    fn entries(&self) -> usize {
+        match self {
+            ShardData::Flat(s) => s.hubs.len(),
+            ShardData::Packed(p) => p.entries(),
+        }
+    }
+
+    /// Arena bytes of this shard (lanes + offsets for flat, the whole
+    /// segment — headers included — for packed).
+    fn bytes(&self) -> usize {
+        match self {
+            ShardData::Flat(s) => s.hubs.len() * FLAT_ENTRY_BYTES + s.offsets.len() * 4,
+            ShardData::Packed(p) => p.seg_len(),
+        }
+    }
+
+    /// Same physical arena as `other`?
+    fn ptr_eq(&self, other: &ShardData) -> bool {
+        match (self, other) {
+            (ShardData::Flat(a), ShardData::Flat(b)) => Arc::ptr_eq(a, b),
+            (ShardData::Packed(a), ShardData::Packed(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Materialize one local row (mixed-layout fallback and tests only —
+    /// the hot paths decode in place).
+    fn row_vec(&self, local: usize) -> Vec<(u32, Dist, Dist)> {
+        match self {
+            ShardData::Flat(s) => {
+                let (lo, hi) = (s.offsets[local] as usize, s.offsets[local + 1] as usize);
+                (lo..hi)
+                    .map(|i| (s.hubs[i], s.dto[i], s.dfrom[i]))
+                    .collect()
+            }
+            ShardData::Packed(p) => p.row_entries(local),
+        }
+    }
 }
 
 /// The compacted, sharded distance-label store. Immutable after build;
-/// shared freely across query threads. Shards are `Arc`ed so an
-/// epoch-to-epoch rebuild ([`LabelStore::rebuilt`]) shares every clean
-/// shard's arena with its predecessor instead of copying it.
+/// shared freely across query threads. Built in memory by
+/// [`StoreBuilder`], or opened from a persisted store file by
+/// [`LabelStore::open_mmap`].
 #[derive(Debug)]
 pub struct LabelStore {
     n: usize,
     shard_size: usize,
     comp_of: Vec<u32>,
-    shards: Vec<Arc<Shard>>,
+    shards: Vec<ShardData>,
     entries_total: usize,
     components: usize,
+    layout: StoreLayout,
 }
 
 /// First index of `hubs` with value `>= key` (exponential search; mirrors
@@ -200,9 +356,36 @@ fn gallop(hubs: &[u32], key: u32) -> usize {
 }
 
 impl LabelStore {
+    /// Assemble a store from already-validated parts (the file-open path).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        n: usize,
+        shard_size: usize,
+        comp_of: Vec<u32>,
+        shards: Vec<ShardData>,
+        entries_total: usize,
+        components: usize,
+        layout: StoreLayout,
+    ) -> LabelStore {
+        LabelStore {
+            n,
+            shard_size,
+            comp_of,
+            shards,
+            entries_total,
+            components,
+            layout,
+        }
+    }
+
     /// Global vertex count.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// The physical layout the shards were compacted into.
+    pub fn layout(&self) -> StoreLayout {
+        self.layout
     }
 
     /// Number of node-range shards.
@@ -225,12 +408,10 @@ impl LabelStore {
         self.components
     }
 
-    /// Arena footprint in bytes: hub/distance lanes plus CSR offsets and
-    /// the component map.
+    /// Arena footprint in bytes: per-shard arenas (lanes + offsets for
+    /// flat, whole segments for packed) plus the component map.
     pub fn bytes(&self) -> usize {
-        let entry = std::mem::size_of::<u32>() + 2 * std::mem::size_of::<Dist>();
-        let offsets: usize = self.shards.iter().map(|s| s.offsets.len() * 4).sum();
-        self.entries_total * entry + offsets + self.comp_of.len() * 4
+        self.shards.iter().map(ShardData::bytes).sum::<usize>() + self.comp_of.len() * 4
     }
 
     /// Component id of `v`.
@@ -241,14 +422,23 @@ impl LabelStore {
             .ok_or(ServeError::UnknownNode { node: v, n: self.n })
     }
 
+    /// The full component map (for persistence).
+    pub(crate) fn comp_of_slice(&self) -> &[u32] {
+        &self.comp_of
+    }
+
+    /// The shards (for persistence).
+    pub(crate) fn shards_data(&self) -> &[ShardData] {
+        &self.shards
+    }
+
     /// The shard index owning node `v` (valid ids only).
     pub fn shard_of(&self, v: u32) -> usize {
         v as usize / self.shard_size
     }
 
-    /// `(hubs, d(v → hub), d(hub → v))` lanes of node `v`.
-    fn lanes(&self, v: u32) -> (&[u32], &[Dist], &[Dist]) {
-        let shard = &self.shards[self.shard_of(v)];
+    /// `(hubs, d(v → hub), d(hub → v))` lanes of node `v` in a flat shard.
+    fn flat_lanes(shard: &FlatShard, v: u32) -> (&[u32], &[Dist], &[Dist]) {
         let local = (v - shard.base) as usize;
         let (lo, hi) = (
             shard.offsets[local] as usize,
@@ -261,9 +451,10 @@ impl LabelStore {
         )
     }
 
-    /// Exact `d(s → t)` straight off the arena (no cache): the galloping
-    /// hub-intersection minimum, bit-identical to
-    /// [`distlabel::decode`] on the uncompacted labels.
+    /// Exact `d(s → t)` straight off the arena (no cache): the hub-
+    /// intersection minimum — galloping merge-join on flat lanes,
+    /// block-skip + in-block decode on packed segments — bit-identical to
+    /// [`distlabel::decode`] on the uncompacted labels either way.
     pub fn distance(&self, s: u32, t: u32) -> Result<Dist, ServeError> {
         if s as usize >= self.n {
             return Err(ServeError::UnknownNode { node: s, n: self.n });
@@ -274,9 +465,28 @@ impl LabelStore {
         if self.comp_of[s as usize] != self.comp_of[t as usize] {
             return Ok(INF);
         }
-        let (sh, sto, _) = self.lanes(s);
-        let (th, _, tfrom) = self.lanes(t);
-        Ok(decode_lanes(sh, sto, th, tfrom))
+        let (sa, sb) = (
+            &self.shards[self.shard_of(s)],
+            &self.shards[self.shard_of(t)],
+        );
+        match (sa, sb) {
+            (ShardData::Flat(a), ShardData::Flat(b)) => {
+                let (sh, sto, _) = Self::flat_lanes(a, s);
+                let (th, _, tfrom) = Self::flat_lanes(b, t);
+                Ok(decode_lanes(sh, sto, th, tfrom))
+            }
+            (ShardData::Packed(a), ShardData::Packed(b)) => Ok(decode_packed(
+                &a.row((s - a.base) as usize),
+                &b.row((t - b.base) as usize),
+            )),
+            // A store never mixes layouts today; decode via materialized
+            // rows so the answer stays exact if one ever does.
+            (a, b) => {
+                let ra = a.row_vec((s as usize) % self.shard_size.max(1));
+                let rb = b.row_vec((t as usize) % self.shard_size.max(1));
+                Ok(distlabel::decode_entries(&ra, &rb))
+            }
+        }
     }
 
     /// Both directions at once: `(d(s → t), d(t → s))`.
@@ -291,7 +501,7 @@ impl LabelStore {
         self.shards
             .iter()
             .zip(&other.shards)
-            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .filter(|(a, b)| a.ptr_eq(b))
             .count()
     }
 
@@ -305,10 +515,13 @@ impl LabelStore {
 
     /// The next epoch's store: shards containing a vertex of `dirty`
     /// (sorted global ids) are recompacted from `entries_of` (global-hub
-    /// entry list per vertex, sorted by hub); clean shards share their
-    /// arena with `self` via `Arc`. `comp_of` is the updated component map
-    /// — always replaced, since component renumbering is cheap and the
-    /// INF early-exit must track the post-update component structure.
+    /// entry list per vertex, sorted by hub) **in the store's own
+    /// layout**; clean shards share their arena with `self` via `Arc`.
+    /// `comp_of` is the updated component map — always replaced, since
+    /// component renumbering is cheap and the INF early-exit must track
+    /// the post-update component structure. The component count is the
+    /// number of **distinct** ids in the new map (ids are non-dense after
+    /// update-driven splits and merges).
     pub fn rebuilt(
         &self,
         dirty: &[u32],
@@ -323,35 +536,19 @@ impl LabelStore {
         let mut entries_total = 0usize;
         for (s, old) in self.shards.iter().enumerate() {
             if self.shard_clean(s, dirty) {
-                entries_total += old.hubs.len();
-                shards.push(Arc::clone(old));
+                entries_total += old.entries();
+                shards.push(old.clone());
                 continue;
             }
             let base = s * self.shard_size;
             let hi = ((s + 1) * self.shard_size).min(self.n);
-            let mut offsets = Vec::with_capacity(hi - base + 1);
-            let mut hubs = Vec::new();
-            let mut dto = Vec::new();
-            let mut dfrom = Vec::new();
-            offsets.push(0u32);
-            for v in base..hi {
-                for (hub, to, from) in entries_of(v as u32) {
-                    hubs.push(hub);
-                    dto.push(to);
-                    dfrom.push(from);
-                }
-                offsets.push(hubs.len() as u32);
-            }
-            entries_total += hubs.len();
-            shards.push(Arc::new(Shard {
-                base: base as u32,
-                offsets,
-                hubs,
-                dto,
-                dfrom,
-            }));
+            let rows: Vec<Vec<(u32, Dist, Dist)>> =
+                (base..hi).map(|v| entries_of(v as u32)).collect();
+            let shard = compact_shard(s, base as u32, &rows, self.layout)?;
+            entries_total += shard.entries();
+            shards.push(shard);
         }
-        let components = comp_of.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+        let components = distinct_components(&comp_of);
         Ok(LabelStore {
             n: self.n,
             shard_size: self.shard_size,
@@ -359,6 +556,7 @@ impl LabelStore {
             shards,
             entries_total,
             components,
+            layout: self.layout,
         })
     }
 }
@@ -394,7 +592,7 @@ mod tests {
 
     /// Hand-built two-component store: a 3-path {0,1,2} (unit weights,
     /// hubs = all three vertices for simplicity) and a singleton {3}.
-    fn tiny_store(shard_size: usize) -> LabelStore {
+    fn tiny_store_layout(shard_size: usize, layout: StoreLayout) -> LabelStore {
         let mut labels = Vec::new();
         let d = |a: i64, b: i64| (a - b).unsigned_abs();
         for v in 0..3i64 {
@@ -407,21 +605,46 @@ mod tests {
         let mut b = StoreBuilder::new(4);
         b.add_component(&labels, &[0, 1, 2]).unwrap();
         b.add_singleton(3).unwrap();
-        b.build(shard_size).unwrap()
+        b.build_layout(shard_size, layout).unwrap()
+    }
+
+    fn tiny_store(shard_size: usize) -> LabelStore {
+        tiny_store_layout(shard_size, StoreLayout::Flat)
     }
 
     #[test]
     fn distances_and_cross_component_inf() {
-        for shard_size in [1, 2, 64] {
-            let s = tiny_store(shard_size);
-            assert_eq!(s.n(), 4);
-            assert_eq!(s.components(), 2);
-            assert_eq!(s.distance(0, 2).unwrap(), 2);
-            assert_eq!(s.distance(2, 0).unwrap(), 2);
-            assert_eq!(s.distance(1, 1).unwrap(), 0);
-            assert_eq!(s.distance(3, 3).unwrap(), 0);
-            assert_eq!(s.distance(0, 3).unwrap(), INF, "cross-component pair");
-            assert_eq!(s.distance_pair(1, 2).unwrap(), (1, 1));
+        for layout in [StoreLayout::Flat, StoreLayout::Packed] {
+            for shard_size in [1, 2, 64] {
+                let s = tiny_store_layout(shard_size, layout);
+                assert_eq!(s.n(), 4);
+                assert_eq!(s.layout(), layout);
+                assert_eq!(s.components(), 2);
+                assert_eq!(s.distance(0, 2).unwrap(), 2);
+                assert_eq!(s.distance(2, 0).unwrap(), 2);
+                assert_eq!(s.distance(1, 1).unwrap(), 0);
+                assert_eq!(s.distance(3, 3).unwrap(), 0);
+                assert_eq!(s.distance(0, 3).unwrap(), INF, "cross-component pair");
+                assert_eq!(s.distance_pair(1, 2).unwrap(), (1, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_store_is_smaller_and_answers_identically() {
+        let flat = tiny_store_layout(2, StoreLayout::Flat);
+        let packed = tiny_store_layout(2, StoreLayout::Packed);
+        assert_eq!(flat.entries(), packed.entries());
+        assert!(
+            packed.bytes() < flat.bytes(),
+            "packed {} vs flat {}",
+            packed.bytes(),
+            flat.bytes()
+        );
+        for s in 0..4 {
+            for t in 0..4 {
+                assert_eq!(flat.distance(s, t).unwrap(), packed.distance(s, t).unwrap());
+            }
         }
     }
 
@@ -468,6 +691,57 @@ mod tests {
         );
     }
 
+    /// Regression (issue 8): an unsorted `old_of` used to slip through
+    /// release builds (`debug_assert!` only) and silently violate the
+    /// sorted-hubs invariant the decoders rely on. It must be a typed
+    /// error in *every* build profile — this test runs in the release CI
+    /// suites too.
+    #[test]
+    fn unsorted_component_map_is_a_release_mode_error() {
+        let labels: Vec<Label> = (0..3).map(Label::new).collect();
+        let mut b = StoreBuilder::new(3);
+        assert_eq!(
+            b.add_component(&labels, &[0, 2, 1]),
+            Err(ServeError::UnsortedComponentMap {
+                index: 1,
+                prev: 2,
+                next: 1
+            })
+        );
+        // Equal neighbours violate *strict* ascent too.
+        let mut b = StoreBuilder::new(3);
+        assert_eq!(
+            b.add_component(&labels[..2], &[1, 1]),
+            Err(ServeError::UnsortedComponentMap {
+                index: 0,
+                prev: 1,
+                next: 1
+            })
+        );
+        // The builder is still usable after the rejection.
+        let mut b = StoreBuilder::new(1);
+        b.add_singleton(0).unwrap();
+        assert!(b.build(1).is_ok());
+    }
+
+    /// Regression (issue 8): CSR offsets were pushed with `as u32`; a
+    /// shard past 2³² entries silently truncated. The checked conversion
+    /// (which both layouts run through) must refuse with the coordinates.
+    #[test]
+    fn oversized_shard_is_a_typed_error_not_a_truncation() {
+        assert_eq!(checked_offset(7, 1 << 20).unwrap(), 1 << 20);
+        assert_eq!(checked_offset(0, u32::MAX as usize).unwrap(), u32::MAX);
+        let too_big = u32::MAX as usize + 1;
+        assert_eq!(
+            checked_offset(3, too_big).unwrap_err(),
+            ServeError::ShardTooLarge {
+                shard: 3,
+                entries: too_big,
+                bytes: too_big * FLAT_ENTRY_BYTES,
+            }
+        );
+    }
+
     #[test]
     fn sharding_covers_the_space_and_counts_bytes() {
         let s = tiny_store(3);
@@ -480,37 +754,73 @@ mod tests {
 
     #[test]
     fn rebuilt_shares_clean_shards_and_swaps_dirty_rows() {
-        let s = tiny_store(2); // shards: {0,1}, {2,3}
-                               // Dirty only vertex 3: shard 0 must be shared, shard 1 rebuilt.
-        let comp_of: Vec<u32> = (0..4).map(|v| s.comp_of(v).unwrap()).collect();
+        for layout in [StoreLayout::Flat, StoreLayout::Packed] {
+            let s = tiny_store_layout(2, layout); // shards: {0,1}, {2,3}
+                                                  // Dirty only vertex 3: shard 0 shared, shard 1 rebuilt.
+            let comp_of: Vec<u32> = (0..4).map(|v| s.comp_of(v).unwrap()).collect();
+            let r = s
+                .rebuilt(&[3], comp_of, |v| {
+                    assert!(v >= 2, "entries_of called for a clean-shard vertex");
+                    if v == 3 {
+                        vec![(3, 0, 0), (9, 7, 7)]
+                    } else {
+                        vec![(0, 2, 2), (1, 1, 1), (2, 0, 0)]
+                    }
+                })
+                .unwrap();
+            assert_eq!(r.layout(), layout, "rebuild must preserve the layout");
+            assert_eq!(r.shards_shared_with(&s), 1);
+            assert_eq!(r.distance(0, 2).unwrap(), s.distance(0, 2).unwrap());
+            assert_eq!(r.entries(), s.entries() + 1);
+            assert_eq!(r.components(), s.components());
+            // The dirty row now carries the new entries.
+            assert_eq!(r.distance(3, 3).unwrap(), 0);
+
+            // Empty dirty list shares everything.
+            let comp_of: Vec<u32> = (0..4).map(|v| s.comp_of(v).unwrap()).collect();
+            let same = s.rebuilt(&[], comp_of, |_| unreachable!()).unwrap();
+            assert_eq!(same.shards_shared_with(&s), 2);
+
+            // Out-of-range dirty vertex is a typed error.
+            assert_eq!(
+                s.rebuilt(&[7], vec![0; 4], |_| Vec::new())
+                    .map(|_| ())
+                    .unwrap_err(),
+                ServeError::UnknownNode { node: 7, n: 4 }
+            );
+        }
+    }
+
+    /// Regression (issue 8): `rebuilt` used to report `max(comp_of) + 1`
+    /// components. After a merge leaves a non-dense id space (here ids
+    /// {0, 2} — id 1 retired), the count must be the number of *distinct*
+    /// ids, and queries must keep matching the map.
+    #[test]
+    fn rebuilt_counts_distinct_components_after_merges() {
+        assert_eq!(distinct_components(&[]), 0);
+        assert_eq!(distinct_components(&[0, 0, 0]), 1);
+        assert_eq!(distinct_components(&[0, 2, 0, 2]), 2);
+        assert_eq!(distinct_components(&[5, 1_000_000, 5]), 2);
+
+        let s = tiny_store(2);
+        assert_eq!(s.components(), 2);
+        // Post-"merge" map: vertices {0,1} keep id 0, {2,3} now share the
+        // non-dense id 2 (ids 1 and the old component of 3 are retired).
         let r = s
-            .rebuilt(&[3], comp_of, |v| {
-                assert!(v >= 2, "entries_of called for a clean-shard vertex");
-                if v == 3 {
-                    vec![(3, 0, 0), (9, 7, 7)]
-                } else {
-                    vec![(0, 2, 2), (1, 1, 1), (2, 0, 0)]
-                }
+            .rebuilt(&[0, 1, 2, 3], vec![0, 0, 2, 2], |v| match v {
+                2 => vec![(2, 0, 0), (3, 4, 4)],
+                3 => vec![(2, 4, 4), (3, 0, 0)],
+                v => vec![
+                    (0, u64::from(v), u64::from(v)),
+                    (1, u64::from(1 - v), u64::from(1 - v)),
+                ],
             })
             .unwrap();
-        assert_eq!(r.shards_shared_with(&s), 1);
-        assert_eq!(r.distance(0, 2).unwrap(), s.distance(0, 2).unwrap());
-        assert_eq!(r.entries(), s.entries() + 1);
-        assert_eq!(r.components(), s.components());
-        // The dirty row now carries the new entries.
-        assert_eq!(r.distance(3, 3).unwrap(), 0);
-
-        // Empty dirty list shares everything.
-        let comp_of: Vec<u32> = (0..4).map(|v| s.comp_of(v).unwrap()).collect();
-        let same = s.rebuilt(&[], comp_of, |_| unreachable!()).unwrap();
-        assert_eq!(same.shards_shared_with(&s), 2);
-
-        // Out-of-range dirty vertex is a typed error.
-        assert_eq!(
-            s.rebuilt(&[7], vec![0; 4], |_| Vec::new())
-                .map(|_| ())
-                .unwrap_err(),
-            ServeError::UnknownNode { node: 7, n: 4 }
-        );
+        assert_eq!(r.components(), 2, "distinct ids, not max + 1 = 3");
+        // Merge-then-query: the rewritten rows serve, and the component
+        // early-exit follows the *new* map.
+        assert_eq!(r.distance(2, 3).unwrap(), 4);
+        assert_eq!(r.distance(0, 2).unwrap(), INF, "different components");
+        assert_eq!(r.distance(0, 1).unwrap(), 1);
     }
 }

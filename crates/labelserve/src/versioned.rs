@@ -73,8 +73,8 @@ pub struct VersionedEngine {
 }
 
 /// Compact a [`DynamicLabeling`]'s parts into a store (global hub ids come
-/// from the labeling itself).
-fn store_of(labeling: &DynamicLabeling, shard_size: usize) -> Result<LabelStore, ServeError> {
+/// from the labeling itself), honoring the config's sharding and layout.
+fn store_of(labeling: &DynamicLabeling, cfg: &ServeConfig) -> Result<LabelStore, ServeError> {
     let mut b = crate::store::StoreBuilder::new(labeling.n());
     for part in labeling.parts() {
         if part.n() == 1 {
@@ -83,7 +83,7 @@ fn store_of(labeling: &DynamicLabeling, shard_size: usize) -> Result<LabelStore,
             b.add_component(part.labels(), part.old_of())?;
         }
     }
-    b.build(shard_size)
+    b.build_layout(cfg.shard_size, cfg.layout)
 }
 
 impl VersionedEngine {
@@ -98,12 +98,10 @@ impl VersionedEngine {
         }
     }
 
-    /// Compact a dynamic labeling and serve it as epoch 0.
+    /// Compact a dynamic labeling and serve it as epoch 0 (in the
+    /// config's [`crate::store::StoreLayout`]).
     pub fn from_labeling(labeling: &DynamicLabeling, cfg: ServeConfig) -> Result<Self, ServeError> {
-        Ok(VersionedEngine::new(
-            store_of(labeling, cfg.shard_size)?,
-            cfg,
-        ))
+        Ok(VersionedEngine::new(store_of(labeling, &cfg)?, cfg))
     }
 
     /// The serving configuration (shared by every epoch).
@@ -220,16 +218,23 @@ mod tests {
     use twgraph::gen::{banded_path, with_random_weights};
     use twgraph::{EdgeBatch, INF};
 
-    fn versioned(n: usize) -> (DynamicLabeling, VersionedEngine) {
+    use crate::store::StoreLayout;
+
+    fn versioned_layout(n: usize, layout: StoreLayout) -> (DynamicLabeling, VersionedEngine) {
         let g = banded_path(n, 2);
         let inst = with_random_weights(&g, 10, 3);
         let labeling = DynamicLabeling::build(&inst, 3, 1).unwrap();
         let cfg = ServeConfig {
             shard_size: (n / 8).max(1),
             cache_capacity: 64,
+            layout,
         };
         let eng = VersionedEngine::from_labeling(&labeling, cfg).unwrap();
         (labeling, eng)
+    }
+
+    fn versioned(n: usize) -> (DynamicLabeling, VersionedEngine) {
+        versioned_layout(n, StoreLayout::Flat)
     }
 
     #[test]
@@ -327,18 +332,38 @@ mod tests {
 
     #[test]
     fn cross_component_inf_tracks_publishes() {
-        let (mut labeling, eng) = versioned(60);
-        assert!(eng.distance(0, 59).unwrap() < INF);
-        // Bandwidth 2: cutting 29|30 means severing all three crossing edges.
-        let cut = EdgeBatch::new()
-            .delete(28, 30)
-            .delete(29, 30)
-            .delete(29, 31);
-        let rep = labeling.apply(&cut).unwrap();
-        eng.publish_from(&labeling, &rep.dirty).unwrap();
-        assert_eq!(eng.distance(0, 59).unwrap(), INF, "split must serve INF");
-        let rep = labeling.apply(&EdgeBatch::new().insert(29, 30, 2)).unwrap();
-        eng.publish_from(&labeling, &rep.dirty).unwrap();
-        assert!(eng.distance(0, 59).unwrap() < INF, "merge must reconnect");
+        // Both layouts: the packed store must track splits and merges —
+        // including the epoch's component *count*, which must follow the
+        // distinct ids of the published map (issue 8: a merge leaving a
+        // non-dense id space used to be overcounted as `max + 1`).
+        for layout in [StoreLayout::Flat, StoreLayout::Packed] {
+            let (mut labeling, eng) = versioned_layout(60, layout);
+            assert!(eng.distance(0, 59).unwrap() < INF);
+            let store_components =
+                |eng: &VersionedEngine| eng.snapshot().engine().store().components();
+            let before_split = store_components(&eng);
+            // Bandwidth 2: cutting 29|30 means severing all three crossing
+            // edges.
+            let cut = EdgeBatch::new()
+                .delete(28, 30)
+                .delete(29, 30)
+                .delete(29, 31);
+            let rep = labeling.apply(&cut).unwrap();
+            eng.publish_from(&labeling, &rep.dirty).unwrap();
+            assert_eq!(eng.distance(0, 59).unwrap(), INF, "split must serve INF");
+            assert_eq!(
+                store_components(&eng),
+                before_split + 1,
+                "split adds exactly one component"
+            );
+            let rep = labeling.apply(&EdgeBatch::new().insert(29, 30, 2)).unwrap();
+            eng.publish_from(&labeling, &rep.dirty).unwrap();
+            assert!(eng.distance(0, 59).unwrap() < INF, "merge must reconnect");
+            assert_eq!(
+                store_components(&eng),
+                before_split,
+                "merge-then-query: count distinct ids, not max + 1"
+            );
+        }
     }
 }

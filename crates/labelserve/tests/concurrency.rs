@@ -33,6 +33,7 @@ fn engine_for(seed: u64, cache_capacity: usize) -> QueryEngine {
         ServeConfig {
             shard_size: 32,
             cache_capacity,
+            ..ServeConfig::default()
         },
     )
 }

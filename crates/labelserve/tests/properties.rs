@@ -15,7 +15,7 @@
 //!    distances must not).
 
 use distlabel::Label;
-use labelserve::{QueryEngine, ServeConfig, StoreBuilder};
+use labelserve::{QueryEngine, ServeConfig, StoreBuilder, StoreLayout};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -65,9 +65,23 @@ fn build_engine(
         }
     }
     (
-        QueryEngine::new(builder.build(cfg.shard_size).unwrap(), cfg),
+        QueryEngine::new(
+            builder.build_layout(cfg.shard_size, cfg.layout).unwrap(),
+            cfg,
+        ),
         global_labels,
     )
+}
+
+/// Both physical layouts, as a proptest dimension (the offline stand-in
+/// samples ranges, so the layout is an index): every property below must
+/// hold over the packed store exactly as over the flat one.
+fn layout_of(i: usize) -> StoreLayout {
+    if i == 0 {
+        StoreLayout::Flat
+    } else {
+        StoreLayout::Packed
+    }
 }
 
 proptest! {
@@ -79,10 +93,12 @@ proptest! {
         k in 1usize..4,
         seed in 0u64..500,
         shard_size in 1usize..40,
+        layout_idx in 0usize..2,
     ) {
+        let layout = layout_of(layout_idx);
         let g = twgraph::gen::partial_ktree(n, k, 0.6, seed);
         let inst = twgraph::gen::with_random_weights(&g, 17, seed);
-        let cfg = ServeConfig { shard_size, cache_capacity: 16 };
+        let cfg = ServeConfig { shard_size, cache_capacity: 16, layout };
         let (engine, labels) = build_engine(&g, &inst, k as u64 + 1, seed, cfg);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xF00D);
         for _ in 0..256 {
@@ -99,10 +115,12 @@ proptest! {
     fn store_roundtrip_spans_components(
         n in 24usize..70,
         seed in 0u64..300,
+        layout_idx in 0usize..2,
     ) {
+        let layout = layout_of(layout_idx);
         let g = twgraph::gen::multi_component(n, seed);
         let inst = twgraph::gen::with_random_weights(&g, 9, seed);
-        let cfg = ServeConfig { shard_size: (n / 3).max(1), cache_capacity: 8 };
+        let cfg = ServeConfig { shard_size: (n / 3).max(1), cache_capacity: 8, layout };
         let (engine, labels) = build_engine(&g, &inst, 3, seed, cfg);
         prop_assert!(engine.store().components() >= 2);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xBEEF);
@@ -121,10 +139,12 @@ proptest! {
         n in 20usize..70,
         seed in 0u64..300,
         queries in 10usize..120,
+        layout_idx in 0usize..2,
     ) {
+        let layout = layout_of(layout_idx);
         let g = twgraph::gen::partial_ktree(n, 2, 0.6, seed);
         let inst = twgraph::gen::with_random_weights(&g, 11, seed);
-        let cfg = ServeConfig { shard_size: 8, cache_capacity: 8 };
+        let cfg = ServeConfig { shard_size: 8, cache_capacity: 8, layout };
         let (engine, _) = build_engine(&g, &inst, 3, seed, cfg);
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xABBA);
         let qs: Vec<(u32, u32)> = (0..queries)
@@ -145,10 +165,12 @@ proptest! {
         n in 20usize..70,
         seed in 0u64..300,
         cache_capacity in 1usize..64,
+        layout_idx in 0usize..2,
     ) {
+        let layout = layout_of(layout_idx);
         let g = twgraph::gen::cactus(n, seed);
         let inst = twgraph::gen::with_random_weights(&g, 13, seed);
-        let cached_cfg = ServeConfig { shard_size: 8, cache_capacity };
+        let cached_cfg = ServeConfig { shard_size: 8, cache_capacity, layout };
         let (cached, _) = build_engine(&g, &inst, 3, seed, cached_cfg);
         let (raw, _) = build_engine(&g, &inst, 3, seed, cached_cfg.without_cache());
         let qs = labelserve::seeded_queries(
@@ -163,11 +185,48 @@ proptest! {
         prop_assert_eq!(raw.stats().hits, 0);
     }
 
+    /// The tentpole contract in miniature: one accumulation compacted
+    /// into both layouts must answer bit-identically on *every* pair —
+    /// multi-component instances included, so cross-component INF flows
+    /// through the packed decoder too — while the packed arena is the
+    /// smaller of the two.
+    #[test]
+    fn packed_and_flat_stores_answer_bit_identically(
+        n in 24usize..80,
+        seed in 0u64..400,
+        shard_size in 1usize..40,
+    ) {
+        let g = twgraph::gen::multi_component(n, seed);
+        let inst = twgraph::gen::with_random_weights(&g, 17, seed);
+        let flat_cfg = ServeConfig {
+            shard_size,
+            cache_capacity: 0,
+            layout: StoreLayout::Flat,
+        };
+        let (flat, _) = build_engine(&g, &inst, 3, seed, flat_cfg);
+        let (packed, _) =
+            build_engine(&g, &inst, 3, seed, flat_cfg.with_layout(StoreLayout::Packed));
+        prop_assert_eq!(packed.store().entries(), flat.store().entries());
+        prop_assert!(
+            packed.store().bytes() < flat.store().bytes(),
+            "packed {} >= flat {}",
+            packed.store().bytes(),
+            flat.store().bytes()
+        );
+        for s in 0..n as u32 {
+            for t in 0..n as u32 {
+                prop_assert_eq!(packed.distance(s, t).unwrap(), flat.distance(s, t).unwrap());
+            }
+        }
+    }
+
     #[test]
     fn serving_commutes_with_relabeling(
         n in 20usize..60,
         seed in 0u64..200,
+        layout_idx in 0usize..2,
     ) {
+        let layout = layout_of(layout_idx);
         let g = twgraph::gen::series_parallel(n, seed);
         let inst = twgraph::gen::with_random_weights(&g, 15, seed);
         let cfg = treedec::SepConfig::practical(g.n());
@@ -185,11 +244,14 @@ proptest! {
         );
 
         let ids: Vec<u32> = (0..g.n() as u32).collect();
-        let serve_cfg = ServeConfig { shard_size: 8, cache_capacity: 16 };
+        let serve_cfg = ServeConfig { shard_size: 8, cache_capacity: 16, layout };
         let mk = |ls: &[Label]| {
             let mut b = StoreBuilder::new(g.n());
             b.add_component(ls, &ids).unwrap();
-            QueryEngine::new(b.build(serve_cfg.shard_size).unwrap(), serve_cfg)
+            QueryEngine::new(
+                b.build_layout(serve_cfg.shard_size, serve_cfg.layout).unwrap(),
+                serve_cfg,
+            )
         };
         let (e1, e2) = (mk(&labels), mk(&labels2));
         let mut qrng = SmallRng::seed_from_u64(seed ^ 0x5A5A);

@@ -59,6 +59,7 @@ fn readers_pinned_across_epochs_stay_isolated() {
         ServeConfig {
             shard_size: 16,
             cache_capacity: 64,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -167,7 +168,11 @@ proptest! {
         let mut dl = DynamicLabeling::build(&inst, 3, seed).unwrap();
         let eng = VersionedEngine::from_labeling(
             &dl,
-            ServeConfig { shard_size: 8, cache_capacity: 16 },
+            ServeConfig {
+                shard_size: 8,
+                cache_capacity: 16,
+                ..ServeConfig::default()
+            },
         ).unwrap();
 
         // (snapshot, all-pairs oracle of that version).

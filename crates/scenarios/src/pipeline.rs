@@ -434,9 +434,21 @@ impl Pipeline for ServePipeline {
             // Small graphs still exercise real sharding: at least 4 shards.
             shard_size: (g.n() / 4).max(1),
             cache_capacity: 512,
+            layout: labelserve::StoreLayout::Flat,
         };
-        let store = builder.build(cfg.shard_size).map_err(&se)?;
+        // One accumulation, both physical layouts: the flat store serves
+        // the oracle differential and the workload replay; the packed
+        // store rides along as a per-cell differential (below) and for the
+        // bytes/node comparison the compression work is judged on.
+        let store = builder
+            .build_layout(cfg.shard_size, cfg.layout)
+            .map_err(&se)?;
+        let packed = builder
+            .build_layout(cfg.shard_size, labelserve::StoreLayout::Packed)
+            .map_err(&se)?;
         rep.detail.push(("store_bytes", store.bytes() as u64));
+        rep.detail
+            .push(("store_bytes_packed", packed.bytes() as u64));
         rep.detail.push(("store_entries", store.entries() as u64));
         let engine = labelserve::QueryEngine::new(store, cfg);
 
@@ -480,6 +492,17 @@ impl Pipeline for ServePipeline {
         for (i, &d) in answers.iter().enumerate() {
             rep.output = fold_checksum(rep.output, i as u64, d);
         }
+        // Packed differential: the compressed layout must answer the
+        // whole replayed workload bit-identically to the flat store.
+        for (q, &d) in queries.iter().zip(&answers) {
+            let pd = packed.distance(q.0, q.1).map_err(&se)?;
+            assert_eq!(
+                pd, d,
+                "{}: packed({} → {}) diverged from the flat store",
+                sc.name, q.0, q.1
+            );
+        }
+        rep.detail.push(("packed_checked", queries.len() as u64));
         let stats = engine.stats();
         rep.detail.push(("queries", queries.len() as u64));
         rep.detail.push(("cache_hits", stats.hits));
@@ -578,6 +601,7 @@ impl Pipeline for UpdatePipeline {
         let cfg = labelserve::ServeConfig {
             shard_size: (n / 4).max(1),
             cache_capacity: 512,
+            ..labelserve::ServeConfig::default()
         };
         let eng = labelserve::VersionedEngine::from_labeling(&dl, cfg).map_err(&se)?;
 

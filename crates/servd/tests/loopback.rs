@@ -19,6 +19,7 @@ fn served(n: usize, cfg: ServdConfig) -> (DynamicLabeling, Arc<VersionedEngine>,
     let serve_cfg = ServeConfig {
         shard_size: (n / 8).max(1),
         cache_capacity: 64,
+        ..ServeConfig::default()
     };
     let engine =
         Arc::new(VersionedEngine::from_labeling(&labeling, serve_cfg).expect("engine build"));

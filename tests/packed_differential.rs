@@ -1,0 +1,170 @@
+//! Packed-vs-flat store differential over the whole scenario corpus.
+//!
+//! The packed block layout (`labelserve::StoreLayout::Packed`) is a pure
+//! re-encoding of the flat SoA arena: same entries, same merge-join
+//! semantics, ~4-5x fewer bytes. This suite pins that contract corpus-wide:
+//!
+//! 1. **Bit-identical answers** — for every scenario family (including the
+//!    multi-component cells, so cross-component ∞ flows through the packed
+//!    decoder), one label accumulation compacted into both layouts must
+//!    answer every checked pair identically — exhaustive for n ≤ 200, a
+//!    seeded sample otherwise.
+//! 2. **Strictly smaller** — the packed arena must always be smaller than
+//!    the flat one on corpus stores (they carry real hub sets, not
+//!    degenerate empties).
+//! 3. **Shard-file round-trip** — `write_to` → `open_mmap` must reproduce
+//!    each layout exactly: same shape, same bytes-per-node class, and a
+//!    full differential against the in-memory store that produced it.
+
+use lowtw::labelserve::{QueryEngine, ServeConfig, StoreBuilder, StoreLayout};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scenarios::{corpus, runner, split_components, Scenario};
+use twgraph::INF;
+
+/// Split components, label each (centralized), and hand back the loaded
+/// builder — one accumulation that both layouts compact from.
+fn builder_for(sc: &Scenario) -> StoreBuilder {
+    let g = sc.graph();
+    let inst = sc.instance();
+    let parts = split_components(&g, &inst);
+    let mut builder = StoreBuilder::new(g.n());
+    for (ci, part) in parts.iter().enumerate() {
+        if part.graph.n() == 1 {
+            builder.add_singleton(part.old_of[0]).unwrap();
+            continue;
+        }
+        let out = runner::decompose_part(part, sc.t0, sc.seed, ci)
+            .unwrap_or_else(|e| panic!("{}: decomposition failed: {e}", sc.name));
+        let labels = distlabel::build_labels_centralized(&part.inst, &out.td, &out.info);
+        builder.add_component(&labels, &part.old_of).unwrap();
+    }
+    builder
+}
+
+/// The pair set a differential walks: exhaustive n×n for n ≤ 200, else a
+/// seeded sample plus the diagonal.
+fn pairs_for(n: usize, seed: u64) -> Vec<(u32, u32)> {
+    if n <= 200 {
+        (0..n as u32)
+            .flat_map(|s| (0..n as u32).map(move |t| (s, t)))
+            .collect()
+    } else {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xACED);
+        let mut qs: Vec<(u32, u32)> = (0..20_000)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        qs.extend((0..n as u32).map(|v| (v, v)));
+        qs
+    }
+}
+
+#[test]
+fn packed_store_matches_flat_on_every_corpus_cell() {
+    for sc in corpus() {
+        let builder = builder_for(&sc);
+        let shard_size = (sc.graph().n() / 5).max(1);
+        let flat = builder.build_layout(shard_size, StoreLayout::Flat).unwrap();
+        let packed = builder
+            .build_layout(shard_size, StoreLayout::Packed)
+            .unwrap();
+        assert_eq!(packed.entries(), flat.entries(), "{}", sc.name);
+        assert_eq!(packed.components(), flat.components(), "{}", sc.name);
+        assert!(
+            packed.bytes() < flat.bytes(),
+            "{}: packed {} >= flat {}",
+            sc.name,
+            packed.bytes(),
+            flat.bytes()
+        );
+        let mut cross_inf = 0u64;
+        for (s, t) in pairs_for(flat.n(), sc.seed) {
+            let d = flat.distance(s, t).unwrap();
+            assert_eq!(
+                packed.distance(s, t).unwrap(),
+                d,
+                "{}: packed({s} → {t}) diverged",
+                sc.name
+            );
+            if flat.comp_of(s).unwrap() != flat.comp_of(t).unwrap() {
+                assert_eq!(d, INF, "{}: cross-component ({s}, {t}) finite", sc.name);
+                cross_inf += 1;
+            }
+        }
+        if sc.family.tag() == "multi_component" {
+            assert!(cross_inf > 0, "{}: no ∞ pair exercised", sc.name);
+        }
+    }
+}
+
+#[test]
+fn shard_files_round_trip_on_corpus_stores() {
+    let dir = std::env::temp_dir();
+    for (i, sc) in corpus().into_iter().enumerate().take(6) {
+        let builder = builder_for(&sc);
+        let shard_size = (sc.graph().n() / 4).max(1);
+        for layout in [StoreLayout::Flat, StoreLayout::Packed] {
+            let store = builder.build_layout(shard_size, layout).unwrap();
+            let path = dir.join(format!(
+                "lowtw_packed_diff_{}_{i}_{layout:?}.lbl",
+                std::process::id()
+            ));
+            store.write_to(&path).unwrap();
+            let opened = lowtw::labelserve::LabelStore::open_mmap(&path).unwrap();
+            assert_eq!(opened.layout(), layout, "{}", sc.name);
+            assert_eq!(opened.n(), store.n(), "{}", sc.name);
+            assert_eq!(opened.entries(), store.entries(), "{}", sc.name);
+            assert_eq!(opened.components(), store.components(), "{}", sc.name);
+            for (s, t) in pairs_for(store.n(), sc.seed ^ i as u64) {
+                assert_eq!(
+                    opened.distance(s, t).unwrap(),
+                    store.distance(s, t).unwrap(),
+                    "{}: reopened({s} → {t}) diverged",
+                    sc.name
+                );
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
+fn packed_engine_serves_workloads_identically() {
+    // Same check one level up: the QueryEngine (cache, batching, stats)
+    // over a packed store replays a hot workload bit-identically to the
+    // flat engine, and the cache still functions over packed shards.
+    for sc in corpus().into_iter().take(4) {
+        let builder = builder_for(&sc);
+        let n = sc.graph().n();
+        let mk = |layout: StoreLayout| {
+            let cfg = ServeConfig {
+                shard_size: (n / 5).max(1),
+                cache_capacity: 64,
+                layout,
+            };
+            QueryEngine::new(builder.build_layout(cfg.shard_size, layout).unwrap(), cfg)
+        };
+        let flat = mk(StoreLayout::Flat);
+        let packed = mk(StoreLayout::Packed);
+        let qs = lowtw::labelserve::seeded_queries(
+            n,
+            &lowtw::labelserve::WorkloadSpec {
+                queries: 2_000,
+                hot_pairs: 16,
+                hot_fraction: 0.8,
+            },
+            sc.seed,
+        );
+        assert_eq!(
+            flat.batch(&qs).unwrap(),
+            packed.batch(&qs).unwrap(),
+            "{}: engines diverged",
+            sc.name
+        );
+        assert!(
+            packed.stats().hits > 0,
+            "{}: packed cache never hit",
+            sc.name
+        );
+    }
+}

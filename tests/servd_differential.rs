@@ -6,7 +6,7 @@
 //! request decode, response encode, per-connection epoch pinning — so a
 //! failure here localizes to `servd` rather than the serving layer.
 
-use lowtw::labelserve::{self, StoreBuilder, VersionedEngine};
+use lowtw::labelserve::{self, StoreBuilder, StoreLayout, VersionedEngine};
 use lowtw::prelude::*;
 use scenarios::{corpus, runner, split_components, Scenario};
 use std::sync::Arc;
@@ -14,7 +14,7 @@ use std::sync::Arc;
 /// Compact one scenario into a versioned engine the way the harness does
 /// (per-component centralized labeling), with shards small enough to
 /// cross shard boundaries on every workload.
-fn versioned_for(sc: &Scenario) -> Arc<VersionedEngine> {
+fn versioned_for(sc: &Scenario, layout: StoreLayout) -> Arc<VersionedEngine> {
     let g = sc.graph();
     let inst = sc.instance();
     let parts = split_components(&g, &inst);
@@ -32,15 +32,23 @@ fn versioned_for(sc: &Scenario) -> Arc<VersionedEngine> {
     let cfg = ServeConfig {
         shard_size: (g.n() / 5).max(1),
         cache_capacity: 64,
+        layout,
     };
-    let store = builder.build(cfg.shard_size).unwrap();
+    let store = builder.build_layout(cfg.shard_size, layout).unwrap();
     Arc::new(VersionedEngine::new(store, cfg))
 }
 
 #[test]
 fn wire_answers_match_in_process_on_every_corpus_cell() {
-    for sc in corpus() {
-        let engine = versioned_for(&sc);
+    // Alternate store layouts across cells: the wire must be layout-blind,
+    // so both the flat and the packed arena go over the socket here.
+    for (i, sc) in corpus().into_iter().enumerate() {
+        let layout = if i % 2 == 0 {
+            StoreLayout::Packed
+        } else {
+            StoreLayout::Flat
+        };
+        let engine = versioned_for(&sc, layout);
         let server = Server::spawn(
             Arc::clone(&engine),
             ("127.0.0.1", 0),
@@ -98,6 +106,7 @@ fn serve_net_facade_round_trips_against_the_oracle() {
             ServeConfig {
                 shard_size: 64,
                 cache_capacity: 128,
+                ..ServeConfig::default()
             },
             ("127.0.0.1", 0),
             ServdConfig::default(),

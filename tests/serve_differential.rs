@@ -9,7 +9,7 @@
 //! serving layer in isolation (centralized build), so a failure here
 //! localizes to compaction/sharding/caching rather than the CONGEST path.
 
-use lowtw::labelserve::{self, QueryEngine, ServeConfig, ServeError, StoreBuilder};
+use lowtw::labelserve::{self, QueryEngine, ServeConfig, ServeError, StoreBuilder, StoreLayout};
 use lowtw::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -19,7 +19,7 @@ use twgraph::INF;
 /// Build a serving engine for one scenario the way the harness does —
 /// split components, label each (centralized), compact — with shard/cache
 /// parameters small enough to exercise multi-shard layouts and eviction.
-fn engine_for(sc: &Scenario, cache_capacity: usize) -> QueryEngine {
+fn engine_for(sc: &Scenario, cache_capacity: usize, layout: StoreLayout) -> QueryEngine {
     let g = sc.graph();
     let inst = sc.instance();
     let parts = split_components(&g, &inst);
@@ -37,8 +37,9 @@ fn engine_for(sc: &Scenario, cache_capacity: usize) -> QueryEngine {
     let cfg = ServeConfig {
         shard_size: (g.n() / 5).max(1),
         cache_capacity,
+        layout,
     };
-    QueryEngine::new(builder.build(cfg.shard_size).unwrap(), cfg)
+    QueryEngine::new(builder.build_layout(cfg.shard_size, layout).unwrap(), cfg)
 }
 
 /// Exhaustive (n ≤ 200) or seeded-sample comparison of one engine against
@@ -67,8 +68,16 @@ fn check_against_oracle(sc: &Scenario, engine: &QueryEngine) -> usize {
 
 #[test]
 fn serve_matches_apsp_oracle_on_every_corpus_cell() {
-    for sc in corpus() {
-        let engine = engine_for(&sc, 64);
+    // Alternate store layouts across cells so both the flat SoA arena and
+    // the packed block arena face the oracle (the packed==flat corpus
+    // differential lives in tests/packed_differential.rs).
+    for (i, sc) in corpus().into_iter().enumerate() {
+        let layout = if i % 2 == 0 {
+            StoreLayout::Flat
+        } else {
+            StoreLayout::Packed
+        };
+        let engine = engine_for(&sc, 64, layout);
         let checked = check_against_oracle(&sc, &engine);
         assert!(
             checked >= engine.store().n(),
@@ -89,7 +98,9 @@ fn cross_component_pairs_answer_infinity() {
         .into_iter()
         .find(|s| s.family.tag() == "multi_component")
         .expect("corpus lost its multi_component scenario");
-    let engine = engine_for(&sc, 64);
+    // The packed layout must route cross-component pairs to ∞ exactly like
+    // the flat one; serve the stress case through the compressed store.
+    let engine = engine_for(&sc, 64, StoreLayout::Packed);
     let store = engine.store();
     assert!(store.components() >= 4, "multi_component became connected");
     let n = store.n() as u32;
@@ -119,6 +130,7 @@ fn sampled_mode_on_a_large_graph() {
             ServeConfig {
                 shard_size: 128,
                 cache_capacity: 256,
+                ..ServeConfig::default()
             },
         )
         .unwrap();
@@ -138,8 +150,8 @@ fn sampled_mode_on_a_large_graph() {
 #[test]
 fn cache_toggle_is_invisible_on_corpus_stores() {
     for sc in corpus().into_iter().take(4) {
-        let cached = engine_for(&sc, 64);
-        let raw = engine_for(&sc, 0);
+        let cached = engine_for(&sc, 64, StoreLayout::Flat);
+        let raw = engine_for(&sc, 0, StoreLayout::Flat);
         let qs = labelserve::seeded_queries(
             cached.store().n(),
             &labelserve::WorkloadSpec {
