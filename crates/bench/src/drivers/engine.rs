@@ -1,0 +1,70 @@
+//! The `engine` driver: one full distributed SSSP pipeline — tree
+//! decomposition → distance labeling → label-broadcast query — with every
+//! stage's charged costs taken from the engine's phase log and the
+//! distributed answers spot-checked against centralized Dijkstra.
+
+use super::{gen_instance, RowBuilder};
+use crate::lab::plan::Trial;
+use crate::lab::results::TrialRow;
+use congest_sim::{Network, NetworkConfig, PhaseSnapshot};
+use lowtw::{distlabel, treedec, twgraph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+pub fn run(trial: &Trial) -> TrialRow {
+    let inst = gen_instance(trial, 4_000, 1);
+    let mut row = RowBuilder::new(trial);
+    let n = inst.n;
+    let m = inst.g.m();
+    let mut net = Network::new(inst.g.clone(), NetworkConfig::default());
+    let cfg = lowtw::SepConfig::practical(n);
+    let mut rng = SmallRng::seed_from_u64(inst.seed);
+
+    let t = Instant::now();
+    let out = treedec::decompose_distributed(&mut net, inst.k as u64 + 1, &cfg, &mut rng)
+        .expect("decomposition failed");
+    row.wall("decompose", t.elapsed());
+
+    let t = Instant::now();
+    let (labels, _) = distlabel::build_labels_distributed(&mut net, &inst.inst, &out.td, &out.info)
+        .expect("label build failed");
+    row.wall("label", t.elapsed());
+
+    let t = Instant::now();
+    let (dists, _) = distlabel::sssp_distributed(&mut net, &labels, 0).expect("sssp failed");
+    row.wall("query", t.elapsed());
+
+    // Spot-check correctness against the centralized oracle.
+    let truth = twgraph::alg::dijkstra(&inst.inst, 0);
+    let mut checked = 0u64;
+    for v in (0..n).step_by((n / 64).max(1)) {
+        assert_eq!(dists[v], truth.dist[v], "sssp mismatch at {v}");
+        checked += 1;
+    }
+
+    row.det("n", n as u64);
+    row.det("m", m as u64);
+    row.det("width", out.td.width() as u64);
+    row.det("depth", out.td.stats().depth as u64);
+    row.det("checked", checked);
+    let total = net.metrics();
+    row.det("rounds", total.rounds);
+    row.det("supersteps", total.supersteps);
+    row.det("messages", total.messages);
+    row.det("words", total.words);
+    row.det("charged_rounds", total.charged_rounds);
+    row.det("congestion", total.max_edge_words_in_superstep);
+    // Per-phase charged costs, index-prefixed: phase names repeat in the
+    // log (e.g. "primitives/backbone" appears once per stage).
+    let phases: Vec<PhaseSnapshot> = net.phase_log().to_vec();
+    for (i, p) in phases.iter().enumerate() {
+        let pre = format!("p{i:02}/{}", p.phase);
+        row.det(format!("{pre}/rounds"), p.rounds);
+        row.det(format!("{pre}/messages"), p.messages);
+        row.det(format!("{pre}/words"), p.words);
+        row.det(format!("{pre}/charged_rounds"), p.charged_rounds);
+        row.det(format!("{pre}/congestion"), p.max_edge_words_in_superstep);
+    }
+    row.finish()
+}

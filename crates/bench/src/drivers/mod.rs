@@ -1,0 +1,128 @@
+//! Trial drivers: the measurement bodies of the six experiments, lifted
+//! out of the old ad-hoc bench bins so the `lab` bin can plan, run, and
+//! gate them uniformly.
+//!
+//! Each driver takes one resolved [`Trial`] and returns one [`TrialRow`],
+//! classifying every metric at the source: `det` for deterministic
+//! charged quantities (gated exactly), `wall` for wall-clock spans
+//! (gated with tolerance), `info` for derived context (never gated).
+
+pub mod engine;
+pub mod matrix;
+pub mod servd;
+pub mod serve;
+pub mod tables;
+pub mod update;
+
+use crate::lab::plan::Trial;
+use crate::lab::results::TrialRow;
+use crate::lab::spec::Driver;
+use std::time::Duration;
+
+/// Run one trial through its driver.
+pub fn run_trial(trial: &Trial) -> TrialRow {
+    match trial.driver {
+        Driver::Engine => engine::run(trial),
+        Driver::Matrix => matrix::run(trial),
+        Driver::Serve => serve::run(trial),
+        Driver::Servd => servd::run(trial),
+        Driver::Update => update::run(trial),
+        Driver::Tables => tables::run(trial),
+    }
+}
+
+/// Accumulates one trial's classified metrics.
+pub struct RowBuilder {
+    row: TrialRow,
+}
+
+impl RowBuilder {
+    pub fn new(trial: &Trial) -> Self {
+        RowBuilder {
+            row: TrialRow {
+                id: trial.id(),
+                experiment: trial.experiment.clone(),
+                scenario: trial.scenario.clone(),
+                pipeline: trial.pipeline.clone(),
+                variant: trial.variant.clone(),
+                rep: trial.rep,
+                det: Vec::new(),
+                wall_us: Vec::new(),
+                info: Vec::new(),
+            },
+        }
+    }
+
+    /// Keys must be unique within a row (they serialize to JSON object
+    /// fields and are the gate's join key), but some sources emit one
+    /// entry per component under the same name. Deterministic occurrence
+    /// order makes the suffixed names stable across runs.
+    fn uniqued(existing: &[(String, impl Sized)], key: String) -> String {
+        let dups = existing
+            .iter()
+            .filter(|(k, _)| *k == key || k.starts_with(&format!("{key}#")))
+            .count();
+        if dups == 0 {
+            key
+        } else {
+            format!("{key}#{}", dups + 1)
+        }
+    }
+
+    /// A deterministic charged metric (gated bit-exactly).
+    pub fn det(&mut self, key: impl Into<String>, v: u64) {
+        let key = Self::uniqued(&self.row.det, key.into());
+        self.row.det.push((key, v));
+    }
+
+    /// A wall-clock span (gated with tolerance).
+    pub fn wall(&mut self, key: impl Into<String>, d: Duration) {
+        self.wall_us_raw(key, d.as_micros() as u64);
+    }
+
+    /// A wall-clock span already in microseconds.
+    pub fn wall_us_raw(&mut self, key: impl Into<String>, us: u64) {
+        let key = Self::uniqued(&self.row.wall_us, key.into());
+        self.row.wall_us.push((key, us));
+    }
+
+    /// An ungated context number (throughput, rate, speedup).
+    pub fn info(&mut self, key: impl Into<String>, v: f64) {
+        let key = Self::uniqued(&self.row.info, key.into());
+        self.row.info.push((key, v));
+    }
+
+    pub fn finish(self) -> TrialRow {
+        self.row
+    }
+}
+
+/// The partial-k-tree weighted instance every non-matrix driver builds:
+/// the shared `(n, k, keep, seed)` family of the old bins, deduplicated.
+pub struct Instance {
+    pub g: lowtw::twgraph::UGraph,
+    pub inst: lowtw::twgraph::MultiDigraph,
+    pub n: usize,
+    pub k: usize,
+    pub keep: f64,
+    pub seed: u64,
+}
+
+/// Generate the trial's instance from its `n`/`k`/`keep`/`seed` params.
+pub fn gen_instance(trial: &Trial, default_n: usize, default_k: usize) -> Instance {
+    let n = trial.params.usize("n", default_n);
+    let k = trial.params.usize("k", default_k);
+    let keep = trial.params.f64("keep", 0.5);
+    let seed = trial.params.u64("seed", 1);
+    eprintln!("  generating partial {k}-tree, n = {n}, keep = {keep}, seed = {seed} ...");
+    let g = lowtw::twgraph::gen::partial_ktree(n, k, keep, seed);
+    let inst = lowtw::twgraph::gen::with_random_weights(&g, 30, seed);
+    Instance {
+        g,
+        inst,
+        n,
+        k,
+        keep,
+        seed,
+    }
+}

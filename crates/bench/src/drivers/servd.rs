@@ -1,0 +1,204 @@
+//! The `servd` driver: the store served over a real loopback socket. One
+//! differential pass (every wire answer checked against the in-process
+//! engine), then an open-loop run from several client connections with
+//! latency charged from each request's *scheduled* send time — no
+//! coordinated omission. Counts are schedule-determined and gated
+//! exactly; latencies and throughput are host-dependent context.
+
+use super::{gen_instance, RowBuilder};
+use crate::lab::plan::Trial;
+use crate::lab::results::TrialRow;
+use crate::rate_per_sec;
+use labelserve::{
+    seeded_queries, ServeConfig, StoreBuilder, StoreLayout, VersionedEngine, WorkloadSpec,
+};
+use lowtw::servd::{Client, Request, Response, ServdConfig, Server};
+use lowtw::{distlabel, treedec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Every 64th scheduled request ships as one batch of this many pairs.
+const BATCH_EVERY: usize = 64;
+const BATCH_LEN: usize = 32;
+
+/// One connection's share of the open-loop run.
+struct ConnReport {
+    samples_us: Vec<u64>,
+    requests: u64,
+    queries: u64,
+}
+
+/// Drive `requests` scheduled sends at `interval_us` spacing over one
+/// connection; a synchronous round trip per request, latency charged
+/// from the scheduled instant.
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    queries: &[(u32, u32)],
+    requests: usize,
+    interval_us: u64,
+) -> ConnReport {
+    let mut client = Client::connect(addr).expect("client connect failed");
+    let mut samples_us = Vec::with_capacity(requests);
+    let mut qcount = 0u64;
+    let mut qi = 0usize;
+    let next = |qi: &mut usize| {
+        let q = queries[*qi % queries.len()];
+        *qi += 1;
+        q
+    };
+    let start = Instant::now();
+    for i in 0..requests {
+        let sched = Duration::from_micros(i as u64 * interval_us);
+        let elapsed = start.elapsed();
+        if sched > elapsed {
+            std::thread::sleep(sched - elapsed);
+        }
+        if i % BATCH_EVERY == BATCH_EVERY - 1 {
+            let pairs: Vec<(u32, u32)> = (0..BATCH_LEN).map(|_| next(&mut qi)).collect();
+            let got = client.batch(&pairs).expect("batch over the wire failed");
+            assert_eq!(got.len(), BATCH_LEN);
+            qcount += BATCH_LEN as u64;
+        } else {
+            let (s, t) = next(&mut qi);
+            client.distance(s, t).expect("query over the wire failed");
+            qcount += 1;
+        }
+        samples_us.push((start.elapsed() - sched).as_micros() as u64);
+    }
+    ConnReport {
+        samples_us,
+        requests: requests as u64,
+        queries: qcount,
+    }
+}
+
+/// Check a slice of the workload over the wire against the in-process
+/// engine, answer by answer; returns how many pairs were verified.
+fn differential(addr: std::net::SocketAddr, engine: &VersionedEngine, pairs: &[(u32, u32)]) -> u64 {
+    let mut client = Client::connect(addr).expect("differential connect failed");
+    for &(s, t) in pairs.iter().take(pairs.len() / 4) {
+        assert_eq!(
+            client.distance(s, t).expect("wire query failed"),
+            engine.distance(s, t).expect("in-process query failed"),
+            "wire({s}, {t}) diverged from the in-process engine"
+        );
+    }
+    assert_eq!(
+        client.batch(pairs).expect("wire batch failed"),
+        engine.batch(pairs).expect("in-process batch failed"),
+        "batched wire answers diverged from the in-process engine"
+    );
+    match client.call(&Request::Epoch).expect("epoch call failed") {
+        Response::Epoch(e) => assert_eq!(e, engine.epoch()),
+        other => panic!("unexpected epoch response {other:?}"),
+    }
+    (pairs.len() + pairs.len() / 4) as u64
+}
+
+pub fn run(trial: &Trial) -> TrialRow {
+    let inst = gen_instance(trial, 4_000, 1);
+    let layout = match trial.params.str("layout", "flat") {
+        "flat" => StoreLayout::Flat,
+        "packed" => StoreLayout::Packed,
+        other => panic!("unknown layout {other:?} (expected \"flat\" or \"packed\")"),
+    };
+    let conns = trial.params.usize("conns", 2);
+    let per_conn_rate = trial.params.u64("rate_per_conn", 10_000);
+    let per_conn_requests = trial.params.usize("requests_per_conn", 4_000);
+    let mut row = RowBuilder::new(trial);
+    let n = inst.n;
+
+    let serve_cfg = ServeConfig::default().with_layout(layout);
+    let cfg = lowtw::SepConfig::practical(n);
+    let mut rng = SmallRng::seed_from_u64(inst.seed);
+    let t = Instant::now();
+    let out = treedec::decompose_centralized(&inst.g, inst.k as u64 + 1, &cfg, &mut rng)
+        .expect("decomposition failed");
+    let labels = distlabel::build_labels_centralized(&inst.inst, &out.td, &out.info);
+    let ids: Vec<u32> = (0..n as u32).collect();
+    let mut builder = StoreBuilder::new(n);
+    builder
+        .add_component(&labels, &ids)
+        .expect("store compaction failed");
+    let store = builder
+        .build_layout(serve_cfg.shard_size, layout)
+        .expect("store build failed");
+    row.wall("build", t.elapsed());
+    row.det("n", n as u64);
+    row.det("m", inst.g.m() as u64);
+    row.det("width", out.td.width() as u64);
+    row.det("store_entries", store.entries() as u64);
+    row.det("store_shards", store.shard_count() as u64);
+    let engine = Arc::new(VersionedEngine::new(store, serve_cfg));
+
+    let server = Server::spawn(
+        Arc::clone(&engine),
+        ("127.0.0.1", 0),
+        ServdConfig::default(),
+    )
+    .expect("server spawn failed");
+    let addr = server.local_addr();
+
+    // Differential gate before timing.
+    let diff_pairs = seeded_queries(
+        n,
+        &WorkloadSpec {
+            queries: trial.params.usize("diff_pairs", 2_000),
+            hot_pairs: 128,
+            hot_fraction: 0.75,
+        },
+        inst.seed ^ 0xD1FF,
+    );
+    row.det(
+        "differential_pairs",
+        differential(addr, &engine, &diff_pairs),
+    );
+
+    // The open-loop run.
+    let spec = WorkloadSpec {
+        queries: trial.params.usize("queries", 50_000),
+        hot_pairs: trial.params.usize("hot_pairs", 4096),
+        hot_fraction: trial.params.f64("hot_fraction", 0.75),
+    };
+    let interval_us = 1_000_000 / per_conn_rate;
+    let t = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            let queries = seeded_queries(n, &spec, inst.seed.wrapping_add(c as u64));
+            std::thread::spawn(move || {
+                drive_connection(addr, &queries, per_conn_requests, interval_us)
+            })
+        })
+        .collect();
+    let reports: Vec<ConnReport> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let wall = t.elapsed();
+    row.wall("open_loop", wall);
+
+    let mut samples: Vec<u64> = reports.iter().flat_map(|r| r.samples_us.clone()).collect();
+    let requests: u64 = reports.iter().map(|r| r.requests).sum();
+    let queries: u64 = reports.iter().map(|r| r.queries).sum();
+    let summary = lowtw::servd::LatencySummary::from_samples(&mut samples);
+    row.det("requests", requests);
+    row.det("queries", queries);
+    row.info("sustained_rps", rate_per_sec(requests, wall) as f64);
+    row.info("sustained_qps", rate_per_sec(queries, wall) as f64);
+    row.info("latency_p50_us", summary.p50_us as f64);
+    row.info("latency_p90_us", summary.p90_us as f64);
+    row.info("latency_p99_us", summary.p99_us as f64);
+    row.info("latency_p999_us", summary.p999_us as f64);
+    row.info("latency_max_us", summary.max_us as f64);
+
+    let stats = server.shutdown();
+    assert_eq!(
+        (stats.malformed, stats.overloads, stats.rejected_batches),
+        (0, 0, 0),
+        "protocol errors during a clean benchmark run"
+    );
+    // Connection and request counts are fixed by the schedule.
+    row.det("server_connections", stats.connections);
+    row.det("server_requests", stats.requests);
+    row.det("server_queries", stats.queries);
+    row.finish()
+}

@@ -1,75 +1,54 @@
-//! The experiment harness: one table per claim (see DESIGN.md §5 and
-//! EXPERIMENTS.md). Run all experiments or a subset:
-//!
-//! ```sh
-//! cargo run --release -p lowtw-bench --bin tables            # everything
-//! cargo run --release -p lowtw-bench --bin tables -- e2 e5   # a subset
-//! ```
+//! The `tables` driver: the per-claim paper tables (see
+//! `docs/EXPERIMENTS.md` for the experiment map), one lab variant per
+//! table. Each function prints its human-readable table exactly as the
+//! old `tables` bin did and records every charged quantity as a
+//! deterministic gate metric keyed `<row-label>/<metric>`.
 
+use super::RowBuilder;
+use crate::lab::plan::Trial;
+use crate::lab::results::TrialRow;
+use crate::{fmt, ratio, table};
 use congest_sim::{Network, NetworkConfig};
-use lowtw::prelude::*;
 use lowtw::Session;
-use lowtw_bench::{fmt, ratio, table};
+use lowtw::{baselines, bmatch, distlabel, girth, stateful_walks, treedec, twgraph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use treedec::sep::SepPath;
 use treedec::SepConfig;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
-    if want("e1") {
-        e1_headline();
+pub fn run(trial: &Trial) -> TrialRow {
+    let mut row = RowBuilder::new(trial);
+    match trial.variant.as_str() {
+        "e1" => e1_headline(&mut row),
+        "e2" => e2_separator(&mut row),
+        "e3" => e3_decomposition(&mut row),
+        "e4" => e4_labeling(&mut row),
+        "e5" => e5_sssp(&mut row),
+        "e6" => e6_cdl_q(&mut row),
+        "e7" => e7_matching(&mut row),
+        "e8" => e8_girth(&mut row),
+        "e9" => e9_primitives(&mut row),
+        "a1" => a1_pa_ablation(&mut row),
+        "a2" => a2_pair_sampling(&mut row),
+        "a3" => a3_constants(&mut row),
+        other => panic!("unknown tables variant {other:?}"),
     }
-    if want("e2") {
-        e2_separator();
-    }
-    if want("e3") {
-        e3_decomposition();
-    }
-    if want("e4") {
-        e4_labeling();
-    }
-    if want("e5") {
-        e5_sssp();
-    }
-    if want("e6") {
-        e6_cdl_q();
-    }
-    if want("e7") {
-        e7_matching();
-    }
-    if want("e8") {
-        e8_girth();
-    }
-    if want("e9") {
-        e9_primitives();
-    }
-    if want("a1") {
-        a1_pa_ablation();
-    }
-    if want("a2") {
-        a2_pair_sampling();
-    }
-    if want("a3") {
-        a3_constants();
-    }
+    row.finish()
 }
 
-#[derive(Serialize)]
-struct Rec {
-    exp: &'static str,
-    family: String,
-    n: usize,
-    tau: usize,
-    d: u32,
-    rounds: u64,
-    extra: serde_json::Value,
+/// Stable numeric code of a separator path for exact gating.
+fn path_code(p: &SepPath) -> u64 {
+    match p {
+        SepPath::Small => 0,
+        SepPath::Roots(_) => 1,
+        SepPath::Cuts => 2,
+        SepPath::Union => 3,
+    }
 }
 
 /// E1 — the headline table of §1.2: measured rounds of the three
 /// pipelines on one family as n grows.
-fn e1_headline() {
+fn e1_headline(row: &mut RowBuilder) {
     let mut rows = Vec::new();
     for &n in &[128usize, 256, 512] {
         let g = twgraph::gen::partial_ktree(n, 3, 0.7, 1);
@@ -84,6 +63,11 @@ fn e1_headline() {
         let mut net2 = Network::new(g.clone(), NetworkConfig::default());
         let (_, girth_rounds) =
             girth::girth_directed_distributed(&mut net2, &directed, &dl2).unwrap();
+        row.det(format!("n{n}/diameter"), d as u64);
+        row.det(format!("n{n}/treedec_rounds"), td_rounds);
+        row.det(format!("n{n}/dl_rounds"), dl_rounds);
+        row.det(format!("n{n}/sssp_query_rounds"), q_rounds);
+        row.det(format!("n{n}/girth_dir_rounds"), girth_rounds);
         rows.push((
             vec![
                 n.to_string(),
@@ -93,15 +77,7 @@ fn e1_headline() {
                 fmt(q_rounds),
                 fmt(girth_rounds),
             ],
-            Rec {
-                exp: "e1",
-                family: "partial_ktree(k=3)".into(),
-                n,
-                tau: 3,
-                d,
-                rounds: td_rounds + dl_rounds,
-                extra: serde_json::json!({"dl": dl_rounds, "sssp_query": q_rounds, "girth_dir": girth_rounds}),
-            },
+            serde_json::json!({"exp": "e1", "n": n, "td": td_rounds, "dl": dl_rounds}),
         ));
     }
     table(
@@ -113,14 +89,14 @@ fn e1_headline() {
 
 /// E2 — Lemma 1: separator size vs the O(t²) bound, balance, and the
 /// distributed cost.
-fn e2_separator() {
-    use treedec::sep::{sep_doubling, SepPath};
+fn e2_separator(row: &mut RowBuilder) {
+    use treedec::sep::sep_doubling;
     let mut rows = Vec::new();
     for (name, g, t0) in [
-        ("banded(k=2)", twgraph::gen::banded_path(512, 2), 3u64),
-        ("banded(k=4)", twgraph::gen::banded_path(512, 4), 5),
-        ("ktree(k=3)", twgraph::gen::ktree(512, 3, 2), 4),
-        ("grid(8×64)", twgraph::gen::grid(8, 64), 9),
+        ("banded_k2", twgraph::gen::banded_path(512, 2), 3u64),
+        ("banded_k4", twgraph::gen::banded_path(512, 4), 5),
+        ("ktree_k3", twgraph::gen::ktree(512, 3, 2), 4),
+        ("grid_8x64", twgraph::gen::grid(8, 64), 9),
     ] {
         let n = g.n();
         let cfg = SepConfig::practical(n);
@@ -128,12 +104,10 @@ fn e2_separator() {
         let members = vec![true; n];
         let mu = vec![1u64; n];
         let out = sep_doubling(&g, &members, &mu, t0, &cfg, &mut rng);
-        let path = match out.path {
-            SepPath::Small => "small",
-            SepPath::Roots(_) => "roots",
-            SepPath::Cuts => "cuts",
-            SepPath::Union => "union",
-        };
+        row.det(format!("{name}/sep"), out.separator.len() as u64);
+        row.det(format!("{name}/bound"), cfg.size_bound(out.t_used) as u64);
+        row.det(format!("{name}/t_used"), out.t_used);
+        row.det(format!("{name}/path"), path_code(&out.path));
         rows.push((
             vec![
                 name.to_string(),
@@ -141,17 +115,9 @@ fn e2_separator() {
                 out.t_used.to_string(),
                 out.separator.len().to_string(),
                 cfg.size_bound(out.t_used).to_string(),
-                path.to_string(),
+                format!("{}", path_code(&out.path)),
             ],
-            Rec {
-                exp: "e2",
-                family: name.into(),
-                n,
-                tau: t0 as usize - 1,
-                d: 0,
-                rounds: 0,
-                extra: serde_json::json!({"sep": out.separator.len(), "bound": cfg.size_bound(out.t_used), "path": path}),
-            },
+            serde_json::json!({"exp": "e2", "family": name, "sep": out.separator.len()}),
         ));
     }
     table(
@@ -162,7 +128,7 @@ fn e2_separator() {
 }
 
 /// E3 — Theorem 1: width / (τ² log n), depth / log n, rounds scaling.
-fn e3_decomposition() {
+fn e3_decomposition(row: &mut RowBuilder) {
     let mut rows = Vec::new();
     for (k, n) in [(2usize, 256usize), (2, 512), (2, 1024), (4, 512)] {
         let g = twgraph::gen::banded_path(n, k);
@@ -170,28 +136,28 @@ fn e3_decomposition() {
         let (session, rounds) = Session::decompose_distributed(&g, k as u64 + 1, 3).unwrap();
         let stats = session.td.stats();
         let logn = (n as f64).ln();
-        let width_norm = stats.width as f64 / (k as f64 * k as f64 * logn);
-        let depth_norm = stats.depth as f64 / logn;
+        let key = format!("k{k}_n{n}");
+        row.det(format!("{key}/diameter"), d as u64);
+        row.det(format!("{key}/width"), stats.width as u64);
+        row.det(format!("{key}/depth"), stats.depth as u64);
+        row.det(format!("{key}/rounds"), rounds);
+        row.info(
+            format!("{key}/width_norm"),
+            stats.width as f64 / (k as f64 * k as f64 * logn),
+        );
+        row.info(format!("{key}/depth_norm"), stats.depth as f64 / logn);
         rows.push((
             vec![
                 format!("banded(k={k})"),
                 n.to_string(),
                 d.to_string(),
                 stats.width.to_string(),
-                format!("{width_norm:.2}"),
+                format!("{:.2}", stats.width as f64 / (k as f64 * k as f64 * logn)),
                 stats.depth.to_string(),
-                format!("{depth_norm:.2}"),
+                format!("{:.2}", stats.depth as f64 / logn),
                 fmt(rounds),
             ],
-            Rec {
-                exp: "e3",
-                family: format!("banded(k={k})"),
-                n,
-                tau: k,
-                d,
-                rounds,
-                extra: serde_json::json!({"width": stats.width, "depth": stats.depth}),
-            },
+            serde_json::json!({"exp": "e3", "n": n, "width": stats.width, "depth": stats.depth}),
         ));
     }
     table(
@@ -211,7 +177,7 @@ fn e3_decomposition() {
 }
 
 /// E4 — Theorem 2: label sizes vs O(τ² log² n) and construction rounds.
-fn e4_labeling() {
+fn e4_labeling(row: &mut RowBuilder) {
     let mut rows = Vec::new();
     for &n in &[128usize, 256, 512] {
         let k = 3usize;
@@ -222,29 +188,30 @@ fn e4_labeling() {
         let max_w = labels.iter().map(|l| l.words()).max().unwrap() as u64;
         let avg_w: f64 = labels.iter().map(|l| l.words() as f64).sum::<f64>() / labels.len() as f64;
         let log2n = (n as f64).log2();
-        let norm = max_w as f64 / (k as f64 * k as f64 * log2n * log2n);
         // Exactness spot check.
         let truth = twgraph::alg::dijkstra(&inst, 0).dist;
         let ok = (0..n).all(|v| decode(&labels[0], &labels[v]) == truth[v]);
         assert!(ok, "decoder must be exact");
+        row.det(format!("n{n}/max_words"), max_w);
+        row.det(format!("n{n}/rounds"), rounds);
+        row.info(format!("n{n}/avg_words"), avg_w);
+        row.info(
+            format!("n{n}/max_norm"),
+            max_w as f64 / (k as f64 * k as f64 * log2n * log2n),
+        );
         rows.push((
             vec![
                 n.to_string(),
                 format!("{avg_w:.0}"),
                 max_w.to_string(),
-                format!("{norm:.2}"),
+                format!(
+                    "{:.2}",
+                    max_w as f64 / (k as f64 * k as f64 * log2n * log2n)
+                ),
                 fmt(rounds),
                 "exact".into(),
             ],
-            Rec {
-                exp: "e4",
-                family: "partial_ktree(k=3)".into(),
-                n,
-                tau: k,
-                d: 0,
-                rounds,
-                extra: serde_json::json!({"max_words": max_w, "avg_words": avg_w}),
-            },
+            serde_json::json!({"exp": "e4", "n": n, "max_words": max_w}),
         ));
     }
     table(
@@ -262,7 +229,7 @@ fn e4_labeling() {
 }
 
 /// E5 — fully polynomial SSSP vs Bellman–Ford: amortization over queries.
-fn e5_sssp() {
+fn e5_sssp(row: &mut RowBuilder) {
     let mut rows = Vec::new();
     for &n in &[256usize, 512, 1024] {
         let g = twgraph::gen::banded_path(n, 2);
@@ -280,6 +247,10 @@ fn e5_sssp() {
         } else {
             u64::MAX
         };
+        row.det(format!("n{n}/dl_rounds"), dl_rounds);
+        row.det(format!("n{n}/query_rounds"), q_rounds);
+        row.det(format!("n{n}/bellman_ford_rounds"), bf_rounds);
+        row.det(format!("n{n}/breakeven_queries"), breakeven);
         rows.push((
             vec![
                 n.to_string(),
@@ -293,15 +264,7 @@ fn e5_sssp() {
                     breakeven.to_string()
                 },
             ],
-            Rec {
-                exp: "e5",
-                family: "banded(k=2)".into(),
-                n,
-                tau: 2,
-                d,
-                rounds: dl_rounds,
-                extra: serde_json::json!({"query": q_rounds, "bford": bf_rounds, "breakeven_queries": breakeven}),
-            },
+            serde_json::json!({"exp": "e5", "n": n, "dl": dl_rounds, "bford": bf_rounds}),
         ));
     }
     table(
@@ -319,7 +282,7 @@ fn e5_sssp() {
 }
 
 /// E6 — Theorem 3: CDL rounds vs |Q| (count-c walks).
-fn e6_cdl_q() {
+fn e6_cdl_q(row: &mut RowBuilder) {
     use stateful_walks::{CdlLabeling, CountWalk};
     let n = 96usize;
     let g = twgraph::gen::banded_path(n, 2);
@@ -349,17 +312,11 @@ fn e6_cdl_q() {
                 (metrics.rounds as f64 / r0 as f64).ln() / (q as f64 / q0 as f64).ln()
             )
         });
+        row.det(format!("c{c}/q"), q as u64);
+        row.det(format!("c{c}/rounds"), metrics.rounds);
         rows.push((
             vec![c.to_string(), q.to_string(), fmt(metrics.rounds), exp],
-            Rec {
-                exp: "e6",
-                family: "count-c walks".into(),
-                n,
-                tau: 2,
-                d: 0,
-                rounds: metrics.rounds,
-                extra: serde_json::json!({"Q": q}),
-            },
+            serde_json::json!({"exp": "e6", "c": c, "rounds": metrics.rounds}),
         ));
         prev = Some((q, metrics.rounds));
     }
@@ -371,7 +328,7 @@ fn e6_cdl_q() {
 }
 
 /// E7 — Theorem 4: matching correctness + rounds vs the Õ(s_max) baseline.
-fn e7_matching() {
+fn e7_matching(row: &mut RowBuilder) {
     let mut rows = Vec::new();
     for &n_side in &[32usize, 64, 128] {
         let (g, side) = twgraph::gen::bipartite_banded(n_side, n_side, 2, 0.5, 3);
@@ -395,9 +352,15 @@ fn e7_matching() {
         } else {
             0
         };
+        let n = 2 * n_side;
+        row.det(format!("n{n}/matching"), ours.size() as u64);
+        row.det(format!("n{n}/augmentations"), ours.augmentations as u64);
+        row.det(format!("n{n}/attempts"), ours.attempts as u64);
+        row.det(format!("n{n}/baseline_rounds"), base_rounds);
+        row.det(format!("n{n}/thm4_rounds"), t4_rounds);
         rows.push((
             vec![
-                (2 * n_side).to_string(),
+                n.to_string(),
                 ours.size().to_string(),
                 ours.augmentations.to_string(),
                 ours.attempts.to_string(),
@@ -408,15 +371,7 @@ fn e7_matching() {
                     "-".into()
                 },
             ],
-            Rec {
-                exp: "e7",
-                family: "bipartite_banded".into(),
-                n: 2 * n_side,
-                tau: 5,
-                d: 0,
-                rounds: t4_rounds,
-                extra: serde_json::json!({"size": ours.size(), "baseline_rounds": base_rounds}),
-            },
+            serde_json::json!({"exp": "e7", "n": n, "size": ours.size()}),
         ));
     }
     table(
@@ -427,7 +382,7 @@ fn e7_matching() {
 }
 
 /// E8 — Theorem 5 + the girth/diameter separation family.
-fn e8_girth() {
+fn e8_girth(row: &mut RowBuilder) {
     let mut rows = Vec::new();
     for bits in [3usize, 4, 5] {
         let g = twgraph::gen::bit_gadget(bits);
@@ -444,6 +399,11 @@ fn e8_girth() {
         assert_eq!(run.girth, truth);
         let mut net = Network::new(g.clone(), NetworkConfig::default());
         let (_, apsp_rounds) = baselines::apsp_pipelined_distributed(&mut net).unwrap();
+        let key = format!("gadget{bits}");
+        row.det(format!("{key}/girth"), run.girth);
+        row.det(format!("{key}/rounds_per_trial"), run.rounds_per_trial);
+        row.det(format!("{key}/trials"), run.trials as u64);
+        row.det(format!("{key}/apsp_rounds"), apsp_rounds);
         rows.push((
             vec![
                 format!("gadget({bits})"),
@@ -453,15 +413,7 @@ fn e8_girth() {
                 fmt(apsp_rounds),
                 ratio(apsp_rounds, n as u64),
             ],
-            Rec {
-                exp: "e8",
-                family: format!("bit_gadget({bits})"),
-                n,
-                tau: 2 * bits + 1,
-                d: 4,
-                rounds: run.rounds_per_trial,
-                extra: serde_json::json!({"girth": run.girth, "apsp_rounds": apsp_rounds, "trials": run.trials}),
-            },
+            serde_json::json!({"exp": "e8", "bits": bits, "girth": run.girth}),
         ));
     }
     table(
@@ -496,6 +448,9 @@ fn e8_girth() {
         assert_eq!(run.girth, truth);
         let mut net = Network::new(g.clone(), NetworkConfig::default());
         let (_, apsp_rounds) = baselines::apsp_pipelined_distributed(&mut net).unwrap();
+        row.det(format!("trend_n{n}/diameter"), d as u64);
+        row.det(format!("trend_n{n}/rounds_per_trial"), run.rounds_per_trial);
+        row.det(format!("trend_n{n}/apsp_rounds"), apsp_rounds);
         rows.push((
             vec![
                 n.to_string(),
@@ -504,15 +459,7 @@ fn e8_girth() {
                 fmt(apsp_rounds),
                 ratio(run.rounds_per_trial, apsp_rounds),
             ],
-            Rec {
-                exp: "e8b",
-                family: "partial_ktree(k=2)".into(),
-                n,
-                tau: 2,
-                d,
-                rounds: run.rounds_per_trial,
-                extra: serde_json::json!({"apsp_rounds": apsp_rounds}),
-            },
+            serde_json::json!({"exp": "e8b", "n": n}),
         ));
     }
     table(
@@ -523,7 +470,7 @@ fn e8_girth() {
 }
 
 /// E9 — the primitive layer: PA congestion vs τ, MVC vs t, BCT vs h.
-fn e9_primitives() {
+fn e9_primitives(row: &mut RowBuilder) {
     use subgraph_ops::global::build_global_tree;
     use subgraph_ops::mvc::{batch_min_vertex_cut, CutInstance};
     use subgraph_ops::{pa, Parts};
@@ -542,21 +489,18 @@ fn e9_primitives() {
         let _ =
             pa::aggregate_and_share(&mut net, &roles, |_v, _p| Some(1u64), |a, b| a + b).unwrap();
         let delta = net.metrics().since(&before);
+        row.det(format!("pa_k{k}/rounds"), delta.rounds);
+        row.det(
+            format!("pa_k{k}/congestion"),
+            net.metrics().max_edge_words_in_superstep,
+        );
         rows.push((
             vec![
                 k.to_string(),
                 fmt(delta.rounds),
                 fmt(net.metrics().max_edge_words_in_superstep),
             ],
-            Rec {
-                exp: "e9a",
-                family: format!("banded(k={k})"),
-                n,
-                tau: k,
-                d: 0,
-                rounds: delta.rounds,
-                extra: serde_json::json!({"congestion": net.metrics().max_edge_words_in_superstep}),
-            },
+            serde_json::json!({"exp": "e9a", "k": k, "rounds": delta.rounds}),
         ));
     }
     table(
@@ -569,7 +513,6 @@ fn e9_primitives() {
     let mut rows = Vec::new();
     for rows_dim in [3usize, 5, 7] {
         let g = twgraph::gen::grid(rows_dim, 24);
-        let n = g.n();
         let mut net = Network::new(g, NetworkConfig::default());
         let xs: Vec<u32> = (0..rows_dim as u32).map(|r| r * 24).collect();
         let ys: Vec<u32> = (0..rows_dim as u32).map(|r| r * 24 + 23).collect();
@@ -589,17 +532,11 @@ fn e9_primitives() {
             subgraph_ops::mvc::CutResult::Cut(c) => c.len(),
             subgraph_ops::mvc::CutResult::TooBig => usize::MAX,
         };
+        row.det(format!("mvc_r{rows_dim}/cut"), cut as u64);
+        row.det(format!("mvc_r{rows_dim}/rounds"), delta.rounds);
         rows.push((
             vec![rows_dim.to_string(), cut.to_string(), fmt(delta.rounds)],
-            Rec {
-                exp: "e9b",
-                family: format!("grid({rows_dim}×24)"),
-                n,
-                tau: rows_dim,
-                d: 0,
-                rounds: delta.rounds,
-                extra: serde_json::json!({"cut": cut}),
-            },
+            serde_json::json!({"exp": "e9b", "rows": rows_dim, "cut": cut}),
         ));
     }
     table(
@@ -627,17 +564,10 @@ fn e9_primitives() {
         })
         .unwrap();
         let delta = net.metrics().since(&before);
+        row.det(format!("bct_h{h}/rounds"), delta.rounds);
         rows.push((
             vec![h.to_string(), fmt(delta.rounds)],
-            Rec {
-                exp: "e9c",
-                family: "banded(k=2)".into(),
-                n,
-                tau: 2,
-                d: 0,
-                rounds: delta.rounds,
-                extra: serde_json::json!({"h": h}),
-            },
+            serde_json::json!({"exp": "e9c", "h": h, "rounds": delta.rounds}),
         ));
     }
     table(
@@ -649,7 +579,7 @@ fn e9_primitives() {
 
 /// A1 — Steiner-PA vs naive within-part flooding on parts whose own
 /// diameter exceeds D.
-fn a1_pa_ablation() {
+fn a1_pa_ablation(row: &mut RowBuilder) {
     use subgraph_ops::bfs::part_bfs_trees;
     use subgraph_ops::flow::{downflow, upflow};
     use subgraph_ops::global::build_global_tree;
@@ -682,6 +612,8 @@ fn a1_pa_ablation() {
     .unwrap();
     let naive = net2.metrics().since(&before).rounds;
 
+    row.det("steiner/rounds", steiner);
+    row.det("naive/rounds", naive);
     table(
         "A1 ablation: Steiner-restricted PA vs naive within-part flooding (16×64 grid, rows as parts)",
         &["engine", "rounds"],
@@ -700,7 +632,7 @@ fn a1_pa_ablation() {
 
 /// A2 — step-4 pair sampling width: success path and separator size as the
 /// sample count shrinks/grows.
-fn a2_pair_sampling() {
+fn a2_pair_sampling(row: &mut RowBuilder) {
     use treedec::sep::sep_doubling;
     let g = twgraph::gen::banded_path(768, 3);
     let n = g.n();
@@ -710,6 +642,9 @@ fn a2_pair_sampling() {
         cfg.sampled_pairs = pairs;
         let mut rng = SmallRng::seed_from_u64(11);
         let out = sep_doubling(&g, &vec![true; n], &vec![1u64; n], 4, &cfg, &mut rng);
+        row.det(format!("pairs{pairs}/sep"), out.separator.len() as u64);
+        row.det(format!("pairs{pairs}/t_used"), out.t_used);
+        row.det(format!("pairs{pairs}/path"), path_code(&out.path));
         rows.push((
             vec![
                 pairs.to_string(),
@@ -728,7 +663,7 @@ fn a2_pair_sampling() {
 }
 
 /// A3 — paper vs practical constants.
-fn a3_constants() {
+fn a3_constants(row: &mut RowBuilder) {
     use treedec::sep::sep_doubling;
     let g = twgraph::gen::banded_path(600, 2);
     let n = g.n();
@@ -739,6 +674,9 @@ fn a3_constants() {
     ] {
         let mut rng = SmallRng::seed_from_u64(13);
         let out = sep_doubling(&g, &vec![true; n], &vec![1u64; n], 3, &cfg, &mut rng);
+        row.det(format!("{name}/sep"), out.separator.len() as u64);
+        row.det(format!("{name}/t_used"), out.t_used);
+        row.det(format!("{name}/path"), path_code(&out.path));
         rows.push((
             vec![
                 name.to_string(),
@@ -756,4 +694,5 @@ fn a3_constants() {
     );
 }
 
-use lowtw::{baselines, bmatch, distlabel, girth, stateful_walks, treedec, twgraph};
+/// Decode helper re-exported for the e4 exactness check.
+use lowtw::prelude::decode;

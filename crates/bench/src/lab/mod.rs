@@ -1,0 +1,30 @@
+//! # lab — the declarative, spec-driven experiment harness
+//!
+//! The six ad-hoc bench bins of earlier revisions are now one pipeline:
+//!
+//! ```text
+//! experiments/*.toml ──parse──▶ ExperimentSpec ──plan──▶ [Trial]
+//!        (spec)                    (spec.rs)            (plan.rs)
+//!                                                           │ run
+//!                                                           ▼
+//! BENCH_<name>.json ◀──bless── LabReport { schema_version, host,
+//!     (baseline)               profile, rows: Vec<TrialRow> }
+//!        │                                (results.rs, runner.rs)
+//!        └──────────── gate ◀── candidate run ──────────────┘
+//!                    (gate.rs: det exact, wall ±20%)
+//! ```
+//!
+//! * [`toml`] — span-tracking parser for the spec subset.
+//! * [`spec`] — typed specs validated against the live scenario/pipeline
+//!   registries; errors carry `file:line:col`.
+//! * [`plan`] — cross-product expansion into the trial grid.
+//! * [`runner`] — executes trials through [`crate::drivers`].
+//! * [`results`] — the versioned [`results::LabReport`] table.
+//! * [`gate`] — the CI regression gate.
+
+pub mod gate;
+pub mod plan;
+pub mod results;
+pub mod runner;
+pub mod spec;
+pub mod toml;

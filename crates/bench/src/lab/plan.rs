@@ -1,0 +1,237 @@
+//! Trial planning: expand a spec × profile into the concrete trial grid.
+//!
+//! The grid is the full cross-product `scenarios × pipelines × variants ×
+//! reps` (dimensions an experiment does not use contribute exactly one
+//! point each), so the planned count is always the product of the
+//! dimension sizes — a property the spec test suite pins down.
+
+use crate::lab::spec::{Driver, ExperimentSpec, Params, Profile};
+
+/// One fully-resolved unit of work.
+#[derive(Clone, Debug)]
+pub struct Trial {
+    /// Experiment (spec) name.
+    pub experiment: String,
+    pub driver: Driver,
+    /// Matrix scenario name, `"-"` for drivers without that dimension.
+    pub scenario: String,
+    /// Matrix pipeline name, `"-"` when unused.
+    pub pipeline: String,
+    /// Variant name, `"-"` when the spec declares no variants.
+    pub variant: String,
+    /// Repetition index, `0..reps`.
+    pub rep: u64,
+    /// Base params with the profile and variant overlays applied.
+    pub params: Params,
+}
+
+impl Trial {
+    /// Stable row identifier: `experiment/scenario/pipeline/variant#rep`.
+    /// This is the key the gate joins baseline and candidate rows on.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/{}#{}",
+            self.experiment, self.scenario, self.pipeline, self.variant, self.rep
+        )
+    }
+}
+
+/// Expand one experiment under one profile into its trial grid.
+///
+/// Unknown profile names return an empty grid — the caller distinguishes
+/// "experiment does not define this profile" (skip) from "no experiment
+/// defines it" (error) by summing across specs.
+pub fn plan(spec: &ExperimentSpec, profile: &str) -> Vec<Trial> {
+    let Some(prof) = spec.profiles.get(profile) else {
+        return Vec::new();
+    };
+    let scenarios = scenario_dim(spec, prof);
+    let pipelines = pipeline_dim(spec, prof);
+    let variants = variant_dim(spec, prof);
+    let reps = prof.reps.unwrap_or(spec.reps);
+    let base = spec.params.overlaid(&prof.params);
+
+    let mut out = Vec::new();
+    for sc in &scenarios {
+        for pl in &pipelines {
+            for (vname, vparams) in &variants {
+                for rep in 0..reps {
+                    out.push(Trial {
+                        experiment: spec.name.clone(),
+                        driver: spec.driver,
+                        scenario: sc.clone(),
+                        pipeline: pl.clone(),
+                        variant: vname.clone(),
+                        rep,
+                        params: base.overlaid(vparams),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn scenario_dim(spec: &ExperimentSpec, prof: &Profile) -> Vec<String> {
+    if spec.driver != Driver::Matrix {
+        return vec!["-".to_string()];
+    }
+    let restricted = if !prof.scenarios.is_empty() {
+        prof.scenarios.clone()
+    } else {
+        spec.scenarios.clone()
+    };
+    if restricted.is_empty() {
+        scenarios::corpus()
+            .iter()
+            .map(|s| s.name.to_string())
+            .collect()
+    } else {
+        restricted
+    }
+}
+
+fn pipeline_dim(spec: &ExperimentSpec, prof: &Profile) -> Vec<String> {
+    if spec.driver != Driver::Matrix {
+        return vec!["-".to_string()];
+    }
+    let restricted = if !prof.pipelines.is_empty() {
+        prof.pipelines.clone()
+    } else {
+        spec.pipelines.clone()
+    };
+    if restricted.is_empty() {
+        scenarios::all_pipelines()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect()
+    } else {
+        restricted
+    }
+}
+
+fn variant_dim(spec: &ExperimentSpec, prof: &Profile) -> Vec<(String, Params)> {
+    if spec.variants.is_empty() {
+        return vec![("-".to_string(), Params::default())];
+    }
+    spec.variants
+        .iter()
+        .filter(|v| prof.variants.is_empty() || prof.variants.contains(&v.name))
+        .map(|v| (v.name.clone(), v.params.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lab::spec::parse_spec;
+
+    #[test]
+    fn profile_and_variant_params_overlay_in_order() {
+        let spec = parse_spec(
+            "t.toml",
+            r#"
+name = "t"
+driver = "serve"
+reps = 2
+
+[params]
+n = 100
+seed = 1
+
+[[variant]]
+name = "a"
+n = 7
+
+[[variant]]
+name = "b"
+
+[profile.quick]
+n = 10
+"#,
+        )
+        .unwrap();
+        let trials = plan(&spec, "quick");
+        // 1 scenario-dim × 1 pipeline-dim × 2 variants × 2 reps.
+        assert_eq!(trials.len(), 4);
+        let a = trials.iter().find(|t| t.variant == "a").unwrap();
+        let b = trials.iter().find(|t| t.variant == "b").unwrap();
+        // Variant overlay beats the profile overlay; profile beats base.
+        assert_eq!(a.params.usize("n", 0), 7);
+        assert_eq!(b.params.usize("n", 0), 10);
+        assert_eq!(a.params.u64("seed", 0), 1);
+        assert_eq!(a.id(), "t/-/-/a#0");
+    }
+
+    #[test]
+    fn matrix_defaults_to_the_full_registry() {
+        let spec = parse_spec(
+            "m.toml",
+            "name = \"m\"\ndriver = \"matrix\"\n[profile.quick]\n",
+        )
+        .unwrap();
+        let trials = plan(&spec, "quick");
+        let cells = scenarios::corpus().len() * scenarios::all_pipelines().len();
+        assert_eq!(trials.len(), cells);
+        assert!(trials.iter().all(|t| t.variant == "-" && t.rep == 0));
+    }
+
+    #[test]
+    fn unknown_profile_plans_nothing() {
+        let spec = parse_spec(
+            "m.toml",
+            "name = \"m\"\ndriver = \"engine\"\n[profile.quick]\n",
+        )
+        .unwrap();
+        assert!(plan(&spec, "galactic").is_empty());
+    }
+
+    /// Build a matrix spec restricted to the first `n_sc` scenarios and
+    /// `n_pl` pipelines of the live registries, with `n_var` variants.
+    fn synth_spec(n_sc: usize, n_pl: usize, n_var: usize, reps: u64) -> ExperimentSpec {
+        let sc: Vec<String> = scenarios::corpus()
+            .iter()
+            .take(n_sc)
+            .map(|s| format!("\"{}\"", s.name))
+            .collect();
+        let pl: Vec<String> = scenarios::all_pipelines()
+            .iter()
+            .take(n_pl)
+            .map(|p| format!("\"{}\"", p.name()))
+            .collect();
+        let mut doc = format!(
+            "name = \"synth\"\ndriver = \"matrix\"\nreps = {reps}\nscenarios = [{}]\npipelines = [{}]\n",
+            sc.join(", "),
+            pl.join(", "),
+        );
+        for i in 0..n_var {
+            doc.push_str(&format!("[[variant]]\nname = \"v{i}\"\nidx = {i}\n"));
+        }
+        doc.push_str("[profile.quick]\n");
+        parse_spec("synth.toml", &doc).unwrap()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// The planned grid is always exactly the product of the dimension
+        /// sizes: |scenarios| x |pipelines| x max(|variants|, 1) x reps.
+        #[test]
+        fn plan_count_is_the_dimension_product(
+            n_sc in 1usize..12,
+            n_pl in 1usize..7,
+            n_var in 0usize..5,
+            reps in 1u64..4,
+        ) {
+            let spec = synth_spec(n_sc, n_pl, n_var, reps);
+            let trials = plan(&spec, "quick");
+            let expected = n_sc * n_pl * n_var.max(1) * reps as usize;
+            proptest::prop_assert_eq!(trials.len(), expected);
+            // Every trial id is distinct — the gate join key never collides.
+            let mut ids: Vec<String> = trials.iter().map(Trial::id).collect();
+            ids.sort();
+            ids.dedup();
+            proptest::prop_assert_eq!(ids.len(), expected);
+        }
+    }
+}

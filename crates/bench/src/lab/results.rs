@@ -1,0 +1,345 @@
+//! The versioned results table every lab run emits and the gate consumes.
+//!
+//! One schema for every experiment: a [`LabReport`] header
+//! (`schema_version`, `host`, `profile`) over uniform [`TrialRow`]s whose
+//! metrics are pre-classified at the source:
+//!
+//! * `det`  — deterministic charged metrics (rounds, congestion, message
+//!   counts, label sizes, output checksums). Bit-equal across hosts; the
+//!   gate fails hard on any drift.
+//! * `wall` — wall-clock microseconds. Host-dependent; gated with a
+//!   relative tolerance and an absolute floor.
+//! * `info` — context numbers (throughputs, rates, speedups) derived from
+//!   wall clocks or thread interleaving. Recorded, never gated.
+
+use std::fmt;
+use std::path::Path;
+
+/// Bump when the report layout changes incompatibly; the gate refuses to
+/// compare reports across versions with a typed error.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One trial's classified metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrialRow {
+    /// Join key: `experiment/scenario/pipeline/variant#rep`.
+    pub id: String,
+    pub experiment: String,
+    pub scenario: String,
+    pub pipeline: String,
+    pub variant: String,
+    pub rep: u64,
+    /// Deterministic charged metrics, insertion-ordered.
+    pub det: Vec<(String, u64)>,
+    /// Wall-clock spans in microseconds.
+    pub wall_us: Vec<(String, u64)>,
+    /// Ungated context numbers.
+    pub info: Vec<(String, f64)>,
+}
+
+impl TrialRow {
+    pub fn det_get(&self, key: &str) -> Option<u64> {
+        self.det.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    pub fn wall_get(&self, key: &str) -> Option<u64> {
+        self.wall_us.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+/// A full lab run: header + rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LabReport {
+    pub schema_version: u64,
+    /// Hostname the run executed on (wall clocks are only comparable
+    /// same-host; the gate downgrades cross-host wall findings).
+    pub host: String,
+    /// Profile the trials were planned under.
+    pub profile: String,
+    pub rows: Vec<TrialRow>,
+}
+
+impl LabReport {
+    pub fn new(profile: &str, rows: Vec<TrialRow>) -> Self {
+        LabReport {
+            schema_version: SCHEMA_VERSION,
+            host: host_name(),
+            profile: profile.to_string(),
+            rows,
+        }
+    }
+
+    /// The report restricted to one experiment's rows.
+    pub fn restricted_to(&self, experiment: &str) -> LabReport {
+        LabReport {
+            schema_version: self.schema_version,
+            host: self.host.clone(),
+            profile: self.profile.clone(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| r.experiment == experiment)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Experiment names present, in first-appearance order.
+    pub fn experiments(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in &self.rows {
+            if !out.contains(&r.experiment) {
+                out.push(r.experiment.clone());
+            }
+        }
+        out
+    }
+
+    /// Serialize to the canonical single-line JSON document.
+    pub fn to_json(&self) -> serde_json::Value {
+        let rows: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "id": r.id.clone(),
+                    "experiment": r.experiment.clone(),
+                    "scenario": r.scenario.clone(),
+                    "pipeline": r.pipeline.clone(),
+                    "variant": r.variant.clone(),
+                    "rep": r.rep,
+                    "det": pairs_u64(&r.det),
+                    "wall_us": pairs_u64(&r.wall_us),
+                    "info": pairs_f64(&r.info),
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "schema_version": self.schema_version,
+            "host": self.host.clone(),
+            "profile": self.profile.clone(),
+            "rows": rows,
+        })
+    }
+
+    /// Write the report as one JSON line (the committed-baseline format).
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, serde_json::to_string(&self.to_json()).unwrap() + "\n")
+    }
+
+    /// Parse a report back from its JSON document.
+    pub fn from_json(doc: &serde_json::Value) -> Result<LabReport, BaselineError> {
+        let field = |key: &str| -> Result<&serde_json::Value, BaselineError> {
+            doc.get(key)
+                .ok_or_else(|| BaselineError::Malformed(format!("missing field {key:?}")))
+        };
+        let schema_version = field("schema_version")?
+            .as_u64()
+            .ok_or_else(|| BaselineError::Malformed("schema_version must be a u64".into()))?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(BaselineError::SchemaMismatch {
+                found: schema_version,
+                expected: SCHEMA_VERSION,
+            });
+        }
+        let host = str_field(doc, "host")?;
+        let profile = str_field(doc, "profile")?;
+        let rows_v = field("rows")?
+            .as_array()
+            .ok_or_else(|| BaselineError::Malformed("rows must be an array".into()))?;
+        let mut rows = Vec::with_capacity(rows_v.len());
+        for rv in rows_v {
+            rows.push(TrialRow {
+                id: str_field(rv, "id")?,
+                experiment: str_field(rv, "experiment")?,
+                scenario: str_field(rv, "scenario")?,
+                pipeline: str_field(rv, "pipeline")?,
+                variant: str_field(rv, "variant")?,
+                rep: rv
+                    .get("rep")
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| BaselineError::Malformed("rep must be a u64".into()))?,
+                det: u64_pairs(rv, "det")?,
+                wall_us: u64_pairs(rv, "wall_us")?,
+                info: f64_pairs(rv, "info")?,
+            });
+        }
+        Ok(LabReport {
+            schema_version,
+            host,
+            profile,
+            rows,
+        })
+    }
+
+    /// Load a report file (the committed `BENCH_<experiment>.json` shape).
+    pub fn load(path: &Path) -> Result<LabReport, BaselineError> {
+        let src = std::fs::read_to_string(path).map_err(|e| BaselineError::Io {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        })?;
+        let doc = serde_json::from_str(&src)
+            .map_err(|e| BaselineError::Malformed(format!("{}: {e}", path.display())))?;
+        LabReport::from_json(&doc)
+    }
+}
+
+/// Why a baseline (or candidate) report could not be used.
+#[derive(Debug, PartialEq)]
+pub enum BaselineError {
+    /// The file exists but its schema version is not ours.
+    SchemaMismatch { found: u64, expected: u64 },
+    /// The document is not a valid report.
+    Malformed(String),
+    /// The file could not be read at all.
+    Io { path: String, msg: String },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::SchemaMismatch { found, expected } => write!(
+                f,
+                "schema_version {found} is incompatible with this lab (expected {expected}); \
+                 regenerate the baseline with `lab run --bless`"
+            ),
+            BaselineError::Malformed(m) => write!(f, "malformed report: {m}"),
+            BaselineError::Io { path, msg } => write!(f, "cannot read {path}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// The hostname recorded in reports: `$LAB_HOST` override, else
+/// `/etc/hostname`, else `"unknown"`.
+pub fn host_name() -> String {
+    if let Ok(h) = std::env::var("LAB_HOST") {
+        if !h.trim().is_empty() {
+            return h.trim().to_string();
+        }
+    }
+    std::fs::read_to_string("/etc/hostname")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn pairs_u64(pairs: &[(String, u64)]) -> serde_json::Value {
+    serde_json::Value::Object(
+        pairs
+            .iter()
+            .map(|(k, v)| (k.clone(), serde_json::json!(*v)))
+            .collect(),
+    )
+}
+
+fn pairs_f64(pairs: &[(String, f64)]) -> serde_json::Value {
+    serde_json::Value::Object(
+        pairs
+            .iter()
+            .map(|(k, v)| (k.clone(), serde_json::json!(*v)))
+            .collect(),
+    )
+}
+
+fn str_field(v: &serde_json::Value, key: &str) -> Result<String, BaselineError> {
+    v.get(key)
+        .and_then(|x| x.as_str())
+        .map(String::from)
+        .ok_or_else(|| BaselineError::Malformed(format!("{key} must be a string")))
+}
+
+fn u64_pairs(v: &serde_json::Value, key: &str) -> Result<Vec<(String, u64)>, BaselineError> {
+    let obj = v
+        .get(key)
+        .and_then(|x| x.as_object())
+        .ok_or_else(|| BaselineError::Malformed(format!("{key} must be an object")))?;
+    obj.iter()
+        .map(|(k, x)| {
+            x.as_u64()
+                .map(|u| (k.clone(), u))
+                .ok_or_else(|| BaselineError::Malformed(format!("{key}.{k} must be a u64")))
+        })
+        .collect()
+}
+
+fn f64_pairs(v: &serde_json::Value, key: &str) -> Result<Vec<(String, f64)>, BaselineError> {
+    let obj = v
+        .get(key)
+        .and_then(|x| x.as_object())
+        .ok_or_else(|| BaselineError::Malformed(format!("{key} must be an object")))?;
+    obj.iter()
+        .map(|(k, x)| {
+            x.as_f64()
+                .map(|u| (k.clone(), u))
+                .ok_or_else(|| BaselineError::Malformed(format!("{key}.{k} must be a number")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_row(id: &str, det: &[(&str, u64)]) -> TrialRow {
+        TrialRow {
+            id: id.to_string(),
+            experiment: id.split('/').next().unwrap().to_string(),
+            scenario: "-".into(),
+            pipeline: "-".into(),
+            variant: "-".into(),
+            rep: 0,
+            det: det.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            wall_us: vec![("total".into(), 120_000)],
+            info: vec![("qps".into(), 1234.5)],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let rep = LabReport::new(
+            "quick",
+            vec![
+                sample_row("e/-/-/-#0", &[("rounds", 10), ("words", 99)]),
+                sample_row("e/-/-/flat#0", &[("congestion", 4)]),
+            ],
+        );
+        let s = serde_json::to_string(&rep.to_json()).unwrap();
+        let back = LabReport::from_json(&serde_json::from_str(&s).unwrap()).unwrap();
+        assert_eq!(rep, back);
+    }
+
+    #[test]
+    fn schema_mismatch_is_typed() {
+        let mut doc = LabReport::new("quick", vec![]).to_json();
+        let s = serde_json::to_string(&doc).unwrap().replace(
+            &format!("\"schema_version\":{SCHEMA_VERSION}"),
+            "\"schema_version\":999",
+        );
+        doc = serde_json::from_str(&s).unwrap();
+        match LabReport::from_json(&doc) {
+            Err(BaselineError::SchemaMismatch { found, expected }) => {
+                assert_eq!(found, 999);
+                assert_eq!(expected, SCHEMA_VERSION);
+            }
+            other => panic!("expected SchemaMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        for bad in [
+            "{}",
+            "{\"schema_version\":1}",
+            "{\"schema_version\":1,\"host\":\"h\",\"profile\":\"q\",\"rows\":7}",
+        ] {
+            let doc = serde_json::from_str(bad).unwrap();
+            assert!(matches!(
+                LabReport::from_json(&doc),
+                Err(BaselineError::Malformed(_))
+            ));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Trial execution: run a planned grid through the drivers, in order,
+//! with per-trial progress on stderr.
+
+use crate::drivers;
+use crate::lab::plan::Trial;
+use crate::lab::results::TrialRow;
+use std::time::Instant;
+
+/// Run every trial, returning one row per trial in plan order.
+pub fn run_trials(trials: &[Trial]) -> Vec<TrialRow> {
+    let total = trials.len();
+    let t_all = Instant::now();
+    let mut rows = Vec::with_capacity(total);
+    for (i, trial) in trials.iter().enumerate() {
+        eprintln!("[{}/{total}] {}", i + 1, trial.id());
+        let t = Instant::now();
+        let row = drivers::run_trial(trial);
+        eprintln!(
+            "[{}/{total}] {} done ({:.1?})",
+            i + 1,
+            trial.id(),
+            t.elapsed()
+        );
+        rows.push(row);
+    }
+    eprintln!("ran {total} trials in {:.1?}", t_all.elapsed());
+    rows
+}

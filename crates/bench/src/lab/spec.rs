@@ -1,0 +1,606 @@
+//! Experiment specs: the declarative layer of the lab.
+//!
+//! A spec is one TOML file under `crates/bench/experiments/` naming a
+//! [`Driver`], base [`Params`], optional `[[variant]]` overlays, optional
+//! scenario/pipeline restrictions (matrix driver only), and one
+//! `[profile.<name>]` table per runnable profile. Semantic validation
+//! happens here with the spans the parser preserved, so an unknown
+//! pipeline in `engine.toml` reports `engine.toml:7:1: unknown pipeline
+//! "ssp" (expected one of ...)` instead of failing downstream.
+
+use crate::lab::toml::{self, Item, Span, Spanned, Table, TomlValue};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which trial runner an experiment dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Driver {
+    /// Distributed decompose → label → query on one instance.
+    Engine,
+    /// The scenario × pipeline cross-product from the `scenarios` registry.
+    Matrix,
+    /// Build-once / query-many store replay (flat or packed layout).
+    Serve,
+    /// The store served over a real socket with an open-loop workload.
+    Servd,
+    /// Incremental label maintenance vs scratch rebuild under live readers.
+    Update,
+    /// The per-claim paper tables (e1–e9, a1–a3) as variants.
+    Tables,
+}
+
+impl Driver {
+    pub const ALL: [(&'static str, Driver); 6] = [
+        ("engine", Driver::Engine),
+        ("matrix", Driver::Matrix),
+        ("serve", Driver::Serve),
+        ("servd", Driver::Servd),
+        ("update", Driver::Update),
+        ("tables", Driver::Tables),
+    ];
+
+    pub fn name(self) -> &'static str {
+        Driver::ALL
+            .iter()
+            .find(|(_, d)| *d == self)
+            .map(|(n, _)| *n)
+            .expect("every driver is registered")
+    }
+
+    fn parse(s: &str) -> Option<Driver> {
+        Driver::ALL.iter().find(|(n, _)| *n == s).map(|(_, d)| *d)
+    }
+}
+
+/// One typed parameter value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParamValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Int(i) => write!(f, "{i}"),
+            ParamValue::Float(x) => write!(f, "{x}"),
+            ParamValue::Str(s) => write!(f, "{s}"),
+            ParamValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// A flat, ordered key → value parameter map (overlays are last-wins).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Params(pub BTreeMap<String, ParamValue>);
+
+impl Params {
+    /// Overlay `other` on top of `self` (other wins on key collisions).
+    pub fn overlaid(&self, other: &Params) -> Params {
+        let mut out = self.clone();
+        for (k, v) in &other.0 {
+            out.0.insert(k.clone(), v.clone());
+        }
+        out
+    }
+
+    pub fn get(&self, key: &str) -> Option<&ParamValue> {
+        self.0.get(key)
+    }
+
+    /// Integer parameter as `usize`, with a default.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        match self.0.get(key) {
+            Some(ParamValue::Int(i)) => usize::try_from(*i)
+                .unwrap_or_else(|_| panic!("param {key} = {i} does not fit usize")),
+            Some(other) => panic!("param {key} must be an integer, got {other}"),
+            None => default,
+        }
+    }
+
+    /// Integer parameter as `u64`, with a default.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        match self.0.get(key) {
+            Some(ParamValue::Int(i)) => u64::try_from(*i)
+                .unwrap_or_else(|_| panic!("param {key} = {i} must be non-negative")),
+            Some(other) => panic!("param {key} must be an integer, got {other}"),
+            None => default,
+        }
+    }
+
+    /// Float parameter (integers coerce), with a default.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        match self.0.get(key) {
+            Some(ParamValue::Float(x)) => *x,
+            Some(ParamValue::Int(i)) => *i as f64,
+            Some(other) => panic!("param {key} must be numeric, got {other}"),
+            None => default,
+        }
+    }
+
+    /// String parameter, with a default.
+    pub fn str<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        match self.0.get(key) {
+            Some(ParamValue::Str(s)) => s,
+            Some(other) => panic!("param {key} must be a string, got {other}"),
+            None => default,
+        }
+    }
+}
+
+/// A named parameter overlay: one point of the variant dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Variant {
+    pub name: String,
+    pub params: Params,
+}
+
+/// A named runnable configuration of an experiment.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Profile {
+    /// Parameter overlay applied on top of the spec base params.
+    pub params: Params,
+    /// Restrict the variant dimension to these names (empty = all).
+    pub variants: Vec<String>,
+    /// Matrix only: restrict scenarios (empty = all registered).
+    pub scenarios: Vec<String>,
+    /// Matrix only: restrict pipelines (empty = all registered).
+    pub pipelines: Vec<String>,
+    /// Repetitions per trial (default: the spec-level `reps`).
+    pub reps: Option<u64>,
+}
+
+/// One parsed, validated experiment spec.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    /// Experiment name — also the committed baseline stem (`BENCH_<name>.json`).
+    pub name: String,
+    pub driver: Driver,
+    /// Default repetitions per trial.
+    pub reps: u64,
+    /// Base parameters every profile/variant overlays.
+    pub params: Params,
+    /// The variant dimension (empty = one unnamed variant).
+    pub variants: Vec<Variant>,
+    /// Matrix only: the scenario dimension (empty = full registry).
+    pub scenarios: Vec<String>,
+    /// Matrix only: the pipeline dimension (empty = all pipelines).
+    pub pipelines: Vec<String>,
+    /// Named profiles (`quick`, `full`, ...).
+    pub profiles: BTreeMap<String, Profile>,
+}
+
+/// Spec validation failure, pointing at the offending token.
+#[derive(Debug)]
+pub struct SpecError {
+    /// Spec file the error is from (file name only).
+    pub file: String,
+    pub span: Span,
+    pub msg: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}",
+            self.file, self.span.line, self.span.col, self.msg
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn serr(file: &str, span: Span, msg: impl Into<String>) -> SpecError {
+    SpecError {
+        file: file.to_string(),
+        span,
+        msg: msg.into(),
+    }
+}
+
+/// The directory experiment specs live in: `$LAB_EXPERIMENTS_DIR` if set,
+/// else `crates/bench/experiments/` resolved from the compiled manifest.
+pub fn experiments_dir() -> PathBuf {
+    std::env::var_os("LAB_EXPERIMENTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("experiments"))
+}
+
+/// Load and validate every `*.toml` spec in the experiments directory,
+/// sorted by name.
+pub fn load_all() -> Result<Vec<ExperimentSpec>, SpecError> {
+    let dir = experiments_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read spec dir {}: {e}", dir.display()))
+        .map(|e| e.expect("spec dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    paths.sort();
+    let mut specs = Vec::new();
+    for p in &paths {
+        let src = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| panic!("cannot read spec {}: {e}", p.display()));
+        let file = p
+            .file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        specs.push(parse_spec(&file, &src)?);
+    }
+    specs.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(specs)
+}
+
+/// Parse one spec document and validate it against the live registries.
+pub fn parse_spec(file: &str, src: &str) -> Result<ExperimentSpec, SpecError> {
+    let root = toml::parse(src).map_err(|e| serr(file, e.span, e.msg))?;
+    let str_of = |v: &Spanned<TomlValue>, what: &str| -> Result<String, SpecError> {
+        match &v.value {
+            TomlValue::Str(s) => Ok(s.clone()),
+            other => Err(serr(
+                file,
+                v.span,
+                format!("{what} must be a string, got {}", other.type_name()),
+            )),
+        }
+    };
+    let int_of = |v: &Spanned<TomlValue>, what: &str| -> Result<i64, SpecError> {
+        match &v.value {
+            TomlValue::Int(i) => Ok(*i),
+            other => Err(serr(
+                file,
+                v.span,
+                format!("{what} must be an integer, got {}", other.type_name()),
+            )),
+        }
+    };
+
+    let name_v = root
+        .value("name")
+        .ok_or_else(|| serr(file, root.span, "missing required key `name`"))?;
+    let name = str_of(name_v, "`name`")?;
+    let driver_v = root
+        .value("driver")
+        .ok_or_else(|| serr(file, root.span, "missing required key `driver`"))?;
+    let driver_s = str_of(driver_v, "`driver`")?;
+    let driver = Driver::parse(&driver_s).ok_or_else(|| {
+        let known: Vec<&str> = Driver::ALL.iter().map(|(n, _)| *n).collect();
+        serr(
+            file,
+            driver_v.span,
+            format!("unknown driver {driver_s:?} (expected one of {known:?})"),
+        )
+    })?;
+    let reps = match root.value("reps") {
+        Some(v) => {
+            let r = int_of(v, "`reps`")?;
+            if r < 1 {
+                return Err(serr(file, v.span, format!("`reps` must be >= 1, got {r}")));
+            }
+            r as u64
+        }
+        None => 1,
+    };
+
+    let params = match root.get("params") {
+        Some(Item::Table(t)) => table_params(file, t)?,
+        Some(_) => return Err(serr(file, root.span, "`params` must be a table")),
+        None => Params::default(),
+    };
+
+    let mut variants = Vec::new();
+    if let Some(vs) = root.array_of_tables("variant") {
+        for vt in vs {
+            let nv = vt
+                .value("name")
+                .ok_or_else(|| serr(file, vt.span, "[[variant]] missing `name`"))?;
+            let vname = str_of(nv, "variant `name`")?;
+            if variants.iter().any(|v: &Variant| v.name == vname) {
+                return Err(serr(file, nv.span, format!("duplicate variant {vname:?}")));
+            }
+            let vparams = table_params_except(file, vt, &["name"])?;
+            variants.push(Variant {
+                name: vname,
+                params: vparams,
+            });
+        }
+    }
+
+    let scenarios = name_list(file, &root, "scenarios")?;
+    let pipelines = name_list(file, &root, "pipelines")?;
+    validate_dims(file, driver, &scenarios, &pipelines)?;
+
+    let mut profiles = BTreeMap::new();
+    if let Some(pt) = root.table("profile") {
+        for (key, item) in &pt.entries {
+            let t = match item {
+                Item::Table(t) => t,
+                _ => {
+                    return Err(serr(
+                        file,
+                        key.span,
+                        format!("[profile.{}] must be a table", key.value),
+                    ))
+                }
+            };
+            let p_reps = match t.value("reps") {
+                Some(v) => {
+                    let r = int_of(v, "profile `reps`")?;
+                    if r < 1 {
+                        return Err(serr(file, v.span, format!("`reps` must be >= 1, got {r}")));
+                    }
+                    Some(r as u64)
+                }
+                None => None,
+            };
+            let p_scenarios = name_list(file, t, "scenarios")?;
+            let p_pipelines = name_list(file, t, "pipelines")?;
+            validate_dims(file, driver, &p_scenarios, &p_pipelines)?;
+            let p_variants = name_list_raw(file, t, "variants")?;
+            for v in &p_variants {
+                if !variants.iter().any(|x| x.name == v.value) {
+                    let known: Vec<&str> = variants.iter().map(|x| x.name.as_str()).collect();
+                    return Err(serr(
+                        file,
+                        v.span,
+                        format!("unknown variant {:?} (expected one of {known:?})", v.value),
+                    ));
+                }
+            }
+            let p_params =
+                table_params_except(file, t, &["reps", "scenarios", "pipelines", "variants"])?;
+            profiles.insert(
+                key.value.clone(),
+                Profile {
+                    params: p_params,
+                    variants: p_variants.into_iter().map(|v| v.value).collect(),
+                    scenarios: p_scenarios,
+                    pipelines: p_pipelines,
+                    reps: p_reps,
+                },
+            );
+        }
+    }
+    if profiles.is_empty() {
+        return Err(serr(
+            file,
+            root.span,
+            "spec defines no [profile.*] tables (need at least `quick`)",
+        ));
+    }
+
+    Ok(ExperimentSpec {
+        name,
+        driver,
+        reps,
+        params,
+        variants,
+        scenarios,
+        pipelines,
+        profiles,
+    })
+}
+
+/// Every scalar entry of a table as params (arrays/sub-tables rejected).
+fn table_params(file: &str, t: &Table) -> Result<Params, SpecError> {
+    table_params_except(file, t, &[])
+}
+
+fn table_params_except(file: &str, t: &Table, skip: &[&str]) -> Result<Params, SpecError> {
+    let mut out = Params::default();
+    for (k, item) in &t.entries {
+        if skip.contains(&k.value.as_str()) {
+            continue;
+        }
+        let v = match item {
+            Item::Value(v) => v,
+            _ => continue, // nested tables handled by dedicated keys
+        };
+        let pv = match &v.value {
+            TomlValue::Int(i) => ParamValue::Int(*i),
+            TomlValue::Float(x) => ParamValue::Float(*x),
+            TomlValue::Str(s) => ParamValue::Str(s.clone()),
+            TomlValue::Bool(b) => ParamValue::Bool(*b),
+            TomlValue::Array(_) => {
+                return Err(serr(
+                    file,
+                    v.span,
+                    format!("param {:?} must be a scalar, got an array", k.value),
+                ))
+            }
+        };
+        out.0.insert(k.value.clone(), pv);
+    }
+    Ok(out)
+}
+
+/// A `key = ["a", "b"]` list of names with spans preserved.
+fn name_list_raw(file: &str, t: &Table, key: &str) -> Result<Vec<Spanned<String>>, SpecError> {
+    let Some(v) = t.value(key) else {
+        return Ok(Vec::new());
+    };
+    let items = match &v.value {
+        TomlValue::Array(items) => items,
+        other => {
+            return Err(serr(
+                file,
+                v.span,
+                format!(
+                    "`{key}` must be an array of strings, got {}",
+                    other.type_name()
+                ),
+            ))
+        }
+    };
+    items
+        .iter()
+        .map(|it| match &it.value {
+            TomlValue::Str(s) => Ok(Spanned {
+                span: it.span,
+                value: s.clone(),
+            }),
+            other => Err(serr(
+                file,
+                it.span,
+                format!("`{key}` entries must be strings, got {}", other.type_name()),
+            )),
+        })
+        .collect()
+}
+
+/// A validated scenario/pipeline name list (matrix dimensions).
+fn name_list(file: &str, t: &Table, key: &str) -> Result<Vec<String>, SpecError> {
+    let raw = name_list_raw(file, t, key)?;
+    match key {
+        "scenarios" => {
+            let known: Vec<String> = scenarios::corpus()
+                .iter()
+                .map(|s| s.name.to_string())
+                .collect();
+            for s in &raw {
+                if !known.contains(&s.value) {
+                    return Err(serr(
+                        file,
+                        s.span,
+                        format!("unknown scenario {:?} (expected one of {known:?})", s.value),
+                    ));
+                }
+            }
+        }
+        "pipelines" => {
+            let known: Vec<&'static str> = scenarios::all_pipelines()
+                .iter()
+                .map(|p| p.name())
+                .collect();
+            for s in &raw {
+                if !known.iter().any(|k| *k == s.value) {
+                    return Err(serr(
+                        file,
+                        s.span,
+                        format!("unknown pipeline {:?} (expected one of {known:?})", s.value),
+                    ));
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(raw.into_iter().map(|s| s.value).collect())
+}
+
+/// Scenario/pipeline restrictions only make sense for the matrix driver.
+fn validate_dims(
+    file: &str,
+    driver: Driver,
+    scenarios: &[String],
+    pipelines: &[String],
+) -> Result<(), SpecError> {
+    if driver != Driver::Matrix && (!scenarios.is_empty() || !pipelines.is_empty()) {
+        return Err(serr(
+            file,
+            Span { line: 1, col: 1 },
+            format!(
+                "`scenarios`/`pipelines` dimensions are only valid for the matrix driver, not {:?}",
+                driver.name()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+name = "demo"
+driver = "engine"
+reps = 2
+
+[params]
+n = 100
+keep = 0.5
+
+[profile.quick]
+n = 10
+"#;
+
+    #[test]
+    fn parses_a_minimal_spec() {
+        let s = parse_spec("demo.toml", MINIMAL).unwrap();
+        assert_eq!(s.name, "demo");
+        assert_eq!(s.driver, Driver::Engine);
+        assert_eq!(s.reps, 2);
+        assert_eq!(s.params.usize("n", 0), 100);
+        assert_eq!(s.params.f64("keep", 0.0), 0.5);
+        let quick = &s.profiles["quick"];
+        assert_eq!(s.params.overlaid(&quick.params).usize("n", 0), 10);
+    }
+
+    #[test]
+    fn unknown_driver_points_at_the_token() {
+        let e = parse_spec(
+            "x.toml",
+            "name = \"x\"\ndriver = \"warp\"\n[profile.quick]\nn = 1\n",
+        )
+        .unwrap_err();
+        assert_eq!(e.span.line, 2);
+        assert!(e.msg.contains("unknown driver \"warp\""), "{e}");
+        assert!(e.to_string().starts_with("x.toml:2:"), "{e}");
+    }
+
+    #[test]
+    fn unknown_scenario_and_pipeline_are_span_errors() {
+        let doc = "name = \"m\"\ndriver = \"matrix\"\nscenarios = [\"grid/unit\", \"nope/missing\"]\n[profile.quick]\n";
+        let e = parse_spec("m.toml", doc).unwrap_err();
+        assert_eq!(e.span.line, 3, "{e}");
+        assert!(e.msg.contains("unknown scenario \"nope/missing\""), "{e}");
+        assert!(e.msg.contains("grid/unit"), "expected-names list: {e}");
+
+        let doc = "name = \"m\"\ndriver = \"matrix\"\npipelines = [\"ssp\"]\n[profile.quick]\n";
+        let e = parse_spec("m.toml", doc).unwrap_err();
+        assert_eq!(e.span.line, 3, "{e}");
+        assert!(e.msg.contains("unknown pipeline \"ssp\""), "{e}");
+        assert!(e.msg.contains("sssp"), "expected-names list: {e}");
+    }
+
+    #[test]
+    fn dims_rejected_off_matrix_and_profiles_required() {
+        let doc =
+            "name = \"e\"\ndriver = \"engine\"\nscenarios = [\"grid/unit\"]\n[profile.quick]\n";
+        let e = parse_spec("e.toml", doc).unwrap_err();
+        assert!(e.msg.contains("only valid for the matrix driver"), "{e}");
+
+        let e = parse_spec("e.toml", "name = \"e\"\ndriver = \"engine\"\n").unwrap_err();
+        assert!(e.msg.contains("no [profile.*]"), "{e}");
+    }
+
+    #[test]
+    fn variants_parse_and_unknown_profile_variant_rejected() {
+        let doc = r#"
+name = "s"
+driver = "serve"
+
+[[variant]]
+name = "flat"
+layout = "flat"
+
+[[variant]]
+name = "packed"
+layout = "packed"
+
+[profile.quick]
+variants = ["flat"]
+"#;
+        let s = parse_spec("s.toml", doc).unwrap();
+        assert_eq!(s.variants.len(), 2);
+        assert_eq!(s.variants[1].params.str("layout", ""), "packed");
+        assert_eq!(s.profiles["quick"].variants, vec!["flat".to_string()]);
+
+        let bad = doc.replace("variants = [\"flat\"]", "variants = [\"mystery\"]");
+        let e = parse_spec("s.toml", &bad).unwrap_err();
+        assert!(e.msg.contains("unknown variant \"mystery\""), "{e}");
+    }
+}

@@ -1,0 +1,552 @@
+//! A span-tracking parser for the TOML subset the experiment specs use.
+//!
+//! Supported grammar (one construct per line): `# comments`, blank lines,
+//! `[table.path]` headers, `[[array.path]]` array-of-tables headers, and
+//! `key = value` pairs whose values are strings, integers, floats,
+//! booleans, or single-line arrays of those. Every key and value carries
+//! its source line/column so semantic validation in [`crate::lab::spec`]
+//! can point at the offending token (`engine.toml:12:9: unknown pipeline
+//! "ssp"`), not just fail.
+
+use std::fmt;
+
+/// Source position of a token (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Default for Span {
+    fn default() -> Span {
+        Span { line: 1, col: 1 }
+    }
+}
+
+/// A value with the position it was parsed from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned<T> {
+    pub span: Span,
+    pub value: T,
+}
+
+/// A parsed TOML scalar or single-line array.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TomlValue {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Array(Vec<Spanned<TomlValue>>),
+}
+
+impl TomlValue {
+    /// Human name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::Str(_) => "string",
+            TomlValue::Int(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::Array(_) => "array",
+        }
+    }
+}
+
+/// One table entry: a plain value, a sub-table, or an array of tables.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    Value(Spanned<TomlValue>),
+    Table(Table),
+    ArrayOfTables(Vec<Table>),
+}
+
+/// A (sub-)table: ordered key → item entries.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    /// Position of the table header (or 1:1 for the root).
+    pub span: Span,
+    pub entries: Vec<(Spanned<String>, Item)>,
+}
+
+impl Table {
+    /// Look up a direct entry by key.
+    pub fn get(&self, key: &str) -> Option<&Item> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k.value == key)
+            .map(|(_, item)| item)
+    }
+
+    /// The key spans of all direct entries (for unknown-key sweeps).
+    pub fn keys(&self) -> impl Iterator<Item = &Spanned<String>> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// A direct sub-table, if present and actually a table.
+    pub fn table(&self, key: &str) -> Option<&Table> {
+        match self.get(key) {
+            Some(Item::Table(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// A direct array-of-tables, if present.
+    pub fn array_of_tables(&self, key: &str) -> Option<&[Table]> {
+        match self.get(key) {
+            Some(Item::ArrayOfTables(ts)) => Some(ts),
+            _ => None,
+        }
+    }
+
+    /// A direct scalar value, if present.
+    pub fn value(&self, key: &str) -> Option<&Spanned<TomlValue>> {
+        match self.get(key) {
+            Some(Item::Value(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse failure with its source position.
+#[derive(Debug)]
+pub struct TomlError {
+    pub span: Span,
+    pub msg: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.span.line, self.span.col, self.msg)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err(span: Span, msg: impl Into<String>) -> TomlError {
+    TomlError {
+        span,
+        msg: msg.into(),
+    }
+}
+
+/// Parse a spec document into its root table.
+pub fn parse(src: &str) -> Result<Table, TomlError> {
+    let mut root = Table {
+        span: Span { line: 1, col: 1 },
+        entries: Vec::new(),
+    };
+    // Path of the table new `key = value` lines land in; empty = root.
+    let mut current: Vec<String> = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw);
+        let trimmed = line.trim_end();
+        let indent = trimmed.len() - trimmed.trim_start().len();
+        let body = trimmed.trim_start();
+        if body.is_empty() {
+            continue;
+        }
+        let at = |col: usize| Span {
+            line: line_no,
+            col: col + 1,
+        };
+        if let Some(rest) = body.strip_prefix("[[") {
+            let end = rest
+                .find("]]")
+                .ok_or_else(|| err(at(indent), "unclosed [[table]] header"))?;
+            if !rest[end + 2..].trim().is_empty() {
+                return Err(err(
+                    at(indent),
+                    "trailing characters after [[table]] header",
+                ));
+            }
+            let path = parse_path(&rest[..end], at(indent + 2))?;
+            append_array_table(&mut root, &path, at(indent))?;
+            current = path;
+        } else if let Some(rest) = body.strip_prefix('[') {
+            let end = rest
+                .find(']')
+                .ok_or_else(|| err(at(indent), "unclosed [table] header"))?;
+            if !rest[end + 1..].trim().is_empty() {
+                return Err(err(at(indent), "trailing characters after [table] header"));
+            }
+            let path = parse_path(&rest[..end], at(indent + 1))?;
+            open_table(&mut root, &path, at(indent))?;
+            current = path;
+        } else {
+            let eq = body
+                .find('=')
+                .ok_or_else(|| err(at(indent), "expected `key = value`"))?;
+            let key = body[..eq].trim();
+            if key.is_empty() {
+                return Err(err(at(indent), "empty key before `=`"));
+            }
+            if !is_bare_key(key) {
+                return Err(err(
+                    at(indent),
+                    format!("key {key:?} must be bare ([A-Za-z0-9_-])"),
+                ));
+            }
+            let val_off = indent + eq + 1 + count_leading_ws(&body[eq + 1..]);
+            let val_src = body[eq + 1..].trim();
+            if val_src.is_empty() {
+                return Err(err(at(val_off), "missing value after `=`"));
+            }
+            let value = parse_value(val_src, at(val_off))?;
+            let table = navigate_mut(&mut root, &current);
+            let key_span = Spanned {
+                span: at(indent),
+                value: key.to_string(),
+            };
+            if table.get(key).is_some() {
+                return Err(err(at(indent), format!("duplicate key {key:?}")));
+            }
+            table.entries.push((key_span, Item::Value(value)));
+        }
+    }
+    Ok(root)
+}
+
+/// Strip a trailing `#` comment, respecting string quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn count_leading_ws(s: &str) -> usize {
+    s.len() - s.trim_start().len()
+}
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn parse_path(src: &str, span: Span) -> Result<Vec<String>, TomlError> {
+    let parts: Vec<&str> = src.split('.').map(str::trim).collect();
+    if parts.iter().any(|p| !is_bare_key(p)) {
+        return Err(err(span, format!("malformed table path {src:?}")));
+    }
+    Ok(parts.into_iter().map(String::from).collect())
+}
+
+/// Walk `path` from the root, creating missing tables; the final segment
+/// must not already exist as a value. Re-opening an existing table is an
+/// error (each `[header]` may appear once), matching TOML.
+fn open_table(root: &mut Table, path: &[String], span: Span) -> Result<(), TomlError> {
+    let parent = navigate_create(root, &path[..path.len() - 1], span)?;
+    let last = &path[path.len() - 1];
+    match parent.get(last) {
+        None => {
+            let key = Spanned {
+                span,
+                value: last.clone(),
+            };
+            parent.entries.push((
+                key,
+                Item::Table(Table {
+                    span,
+                    entries: Vec::new(),
+                }),
+            ));
+            Ok(())
+        }
+        Some(Item::Table(_)) => Err(err(span, format!("table [{}] reopened", path.join(".")))),
+        Some(_) => Err(err(
+            span,
+            format!("[{}] conflicts with an existing key", path.join(".")),
+        )),
+    }
+}
+
+/// Append a fresh table to the array-of-tables at `path`.
+fn append_array_table(root: &mut Table, path: &[String], span: Span) -> Result<(), TomlError> {
+    let parent = navigate_create(root, &path[..path.len() - 1], span)?;
+    let last = &path[path.len() - 1];
+    let fresh = Table {
+        span,
+        entries: Vec::new(),
+    };
+    match parent
+        .entries
+        .iter_mut()
+        .find(|(k, _)| k.value == *last)
+        .map(|(_, item)| item)
+    {
+        None => {
+            let key = Spanned {
+                span,
+                value: last.clone(),
+            };
+            parent.entries.push((key, Item::ArrayOfTables(vec![fresh])));
+            Ok(())
+        }
+        Some(Item::ArrayOfTables(ts)) => {
+            ts.push(fresh);
+            Ok(())
+        }
+        Some(_) => Err(err(
+            span,
+            format!("[[{}]] conflicts with an existing key", path.join(".")),
+        )),
+    }
+}
+
+/// Navigate to `path`, creating intermediate tables as needed. Descends
+/// into the last element of an array-of-tables, as TOML dotted headers do.
+fn navigate_create<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    span: Span,
+) -> Result<&'a mut Table, TomlError> {
+    let mut cur = root;
+    for seg in path {
+        let missing = cur.get(seg).is_none();
+        if missing {
+            let key = Spanned {
+                span,
+                value: seg.clone(),
+            };
+            cur.entries.push((
+                key,
+                Item::Table(Table {
+                    span,
+                    entries: Vec::new(),
+                }),
+            ));
+        }
+        let item = cur
+            .entries
+            .iter_mut()
+            .find(|(k, _)| k.value == *seg)
+            .map(|(_, item)| item)
+            .unwrap();
+        cur = match item {
+            Item::Table(t) => t,
+            Item::ArrayOfTables(ts) => ts.last_mut().unwrap(),
+            Item::Value(_) => {
+                return Err(err(span, format!("{seg:?} is a value, not a table")));
+            }
+        };
+    }
+    Ok(cur)
+}
+
+/// Navigate to an existing path (always created beforehand by headers).
+fn navigate_mut<'a>(root: &'a mut Table, path: &[String]) -> &'a mut Table {
+    let mut cur = root;
+    for seg in path {
+        let item = cur
+            .entries
+            .iter_mut()
+            .find(|(k, _)| k.value == *seg)
+            .map(|(_, item)| item)
+            .expect("header navigation created this path");
+        cur = match item {
+            Item::Table(t) => t,
+            Item::ArrayOfTables(ts) => ts.last_mut().unwrap(),
+            Item::Value(_) => unreachable!("headers cannot shadow values"),
+        };
+    }
+    cur
+}
+
+/// Parse one value expression (whole remaining line, already trimmed).
+fn parse_value(src: &str, span: Span) -> Result<Spanned<TomlValue>, TomlError> {
+    let (v, used) = parse_value_prefix(src, span)?;
+    if !src[used..].trim().is_empty() {
+        return Err(err(
+            span,
+            format!("trailing characters after value: {src:?}"),
+        ));
+    }
+    Ok(v)
+}
+
+/// Parse a value at the start of `src`; returns it and the bytes consumed.
+fn parse_value_prefix(src: &str, span: Span) -> Result<(Spanned<TomlValue>, usize), TomlError> {
+    let spanned = |value| Spanned { span, value };
+    if let Some(rest) = src.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => return Ok((spanned(TomlValue::Str(out)), 1 + i + 1)),
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    other => {
+                        return Err(err(
+                            span,
+                            format!("unsupported string escape {:?}", other.map(|(_, c)| c)),
+                        ))
+                    }
+                },
+                c => out.push(c),
+            }
+        }
+        return Err(err(span, "unterminated string"));
+    }
+    if let Some(rest) = src.strip_prefix('[') {
+        let mut items = Vec::new();
+        let mut rest = rest.trim_start();
+        let mut off = src.len() - rest.len();
+        loop {
+            if let Some(after) = rest.strip_prefix(']') {
+                let _ = after;
+                return Ok((spanned(TomlValue::Array(items)), off + 1));
+            }
+            let item_span = Span {
+                line: span.line,
+                col: span.col + off,
+            };
+            let (item, used) = parse_value_prefix(rest, item_span)?;
+            items.push(item);
+            rest = &rest[used..];
+            off = src.len() - rest.len();
+            let trimmed = rest.trim_start();
+            off += rest.len() - trimmed.len();
+            rest = trimmed;
+            if let Some(after) = rest.strip_prefix(',') {
+                let trimmed = after.trim_start();
+                off += 1 + (after.len() - trimmed.len());
+                rest = trimmed;
+            } else if !rest.starts_with(']') {
+                return Err(err(span, "expected ',' or ']' in array"));
+            }
+        }
+    }
+    // Bare scalar: runs to the next delimiter.
+    let end = src.find([',', ']']).unwrap_or(src.len());
+    let word = src[..end].trim();
+    let used = src[..end].len() - (src[..end].len() - src[..end].trim_end().len());
+    let value = match word {
+        "true" => TomlValue::Bool(true),
+        "false" => TomlValue::Bool(false),
+        _ => {
+            let clean = word.replace('_', "");
+            if let Ok(i) = clean.parse::<i64>() {
+                TomlValue::Int(i)
+            } else if let Ok(f) = clean.parse::<f64>() {
+                TomlValue::Float(f)
+            } else {
+                return Err(err(span, format!("malformed value {word:?}")));
+            }
+        }
+    };
+    Ok((spanned(value), used))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = r#"
+name = "engine"   # a comment
+reps = 2
+keep = 0.5
+big = 1_000_000
+on = true
+tags = ["a", "b"]
+
+[params]
+n = 100
+
+[profile.quick]
+n = 10
+
+[[variant]]
+name = "flat"
+
+[[variant]]
+name = "packed"
+nums = [1, 2, 3]
+"#;
+        let t = parse(doc).unwrap();
+        assert_eq!(
+            t.value("name").unwrap().value,
+            TomlValue::Str("engine".into())
+        );
+        assert_eq!(t.value("reps").unwrap().value, TomlValue::Int(2));
+        assert_eq!(t.value("keep").unwrap().value, TomlValue::Float(0.5));
+        assert_eq!(t.value("big").unwrap().value, TomlValue::Int(1_000_000));
+        assert_eq!(t.value("on").unwrap().value, TomlValue::Bool(true));
+        match &t.value("tags").unwrap().value {
+            TomlValue::Array(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(
+            t.table("params").unwrap().value("n").unwrap().value,
+            TomlValue::Int(100)
+        );
+        assert_eq!(
+            t.table("profile")
+                .unwrap()
+                .table("quick")
+                .unwrap()
+                .value("n")
+                .unwrap()
+                .value,
+            TomlValue::Int(10)
+        );
+        let variants = t.array_of_tables("variant").unwrap();
+        assert_eq!(variants.len(), 2);
+        assert_eq!(
+            variants[1].value("name").unwrap().value,
+            TomlValue::Str("packed".into())
+        );
+    }
+
+    #[test]
+    fn spans_point_at_the_token() {
+        let doc = "a = 1\n\n[sect]\nkey = \"v\"\n";
+        let t = parse(doc).unwrap();
+        // Value spans point at the value token, not the key.
+        assert_eq!(t.value("a").unwrap().span, Span { line: 1, col: 5 });
+        let sect = t.table("sect").unwrap();
+        assert_eq!(sect.span, Span { line: 3, col: 1 });
+        assert_eq!(sect.value("key").unwrap().span, Span { line: 4, col: 7 });
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (bad, line) in [
+            ("novalue", 1),
+            ("k = ", 1),
+            ("k = \"unterminated", 1),
+            ("[unclosed", 1),
+            ("x = 1\nx = 2", 2),
+            ("k = [1, ", 1),
+            ("k = what", 1),
+            ("[t]\n[t]", 2),
+        ] {
+            let e = parse(bad).unwrap_err();
+            assert_eq!(e.span.line, line, "wrong line for {bad:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let t = parse("k = \"a # b\" # real comment\n").unwrap();
+        assert_eq!(t.value("k").unwrap().value, TomlValue::Str("a # b".into()));
+    }
+}

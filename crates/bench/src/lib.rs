@@ -1,4 +1,9 @@
-//! Shared helpers for the experiment tables.
+//! Shared helpers for the experiment harness: the [`lab`] spec/plan/run/
+//! gate pipeline, the [`drivers`] that execute each experiment, and the
+//! table/format utilities the drivers print with.
+
+pub mod drivers;
+pub mod lab;
 
 use serde::Serialize;
 

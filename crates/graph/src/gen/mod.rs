@@ -1,7 +1,7 @@
 //! Synthetic graph families with controlled treewidth / diameter, and
 //! instance decorators (weights, orientations, bipartite structure).
 //!
-//! Every experiment in `EXPERIMENTS.md` and every scenario in the
+//! Every experiment in `docs/EXPERIMENTS.md` and every scenario in the
 //! `scenarios` crate draws its workloads from here. The families are chosen
 //! so that (τ, D, n) can be swept independently:
 //!

@@ -10,7 +10,7 @@
 //! * [`tw::TreeDecomposition`] — rooted tree decompositions (paper §2.2) with a
 //!   full validity verifier (conditions (a), (b), (c)).
 //! * [`gen`] — synthetic graph families with controlled treewidth / diameter,
-//!   used by every experiment in `EXPERIMENTS.md`.
+//!   used by every experiment in `docs/EXPERIMENTS.md`.
 //! * [`alg`] — centralized reference algorithms (BFS, Dijkstra, components,
 //!   exact diameter, …) that serve as correctness oracles for the distributed
 //!   implementations.
