@@ -28,4 +28,7 @@ pub use apsp::apsp_pipelined_distributed;
 pub use bford::bellman_ford_distributed;
 pub use girth_oracle::{girth_directed_centralized, girth_exact_centralized};
 pub use matching::{hopcroft_karp, matching_distributed_baseline, matching_size};
-pub use oracles::{constrained_sssp_oracle, matching_oracle, sssp_oracle};
+pub use oracles::{
+    constrained_sssp_oracle, cycle_counts_oracle, fo_oracle, matching_oracle, maxflow_oracle,
+    sssp_oracle, CycleCounts,
+};

@@ -11,8 +11,13 @@
 //! | girth | [`girth_exact_centralized`](crate::girth_exact_centralized) / [`girth_directed_centralized`](crate::girth_directed_centralized) | per-edge shortest-cycle scan |
 //! | matching | [`matching_oracle`] | Hopcroft–Karp |
 //! | stateful walks | [`constrained_sssp_oracle`] | Dijkstra on the product graph |
+//! | max-flow / disjoint paths | [`maxflow_oracle`] | centralized augmenting-path min vertex cut |
+//! | subgraph counting | [`cycle_counts_oracle`] | brute-force canonical cycle enumeration (n ≤ 200) |
+//! | FO properties | [`fo_oracle`] | naive quantifier expansion over BFS rows |
 
 use stateful_walks::{ConstrainedSssp, StateId, StatefulConstraint};
+use twgraph::alg::{bfs_dist, MincutError};
+use twgraph::fo::{Atom, Formula};
 use twgraph::{Dist, MultiDigraph, UGraph};
 
 /// Exact single-source distances (centralized Dijkstra) — the oracle for
@@ -47,10 +52,126 @@ pub fn constrained_sssp_oracle(
         .collect()
 }
 
+/// Minimum X–Y vertex-cut / vertex-disjoint-path count (Menger) inside
+/// the subgraph induced by `members` — the oracle for the max-flow
+/// pipeline. `Ok(None)` means the minimum exceeds `t` (including the ∞
+/// cases: overlapping or adjacent terminal sets); `Err` surfaces a
+/// violated precondition or broken duality invariant from
+/// [`twgraph::alg::min_vertex_cut`], checked on every build profile.
+pub fn maxflow_oracle(
+    g: &UGraph,
+    members: Option<&[u32]>,
+    xs: &[u32],
+    ys: &[u32],
+    t: usize,
+) -> Result<Option<Vec<u32>>, MincutError> {
+    twgraph::alg::min_vertex_cut(g, members, xs, ys, t)
+}
+
+/// Exact simple-cycle counts by length, the oracle for the subgraph
+/// counting pipeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleCounts {
+    /// Triangles.
+    pub c3: u64,
+    /// Simple 4-cycles.
+    pub c4: u64,
+    /// Simple 5-cycles.
+    pub c5: u64,
+}
+
+/// Brute-force cap: the enumeration is Θ(n · Δ⁴) in the worst case, so
+/// the oracle refuses graphs past this size rather than silently crawling.
+const CYCLE_ORACLE_MAX_N: usize = 200;
+
+/// Exact triangle / 4-cycle / 5-cycle counts by canonical DFS enumeration:
+/// every simple cycle is walked exactly once, anchored at its smallest
+/// vertex with its second vertex below its last (killing the reflection).
+/// Completely independent of the pipeline's trace-based counting — no
+/// shared inclusion–exclusion algebra — so the differential comparison is
+/// meaningful. Panics above `n = 200` (the corpus stays far below).
+pub fn cycle_counts_oracle(g: &UGraph) -> CycleCounts {
+    assert!(
+        g.n() <= CYCLE_ORACLE_MAX_N,
+        "cycle_counts_oracle: n = {} exceeds the brute-force cap {CYCLE_ORACLE_MAX_N}",
+        g.n()
+    );
+    fn dfs(g: &UGraph, s: u32, path: &mut Vec<u32>, counts: &mut [u64; 6]) {
+        let v = *path.last().unwrap();
+        for &w in g.neighbors(v) {
+            if w == s {
+                // Closing edge: count once per cycle via the canonical
+                // orientation path[1] < path[last].
+                if path.len() >= 3 && path[1] < v {
+                    counts[path.len()] += 1;
+                }
+                continue;
+            }
+            if w <= s || path.contains(&w) || path.len() == 5 {
+                continue;
+            }
+            path.push(w);
+            dfs(g, s, path, counts);
+            path.pop();
+        }
+    }
+    let mut counts = [0u64; 6];
+    for s in 0..g.n() as u32 {
+        let mut path = vec![s];
+        dfs(g, s, &mut path, &mut counts);
+    }
+    CycleCounts {
+        c3: counts[3],
+        c4: counts[4],
+        c5: counts[5],
+    }
+}
+
+/// Truth value of a closed FO sentence on `g` by naive quantifier
+/// expansion — every quantifier loops over all of `V`, atoms read BFS
+/// rows directly. Θ(n^depth · |φ|) plus n BFS passes; the oracle for the
+/// FO-property pipeline. Panics on open formulas and above `n = 200`.
+pub fn fo_oracle(g: &UGraph, f: &Formula) -> bool {
+    assert!(f.is_sentence(), "fo_oracle needs a closed sentence: {f}");
+    assert!(
+        g.n() <= CYCLE_ORACLE_MAX_N,
+        "fo_oracle: n = {} exceeds the quantifier-expansion cap",
+        g.n()
+    );
+    let rows: Vec<Vec<u32>> = (0..g.n() as u32).map(|v| bfs_dist(g, v)).collect();
+    fn eval(g: &UGraph, rows: &[Vec<u32>], f: &Formula, env: [u32; 2]) -> bool {
+        match f {
+            Formula::Atom(Atom::Adj(a, b)) => {
+                let (u, v) = (env[*a as usize], env[*b as usize]);
+                u != v && g.neighbors(u).binary_search(&v).is_ok()
+            }
+            Formula::Atom(Atom::Eq(a, b)) => env[*a as usize] == env[*b as usize],
+            Formula::Atom(Atom::DistLe(a, b, k)) => {
+                rows[env[*a as usize] as usize][env[*b as usize] as usize] <= *k
+            }
+            Formula::Not(inner) => !eval(g, rows, inner, env),
+            Formula::And(l, r) => eval(g, rows, l, env) && eval(g, rows, r, env),
+            Formula::Or(l, r) => eval(g, rows, l, env) || eval(g, rows, r, env),
+            Formula::Exists(var, inner) => (0..g.n() as u32).any(|w| {
+                let mut e = env;
+                e[*var as usize] = w;
+                eval(g, rows, inner, e)
+            }),
+            Formula::Forall(var, inner) => (0..g.n() as u32).all(|w| {
+                let mut e = env;
+                e[*var as usize] = w;
+                eval(g, rows, inner, e)
+            }),
+        }
+    }
+    eval(g, &rows, f, [0, 0])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use stateful_walks::ColoredWalk;
+    use twgraph::fo::build::*;
     use twgraph::gen;
     use twgraph::INF;
 
@@ -77,5 +198,87 @@ mod tests {
         let out = constrained_sssp_oracle(&inst, &c, 0);
         assert_eq!(out.len(), 6);
         assert!(out.iter().all(|row| row.len() == c.n_states()));
+    }
+
+    #[test]
+    fn maxflow_oracle_matches_menger_on_grid() {
+        let g = gen::grid(3, 4);
+        // Corner 0 has degree 2: its neighborhood is the minimum cut.
+        let cut = maxflow_oracle(&g, None, &[0], &[11], 5).unwrap().unwrap();
+        assert_eq!(cut.len(), 2);
+        // Adjacent terminals are unseparable.
+        assert!(maxflow_oracle(&g, None, &[0], &[1], 5).unwrap().is_none());
+    }
+
+    #[test]
+    fn cycle_counts_on_known_graphs() {
+        // A single k-cycle has exactly one cycle.
+        assert_eq!(
+            cycle_counts_oracle(&gen::cycle(3)),
+            CycleCounts {
+                c3: 1,
+                c4: 0,
+                c5: 0
+            }
+        );
+        assert_eq!(
+            cycle_counts_oracle(&gen::cycle(4)),
+            CycleCounts {
+                c3: 0,
+                c4: 1,
+                c5: 0
+            }
+        );
+        assert_eq!(
+            cycle_counts_oracle(&gen::cycle(5)),
+            CycleCounts {
+                c3: 0,
+                c4: 0,
+                c5: 1
+            }
+        );
+        // K4: C(4,3) = 4 triangles, 3 quadrilaterals, no 5-cycles.
+        let k4 = twgraph::UGraph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(
+            cycle_counts_oracle(&k4),
+            CycleCounts {
+                c3: 4,
+                c4: 3,
+                c5: 0
+            }
+        );
+        // Trees have no cycles at all.
+        assert_eq!(
+            cycle_counts_oracle(&gen::random_tree(30, 9)),
+            CycleCounts::default()
+        );
+        // A 2×3 grid: two unit squares plus their 6-cycle boundary (too
+        // long to count) — c4 = 2.
+        assert_eq!(cycle_counts_oracle(&gen::grid(2, 3)).c4, 2);
+    }
+
+    #[test]
+    fn fo_oracle_on_known_sentences() {
+        let g = gen::path(4);
+        // Some edge exists.
+        assert!(fo_oracle(&g, &exists(0, exists(1, adj(0, 1)))));
+        // Not every pair is adjacent.
+        assert!(!fo_oracle(&g, &forall(0, forall(1, adj(0, 1)))));
+        // Every vertex has another vertex within distance 1 on a path.
+        let near = forall(0, exists(1, and(not(eq(0, 1)), dist_le(0, 1, 1))));
+        assert!(fo_oracle(&g, &near));
+        // With an isolated vertex the same sentence flips.
+        let iso = gen::disjoint_union(&[gen::path(4), gen::path(1)]);
+        assert!(!fo_oracle(&iso, &near));
+        // P4 has a 2-center? dist(1, ·) ≤ 2 covers {0,1,2,3}: yes.
+        assert!(fo_oracle(&g, &exists(0, forall(1, dist_le(0, 1, 2)))));
+        // P4 has no 1-center.
+        assert!(!fo_oracle(&g, &exists(0, forall(1, dist_le(0, 1, 1)))));
+    }
+
+    #[test]
+    #[should_panic(expected = "closed sentence")]
+    fn fo_oracle_rejects_open_formulas() {
+        fo_oracle(&gen::path(3), &adj(0, 1));
     }
 }

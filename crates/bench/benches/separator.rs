@@ -23,6 +23,7 @@ fn bench_sep(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(5);
                 sep_doubling(g, &members, &mu, t0, &cfg, &mut rng)
+                    .expect("mincut invariant")
                     .separator
                     .len()
             })

@@ -15,7 +15,7 @@
 //! `gate`. See `docs/EXPERIMENTS.md` for the spec format and the gate
 //! semantics.
 
-use lowtw_bench::lab::gate::{gate, GateConfig, GateError};
+use lowtw_bench::lab::gate::{gate, GateConfig};
 use lowtw_bench::lab::plan::{plan, Trial};
 use lowtw_bench::lab::results::LabReport;
 use lowtw_bench::lab::runner::run_trials;
@@ -69,7 +69,7 @@ const USAGE: &str = "usage:
          committed baselines: deterministic drift fails hard, wall-clock
          regressions fail above the tolerance (default 0.20, same host only)";
 
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct Opts {
     profile: Option<String>,
     experiment: Option<String>,
@@ -99,8 +99,16 @@ impl Opts {
                 "--baseline-dir" => o.baseline_dir = Some(PathBuf::from(val("--baseline-dir")?)),
                 "--wall-tolerance" => {
                     let v = val("--wall-tolerance")?;
-                    o.wall_tolerance =
-                        Some(v.parse().map_err(|e| format!("--wall-tolerance: {e}"))?)
+                    let t: f64 = v.parse().map_err(|e| format!("--wall-tolerance: {e}"))?;
+                    // Reject unusable fractions here, before any file IO:
+                    // a NaN would disable wall gating silently, a negative
+                    // would fail every unchanged run.
+                    if !t.is_finite() || t < 0.0 {
+                        return Err(format!(
+                            "--wall-tolerance must be a finite non-negative fraction, got {v:?}"
+                        ));
+                    }
+                    o.wall_tolerance = Some(t);
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -239,10 +247,18 @@ fn gate_cmd(specs: &[ExperimentSpec], opts: &Opts) -> ExitCode {
         .baseline_dir
         .clone()
         .unwrap_or_else(|| PathBuf::from("."));
-    let mut cfg = GateConfig::default();
-    if let Some(t) = opts.wall_tolerance {
-        cfg.wall_tolerance = t;
-    }
+    let cfg = match opts.wall_tolerance {
+        // Parsing already rejected unusable values; the typed constructor
+        // re-checks so the library invariant never rests on the CLI.
+        Some(t) => match GateConfig::with_wall_tolerance(t) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("lab gate: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => GateConfig::default(),
+    };
 
     let mut outcome = lowtw_bench::lab::gate::GateOutcome::default();
     let mut experiments = candidate.experiments();
@@ -280,7 +296,7 @@ fn gate_cmd(specs: &[ExperimentSpec], opts: &Opts) -> ExitCode {
                 );
                 outcome.absorb(o);
             }
-            Err(e @ GateError::ProfileMismatch { .. }) | Err(e @ GateError::Baseline(_)) => {
+            Err(e) => {
                 eprintln!("lab gate: {exp}: {e}");
                 return ExitCode::FAILURE;
             }
@@ -301,5 +317,42 @@ fn gate_cmd(specs: &[ExperimentSpec], opts: &Opts) -> ExitCode {
         }
         eprintln!("gate FAILED with {} finding(s)", outcome.failures.len());
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Opts;
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Opts::parse(&owned)
+    }
+
+    #[test]
+    fn wall_tolerance_accepts_sane_fractions() {
+        for (arg, want) in [("0", 0.0), ("0.2", 0.2), ("1.5", 1.5)] {
+            let o = parse(&["--wall-tolerance", arg]).unwrap();
+            assert_eq!(o.wall_tolerance, Some(want), "arg {arg:?}");
+        }
+        assert_eq!(parse(&[]).unwrap().wall_tolerance, None);
+    }
+
+    #[test]
+    fn wall_tolerance_rejects_unusable_values() {
+        for bad in ["-0.1", "NaN", "inf", "-inf", "two"] {
+            let err = parse(&["--wall-tolerance", bad]).unwrap_err();
+            assert!(
+                err.contains("--wall-tolerance"),
+                "error for {bad:?} must name the flag: {err}"
+            );
+        }
+        let err = parse(&["--wall-tolerance"]).unwrap_err();
+        assert!(err.contains("needs a value"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse(&["--wat"]).is_err());
     }
 }

@@ -103,7 +103,7 @@ fn e2_separator(row: &mut RowBuilder) {
         let mut rng = SmallRng::seed_from_u64(7);
         let members = vec![true; n];
         let mu = vec![1u64; n];
-        let out = sep_doubling(&g, &members, &mu, t0, &cfg, &mut rng);
+        let out = sep_doubling(&g, &members, &mu, t0, &cfg, &mut rng).expect("mincut invariant");
         row.det(format!("{name}/sep"), out.separator.len() as u64);
         row.det(format!("{name}/bound"), cfg.size_bound(out.t_used) as u64);
         row.det(format!("{name}/t_used"), out.t_used);
@@ -641,7 +641,8 @@ fn a2_pair_sampling(row: &mut RowBuilder) {
         let mut cfg = SepConfig::practical(n);
         cfg.sampled_pairs = pairs;
         let mut rng = SmallRng::seed_from_u64(11);
-        let out = sep_doubling(&g, &vec![true; n], &vec![1u64; n], 4, &cfg, &mut rng);
+        let out = sep_doubling(&g, &vec![true; n], &vec![1u64; n], 4, &cfg, &mut rng)
+            .expect("mincut invariant");
         row.det(format!("pairs{pairs}/sep"), out.separator.len() as u64);
         row.det(format!("pairs{pairs}/t_used"), out.t_used);
         row.det(format!("pairs{pairs}/path"), path_code(&out.path));
@@ -673,7 +674,8 @@ fn a3_constants(row: &mut RowBuilder) {
         ("practical", SepConfig::practical(n)),
     ] {
         let mut rng = SmallRng::seed_from_u64(13);
-        let out = sep_doubling(&g, &vec![true; n], &vec![1u64; n], 3, &cfg, &mut rng);
+        let out = sep_doubling(&g, &vec![true; n], &vec![1u64; n], 3, &cfg, &mut rng)
+            .expect("mincut invariant");
         row.det(format!("{name}/sep"), out.separator.len() as u64);
         row.det(format!("{name}/t_used"), out.t_used);
         row.det(format!("{name}/path"), path_code(&out.path));

@@ -41,6 +41,21 @@ impl Default for GateConfig {
     }
 }
 
+impl GateConfig {
+    /// The default config with a validated wall tolerance: the fraction
+    /// must be finite and non-negative (`0.0` means "any slowdown fails",
+    /// which is legitimate on a quiet dedicated host).
+    pub fn with_wall_tolerance(t: f64) -> Result<GateConfig, GateError> {
+        if !t.is_finite() || t < 0.0 {
+            return Err(GateError::InvalidTolerance { value: t });
+        }
+        Ok(GateConfig {
+            wall_tolerance: t,
+            ..GateConfig::default()
+        })
+    }
+}
+
 /// Why the gate refused to run the comparison at all.
 #[derive(Debug, PartialEq)]
 pub enum GateError {
@@ -48,6 +63,8 @@ pub enum GateError {
     ProfileMismatch { baseline: String, candidate: String },
     /// The baseline could not be loaded (schema mismatch, malformed, IO).
     Baseline(BaselineError),
+    /// The wall tolerance is not a usable fraction (NaN, ±∞, or negative).
+    InvalidTolerance { value: f64 },
 }
 
 impl fmt::Display for GateError {
@@ -62,6 +79,10 @@ impl fmt::Display for GateError {
                  rerun with the matching --profile"
             ),
             GateError::Baseline(e) => write!(f, "{e}"),
+            GateError::InvalidTolerance { value } => write!(
+                f,
+                "wall tolerance must be a finite non-negative fraction, got {value}"
+            ),
         }
     }
 }
@@ -173,6 +194,13 @@ pub fn gate(
     candidate: &LabReport,
     cfg: &GateConfig,
 ) -> Result<GateOutcome, GateError> {
+    // A NaN tolerance would make every ratio comparison silently false
+    // (never regressing); refuse with a typed error instead.
+    if !cfg.wall_tolerance.is_finite() || cfg.wall_tolerance < 0.0 {
+        return Err(GateError::InvalidTolerance {
+            value: cfg.wall_tolerance,
+        });
+    }
     if baseline.profile != candidate.profile {
         return Err(GateError::ProfileMismatch {
             baseline: baseline.profile.clone(),
@@ -452,6 +480,34 @@ mod tests {
             .failures
             .iter()
             .any(|f| matches!(f, Finding::DetKeyExtra { key, .. } if key == "msgs")));
+    }
+
+    #[test]
+    fn invalid_tolerances_are_typed_errors() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.2] {
+            match GateConfig::with_wall_tolerance(bad) {
+                Err(GateError::InvalidTolerance { value }) => {
+                    assert!(value.is_nan() == bad.is_nan() && (value.is_nan() || value == bad))
+                }
+                other => panic!("tolerance {bad} must be rejected, got {other:?}"),
+            }
+            // The gate itself refuses a hand-built config too: a NaN
+            // would silently disable every wall comparison.
+            let cfg = GateConfig {
+                wall_tolerance: bad,
+                ..GateConfig::default()
+            };
+            let b = report("h", vec![]);
+            assert!(matches!(
+                gate(&b, &b.clone(), &cfg),
+                Err(GateError::InvalidTolerance { .. })
+            ));
+        }
+        // Zero is legitimate: any same-host slowdown fails.
+        let cfg = GateConfig::with_wall_tolerance(0.0).unwrap();
+        let b = report("h", vec![row("e/-/-/-#0", &[], &[("t", 1_000_000)])]);
+        let c = report("h", vec![row("e/-/-/-#0", &[], &[("t", 1_000_001)])]);
+        assert!(!gate(&b, &c, &cfg).unwrap().passed());
     }
 
     #[test]

@@ -219,7 +219,7 @@ n = 10
         #[test]
         fn plan_count_is_the_dimension_product(
             n_sc in 1usize..12,
-            n_pl in 1usize..7,
+            n_pl in 1usize..11,
             n_var in 0usize..5,
             reps in 1u64..4,
         ) {

@@ -399,7 +399,7 @@ impl PartLabeling {
         let old_gpx = self.info[x].gpx.clone();
         let old_inh = self.info[x].inherited.clone();
         let cfg = SepConfig::practical(self.graph.n());
-        let region = decompose_region(&self.graph, &old_gpx, &self.td.bags[p], self.t0, &cfg, rng);
+        let region = decompose_region(&self.graph, &old_gpx, &self.td.bags[p], self.t0, &cfg, rng)?;
         self.t_used = self.t_used.max(region.t_used);
 
         // Splice: copy survivors in old id order (parents precede children

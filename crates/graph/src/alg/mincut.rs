@@ -3,22 +3,65 @@
 
 use crate::ugraph::UGraph;
 use std::collections::VecDeque;
+use std::fmt;
+
+/// A violated precondition or internal invariant of [`min_vertex_cut`].
+///
+/// Both conditions used to be `debug_assert!`s, which vanish in release
+/// builds — exactly the builds the benchmark harness and the max-flow
+/// pipeline oracle run. They are now checked on every build profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MincutError {
+    /// `members` was passed but is not strictly ascending, so the
+    /// binary-search membership test would silently misclassify vertices
+    /// and the "cut" could fail to separate anything.
+    UnsortedMembers,
+    /// Max-flow/min-cut duality broke: the reachability cut extracted
+    /// after the final BFS does not have exactly `flow` vertices. This is
+    /// an internal algorithm bug, never a caller error.
+    CutFlowMismatch {
+        /// Vertices in the extracted cut.
+        cut: usize,
+        /// Augmenting paths found (the max-flow value).
+        flow: usize,
+    },
+}
+
+impl fmt::Display for MincutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MincutError::UnsortedMembers => {
+                write!(f, "min_vertex_cut: members list must be strictly ascending")
+            }
+            MincutError::CutFlowMismatch { cut, flow } => write!(
+                f,
+                "min_vertex_cut: internal invariant broke — cut size {cut} != max flow {flow}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MincutError {}
 
 /// Minimum vertex cut separating `xs` from `ys` inside the subgraph induced
 /// by `members` (`None` = whole graph), if its size is ≤ `t`.
 ///
-/// Returns `None` when the minimum exceeds `t` — including the ∞ cases
+/// Returns `Ok(None)` when the minimum exceeds `t` — including the ∞ cases
 /// (X ∩ Y ≠ ∅ or an X–Y edge). The cut never contains X ∪ Y vertices.
+/// `Err` means the `members` precondition was violated or the internal
+/// max-flow/min-cut invariant broke; see [`MincutError`].
 pub fn min_vertex_cut(
     g: &UGraph,
     members: Option<&[u32]>,
     xs: &[u32],
     ys: &[u32],
     t: usize,
-) -> Option<Vec<u32>> {
+) -> Result<Option<Vec<u32>>, MincutError> {
     let n = g.n();
     let in_members = |v: u32| -> bool { members.map_or(true, |m| m.binary_search(&v).is_ok()) };
-    debug_assert!(members.map_or(true, |m| m.windows(2).all(|w| w[0] < w[1])));
+    if !members.map_or(true, |m| m.windows(2).all(|w| w[0] < w[1])) {
+        return Err(MincutError::UnsortedMembers);
+    }
     let mut is_x = vec![false; n];
     let mut is_y = vec![false; n];
     for &x in xs {
@@ -27,7 +70,7 @@ pub fn min_vertex_cut(
     for &y in ys {
         is_y[y as usize] = true;
         if is_x[y as usize] {
-            return None; // overlap ⇒ ∞
+            return Ok(None); // overlap ⇒ ∞
         }
     }
 
@@ -113,13 +156,18 @@ pub fn min_vertex_cut(
                     cut.push(v);
                 }
             }
-            debug_assert_eq!(cut.len(), flow);
-            return Some(cut);
+            if cut.len() != flow {
+                return Err(MincutError::CutFlowMismatch {
+                    cut: cut.len(),
+                    flow,
+                });
+            }
+            return Ok(Some(cut));
         };
 
         flow += 1;
         if flow > t {
-            return None;
+            return Ok(None);
         }
         // Backtrace from sink_in, flipping residual arcs.
         let mut v = sink;
@@ -182,7 +230,7 @@ mod tests {
     #[test]
     fn path_needs_one() {
         let g = path(7);
-        let cut = min_vertex_cut(&g, None, &[0], &[6], 3).unwrap();
+        let cut = min_vertex_cut(&g, None, &[0], &[6], 3).unwrap().unwrap();
         assert_eq!(cut.len(), 1);
         assert!(separates(&g, &cut, &[0], &[6]));
     }
@@ -190,7 +238,7 @@ mod tests {
     #[test]
     fn cycle_needs_two() {
         let g = cycle(8);
-        let cut = min_vertex_cut(&g, None, &[0], &[4], 3).unwrap();
+        let cut = min_vertex_cut(&g, None, &[0], &[4], 3).unwrap().unwrap();
         assert_eq!(cut.len(), 2);
         assert!(separates(&g, &cut, &[0], &[4]));
     }
@@ -198,7 +246,9 @@ mod tests {
     #[test]
     fn grid_columns() {
         let g = grid(3, 5);
-        let cut = min_vertex_cut(&g, None, &[0, 5, 10], &[4, 9, 14], 4).unwrap();
+        let cut = min_vertex_cut(&g, None, &[0, 5, 10], &[4, 9, 14], 4)
+            .unwrap()
+            .unwrap();
         assert_eq!(cut.len(), 3);
         assert!(separates(&g, &cut, &[0, 5, 10], &[4, 9, 14]));
     }
@@ -206,28 +256,76 @@ mod tests {
     #[test]
     fn infinite_cases() {
         let g = path(3);
-        assert!(min_vertex_cut(&g, None, &[0], &[1], 5).is_none()); // adjacent
-        assert!(min_vertex_cut(&g, None, &[0, 1], &[1, 2], 5).is_none()); // overlap
+        assert!(min_vertex_cut(&g, None, &[0], &[1], 5).unwrap().is_none()); // adjacent
+        assert!(min_vertex_cut(&g, None, &[0, 1], &[1, 2], 5)
+            .unwrap()
+            .is_none()); // overlap
     }
 
     #[test]
     fn budget_respected() {
         let g = cycle(8);
-        assert!(min_vertex_cut(&g, None, &[0], &[4], 1).is_none());
+        assert!(min_vertex_cut(&g, None, &[0], &[4], 1).unwrap().is_none());
     }
 
     #[test]
     fn members_restriction() {
         let g = cycle(6);
         let half = [0u32, 1, 2, 3];
-        let cut = min_vertex_cut(&g, Some(&half), &[0], &[3], 3).unwrap();
+        let cut = min_vertex_cut(&g, Some(&half), &[0], &[3], 3)
+            .unwrap()
+            .unwrap();
         assert_eq!(cut.len(), 1);
     }
 
     #[test]
     fn already_disconnected() {
         let g = UGraph::from_edges(4, [(0, 1), (2, 3)]);
-        let cut = min_vertex_cut(&g, None, &[0], &[3], 3).unwrap();
+        let cut = min_vertex_cut(&g, None, &[0], &[3], 3).unwrap().unwrap();
         assert!(cut.is_empty());
+    }
+
+    /// The members-sorted precondition is a typed error on every build
+    /// profile — this test is meaningful in `--release`, where the old
+    /// `debug_assert!` compiled to nothing and the binary-search
+    /// membership test silently misfired.
+    #[test]
+    fn unsorted_members_rejected_in_release_too() {
+        let g = cycle(6);
+        let unsorted = [3u32, 0, 1, 2];
+        assert_eq!(
+            min_vertex_cut(&g, Some(&unsorted), &[0], &[3], 3),
+            Err(MincutError::UnsortedMembers)
+        );
+        // Duplicates are "not strictly ascending" too.
+        let dup = [0u32, 1, 1, 2];
+        assert_eq!(
+            min_vertex_cut(&g, Some(&dup), &[0], &[2], 3),
+            Err(MincutError::UnsortedMembers)
+        );
+    }
+
+    /// The cut == flow duality check holds on every graph we can throw at
+    /// it; seeded sweep so a future augmentation bug surfaces as the typed
+    /// `CutFlowMismatch` error instead of a wrong answer.
+    #[test]
+    fn duality_checked_on_random_grids() {
+        for seed in 0..4u32 {
+            let g = grid(4, 4 + seed as usize);
+            let n = g.n() as u32;
+            let cut = min_vertex_cut(&g, None, &[0], &[n - 1], 8)
+                .expect("duality invariant")
+                .expect("grid corners are non-adjacent");
+            assert!(separates(&g, &cut, &[0], &[n - 1]));
+        }
+    }
+
+    #[test]
+    fn error_display_names_the_invariant() {
+        let e = MincutError::CutFlowMismatch { cut: 3, flow: 2 };
+        assert!(e.to_string().contains("cut size 3 != max flow 2"));
+        assert!(MincutError::UnsortedMembers
+            .to_string()
+            .contains("strictly ascending"));
     }
 }

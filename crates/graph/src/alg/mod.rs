@@ -16,5 +16,5 @@ pub use apsp::{apsp_dijkstra, floyd_warshall};
 pub use bfs::{bfs_dist, bfs_tree, diameter_exact, eccentricity};
 pub use components::{components, is_connected, largest_component};
 pub use dijkstra::{dijkstra, dijkstra_to, ShortestPathTree};
-pub use mincut::min_vertex_cut;
+pub use mincut::{min_vertex_cut, MincutError};
 pub use trees::{centroid, random_spanning_tree, subtree_sizes, RootedTree};

@@ -16,11 +16,14 @@
 //!   implementations.
 //! * [`tw`] — a treewidth toolkit: elimination-order heuristics that bound the
 //!   width from above and a degeneracy bound from below.
+//! * [`fo`] — the tiny first-order formula DSL (∃/∀, adjacency / equality /
+//!   bounded-distance atoms) behind the FO-property scenario pipeline.
 //!
 //! Everything is implemented from scratch on `std`; no external graph library
 //! is used, so the CONGEST simulator can account for every word that moves.
 
 pub mod alg;
+pub mod fo;
 pub mod gen;
 pub mod ids;
 pub mod multidigraph;

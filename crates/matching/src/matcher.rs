@@ -145,7 +145,16 @@ pub fn max_matching(
             }
             active[s as usize] = true;
             attempts += 1;
-            debug_assert!(mate[s as usize].is_none());
+            // Invariant (checked in release builds: a violation means the
+            // matching is corrupt, not merely slow): a newly activated
+            // vertex is unmatched. Matched edges only ever join vertices
+            // that were already active — the leaf base case activates all
+            // of `gpx` before matching inside it, and every augmentation
+            // walks the alternating instance restricted to the active set.
+            assert!(
+                mate[s as usize].is_none(),
+                "separator vertex {s} was matched before activation"
+            );
 
             let alt = alternating_instance(&edges, n, &matched, &active);
             let constraint = ColoredWalk { colors: 2 };
@@ -206,7 +215,12 @@ pub fn max_matching(
                 }
             }
             augmentations += 1;
-            debug_assert!(path_len >= 1);
+            // Invariant (checked in release builds): the augmenting walk
+            // has positive length — `path_len` is the CDL distance of a
+            // finite walk from `s` to `t ≠ s`, and every arc carries unit
+            // weight, so a zero here would mean the constrained SSSP
+            // fabricated an empty walk between distinct vertices.
+            assert!(path_len >= 1, "augmenting walk {s} → {t} has zero length");
         }
     }
 
@@ -273,6 +287,26 @@ mod tests {
             let want = matching_size(&hopcroft_karp(&inst.graph, &inst.side));
             assert_eq!(out.size(), want, "seed {seed}");
         }
+    }
+
+    /// The activation and walk-length invariants are release-mode
+    /// `assert!`s on the augmentation path; this sweep drives enough
+    /// seeds and shapes through `max_matching` that every internal node
+    /// activates separator vertices (attempts > 0) and at least one
+    /// augmentation flips a walk — i.e. both asserts actually execute,
+    /// in release builds too, and hold.
+    #[test]
+    fn activation_invariants_hold_across_seeds() {
+        let mut total_attempts = 0;
+        let mut total_augmentations = 0;
+        for seed in 0..8 {
+            let (inst, out) = run(36, 36, 2, 0.45, seed, MatchMode::Centralized);
+            assert!(is_valid_matching(&inst.graph, &inst.side, &out.mate));
+            total_attempts += out.attempts;
+            total_augmentations += out.augmentations;
+        }
+        assert!(total_attempts > 0, "no separator vertex was ever activated");
+        assert!(total_augmentations > 0, "no augmenting walk was ever found");
     }
 
     #[test]

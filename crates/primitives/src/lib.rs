@@ -14,6 +14,7 @@
 //! | CCD | connected component detection | [`ccd::detect`] |
 //! | BCT(h) | multi-source subgraph broadcast | [`pa::broadcast`] |
 //! | MVC(h,t) | minimum vertex cuts | [`mvc::batch_min_vertex_cut`] |
+//! | probes | walk diagonals / bounded hop distances | [`probe::closed_walk_spectrum`], [`probe::bounded_hop_distances`] |
 //!
 //! No single theorem is "the" primitive layer; rather, every theorem rides
 //! it: Theorem 1 (tree decomposition) consumes RST/STA/SLE/CCD/MVC inside
@@ -45,6 +46,7 @@ pub mod global;
 pub mod mvc;
 pub mod pa;
 pub mod parts;
+pub mod probe;
 pub mod roles;
 pub mod snc;
 

@@ -2,10 +2,11 @@
 //!
 //! The paper's claim is parameterized: every pipeline in this workspace
 //! (SSSP, distance labeling, girth, matching, stateful walks, the
-//! label-serving query engine, and incremental update maintenance with
-//! epoch-versioned serving) stays fully polynomial *for any*
-//! low-treewidth input. This crate makes that claim testable as a
-//! cross-product:
+//! label-serving query engine, incremental update maintenance with
+//! epoch-versioned serving, small-capacity max-flow between terminal
+//! pairs, subgraph counting, and FO-property checking) stays fully
+//! polynomial *for any* low-treewidth input. This crate makes that claim
+//! testable as a cross-product:
 //!
 //! * [`registry`] — a [`Scenario`] names a seeded graph [`Family`] with a
 //!   declared treewidth bound and a [`WeightModel`]; [`corpus`] is the
@@ -42,8 +43,9 @@ pub mod report;
 pub mod runner;
 
 pub use pipeline::{
-    all_pipelines, update_mixes, DistLabelPipeline, GirthPipeline, MatchingPipeline, Pipeline,
-    ServePipeline, SsspPipeline, UpdateMix, UpdatePipeline, WalksPipeline,
+    all_pipelines, update_mixes, CountingPipeline, DistLabelPipeline, FoPipeline, GirthPipeline,
+    MatchingPipeline, MaxflowPipeline, Pipeline, ServePipeline, SsspPipeline, UpdateMix,
+    UpdatePipeline, WalksPipeline,
 };
 pub use registry::{corpus, Family, Scenario, WeightModel};
 pub use report::{fold_checksum, CellError, CellFailure, CellReport, MetricsTotal};

@@ -14,6 +14,7 @@ use congest_sim::CongestError;
 use rand::Rng;
 use std::collections::VecDeque;
 use std::fmt;
+use twgraph::alg::MincutError;
 use twgraph::tw::TreeDecomposition;
 use twgraph::UGraph;
 
@@ -30,6 +31,9 @@ pub enum DecompError {
     Disconnected,
     /// A CONGEST model violation surfaced from the simulator.
     Congest(CongestError),
+    /// The centralized `min_vertex_cut` inside `Sep` step 4 reported a
+    /// violated precondition or a broken max-flow/min-cut invariant.
+    Mincut(MincutError),
 }
 
 impl fmt::Display for DecompError {
@@ -40,6 +44,7 @@ impl fmt::Display for DecompError {
                 write!(f, "input communication graph must be connected")
             }
             DecompError::Congest(e) => write!(f, "{e}"),
+            DecompError::Mincut(e) => write!(f, "separator step 4: {e}"),
         }
     }
 }
@@ -48,6 +53,7 @@ impl std::error::Error for DecompError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DecompError::Congest(e) => Some(e),
+            DecompError::Mincut(e) => Some(e),
             _ => None,
         }
     }
@@ -56,6 +62,12 @@ impl std::error::Error for DecompError {
 impl From<CongestError> for DecompError {
     fn from(e: CongestError) -> Self {
         DecompError::Congest(e)
+    }
+}
+
+impl From<MincutError> for DecompError {
+    fn from(e: MincutError) -> Self {
+        DecompError::Mincut(e)
     }
 }
 
@@ -170,7 +182,7 @@ pub fn decompose_centralized(
             separator: sep,
             t_used: t_here,
             ..
-        } = sep_doubling(g, &members, &mu, t_used, cfg, rng);
+        } = sep_doubling(g, &members, &mu, t_used, cfg, rng)?;
         t_used = t_used.max(t_here);
 
         let gx_size = w.gpx.len() + w.inherited.len();

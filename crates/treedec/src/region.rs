@@ -11,7 +11,7 @@
 //! `distlabel::incremental`) owns the splice and the relabeling.
 
 use crate::config::SepConfig;
-use crate::decomp::{adjacent_subset, components_of, NodeInfo};
+use crate::decomp::{adjacent_subset, components_of, DecompError, NodeInfo};
 use crate::sep::{sep_doubling, SepOutcome};
 use rand::Rng;
 use std::collections::VecDeque;
@@ -54,7 +54,7 @@ pub fn decompose_region(
     t0: u64,
     cfg: &SepConfig,
     rng: &mut impl Rng,
-) -> RegionOutcome {
+) -> Result<RegionOutcome, DecompError> {
     let n = g.n();
     let mut region_mask = vec![false; n];
     for &v in region {
@@ -95,7 +95,7 @@ pub fn decompose_region(
             separator: sep,
             t_used: t_here,
             ..
-        } = sep_doubling(g, &members, &mu, out.t_used, cfg, rng);
+        } = sep_doubling(g, &members, &mu, out.t_used, cfg, rng)?;
         out.t_used = out.t_used.max(t_here);
 
         let gx_size = w.gpx.len() + w.inherited.len();
@@ -148,7 +148,7 @@ pub fn decompose_region(
             },
         });
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -172,7 +172,8 @@ mod tests {
             .find(|&x| dec.info[x].is_leaf && dec.td.parent[x] != x)
             .expect("a non-root leaf exists");
         let p = dec.td.parent[x];
-        let out = decompose_region(&g, &dec.info[x].gpx, &dec.td.bags[p], 3, &cfg, &mut rng);
+        let out =
+            decompose_region(&g, &dec.info[x].gpx, &dec.td.bags[p], 3, &cfg, &mut rng).unwrap();
         assert!(!out.nodes.is_empty());
         let mut covered: Vec<u32> = out.nodes.iter().flat_map(|n| n.info.gpx.clone()).collect();
         covered.sort_unstable();

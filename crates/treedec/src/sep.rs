@@ -6,7 +6,7 @@ use crate::config::SepConfig;
 use crate::split::{split_to_completion, STree};
 use rand::Rng;
 use std::collections::VecDeque;
-use twgraph::alg::min_vertex_cut;
+use twgraph::alg::{min_vertex_cut, MincutError};
 use twgraph::UGraph;
 
 /// Which of the algorithm's output paths produced the separator.
@@ -128,8 +128,9 @@ pub(crate) fn is_balanced_separator(
 
 /// One attempt of `Sep` at a fixed `t` (steps 1–4). `members` selects the
 /// (connected) subgraph to separate; `mu` is the µ_X measure over *global*
-/// vertex ids (zero outside `members`). Returns `None` when all step-4
-/// trials fail — the caller doubles `t`.
+/// vertex ids (zero outside `members`). Returns `Ok(None)` when all step-4
+/// trials fail — the caller doubles `t`. `Err` propagates a broken
+/// [`min_vertex_cut`] invariant from step 4 (never a balance failure).
 pub fn sep_centralized(
     g: &UGraph,
     members: &[bool],
@@ -137,7 +138,7 @@ pub fn sep_centralized(
     t: u64,
     cfg: &SepConfig,
     rng: &mut impl Rng,
-) -> Option<SepOutcome> {
+) -> Result<Option<SepOutcome>, MincutError> {
     let mu_g: u64 = (0..g.n()).filter(|&v| members[v]).map(|v| mu[v]).sum();
 
     // Step 1.
@@ -145,11 +146,11 @@ pub fn sep_centralized(
         let separator: Vec<u32> = (0..g.n() as u32)
             .filter(|&v| members[v as usize] && mu[v as usize] > 0)
             .collect();
-        return Some(SepOutcome {
+        return Ok(Some(SepOutcome {
             separator,
             t_used: t,
             path: SepPath::Small,
-        });
+        }));
     }
 
     // Steps 2–3: harvest split-tree roots over shrinking G_i.
@@ -199,11 +200,11 @@ pub fn sep_centralized(
     }
     if let Some(i) = roots_balanced_at {
         r_star.sort_unstable();
-        return Some(SepOutcome {
+        return Ok(Some(SepOutcome {
             separator: r_star,
             t_used: t,
             path: SepPath::Roots(i),
-        });
+        }));
     }
 
     // Step 4: sampled-pair vertex cuts.
@@ -227,7 +228,7 @@ pub fn sep_centralized(
                 let mut memb: Vec<u32> =
                     (0..g.n() as u32).filter(|&v| members[v as usize]).collect();
                 memb.sort_unstable();
-                if let Some(cut) = min_vertex_cut(g, Some(&memb), &xs, &ys, t as usize) {
+                if let Some(cut) = min_vertex_cut(g, Some(&memb), &xs, &ys, t as usize)? {
                     z.extend(cut);
                 }
             }
@@ -235,31 +236,32 @@ pub fn sep_centralized(
         z.sort_unstable();
         z.dedup();
         if is_balanced_separator(g, members, &z, mu, mu_g, cfg) {
-            return Some(SepOutcome {
+            return Ok(Some(SepOutcome {
                 separator: z,
                 t_used: t,
                 path: SepPath::Cuts,
-            });
+            }));
         }
         if cfg.union_fallback {
             let mut u: Vec<u32> = z.iter().chain(r_star.iter()).copied().collect();
             u.sort_unstable();
             u.dedup();
             if is_balanced_separator(g, members, &u, mu, mu_g, cfg) {
-                return Some(SepOutcome {
+                return Ok(Some(SepOutcome {
                     separator: u,
                     t_used: t,
                     path: SepPath::Union,
-                });
+                }));
             }
         }
     }
-    None
+    Ok(None)
 }
 
 /// `Sep` with the standard doubling estimation of `t` (paper §3.2): try
 /// `t = t0, 2t0, …` until success. Always terminates: at `t` with
-/// µ(G) ≤ `small_cutoff`·t², step 1 fires.
+/// µ(G) ≤ `small_cutoff`·t², step 1 fires. `Err` propagates a broken
+/// [`min_vertex_cut`] invariant from step 4.
 pub fn sep_doubling(
     g: &UGraph,
     members: &[bool],
@@ -267,11 +269,11 @@ pub fn sep_doubling(
     t0: u64,
     cfg: &SepConfig,
     rng: &mut impl Rng,
-) -> SepOutcome {
+) -> Result<SepOutcome, MincutError> {
     let mut t = t0.max(2);
     loop {
-        if let Some(out) = sep_centralized(g, members, mu, t, cfg, rng) {
-            return out;
+        if let Some(out) = sep_centralized(g, members, mu, t, cfg, rng)? {
+            return Ok(out);
         }
         t *= 2;
         assert!(
@@ -296,7 +298,7 @@ mod tests {
         let n = g.n();
         let mut rng = SmallRng::seed_from_u64(seed);
         let members = vec![true; n];
-        let out = sep_doubling(g, &members, &uniform_mu(n), t0, cfg, &mut rng);
+        let out = sep_doubling(g, &members, &uniform_mu(n), t0, cfg, &mut rng).unwrap();
         // The outcome must really be balanced (or the Small path).
         let mu = uniform_mu(n);
         if out.path != SepPath::Small {
@@ -377,7 +379,7 @@ mod tests {
         let cfg = SepConfig::practical(n);
         let mut rng = SmallRng::seed_from_u64(4);
         let members = vec![true; n];
-        let out = sep_doubling(&g, &members, &mu, 3, &cfg, &mut rng);
+        let out = sep_doubling(&g, &members, &mu, 3, &cfg, &mut rng).unwrap();
         if out.path != SepPath::Small {
             assert!(is_balanced_separator(
                 &g,
@@ -405,6 +407,7 @@ mod tests {
         let cfg = SepConfig::paper(300);
         let mut rng = SmallRng::seed_from_u64(0);
         let out = sep_centralized(&g, &vec![true; 300], &uniform_mu(300), 2, &cfg, &mut rng)
+            .expect("mincut invariant")
             .expect("step 1 must fire");
         assert_eq!(out.path, SepPath::Small);
     }
@@ -417,7 +420,7 @@ mod tests {
         let mu: Vec<u64> = (0..400).map(|v| u64::from(v < 200)).collect();
         let cfg = SepConfig::practical(200);
         let mut rng = SmallRng::seed_from_u64(12);
-        let out = sep_doubling(&g, &members, &mu, 3, &cfg, &mut rng);
+        let out = sep_doubling(&g, &members, &mu, 3, &cfg, &mut rng).unwrap();
         for &v in &out.separator {
             assert!(v < 200, "separator vertex {v} outside the subgraph");
         }

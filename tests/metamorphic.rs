@@ -23,13 +23,19 @@
 //!    identical on every path — the cost model may not depend on how the
 //!    simulator happens to execute, i.e. it is thread-count invariant
 //!    (1, 2, N) by construction of the partitioned path.
+//!
+//! The portfolio pipelines get the same treatment: counting cells are
+//! weight-model invariant (the counts live on the communication graph),
+//! FO verdicts are relabeling-invariant (closed sentences are
+//! isomorphism-invariant), and the walk/hop/MVC probes are
+//! partitioning-invariant like every other charged primitive.
 
 use congest_sim::{Metrics, Network, NetworkConfig};
 use lowtw::{baselines, bmatch, distlabel, girth, treedec, twgraph};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use scenarios::corpus;
+use scenarios::{corpus, CountingPipeline, Pipeline, WeightModel};
 use twgraph::{MultiDigraph, UGraph, INF};
 
 /// Full distributed pipeline (decompose → label → query from 0) on one
@@ -174,6 +180,127 @@ fn matching_size_is_relabeling_invariant() {
         .size();
     assert_eq!(got, want, "matching size not relabeling-invariant");
     assert_eq!(baselines::matching_oracle(&g2, &side2), want);
+}
+
+/// Subgraph counts are a property of the *communication graph* alone: the
+/// weighted instance never enters the counting pipeline, so swapping the
+/// corpus weight model (holding family + seed fixed, which pins the graph)
+/// must reproduce the entire cell bit-for-bit — counts, checksum, and
+/// charged metrics.
+#[test]
+fn counting_cell_is_weight_model_invariant() {
+    let p = CountingPipeline;
+    for sc in corpus() {
+        if !matches!(
+            sc.family.tag(),
+            "series_parallel" | "cactus" | "ring_of_cliques" | "multi_component"
+        ) {
+            continue;
+        }
+        let rep1 = p.run(&sc).unwrap();
+        for weights in [
+            WeightModel::Unit,
+            WeightModel::HeavyTailed {
+                wmax: 1 << 20,
+                alpha: 1.5,
+            },
+        ] {
+            let sc2 = scenarios::Scenario {
+                weights,
+                ..sc.clone()
+            };
+            let rep2 = p.run(&sc2).unwrap();
+            assert_eq!(
+                rep2.output, rep1.output,
+                "{}: counting checksum depends on the weight model",
+                sc.name
+            );
+            assert_eq!(rep2.detail, rep1.detail, "{}", sc.name);
+            assert_eq!(
+                rep2.metrics, rep1.metrics,
+                "{}: counting charged metrics depend on the weight model",
+                sc.name
+            );
+        }
+    }
+}
+
+/// Closed FO sentences are isomorphism-invariant: relabeling the graph by
+/// a random permutation must leave every seeded sentence's verdict — and
+/// the multiset of pairwise distances behind the `dist` atoms — unchanged.
+#[test]
+fn fo_verdicts_are_relabeling_invariant() {
+    for (name, g, _inst, _t0) in connected_corpus() {
+        let sentences = twgraph::fo::seeded_sentences(6, 2, 42);
+        let mut perm: Vec<u32> = (0..g.n() as u32).collect();
+        perm.shuffle(&mut SmallRng::seed_from_u64(0xF0));
+        let g2 = g.relabeled(&perm);
+        for (i, f) in sentences.iter().enumerate() {
+            assert_eq!(
+                baselines::fo_oracle(&g, f),
+                baselines::fo_oracle(&g2, f),
+                "{name}: sentence {i} «{f}» verdict not relabeling-invariant"
+            );
+        }
+        // The atom substrate commutes with π too: d(u, v) = d(π u, π v).
+        for u in 0..g.n() as u32 {
+            let d1 = twgraph::alg::bfs_dist(&g, u);
+            let d2 = twgraph::alg::bfs_dist(&g2, perm[u as usize]);
+            for v in 0..g.n() {
+                assert_eq!(
+                    d1[v], d2[perm[v] as usize],
+                    "{name}: bfs_dist({u}, {v}) not π-equivariant"
+                );
+            }
+        }
+    }
+}
+
+/// The portfolio probes (walk spectrum, bounded hop flood, batched MVC)
+/// ride the same engine invariant as the SSSP pipeline: charged metrics
+/// and outputs may not depend on how the simulator partitions execution.
+#[test]
+fn portfolio_probes_invariant_across_partitioning() {
+    for (name, g, _inst, t0) in connected_corpus() {
+        let run = |net_cfg: NetworkConfig| {
+            let cfg = treedec::SepConfig::practical(g.n());
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut net = Network::new(g.clone(), net_cfg);
+            let out = treedec::decompose_distributed(&mut net, t0, &cfg, &mut rng).unwrap();
+            let active: Vec<u32> = (0..g.n() as u32).collect();
+            let spectrum =
+                lowtw::subgraph_ops::probe::closed_walk_spectrum(&mut net, &active, 5).unwrap();
+            let hops =
+                lowtw::subgraph_ops::probe::bounded_hop_distances(&mut net, &active, 2).unwrap();
+            let cuts = lowtw::subgraph_ops::mvc::batch_min_vertex_cut(
+                &mut net,
+                &[lowtw::subgraph_ops::mvc::CutInstance {
+                    members: None,
+                    sources: vec![0],
+                    sinks: vec![g.n() as u32 - 1],
+                }],
+                out.td.width() + 1,
+            )
+            .unwrap();
+            (spectrum, hops, cuts, *net.metrics())
+        };
+        let (s_ref, h_ref, c_ref, m_ref) = run(NetworkConfig::default());
+        for threshold in [0usize, usize::MAX] {
+            let cfg = NetworkConfig {
+                parallel_threshold: threshold,
+                ..NetworkConfig::default()
+            };
+            let (s, h, c, m) = run(cfg);
+            assert_eq!(s, s_ref, "{name}: walk spectrum depends on partitioning");
+            assert_eq!(h, h_ref, "{name}: hop tables depend on partitioning");
+            assert_eq!(c, c_ref, "{name}: MVC results depend on partitioning");
+            assert_eq!(
+                m, m_ref,
+                "{name}: portfolio charged metrics depend on the execution \
+                 partitioning (parallel_threshold = {threshold})"
+            );
+        }
+    }
 }
 
 #[test]

@@ -84,7 +84,7 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         let members = vec![true; n];
         let mu = vec![1u64; n];
-        let out = sep_doubling(&g, &members, &mu, k as u64 + 1, &cfg, &mut rng);
+        let out = sep_doubling(&g, &members, &mu, k as u64 + 1, &cfg, &mut rng).expect("mincut invariant");
         prop_assert!(out.separator.len() as u64 <= cfg.size_bound(out.t_used));
     }
 

@@ -73,8 +73,23 @@ fn matrix_update() {
     run_pipeline_over_corpus("update");
 }
 
+#[test]
+fn matrix_maxflow() {
+    run_pipeline_over_corpus("maxflow");
+}
+
+#[test]
+fn matrix_counting() {
+    run_pipeline_over_corpus("counting");
+}
+
+#[test]
+fn matrix_fo() {
+    run_pipeline_over_corpus("fo");
+}
+
 /// The corpus × pipeline dimensions the acceptance criteria pin: at least
-/// five *new* families and all seven pipelines present.
+/// five *new* families and all ten pipelines present.
 #[test]
 fn matrix_dimensions() {
     let c = corpus();
@@ -100,7 +115,7 @@ fn matrix_dimensions() {
         "unbounded control family missing"
     );
     let p = all_pipelines();
-    assert_eq!(p.len(), 7);
+    assert_eq!(p.len(), 10);
     let names: Vec<_> = p.iter().map(|p| p.name()).collect();
     assert_eq!(
         names,
@@ -111,7 +126,10 @@ fn matrix_dimensions() {
             "matching",
             "walks",
             "serve",
-            "update"
+            "update",
+            "maxflow",
+            "counting",
+            "fo"
         ]
     );
     // The update:query-ratio axis is pinned: three mixes, each reporting
@@ -129,9 +147,41 @@ fn matrix_dimensions() {
     // Full matrix cell count: every scenario × every pipeline.
     assert_eq!(
         c.len() * p.len(),
-        84,
-        "matrix is 12 scenarios × 7 pipelines"
+        120,
+        "matrix is 12 scenarios × 10 pipelines"
     );
+}
+
+/// The portfolio pipelines report the detail rows the bench bin (and the
+/// `portfolio` experiment baseline) serializes.
+#[test]
+fn portfolio_cells_report_detail() {
+    let pipelines = all_pipelines();
+    let sc = corpus()
+        .into_iter()
+        .find(|s| s.name == "multi_component/uniform")
+        .unwrap();
+    let expected: [(&str, &[&str]); 3] = [
+        ("maxflow", &["pairs", "flow_total", "inf_pairs", "cap_max"]),
+        (
+            "counting",
+            &["triangles", "cycles4", "cycles5", "bag_triples_scanned"],
+        ),
+        (
+            "fo",
+            &["sentences", "verdicts_true", "radius", "dist_pairs"],
+        ),
+    ];
+    for (name, keys) in expected {
+        let p = pipelines.iter().find(|p| p.name() == name).unwrap();
+        let rep = run_cell(&sc, p.as_ref()).unwrap_or_else(|e| panic!("cell failed: {e}"));
+        for key in keys {
+            assert!(
+                rep.detail.iter().any(|&(k, _)| k == *key),
+                "{name}: detail key {key} missing"
+            );
+        }
+    }
 }
 
 /// Every update cell carries the per-mix QPS rows and rebuild-scope
